@@ -1,0 +1,21 @@
+(* Benchmark & experiment driver.
+
+   Usage:
+     dune exec bench/main.exe             # all experiments (E1-E9, F1-F2)
+     dune exec bench/main.exe -- e5 f1    # selected experiments
+     dune exec bench/main.exe -- micro    # bechamel microbenchmarks
+     dune exec bench/main.exe -- all micro *)
+
+let () =
+  print_endline "Quorum Placement in Networks to Minimize Access Delays (PODC'05)";
+  print_endline "Experiment reproduction suite - see DESIGN.md / EXPERIMENTS.md";
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] -> Experiments.all ()
+  | args ->
+      List.iter
+        (function
+          | "all" -> Experiments.all ()
+          | "micro" -> Micro.run ()
+          | name -> Experiments.by_name name)
+        args

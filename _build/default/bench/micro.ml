@@ -1,0 +1,133 @@
+(* Bechamel micro-benchmarks: one Test.make per core computational
+   kernel. Results are printed as a table of OLS time estimates. *)
+
+open Bechamel
+open Toolkit
+module Rng = Qp_util.Rng
+module Generators = Qp_graph.Generators
+module Grid_qs = Qp_quorum.Grid_qs
+module Strategy = Qp_quorum.Strategy
+open Qp_place
+
+let dijkstra_test =
+  let rng = Rng.create 1 in
+  let g, _ = Generators.random_geometric rng 200 0.12 in
+  Test.make ~name:"dijkstra n=200"
+    (Staged.stage (fun () -> ignore (Qp_graph.Dijkstra.distances g 0)))
+
+let apsp_test =
+  let rng = Rng.create 2 in
+  let g, _ = Generators.random_geometric rng 80 0.2 in
+  Test.make ~name:"apsp n=80"
+    (Staged.stage (fun () -> ignore (Qp_graph.Apsp.repeated_dijkstra g)))
+
+let simplex_test =
+  (* A representative SSQPP LP (grid 2x2 on 10 nodes). *)
+  let rng = Rng.create 3 in
+  let g, _ = Generators.random_geometric rng 10 0.5 in
+  let system = Grid_qs.make 2 in
+  let strategy = Strategy.uniform system in
+  let caps = Array.make 10 (Grid_qs.element_load 2) in
+  let problem = Problem.of_graph_qpp ~graph:g ~capacities:caps ~system ~strategy () in
+  let s = Problem.ssqpp_of_qpp problem 0 in
+  Test.make ~name:"ssqpp LP solve (grid2, n=10)"
+    (Staged.stage (fun () -> ignore (Lp_formulation.solve s)))
+
+let rounding_test =
+  let rng = Rng.create 4 in
+  let g, _ = Generators.random_geometric rng 10 0.5 in
+  let system = Grid_qs.make 2 in
+  let strategy = Strategy.uniform system in
+  let caps = Array.make 10 (Grid_qs.element_load 2) in
+  let problem = Problem.of_graph_qpp ~graph:g ~capacities:caps ~system ~strategy () in
+  let s = Problem.ssqpp_of_qpp problem 0 in
+  let sol = match Lp_formulation.solve s with Some x -> x | None -> assert false in
+  Test.make ~name:"filter+ST round (grid2)"
+    (Staged.stage (fun () ->
+         ignore (Rounding.round_filtered s (Filtering.apply ~alpha:2. sol))))
+
+let dp_test =
+  let rng = Rng.create 5 in
+  let g, _ = Generators.random_geometric rng 12 0.5 in
+  let system = Grid_qs.make 3 in
+  let strategy = Strategy.uniform system in
+  let caps = Array.make 12 (Grid_qs.element_load 3) in
+  let problem = Problem.of_graph_qpp ~graph:g ~capacities:caps ~system ~strategy () in
+  let s = Problem.ssqpp_of_qpp problem 0 in
+  Test.make ~name:"subset DP (grid3)"
+    (Staged.stage (fun () -> ignore (Exact.ssqpp_uniform_dp s)))
+
+let layout_test =
+  let rng = Rng.create 6 in
+  let g, _ = Generators.random_geometric rng 110 0.15 in
+  let k = 10 in
+  let system = Grid_qs.make k in
+  let strategy = Strategy.uniform system in
+  let caps = Array.make 110 (Grid_qs.element_load k) in
+  let problem = Problem.of_graph_qpp ~graph:g ~capacities:caps ~system ~strategy () in
+  let s = Problem.ssqpp_of_qpp problem 0 in
+  Test.make ~name:"concentric layout (grid10, n=110)"
+    (Staged.stage (fun () -> ignore (Grid_layout.place s)))
+
+let sim_test =
+  let rng = Rng.create 7 in
+  let g, _ = Generators.random_geometric rng 12 0.5 in
+  let system = Grid_qs.make 2 in
+  let strategy = Strategy.uniform system in
+  let caps = Array.make 12 1.0 in
+  let problem = Problem.of_graph_qpp ~graph:g ~capacities:caps ~system ~strategy () in
+  let placement = [| 0; 1; 2; 3 |] in
+  let cfg = Qp_sim.Access_sim.default_config ~problem ~placement in
+  let cfg = { cfg with Qp_sim.Access_sim.accesses_per_client = 100 } in
+  Test.make ~name:"simulate 1200 accesses"
+    (Staged.stage (fun () -> ignore (Qp_sim.Access_sim.run cfg)))
+
+let mcmf_test =
+  Test.make ~name:"mcmf assignment 20x20"
+    (Staged.stage (fun () ->
+         let rng = Rng.create 8 in
+         let net = Qp_assign.Mcmf.create 42 in
+         for w = 0 to 19 do
+           Qp_assign.Mcmf.add_edge net ~src:0 ~dst:(1 + w) ~capacity:1 ~cost:0.;
+           Qp_assign.Mcmf.add_edge net ~src:(21 + w) ~dst:41 ~capacity:1 ~cost:0.;
+           for t = 0 to 19 do
+             Qp_assign.Mcmf.add_edge net ~src:(1 + w) ~dst:(21 + t) ~capacity:1
+               ~cost:(Rng.uniform rng)
+           done
+         done;
+         ignore (Qp_assign.Mcmf.min_cost_flow net ~source:0 ~sink:41 ())))
+
+let run () =
+  let tests =
+    [ dijkstra_test; apsp_test; simplex_test; rounding_test; dp_test; layout_test;
+      sim_test; mcmf_test ]
+  in
+  let grouped = Test.make_grouped ~name:"qp" tests in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let tbl =
+    Qp_util.Table.create ~title:"microbenchmarks (monotonic clock, OLS per-run estimate)"
+      [ ("kernel", Qp_util.Table.Left); ("time/run", Qp_util.Table.Right) ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      match Analyze.OLS.estimates est with
+      | Some (ns :: _) -> rows := (name, ns) :: !rows
+      | _ -> ())
+    results;
+  let pretty ns =
+    if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, ns) -> Qp_util.Table.add_rowf tbl "%s|%s" name (pretty ns))
+    (List.sort compare !rows);
+  Qp_util.Table.print tbl

@@ -1,0 +1,376 @@
+(* qplace: command-line front end for the quorum-placement library.
+
+   Subcommands:
+     solve     build an instance and place it with a chosen algorithm
+     simulate  place and then drive the discrete-event simulator
+     gap       print the Appendix-A integrality-gap measurements
+     info      describe a quorum system construction
+   Instances are generated from named topologies and constructions,
+   deterministically from --seed. *)
+
+module Rng = Qp_util.Rng
+module Table = Qp_util.Table
+module Generators = Qp_graph.Generators
+module Graph = Qp_graph.Graph
+module Quorum = Qp_quorum.Quorum
+module Strategy = Qp_quorum.Strategy
+open Qp_place
+
+(* ------------------------------------------------------------------ *)
+(* Instance construction from CLI names                                *)
+(* ------------------------------------------------------------------ *)
+
+let build_topology name n rng =
+  match name with
+  | "path" -> Generators.path n
+  | "cycle" -> Generators.cycle n
+  | "star" -> Generators.star n
+  | "complete" -> Generators.complete n
+  | "tree" -> Generators.random_tree rng n
+  | "waxman" -> fst (Generators.waxman rng n ())
+  | "geometric" -> fst (Generators.random_geometric rng n 0.4)
+  | "barbell" -> Generators.barbell (n / 2)
+  | other -> failwith (Printf.sprintf "unknown topology %S" other)
+
+let build_system name =
+  match String.split_on_char ':' name with
+  | [ "grid"; k ] -> Qp_quorum.Grid_qs.make (int_of_string k)
+  | [ "majority"; n; t ] ->
+      Qp_quorum.Majority_qs.make ~n:(int_of_string n) ~t:(int_of_string t)
+  | [ "fpp"; q ] -> Qp_quorum.Fpp_qs.make (int_of_string q)
+  | [ "tree"; d ] -> Qp_quorum.Tree_qs.make (int_of_string d)
+  | [ "wheel"; n ] -> Qp_quorum.Simple_qs.wheel (int_of_string n)
+  | [ "star"; n ] -> Qp_quorum.Simple_qs.star (int_of_string n)
+  | [ "triangle" ] -> Qp_quorum.Simple_qs.triangle ()
+  | _ ->
+      failwith
+        (Printf.sprintf
+           "unknown system %S (try grid:3, majority:7:4, fpp:3, tree:2, wheel:5, \
+            star:5, triangle)"
+           name)
+
+let build_problem ~topology ~nodes ~system_name ~cap_slack ~seed =
+  let rng = Rng.create seed in
+  let graph = build_topology topology nodes rng in
+  let system = build_system system_name in
+  let strategy = Strategy.uniform system in
+  let loads = Strategy.loads system strategy in
+  let max_load = Array.fold_left Float.max 0. loads in
+  let capacities = Array.make (Graph.n_vertices graph) (cap_slack *. max_load) in
+  Problem.of_graph_qpp ~graph ~capacities ~system ~strategy ()
+
+let describe_placement problem label f =
+  let tbl =
+    Table.create ~title:label
+      [ ("metric", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_rowf tbl "avg max-delay|%.4f" (Delay.avg_max_delay problem f);
+  Table.add_rowf tbl "avg total-delay|%.4f" (Delay.avg_total_delay problem f);
+  Table.add_rowf tbl "max load/cap|%.3f" (Placement.max_violation problem f);
+  Table.add_rowf tbl "nodes used|%d" (List.length (Placement.used_nodes f));
+  Table.print tbl;
+  Printf.printf "placement: %s\n"
+    (String.concat " " (Array.to_list (Array.map string_of_int f)))
+
+(* ------------------------------------------------------------------ *)
+(* Subcommand implementations                                          *)
+(* ------------------------------------------------------------------ *)
+
+let get_problem ~instance ~topology ~nodes ~system_name ~cap_slack ~seed =
+  match instance with
+  | Some path -> Serialize.load_problem path
+  | None -> build_problem ~topology ~nodes ~system_name ~cap_slack ~seed
+
+let solve_cmd topology nodes system_name cap_slack seed algorithm alpha instance save =
+  let problem = get_problem ~instance ~topology ~nodes ~system_name ~cap_slack ~seed in
+  (match save with
+  | Some path ->
+      Serialize.save_problem path problem;
+      Printf.printf "instance saved to %s\n" path
+  | None -> ());
+  let rng = Rng.create (seed + 1) in
+  match algorithm with
+  | "lp" -> (
+      match Qpp_solver.solve ~alpha problem with
+      | None ->
+          prerr_endline "infeasible: LP has no solution under these capacities";
+          exit 1
+      | Some r ->
+          Printf.printf "Theorem 1.2 placement via source v0 = %d (alpha = %.2f)\n"
+            r.Qpp_solver.v0 alpha;
+          (match r.Qpp_solver.lower_bound with
+          | Some lb -> Printf.printf "certified lower bound on OPT: %.4f\n" lb
+          | None -> ());
+          describe_placement problem "LP rounding result" r.Qpp_solver.placement)
+  | "total" -> (
+      match Total_delay.solve problem with
+      | None ->
+          prerr_endline "infeasible GAP relaxation";
+          exit 1
+      | Some r ->
+          Printf.printf "Theorem 5.1 total-delay placement (GAP LP %.4f)\n"
+            r.Total_delay.lp_cost;
+          describe_placement problem "total-delay result" r.Total_delay.placement)
+  | "greedy" -> (
+      match Baselines.greedy_closest problem 0 with
+      | None ->
+          prerr_endline "greedy failed to fit";
+          exit 1
+      | Some f -> describe_placement problem "greedy-closest result" f)
+  | "random" -> (
+      match Baselines.random rng problem with
+      | None ->
+          prerr_endline "no feasible random placement found";
+          exit 1
+      | Some f -> describe_placement problem "random feasible result" f)
+  | other ->
+      prerr_endline (Printf.sprintf "unknown algorithm %S (lp|total|greedy|random)" other);
+      exit 2
+
+let simulate_cmd topology nodes system_name cap_slack seed protocol accesses =
+  let problem = build_problem ~topology ~nodes ~system_name ~cap_slack ~seed in
+  match Qpp_solver.solve ~alpha:2. problem with
+  | None ->
+      prerr_endline "infeasible";
+      exit 1
+  | Some r ->
+      let protocol =
+        match protocol with
+        | "parallel" -> Qp_sim.Access_sim.Parallel
+        | "sequential" -> Qp_sim.Access_sim.Sequential
+        | other -> failwith (Printf.sprintf "unknown protocol %S" other)
+      in
+      let cfg =
+        Qp_sim.Access_sim.default_config ~problem ~placement:r.Qpp_solver.placement
+      in
+      let report =
+        Qp_sim.Access_sim.run
+          { cfg with Qp_sim.Access_sim.protocol; accesses_per_client = accesses; seed }
+      in
+      let open Qp_sim.Access_sim in
+      Printf.printf "accesses: %d\n" report.n_accesses;
+      Printf.printf "simulated mean delay: %.4f\n" report.mean_delay;
+      Printf.printf "analytic delay:       %.4f\n" report.analytic_delay;
+      Printf.printf "relative error:       %.3f%%\n" (100. *. report.relative_error);
+      Format.printf "summary: %a@." Qp_util.Stats.pp_summary report.delay_summary
+
+let gap_cmd max_k =
+  let tbl =
+    Table.create ~title:"Integrality gap of LP (9)-(14) on the Figure-1 family"
+      [ ("k", Table.Right); ("n = k^2", Table.Right); ("LP value", Table.Right);
+        ("integral OPT", Table.Right); ("gap", Table.Right) ]
+  in
+  for k = 2 to max_k do
+    let r = Integrality.measure (Integrality.figure1_instance k) in
+    Table.add_rowf tbl "%d|%d|%.4f|%.1f|%.2f" k r.Integrality.n r.Integrality.lp_value
+      r.Integrality.integral_opt r.Integrality.gap
+  done;
+  Table.print tbl
+
+let info_cmd system_name =
+  let system = build_system system_name in
+  let strategy = Strategy.uniform system in
+  let loads = Strategy.loads system strategy in
+  Printf.printf "universe size:   %d\n" (Quorum.universe system);
+  Printf.printf "quorums:         %d\n" (Quorum.n_quorums system);
+  let sizes = Array.map Array.length (Quorum.quorums system) in
+  Printf.printf "quorum sizes:    min %d, max %d\n"
+    (Array.fold_left min sizes.(0) sizes)
+    (Array.fold_left max sizes.(0) sizes);
+  Printf.printf "system load:     %.4f\n" (Strategy.system_load system strategy);
+  Printf.printf "total load:      %.4f (expected quorum size)\n"
+    (Strategy.total_load system strategy);
+  Printf.printf "balanced loads:  %b\n"
+    (Array.for_all (fun l -> Qp_util.Floatx.approx l loads.(0)) loads);
+  Printf.printf "is coterie:      %b\n" (Quorum.is_coterie system);
+  Printf.printf "intersecting:    %b\n" (Quorum.all_intersecting system)
+
+let availability_cmd system_name p =
+  let system = build_system system_name in
+  Printf.printf "resilience:           %d\n%!" (Qp_quorum.Availability.resilience system);
+  Printf.printf "Naor-Wool load bound: %.4f\n%!"
+    (Qp_quorum.Availability.naor_wool_load_lower_bound system);
+  Printf.printf "uniform system load:  %.4f\n%!"
+    (Strategy.system_load system (Strategy.uniform system));
+  if Quorum.universe system <= 22 then
+    Printf.printf "failure prob (p=%.2f): %.6f (exact)\n" p
+      (Qp_quorum.Availability.failure_probability system p)
+  else begin
+    let rng = Rng.create 1 in
+    Printf.printf "failure prob (p=%.2f): %.6f (Monte-Carlo, 100k samples)\n" p
+      (Qp_quorum.Availability.failure_probability_mc rng system p ~samples:100_000)
+  end
+
+let faults_cmd topology nodes system_name cap_slack seed p attempts =
+  let problem = build_problem ~topology ~nodes ~system_name ~cap_slack ~seed in
+  match Qpp_solver.solve ~alpha:2. problem with
+  | None ->
+      prerr_endline "infeasible";
+      exit 1
+  | Some r ->
+      let cfg =
+        {
+          (Qp_sim.Fault_sim.default_config ~problem ~placement:r.Qpp_solver.placement
+             ~failure_model:(Qp_sim.Fault_sim.Static p)) with
+          Qp_sim.Fault_sim.max_attempts = attempts;
+          accesses_per_client = 1000;
+          seed;
+        }
+      in
+      let fr = Qp_sim.Fault_sim.run cfg in
+      let open Qp_sim.Fault_sim in
+      Printf.printf "accesses:        %d\n" fr.n_accesses;
+      Printf.printf "availability:    %.4f (iid prediction %.4f)\n" fr.availability
+        fr.predicted_success;
+      Printf.printf "mean delay (ok): %.4f\n" fr.mean_delay_success;
+      Printf.printf "mean attempts:   %.2f\n" fr.mean_attempts
+
+let eval_cmd instance placement =
+  let problem = Serialize.load_problem instance in
+  let f = Serialize.placement_of_string placement in
+  describe_placement problem "evaluation" f;
+  let a = Relay.analyze problem f in
+  Printf.printf "relay analysis: v0 = %d, direct %.4f, relayed %.4f (ratio %.3f <= 5)\n"
+    a.Relay.v0 a.Relay.direct a.Relay.relayed a.Relay.ratio
+
+let design_cmd topology nodes seed =
+  let rng = Rng.create seed in
+  let graph = build_topology topology nodes rng in
+  let metric = Qp_graph.Metric.of_graph graph in
+  let module Design = Qp_design.Design in
+  let radius = Design.minmax_optimal_radius metric in
+  let ball = Design.minmax_optimal_design metric in
+  let median, lin = Design.lin_median_design metric in
+  Printf.printf "min-max design (Tsuchiya-style):\n";
+  Printf.printf "  optimal radius:     %.4f (exact)\n" radius;
+  Printf.printf "  ball-design ecc:    %.4f\n" (Design.eccentricity_of_design metric ball);
+  Printf.printf "min-avg design (Kobayashi/Lin):\n";
+  Printf.printf "  Lin median:         node %d, cost %.4f (2-approx)\n" median
+    (Design.mean_delay_of_design metric lin);
+  Printf.printf "  lower bound on OPT: %.4f\n" (Design.minavg_lower_bound metric);
+  Printf.printf
+    "  (note: the Lin design has system load 1 - the concentration the paper's\n\
+    \   placement formulation exists to avoid)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner wiring                                                     *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let topology_t =
+  Arg.(value & opt string "waxman" & info [ "topology" ] ~docv:"NAME"
+         ~doc:"Topology: path, cycle, star, complete, tree, waxman, geometric, barbell.")
+
+let nodes_t =
+  Arg.(value & opt int 16 & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Number of network nodes.")
+
+let system_t =
+  Arg.(value & opt string "grid:3" & info [ "system" ] ~docv:"SPEC"
+         ~doc:"Quorum system: grid:K, majority:N:T, fpp:Q, tree:D, wheel:N, star:N, triangle.")
+
+let cap_slack_t =
+  Arg.(value & opt float 1.0 & info [ "cap-slack" ] ~docv:"X"
+         ~doc:"Capacity per node as a multiple of the max element load.")
+
+let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let alpha_t =
+  Arg.(value & opt float 2.0 & info [ "alpha" ] ~docv:"A"
+         ~doc:"Rounding parameter of Theorem 3.7 (alpha > 1).")
+
+let algorithm_t =
+  Arg.(value & opt string "lp" & info [ "alg" ] ~docv:"ALG"
+         ~doc:"Algorithm: lp (Thm 1.2), total (Thm 5.1), greedy, random.")
+
+let instance_t =
+  Arg.(value & opt (some string) None & info [ "instance" ] ~docv:"FILE"
+         ~doc:"Load the instance from FILE instead of generating one.")
+
+let save_t =
+  Arg.(value & opt (some string) None & info [ "save-instance" ] ~docv:"FILE"
+         ~doc:"Save the instance to FILE before solving.")
+
+let solve_term =
+  Term.(const solve_cmd $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t
+        $ algorithm_t $ alpha_t $ instance_t $ save_t)
+
+let solve_cmd_info = Cmd.info "solve" ~doc:"Place a quorum system on a generated network."
+
+let protocol_t =
+  Arg.(value & opt string "parallel" & info [ "protocol" ] ~docv:"P"
+         ~doc:"Access protocol: parallel (max-delay) or sequential (total-delay).")
+
+let accesses_t =
+  Arg.(value & opt int 500 & info [ "accesses" ] ~docv:"K"
+         ~doc:"Accesses per client in the simulation.")
+
+let simulate_term =
+  Term.(const simulate_cmd $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t
+        $ protocol_t $ accesses_t)
+
+let simulate_cmd_info =
+  Cmd.info "simulate" ~doc:"Solve, then validate the placement in the event simulator."
+
+let max_k_t =
+  Arg.(value & opt int 8 & info [ "max-k" ] ~docv:"K" ~doc:"Largest k for the gap series.")
+
+let gap_term = Term.(const gap_cmd $ max_k_t)
+
+let gap_cmd_info = Cmd.info "gap" ~doc:"Reproduce the Appendix-A integrality gap series."
+
+let info_term = Term.(const info_cmd $ system_t)
+
+let info_cmd_info = Cmd.info "info" ~doc:"Describe a quorum system construction."
+
+let fail_p_t =
+  Arg.(value & opt float 0.1 & info [ "fail-prob" ] ~docv:"P" ~doc:"Per-node failure probability.")
+
+let availability_term = Term.(const availability_cmd $ system_t $ fail_p_t)
+
+let availability_cmd_info =
+  Cmd.info "availability" ~doc:"Failure probability, resilience and load bounds of a system."
+
+let attempts_t =
+  Arg.(value & opt int 3 & info [ "attempts" ] ~docv:"K" ~doc:"Quorum retries per access.")
+
+let faults_term =
+  Term.(const faults_cmd $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t
+        $ fail_p_t $ attempts_t)
+
+let faults_cmd_info =
+  Cmd.info "faults" ~doc:"Solve, then run the fault-injection simulator on the placement."
+
+let eval_instance_t =
+  Arg.(required & opt (some string) None & info [ "instance" ] ~docv:"FILE"
+         ~doc:"Instance file (see the solve --save-instance flag).")
+
+let placement_arg_t =
+  Arg.(required & opt (some string) None & info [ "placement" ] ~docv:"IDS"
+         ~doc:"Space-separated node id per element, e.g. \"0 3 3 7\".")
+
+let eval_term = Term.(const eval_cmd $ eval_instance_t $ placement_arg_t)
+
+let eval_cmd_info =
+  Cmd.info "eval" ~doc:"Evaluate a given placement on a saved instance."
+
+let design_term = Term.(const design_cmd $ topology_t $ nodes_t $ seed_t)
+
+let design_cmd_info =
+  Cmd.info "design" ~doc:"The Related-Work quorum DESIGN problems on a generated network."
+
+let main_cmd =
+  let doc = "quorum placement in networks to minimize access delays (PODC'05)" in
+  Cmd.group (Cmd.info "qplace" ~doc)
+    [
+      Cmd.v solve_cmd_info solve_term;
+      Cmd.v simulate_cmd_info simulate_term;
+      Cmd.v gap_cmd_info gap_term;
+      Cmd.v info_cmd_info info_term;
+      Cmd.v availability_cmd_info availability_term;
+      Cmd.v faults_cmd_info faults_term;
+      Cmd.v design_cmd_info design_term;
+      Cmd.v eval_cmd_info eval_term;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

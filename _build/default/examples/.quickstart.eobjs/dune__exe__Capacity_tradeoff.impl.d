@@ -1,0 +1,1 @@
+examples/capacity_tradeoff.ml: Array List Placement Printf Problem Qp_graph Qp_place Qp_quorum Qp_util Qpp_solver

@@ -1,0 +1,1 @@
+examples/capacity_tradeoff.mli:

@@ -1,0 +1,1 @@
+examples/mutual_exclusion.ml: Array Baselines Delay Printf Problem Qp_graph Qp_place Qp_quorum Qp_sim Qp_util Total_delay

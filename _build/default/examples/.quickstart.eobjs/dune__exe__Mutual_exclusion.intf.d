@@ -1,0 +1,1 @@
+examples/mutual_exclusion.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Baselines Delay Placement Printf Problem Qp_graph Qp_place Qp_quorum Qp_sim Qp_util Qpp_solver

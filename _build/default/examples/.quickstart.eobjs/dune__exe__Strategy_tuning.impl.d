@@ -1,0 +1,1 @@
+examples/strategy_tuning.ml: Array Baselines Delay Float Placement Printf Problem Qp_graph Qp_place Qp_quorum Qp_sim Qp_util Qpp_solver Strategy_opt

@@ -1,0 +1,1 @@
+examples/wan_replication.ml: Array Baselines List Printf Problem Qp_graph Qp_place Qp_quorum Qp_sim Qp_util Qpp_solver

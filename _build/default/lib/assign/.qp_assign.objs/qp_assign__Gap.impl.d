@@ -1,0 +1,1 @@
+lib/assign/gap.ml: Array Float Format Qp_util

@@ -1,0 +1,1 @@
+lib/assign/gap_lp.ml: Array Gap Qp_lp

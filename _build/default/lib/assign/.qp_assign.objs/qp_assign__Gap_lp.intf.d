@@ -1,0 +1,1 @@
+lib/assign/gap_lp.mli: Gap

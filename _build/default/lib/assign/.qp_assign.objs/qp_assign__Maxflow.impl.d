@@ -1,0 +1,1 @@
+lib/assign/maxflow.ml: Array Float List Queue

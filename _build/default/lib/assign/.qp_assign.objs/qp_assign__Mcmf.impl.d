@@ -1,0 +1,1 @@
+lib/assign/mcmf.ml: Array List

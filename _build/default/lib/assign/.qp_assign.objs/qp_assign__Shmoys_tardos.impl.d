@@ -1,0 +1,1 @@
+lib/assign/shmoys_tardos.ml: Array Float Gap Gap_lp List Mcmf Qp_util

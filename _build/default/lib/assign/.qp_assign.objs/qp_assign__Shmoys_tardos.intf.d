@@ -1,0 +1,1 @@
+lib/assign/shmoys_tardos.mli: Gap

@@ -1,0 +1,74 @@
+type t = {
+  n_jobs : int;
+  n_machines : int;
+  cost : float array array;
+  load : float array array;
+  budget : float array;
+  allowed : bool array array;
+}
+
+type assignment = int array
+
+let make ~cost ~load ~budget ?allowed () =
+  let n_machines = Array.length cost in
+  if n_machines = 0 then invalid_arg "Gap.make: no machines";
+  let n_jobs = Array.length cost.(0) in
+  if n_jobs = 0 then invalid_arg "Gap.make: no jobs";
+  let check_shape name m =
+    if Array.length m <> n_machines then invalid_arg ("Gap.make: bad shape for " ^ name);
+    Array.iter
+      (fun row ->
+        if Array.length row <> n_jobs then invalid_arg ("Gap.make: bad shape for " ^ name))
+      m
+  in
+  check_shape "cost" cost;
+  check_shape "load" load;
+  if Array.length budget <> n_machines then invalid_arg "Gap.make: bad budget length";
+  Array.iter (fun b -> if b < 0. then invalid_arg "Gap.make: negative budget") budget;
+  let allowed =
+    match allowed with
+    | Some a ->
+        check_shape "allowed" a;
+        a
+    | None -> Array.make_matrix n_machines n_jobs true
+  in
+  for i = 0 to n_machines - 1 do
+    for j = 0 to n_jobs - 1 do
+      if allowed.(i).(j) then begin
+        if not (Float.is_finite cost.(i).(j)) then
+          invalid_arg "Gap.make: non-finite cost on allowed pair";
+        if (not (Float.is_finite load.(i).(j))) || load.(i).(j) < 0. then
+          invalid_arg "Gap.make: bad load on allowed pair"
+      end
+    done
+  done;
+  { n_jobs; n_machines; cost; load; budget; allowed }
+
+let assignment_cost t a =
+  if Array.length a <> t.n_jobs then invalid_arg "Gap.assignment_cost: bad length";
+  let acc = ref 0. in
+  Array.iteri (fun j i -> acc := !acc +. t.cost.(i).(j)) a;
+  !acc
+
+let machine_loads t a =
+  let loads = Array.make t.n_machines 0. in
+  Array.iteri (fun j i -> loads.(i) <- loads.(i) +. t.load.(i).(j)) a;
+  loads
+
+let max_job_load t i =
+  let best = ref 0. in
+  for j = 0 to t.n_jobs - 1 do
+    if t.allowed.(i).(j) && t.load.(i).(j) > !best then best := t.load.(i).(j)
+  done;
+  !best
+
+let respects ?(slack = 1.) t a =
+  let loads = machine_loads t a in
+  let ok = ref true in
+  Array.iteri (fun j i -> if not t.allowed.(i).(j) then ok := false) a;
+  Array.iteri
+    (fun i l -> if not (Qp_util.Floatx.leq l (slack *. t.budget.(i))) then ok := false)
+    loads;
+  !ok
+
+let pp ppf t = Format.fprintf ppf "gap(jobs=%d, machines=%d)" t.n_jobs t.n_machines

@@ -1,0 +1,43 @@
+(** Generalized Assignment Problem instances (Definition 3.10).
+
+    Jobs [j] are assigned to machines [i]; assigning job [j] to
+    machine [i] costs [cost i j] and adds [load i j] to machine [i],
+    whose budget is [budget i]. Pairs can be forbidden (the paper's
+    filtering step forbids far-away nodes by setting [p_tu = infinity];
+    we represent that explicitly). *)
+
+type t = {
+  n_jobs : int;
+  n_machines : int;
+  cost : float array array; (* machine -> job -> cost *)
+  load : float array array; (* machine -> job -> load *)
+  budget : float array; (* machine -> T_i *)
+  allowed : bool array array; (* machine -> job -> permitted? *)
+}
+
+val make :
+  cost:float array array ->
+  load:float array array ->
+  budget:float array ->
+  ?allowed:bool array array ->
+  unit ->
+  t
+(** Validates shapes, non-negativity of loads/budgets, finiteness of
+    allowed entries. By default all pairs are allowed. *)
+
+type assignment = int array
+(** [assignment.(j)] = machine of job [j]. *)
+
+val assignment_cost : t -> assignment -> float
+val machine_loads : t -> assignment -> float array
+
+val max_job_load : t -> int -> float
+(** [max_job_load t i] = max load over allowed jobs on machine [i]
+    (the [pmax_i] of Theorem 3.11); 0 when nothing is allowed. *)
+
+val respects : ?slack:float -> t -> assignment -> bool
+(** [respects ~slack t a]: every machine load is at most
+    [slack * budget] (default slack 1) and every assigned pair is
+    allowed. *)
+
+val pp : Format.formatter -> t -> unit

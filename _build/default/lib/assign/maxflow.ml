@@ -1,0 +1,112 @@
+type t = {
+  n : int;
+  mutable dst : int array;
+  mutable cap : float array;
+  mutable n_edges : int;
+  adj : int list array;
+}
+
+let eps = 1e-11
+
+let create n =
+  if n <= 0 then invalid_arg "Maxflow.create: n must be positive";
+  { n; dst = Array.make 16 0; cap = Array.make 16 0.; n_edges = 0; adj = Array.make n [] }
+
+let grow t =
+  let c = Array.length t.dst in
+  let dst = Array.make (2 * c) 0 in
+  let cap = Array.make (2 * c) 0. in
+  Array.blit t.dst 0 dst 0 t.n_edges;
+  Array.blit t.cap 0 cap 0 t.n_edges;
+  t.dst <- dst;
+  t.cap <- cap
+
+let push_edge t d c =
+  if t.n_edges = Array.length t.dst then grow t;
+  t.dst.(t.n_edges) <- d;
+  t.cap.(t.n_edges) <- c;
+  t.n_edges <- t.n_edges + 1
+
+let add_edge t ~src ~dst ~capacity =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Maxflow.add_edge: endpoint out of range";
+  if capacity < 0. then invalid_arg "Maxflow.add_edge: negative capacity";
+  let idx = t.n_edges in
+  push_edge t dst capacity;
+  push_edge t src 0.;
+  t.adj.(src) <- idx :: t.adj.(src);
+  t.adj.(dst) <- (idx + 1) :: t.adj.(dst)
+
+(* BFS level graph. *)
+let levels t source =
+  let level = Array.make t.n (-1) in
+  let q = Queue.create () in
+  level.(source) <- 0;
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun e ->
+        let w = t.dst.(e) in
+        if t.cap.(e) > eps && level.(w) < 0 then begin
+          level.(w) <- level.(v) + 1;
+          Queue.add w q
+        end)
+      t.adj.(v)
+  done;
+  level
+
+let max_flow t ~source ~sink =
+  if source < 0 || source >= t.n || sink < 0 || sink >= t.n || source = sink then
+    invalid_arg "Maxflow.max_flow: bad endpoints";
+  let total = ref 0. in
+  let continue_ = ref true in
+  while !continue_ do
+    let level = levels t source in
+    if level.(sink) < 0 then continue_ := false
+    else begin
+      (* Iterators over remaining admissible arcs per node. *)
+      let iters = Array.map (fun l -> ref l) t.adj in
+      let rec dfs v pushed =
+        if v = sink then pushed
+        else begin
+          let rec advance () =
+            match !(iters.(v)) with
+            | [] -> 0.
+            | e :: rest ->
+                let w = t.dst.(e) in
+                if t.cap.(e) > eps && level.(w) = level.(v) + 1 then begin
+                  let sent = dfs w (Float.min pushed t.cap.(e)) in
+                  if sent > eps then begin
+                    t.cap.(e) <- t.cap.(e) -. sent;
+                    t.cap.(e lxor 1) <- t.cap.(e lxor 1) +. sent;
+                    sent
+                  end
+                  else begin
+                    iters.(v) := rest;
+                    advance ()
+                  end
+                end
+                else begin
+                  iters.(v) := rest;
+                  advance ()
+                end
+          in
+          advance ()
+        end
+      in
+      let rec pump () =
+        let sent = dfs source infinity in
+        if sent > eps then begin
+          total := !total +. sent;
+          pump ()
+        end
+      in
+      pump ()
+    end
+  done;
+  !total
+
+let min_cut_side t ~source =
+  let level = levels t source in
+  Array.map (fun l -> l >= 0) level

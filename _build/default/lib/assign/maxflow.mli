@@ -1,0 +1,20 @@
+(** Max-flow / min-cut with float capacities (Dinic's algorithm).
+
+    Complements {!Mcmf} (integer capacities, costs) for the places
+    that need real-valued capacities and the CUT itself — notably the
+    max-weight-closure step of the Sidney decomposition in
+    [Qp_sched.Sidney]. *)
+
+type t
+
+val create : int -> t
+val add_edge : t -> src:int -> dst:int -> capacity:float -> unit
+(** Directed arc; @raise Invalid_argument on negative capacity or bad
+    endpoints. [infinity] capacities are allowed. *)
+
+val max_flow : t -> source:int -> sink:int -> float
+(** Runs Dinic to completion (mutates the network). *)
+
+val min_cut_side : t -> source:int -> bool array
+(** AFTER {!max_flow}: the source side of a minimum cut (vertices
+    reachable in the residual network). *)

@@ -1,0 +1,170 @@
+(* Edge-list representation: edge i and its residual i lxor 1 are
+   adjacent in the arrays. *)
+type t = {
+  n : int;
+  mutable dst : int array;
+  mutable cap : int array;
+  mutable cost : float array;
+  mutable n_edges : int;
+  adj : int list array; (* edge indices out of each node *)
+  mutable original : int list; (* indices of user-added arcs, reversed *)
+}
+
+let create n =
+  if n <= 0 then invalid_arg "Mcmf.create: n must be positive";
+  {
+    n;
+    dst = Array.make 16 0;
+    cap = Array.make 16 0;
+    cost = Array.make 16 0.;
+    n_edges = 0;
+    adj = Array.make n [];
+    original = [];
+  }
+
+let grow t =
+  let c = Array.length t.dst in
+  let dst = Array.make (2 * c) 0 in
+  let cap = Array.make (2 * c) 0 in
+  let cost = Array.make (2 * c) 0. in
+  Array.blit t.dst 0 dst 0 t.n_edges;
+  Array.blit t.cap 0 cap 0 t.n_edges;
+  Array.blit t.cost 0 cost 0 t.n_edges;
+  t.dst <- dst;
+  t.cap <- cap;
+  t.cost <- cost
+
+let push_edge t d c w =
+  if t.n_edges = Array.length t.dst then grow t;
+  t.dst.(t.n_edges) <- d;
+  t.cap.(t.n_edges) <- c;
+  t.cost.(t.n_edges) <- w;
+  t.n_edges <- t.n_edges + 1
+
+let add_edge t ~src ~dst ~capacity ~cost =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Mcmf.add_edge: endpoint out of range";
+  if capacity < 0 then invalid_arg "Mcmf.add_edge: negative capacity";
+  let idx = t.n_edges in
+  push_edge t dst capacity cost;
+  push_edge t src 0 (-.cost);
+  t.adj.(src) <- idx :: t.adj.(src);
+  t.adj.(dst) <- (idx + 1) :: t.adj.(dst);
+  t.original <- idx :: t.original
+
+(* Bellman–Ford from [source] to initialize potentials when negative
+   arc costs are present. *)
+let bellman_ford t source =
+  let dist = Array.make t.n infinity in
+  dist.(source) <- 0.;
+  let changed = ref true in
+  let iters = ref 0 in
+  while !changed && !iters <= t.n do
+    changed := false;
+    incr iters;
+    for e = 0 to t.n_edges - 1 do
+      if t.cap.(e) > 0 then begin
+        (* Source node of edge e is dst of its partner. *)
+        let u = t.dst.(e lxor 1) in
+        if dist.(u) +. t.cost.(e) < dist.(t.dst.(e)) -. 1e-12 then begin
+          dist.(t.dst.(e)) <- dist.(u) +. t.cost.(e);
+          changed := true
+        end
+      end
+    done
+  done;
+  if !changed then failwith "Mcmf: negative cycle detected";
+  dist
+
+let min_cost_flow t ~source ~sink ?(max_flow = max_int) () =
+  if source < 0 || source >= t.n || sink < 0 || sink >= t.n then
+    invalid_arg "Mcmf.min_cost_flow: endpoint out of range";
+  let has_negative = ref false in
+  for e = 0 to t.n_edges - 1 do
+    if t.cap.(e) > 0 && t.cost.(e) < 0. then has_negative := true
+  done;
+  let pot =
+    if !has_negative then begin
+      let d = bellman_ford t source in
+      Array.map (fun x -> if x = infinity then 0. else x) d
+    end
+    else Array.make t.n 0.
+  in
+  let total_flow = ref 0 in
+  let total_cost = ref 0. in
+  let dist = Array.make t.n infinity in
+  let pred_edge = Array.make t.n (-1) in
+  let continue_ = ref true in
+  while !continue_ && !total_flow < max_flow do
+    (* Dijkstra on reduced costs. *)
+    Array.fill dist 0 t.n infinity;
+    Array.fill pred_edge 0 t.n (-1);
+    dist.(source) <- 0.;
+    (* Array-scan Dijkstra: O(n^2 + m) per augmentation, fine for the
+       bipartite networks we build (hundreds of nodes). *)
+    let settled = Array.make t.n false in
+    let remaining = ref t.n in
+    while !remaining > 0 do
+      (* Extract unsettled node with min dist. *)
+      let best = ref (-1) in
+      let bestd = ref infinity in
+      for v = 0 to t.n - 1 do
+        if (not settled.(v)) && dist.(v) < !bestd then begin
+          bestd := dist.(v);
+          best := v
+        end
+      done;
+      if !best < 0 then remaining := 0
+      else begin
+        let u = !best in
+        settled.(u) <- true;
+        decr remaining;
+        List.iter
+          (fun e ->
+            if t.cap.(e) > 0 then begin
+              let v = t.dst.(e) in
+              let rc = t.cost.(e) +. pot.(u) -. pot.(v) in
+              let nd = dist.(u) +. rc in
+              if nd < dist.(v) -. 1e-12 then begin
+                dist.(v) <- nd;
+                pred_edge.(v) <- e
+              end
+            end)
+          t.adj.(u)
+      end
+    done;
+    if dist.(sink) = infinity then continue_ := false
+    else begin
+      (* Update potentials. *)
+      for v = 0 to t.n - 1 do
+        if dist.(v) < infinity then pot.(v) <- pot.(v) +. dist.(v)
+      done;
+      (* Bottleneck along the path. *)
+      let bottleneck = ref (max_flow - !total_flow) in
+      let v = ref sink in
+      while !v <> source do
+        let e = pred_edge.(!v) in
+        if t.cap.(e) < !bottleneck then bottleneck := t.cap.(e);
+        v := t.dst.(e lxor 1)
+      done;
+      (* Augment. *)
+      let v = ref sink in
+      while !v <> source do
+        let e = pred_edge.(!v) in
+        t.cap.(e) <- t.cap.(e) - !bottleneck;
+        t.cap.(e lxor 1) <- t.cap.(e lxor 1) + !bottleneck;
+        total_cost := !total_cost +. (float_of_int !bottleneck *. t.cost.(e));
+        v := t.dst.(e lxor 1)
+      done;
+      total_flow := !total_flow + !bottleneck
+    end
+  done;
+  (!total_flow, !total_cost)
+
+let flow_on_edges t =
+  List.rev_map
+    (fun e ->
+      let flow = t.cap.(e lxor 1) in
+      let src = t.dst.(e lxor 1) in
+      (src, t.dst.(e), flow, t.cost.(e)))
+    (List.filter (fun e -> t.cap.(e lxor 1) > 0) t.original)

@@ -1,0 +1,26 @@
+(** Min-cost max-flow (successive shortest paths with potentials).
+
+    Integer capacities, float costs (possibly negative — handled by a
+    Bellman–Ford bootstrap of the potentials). Used to extract the
+    integral matching inside the Shmoys–Tardos GAP rounding, and as an
+    exact oracle for unit-load assignment problems in tests and
+    experiments. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a flow network on [n] nodes and no arcs. *)
+
+val add_edge : t -> src:int -> dst:int -> capacity:int -> cost:float -> unit
+(** Adds a directed arc (and its zero-capacity residual).
+    @raise Invalid_argument on negative capacity or bad endpoints. *)
+
+val min_cost_flow : t -> source:int -> sink:int -> ?max_flow:int -> unit -> int * float
+(** [min_cost_flow t ~source ~sink ()] pushes flow along successive
+    shortest (reduced-cost) paths until the sink is saturated or
+    [max_flow] is reached; returns [(flow_value, total_cost)]. The
+    network is consumed (capacities mutate); call on a fresh [t]. *)
+
+val flow_on_edges : t -> (int * int * int * float) list
+(** After {!min_cost_flow}: [(src, dst, flow, cost)] for every original
+    arc carrying positive flow. *)

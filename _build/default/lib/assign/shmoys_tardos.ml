@@ -1,0 +1,133 @@
+type rounded = {
+  assignment : Gap.assignment;
+  cost : float;
+  loads : float array;
+}
+
+let mass_eps = 1e-9
+
+let validate (g : Gap.t) y =
+  if Array.length y <> g.n_machines then invalid_arg "Shmoys_tardos.round: bad y shape";
+  Array.iter
+    (fun row ->
+      if Array.length row <> g.n_jobs then invalid_arg "Shmoys_tardos.round: bad y shape")
+    y;
+  for j = 0 to g.n_jobs - 1 do
+    let total = ref 0. in
+    for i = 0 to g.n_machines - 1 do
+      let v = y.(i).(j) in
+      if v < -.mass_eps then invalid_arg "Shmoys_tardos.round: negative fraction";
+      if v > mass_eps && not (g.allowed.(i).(j)) then
+        invalid_arg "Shmoys_tardos.round: mass on forbidden pair";
+      total := !total +. v
+    done;
+    if Float.abs (!total -. 1.) > 1e-6 then
+      invalid_arg "Shmoys_tardos.round: job fractions do not sum to 1"
+  done
+
+(* A slot holds up to one unit of fractional job mass. *)
+type slot = { machine : int; mutable jobs : int list }
+
+let build_slots (g : Gap.t) y =
+  let slots = ref [] in
+  let n_slots = ref 0 in
+  for i = 0 to g.n_machines - 1 do
+    (* Jobs with positive mass on machine i, heaviest first. *)
+    let jobs = ref [] in
+    for j = 0 to g.n_jobs - 1 do
+      if y.(i).(j) > mass_eps then jobs := j :: !jobs
+    done;
+    let jobs =
+      List.sort (fun a b -> compare g.load.(i).(b) g.load.(i).(a)) !jobs
+    in
+    if jobs <> [] then begin
+      let current = ref { machine = i; jobs = [] } in
+      let remaining = ref 1. in
+      let open_slot () =
+        slots := !current :: !slots;
+        incr n_slots
+      in
+      let fresh () =
+        current := { machine = i; jobs = [] };
+        remaining := 1.
+      in
+      List.iter
+        (fun j ->
+          let f = ref y.(i).(j) in
+          while !f > mass_eps do
+            let put = Float.min !f !remaining in
+            !current.jobs <- j :: !current.jobs;
+            f := !f -. put;
+            remaining := !remaining -. put;
+            if !remaining <= mass_eps then begin
+              open_slot ();
+              fresh ()
+            end
+          done)
+        jobs;
+      if !current.jobs <> [] then open_slot ()
+    end
+  done;
+  Array.of_list (List.rev !slots)
+
+let round (g : Gap.t) y =
+  validate g y;
+  let slots = build_slots g y in
+  let n_slots = Array.length slots in
+  (* Flow network: 0 = source; 1..n_jobs = jobs; then slots; last =
+     sink. *)
+  let source = 0 in
+  let job_node j = 1 + j in
+  let slot_node s = 1 + g.n_jobs + s in
+  let sink = 1 + g.n_jobs + n_slots in
+  let net = Mcmf.create (sink + 1) in
+  for j = 0 to g.n_jobs - 1 do
+    Mcmf.add_edge net ~src:source ~dst:(job_node j) ~capacity:1 ~cost:0.
+  done;
+  Array.iteri
+    (fun s slot ->
+      Mcmf.add_edge net ~src:(slot_node s) ~dst:sink ~capacity:1 ~cost:0.;
+      List.iter
+        (fun j ->
+          Mcmf.add_edge net ~src:(job_node j) ~dst:(slot_node s) ~capacity:1
+            ~cost:g.cost.(slot.machine).(j))
+        (List.sort_uniq compare slot.jobs))
+    slots;
+  let flow, _ = Mcmf.min_cost_flow net ~source ~sink () in
+  if flow <> g.n_jobs then
+    failwith "Shmoys_tardos.round: integral matching incomplete (numerical trouble)";
+  let assignment = Array.make g.n_jobs (-1) in
+  List.iter
+    (fun (src, dst, fl, _) ->
+      if fl > 0 && src >= 1 && src <= g.n_jobs && dst > g.n_jobs && dst < sink then begin
+        let j = src - 1 in
+        let s = dst - 1 - g.n_jobs in
+        assignment.(j) <- slots.(s).machine
+      end)
+    (Mcmf.flow_on_edges net);
+  Array.iter (fun i -> assert (i >= 0)) assignment;
+  {
+    assignment;
+    cost = Gap.assignment_cost g assignment;
+    loads = Gap.machine_loads g assignment;
+  }
+
+let solve g =
+  match Gap_lp.solve g with
+  | None -> None
+  | Some { Gap_lp.y; _ } -> Some (round g y)
+
+let check_guarantees (g : Gap.t) y rounded =
+  let frac_cost = ref 0. in
+  for i = 0 to g.n_machines - 1 do
+    for j = 0 to g.n_jobs - 1 do
+      if y.(i).(j) > 0. then frac_cost := !frac_cost +. (g.cost.(i).(j) *. y.(i).(j))
+    done
+  done;
+  let cost_ok = Qp_util.Floatx.leq ~tol:1e-6 rounded.cost !frac_cost in
+  let loads_ok = ref true in
+  for i = 0 to g.n_machines - 1 do
+    let bound = g.budget.(i) +. Gap.max_job_load g i in
+    if not (Qp_util.Floatx.leq ~tol:1e-6 rounded.loads.(i) bound) then loads_ok := false
+  done;
+  cost_ok && !loads_ok

@@ -1,0 +1,34 @@
+(** The Shmoys–Tardos rounding for GAP (Theorem 3.11 of the paper,
+    [Shmoys–Tardos 93]).
+
+    Given a fractional solution of the GAP LP, produces an integral
+    assignment whose cost is at most the fractional cost and whose
+    load on each machine [i] is at most [T_i + pmax_i], where [pmax_i]
+    is the largest load of any job fractionally assigned to [i].
+
+    Implementation: each machine [i] is expanded into
+    [ceil (sum_j y_ij)] unit-capacity slots, filled with job fractions
+    in non-increasing load order; the restriction of [y] to slots is a
+    fractional perfect matching of the jobs, so an integral min-cost
+    matching of no greater cost exists and is extracted with
+    {!Mcmf}. *)
+
+type rounded = {
+  assignment : Gap.assignment;
+  cost : float;
+  loads : float array; (* resulting machine loads *)
+}
+
+val round : Gap.t -> float array array -> rounded
+(** [round gap y] rounds a fractional solution [y] (machine -> job ->
+    fraction; rows summing to 1 per job over machines).
+    @raise Invalid_argument if [y] is not a fractional assignment. *)
+
+val solve : Gap.t -> rounded option
+(** LP solve ({!Gap_lp.solve}) followed by {!round}; [None] if the
+    relaxation is infeasible. *)
+
+val check_guarantees : Gap.t -> float array array -> rounded -> bool
+(** Verifies the two Theorem 3.11 guarantees against a fractional
+    solution: cost at most the fractional cost, and machine loads at
+    most [T_i + pmax_i] (both with 1e-6 tolerance). *)

@@ -1,0 +1,1 @@
+lib/design/design.ml: Array Float List Qp_graph Qp_quorum

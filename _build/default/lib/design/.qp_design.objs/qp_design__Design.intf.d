@@ -1,0 +1,1 @@
+lib/design/design.mli: Qp_graph Qp_quorum

@@ -1,0 +1,53 @@
+(** Quorum DESIGN problems from the paper's Related Work (Section 2).
+
+    These predate the paper's placement formulation: instead of
+    placing a given system, they design a quorum system Q over the
+    graph's own vertex set to minimize how far clients are from their
+    closest quorum. Load is deliberately ignored — the paper's
+    critique — and the functions here exist to reproduce that
+    critique quantitatively (experiment E12).
+
+    Objectives (distances in the graph metric,
+    [delta(v, Q) = max_{u in Q} d(v, u)]):
+
+    - min-max   [Tsuchiya et al. 99]:  minimize
+      [max_v min_{Q in family} delta(v, Q)];
+    - min-avg   [Kobayashi et al. 01, NP-hard per Lin 01]:  minimize
+      [Avg_v min_{Q in family} delta(v, Q)]. *)
+
+val eccentricity_of_design : Qp_graph.Metric.t -> Qp_quorum.Quorum.system -> float
+(** [max_v min_Q delta(v, Q)] for a system over universe = vertices. *)
+
+val mean_delay_of_design : Qp_graph.Metric.t -> Qp_quorum.Quorum.system -> float
+(** [Avg_v min_Q delta(v, Q)]. *)
+
+val minmax_optimal_radius : Qp_graph.Metric.t -> float
+(** The exact optimum of the min-max objective. A system achieving
+    radius [r] exists iff all closed balls [B_r(v)] pairwise
+    intersect (take the balls themselves as quorums), so the optimum
+    is the smallest pairwise-intersection radius — computable in
+    O(n^3) over the distinct distance values. *)
+
+val minmax_optimal_design : Qp_graph.Metric.t -> Qp_quorum.Quorum.system
+(** The ball family realizing {!minmax_optimal_radius}. *)
+
+val lin_median_design : Qp_graph.Metric.t -> int * Qp_quorum.Quorum.system
+(** Lin's 2-approximation for the (NP-hard) min-avg objective: the
+    single singleton quorum at the 1-median. Returns the median and
+    the system. Guarantee: its mean delay is at most twice the
+    optimal mean delay of ANY quorum system (see [lin_certificate]).
+    This is the solution the paper criticizes: system load 1, no
+    dispersion. *)
+
+val minavg_lower_bound : Qp_graph.Metric.t -> float
+(** A certified lower bound on the min-avg optimum:
+    for any system, quorums of two clients intersect, so
+    [d(v, v') <= delta_v + delta_{v'}]; averaging over pairs gives
+    [OPT >= (1/2) * min_v0 Avg_v d(v, v0) ... ] — concretely
+    [Avg_{v,v'} d(v,v') / 2]. *)
+
+val minavg_exhaustive : Qp_graph.Metric.t -> float
+(** TRUE min-avg optimum, by enumerating every non-empty family of
+    pairwise-intersecting non-empty subsets of the vertex set
+    ([2^(2^n - 1)] candidates). Guarded to [n <= 4]. Oracle for the
+    approximation tests. *)

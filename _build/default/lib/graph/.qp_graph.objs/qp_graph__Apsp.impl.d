@@ -1,0 +1,1 @@
+lib/graph/apsp.ml: Array Dijkstra Graph

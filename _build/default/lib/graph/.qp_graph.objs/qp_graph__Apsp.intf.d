@@ -1,0 +1,1 @@
+lib/graph/apsp.mli: Graph

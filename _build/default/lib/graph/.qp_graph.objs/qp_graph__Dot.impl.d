@@ -1,0 +1,1 @@
+lib/graph/dot.ml: Buffer Fun Graph List Printf

@@ -1,0 +1,1 @@
+lib/graph/graph_props.ml: Array Float Metric

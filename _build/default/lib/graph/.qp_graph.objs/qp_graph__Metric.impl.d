@@ -1,0 +1,1 @@
+lib/graph/metric.ml: Array Dijkstra Format Graph Qp_util

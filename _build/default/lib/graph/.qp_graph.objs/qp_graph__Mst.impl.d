@@ -1,0 +1,1 @@
+lib/graph/mst.ml: Graph List Union_find

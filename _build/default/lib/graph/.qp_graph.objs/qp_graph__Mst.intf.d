@@ -1,0 +1,1 @@
+lib/graph/mst.mli: Graph

@@ -1,0 +1,25 @@
+let repeated_dijkstra g =
+  Array.init (Graph.n_vertices g) (fun src -> Dijkstra.distances g src)
+
+let floyd_warshall g =
+  let n = Graph.n_vertices g in
+  let d = Array.make_matrix n n infinity in
+  for i = 0 to n - 1 do
+    d.(i).(i) <- 0.
+  done;
+  Graph.iter_edges g (fun u v len ->
+      if len < d.(u).(v) then begin
+        d.(u).(v) <- len;
+        d.(v).(u) <- len
+      end);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let dik = d.(i).(k) in
+      if dik < infinity then
+        for j = 0 to n - 1 do
+          let via = dik +. d.(k).(j) in
+          if via < d.(i).(j) then d.(i).(j) <- via
+        done
+    done
+  done;
+  d

@@ -1,0 +1,12 @@
+(** All-pairs shortest paths.
+
+    Two independent implementations: repeated Dijkstra (the production
+    path, used by {!Metric.of_graph}) and Floyd–Warshall (used as a
+    cross-check oracle in property tests). *)
+
+val repeated_dijkstra : Graph.t -> float array array
+(** Distance matrix via n Dijkstra runs; [infinity] for unreachable
+    pairs. *)
+
+val floyd_warshall : Graph.t -> float array array
+(** Distance matrix via Floyd–Warshall dynamic programming. *)

@@ -1,0 +1,37 @@
+let distances_with_parents g src =
+  let n = Graph.n_vertices g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra: source out of range";
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create () in
+  dist.(src) <- 0.;
+  Heap.push heap 0. src;
+  let rec loop () =
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (d, v) ->
+        if not settled.(v) then begin
+          settled.(v) <- true;
+          Graph.iter_neighbors g v (fun w len ->
+              let nd = d +. len in
+              if nd < dist.(w) then begin
+                dist.(w) <- nd;
+                parent.(w) <- v;
+                Heap.push heap nd w
+              end)
+        end;
+        loop ()
+  in
+  loop ();
+  (dist, parent)
+
+let distances g src = fst (distances_with_parents g src)
+
+let path g src dst =
+  let dist, parent = distances_with_parents g src in
+  if dist.(dst) = infinity then None
+  else begin
+    let rec build v acc = if v = src then src :: acc else build parent.(v) (v :: acc) in
+    Some (build dst [])
+  end

@@ -1,0 +1,17 @@
+(** Single-source shortest paths (Dijkstra with a binary heap).
+
+    Edge lengths are positive by construction of {!Graph.t}, so
+    Dijkstra's invariant holds. Unreachable vertices get distance
+    [infinity]. *)
+
+val distances : Graph.t -> int -> float array
+(** [distances g src] is the array of shortest-path distances from
+    [src]; [infinity] for unreachable vertices. *)
+
+val distances_with_parents : Graph.t -> int -> float array * int array
+(** Also returns the shortest-path tree: [parents.(v)] is the
+    predecessor of [v] ([-1] for the source and unreachable nodes). *)
+
+val path : Graph.t -> int -> int -> int list option
+(** [path g src dst] is a shortest path as a vertex list from [src] to
+    [dst], or [None] if unreachable. *)

@@ -1,0 +1,218 @@
+module Rng = Qp_util.Rng
+
+let path n =
+  if n < 1 then invalid_arg "Generators.path: n >= 1 required";
+  let g = Graph.create n in
+  for i = 0 to n - 2 do
+    Graph.add_edge g i (i + 1) 1.
+  done;
+  g
+
+let weighted_path lens =
+  let n = Array.length lens + 1 in
+  let g = Graph.create n in
+  Array.iteri (fun i len -> Graph.add_edge g i (i + 1) len) lens;
+  g
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: n >= 3 required";
+  let g = path n in
+  Graph.add_edge g (n - 1) 0 1.;
+  g
+
+let star n =
+  if n < 1 then invalid_arg "Generators.star: n >= 1 required";
+  let g = Graph.create n in
+  for i = 1 to n - 1 do
+    Graph.add_edge g 0 i 1.
+  done;
+  g
+
+let complete n =
+  if n < 1 then invalid_arg "Generators.complete: n >= 1 required";
+  let g = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Graph.add_edge g i j 1.
+    done
+  done;
+  g
+
+let grid2d rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.grid2d: dimensions >= 1 required";
+  let g = Graph.create (rows * cols) in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then Graph.add_edge g (id r c) (id r (c + 1)) 1.;
+      if r + 1 < rows then Graph.add_edge g (id r c) (id (r + 1) c) 1.
+    done
+  done;
+  g
+
+let torus2d rows cols =
+  if rows < 3 || cols < 3 then invalid_arg "Generators.torus2d: dimensions >= 3 required";
+  let g = grid2d rows cols in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    Graph.add_edge g (id r 0) (id r (cols - 1)) 1.
+  done;
+  for c = 0 to cols - 1 do
+    Graph.add_edge g (id 0 c) (id (rows - 1) c) 1.
+  done;
+  g
+
+let random_tree rng n =
+  if n < 1 then invalid_arg "Generators.random_tree: n >= 1 required";
+  let g = Graph.create n in
+  for v = 1 to n - 1 do
+    let parent = Rng.int rng v in
+    let len = 0.5 +. Rng.float rng 1.0 in
+    Graph.add_edge g v parent len
+  done;
+  g
+
+let erdos_renyi rng n p =
+  if n < 1 then invalid_arg "Generators.erdos_renyi: n >= 1 required";
+  if p < 0. || p > 1. then invalid_arg "Generators.erdos_renyi: p out of range";
+  let g = Graph.create n in
+  (* Random spanning-tree skeleton for connectivity. *)
+  let perm = Rng.permutation rng n in
+  for i = 1 to n - 1 do
+    let j = Rng.int rng i in
+    Graph.add_edge g perm.(i) perm.(j) 1.
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.uniform rng < p then Graph.add_edge g i j 1.
+    done
+  done;
+  g
+
+let euclid (x1, y1) (x2, y2) =
+  let dx = x1 -. x2 and dy = y1 -. y2 in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let random_points rng n = Array.init n (fun _ ->
+    let x = Rng.uniform rng in
+    let y = Rng.uniform rng in
+    (x, y))
+
+(* Complete-graph MST over point distances, used to stitch geometric
+   graphs into one component without distorting the metric (MST edges
+   have true Euclidean lengths). *)
+let add_euclidean_mst g pts =
+  let n = Array.length pts in
+  let aux = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = euclid pts.(i) pts.(j) in
+      if d > 0. then Graph.add_edge aux i j d
+    done
+  done;
+  List.iter (fun (u, v, len) -> Graph.add_edge g u v len) (Mst.kruskal aux)
+
+let random_geometric rng n radius =
+  if n < 1 then invalid_arg "Generators.random_geometric: n >= 1 required";
+  if radius <= 0. then invalid_arg "Generators.random_geometric: radius must be positive";
+  let pts = random_points rng n in
+  let g = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = euclid pts.(i) pts.(j) in
+      if d > 0. && d <= radius then Graph.add_edge g i j d
+    done
+  done;
+  if not (Graph.is_connected g) then add_euclidean_mst g pts;
+  (g, pts)
+
+let waxman rng n ?(alpha = 0.4) ?(beta = 0.4) () =
+  if n < 1 then invalid_arg "Generators.waxman: n >= 1 required";
+  let pts = random_points rng n in
+  let l = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = euclid pts.(i) pts.(j) in
+      if d > !l then l := d
+    done
+  done;
+  let l = if !l = 0. then 1. else !l in
+  let g = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = euclid pts.(i) pts.(j) in
+      if d > 0. && Rng.uniform rng < beta *. exp (-.d /. (alpha *. l)) then
+        Graph.add_edge g i j d
+    done
+  done;
+  if not (Graph.is_connected g) then add_euclidean_mst g pts;
+  (g, pts)
+
+let transit_stub rng ~transits ~stubs_per_transit ~stub_size =
+  if transits < 3 then invalid_arg "Generators.transit_stub: transits >= 3 required";
+  if stubs_per_transit < 1 || stub_size < 1 then
+    invalid_arg "Generators.transit_stub: positive stub parameters required";
+  let per_transit = 1 + (stubs_per_transit * stub_size) in
+  let n = transits * per_transit in
+  let g = Graph.create n in
+  let transit t = t * per_transit in
+  (* Transit backbone: a cycle with a couple of chords. *)
+  for t = 0 to transits - 1 do
+    Graph.add_edge g (transit t) (transit ((t + 1) mod transits)) 1.0
+  done;
+  if transits > 3 then Graph.add_edge g (transit 0) (transit (transits / 2)) 1.0;
+  for t = 0 to transits - 1 do
+    for s = 0 to stubs_per_transit - 1 do
+      let base = transit t + 1 + (s * stub_size) in
+      (* Uplink from the first stub node, then a short local path plus
+         random local chords. *)
+      Graph.add_edge g base (transit t) 0.5;
+      for i = 0 to stub_size - 2 do
+        Graph.add_edge g (base + i) (base + i + 1) 0.1
+      done;
+      for i = 0 to stub_size - 1 do
+        for j = i + 2 to stub_size - 1 do
+          if Rng.uniform rng < 0.3 then Graph.add_edge g (base + i) (base + j) 0.1
+        done
+      done
+    done
+  done;
+  g
+
+let integrality_gap_graph k =
+  if k < 2 then invalid_arg "Generators.integrality_gap_graph: k >= 2 required";
+  let n = k * k in
+  let g = Graph.create n in
+  (* v0 = 0; spokes 1 .. n-k at distance 1. *)
+  for v = 1 to n - k do
+    Graph.add_edge g 0 v 1.
+  done;
+  (* A path continuing from spoke (n-k): distances 2 .. k. *)
+  for i = 0 to k - 2 do
+    Graph.add_edge g (n - k + i) (n - k + i + 1) 1.
+  done;
+  g
+
+let barbell k =
+  if k < 1 then invalid_arg "Generators.barbell: k >= 1 required";
+  let g = Graph.create (2 * k) in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      Graph.add_edge g i j 1.;
+      Graph.add_edge g (k + i) (k + j) 1.
+    done
+  done;
+  Graph.add_edge g 0 k 1.;
+  g
+
+let caterpillar rng n =
+  if n < 1 then invalid_arg "Generators.caterpillar: n >= 1 required";
+  let spine = Stdlib.max 1 (n / 2) in
+  let g = Graph.create n in
+  for i = 0 to spine - 2 do
+    Graph.add_edge g i (i + 1) 1.
+  done;
+  for v = spine to n - 1 do
+    Graph.add_edge g v (Rng.int rng spine) 1.
+  done;
+  g

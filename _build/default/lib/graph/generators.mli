@@ -1,0 +1,70 @@
+(** Network topology generators.
+
+    All generators return connected graphs. Random generators take a
+    {!Qp_util.Rng.t} so that instances are reproducible. Positions used
+    by the geometric models are also returned when callers want to plot
+    or export them. *)
+
+val path : int -> Graph.t
+(** [path n]: vertices [0..n-1], unit edges [i -- i+1]. *)
+
+val weighted_path : float array -> Graph.t
+(** [weighted_path lens]: a path whose i-th edge has length
+    [lens.(i)]. *)
+
+val cycle : int -> Graph.t
+(** Unit-length cycle; requires [n >= 3]. *)
+
+val star : int -> Graph.t
+(** [star n]: center 0 with [n-1] unit spokes. *)
+
+val complete : int -> Graph.t
+(** Unit-length complete graph. *)
+
+val grid2d : int -> int -> Graph.t
+(** [grid2d rows cols] lattice with unit edges; vertex [(r,c)] has id
+    [r*cols + c]. *)
+
+val torus2d : int -> int -> Graph.t
+(** Same with wraparound edges; requires both dimensions [>= 3]. *)
+
+val random_tree : Qp_util.Rng.t -> int -> Graph.t
+(** Uniform random recursive tree with edge lengths drawn uniformly
+    from [\[0.5, 1.5\]]. *)
+
+val erdos_renyi : Qp_util.Rng.t -> int -> float -> Graph.t
+(** [erdos_renyi rng n p] with unit edges; a uniform spanning-tree
+    skeleton is added first so the result is always connected. *)
+
+val random_geometric : Qp_util.Rng.t -> int -> float -> Graph.t * (float * float) array
+(** [random_geometric rng n radius]: points uniform in the unit square,
+    edges between pairs within [radius], lengths = Euclidean distances.
+    MST edges are added to guarantee connectivity. *)
+
+val waxman : Qp_util.Rng.t -> int -> ?alpha:float -> ?beta:float -> unit -> Graph.t * (float * float) array
+(** Waxman's classic random WAN model: points uniform in the unit
+    square, edge [{u,v}] present with probability
+    [beta * exp (-d(u,v) / (alpha * L))] where [L] is the maximum
+    inter-point distance; edge lengths are Euclidean. MST edges added
+    for connectivity. Defaults: [alpha = 0.4], [beta = 0.4]. *)
+
+val transit_stub : Qp_util.Rng.t -> transits:int -> stubs_per_transit:int -> stub_size:int -> Graph.t
+(** Two-level WAN hierarchy (a simplified GT-ITM transit-stub model):
+    a unit-length cycle of transit routers, each attached to
+    [stubs_per_transit] stub networks of [stub_size] nodes; stub-local
+    edges are short (0.1), stub-to-transit uplinks medium (0.5),
+    transit-to-transit long (1.0), with a few random extra stub edges.
+    Total nodes: [transits * (1 + stubs_per_transit * stub_size)]. *)
+
+val integrality_gap_graph : int -> Graph.t
+(** The Figure-1 instance of Appendix A on [n = k*k] vertices: [v0 = 0]
+    with [n - k] unit-length spokes, one of which continues into a path
+    of [k - 1] further vertices, so the sorted distances from [v0] are
+    [1] (n-k times) then [2, 3, ..., k]. Requires [k >= 2]. *)
+
+val barbell : int -> Graph.t
+(** Two unit-length cliques of size [k] joined by a single edge;
+    [2k] vertices. Used as a clustered-topology stress case. *)
+
+val caterpillar : Qp_util.Rng.t -> int -> Graph.t
+(** A random path with random unit-length legs; [n] total vertices. *)

@@ -1,0 +1,79 @@
+type t = { n : int; d : float array array }
+
+let size t = t.n
+
+let dist t i j = t.d.(i).(j)
+
+let of_matrix d =
+  let n = Array.length d in
+  Array.iter (fun row -> if Array.length row <> n then invalid_arg "Metric.of_matrix: not square") d;
+  for i = 0 to n - 1 do
+    if d.(i).(i) <> 0. then invalid_arg "Metric.of_matrix: non-zero diagonal";
+    for j = 0 to n - 1 do
+      if d.(i).(j) < 0. then invalid_arg "Metric.of_matrix: negative distance";
+      if not (Qp_util.Floatx.approx d.(i).(j) d.(j).(i)) then
+        invalid_arg "Metric.of_matrix: not symmetric"
+    done
+  done;
+  { n; d }
+
+let of_graph g =
+  if not (Graph.is_connected g) then invalid_arg "Metric.of_graph: disconnected graph";
+  let n = Graph.n_vertices g in
+  let d = Array.init n (fun src -> Dijkstra.distances g src) in
+  { n; d }
+
+let check_triangle ?(tol = Qp_util.Floatx.eps) t =
+  let result = ref None in
+  (try
+     for i = 0 to t.n - 1 do
+       for j = 0 to t.n - 1 do
+         for k = 0 to t.n - 1 do
+           if t.d.(i).(k) > t.d.(i).(j) +. t.d.(j).(k) +. tol then begin
+             result := Some (i, j, k);
+             raise Exit
+           end
+         done
+       done
+     done
+   with Exit -> ());
+  !result
+
+let nodes_by_distance t v0 =
+  let order = Array.init t.n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare t.d.(v0).(a) t.d.(v0).(b) in
+      if c <> 0 then c else compare a b)
+    order;
+  order
+
+let diameter t =
+  let best = ref 0. in
+  for i = 0 to t.n - 1 do
+    for j = i + 1 to t.n - 1 do
+      if t.d.(i).(j) > !best then best := t.d.(i).(j)
+    done
+  done;
+  !best
+
+let average_distance t v0 =
+  if t.n = 0 then 0.
+  else begin
+    let sum = ref 0. in
+    for v = 0 to t.n - 1 do
+      sum := !sum +. t.d.(v).(v0)
+    done;
+    !sum /. float_of_int t.n
+  end
+
+let scale t factor =
+  if factor <= 0. then invalid_arg "Metric.scale: non-positive factor";
+  { n = t.n; d = Array.map (Array.map (fun x -> x *. factor)) t.d }
+
+let submetric t keep =
+  let k = Array.length keep in
+  Array.iter (fun v -> if v < 0 || v >= t.n then invalid_arg "Metric.submetric: vertex out of range") keep;
+  { n = k; d = Array.init k (fun i -> Array.init k (fun j -> t.d.(keep.(i)).(keep.(j)))) }
+
+let pp ppf t = Format.fprintf ppf "metric(n=%d, diam=%.3f)" t.n (diameter t)

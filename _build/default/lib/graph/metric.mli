@@ -1,0 +1,44 @@
+(** Finite metric spaces.
+
+    The placement algorithms never look at graph structure directly;
+    they consume a metric — the shortest-path closure of a network, or
+    a synthetic metric such as the integrality-gap instances of
+    Appendix A. *)
+
+type t
+
+val size : t -> int
+val dist : t -> int -> int -> float
+
+val of_matrix : float array array -> t
+(** Wraps a square matrix. @raise Invalid_argument unless the matrix is
+    square, symmetric, non-negative, with a zero diagonal. Triangle
+    inequality is NOT enforced here; use {!check_triangle}. *)
+
+val of_graph : Graph.t -> t
+(** Shortest-path metric of a connected graph (runs Dijkstra from every
+    vertex). @raise Invalid_argument if the graph is disconnected. *)
+
+val check_triangle : ?tol:float -> t -> (int * int * int) option
+(** Returns a violating triple [(i, j, k)] with
+    [dist i k > dist i j + dist j k], or [None] if the triangle
+    inequality holds everywhere. *)
+
+val nodes_by_distance : t -> int -> int array
+(** [nodes_by_distance m v0] lists all vertices sorted by increasing
+    distance from [v0], starting with [v0] itself. Ties are broken by
+    vertex id, making the order deterministic. *)
+
+val diameter : t -> float
+val average_distance : t -> int -> float
+(** [average_distance m v0] = Avg_v d(v, v0), the constant that appears
+    in the relay decomposition (Eq. 8 of the paper). *)
+
+val scale : t -> float -> t
+(** Multiplies all distances by a positive factor. *)
+
+val submetric : t -> int array -> t
+(** [submetric m keep] restricts to the listed vertices (renumbered in
+    array order). *)
+
+val pp : Format.formatter -> t -> unit

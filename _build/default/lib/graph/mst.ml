@@ -1,0 +1,7 @@
+let kruskal g =
+  let es = Graph.edges g in
+  let sorted = List.sort (fun (_, _, a) (_, _, b) -> compare a b) es in
+  let uf = Union_find.create (Graph.n_vertices g) in
+  List.filter (fun (u, v, _) -> Union_find.union uf u v) sorted
+
+let total_weight es = List.fold_left (fun acc (_, _, w) -> acc +. w) 0. es

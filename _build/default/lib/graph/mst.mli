@@ -1,0 +1,9 @@
+(** Minimum spanning tree / forest (Kruskal).
+
+    Used by the Waxman generator to guarantee connectivity and by
+    tests. *)
+
+val kruskal : Graph.t -> (int * int * float) list
+(** Edges of a minimum spanning forest. *)
+
+val total_weight : (int * int * float) list -> float

@@ -1,0 +1,12 @@
+(** Disjoint-set forest with path compression and union by rank. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> bool
+(** [union t a b] merges the two classes; returns [false] when they
+    were already merged. *)
+
+val same : t -> int -> int -> bool
+val n_classes : t -> int

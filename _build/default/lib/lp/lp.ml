@@ -1,0 +1,71 @@
+type cmp = Le | Ge | Eq
+
+type constr = { terms : (int * float) list; cmp : cmp; rhs : float }
+
+type t = {
+  n : int;
+  obj : float array;
+  mutable rows : constr list; (* reverse insertion order *)
+  mutable n_rows : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Lp.create: negative variable count";
+  { n; obj = Array.make n 0.; rows = []; n_rows = 0 }
+
+let n_vars t = t.n
+
+let n_constraints t = t.n_rows
+
+let check_var t v name =
+  if v < 0 || v >= t.n then invalid_arg ("Lp." ^ name ^ ": variable out of range")
+
+let set_objective t v c =
+  check_var t v "set_objective";
+  t.obj.(v) <- c
+
+let add_objective t v c =
+  check_var t v "add_objective";
+  t.obj.(v) <- t.obj.(v) +. c
+
+let objective t = Array.copy t.obj
+
+let merge_terms terms =
+  let tbl = Hashtbl.create (List.length terms) in
+  List.iter
+    (fun (v, c) ->
+      let cur = try Hashtbl.find tbl v with Not_found -> 0. in
+      Hashtbl.replace tbl v (cur +. c))
+    terms;
+  Hashtbl.fold (fun v c acc -> if c = 0. then acc else (v, c) :: acc) tbl []
+
+let add_constraint t terms cmp rhs =
+  List.iter (fun (v, _) -> check_var t v "add_constraint") terms;
+  t.rows <- { terms = merge_terms terms; cmp; rhs } :: t.rows;
+  t.n_rows <- t.n_rows + 1
+
+let constraints t = List.rev t.rows
+
+let eval_terms terms x = List.fold_left (fun acc (v, c) -> acc +. (c *. x.(v))) 0. terms
+
+let is_feasible ?(tol = 1e-7) t x =
+  Array.length x = t.n
+  && Array.for_all (fun xi -> xi >= -.tol) x
+  && List.for_all
+       (fun { terms; cmp; rhs } ->
+         let lhs = eval_terms terms x in
+         let slack_scale = Float.max 1. (Float.abs rhs) in
+         match cmp with
+         | Le -> lhs <= rhs +. (tol *. slack_scale)
+         | Ge -> lhs >= rhs -. (tol *. slack_scale)
+         | Eq -> Float.abs (lhs -. rhs) <= tol *. slack_scale)
+       t.rows
+
+let objective_value t x =
+  let acc = ref 0. in
+  for v = 0 to t.n - 1 do
+    acc := !acc +. (t.obj.(v) *. x.(v))
+  done;
+  !acc
+
+let pp ppf t = Format.fprintf ppf "lp(vars=%d, rows=%d)" t.n t.n_rows

@@ -1,0 +1,48 @@
+(** Linear-program model builder.
+
+    Variables are dense ints [0 .. n_vars-1], all constrained to be
+    non-negative (the placement LPs of the paper only need [x >= 0];
+    upper bounds are expressed as rows). The objective is always
+    MINIMIZED; negate coefficients to maximize.
+
+    Models are consumed by {!Simplex.solve}. *)
+
+type cmp = Le | Ge | Eq
+
+type constr = { terms : (int * float) list; cmp : cmp; rhs : float }
+
+type t
+
+val create : int -> t
+(** [create n] is a model with [n] non-negative variables and zero
+    objective. *)
+
+val n_vars : t -> int
+val n_constraints : t -> int
+
+val set_objective : t -> int -> float -> unit
+(** [set_objective lp v c] sets the objective coefficient of variable
+    [v] to [c] (overwrites). *)
+
+val add_objective : t -> int -> float -> unit
+(** Adds to the existing coefficient. *)
+
+val objective : t -> float array
+
+val add_constraint : t -> (int * float) list -> cmp -> float -> unit
+(** [add_constraint lp terms cmp rhs] appends a row
+    [sum_i c_i x_i cmp rhs]. Duplicate variable mentions are summed.
+    @raise Invalid_argument on out-of-range variables. *)
+
+val constraints : t -> constr list
+(** Rows in insertion order. *)
+
+val eval_terms : (int * float) list -> float array -> float
+(** Dot product of a row with a point. *)
+
+val is_feasible : ?tol:float -> t -> float array -> bool
+(** Checks non-negativity and every row at the given point. *)
+
+val objective_value : t -> float array -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,344 @@
+type outcome =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+let eps_rc = 1e-9 (* reduced-cost optimality tolerance *)
+let eps_piv = 1e-9 (* minimum pivot magnitude *)
+let eps_zero = 1e-11
+
+(* Mutable tableau kept in canonical form: basis columns are unit
+   vectors, [b] is non-negative, [basis.(i)] names the basic variable
+   of row i. *)
+type tableau = {
+  mutable m : int; (* active rows *)
+  ncols : int;
+  a : float array array; (* m x ncols *)
+  b : float array;
+  basis : int array;
+}
+
+let pivot t ~row ~col =
+  let arow = t.a.(row) in
+  let p = arow.(col) in
+  let inv = 1. /. p in
+  for j = 0 to t.ncols - 1 do
+    arow.(j) <- arow.(j) *. inv
+  done;
+  arow.(col) <- 1.;
+  t.b.(row) <- t.b.(row) *. inv;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let f = t.a.(i).(col) in
+      if Float.abs f > eps_zero then begin
+        let ai = t.a.(i) in
+        for j = 0 to t.ncols - 1 do
+          ai.(j) <- ai.(j) -. (f *. arow.(j))
+        done;
+        ai.(col) <- 0.;
+        t.b.(i) <- t.b.(i) -. (f *. t.b.(row));
+        if t.b.(i) < 0. && t.b.(i) > -1e-11 then t.b.(i) <- 0.
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Reduced costs r_j = c_j - sum_i c_B(i) * T(i,j), and the objective
+   value of the current basic solution, computed from scratch. *)
+let reduced_costs t cost =
+  let r = Array.copy cost in
+  let z = ref 0. in
+  for i = 0 to t.m - 1 do
+    let cb = cost.(t.basis.(i)) in
+    if cb <> 0. then begin
+      z := !z +. (cb *. t.b.(i));
+      let ai = t.a.(i) in
+      for j = 0 to t.ncols - 1 do
+        r.(j) <- r.(j) -. (cb *. ai.(j))
+      done
+    end
+  done;
+  (r, !z)
+
+(* Update the reduced-cost row after a pivot on (row, col): r gets
+   r_col * (pivot row) subtracted. Call AFTER the tableau pivot. *)
+let update_reduced_costs t r ~row ~col =
+  let f = r.(col) in
+  if Float.abs f > eps_zero then begin
+    let arow = t.a.(row) in
+    for j = 0 to t.ncols - 1 do
+      r.(j) <- r.(j) -. (f *. arow.(j))
+    done;
+    r.(col) <- 0.
+  end
+
+type phase_result = Phase_optimal | Phase_unbounded
+
+(* Run simplex iterations on the current tableau with the given cost
+   vector until optimal or unbounded. [allowed col] gates the entering
+   variable (used to keep artificials out in phase 2). Dantzig pricing
+   with a permanent switch to Bland's rule after [stall_limit]
+   consecutive non-improving pivots. *)
+let optimize t cost ~allowed ~max_pivots =
+  let r, _ = reduced_costs t cost in
+  let pivots = ref 0 in
+  let stall = ref 0 in
+  let bland = ref false in
+  let stall_limit = 20 * (t.m + t.ncols + 10) in
+  let rec loop () =
+    (* Entering column selection. *)
+    let enter = ref (-1) in
+    if !bland then begin
+      (try
+         for j = 0 to t.ncols - 1 do
+           if allowed j && r.(j) < -.eps_rc then begin
+             enter := j;
+             raise Exit
+           end
+         done
+       with Exit -> ())
+    end
+    else begin
+      let best = ref (-.eps_rc) in
+      for j = 0 to t.ncols - 1 do
+        if allowed j && r.(j) < !best then begin
+          best := r.(j);
+          enter := j
+        end
+      done
+    end;
+    if !enter < 0 then Phase_optimal
+    else begin
+      let col = !enter in
+      (* Ratio test; Bland tie-break on basis variable index. *)
+      let row = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to t.m - 1 do
+        let aij = t.a.(i).(col) in
+        if aij > eps_piv then begin
+          let ratio = t.b.(i) /. aij in
+          if
+            ratio < !best_ratio -. 1e-12
+            || (ratio < !best_ratio +. 1e-12
+               && !row >= 0
+               && t.basis.(i) < t.basis.(!row))
+          then begin
+            best_ratio := ratio;
+            row := i
+          end
+        end
+      done;
+      if !row < 0 then Phase_unbounded
+      else begin
+        pivot t ~row:!row ~col;
+        update_reduced_costs t r ~row:!row ~col;
+        incr pivots;
+        if !pivots > max_pivots then
+          failwith "Simplex: pivot budget exceeded (numerical trouble?)";
+        (* Degenerate pivots (zero ratio) do not improve the objective;
+           a long streak of them triggers the switch to Bland's rule,
+           which guarantees termination. *)
+        if !best_ratio <= 1e-12 then begin
+          incr stall;
+          if !stall > stall_limit then bland := true
+        end
+        else stall := 0;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+type certified = {
+  x : float array;
+  objective : float;
+  duals : float array;
+}
+
+type certified_outcome = Certified of certified | C_infeasible | C_unbounded
+
+(* Internal driver shared by [solve] and [solve_certified]. Tracks,
+   per original row, the unit column (slack / surplus / artificial)
+   whose phase-2 reduced cost encodes the row's dual multiplier, and
+   the sign mapping back to the original (pre-normalization)
+   orientation. *)
+let solve_internal ?max_pivots lp =
+  let n = Lp.n_vars lp in
+  let rows = Lp.constraints lp in
+  let m = List.length rows in
+  let max_pivots =
+    match max_pivots with Some v -> v | None -> 50_000 + (50 * (m + n))
+  in
+  (* Normalize rows to non-negative rhs and count extra columns. *)
+  let normalized =
+    List.map
+      (fun { Lp.terms; cmp; rhs } ->
+        if rhs < 0. then
+          let terms = List.map (fun (v, c) -> (v, -.c)) terms in
+          let cmp = match cmp with Lp.Le -> Lp.Ge | Lp.Ge -> Lp.Le | Lp.Eq -> Lp.Eq in
+          (terms, cmp, -.rhs)
+        else (terms, cmp, rhs))
+      rows
+  in
+  let n_slack =
+    List.length (List.filter (fun (_, c, _) -> c <> Lp.Eq) normalized)
+  in
+  let n_artificial =
+    List.length (List.filter (fun (_, c, _) -> c <> Lp.Le) normalized)
+  in
+  let ncols = n + n_slack + n_artificial in
+  let a = Array.init m (fun _ -> Array.make ncols 0.) in
+  let b = Array.make m 0. in
+  let basis = Array.make m (-1) in
+  let first_artificial = n + n_slack in
+  let slack_idx = ref n in
+  let art_idx = ref first_artificial in
+  (* (unit column, factor): original dual = factor * reduced_cost(col)
+     under the phase-2 objective. A slack/artificial column e_i gives
+     r = -y_i (factor -1); a surplus column -e_i gives r = +y_i
+     (factor +1). A row negated during normalization flips the
+     factor. *)
+  let row_dual = Array.make m (0, 0.) in
+  let flipped = List.map2 (fun { Lp.rhs; _ } (_, _, rhs') -> rhs < 0. && rhs' > 0.) rows
+      normalized in
+  List.iteri
+    (fun i (terms, cmp, rhs) ->
+      let flip_factor = if List.nth flipped i then -1. else 1. in
+      List.iter (fun (v, c) -> a.(i).(v) <- a.(i).(v) +. c) terms;
+      b.(i) <- rhs;
+      (match cmp with
+      | Lp.Le ->
+          a.(i).(!slack_idx) <- 1.;
+          basis.(i) <- !slack_idx;
+          row_dual.(i) <- (!slack_idx, -1. *. flip_factor);
+          incr slack_idx
+      | Lp.Ge ->
+          a.(i).(!slack_idx) <- -1.;
+          row_dual.(i) <- (!slack_idx, 1. *. flip_factor);
+          incr slack_idx;
+          a.(i).(!art_idx) <- 1.;
+          basis.(i) <- !art_idx;
+          incr art_idx
+      | Lp.Eq ->
+          a.(i).(!art_idx) <- 1.;
+          basis.(i) <- !art_idx;
+          row_dual.(i) <- (!art_idx, -1. *. flip_factor);
+          incr art_idx))
+    normalized;
+  let t = { m; ncols; a; b; basis } in
+  (* Phase 1: minimize the sum of artificials. *)
+  (if n_artificial > 0 then begin
+     let cost1 = Array.make ncols 0. in
+     for j = first_artificial to ncols - 1 do
+       cost1.(j) <- 1.
+     done;
+     match optimize t cost1 ~allowed:(fun _ -> true) ~max_pivots with
+     | Phase_unbounded -> assert false (* phase-1 objective bounded below by 0 *)
+     | Phase_optimal -> ()
+   end);
+  let phase1_value =
+    let v = ref 0. in
+    for i = 0 to t.m - 1 do
+      if t.basis.(i) >= first_artificial then v := !v +. t.b.(i)
+    done;
+    !v
+  in
+  if n_artificial > 0 && phase1_value > 1e-7 then C_infeasible
+  else begin
+    (* Drive any residual artificial out of the basis; rows where that
+       is impossible are redundant and are dropped. *)
+    let keep = Array.make t.m true in
+    for i = 0 to t.m - 1 do
+      if t.basis.(i) >= first_artificial then begin
+        let found = ref false in
+        let j = ref 0 in
+        while (not !found) && !j < first_artificial do
+          if Float.abs t.a.(i).(!j) > 1e-7 then begin
+            pivot t ~row:i ~col:!j;
+            found := true
+          end;
+          incr j
+        done;
+        if not !found then keep.(i) <- false
+      end
+    done;
+    (* Compact dropped rows. *)
+    let dst = ref 0 in
+    for i = 0 to t.m - 1 do
+      if keep.(i) then begin
+        if !dst <> i then begin
+          t.a.(!dst) <- t.a.(i);
+          t.b.(!dst) <- t.b.(i);
+          t.basis.(!dst) <- t.basis.(i)
+        end;
+        incr dst
+      end
+    done;
+    t.m <- !dst;
+    (* Phase 2. *)
+    let cost2 = Array.make ncols 0. in
+    let obj = Lp.objective lp in
+    Array.blit obj 0 cost2 0 n;
+    let allowed j = j < first_artificial in
+    match optimize t cost2 ~allowed ~max_pivots with
+    | Phase_unbounded -> C_unbounded
+    | Phase_optimal ->
+        let x = Array.make n 0. in
+        for i = 0 to t.m - 1 do
+          if t.basis.(i) < n then x.(t.basis.(i)) <- t.b.(i)
+        done;
+        (* Clean tiny negatives from roundoff. *)
+        Array.iteri (fun i xi -> if xi < 0. && xi > -1e-9 then x.(i) <- 0.) x;
+        let objective = Lp.objective_value lp x in
+        assert (Lp.is_feasible ~tol:1e-6 lp x);
+        let r, _ = reduced_costs t cost2 in
+        let duals = Array.map (fun (col, factor) -> factor *. r.(col)) row_dual in
+        Certified { x; objective; duals }
+  end
+
+let solve ?max_pivots lp =
+  match solve_internal ?max_pivots lp with
+  | C_infeasible -> Infeasible
+  | C_unbounded -> Unbounded
+  | Certified { x; objective; _ } -> Optimal { x; objective }
+
+let solve_certified ?max_pivots lp = solve_internal ?max_pivots lp
+
+let check_certificate ?(tol = 1e-6) lp (c : certified) =
+  let rows = Lp.constraints lp in
+  let duals = c.duals in
+  List.length rows = Array.length duals
+  && Lp.is_feasible ~tol lp c.x
+  && begin
+       (* Sign conditions and strong duality. *)
+       let signs_ok =
+         List.for_all2
+           (fun { Lp.cmp; _ } y ->
+             match cmp with
+             | Lp.Le -> y <= tol
+             | Lp.Ge -> y >= -.tol
+             | Lp.Eq -> true)
+           rows
+           (Array.to_list duals)
+       in
+       let dual_obj =
+         List.fold_left2
+           (fun acc { Lp.rhs; _ } y -> acc +. (y *. rhs))
+           0. rows (Array.to_list duals)
+       in
+       let scale = Float.max 1. (Float.abs c.objective) in
+       let strong = Float.abs (dual_obj -. c.objective) <= tol *. scale in
+       (* Dual feasibility: c_j - sum_i y_i a_ij >= 0 for every
+          structural variable j. *)
+       let n = Lp.n_vars lp in
+       let reduced = Lp.objective lp in
+       List.iteri
+         (fun i { Lp.terms; _ } ->
+           List.iter (fun (v, coef) -> reduced.(v) <- reduced.(v) -. (duals.(i) *. coef)) terms)
+         rows;
+       let dual_feasible = ref true in
+       for j = 0 to n - 1 do
+         if reduced.(j) < -.tol then dual_feasible := false
+       done;
+       signs_ok && strong && !dual_feasible
+     end

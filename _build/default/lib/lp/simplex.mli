@@ -1,0 +1,40 @@
+(** Two-phase primal simplex on a dense tableau.
+
+    Exact enough for the paper's placement LPs: Dantzig pricing for
+    speed with a switch to Bland's rule after a stall to rule out
+    cycling, and a phase-1 artificial-variable start. Dense storage
+    bounds the practical size to a few thousand rows, which is all the
+    experiments need (DESIGN.md, "LP scale control"). *)
+
+type outcome =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+val solve : ?max_pivots:int -> Lp.t -> outcome
+(** Solves [minimize c.x  s.t. rows, x >= 0]. [max_pivots] defaults to
+    [50_000 + 50 * (rows + vars)]; exceeding it raises [Failure]
+    (a safety net, not a tuning knob). On [Optimal], the returned point
+    satisfies every row to within [1e-6] relative tolerance — asserted
+    internally. *)
+
+type certified = {
+  x : float array;
+  objective : float;
+  duals : float array; (* one multiplier per constraint, insertion order *)
+}
+
+type certified_outcome = Certified of certified | C_infeasible | C_unbounded
+
+val solve_certified : ?max_pivots:int -> Lp.t -> certified_outcome
+(** Like {!solve} but also extracts the optimal dual multipliers from
+    the final tableau, giving a machine-checkable optimality
+    certificate (see {!check_certificate}). Convention for
+    [min c.x, x >= 0]: a [<=] row has [y <= 0], a [>=] row has
+    [y >= 0], an [=] row is free; dual feasibility is
+    [c - A^T y >= 0] and strong duality [y.b = c.x]. *)
+
+val check_certificate : ?tol:float -> Lp.t -> certified -> bool
+(** Verifies primal feasibility, dual feasibility (including the sign
+    conditions), and strong duality, all from first principles —
+    independent of how the solution was produced. *)

@@ -1,0 +1,1 @@
+lib/place/baselines.ml: Array List Placement Problem Qp_graph Qp_util

@@ -1,0 +1,1 @@
+lib/place/baselines.mli: Placement Problem Qp_util

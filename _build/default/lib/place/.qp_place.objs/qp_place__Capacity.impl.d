@@ -1,0 +1,1 @@
+lib/place/capacity.ml: Array Float Qp_graph Stdlib

@@ -1,0 +1,1 @@
+lib/place/capacity.mli: Placement Qp_graph

@@ -1,0 +1,1 @@
+lib/place/delay.ml: Array Float Placement Problem Qp_graph Qp_quorum

@@ -1,0 +1,1 @@
+lib/place/delay.mli: Placement Problem

@@ -1,0 +1,1 @@
+lib/place/exact.ml: Array Delay List Problem Qp_graph Qp_quorum Qp_util

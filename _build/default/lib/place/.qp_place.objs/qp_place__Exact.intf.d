@@ -1,0 +1,1 @@
+lib/place/exact.mli: Placement Problem

@@ -1,0 +1,1 @@
+lib/place/filtering.ml: Array Float List Lp_formulation

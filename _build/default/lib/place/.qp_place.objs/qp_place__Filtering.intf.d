@@ -1,0 +1,1 @@
+lib/place/filtering.mli: Lp_formulation

@@ -1,0 +1,1 @@
+lib/place/grid_layout.ml: Array Capacity Delay Float List Placement Problem Qp_graph Qp_quorum Qp_util Stdlib

@@ -1,0 +1,1 @@
+lib/place/grid_layout.mli: Placement Problem

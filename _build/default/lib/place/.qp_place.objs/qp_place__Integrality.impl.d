@@ -1,0 +1,1 @@
+lib/place/integrality.ml: Array List Lp_formulation Problem Qp_graph Qp_quorum

@@ -1,0 +1,1 @@
+lib/place/integrality.mli: Problem

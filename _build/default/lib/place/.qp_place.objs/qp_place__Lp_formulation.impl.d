@@ -1,0 +1,1 @@
+lib/place/lp_formulation.ml: Array List Problem Qp_graph Qp_lp Qp_quorum

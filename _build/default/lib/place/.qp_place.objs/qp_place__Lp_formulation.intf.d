@@ -1,0 +1,1 @@
+lib/place/lp_formulation.mli: Problem Qp_lp

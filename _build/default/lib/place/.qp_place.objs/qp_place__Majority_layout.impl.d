@@ -1,0 +1,1 @@
+lib/place/majority_layout.ml: Array List Problem Qp_graph Qp_quorum Qp_util

@@ -1,0 +1,1 @@
+lib/place/majority_layout.mli: Placement Problem Qp_quorum

@@ -1,0 +1,1 @@
+lib/place/pareto.ml: Float List Placement Problem Qpp_solver

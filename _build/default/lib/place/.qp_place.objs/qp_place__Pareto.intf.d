@@ -1,0 +1,1 @@
+lib/place/pareto.mli: Placement Problem

@@ -1,0 +1,1 @@
+lib/place/partial_deploy.ml: Array List Placement Problem Qp_assign Qp_graph Qp_quorum

@@ -1,0 +1,1 @@
+lib/place/partial_deploy.mli: Placement Problem

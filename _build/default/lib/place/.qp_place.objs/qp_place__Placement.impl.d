@@ -1,0 +1,1 @@
+lib/place/placement.ml: Array Format List Problem Qp_util String

@@ -1,0 +1,1 @@
+lib/place/problem.ml: Array Float Qp_graph Qp_quorum Qp_util

@@ -1,0 +1,1 @@
+lib/place/problem.mli: Qp_graph Qp_quorum

@@ -1,0 +1,1 @@
+lib/place/qpp_solver.ml: Array Delay List Logs Placement Problem Qp_graph Relay Rounding

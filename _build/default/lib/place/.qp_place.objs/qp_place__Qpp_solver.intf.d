@@ -1,0 +1,1 @@
+lib/place/qpp_solver.mli: Placement Problem Rounding

@@ -1,0 +1,1 @@
+lib/place/relay.ml: Array Delay Problem Qp_graph

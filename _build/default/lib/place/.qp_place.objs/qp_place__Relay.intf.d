@@ -1,0 +1,1 @@
+lib/place/relay.mli: Placement Problem

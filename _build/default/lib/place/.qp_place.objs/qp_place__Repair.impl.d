@@ -1,0 +1,1 @@
+lib/place/repair.ml: Array Delay List Placement Problem Qpp_solver Total_delay

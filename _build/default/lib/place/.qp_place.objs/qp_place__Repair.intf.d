@@ -1,0 +1,1 @@
+lib/place/repair.mli: Placement Problem

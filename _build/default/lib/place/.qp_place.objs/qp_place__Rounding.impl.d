@@ -1,0 +1,1 @@
+lib/place/rounding.ml: Array Delay Filtering Lp_formulation Placement Problem Qp_assign Qp_quorum

@@ -1,0 +1,1 @@
+lib/place/rounding.mli: Filtering Placement Problem

@@ -1,0 +1,1 @@
+lib/place/serialize.ml: Array Buffer Fun List Printf Problem Qp_graph Qp_quorum String

@@ -1,0 +1,1 @@
+lib/place/serialize.mli: Placement Problem

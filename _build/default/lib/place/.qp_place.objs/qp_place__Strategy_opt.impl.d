@@ -1,0 +1,1 @@
+lib/place/strategy_opt.ml: Array Delay Float List Placement Problem Qp_lp Qp_quorum

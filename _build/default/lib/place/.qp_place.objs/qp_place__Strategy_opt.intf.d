@@ -1,0 +1,1 @@
+lib/place/strategy_opt.mli: Placement Problem Qp_quorum

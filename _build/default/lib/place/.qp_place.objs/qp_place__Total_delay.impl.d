@@ -1,0 +1,1 @@
+lib/place/total_delay.ml: Array Delay Float Placement Problem Qp_assign Qp_graph Qp_util Stdlib

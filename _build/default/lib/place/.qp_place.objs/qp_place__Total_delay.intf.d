@@ -1,0 +1,1 @@
+lib/place/total_delay.mli: Placement Problem

@@ -1,0 +1,32 @@
+(** Baseline placement heuristics the experiments compare against.
+
+    None carries the paper's guarantees; they anchor the tables:
+    random shows what "no placement effort" costs, greedy is the
+    natural systems heuristic, the Lin single-node solution is the
+    delay-optimal/load-catastrophic extreme from Related Work, and
+    local search is the strongest guarantee-free contender. *)
+
+val random : Qp_util.Rng.t -> Problem.qpp -> Placement.t option
+(** Capacity-respecting placement by randomized first-fit: elements in
+    random order, each on a random node among those with residual
+    capacity. [None] after 100 failed restarts. *)
+
+val greedy_closest : Problem.qpp -> int -> Placement.t option
+(** [greedy_closest p v0]: elements sorted by decreasing load, each on
+    the nearest node to [v0] with residual capacity. [None] when some
+    element does not fit. *)
+
+val lin_single_node : Problem.qpp -> int * Placement.t
+(** The Related-Work extreme: every element on the node minimizing the
+    average client distance — ignores capacities entirely. Returns the
+    chosen hub and the placement. *)
+
+val local_search :
+  ?max_steps:int ->
+  objective:(Placement.t -> float) ->
+  Problem.qpp ->
+  Placement.t ->
+  Placement.t
+(** First-improvement hill climbing over single-element moves and
+    pairwise swaps, restricted to capacity-respecting neighbors.
+    Starts from (and never worsens) the given placement. *)

@@ -1,0 +1,55 @@
+module Metric = Qp_graph.Metric
+module Quorum = Qp_quorum.Quorum
+
+let quorum_max_delay (p : Problem.qpp) f v qi =
+  let q = Quorum.quorum p.Problem.system qi in
+  Array.fold_left
+    (fun acc u -> Float.max acc (Metric.dist p.Problem.metric v f.(u)))
+    0. q
+
+let quorum_total_delay (p : Problem.qpp) f v qi =
+  let q = Quorum.quorum p.Problem.system qi in
+  Array.fold_left (fun acc u -> acc +. Metric.dist p.Problem.metric v f.(u)) 0. q
+
+let expected_over_quorums (p : Problem.qpp) per_quorum =
+  let acc = ref 0. in
+  Array.iteri (fun qi pq -> if pq > 0. then acc := !acc +. (pq *. per_quorum qi)) p.Problem.strategy;
+  !acc
+
+let client_max_delay p f v = expected_over_quorums p (quorum_max_delay p f v)
+
+let client_total_delay p f v = expected_over_quorums p (quorum_total_delay p f v)
+
+let weighted_avg (p : Problem.qpp) per_client =
+  let n = Problem.n_nodes p in
+  match p.Problem.client_rates with
+  | None ->
+      let acc = ref 0. in
+      for v = 0 to n - 1 do
+        acc := !acc +. per_client v
+      done;
+      !acc /. float_of_int n
+  | Some rates ->
+      let total = Array.fold_left ( +. ) 0. rates in
+      let acc = ref 0. in
+      for v = 0 to n - 1 do
+        if rates.(v) > 0. then acc := !acc +. (rates.(v) *. per_client v)
+      done;
+      !acc /. total
+
+let avg_max_delay p f =
+  Placement.validate p f;
+  weighted_avg p (client_max_delay p f)
+
+let avg_total_delay p f =
+  Placement.validate p f;
+  weighted_avg p (client_total_delay p f)
+
+let ssqpp_delay (s : Problem.ssqpp) f =
+  let p = Problem.qpp_of_ssqpp s in
+  Placement.validate p f;
+  client_max_delay p f s.Problem.v0
+
+let all_client_max_delays p f =
+  Placement.validate p f;
+  Array.init (Problem.n_nodes p) (fun v -> client_max_delay p f v)

@@ -1,0 +1,35 @@
+(** The paper's delay functionals.
+
+    Max-delay (Eq. 1–2): [delta_f(v, Q) = max_{u in Q} d(v, f(u))],
+    [Delta_f(v) = sum_Q p(Q) delta_f(v, Q)], objective
+    [Avg_v Delta_f(v)].
+
+    Total-delay (Section 5): [gamma_f(v, Q) = sum_{u in Q} d(v, f(u))],
+    [Gamma_f(v) = sum_Q p(Q) gamma_f(v, Q)], objective
+    [Avg_v Gamma_f(v)].
+
+    When the problem carries client rates (Section 6), averages are
+    rate-weighted. *)
+
+val quorum_max_delay : Problem.qpp -> Placement.t -> int -> int -> float
+(** [quorum_max_delay p f v qi] = delta_f(v, Q_qi). *)
+
+val quorum_total_delay : Problem.qpp -> Placement.t -> int -> int -> float
+
+val client_max_delay : Problem.qpp -> Placement.t -> int -> float
+(** Delta_f(v). *)
+
+val client_total_delay : Problem.qpp -> Placement.t -> int -> float
+(** Gamma_f(v). *)
+
+val avg_max_delay : Problem.qpp -> Placement.t -> float
+(** The QPP objective Avg_v [Delta_f(v)] (rate-weighted if rates are
+    present). *)
+
+val avg_total_delay : Problem.qpp -> Placement.t -> float
+
+val ssqpp_delay : Problem.ssqpp -> Placement.t -> float
+(** Delta_f(v0), the Problem 3.2 objective. *)
+
+val all_client_max_delays : Problem.qpp -> Placement.t -> float array
+(** Delta_f(v) for every v; one pass, used by the relay analysis. *)

@@ -1,0 +1,120 @@
+module Metric = Qp_graph.Metric
+module Quorum = Qp_quorum.Quorum
+module Strategy = Qp_quorum.Strategy
+
+type layout = {
+  placement : Placement.t;
+  delay : float;
+  matrix_ranks : int array array;
+}
+
+let rank_of_cell k i j =
+  if i < 0 || i >= k || j < 0 || j >= k then invalid_arg "Grid_layout.rank_of_cell";
+  let l = Stdlib.max i j in
+  if j = l && i < l then (l * l) + i + 1 else (l * l) + l + j + 1
+
+let check_grid (s : Problem.ssqpp) =
+  let nu = Quorum.universe s.Problem.system in
+  let k = int_of_float (Float.round (sqrt (float_of_int nu))) in
+  if k * k <> nu || Quorum.n_quorums s.Problem.system <> nu then
+    invalid_arg "Grid_layout: system is not a k x k grid";
+  (* Quorum (i,j) must be row i union column j. *)
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      let expected =
+        let row = List.init k (fun c -> (i * k) + c) in
+        let col = List.init k (fun r -> (r * k) + j) in
+        List.sort_uniq compare (row @ col)
+      in
+      let actual = Array.to_list (Quorum.quorum s.Problem.system ((i * k) + j)) in
+      if expected <> actual then invalid_arg "Grid_layout: system is not a k x k grid"
+    done
+  done;
+  let uniform = 1. /. float_of_int nu in
+  Array.iter
+    (fun p ->
+      if not (Qp_util.Floatx.approx p uniform) then
+        invalid_arg "Grid_layout: strategy must be uniform")
+    s.Problem.strategy;
+  k
+
+let usable_nodes (s : Problem.ssqpp) ~load =
+  let order = Metric.nodes_by_distance s.Problem.metric s.Problem.v0 in
+  List.filter
+    (fun v ->
+      let cap = s.Problem.capacities.(v) in
+      if cap >= (2. *. load) -. 1e-12 then
+        invalid_arg "Grid_layout: capacity admits two elements (expand first)";
+      cap +. 1e-12 >= load)
+    (Array.to_list order)
+
+let place (s : Problem.ssqpp) =
+  let k = check_grid s in
+  let nu = k * k in
+  let load = (Strategy.loads s.Problem.system s.Problem.strategy).(0) in
+  let usable = usable_nodes s ~load in
+  if List.length usable < nu then None
+  else begin
+    let nearest = Array.of_list (List.filteri (fun i _ -> i < nu) usable) in
+    (* tau ranks: 1-based index r corresponds to the r-th LARGEST
+       distance, i.e. nearest.(nu - r). *)
+    let node_of_rank r = nearest.(nu - r) in
+    let matrix_ranks = Array.init k (fun i -> Array.init k (fun j -> rank_of_cell k i j)) in
+    let placement = Array.make nu 0 in
+    for i = 0 to k - 1 do
+      for j = 0 to k - 1 do
+        placement.((i * k) + j) <- node_of_rank matrix_ranks.(i).(j)
+      done
+    done;
+    let delay = Delay.ssqpp_delay s placement in
+    Some { placement; delay; matrix_ranks }
+  end
+
+let predicted_delay tau_desc k =
+  if Array.length tau_desc <> k * k then invalid_arg "Grid_layout.predicted_delay";
+  (* Largest tau in row i has rank rank_of_cell k i 0 (cell (0,0) when
+     i = 0); largest in column j has rank rank_of_cell k 0 j. *)
+  let acc = ref 0. in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      let r = Stdlib.min (rank_of_cell k i 0) (rank_of_cell k 0 j) in
+      acc := !acc +. tau_desc.(r - 1)
+    done
+  done;
+  !acc /. float_of_int (k * k)
+
+let place_with_expansion (s : Problem.ssqpp) =
+  let k = check_grid s in
+  ignore k;
+  let load = (Strategy.loads s.Problem.system s.Problem.strategy).(0) in
+  let e = Capacity.expand s.Problem.metric s.Problem.capacities ~load () in
+  (* v0 must exist in the expanded metric; add it as a zero-capacity
+     stand-in by locating any copy of the original v0, or if v0 has no
+     copies, appending it. Simplest correct approach: rebuild the
+     expanded metric including a dedicated source row. *)
+  let m = Array.length e.Capacity.original_of_copy in
+  let src_copy = ref (-1) in
+  Array.iteri
+    (fun c v -> if !src_copy < 0 && v = s.Problem.v0 then src_copy := c)
+    e.Capacity.original_of_copy;
+  let metric, caps, v0, original_of_copy =
+    if !src_copy >= 0 then
+      (e.Capacity.metric, e.Capacity.capacities, !src_copy, e.Capacity.original_of_copy)
+    else begin
+      let all = Array.append e.Capacity.original_of_copy [| s.Problem.v0 |] in
+      let d =
+        Array.init (m + 1) (fun i ->
+            Array.init (m + 1) (fun j -> Metric.dist s.Problem.metric all.(i) all.(j)))
+      in
+      (Metric.of_matrix d, Array.append e.Capacity.capacities [| 0. |], m, all)
+    end
+  in
+  let expanded_problem =
+    Problem.make_ssqpp ~metric ~capacities:caps ~system:s.Problem.system
+      ~strategy:s.Problem.strategy ~v0
+  in
+  match place expanded_problem with
+  | None -> None
+  | Some layout ->
+      let projected = Array.map (fun c -> original_of_copy.(c)) layout.placement in
+      Some (layout, projected)

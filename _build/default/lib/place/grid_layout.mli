@@ -1,0 +1,42 @@
+(** Optimal single-source layout for the Grid quorum system
+    (Section 4.1, proved optimal in Theorem B.1 / Appendix B).
+
+    Let [tau_1 >= tau_2 >= ... >= tau_{k^2}] be the distances from
+    [v0] to the [k^2] usable nodes closest to it, in decreasing order.
+    The concentric strategy fills a [k x k] matrix [M] with
+    [tau_1..tau_{l^2}] occupying the top-left [l x l] square for every
+    [l]: the next [l] values extend column [l], the following [l+1]
+    complete row [l]. Cell [(i,j)] of [M] names the node hosting grid
+    element [(i,j)]. *)
+
+type layout = {
+  placement : Placement.t;
+  delay : float; (* Delta_f(v0) *)
+  matrix_ranks : int array array; (* cell -> 1-based tau index (Fig. 2 view) *)
+}
+
+val rank_of_cell : int -> int -> int -> int
+(** [rank_of_cell k i j]: 1-based index of the tau value the
+    concentric strategy puts in cell [(i, j)]; pure function of the
+    pattern (exposed for tests):
+    with [l = max i j], column cells ([j = l > i]) get [l^2 + i + 1]
+    and row cells ([i = l]) get [l^2 + l + j + 1]. *)
+
+val place : Problem.ssqpp -> layout option
+(** Requires the system to be a Grid ({!Qp_quorum.Grid_qs}) under its
+    uniform strategy and capacities in the unit regime
+    ([load <= cap < 2 load] on usable nodes — use {!Capacity.expand}
+    first otherwise). [None] when fewer than [k^2] usable nodes.
+    @raise Invalid_argument on a non-grid system or non-uniform
+    strategy. *)
+
+val predicted_delay : float array -> int -> float
+(** [predicted_delay tau_desc k]: closed-form cost of the concentric
+    layout — the max-rank in quorum [(i,j)] is
+    [min (rank_of_cell i 0) (rank_of_cell 0 j)] — so the delay is
+    computable from the sorted distances alone. Cross-checked against
+    the placement evaluation in tests. *)
+
+val place_with_expansion : Problem.ssqpp -> (layout * Placement.t) option
+(** General capacities: {!Capacity.expand}, place on the expanded
+    metric, and also return the projection back to original nodes. *)

@@ -1,0 +1,55 @@
+module Metric = Qp_graph.Metric
+module Quorum = Qp_quorum.Quorum
+
+type gap_report = {
+  n : int;
+  lp_value : float;
+  integral_opt : float;
+  gap : float;
+}
+
+let full_quorum_problem metric =
+  let n = Metric.size metric in
+  let system = Quorum.make ~universe:n [| Array.init n (fun u -> u) |] in
+  Problem.make_ssqpp ~metric ~capacities:(Array.make n 1.) ~system ~strategy:[| 1. |]
+    ~v0:0
+
+let path_instance ~n ~m =
+  if n < 2 then invalid_arg "Integrality.path_instance: n >= 2 required";
+  if m < 1. then invalid_arg "Integrality.path_instance: m >= 1 required";
+  (* Star metric: spokes at distance 1, one far node at distance m. *)
+  let d0 t = if t = 0 then 0. else if t = n - 1 then m else 1. in
+  let dist i j =
+    if i = j then 0.
+    else if i = 0 then d0 j
+    else if j = 0 then d0 i
+    else d0 i +. d0 j
+  in
+  let matrix = Array.init n (fun i -> Array.init n (fun j -> dist i j)) in
+  full_quorum_problem (Metric.of_matrix matrix)
+
+let figure1_instance k =
+  let g = Qp_graph.Generators.integrality_gap_graph k in
+  full_quorum_problem (Metric.of_graph g)
+
+let measure (s : Problem.ssqpp) =
+  if Quorum.n_quorums s.Problem.system <> 1 then
+    invalid_arg "Integrality.measure: single-quorum instances only";
+  let n = Metric.size s.Problem.metric in
+  let nu = Quorum.universe s.Problem.system in
+  (* Integral optimum: the quorum covers all its elements, one per
+     usable node, so the best integral delay is the distance of the
+     nu-th nearest usable node. *)
+  let order = Metric.nodes_by_distance s.Problem.metric s.Problem.v0 in
+  let usable =
+    List.filter (fun v -> s.Problem.capacities.(v) +. 1e-12 >= 1.) (Array.to_list order)
+  in
+  if List.length usable < nu then invalid_arg "Integrality.measure: infeasible instance";
+  let integral_opt =
+    Metric.dist s.Problem.metric s.Problem.v0 (List.nth usable (nu - 1))
+  in
+  match Lp_formulation.solve s with
+  | None -> invalid_arg "Integrality.measure: LP infeasible"
+  | Some sol ->
+      let lp_value = sol.Lp_formulation.z_star in
+      { n; lp_value; integral_opt; gap = integral_opt /. lp_value }

@@ -1,0 +1,31 @@
+(** The Appendix A integrality-gap instances (Claim A.1, Figure 1).
+
+    Both use a single quorum containing the whole universe, unit
+    capacities, and a distance profile that lets the LP spread the
+    quorum fractionally over cheap nodes while any integral placement
+    must pay for the farthest one.
+
+    - {!path_instance}: a synthetic metric with [n-1] nodes at
+      distance 1 and one at distance [M >> 1]; gap -> n as M grows.
+    - {!figure1_instance}: the star-with-tail unweighted graph of
+      Figure 1 on [k^2] nodes; gap -> Theta(sqrt n) = Theta(k). *)
+
+type gap_report = {
+  n : int;
+  lp_value : float; (* Z* of LP (9)-(14) *)
+  integral_opt : float; (* exact optimal Delta_f(v0) *)
+  gap : float; (* integral_opt / lp_value *)
+}
+
+val path_instance : n:int -> m:float -> Problem.ssqpp
+(** [n >= 2] elements/nodes, far node at distance [m >= 1]. The source
+    [v0] is node 0 at distance 0. *)
+
+val figure1_instance : int -> Problem.ssqpp
+(** [figure1_instance k] builds the Figure-1 graph instance
+    ([n = k^2]) with the single full quorum and unit capacities. *)
+
+val measure : Problem.ssqpp -> gap_report
+(** Solves the LP and the exact optimum (single-quorum instances have
+    a closed-form optimum: place the quorum on the [|U|] nearest
+    usable nodes and pay the largest of those distances). *)

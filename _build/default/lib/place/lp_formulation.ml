@@ -1,0 +1,98 @@
+module Metric = Qp_graph.Metric
+module Quorum = Qp_quorum.Quorum
+module Strategy = Qp_quorum.Strategy
+module Lp = Qp_lp.Lp
+module Simplex = Qp_lp.Simplex
+
+type fractional = {
+  rank_of_node : int array;
+  node_of_rank : int array;
+  dist : float array;
+  x_elem : float array array;
+  x_quorum : float array array;
+  z_star : float;
+}
+
+let ordering (s : Problem.ssqpp) =
+  let node_of_rank = Metric.nodes_by_distance s.Problem.metric s.Problem.v0 in
+  let n = Array.length node_of_rank in
+  let rank_of_node = Array.make n 0 in
+  Array.iteri (fun t v -> rank_of_node.(v) <- t) node_of_rank;
+  let dist = Array.map (fun v -> Metric.dist s.Problem.metric s.Problem.v0 v) node_of_rank in
+  (rank_of_node, node_of_rank, dist)
+
+let build (s : Problem.ssqpp) =
+  let _, node_of_rank, dist = ordering s in
+  let n = Array.length node_of_rank in
+  let nu = Quorum.universe s.Problem.system in
+  let nq = Quorum.n_quorums s.Problem.system in
+  let loads = Strategy.loads s.Problem.system s.Problem.strategy in
+  let var_elem t u = (t * nu) + u in
+  let var_quorum t q = (n * nu) + (t * nq) + q in
+  let lp = Lp.create ((n * nu) + (n * nq)) in
+  (* Objective (9). *)
+  for t = 0 to n - 1 do
+    for q = 0 to nq - 1 do
+      Lp.set_objective lp (var_quorum t q) (s.Problem.strategy.(q) *. dist.(t))
+    done
+  done;
+  (* (10) each element placed once. *)
+  for u = 0 to nu - 1 do
+    Lp.add_constraint lp (List.init n (fun t -> (var_elem t u, 1.))) Lp.Eq 1.
+  done;
+  (* (11) each quorum completes once. *)
+  for q = 0 to nq - 1 do
+    Lp.add_constraint lp (List.init n (fun t -> (var_quorum t q, 1.))) Lp.Eq 1.
+  done;
+  (* (12) capacity per node and (13) oversize pinning. *)
+  for t = 0 to n - 1 do
+    let cap = s.Problem.capacities.(node_of_rank.(t)) in
+    let terms = ref [] in
+    for u = 0 to nu - 1 do
+      if loads.(u) > cap +. 1e-12 then
+        Lp.add_constraint lp [ (var_elem t u, 1.) ] Lp.Le 0.
+      else if loads.(u) > 0. then terms := (var_elem t u, loads.(u)) :: !terms
+    done;
+    if !terms <> [] then Lp.add_constraint lp !terms Lp.Le cap
+  done;
+  (* (14) prefix-domination: a quorum cannot complete before each of
+     its elements has been placed. The t = n-1 row is implied by (10)
+     and (11) and is omitted. *)
+  Array.iteri
+    (fun q quorum ->
+      Array.iter
+        (fun u ->
+          for t = 0 to n - 2 do
+            let terms =
+              List.init (t + 1) (fun st -> (var_quorum st q, 1.))
+              @ List.init (t + 1) (fun st -> (var_elem st u, -1.))
+            in
+            Lp.add_constraint lp terms Lp.Le 0.
+          done)
+        quorum)
+    (Quorum.quorums s.Problem.system);
+  (lp, var_elem, var_quorum)
+
+let solve (s : Problem.ssqpp) =
+  let rank_of_node, node_of_rank, dist = ordering s in
+  let n = Array.length node_of_rank in
+  let nu = Quorum.universe s.Problem.system in
+  let nq = Quorum.n_quorums s.Problem.system in
+  let lp, var_elem, var_quorum = build s in
+  match Simplex.solve lp with
+  | Simplex.Infeasible -> None
+  | Simplex.Unbounded -> assert false (* objective is non-negative *)
+  | Simplex.Optimal { x; objective } ->
+      let clip v = if v < 1e-11 then 0. else if v > 1. then 1. else v in
+      let x_elem =
+        Array.init n (fun t -> Array.init nu (fun u -> clip x.(var_elem t u)))
+      in
+      let x_quorum =
+        Array.init n (fun t -> Array.init nq (fun q -> clip x.(var_quorum t q)))
+      in
+      Some { rank_of_node; node_of_rank; dist; x_elem; x_quorum; z_star = objective }
+
+let quorum_frontier sol q =
+  let acc = ref 0. in
+  Array.iteri (fun t row -> acc := !acc +. (sol.dist.(t) *. row.(q))) sol.x_quorum;
+  !acc

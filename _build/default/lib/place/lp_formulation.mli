@@ -1,0 +1,39 @@
+(** The SSQPP linear program, Eqs. (9)–(14).
+
+    Nodes are renamed [v_0, v_1, ...] by increasing distance from the
+    source ([d_0 = 0 <= d_1 <= ...]); [x_tu] fractionally places
+    element [u] on the node of rank [t], and [x_tQ] marks the rank by
+    which all of quorum [Q] has been placed:
+
+    min  sum_Q p(Q) sum_t d_t x_tQ                      (9)
+    s.t. sum_t x_tu = 1                     for all u   (10)
+         sum_t x_tQ = 1                     for all Q   (11)
+         sum_u load(u) x_tu <= cap(v_t)     for all t   (12)
+         x_tu = 0 when load(u) > cap(v_t)               (13)
+         sum_{s<=t} x_sQ <= sum_{s<=t} x_su
+                     for all Q, u in Q, t               (14)
+
+    Appendix A shows this relaxation has integrality gap
+    Omega(sqrt n), which is why Theorem 3.7 rounds it with a capacity
+    blow-up rather than exactly (experiment F1 reproduces the gap). *)
+
+type fractional = {
+  rank_of_node : int array; (* node id -> rank t *)
+  node_of_rank : int array; (* rank t -> node id *)
+  dist : float array; (* d_t by rank *)
+  x_elem : float array array; (* rank t -> element u -> x_tu *)
+  x_quorum : float array array; (* rank t -> quorum index -> x_tQ *)
+  z_star : float; (* optimal LP value, lower bound on Delta_{f*}(v0) *)
+}
+
+val build : Problem.ssqpp -> Qp_lp.Lp.t * (int -> int -> int) * (int -> int -> int)
+(** [build s] returns the LP plus the variable numbering
+    [(var_elem t u, var_quorum t q)]; exposed for white-box tests. *)
+
+val solve : Problem.ssqpp -> fractional option
+(** [None] when the LP is infeasible (capacities cannot hold the
+    loads). *)
+
+val quorum_frontier : fractional -> int -> float
+(** [quorum_frontier sol q] = [D_Q = sum_t d_t x_tQ], the per-quorum
+    fractional delay used by Claim 3.8. *)

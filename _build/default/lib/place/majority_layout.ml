@@ -1,0 +1,63 @@
+module Metric = Qp_graph.Metric
+module Quorum = Qp_quorum.Quorum
+module Strategy = Qp_quorum.Strategy
+module Combin = Qp_util.Combin
+
+let closed_form ~n ~t ~tau_desc =
+  if Array.length tau_desc <> n then invalid_arg "Majority_layout.closed_form: bad length";
+  if 2 * t <= n then invalid_arg "Majority_layout.closed_form: 2t > n required";
+  for i = 0 to n - 2 do
+    if tau_desc.(i) < tau_desc.(i + 1) -. 1e-9 then
+      invalid_arg "Majority_layout.closed_form: tau not non-increasing"
+  done;
+  let total = float_of_int (Combin.binomial n t) in
+  let acc = ref 0. in
+  for i = 1 to n - t + 1 do
+    acc := !acc +. (tau_desc.(i - 1) *. float_of_int (Combin.binomial (n - i) (t - 1)))
+  done;
+  !acc /. total
+
+let threshold_of_system system =
+  let qs = Quorum.quorums system in
+  let t = Array.length qs.(0) in
+  Array.iter
+    (fun q ->
+      if Array.length q <> t then
+        invalid_arg "Majority_layout: quorums are not all the same size")
+    qs;
+  let n = Quorum.universe system in
+  if Array.length qs <> Combin.binomial n t then
+    invalid_arg "Majority_layout: not the complete threshold family";
+  t
+
+let place (s : Problem.ssqpp) =
+  let n = Quorum.universe s.Problem.system in
+  let t = threshold_of_system s.Problem.system in
+  let uniform = 1. /. float_of_int (Quorum.n_quorums s.Problem.system) in
+  Array.iter
+    (fun p ->
+      if not (Qp_util.Floatx.approx p uniform) then
+        invalid_arg "Majority_layout: strategy must be uniform")
+    s.Problem.strategy;
+  let load = (Strategy.loads s.Problem.system s.Problem.strategy).(0) in
+  let order = Metric.nodes_by_distance s.Problem.metric s.Problem.v0 in
+  let usable =
+    List.filter
+      (fun v ->
+        let cap = s.Problem.capacities.(v) in
+        if cap >= (2. *. load) -. 1e-12 then
+          invalid_arg "Majority_layout: capacity admits two elements (expand first)";
+        cap +. 1e-12 >= load)
+      (Array.to_list order)
+  in
+  if List.length usable < n then None
+  else begin
+    let nodes = Array.of_list (List.filteri (fun i _ -> i < n) usable) in
+    let placement = Array.init n (fun u -> nodes.(u)) in
+    let tau_desc =
+      let d = Array.map (fun v -> Metric.dist s.Problem.metric s.Problem.v0 v) nodes in
+      Array.sort (fun a b -> compare b a) d;
+      d
+    in
+    Some (closed_form ~n ~t ~tau_desc, placement)
+  end

@@ -1,0 +1,27 @@
+(** Majority quorums under the uniform strategy (Section 4.2).
+
+    Every capacity-respecting placement on a fixed set of usable nodes
+    has the same single-source delay, given by Eq. (19):
+
+    Delta = (1 / C(n,t)) * sum_{i=1}^{n-t+1} tau_i * C(n-i, t-1)
+
+    where [tau_1 >= ... >= tau_n] are the distances from [v0] to the
+    hosting nodes in decreasing order. Minimizing is therefore just
+    "use the n closest usable nodes". *)
+
+val closed_form : n:int -> t:int -> tau_desc:float array -> float
+(** Eq. (19). [tau_desc] must have length [n] and be non-increasing.
+    @raise Invalid_argument otherwise or when [2t <= n]. *)
+
+val place : Problem.ssqpp -> (float * Placement.t) option
+(** Optimal placement for an explicit Majority system under the
+    uniform strategy in the unit-capacity regime (cf.
+    {!Grid_layout.place}): elements on the [n] closest usable nodes,
+    identity order. Returns the Eq. (19) delay. [None] when too few
+    usable nodes. @raise Invalid_argument if the system is not a
+    threshold system with uniform strategy. *)
+
+val threshold_of_system : Qp_quorum.Quorum.system -> int
+(** Recovers [t] (all quorums must share one size and the family must
+    be complete: [C(n,t)] quorums). @raise Invalid_argument
+    otherwise. *)

@@ -1,0 +1,50 @@
+type point = {
+  alpha : float;
+  delay : float;
+  load_violation : float;
+  placement : Placement.t;
+}
+
+let dominates a b =
+  a.delay <= b.delay +. 1e-12
+  && a.load_violation <= b.load_violation +. 1e-12
+  && (a.delay < b.delay -. 1e-12 || a.load_violation < b.load_violation -. 1e-12)
+
+let frontier ?(alphas = [ 1.25; 1.5; 2.; 3.; 4.; 6.; 8. ]) ?candidates (p : Problem.qpp) =
+  let points =
+    List.filter_map
+      (fun alpha ->
+        match Qpp_solver.solve ~alpha ?candidates p with
+        | None -> None
+        | Some r ->
+            Some
+              {
+                alpha;
+                delay = r.Qpp_solver.objective;
+                load_violation = r.Qpp_solver.load_violation;
+                placement = r.Qpp_solver.placement;
+              })
+      alphas
+  in
+  let non_dominated =
+    List.filter
+      (fun pt -> not (List.exists (fun other -> dominates other pt) points))
+      points
+  in
+  (* Deduplicate identical coordinate pairs, keep smallest alpha. *)
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = compare a.delay b.delay in
+        if c <> 0 then c else compare a.load_violation b.load_violation)
+      non_dominated
+  in
+  let rec dedup = function
+    | a :: b :: rest
+      when Float.abs (a.delay -. b.delay) < 1e-12
+           && Float.abs (a.load_violation -. b.load_violation) < 1e-12 ->
+        dedup (a :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted

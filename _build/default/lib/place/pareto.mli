@@ -1,0 +1,24 @@
+(** The load/delay Pareto frontier (the Section 1.1 tension as an
+    API).
+
+    Sweeps the Theorem 3.7/1.2 rounding parameter and reports the
+    non-dominated (delay, capacity-violation) pairs, each carrying the
+    alpha that produced it. Used by experiment E9 and the
+    capacity_tradeoff example. *)
+
+type point = {
+  alpha : float;
+  delay : float; (* Avg_v Delta_f(v) *)
+  load_violation : float; (* max_v load_f(v)/cap(v) *)
+  placement : Placement.t;
+}
+
+val frontier : ?alphas:float list -> ?candidates:int list -> Problem.qpp -> point list
+(** Non-dominated points sorted by increasing delay (hence
+    non-increasing load violation). Default alphas:
+    [1.25; 1.5; 2; 3; 4; 6; 8]. Empty when the LP is infeasible for
+    every candidate source. *)
+
+val dominates : point -> point -> bool
+(** [dominates a b]: a is no worse in both coordinates and strictly
+    better in one. *)

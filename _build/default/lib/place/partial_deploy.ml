@@ -1,0 +1,124 @@
+module Metric = Qp_graph.Metric
+module Quorum = Qp_quorum.Quorum
+module Mcmf = Qp_assign.Mcmf
+
+type deployment = {
+  placement : Placement.t;
+  quorum_of_client : int array;
+  cost : float;
+  rounds : int;
+}
+
+let check (p : Problem.qpp) =
+  let n = Problem.n_nodes p in
+  if Problem.n_elements p <> n || Quorum.n_quorums p.Problem.system <> n then
+    invalid_arg "Partial_deploy: requires |Q| = |V| = |U|";
+  n
+
+let gamma (p : Problem.qpp) f v qi =
+  let q = Quorum.quorum p.Problem.system qi in
+  Array.fold_left (fun acc u -> acc +. Metric.dist p.Problem.metric v f.(u)) 0. q
+
+let cost_of (p : Problem.qpp) f q_of_client =
+  let n = check p in
+  if Array.length f <> n || Array.length q_of_client <> n then
+    invalid_arg "Partial_deploy.cost_of: bad lengths";
+  let acc = ref 0. in
+  for v = 0 to n - 1 do
+    acc := !acc +. gamma p f v q_of_client.(v)
+  done;
+  !acc /. float_of_int n
+
+(* Min-cost perfect matching on an n x n cost matrix via MCMF;
+   returns the column matched to each row. *)
+let matching cost =
+  let n = Array.length cost in
+  let source = 0 and sink = (2 * n) + 1 in
+  let left i = 1 + i and right j = 1 + n + j in
+  let net = Mcmf.create ((2 * n) + 2) in
+  for i = 0 to n - 1 do
+    Mcmf.add_edge net ~src:source ~dst:(left i) ~capacity:1 ~cost:0.;
+    Mcmf.add_edge net ~src:(right i) ~dst:sink ~capacity:1 ~cost:0.;
+    for j = 0 to n - 1 do
+      Mcmf.add_edge net ~src:(left i) ~dst:(right j) ~capacity:1 ~cost:cost.(i).(j)
+    done
+  done;
+  let flow, _ = Mcmf.min_cost_flow net ~source ~sink () in
+  assert (flow = n);
+  let assign = Array.make n (-1) in
+  List.iter
+    (fun (src, dst, fl, _) ->
+      if fl > 0 && src >= 1 && src <= n && dst > n && dst <= 2 * n then
+        assign.(src - 1) <- dst - n - 1)
+    (Mcmf.flow_on_edges net);
+  Array.iter (fun j -> assert (j >= 0)) assign;
+  assign
+
+(* Optimal q given f: match client v to quorum Q at cost gamma_f(v,Q). *)
+let best_q (p : Problem.qpp) n f =
+  matching (Array.init n (fun v -> Array.init n (fun qi -> gamma p f v qi)))
+
+(* Optimal f given q: the objective separates as
+   sum_u sum_{v : u in Q_q(v)} d(v, f(u)), a matching of elements to
+   nodes. *)
+let best_f (p : Problem.qpp) n q_of_client =
+  let weight = Array.make_matrix n n 0. in
+  (* weight.(u).(x) = sum over clients v using a quorum containing u of
+     d(v, x). *)
+  for v = 0 to n - 1 do
+    let q = Quorum.quorum p.Problem.system q_of_client.(v) in
+    Array.iter
+      (fun u ->
+        for x = 0 to n - 1 do
+          weight.(u).(x) <- weight.(u).(x) +. Metric.dist p.Problem.metric v x
+        done)
+      q
+  done;
+  matching weight
+
+let solve ?(max_rounds = 50) (p : Problem.qpp) =
+  let n = check p in
+  (* Start from the identity placement. *)
+  let f = ref (Array.init n (fun u -> u)) in
+  let q = ref (best_q p n !f) in
+  let current = ref (cost_of p !f !q) in
+  let rounds = ref 0 in
+  let improved = ref true in
+  while !improved && !rounds < max_rounds do
+    improved := false;
+    incr rounds;
+    let f' = best_f p n !q in
+    let q' = best_q p n f' in
+    let c = cost_of p f' q' in
+    if c < !current -. 1e-12 then begin
+      f := f';
+      q := q';
+      current := c;
+      improved := true
+    end
+  done;
+  { placement = !f; quorum_of_client = !q; cost = !current; rounds = !rounds }
+
+let brute_force (p : Problem.qpp) =
+  let n = check p in
+  if n > 5 then invalid_arg "Partial_deploy.brute_force: n <= 5 required";
+  let best = ref infinity in
+  let perm = Array.init n (fun i -> i) in
+  let rec permutations a k acc =
+    if k = n then acc (Array.copy a)
+    else
+      for i = k to n - 1 do
+        let tmp = a.(k) in
+        a.(k) <- a.(i);
+        a.(i) <- tmp;
+        permutations a (k + 1) acc;
+        let tmp = a.(k) in
+        a.(k) <- a.(i);
+        a.(i) <- tmp
+      done
+  in
+  permutations perm 0 (fun f ->
+      permutations (Array.init n (fun i -> i)) 0 (fun q ->
+          let c = cost_of p f q in
+          if c < !best then best := c));
+  !best

@@ -1,0 +1,34 @@
+(** The "partial quorum deployment problem" of Gilbert and Malewicz
+    (OPODIS'04), discussed in the paper's Related Work: inputs are
+    restricted to [|Q| = |V| = |U|], the placement [f : U -> V] must
+    be a bijection, and every client [v] commits to a single distinct
+    quorum via a bijection [q : V -> Q]; the objective is the average
+    total delay [Avg_v gamma_f(v, Q_{q(v)})].
+
+    This module implements an alternating-assignment solver: with [f]
+    fixed, the optimal [q] is a min-cost bipartite matching (clients x
+    quorums, cost [gamma_f(v, Q)]); with [q] fixed, the optimal [f] is
+    again a matching (elements x nodes, cost
+    [sum over clients v whose quorum contains u of d(v, x)]). Each
+    half-step is solved exactly with {!Qp_assign.Mcmf}, so the
+    iteration is monotone and terminates in a joint local optimum
+    (each map optimal given the other). A brute-force oracle covers
+    tiny instances. *)
+
+type deployment = {
+  placement : Placement.t; (* bijection U -> V *)
+  quorum_of_client : int array; (* bijection V -> quorum index *)
+  cost : float; (* Avg_v gamma_f(v, Q_q(v)) *)
+  rounds : int; (* alternation rounds until fixpoint *)
+}
+
+val cost_of : Problem.qpp -> Placement.t -> int array -> float
+(** Objective of an explicit (f, q) pair. *)
+
+val solve : ?max_rounds:int -> Problem.qpp -> deployment
+(** @raise Invalid_argument unless [|Q| = |V| = |U|]. Capacities are
+    ignored (the GM formulation has none; the bijection IS the load
+    constraint). Default [max_rounds = 50]. *)
+
+val brute_force : Problem.qpp -> float
+(** Exact optimum over all pairs of bijections; guarded to [n <= 5]. *)

@@ -1,0 +1,43 @@
+type t = int array
+
+let validate (p : Problem.qpp) f =
+  let n = Problem.n_nodes p in
+  if Array.length f <> Problem.n_elements p then
+    invalid_arg "Placement.validate: length must equal universe size";
+  Array.iter
+    (fun v -> if v < 0 || v >= n then invalid_arg "Placement.validate: node out of range")
+    f
+
+let node_loads (p : Problem.qpp) f =
+  validate p f;
+  let loads = Problem.element_loads p in
+  let out = Array.make (Problem.n_nodes p) 0. in
+  Array.iteri (fun u v -> out.(v) <- out.(v) +. loads.(u)) f;
+  out
+
+let respects_capacities ?(slack = 1.) (p : Problem.qpp) f =
+  let loads = node_loads p f in
+  let ok = ref true in
+  Array.iteri
+    (fun v l -> if not (Qp_util.Floatx.leq l (slack *. p.Problem.capacities.(v))) then ok := false)
+    loads;
+  !ok
+
+let max_violation (p : Problem.qpp) f =
+  let loads = node_loads p f in
+  let worst = ref 0. in
+  Array.iteri
+    (fun v l ->
+      if l > 1e-12 then begin
+        let cap = p.Problem.capacities.(v) in
+        let ratio = if cap > 0. then l /. cap else infinity in
+        if ratio > !worst then worst := ratio
+      end)
+    loads;
+  !worst
+
+let used_nodes f = List.sort_uniq compare (Array.to_list f)
+
+let pp ppf f =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; " (Array.to_list (Array.map string_of_int f)))

@@ -1,0 +1,27 @@
+(** Placements [f : U -> V] and their load accounting.
+
+    A placement is an array indexed by element id whose entries are
+    node ids. [loadf v = sum of load(u) over u with f(u) = v]
+    (Section 1.2). *)
+
+type t = int array
+
+val validate : Problem.qpp -> t -> unit
+(** Shape and range check. @raise Invalid_argument otherwise. *)
+
+val node_loads : Problem.qpp -> t -> float array
+(** [loadf(v)] for every node. *)
+
+val respects_capacities : ?slack:float -> Problem.qpp -> t -> bool
+(** [loadf(v) <= slack * cap(v)] everywhere (default slack 1, with the
+    repository float tolerance). *)
+
+val max_violation : Problem.qpp -> t -> float
+(** [max_v loadf(v) / cap(v)] over nodes with positive load; the
+    "capacity blow-up factor" reported by the experiments. Nodes with
+    zero capacity and positive load give [infinity]. *)
+
+val used_nodes : t -> int list
+(** Distinct nodes in the image of [f]. *)
+
+val pp : Format.formatter -> t -> unit

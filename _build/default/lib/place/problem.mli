@@ -1,0 +1,69 @@
+(** Problem instances.
+
+    A {!qpp} is the paper's Problem 1.1: place the universe of a
+    quorum system onto the nodes of a metric (shortest-path closure of
+    a network) subject to per-node capacities, minimizing the average
+    over clients of the expected max-delay. A {!ssqpp} (Problem 3.2)
+    is the single-client restriction with source [v0]. *)
+
+type qpp = {
+  metric : Qp_graph.Metric.t;
+  capacities : float array; (* cap(v) per node *)
+  system : Qp_quorum.Quorum.system;
+  strategy : Qp_quorum.Strategy.t;
+  client_rates : float array option;
+      (* Section 6 extension: relative access rates per client; [None]
+         means uniform. *)
+}
+
+type ssqpp = {
+  metric : Qp_graph.Metric.t;
+  capacities : float array;
+  system : Qp_quorum.Quorum.system;
+  strategy : Qp_quorum.Strategy.t;
+  v0 : int;
+}
+
+val make_qpp :
+  metric:Qp_graph.Metric.t ->
+  capacities:float array ->
+  system:Qp_quorum.Quorum.system ->
+  strategy:Qp_quorum.Strategy.t ->
+  ?client_rates:float array ->
+  unit ->
+  qpp
+(** Validates shapes, non-negative capacities, the strategy, and
+    positive total client rate. *)
+
+val make_ssqpp :
+  metric:Qp_graph.Metric.t ->
+  capacities:float array ->
+  system:Qp_quorum.Quorum.system ->
+  strategy:Qp_quorum.Strategy.t ->
+  v0:int ->
+  ssqpp
+
+val of_graph_qpp :
+  graph:Qp_graph.Graph.t ->
+  capacities:float array ->
+  system:Qp_quorum.Quorum.system ->
+  strategy:Qp_quorum.Strategy.t ->
+  ?client_rates:float array ->
+  unit ->
+  qpp
+(** Convenience: takes the shortest-path closure of a connected
+    graph. *)
+
+val ssqpp_of_qpp : qpp -> int -> ssqpp
+val qpp_of_ssqpp : ssqpp -> qpp
+
+val element_loads : qpp -> float array
+(** load(u) induced by the strategy. *)
+
+val capacity_feasible : qpp -> bool
+(** Necessary conditions: total capacity >= total load and every
+    element fits somewhere ([min load <= max cap]). Not sufficient
+    (bin packing), but cheap and catches hopeless instances. *)
+
+val n_nodes : qpp -> int
+val n_elements : qpp -> int

@@ -1,0 +1,77 @@
+module Metric = Qp_graph.Metric
+
+let log_src = Logs.Src.create "qp_place.qpp_solver" ~doc:"Theorem 1.2 solver"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type result = {
+  placement : Placement.t;
+  v0 : int;
+  alpha : float;
+  objective : float;
+  relayed_objective : float;
+  ssqpp : Rounding.result;
+  lower_bound : float option;
+  load_violation : float;
+  approx_bound : float;
+}
+
+let solve ?(alpha = 2.) ?candidates (p : Problem.qpp) =
+  if alpha <= 1. then invalid_arg "Qpp_solver.solve: alpha > 1 required";
+  let n = Problem.n_nodes p in
+  let candidates, complete =
+    match candidates with
+    | None -> (List.init n (fun v -> v), true)
+    | Some c ->
+        List.iter
+          (fun v -> if v < 0 || v >= n then invalid_arg "Qpp_solver.solve: bad candidate")
+          c;
+        (c, List.sort_uniq compare c = List.init n (fun v -> v))
+  in
+  let best = ref None in
+  let bound_acc = ref infinity in
+  List.iter
+    (fun v0 ->
+      let s = Problem.ssqpp_of_qpp p v0 in
+      match Rounding.solve ~alpha s with
+      | None -> Log.debug (fun m -> m "candidate v0=%d: LP infeasible" v0)
+      | Some r ->
+          let objective = Delay.avg_max_delay p r.Rounding.placement in
+          Log.debug (fun m ->
+              m "candidate v0=%d: Z*=%.4f delay=%.4f objective=%.4f" v0
+                r.Rounding.z_star r.Rounding.delay objective);
+          (* Lower-bound term uses Z*, not the rounded placement. *)
+          let avg_dist =
+            match p.Problem.client_rates with
+            | None -> Metric.average_distance p.Problem.metric v0
+            | Some rates ->
+                let total = Array.fold_left ( +. ) 0. rates in
+                let acc = ref 0. in
+                Array.iteri
+                  (fun v rate ->
+                    if rate > 0. then
+                      acc := !acc +. (rate *. Metric.dist p.Problem.metric v v0))
+                  rates;
+                !acc /. total
+          in
+          let term = (avg_dist +. r.Rounding.z_star) /. Relay.bound in
+          if term < !bound_acc then bound_acc := term;
+          (match !best with
+          | Some (best_obj, _, _) when best_obj <= objective -> ()
+          | _ -> best := Some (objective, v0, r)))
+    candidates;
+  match !best with
+  | None -> None
+  | Some (objective, v0, r) ->
+      Some
+        {
+          placement = r.Rounding.placement;
+          v0;
+          alpha;
+          objective;
+          relayed_objective = Relay.relay_delay_via p r.Rounding.placement v0;
+          ssqpp = r;
+          lower_bound = (if complete then Some !bound_acc else None);
+          load_violation = Placement.max_violation p r.Rounding.placement;
+          approx_bound = Relay.bound *. alpha /. (alpha -. 1.);
+        }

@@ -1,0 +1,33 @@
+(** The full Quorum Placement Problem solver (Theorem 1.2).
+
+    Theorem 3.3 reduces QPP to SSQPP: some node [v0] makes any
+    beta-approximate single-source placement a 5*beta-approximate QPP
+    placement. Since [v0] is unknown, the solver runs the Theorem 3.7
+    LP-rounding for every candidate source and keeps the placement
+    with the best (direct-routing) QPP objective. The guarantee is
+    [Avg_v Delta_f(v) <= 5 alpha/(alpha-1) OPT] with node loads at
+    most [(alpha+1) cap].
+
+    A certified lower bound comes from the same lemma: for the
+    (unknown) optimal placement there is a [v0] with
+    [Avg_v d(v,v0) + Delta_{f*}(v0) <= 5 OPT] and
+    [Delta_{f*}(v0) >= Z*(v0)], hence
+    [OPT >= min_v0 (AvgDist(v0) + Z*(v0)) / 5] — valid only when all
+    nodes are candidates. *)
+
+type result = {
+  placement : Placement.t;
+  v0 : int; (* source whose SSQPP solution won *)
+  alpha : float;
+  objective : float; (* Avg_v Delta_f(v), direct routing *)
+  relayed_objective : float; (* Avg_v d(v,v0) + Delta_f(v0) *)
+  ssqpp : Rounding.result; (* winning single-source diagnostics *)
+  lower_bound : float option;
+      (* (min over v0 of AvgDist + Z_star) / 5 when every node was a candidate *)
+  load_violation : float;
+  approx_bound : float; (* 5 alpha / (alpha - 1) *)
+}
+
+val solve : ?alpha:float -> ?candidates:int list -> Problem.qpp -> result option
+(** Default [alpha = 2] and [candidates] = all nodes. [None] when the
+    SSQPP LP is infeasible for every candidate. *)

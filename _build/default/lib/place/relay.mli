@@ -1,0 +1,28 @@
+(** Lemma 3.1 — the structural relay result.
+
+    For any placement [f] there is a node [v0] (the minimizer of
+    [Delta_f]) such that sending every access via [v0] costs at most 5
+    times the direct average max-delay:
+
+    Avg_v [ sum_Q p(Q) (d(v, v0) + delta_f(v0, Q)) ]
+      = Avg_v d(v, v0) + Delta_f(v0)          (Eq. 8)
+      <= 5 Avg_v [Delta_f(v)].                 (Eq. 4)
+
+    This module computes both sides, the witness [v0], and the ratio —
+    experiment E2 samples these over many instances and placements. *)
+
+type analysis = {
+  v0 : int; (* argmin_v Delta_f(v) *)
+  direct : float; (* Avg_v Delta_f(v) *)
+  relayed : float; (* Avg_v d(v,v0) + Delta_f(v0) *)
+  ratio : float; (* relayed / direct (0/0 reported as 1) *)
+}
+
+val analyze : Problem.qpp -> Placement.t -> analysis
+
+val relay_delay_via : Problem.qpp -> Placement.t -> int -> float
+(** Left-hand side of Eq. 4 for an arbitrary relay node (not
+    necessarily the minimizer). *)
+
+val bound : float
+(** The paper's constant, 5. *)

@@ -1,0 +1,32 @@
+(** Placement repair under node churn.
+
+    When nodes leave (crash, decommission), a deployed placement must
+    be patched without re-shuffling every replica: only elements
+    hosted by departed nodes move. This module implements the minimal
+    greedy repair — each displaced element goes to the nearest
+    surviving node with residual capacity (nearest in average distance
+    to the clients, matching the total-delay objective; max-delay
+    degradation is reported, not re-optimized) — and quantifies the
+    degradation against a from-scratch re-solve. *)
+
+type repair = {
+  placement : Placement.t; (* patched placement, avoids dead nodes *)
+  moved : int list; (* elements that changed host *)
+  delay_before : float; (* Avg max-delay of the original placement *)
+  delay_after : float; (* ... of the patched one *)
+}
+
+val repair : Problem.qpp -> Placement.t -> dead:int list -> repair option
+(** [None] when the surviving capacity cannot absorb the displaced
+    elements (under exact capacities — callers wanting slack should
+    scale the problem's capacities first).
+    @raise Invalid_argument if [dead] lists an unknown node.
+    Elements on surviving nodes never move; surviving nodes' existing
+    loads are accounted before displaced elements are packed. *)
+
+val degradation_vs_resolve : Problem.qpp -> Placement.t -> dead:int list ->
+  (float * float) option
+(** [(repaired_delay, resolved_delay)]: the patched placement's delay
+    next to a full Theorem 1.2 re-solve on the surviving subnetwork
+    (same alpha = 2); [None] if either is infeasible. The gap is the
+    price of minimal movement. *)

@@ -1,0 +1,55 @@
+module Quorum = Qp_quorum.Quorum
+module Strategy = Qp_quorum.Strategy
+module Gap = Qp_assign.Gap
+module St = Qp_assign.Shmoys_tardos
+
+type result = {
+  placement : Placement.t;
+  alpha : float;
+  z_star : float;
+  delay : float;
+  delay_bound : float;
+  load_violation : float;
+  load_bound : float;
+}
+
+let round_filtered (s : Problem.ssqpp) (flt : Filtering.filtered) =
+  let sol = flt.Filtering.sol in
+  let n = Array.length sol.Lp_formulation.dist in
+  let nu = Quorum.universe s.Problem.system in
+  let loads = Strategy.loads s.Problem.system s.Problem.strategy in
+  (* GAP view (machines = ranks, jobs = elements): cost of placing u at
+     rank t is d_t; load is load(u); budgets are the alpha-inflated
+     capacities; only supported (t, u) pairs are allowed. *)
+  let allowed =
+    Array.init n (fun t -> Array.init nu (fun u -> flt.Filtering.x_hat_elem.(t).(u) > 1e-12))
+  in
+  let cost = Array.init n (fun t -> Array.make nu sol.Lp_formulation.dist.(t)) in
+  let load = Array.init n (fun _ -> Array.copy loads) in
+  let budget =
+    Array.init n (fun t ->
+        flt.Filtering.alpha *. s.Problem.capacities.(sol.Lp_formulation.node_of_rank.(t)))
+  in
+  let gap = Gap.make ~cost ~load ~budget ~allowed () in
+  let rounded = St.round gap flt.Filtering.x_hat_elem in
+  let placement =
+    Array.map (fun rank -> sol.Lp_formulation.node_of_rank.(rank)) rounded.St.assignment
+  in
+  let qpp = Problem.qpp_of_ssqpp s in
+  let delay = Delay.ssqpp_delay s placement in
+  let alpha = flt.Filtering.alpha in
+  {
+    placement;
+    alpha;
+    z_star = sol.Lp_formulation.z_star;
+    delay;
+    delay_bound = alpha /. (alpha -. 1.) *. sol.Lp_formulation.z_star;
+    load_violation = Placement.max_violation qpp placement;
+    load_bound = alpha +. 1.;
+  }
+
+let solve ?(alpha = 2.) (s : Problem.ssqpp) =
+  if alpha <= 1. then invalid_arg "Rounding.solve: alpha > 1 required";
+  match Lp_formulation.solve s with
+  | None -> None
+  | Some sol -> Some (round_filtered s (Filtering.apply ~alpha sol))

@@ -1,0 +1,158 @@
+module Metric = Qp_graph.Metric
+module Quorum = Qp_quorum.Quorum
+
+let float_row xs =
+  String.concat " " (Array.to_list (Array.map (fun x -> Printf.sprintf "%.17g" x) xs))
+
+let problem_to_string (p : Problem.qpp) =
+  let buf = Buffer.create 4096 in
+  let n = Problem.n_nodes p in
+  Buffer.add_string buf "qplace-instance v1\n";
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" n);
+  Buffer.add_string buf "metric\n";
+  for v = 0 to n - 1 do
+    Buffer.add_string buf
+      (float_row (Array.init n (fun w -> Metric.dist p.Problem.metric v w)));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf "capacities\n";
+  Buffer.add_string buf (float_row p.Problem.capacities);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "universe %d\n" (Problem.n_elements p));
+  let quorums = Quorum.quorums p.Problem.system in
+  Buffer.add_string buf (Printf.sprintf "quorums %d\n" (Array.length quorums));
+  Array.iter
+    (fun q ->
+      Buffer.add_string buf "q";
+      Array.iter (fun u -> Buffer.add_string buf (Printf.sprintf " %d" u)) q;
+      Buffer.add_char buf '\n')
+    quorums;
+  Buffer.add_string buf "strategy\n";
+  Buffer.add_string buf (float_row p.Problem.strategy);
+  Buffer.add_char buf '\n';
+  (match p.Problem.client_rates with
+  | None -> Buffer.add_string buf "rates none\n"
+  | Some rates ->
+      Buffer.add_string buf "rates\n";
+      Buffer.add_string buf (float_row rates);
+      Buffer.add_char buf '\n');
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { lines : string array; mutable pos : int }
+
+let fail cur msg = failwith (Printf.sprintf "Serialize: line %d: %s" (cur.pos + 1) msg)
+
+let next_line cur =
+  if cur.pos >= Array.length cur.lines then fail cur "unexpected end of input";
+  let line = String.trim cur.lines.(cur.pos) in
+  cur.pos <- cur.pos + 1;
+  line
+
+let expect cur what =
+  let line = next_line cur in
+  if line <> what then fail cur (Printf.sprintf "expected %S, got %S" what line)
+
+let tokens line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse_floats cur expected_count =
+  let line = next_line cur in
+  let parts = tokens line in
+  if List.length parts <> expected_count then
+    fail cur (Printf.sprintf "expected %d numbers, got %d" expected_count (List.length parts));
+  Array.of_list
+    (List.map
+       (fun s ->
+         match float_of_string_opt s with
+         | Some v -> v
+         | None -> fail cur (Printf.sprintf "bad number %S" s))
+       parts)
+
+let parse_keyword_int cur keyword =
+  let line = next_line cur in
+  match tokens line with
+  | [ k; v ] when k = keyword -> (
+      match int_of_string_opt v with
+      | Some n -> n
+      | None -> fail cur (Printf.sprintf "bad integer %S" v))
+  | _ -> fail cur (Printf.sprintf "expected %S <int>" keyword)
+
+let problem_of_string text =
+  (* Blank lines are insignificant. *)
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' text)
+  in
+  let cur = { lines = Array.of_list lines; pos = 0 } in
+  expect cur "qplace-instance v1";
+  let n = parse_keyword_int cur "nodes" in
+  if n <= 0 then fail cur "nodes must be positive";
+  expect cur "metric";
+  let matrix = Array.init n (fun _ -> parse_floats cur n) in
+  expect cur "capacities";
+  let capacities = parse_floats cur n in
+  let universe = parse_keyword_int cur "universe" in
+  let m = parse_keyword_int cur "quorums" in
+  if m <= 0 then fail cur "quorums must be positive";
+  let quorums =
+    Array.init m (fun _ ->
+        let line = next_line cur in
+        match tokens line with
+        | "q" :: ids ->
+            Array.of_list
+              (List.map
+                 (fun s ->
+                   match int_of_string_opt s with
+                   | Some v -> v
+                   | None -> fail cur (Printf.sprintf "bad element id %S" s))
+                 ids)
+        | _ -> fail cur "expected a 'q <ids>' line")
+  in
+  expect cur "strategy";
+  let strategy = parse_floats cur m in
+  let rates =
+    let line = next_line cur in
+    match tokens line with
+    | [ "rates"; "none" ] -> None
+    | [ "rates" ] -> Some (parse_floats cur n)
+    | _ -> fail cur "expected 'rates none' or 'rates'"
+  in
+  expect cur "end";
+  let metric =
+    try Metric.of_matrix matrix
+    with Invalid_argument msg -> fail cur ("invalid metric: " ^ msg)
+  in
+  let system =
+    try Quorum.make ~universe quorums
+    with Invalid_argument msg -> fail cur ("invalid quorum system: " ^ msg)
+  in
+  try Problem.make_qpp ~metric ~capacities ~system ~strategy ?client_rates:rates ()
+  with Invalid_argument msg -> fail cur ("invalid problem: " ^ msg)
+
+let placement_to_string f =
+  String.concat " " (Array.to_list (Array.map string_of_int f))
+
+let placement_of_string s =
+  Array.of_list
+    (List.map
+       (fun tok ->
+         match int_of_string_opt tok with
+         | Some v -> v
+         | None -> failwith (Printf.sprintf "Serialize: bad placement token %S" tok))
+       (tokens (String.trim s)))
+
+let save_problem path p =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (problem_to_string p))
+
+let load_problem path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      let size = in_channel_length ic in
+      problem_of_string (really_input_string ic size))

@@ -1,0 +1,38 @@
+(** Plain-text (de)serialization of problem instances and placements.
+
+    A line-oriented, versioned format so instances can be saved from
+    the CLI, shipped in bug reports, and reloaded bit-exactly:
+
+    {v
+    qplace-instance v1
+    nodes <n>
+    metric
+    <n rows of n floats>
+    capacities
+    <n floats>
+    universe <u>
+    quorums <m>
+    q <sorted element ids>          (m lines)
+    strategy
+    <m floats>
+    rates none | rates
+    [<n floats>]
+    end
+    v}
+
+    Floats are printed with ["%.17g"] so round-trips are exact. *)
+
+val problem_to_string : Problem.qpp -> string
+
+val problem_of_string : string -> Problem.qpp
+(** @raise Failure with a line-numbered message on malformed input
+    (also when the embedded system/strategy fails validation). *)
+
+val placement_to_string : Placement.t -> string
+(** Space-separated node ids on one line. *)
+
+val placement_of_string : string -> Placement.t
+(** @raise Failure on non-integer tokens. *)
+
+val save_problem : string -> Problem.qpp -> unit
+val load_problem : string -> Problem.qpp

@@ -1,0 +1,68 @@
+module Quorum = Qp_quorum.Quorum
+module Lp = Qp_lp.Lp
+module Simplex = Qp_lp.Simplex
+
+type objective = Max_delay | Total_delay
+
+type result = {
+  strategy : Qp_quorum.Strategy.t;
+  delay : float;
+  input_delay : float;
+}
+
+let quorum_weight (p : Problem.qpp) f objective qi =
+  let n = Problem.n_nodes p in
+  let acc = ref 0. in
+  let eval =
+    match objective with
+    | Max_delay -> Delay.quorum_max_delay
+    | Total_delay -> Delay.quorum_total_delay
+  in
+  (match p.Problem.client_rates with
+  | None ->
+      for v = 0 to n - 1 do
+        acc := !acc +. eval p f v qi
+      done;
+      acc := !acc /. float_of_int n
+  | Some rates ->
+      let total = Array.fold_left ( +. ) 0. rates in
+      for v = 0 to n - 1 do
+        if rates.(v) > 0. then acc := !acc +. (rates.(v) *. eval p f v qi)
+      done;
+      acc := !acc /. total);
+  !acc
+
+let optimize ?(objective = Max_delay) (p : Problem.qpp) f =
+  Placement.validate p f;
+  let m = Quorum.n_quorums p.Problem.system in
+  let n = Problem.n_nodes p in
+  let lp = Lp.create m in
+  let weights = Array.init m (fun qi -> quorum_weight p f objective qi) in
+  Array.iteri (fun qi w -> Lp.set_objective lp qi w) weights;
+  Lp.add_constraint lp (List.init m (fun qi -> (qi, 1.))) Lp.Eq 1.;
+  (* Node capacity rows: choosing quorum Q puts one access-unit on
+     every element of Q, hence |{u in Q : f(u) = v}| units on node v. *)
+  for v = 0 to n - 1 do
+    let terms = ref [] in
+    Array.iteri
+      (fun qi q ->
+        let count = Array.fold_left (fun c u -> if f.(u) = v then c + 1 else c) 0 q in
+        if count > 0 then terms := (qi, float_of_int count) :: !terms)
+      (Quorum.quorums p.Problem.system);
+    if !terms <> [] then Lp.add_constraint lp !terms Lp.Le p.Problem.capacities.(v)
+  done;
+  match Simplex.solve lp with
+  | Simplex.Infeasible -> None
+  | Simplex.Unbounded -> assert false (* simplex-bounded: p lives in the simplex *)
+  | Simplex.Optimal { x; objective = delay } ->
+      (* Clean tiny numerical noise and renormalize. *)
+      let total = Array.fold_left ( +. ) 0. x in
+      let strategy = Array.map (fun v -> Float.max 0. v /. total) x in
+      let input_delay =
+        let acc = ref 0. in
+        Array.iteri
+          (fun qi pq -> if pq > 0. then acc := !acc +. (pq *. weights.(qi)))
+          p.Problem.strategy;
+        !acc
+      in
+      Some { strategy; delay; input_delay }

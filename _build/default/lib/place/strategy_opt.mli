@@ -1,0 +1,31 @@
+(** Access-strategy re-optimization for a FIXED placement.
+
+    The paper takes the access strategy [p] as input (chosen for load
+    balance, Footnote 1). Once a placement [f] exists, a complementary
+    knob opens up: re-choose [p] to minimize the delay THROUGH THIS
+    PLACEMENT while still respecting node capacities — a small LP over
+    the quorum probabilities:
+
+    minimize   sum_Q p(Q) * w_Q
+               with w_Q = Avg_v delta_f(v, Q)   (max-delay)
+                    or   Avg_v gamma_f(v, Q)    (total-delay)
+    subject to sum_Q p(Q) = 1,  p >= 0,
+               load_f,p(v) = sum_{u : f(u) = v} sum_{Q : u in Q} p(Q)
+                             <= cap(v)          for every node v.
+
+    This is an ablation the Section 6 discussion invites: delay can
+    only improve over the input strategy, at the price of skewing
+    element loads (still within capacity). *)
+
+type objective = Max_delay | Total_delay
+
+type result = {
+  strategy : Qp_quorum.Strategy.t;
+  delay : float; (* objective value under the new strategy *)
+  input_delay : float; (* same objective under the problem's strategy *)
+}
+
+val optimize : ?objective:objective -> Problem.qpp -> Placement.t -> result option
+(** [None] when no distribution satisfies the capacity rows (possible:
+    the input strategy itself may violate them under [f]). Default
+    objective [Max_delay]. *)

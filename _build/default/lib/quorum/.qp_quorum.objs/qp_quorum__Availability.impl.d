@@ -1,0 +1,1 @@
+lib/quorum/availability.ml: Array Float Hashtbl Qp_util Quorum Stdlib

@@ -1,0 +1,1 @@
+lib/quorum/availability.mli: Qp_util Quorum

@@ -1,0 +1,1 @@
+lib/quorum/byzantine_qs.ml: Array List Qp_util Quorum

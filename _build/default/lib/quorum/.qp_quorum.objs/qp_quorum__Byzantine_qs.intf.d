@@ -1,0 +1,1 @@
+lib/quorum/byzantine_qs.mli: Quorum

@@ -1,0 +1,1 @@
+lib/quorum/compose_qs.ml: Array List Quorum

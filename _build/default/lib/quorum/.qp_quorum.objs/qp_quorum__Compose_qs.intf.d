@@ -1,0 +1,1 @@
+lib/quorum/compose_qs.mli: Quorum Strategy

@@ -1,0 +1,1 @@
+lib/quorum/fpp_qs.mli: Quorum

@@ -1,0 +1,1 @@
+lib/quorum/grid_qs.ml: Array Float Quorum Strategy

@@ -1,0 +1,1 @@
+lib/quorum/majority_qs.ml: Array List Qp_util Quorum

@@ -1,0 +1,1 @@
+lib/quorum/majority_qs.mli: Qp_util Quorum

@@ -1,0 +1,1 @@
+lib/quorum/probe.ml: Array Qp_util Quorum Stdlib

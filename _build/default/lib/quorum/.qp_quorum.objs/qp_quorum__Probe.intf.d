@@ -1,0 +1,1 @@
+lib/quorum/probe.mli: Qp_util Quorum

@@ -1,0 +1,1 @@
+lib/quorum/quorum.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/quorum/quorum.mli: Format

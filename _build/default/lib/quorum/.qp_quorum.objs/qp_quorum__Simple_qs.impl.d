@@ -1,0 +1,1 @@
+lib/quorum/simple_qs.ml: Array Quorum

@@ -1,0 +1,1 @@
+lib/quorum/strategy.ml: Array Float Qp_util Quorum

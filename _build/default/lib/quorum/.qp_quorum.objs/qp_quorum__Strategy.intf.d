@@ -1,0 +1,1 @@
+lib/quorum/strategy.mli: Qp_util Quorum

@@ -1,0 +1,1 @@
+lib/quorum/strategy_lp.ml: Array Float List Qp_lp Quorum Stdlib Strategy

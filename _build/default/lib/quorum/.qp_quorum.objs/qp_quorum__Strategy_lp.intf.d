@@ -1,0 +1,1 @@
+lib/quorum/strategy_lp.mli: Quorum Strategy

@@ -1,0 +1,1 @@
+lib/quorum/tree_qs.ml: Array Int List Quorum Set

@@ -1,0 +1,1 @@
+lib/quorum/tree_qs.mli: Quorum

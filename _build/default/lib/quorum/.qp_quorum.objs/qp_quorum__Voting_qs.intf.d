@@ -1,0 +1,1 @@
+lib/quorum/voting_qs.mli: Quorum

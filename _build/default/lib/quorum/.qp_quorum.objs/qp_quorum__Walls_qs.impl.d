@@ -1,0 +1,1 @@
+lib/quorum/walls_qs.ml: Array List Quorum

@@ -1,0 +1,45 @@
+let intersection_degree s =
+  let qs = Quorum.quorums s in
+  let m = Array.length qs in
+  if m = 1 then Quorum.universe s
+  else begin
+    let best = ref max_int in
+    for i = 0 to m - 1 do
+      for j = i + 1 to m - 1 do
+        let d = Array.length (Quorum.intersection qs.(i) qs.(j)) in
+        if d < !best then best := d
+      done
+    done;
+    !best
+  end
+
+let is_dissemination s ~f =
+  if f < 0 then invalid_arg "Byzantine_qs: f >= 0 required";
+  intersection_degree s >= f + 1
+
+let is_masking s ~f =
+  if f < 0 then invalid_arg "Byzantine_qs: f >= 0 required";
+  intersection_degree s >= (2 * f) + 1
+
+let max_dissemination_f s = intersection_degree s - 1
+
+let max_masking_f s = (intersection_degree s - 1) / 2
+
+let threshold ~n ~t =
+  if Qp_util.Combin.binomial n t > 500_000 then
+    invalid_arg "Byzantine_qs: family too large to enumerate";
+  let quorums = ref [] in
+  Qp_util.Combin.choose_iter n t (fun subset ->
+      quorums := Array.of_list subset :: !quorums);
+  Quorum.make_unchecked ~universe:n (Array.of_list (List.rev !quorums))
+
+let dissemination_majority ~n ~f =
+  if f < 0 then invalid_arg "Byzantine_qs: f >= 0 required";
+  if n < (3 * f) + 1 then
+    invalid_arg "Byzantine_qs.dissemination_majority: n >= 3f + 1 required";
+  threshold ~n ~t:((n + f + 2) / 2)
+
+let masking_majority ~n ~f =
+  if f < 0 then invalid_arg "Byzantine_qs: f >= 0 required";
+  if n < (4 * f) + 1 then invalid_arg "Byzantine_qs.masking_majority: n >= 4f + 1 required";
+  threshold ~n ~t:((n + (2 * f) + 2) / 2)

@@ -1,0 +1,39 @@
+(** Byzantine quorum systems [Malkhi–Reiter 98], the paper's reference
+    [16]. Ordinary intersection tolerates crashes; tolerating [f]
+    BYZANTINE servers needs larger overlaps:
+
+    - [f]-dissemination: any two quorums share at least [f + 1]
+      elements (self-verifying data: one correct server in the
+      intersection suffices);
+    - [f]-masking: any two quorums share at least [2f + 1] elements
+      (a correct majority of the intersection out-votes the liars).
+
+    The threshold constructions below are the classic ones; the
+    placement machinery applies to them unchanged — experiment E14
+    prices the extra overlap in access delay. *)
+
+val intersection_degree : Quorum.system -> int
+(** Minimum [|Q ∩ Q'|] over distinct quorum pairs (the family's
+    Byzantine budget); equals the universe size for single-quorum
+    systems. *)
+
+val is_dissemination : Quorum.system -> f:int -> bool
+(** [intersection_degree >= f + 1]. *)
+
+val is_masking : Quorum.system -> f:int -> bool
+(** [intersection_degree >= 2f + 1]. *)
+
+val max_dissemination_f : Quorum.system -> int
+val max_masking_f : Quorum.system -> int
+(** Largest tolerable [f] under each property (possibly 0; -1 when
+    even f = 0 fails, which cannot happen for valid systems). *)
+
+val dissemination_majority : n:int -> f:int -> Quorum.system
+(** Threshold system with quorum size [ceil ((n + f + 1) / 2)].
+    @raise Invalid_argument unless [n >= 3f + 1] (availability: a
+    quorum must survive [f] failures) or the family is too large to
+    enumerate. *)
+
+val masking_majority : n:int -> f:int -> Quorum.system
+(** Threshold system with quorum size [ceil ((n + 2f + 1) / 2)].
+    @raise Invalid_argument unless [n >= 4f + 1]. *)

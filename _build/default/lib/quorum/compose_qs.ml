@@ -1,0 +1,65 @@
+let check outer inners =
+  if Array.length inners <> Quorum.universe outer then
+    invalid_arg "Compose_qs: need one inner system per outer element"
+
+let block_offsets inners =
+  let n = Array.length inners in
+  let offsets = Array.make n 0 in
+  for i = 1 to n - 1 do
+    offsets.(i) <- offsets.(i - 1) + Quorum.universe inners.(i - 1)
+  done;
+  offsets
+
+let n_composed_quorums outer inners =
+  check outer inners;
+  Array.fold_left
+    (fun acc q ->
+      acc + Array.fold_left (fun prod i -> prod * Quorum.n_quorums inners.(i)) 1 q)
+    0 (Quorum.quorums outer)
+
+let compose outer inners =
+  check outer inners;
+  if n_composed_quorums outer inners > 200_000 then
+    invalid_arg "Compose_qs.compose: composed family too large";
+  let offsets = block_offsets inners in
+  let universe =
+    Array.fold_left (fun acc s -> acc + Quorum.universe s) 0 inners
+  in
+  let composed = ref [] in
+  Array.iter
+    (fun outer_q ->
+      (* Cartesian product of inner quorum choices over the blocks of
+         this outer quorum. *)
+      let rec expand blocks acc =
+        match blocks with
+        | [] -> composed := Array.of_list (List.rev acc) :: !composed
+        | i :: rest ->
+            Array.iter
+              (fun inner_q ->
+                let shifted =
+                  List.rev (Array.to_list (Array.map (fun u -> offsets.(i) + u) inner_q))
+                in
+                expand rest (shifted @ acc))
+              (Quorum.quorums inners.(i))
+      in
+      expand (Array.to_list outer_q) [])
+    (Quorum.quorums outer);
+  (* Intersection holds by the composition argument; verified for the
+     sizes used in tests. *)
+  Quorum.make_unchecked ~universe (Array.of_list (List.rev !composed))
+
+let uniform_recursive_strategy outer inners =
+  check outer inners;
+  let m_outer = Quorum.n_quorums outer in
+  let weights = ref [] in
+  Array.iter
+    (fun outer_q ->
+      let combos =
+        Array.fold_left (fun prod i -> prod * Quorum.n_quorums inners.(i)) 1 outer_q
+      in
+      let w = 1. /. float_of_int m_outer /. float_of_int combos in
+      for _ = 1 to combos do
+        weights := w :: !weights
+      done)
+    (Quorum.quorums outer);
+  Array.of_list (List.rev !weights)

@@ -1,0 +1,26 @@
+(** Recursive composition of quorum systems — the classic construction
+    behind hierarchical quorums (and the degenerate view of the tree
+    protocol).
+
+    [compose outer inners] replaces element [i] of [outer]'s universe
+    by the whole universe of [inners.(i)]; a composed quorum picks an
+    outer quorum [Q] and, for each [i in Q], one quorum of
+    [inners.(i)]. Intersection: two composed quorums have outer
+    quorums meeting at some [i], and inside block [i] their inner
+    quorums intersect. *)
+
+val compose : Quorum.system -> Quorum.system array -> Quorum.system
+(** @raise Invalid_argument when the array length differs from the
+    outer universe or the composed family would exceed 200_000
+    quorums. *)
+
+val n_composed_quorums : Quorum.system -> Quorum.system array -> int
+(** Family size without materializing. *)
+
+val block_offsets : Quorum.system array -> int array
+(** Start index of each inner block in the composed universe. *)
+
+val uniform_recursive_strategy : Quorum.system -> Quorum.system array -> Strategy.t
+(** The product of uniform choices: uniform outer quorum, then uniform
+    inner quorum per block — NOT the uniform distribution over the
+    composed family when inner family sizes differ. *)

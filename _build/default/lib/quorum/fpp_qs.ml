@@ -1,0 +1,34 @@
+let is_prime q =
+  if q < 2 then false
+  else begin
+    let rec go d = d * d > q || (q mod d <> 0 && go (d + 1)) in
+    go 2
+  end
+
+let make q =
+  if not (is_prime q) then invalid_arg "Fpp_qs.make: q must be prime";
+  if q > 31 then invalid_arg "Fpp_qs.make: q <= 31 required";
+  let n = (q * q) + q + 1 in
+  (* Point ids: affine (x,y) -> x*q + y; point at infinity for slope m
+     -> q^2 + m (m in 0..q-1); vertical direction -> q^2 + q. *)
+  let affine x y = (x * q) + y in
+  let inf_slope m = (q * q) + m in
+  let inf_vertical = (q * q) + q in
+  let lines = ref [] in
+  (* Sloped lines y = m x + b. *)
+  for m = 0 to q - 1 do
+    for b = 0 to q - 1 do
+      let pts = Array.init q (fun x -> affine x (((m * x) + b) mod q)) in
+      lines := Array.append pts [| inf_slope m |] :: !lines
+    done
+  done;
+  (* Vertical lines x = a. *)
+  for a = 0 to q - 1 do
+    let pts = Array.init q (fun y -> affine a y) in
+    lines := Array.append pts [| inf_vertical |] :: !lines
+  done;
+  (* Line at infinity. *)
+  lines := Array.init (q + 1) (fun m -> (q * q) + m) :: !lines;
+  (* Any two lines of a projective plane meet in exactly one point;
+     validated exhaustively in tests for the sizes we use. *)
+  Quorum.make_unchecked ~universe:n (Array.of_list !lines)

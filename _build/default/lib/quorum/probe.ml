@@ -1,0 +1,80 @@
+type outcome = { probes : int; found : bool }
+
+type state = Unknown | Live | Dead
+
+let min_quorum_size s =
+  Array.fold_left (fun acc q -> Stdlib.min acc (Array.length q)) max_int (Quorum.quorums s)
+
+let greedy_probe rng s ~p =
+  if p < 0. || p > 1. then invalid_arg "Probe.greedy_probe: p out of range";
+  let n = Quorum.universe s in
+  let st = Array.make n Unknown in
+  let quorums = Quorum.quorums s in
+  let alive = Array.make (Array.length quorums) true in
+  let probes = ref 0 in
+  let result = ref None in
+  while !result = None do
+    (* A quorum is verified when all members are Live; it is pruned
+       when a member is Dead. Pick the viable quorum with the fewest
+       Unknown members and probe one of them. *)
+    let best = ref (-1) in
+    let best_unknown = ref max_int in
+    Array.iteri
+      (fun qi q ->
+        if alive.(qi) then begin
+          let unknown = ref 0 in
+          Array.iter (fun u -> if st.(u) = Unknown then incr unknown) q;
+          if !unknown < !best_unknown then begin
+            best_unknown := !unknown;
+            best := qi
+          end
+        end)
+      quorums;
+    if !best < 0 then result := Some false (* every quorum pruned *)
+    else if !best_unknown = 0 then result := Some true
+    else begin
+      let q = quorums.(!best) in
+      let u =
+        match Array.find_opt (fun u -> st.(u) = Unknown) q with
+        | Some u -> u
+        | None -> assert false
+      in
+      incr probes;
+      if Qp_util.Rng.uniform rng < p then begin
+        st.(u) <- Dead;
+        (* Prune every quorum containing u. *)
+        Array.iteri
+          (fun qi q -> if alive.(qi) && Quorum.mem q u then alive.(qi) <- false)
+          quorums
+      end
+      else st.(u) <- Live
+    end
+  done;
+  { probes = !probes; found = (match !result with Some b -> b | None -> assert false) }
+
+type stats = {
+  mean_probes : float;
+  success_rate : float;
+  mean_probes_on_success : float;
+}
+
+let estimate rng s ~p ~samples =
+  if samples <= 0 then invalid_arg "Probe.estimate: samples must be positive";
+  let total = ref 0 in
+  let successes = ref 0 in
+  let success_probes = ref 0 in
+  for _ = 1 to samples do
+    let o = greedy_probe rng s ~p in
+    total := !total + o.probes;
+    if o.found then begin
+      incr successes;
+      success_probes := !success_probes + o.probes
+    end
+  done;
+  {
+    mean_probes = float_of_int !total /. float_of_int samples;
+    success_rate = float_of_int !successes /. float_of_int samples;
+    mean_probes_on_success =
+      (if !successes = 0 then 0.
+       else float_of_int !success_probes /. float_of_int !successes);
+  }

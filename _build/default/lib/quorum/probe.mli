@@ -1,0 +1,30 @@
+(** Probe complexity [Peleg–Wool, "How to be an efficient snoop"]:
+    how many elements must a client contact, adaptively, to find a
+    live quorum — or certify that none is fully alive — when each
+    element has failed independently with probability [p]?
+
+    This module simulates a natural greedy adaptive prober: always
+    probe the next unknown element of the quorum that currently needs
+    the fewest additional live answers, pruning quorums as soon as one
+    of their elements is found dead. Exact lower bound: at least
+    [c(Q)] (smallest quorum size) probes are needed on failure-free
+    runs, and the greedy prober meets it. *)
+
+type outcome = {
+  probes : int; (* elements contacted *)
+  found : bool; (* a fully-live quorum was verified *)
+}
+
+val greedy_probe : Qp_util.Rng.t -> Quorum.system -> p:float -> outcome
+(** One adaptive probing run with iid element failures. *)
+
+type stats = {
+  mean_probes : float;
+  success_rate : float;
+  mean_probes_on_success : float;
+}
+
+val estimate : Qp_util.Rng.t -> Quorum.system -> p:float -> samples:int -> stats
+
+val min_quorum_size : Quorum.system -> int
+(** [c(Q)], the failure-free probe optimum. *)

@@ -1,0 +1,17 @@
+let singleton n u =
+  if n < 1 then invalid_arg "Simple_qs.singleton: n >= 1 required";
+  if u < 0 || u >= n then invalid_arg "Simple_qs.singleton: element out of range";
+  Quorum.make ~universe:n [| [| u |] |]
+
+let star n =
+  if n < 1 then invalid_arg "Simple_qs.star: n >= 1 required";
+  if n = 1 then Quorum.make ~universe:1 [| [| 0 |] |]
+  else Quorum.make ~universe:n (Array.init (n - 1) (fun i -> [| 0; i + 1 |]))
+
+let wheel n =
+  if n < 3 then invalid_arg "Simple_qs.wheel: n >= 3 required";
+  let spokes = Array.init (n - 1) (fun i -> [| 0; i + 1 |]) in
+  let rim = Array.init (n - 1) (fun i -> i + 1) in
+  Quorum.make ~universe:n (Array.append spokes [| rim |])
+
+let triangle () = Quorum.make ~universe:3 [| [| 0; 1 |]; [| 0; 2 |]; [| 1; 2 |] |]

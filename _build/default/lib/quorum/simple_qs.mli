@@ -1,0 +1,20 @@
+(** Degenerate and small quorum systems used as baselines and test
+    fixtures. *)
+
+val singleton : int -> int -> Quorum.system
+(** [singleton n u] over a universe of size [n]: the single quorum
+    [{u}] — the load-1 "Lin solution" the paper criticizes in Related
+    Work (all advantages of distribution lost). *)
+
+val star : int -> Quorum.system
+(** [star n]: quorums [{0, i}] for [i = 1..n-1] (all through hub 0);
+    for [n = 1] the single quorum [{0}]. *)
+
+val wheel : int -> Quorum.system
+(** [wheel n] for [n >= 3]: hub 0, rim [1..n-1]; quorums are [{0, i}]
+    for each rim element plus the full rim — the classic wheel
+    coterie. *)
+
+val triangle : unit -> Quorum.system
+(** The 2-of-3 majority on universe [{0,1,2}]: quorums are all pairs.
+    The smallest non-trivial coterie; handy in unit tests. *)

@@ -1,0 +1,40 @@
+module Lp = Qp_lp.Lp
+module Simplex = Qp_lp.Simplex
+
+type result = { load : float; strategy : Strategy.t }
+
+let optimal system =
+  let m = Quorum.n_quorums system in
+  let n = Quorum.universe system in
+  (* Variables: p(Q) for each quorum, then L last. *)
+  let l_var = m in
+  let lp = Lp.create (m + 1) in
+  Lp.set_objective lp l_var 1.;
+  Lp.add_constraint lp (List.init m (fun qi -> (qi, 1.))) Lp.Eq 1.;
+  for u = 0 to n - 1 do
+    let terms =
+      List.filter_map
+        (fun qi -> if Quorum.mem (Quorum.quorum system qi) u then Some (qi, 1.) else None)
+        (List.init m (fun qi -> qi))
+    in
+    if terms <> [] then Lp.add_constraint lp ((l_var, -1.) :: terms) Lp.Le 0.
+  done;
+  match Simplex.solve lp with
+  | Simplex.Optimal { x; objective } ->
+      let weights = Array.sub x 0 m in
+      { load = objective; strategy = Strategy.of_weights system weights }
+  | Simplex.Infeasible | Simplex.Unbounded ->
+      (* Impossible: the uniform strategy with L = 1 is feasible and
+         L >= 0 bounds the objective. *)
+      assert false
+
+let meets_naor_wool_bound system =
+  let r = optimal system in
+  let c =
+    Array.fold_left
+      (fun acc q -> Stdlib.min acc (Array.length q))
+      max_int (Quorum.quorums system)
+  in
+  let n = float_of_int (Quorum.universe system) in
+  let bound = Float.max (1. /. float_of_int c) (float_of_int c /. n) in
+  Float.abs (r.load -. bound) <= 1e-6

@@ -1,0 +1,26 @@
+(** The exact system load L(Q) of a quorum system, via LP.
+
+    [Naor–Wool 98] define L(Q) as the minimum over access strategies
+    of the maximum element load. For the classic constructions the
+    optimal strategy is known in closed form (uniform for Grid and
+    FPP); for arbitrary systems it is this small LP:
+
+    minimize L   s.t.  sum_{Q ∋ u} p(Q) <= L  for every element u,
+                       sum_Q p(Q) = 1,  p >= 0.
+
+    The paper's Footnote 1 assumes such a load-optimal strategy is
+    chosen upstream; this module makes that step executable for any
+    explicit system. *)
+
+type result = {
+  load : float; (* L(Q) *)
+  strategy : Strategy.t; (* a witness achieving it *)
+}
+
+val optimal : Quorum.system -> result
+(** Always feasible (any distribution works); the simplex is exact at
+    these sizes. *)
+
+val meets_naor_wool_bound : Quorum.system -> bool
+(** Whether L(Q) equals [max (1/c(Q), c(Q)/n)] (tolerance 1e-6) — true
+    for the "perfect" constructions like finite projective planes. *)

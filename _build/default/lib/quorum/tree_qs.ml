@@ -1,0 +1,32 @@
+let universe_size depth = (1 lsl (depth + 1)) - 1
+
+let rec n_quorums depth =
+  if depth = 0 then 1
+  else
+    let f = n_quorums (depth - 1) in
+    (2 * f) + (f * f)
+
+module Iset = Set.Make (Int)
+
+let make depth =
+  if depth < 0 then invalid_arg "Tree_qs.make: depth >= 0 required";
+  if depth > 3 then invalid_arg "Tree_qs.make: depth <= 3 required (family blows up)";
+  let n = universe_size depth in
+  (* Quorums of the subtree rooted at [v] with [levels] levels left. *)
+  let rec quorums_of v levels =
+    if levels = 0 then [ Iset.singleton v ]
+    else begin
+      let left = quorums_of ((2 * v) + 1) (levels - 1) in
+      let right = quorums_of ((2 * v) + 2) (levels - 1) in
+      let with_root = List.map (Iset.add v) (left @ right) in
+      let without_root =
+        List.concat_map (fun ql -> List.map (Iset.union ql) right) left
+      in
+      with_root @ without_root
+    end
+  in
+  let family = quorums_of 0 depth in
+  let arrays = List.map (fun s -> Array.of_list (Iset.elements s)) family in
+  (* The recursion above is the textbook construction; intersection is
+     proved by induction and double-checked in the test suite. *)
+  Quorum.make_unchecked ~universe:n (Array.of_list arrays)

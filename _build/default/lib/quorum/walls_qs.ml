@@ -1,0 +1,44 @@
+let check widths =
+  if widths = [] then invalid_arg "Walls_qs: empty wall";
+  List.iter (fun w -> if w <= 0 then invalid_arg "Walls_qs: non-positive row width") widths
+
+let n_quorums widths =
+  check widths;
+  let arr = Array.of_list widths in
+  let d = Array.length arr in
+  let total = ref 0 in
+  for i = 0 to d - 1 do
+    let prod = ref 1 in
+    for j = i + 1 to d - 1 do
+      prod := !prod * arr.(j)
+    done;
+    total := !total + !prod
+  done;
+  !total
+
+let make widths =
+  check widths;
+  if n_quorums widths > 500_000 then invalid_arg "Walls_qs.make: family too large";
+  let arr = Array.of_list widths in
+  let d = Array.length arr in
+  let offsets = Array.make d 0 in
+  for i = 1 to d - 1 do
+    offsets.(i) <- offsets.(i - 1) + arr.(i - 1)
+  done;
+  let universe = offsets.(d - 1) + arr.(d - 1) in
+  let row i = Array.init arr.(i) (fun c -> offsets.(i) + c) in
+  let quorums = ref [] in
+  (* For full row i, extend with each combination of representatives
+     from rows i+1 .. d-1. *)
+  for i = 0 to d - 1 do
+    let base = row i in
+    let rec extend j acc =
+      if j = d then quorums := Array.of_list (List.rev acc) :: !quorums
+      else
+        for c = 0 to arr.(j) - 1 do
+          extend (j + 1) ((offsets.(j) + c) :: acc)
+        done
+    in
+    extend (i + 1) (List.rev (Array.to_list base))
+  done;
+  Quorum.make_unchecked ~universe (Array.of_list (List.rev !quorums))

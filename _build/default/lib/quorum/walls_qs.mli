@@ -1,0 +1,15 @@
+(** Crumbling Walls quorum systems [Peleg–Wool 97].
+
+    The universe is arranged in rows ("the wall") of given widths; a
+    quorum takes one full row [i] plus one representative from every
+    row below [i]. Any two quorums intersect: if they pick the same
+    full row they share it; otherwise the one with the higher full row
+    owns a representative inside the other's full row. *)
+
+val make : int list -> Quorum.system
+(** [make widths] with positive widths, listed top to bottom. The last
+    row must be reachable: family size is
+    [sum_i prod_{j>i} width_j]; guarded to 500_000.
+    @raise Invalid_argument on empty/non-positive widths or blow-up. *)
+
+val n_quorums : int list -> int

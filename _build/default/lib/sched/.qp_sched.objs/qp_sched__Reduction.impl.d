@@ -1,0 +1,1 @@
+lib/sched/reduction.ml: Array List Qp_graph Qp_quorum Sched Stdlib

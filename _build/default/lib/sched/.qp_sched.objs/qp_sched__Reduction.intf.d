@@ -1,0 +1,1 @@
+lib/sched/reduction.mli: Qp_graph Qp_quorum Sched

@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Array List Qp_util Queue

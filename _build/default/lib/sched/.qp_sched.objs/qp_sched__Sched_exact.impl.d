@@ -1,0 +1,1 @@
+lib/sched/sched_exact.ml: Array List Sched

@@ -1,0 +1,1 @@
+lib/sched/sched_heuristics.ml: Array List Sched

@@ -1,0 +1,1 @@
+lib/sched/sched_heuristics.mli: Sched

@@ -1,0 +1,1 @@
+lib/sched/sidney.ml: Array Hashtbl List Qp_assign Queue Sched

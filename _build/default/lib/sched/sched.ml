@@ -1,0 +1,95 @@
+type t = {
+  n : int;
+  time : float array;
+  weight : float array;
+  prec : (int * int) list;
+}
+
+let predecessors t j = List.filter_map (fun (a, b) -> if b = j then Some a else None) t.prec
+
+let successors t i = List.filter_map (fun (a, b) -> if a = i then Some b else None) t.prec
+
+let topological_order_opt t =
+  let indeg = Array.make t.n 0 in
+  List.iter (fun (_, b) -> indeg.(b) <- indeg.(b) + 1) t.prec;
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let order = Array.make t.n (-1) in
+  let k = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order.(!k) <- v;
+    incr k;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      (successors t v)
+  done;
+  if !k = t.n then Some order else None
+
+let make ~time ~weight ~prec =
+  let n = Array.length time in
+  if n = 0 then invalid_arg "Sched.make: no jobs";
+  if Array.length weight <> n then invalid_arg "Sched.make: weight length mismatch";
+  Array.iter (fun x -> if x < 0. then invalid_arg "Sched.make: negative time") time;
+  Array.iter (fun x -> if x < 0. then invalid_arg "Sched.make: negative weight") weight;
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= n || b < 0 || b >= n || a = b then
+        invalid_arg "Sched.make: bad precedence pair")
+    prec;
+  let t = { n; time; weight; prec } in
+  if topological_order_opt t = None then invalid_arg "Sched.make: cyclic precedence";
+  t
+
+let topological_order t =
+  match topological_order_opt t with Some o -> o | None -> assert false
+
+let is_feasible t order =
+  Array.length order = t.n
+  && begin
+       let pos = Array.make t.n (-1) in
+       let ok = ref true in
+       Array.iteri
+         (fun idx j ->
+           if j < 0 || j >= t.n || pos.(j) >= 0 then ok := false else pos.(j) <- idx)
+         order;
+       !ok && List.for_all (fun (a, b) -> pos.(a) < pos.(b)) t.prec
+     end
+
+let cost t order =
+  if not (is_feasible t order) then invalid_arg "Sched.cost: infeasible schedule";
+  let clock = ref 0. in
+  let acc = ref 0. in
+  Array.iter
+    (fun j ->
+      clock := !clock +. t.time.(j);
+      acc := !acc +. (t.weight.(j) *. !clock))
+    order;
+  !acc
+
+let is_woeginger_form t =
+  let type_of j =
+    if t.time.(j) = 1. && t.weight.(j) = 0. then `Unit_time
+    else if t.time.(j) = 0. && t.weight.(j) = 1. then `Unit_weight
+    else `Other
+  in
+  Array.for_all (fun j -> type_of j <> `Other) (Array.init t.n (fun i -> i))
+  && List.for_all
+       (fun (a, b) -> type_of a = `Unit_time && type_of b = `Unit_weight)
+       t.prec
+
+let random_woeginger rng ~n_unit_time ~n_unit_weight ~edge_prob =
+  if n_unit_time < 1 || n_unit_weight < 1 then
+    invalid_arg "Sched.random_woeginger: need jobs of both types";
+  let n = n_unit_time + n_unit_weight in
+  let time = Array.init n (fun j -> if j < n_unit_time then 1. else 0.) in
+  let weight = Array.init n (fun j -> if j < n_unit_time then 0. else 1.) in
+  let prec = ref [] in
+  for a = 0 to n_unit_time - 1 do
+    for b = n_unit_time to n - 1 do
+      if Qp_util.Rng.uniform rng < edge_prob then prec := (a, b) :: !prec
+    done
+  done;
+  make ~time ~weight ~prec:!prec

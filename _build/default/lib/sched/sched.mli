@@ -1,0 +1,46 @@
+(** Single-machine weighted-completion-time scheduling with precedence
+    constraints — the problem [1|prec|sum w_j C_j] used as the source
+    of the paper's NP-hardness reduction (Section 3.2).
+
+    Jobs [0..n-1] have processing times [time] and weights [weight];
+    [prec] lists pairs [(i, j)] meaning job [i] must complete before
+    job [j] starts. A schedule is a permutation of the jobs consistent
+    with [prec]; its cost is [sum_j weight.(j) * C_j] where [C_j] is
+    the completion time of job [j]. *)
+
+type t = {
+  n : int;
+  time : float array;
+  weight : float array;
+  prec : (int * int) list;
+}
+
+val make : time:float array -> weight:float array -> prec:(int * int) list -> t
+(** Validates: equal lengths, non-negative times and weights, in-range
+    acyclic precedence. @raise Invalid_argument otherwise (including
+    cyclic [prec]). *)
+
+val is_feasible : t -> int array -> bool
+(** [is_feasible t order] checks [order] is a permutation respecting
+    [prec]. *)
+
+val cost : t -> int array -> float
+(** Weighted completion time of a feasible schedule.
+    @raise Invalid_argument if infeasible. *)
+
+val predecessors : t -> int -> int list
+val successors : t -> int -> int list
+
+val topological_order : t -> int array
+(** Some feasible order (Kahn's algorithm). *)
+
+val is_woeginger_form : t -> bool
+(** The restricted form of Theorem 3.5(b): every job has either
+    [T=1, w=0] or [T=0, w=1], and every precedence pair goes from a
+    [T=1] job to a [T=0] job. *)
+
+val random_woeginger : Qp_util.Rng.t -> n_unit_time:int -> n_unit_weight:int -> edge_prob:float -> t
+(** Random instance in Woeginger form: [n_unit_time] jobs with
+    [T=1, w=0] followed by [n_unit_weight] jobs with [T=0, w=1], each
+    (time, weight) pair becoming a precedence edge independently with
+    probability [edge_prob]. *)

@@ -1,0 +1,71 @@
+(* dp.(mask) = least weighted completion time of scheduling exactly the
+   jobs in [mask] first (in some precedence-feasible internal order).
+   Transition: append job [j] whose predecessors all lie in [mask];
+   its completion time is the total processing time of [mask + j]. *)
+
+let solve (t : Sched.t) =
+  if t.n > 20 then invalid_arg "Sched_exact.solve: n <= 20 required";
+  let n = t.n in
+  let size = 1 lsl n in
+  let pred_mask = Array.make n 0 in
+  List.iter (fun (a, b) -> pred_mask.(b) <- pred_mask.(b) lor (1 lsl a)) t.prec;
+  let total_time = Array.make size 0. in
+  for mask = 1 to size - 1 do
+    let j = ref 0 in
+    while mask land (1 lsl !j) = 0 do
+      incr j
+    done;
+    total_time.(mask) <- total_time.(mask lxor (1 lsl !j)) +. t.time.(!j)
+  done;
+  let dp = Array.make size infinity in
+  let choice = Array.make size (-1) in
+  dp.(0) <- 0.;
+  for mask = 0 to size - 1 do
+    if dp.(mask) < infinity then
+      for j = 0 to n - 1 do
+        let bit = 1 lsl j in
+        if mask land bit = 0 && pred_mask.(j) land mask = pred_mask.(j) then begin
+          let mask' = mask lor bit in
+          let completion = total_time.(mask) +. t.time.(j) in
+          let cost = dp.(mask) +. (t.weight.(j) *. completion) in
+          if cost < dp.(mask') then begin
+            dp.(mask') <- cost;
+            choice.(mask') <- j
+          end
+        end
+      done
+  done;
+  let order = Array.make n (-1) in
+  let mask = ref (size - 1) in
+  for pos = n - 1 downto 0 do
+    let j = choice.(!mask) in
+    assert (j >= 0);
+    order.(pos) <- j;
+    mask := !mask lxor (1 lsl j)
+  done;
+  (dp.(size - 1), order)
+
+let brute_force (t : Sched.t) =
+  if t.n > 8 then invalid_arg "Sched_exact.brute_force: n <= 8 required";
+  let best = ref infinity in
+  let order = Array.init t.n (fun i -> i) in
+  let rec permute k =
+    if k = t.n then begin
+      if Sched.is_feasible t order then begin
+        let c = Sched.cost t order in
+        if c < !best then best := c
+      end
+    end
+    else
+      for i = k to t.n - 1 do
+        let tmp = order.(k) in
+        order.(k) <- order.(i);
+        order.(i) <- tmp;
+        permute (k + 1);
+        let tmp = order.(k) in
+        order.(k) <- order.(i);
+        order.(i) <- tmp
+      done
+  in
+  permute 0;
+  !best

@@ -1,0 +1,12 @@
+(** Exact solver for [1|prec|sum w_j C_j] by dynamic programming over
+    downward-closed job subsets. Exponential in [n]; guarded to
+    [n <= 20]. Used to validate the Theorem 3.6 reduction end-to-end
+    and as the optimum oracle in experiment E3. *)
+
+val solve : Sched.t -> float * int array
+(** [(optimal_cost, optimal_order)].
+    @raise Invalid_argument when [n > 20]. *)
+
+val brute_force : Sched.t -> float
+(** Optimal cost by enumerating all permutations ([n <= 8]); test
+    oracle for {!solve}. *)

@@ -1,0 +1,23 @@
+let wspt (t : Sched.t) =
+  let n = t.n in
+  let indeg = Array.make n 0 in
+  List.iter (fun (_, b) -> indeg.(b) <- indeg.(b) + 1) t.prec;
+  let done_ = Array.make n false in
+  let order = Array.make n (-1) in
+  let ratio j =
+    if t.time.(j) <= 0. then infinity else t.weight.(j) /. t.time.(j)
+  in
+  for pos = 0 to n - 1 do
+    let best = ref (-1) in
+    for j = 0 to n - 1 do
+      if (not done_.(j)) && indeg.(j) = 0 then
+        if !best < 0 || ratio j > ratio !best then best := j
+    done;
+    assert (!best >= 0);
+    order.(pos) <- !best;
+    done_.(!best) <- true;
+    List.iter (fun w -> indeg.(w) <- indeg.(w) - 1) (Sched.successors t !best)
+  done;
+  order
+
+let topological = Sched.topological_order

@@ -1,0 +1,12 @@
+(** List-scheduling heuristics for [1|prec|sum w_j C_j], used as
+    comparison points in experiment E3 (the exact DP is the optimum
+    oracle; these show the gap heuristics leave). *)
+
+val wspt : Sched.t -> int array
+(** Precedence-respecting weighted-shortest-processing-time: greedily
+    schedule, among jobs whose predecessors are done, one maximizing
+    [w_j / T_j] (zero-time jobs count as ratio infinity). Optimal for
+    empty precedence (Smith's rule). *)
+
+val topological : Sched.t -> int array
+(** Baseline: any topological order (Kahn). *)

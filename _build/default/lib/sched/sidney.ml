@@ -1,0 +1,111 @@
+module Maxflow = Qp_assign.Maxflow
+
+let max_weight_ideal (t : Sched.t) ~among ~weights =
+  let jobs = Array.of_list among in
+  let k = Array.length jobs in
+  if k = 0 then []
+  else begin
+    let index = Hashtbl.create k in
+    Array.iteri (fun i j -> Hashtbl.replace index j i) jobs;
+    (* Nodes: 0 = source, 1..k = jobs, k+1 = sink. *)
+    let net = Maxflow.create (k + 2) in
+    let source = 0 and sink = k + 1 in
+    Array.iteri
+      (fun i j ->
+        let g = weights j in
+        if g > 0. then Maxflow.add_edge net ~src:source ~dst:(1 + i) ~capacity:g
+        else if g < 0. then Maxflow.add_edge net ~src:(1 + i) ~dst:sink ~capacity:(-.g))
+      jobs;
+    (* Membership of j forces membership of each predecessor i: an
+       infinite arc j -> i keeps them on the same side of the cut. *)
+    List.iter
+      (fun (i, j) ->
+        match (Hashtbl.find_opt index i, Hashtbl.find_opt index j) with
+        | Some ii, Some jj ->
+            Maxflow.add_edge net ~src:(1 + jj) ~dst:(1 + ii) ~capacity:infinity
+        | _ -> ())
+      t.Sched.prec;
+    ignore (Maxflow.max_flow net ~source ~sink);
+    let side = Maxflow.min_cut_side net ~source in
+    let acc = ref [] in
+    for i = k - 1 downto 0 do
+      if side.(1 + i) then acc := jobs.(i) :: !acc
+    done;
+    !acc
+  end
+
+let totals (t : Sched.t) jobs =
+  List.fold_left
+    (fun (w, p) j -> (w +. t.Sched.weight.(j), p +. t.Sched.time.(j)))
+    (0., 0.) jobs
+
+let max_density_ideal (t : Sched.t) ~among =
+  if among = [] then invalid_arg "Sidney.max_density_ideal: empty job set";
+  List.iter
+    (fun j ->
+      if t.Sched.time.(j) <= 0. then
+        invalid_arg "Sidney: positive processing times required")
+    among;
+  (* Dinkelbach: lambda increases strictly; each step solves a
+     max-weight closure with weights w_j - lambda t_j. *)
+  let rec iterate candidate lambda =
+    let s = max_weight_ideal t ~among ~weights:(fun j ->
+        t.Sched.weight.(j) -. (lambda *. t.Sched.time.(j)))
+    in
+    let w, p = totals t s in
+    let value = w -. (lambda *. p) in
+    if s = [] || value <= 1e-9 then candidate
+    else begin
+      let lambda' = w /. p in
+      if lambda' <= lambda +. 1e-12 then s else iterate s lambda'
+    end
+  in
+  let w0, p0 = totals t among in
+  iterate among (w0 /. p0)
+
+let decomposition (t : Sched.t) =
+  Array.iter
+    (fun time -> if time <= 0. then invalid_arg "Sidney: positive processing times required")
+    t.Sched.time;
+  let rec peel remaining acc =
+    if remaining = [] then List.rev acc
+    else begin
+      let block = max_density_ideal t ~among:remaining in
+      let block_set = List.sort_uniq compare block in
+      let rest = List.filter (fun j -> not (List.mem j block_set)) remaining in
+      peel rest (block :: acc)
+    end
+  in
+  peel (List.init t.Sched.n (fun j -> j)) []
+
+(* Topological order of an induced sub-DAG. *)
+let topo_of_block (t : Sched.t) block =
+  let in_block = Hashtbl.create (List.length block) in
+  List.iter (fun j -> Hashtbl.replace in_block j ()) block;
+  let indeg = Hashtbl.create (List.length block) in
+  List.iter (fun j -> Hashtbl.replace indeg j 0) block;
+  List.iter
+    (fun (a, b) ->
+      if Hashtbl.mem in_block a && Hashtbl.mem in_block b then
+        Hashtbl.replace indeg b (Hashtbl.find indeg b + 1))
+    t.Sched.prec;
+  let queue = Queue.create () in
+  List.iter (fun j -> if Hashtbl.find indeg j = 0 then Queue.add j queue) block;
+  let out = ref [] in
+  while not (Queue.is_empty queue) do
+    let j = Queue.pop queue in
+    out := j :: !out;
+    List.iter
+      (fun b ->
+        if Hashtbl.mem in_block b then begin
+          let d = Hashtbl.find indeg b - 1 in
+          Hashtbl.replace indeg b d;
+          if d = 0 then Queue.add b queue
+        end)
+      (Sched.successors t j)
+  done;
+  List.rev !out
+
+let schedule (t : Sched.t) =
+  let blocks = decomposition t in
+  Array.of_list (List.concat_map (fun block -> topo_of_block t block) blocks)

@@ -1,0 +1,1 @@
+lib/sim/access_sim.mli: Qp_place Qp_util

@@ -1,0 +1,1 @@
+lib/sim/fault_sim.ml: Array Float List Qp_graph Qp_place Qp_quorum Qp_util Sim

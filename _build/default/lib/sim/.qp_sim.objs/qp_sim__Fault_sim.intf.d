@@ -1,0 +1,1 @@
+lib/sim/fault_sim.mli: Qp_place

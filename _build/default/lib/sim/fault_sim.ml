@@ -1,0 +1,248 @@
+module Rng = Qp_util.Rng
+module Metric = Qp_graph.Metric
+module Quorum = Qp_quorum.Quorum
+module Strategy = Qp_quorum.Strategy
+module Problem = Qp_place.Problem
+module Placement = Qp_place.Placement
+
+type failure_model = Static of float | Dynamic of { mtbf : float; mttr : float }
+
+type config = {
+  problem : Problem.qpp;
+  placement : Placement.t;
+  failure_model : failure_model;
+  timeout : float;
+  max_attempts : int;
+  accesses_per_client : int;
+  arrival_rate : float;
+  seed : int;
+}
+
+let default_config ~problem ~placement ~failure_model =
+  {
+    problem;
+    placement;
+    failure_model;
+    timeout = 4. *. Metric.diameter problem.Problem.metric;
+    max_attempts = 3;
+    accesses_per_client = 200;
+    arrival_rate = 1.0;
+    seed = 1;
+  }
+
+type report = {
+  n_accesses : int;
+  n_success : int;
+  availability : float;
+  predicted_success : float;
+  mean_delay_success : float;
+  mean_attempts : float;
+  attempt_histogram : int array;
+}
+
+let distinct_nodes_of_quorum cfg qi =
+  let q = Quorum.quorum cfg.problem.Problem.system qi in
+  List.sort_uniq compare (Array.to_list (Array.map (fun u -> cfg.placement.(u)) q))
+
+let iid_success_probability cfg =
+  match cfg.failure_model with
+  | Dynamic _ -> invalid_arg "Fault_sim.iid_success_probability: Static model only"
+  | Static p ->
+      let s = ref 0. in
+      Array.iteri
+        (fun qi pq ->
+          if pq > 0. then begin
+            let k = List.length (distinct_nodes_of_quorum cfg qi) in
+            s := !s +. (pq *. ((1. -. p) ** float_of_int k))
+          end)
+        cfg.problem.Problem.strategy;
+      !s
+
+let predicted cfg =
+  match cfg.failure_model with
+  | Static _ ->
+      let s = iid_success_probability cfg in
+      1. -. ((1. -. s) ** float_of_int cfg.max_attempts)
+  | Dynamic { mtbf; mttr } ->
+      (* Steady-state node availability, used in the same iid formula;
+         an optimistic reference point for the correlated process. *)
+      let avail = mtbf /. (mtbf +. mttr) in
+      let s = ref 0. in
+      Array.iteri
+        (fun qi pq ->
+          if pq > 0. then begin
+            let k = List.length (distinct_nodes_of_quorum cfg qi) in
+            s := !s +. (pq *. (avail ** float_of_int k))
+          end)
+        cfg.problem.Problem.strategy;
+      1. -. ((1. -. !s) ** float_of_int cfg.max_attempts)
+
+(* One client access under the Static model: pure computation. *)
+let static_access cfg rng p client =
+  let rec attempt k spent =
+    let qi = Strategy.sample rng cfg.problem.Problem.strategy in
+    let nodes = distinct_nodes_of_quorum cfg qi in
+    let all_up = List.for_all (fun _ -> Rng.uniform rng >= p) nodes in
+    let q = Quorum.quorum cfg.problem.Problem.system qi in
+    let delay =
+      Array.fold_left
+        (fun acc u ->
+          Float.max acc (Metric.dist cfg.problem.Problem.metric client cfg.placement.(u)))
+        0. q
+    in
+    if all_up && delay <= cfg.timeout +. 1e-12 then Some (k, spent +. delay)
+    else if k >= cfg.max_attempts then None
+    else attempt (k + 1) (spent +. cfg.timeout)
+  in
+  attempt 1 0.
+
+type dyn_state = {
+  up : bool array;
+  mutable successes : int;
+  mutable delays_sum : float;
+  mutable attempts_total : int;
+  mutable resolved : int; (* accesses that ended (success or give-up) *)
+  mutable expected : int; (* accesses that will be issued in total *)
+  histogram : int array;
+}
+
+let run_dynamic cfg ~mtbf ~mttr =
+  let n = Problem.n_nodes cfg.problem in
+  let rng = Rng.create cfg.seed in
+  let sim = Sim.create () in
+  let st =
+    {
+      up = Array.make n true;
+      successes = 0;
+      delays_sum = 0.;
+      attempts_total = 0;
+      resolved = 0;
+      expected = 0;
+      histogram = Array.make cfg.max_attempts 0;
+    }
+  in
+  (* Crash/repair alternation per node. *)
+  let rec crash node sim =
+    st.up.(node) <- false;
+    Sim.schedule_in sim (Rng.exponential rng (1. /. mttr)) (repair node)
+  and repair node sim =
+    st.up.(node) <- true;
+    Sim.schedule_in sim (Rng.exponential rng (1. /. mtbf)) (crash node)
+  in
+  for v = 0 to n - 1 do
+    Sim.schedule_in sim (Rng.exponential rng (1. /. mtbf)) (crash v)
+  done;
+  let accesses = ref 0 in
+  let metric = cfg.problem.Problem.metric in
+  (* One access attempt: probes arrive at their nodes; each probe
+     checks liveness AT ARRIVAL TIME. The attempt resolves when the
+     slowest probe arrives (success needs all alive). *)
+  let rec attempt client k start0 t0 sim =
+    let qi = Strategy.sample rng cfg.problem.Problem.strategy in
+    let q = Quorum.quorum cfg.problem.Problem.system qi in
+    let pending = ref (Array.length q) in
+    let ok = ref true in
+    let latest = ref t0 in
+    Array.iter
+      (fun u ->
+        let node = cfg.placement.(u) in
+        let arrive = t0 +. Metric.dist metric client node in
+        if arrive > !latest then latest := arrive;
+        Sim.schedule sim arrive (fun sim ->
+            if not st.up.(node) then ok := false;
+            decr pending;
+            if !pending = 0 then resolve client k start0 t0 !ok !latest sim))
+      q
+  and resolve client k start0 t0 ok finished sim =
+    st.attempts_total <- st.attempts_total + 1;
+    let within_timeout = finished -. t0 <= cfg.timeout +. 1e-12 in
+    if ok && within_timeout then begin
+      st.successes <- st.successes + 1;
+      (* Completion delay measured from the original access start, so
+         timeouts burned by failed attempts count. *)
+      st.delays_sum <- st.delays_sum +. (finished -. start0);
+      st.histogram.(k - 1) <- st.histogram.(k - 1) + 1;
+      finish sim
+    end
+    else if k < cfg.max_attempts then
+      (* Retry once the timeout since attempt start expires. *)
+      Sim.schedule sim (t0 +. cfg.timeout) (fun sim ->
+          attempt client (k + 1) start0 (Sim.now sim) sim)
+    else finish sim
+  and finish sim =
+    st.resolved <- st.resolved + 1;
+    (* The crash/repair processes regenerate forever; stop the engine
+       once every access has been resolved. *)
+    if st.resolved = st.expected then Sim.stop sim
+  in
+  let rates =
+    match cfg.problem.Problem.client_rates with
+    | Some r -> r
+    | None -> Array.make n 1.
+  in
+  for client = 0 to n - 1 do
+    if rates.(client) > 0. then begin
+      st.expected <- st.expected + cfg.accesses_per_client;
+      let remaining = ref cfg.accesses_per_client in
+      let rec arrival sim =
+        incr accesses;
+        attempt client 1 (Sim.now sim) (Sim.now sim) sim;
+        decr remaining;
+        if !remaining > 0 then
+          Sim.schedule_in sim (Rng.exponential rng cfg.arrival_rate) arrival
+      in
+      Sim.schedule sim (Rng.exponential rng cfg.arrival_rate) arrival
+    end
+  done;
+  Sim.run sim;
+  (st, !accesses)
+
+let run cfg =
+  Placement.validate cfg.problem cfg.placement;
+  if cfg.max_attempts < 1 then invalid_arg "Fault_sim.run: max_attempts >= 1 required";
+  if cfg.timeout <= 0. then invalid_arg "Fault_sim.run: timeout must be positive";
+  match cfg.failure_model with
+  | Static p ->
+      if p < 0. || p > 1. then invalid_arg "Fault_sim.run: failure probability out of range";
+      let n = Problem.n_nodes cfg.problem in
+      let rng = Rng.create cfg.seed in
+      let histogram = Array.make cfg.max_attempts 0 in
+      let successes = ref 0 in
+      let delays_sum = ref 0. in
+      let attempts_total = ref 0 in
+      let accesses = ref 0 in
+      for client = 0 to n - 1 do
+        for _ = 1 to cfg.accesses_per_client do
+          incr accesses;
+          match static_access cfg rng p client with
+          | Some (k, delay) ->
+              incr successes;
+              delays_sum := !delays_sum +. delay;
+              attempts_total := !attempts_total + k;
+              histogram.(k - 1) <- histogram.(k - 1) + 1
+          | None -> attempts_total := !attempts_total + cfg.max_attempts
+        done
+      done;
+      {
+        n_accesses = !accesses;
+        n_success = !successes;
+        availability = float_of_int !successes /. float_of_int !accesses;
+        predicted_success = predicted cfg;
+        mean_delay_success =
+          (if !successes = 0 then 0. else !delays_sum /. float_of_int !successes);
+        mean_attempts = float_of_int !attempts_total /. float_of_int !accesses;
+        attempt_histogram = histogram;
+      }
+  | Dynamic { mtbf; mttr } ->
+      if mtbf <= 0. || mttr <= 0. then invalid_arg "Fault_sim.run: mtbf/mttr must be positive";
+      let st, accesses = run_dynamic cfg ~mtbf ~mttr in
+      {
+        n_accesses = accesses;
+        n_success = st.successes;
+        availability = float_of_int st.successes /. float_of_int accesses;
+        predicted_success = predicted cfg;
+        mean_delay_success =
+          (if st.successes = 0 then 0. else st.delays_sum /. float_of_int st.successes);
+        mean_attempts = float_of_int st.attempts_total /. float_of_int accesses;
+        attempt_histogram = st.histogram;
+      }

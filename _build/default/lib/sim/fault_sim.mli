@@ -1,0 +1,59 @@
+(** Fault-injection simulation of quorum accesses.
+
+    Extends the access model with node failures — the scenario quorum
+    systems exist for. A client samples a quorum, probes all its
+    members in parallel, and succeeds when every member answers within
+    the timeout; if some member is down it retries with a freshly
+    sampled quorum (paying the timeout), up to a retry budget.
+
+    Two failure models:
+
+    - [Static p]: every probe independently finds its node failed with
+      probability [p] (memoryless; matches the iid analysis of the
+      availability literature exactly, so the simulated availability
+      can be checked against {!predicted_success}).
+    - [Dynamic {mtbf; mttr}]: nodes alternate exponential up/down
+      periods (mean time between failures / to repair); probes to a
+      down node are lost. Temporally correlated — retries hitting the
+      same down replica keep failing — so availability is generally
+      WORSE than the iid prediction at equal steady-state node
+      availability. *)
+
+type failure_model = Static of float | Dynamic of { mtbf : float; mttr : float }
+
+type config = {
+  problem : Qp_place.Problem.qpp;
+  placement : Qp_place.Placement.t;
+  failure_model : failure_model;
+  timeout : float; (* client gives up on an attempt after this long *)
+  max_attempts : int; (* quorum (re)tries per access *)
+  accesses_per_client : int;
+  arrival_rate : float;
+  seed : int;
+}
+
+val default_config :
+  problem:Qp_place.Problem.qpp ->
+  placement:Qp_place.Placement.t ->
+  failure_model:failure_model ->
+  config
+(** timeout = 4x metric diameter, 3 attempts, 200 accesses/client,
+    rate 1.0, seed 1. *)
+
+type report = {
+  n_accesses : int;
+  n_success : int;
+  availability : float; (* successes / accesses *)
+  predicted_success : float;
+      (* iid prediction: 1 - (1 - s)^max_attempts with
+         s = sum_Q p(Q) (1-p)^{|distinct nodes of Q|} *)
+  mean_delay_success : float; (* completion delay incl. timeouts spent *)
+  mean_attempts : float; (* attempts per access (incl. failures) *)
+  attempt_histogram : int array; (* index k-1: accesses finishing in k *)
+}
+
+val run : config -> report
+
+val iid_success_probability : config -> float
+(** The closed-form single-attempt success probability under
+    [Static p] (uses the placement: co-located elements share fate). *)

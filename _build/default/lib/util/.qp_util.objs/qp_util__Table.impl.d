@@ -1,0 +1,1 @@
+lib/util/table.ml: Array Buffer Format List String

@@ -1,0 +1,86 @@
+let check name xs =
+  if Array.length xs = 0 then invalid_arg ("Stats." ^ name ^ ": empty input")
+
+let sum xs = Array.fold_left ( +. ) 0. xs
+
+let mean xs =
+  check "mean" xs;
+  sum xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check "variance" xs;
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0. xs in
+    acc /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let min xs =
+  check "min" xs;
+  Array.fold_left Stdlib.min xs.(0) xs
+
+let max xs =
+  check "max" xs;
+  Array.fold_left Stdlib.max xs.(0) xs
+
+let percentile xs q =
+  check "percentile" xs;
+  if q < 0. || q > 100. then invalid_arg "Stats.percentile: q out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else
+    let rank = q /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = percentile xs 50.
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+let summarize xs =
+  check "summarize" xs;
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = min xs;
+    p50 = percentile xs 50.;
+    p95 = percentile xs 95.;
+    max = max xs;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4f sd=%.4f min=%.4f p50=%.4f p95=%.4f max=%.4f"
+    s.n s.mean s.stddev s.min s.p50 s.p95 s.max
+
+type online = { mutable count : int; mutable m : float; mutable s : float }
+
+let online_create () = { count = 0; m = 0.; s = 0. }
+
+let online_add o x =
+  o.count <- o.count + 1;
+  let delta = x -. o.m in
+  o.m <- o.m +. (delta /. float_of_int o.count);
+  o.s <- o.s +. (delta *. (x -. o.m))
+
+let online_mean o = o.m
+
+let online_stddev o =
+  if o.count < 2 then 0. else sqrt (o.s /. float_of_int (o.count - 1))
+
+let online_count o = o.count

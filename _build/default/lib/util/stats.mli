@@ -1,0 +1,40 @@
+(** Small descriptive-statistics toolkit used by experiments and the
+    simulator. All functions operate on float arrays; empty input is an
+    [Invalid_argument] error unless stated otherwise. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for singletons. *)
+
+val stddev : float array -> float
+val min : float array -> float
+val max : float array -> float
+val sum : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs q] with [q] in [\[0,100\]]; linear interpolation
+    between order statistics. Input need not be sorted. *)
+
+val median : float array -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+type online
+(** Constant-space online accumulator (Welford). *)
+
+val online_create : unit -> online
+val online_add : online -> float -> unit
+val online_mean : online -> float
+val online_stddev : online -> float
+val online_count : online -> int

@@ -1,0 +1,28 @@
+(** ASCII table rendering for experiment output.
+
+    Every experiment in [bench/main.ml] prints its results as one of
+    these tables so that EXPERIMENTS.md rows can be regenerated
+    verbatim. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts an empty table with the given column
+    headers and alignments. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row; the number of cells must match the header. *)
+
+val add_rowf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [add_rowf t fmt ...] formats a single string and splits it on ['|']
+    into cells — convenient for numeric rows:
+    [add_rowf t "%d|%.3f|%s" n x s]. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule between data rows. *)
+
+val render : t -> string
+val print : t -> unit
+(** [print t] renders to stdout followed by a newline. *)

@@ -1,0 +1,1 @@
+test/test_assign.ml: Alcotest Array Gap Gap_lp List Mcmf QCheck QCheck_alcotest Qp_assign Qp_util Shmoys_tardos

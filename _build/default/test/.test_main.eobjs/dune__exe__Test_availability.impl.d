@@ -1,0 +1,1 @@
+test/test_availability.ml: Alcotest Array Availability Float Fpp_qs Grid_qs List Majority_qs QCheck QCheck_alcotest Qp_quorum Qp_util Quorum Simple_qs Strategy Strategy_lp Tree_qs Voting_qs Walls_qs

@@ -1,0 +1,1 @@
+test/test_byzantine.ml: Alcotest Array Availability Byzantine_qs Float Fpp_qs Grid_qs List Majority_qs Probe QCheck QCheck_alcotest Qp_quorum Qp_util Quorum Simple_qs

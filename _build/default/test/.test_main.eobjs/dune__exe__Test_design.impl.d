@@ -1,0 +1,1 @@
+test/test_design.ml: Alcotest Float List QCheck QCheck_alcotest Qp_design Qp_graph Qp_quorum Qp_util

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Delay List Placement Problem QCheck QCheck_alcotest Qp_graph Qp_place Qp_quorum Qp_util Strategy_opt

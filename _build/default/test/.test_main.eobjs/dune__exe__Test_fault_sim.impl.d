@@ -1,0 +1,1 @@
+test/test_fault_sim.ml: Alcotest Array Fault_sim Float Qp_graph Qp_place Qp_quorum Qp_sim Qp_util

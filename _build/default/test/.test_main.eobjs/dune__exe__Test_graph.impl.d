@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Apsp Array Dijkstra Dot Float Generators Graph Heap List Metric Mst QCheck QCheck_alcotest Qp_graph Qp_util String Union_find

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array List Lp QCheck QCheck_alcotest Qp_lp Qp_util Simplex

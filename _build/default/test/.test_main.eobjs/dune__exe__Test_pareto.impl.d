@@ -1,0 +1,1 @@
+test/test_pareto.ml: Alcotest Array Delay List Pareto Placement Problem QCheck QCheck_alcotest Qp_graph Qp_place Qp_quorum Qp_util

@@ -1,0 +1,1 @@
+test/test_partial_deploy.ml: Alcotest Array List Partial_deploy Problem QCheck QCheck_alcotest Qp_graph Qp_place Qp_quorum Qp_util

@@ -1,0 +1,1 @@
+test/test_place.ml: Alcotest Array Baselines Capacity Delay Exact Float List Placement Problem QCheck QCheck_alcotest Qp_graph Qp_place Qp_quorum Qp_util Relay

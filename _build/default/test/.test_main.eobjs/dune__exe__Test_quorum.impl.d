@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest Array Float Fpp_qs Grid_qs List Majority_qs QCheck QCheck_alcotest Qp_quorum Qp_util Quorum Simple_qs Strategy Tree_qs Walls_qs

@@ -1,0 +1,1 @@
+test/test_repair.ml: Alcotest Array List Placement Problem QCheck QCheck_alcotest Qp_graph Qp_place Qp_quorum Qp_util Qpp_solver Repair

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Float List QCheck QCheck_alcotest Qp_graph Qp_quorum Qp_sched Qp_util Reduction Sched Sched_exact Sched_heuristics

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Array Delay Filename Fun List Problem QCheck QCheck_alcotest Qp_graph Qp_place Qp_quorum Qp_util Serialize String Sys

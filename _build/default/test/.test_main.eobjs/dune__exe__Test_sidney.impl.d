@@ -1,0 +1,1 @@
+test/test_sidney.ml: Alcotest Array List QCheck QCheck_alcotest Qp_assign Qp_sched Qp_util Sched Sched_exact Sidney

@@ -1,0 +1,1 @@
+test/test_sim.ml: Access_sim Alcotest Array Float List QCheck QCheck_alcotest Qp_graph Qp_place Qp_quorum Qp_sim Qp_util Sim

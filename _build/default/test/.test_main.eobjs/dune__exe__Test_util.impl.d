@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Combin Float Floatx List QCheck QCheck_alcotest Qp_util Rng Stats String Table

@@ -1,0 +1,285 @@
+open Qp_assign
+module Rng = Qp_util.Rng
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* MCMF                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_mcmf_simple_path () =
+  let net = Mcmf.create 3 in
+  Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:2 ~cost:1.;
+  Mcmf.add_edge net ~src:1 ~dst:2 ~capacity:2 ~cost:1.;
+  let flow, cost = Mcmf.min_cost_flow net ~source:0 ~sink:2 () in
+  Alcotest.(check int) "flow" 2 flow;
+  check_float "cost" 4. cost
+
+let test_mcmf_chooses_cheap_path () =
+  let net = Mcmf.create 4 in
+  Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:1 ~cost:1.;
+  Mcmf.add_edge net ~src:1 ~dst:3 ~capacity:1 ~cost:1.;
+  Mcmf.add_edge net ~src:0 ~dst:2 ~capacity:1 ~cost:10.;
+  Mcmf.add_edge net ~src:2 ~dst:3 ~capacity:1 ~cost:10.;
+  let flow, cost = Mcmf.min_cost_flow net ~source:0 ~sink:3 ~max_flow:1 () in
+  Alcotest.(check int) "flow" 1 flow;
+  check_float "cheap path" 2. cost
+
+let test_mcmf_max_flow_cap () =
+  let net = Mcmf.create 2 in
+  Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:10 ~cost:1.;
+  let flow, _ = Mcmf.min_cost_flow net ~source:0 ~sink:1 ~max_flow:3 () in
+  Alcotest.(check int) "respects cap" 3 flow
+
+let test_mcmf_disconnected () =
+  let net = Mcmf.create 3 in
+  Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:1 ~cost:1.;
+  let flow, cost = Mcmf.min_cost_flow net ~source:0 ~sink:2 () in
+  Alcotest.(check int) "no flow" 0 flow;
+  check_float "no cost" 0. cost
+
+let test_mcmf_negative_costs () =
+  (* Negative arc exercises the Bellman-Ford potential bootstrap. *)
+  let net = Mcmf.create 3 in
+  Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:1 ~cost:5.;
+  Mcmf.add_edge net ~src:1 ~dst:2 ~capacity:1 ~cost:(-3.);
+  let flow, cost = Mcmf.min_cost_flow net ~source:0 ~sink:2 () in
+  Alcotest.(check int) "flow" 1 flow;
+  check_float "net cost" 2. cost
+
+let test_mcmf_assignment_instance () =
+  (* 3x3 assignment with known optimum: costs rows
+     [4 1 3; 2 0 5; 3 2 2] -> optimal = 1 + 2 + 2 = 5. *)
+  let c = [| [| 4.; 1.; 3. |]; [| 2.; 0.; 5. |]; [| 3.; 2.; 2. |] |] in
+  let net = Mcmf.create 8 in
+  (* 0 source; 1-3 workers; 4-6 tasks; 7 sink. *)
+  for w = 0 to 2 do
+    Mcmf.add_edge net ~src:0 ~dst:(1 + w) ~capacity:1 ~cost:0.;
+    Mcmf.add_edge net ~src:(4 + w) ~dst:7 ~capacity:1 ~cost:0.;
+    for t = 0 to 2 do
+      Mcmf.add_edge net ~src:(1 + w) ~dst:(4 + t) ~capacity:1 ~cost:c.(w).(t)
+    done
+  done;
+  let flow, cost = Mcmf.min_cost_flow net ~source:0 ~sink:7 () in
+  Alcotest.(check int) "perfect matching" 3 flow;
+  check_float "optimal" 5. cost
+
+let test_mcmf_flow_edges_conservation () =
+  let net = Mcmf.create 5 in
+  Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:2 ~cost:1.;
+  Mcmf.add_edge net ~src:0 ~dst:2 ~capacity:2 ~cost:2.;
+  Mcmf.add_edge net ~src:1 ~dst:3 ~capacity:1 ~cost:0.;
+  Mcmf.add_edge net ~src:1 ~dst:4 ~capacity:5 ~cost:3.;
+  Mcmf.add_edge net ~src:2 ~dst:4 ~capacity:2 ~cost:0.;
+  Mcmf.add_edge net ~src:3 ~dst:4 ~capacity:5 ~cost:0.;
+  let flow, _ = Mcmf.min_cost_flow net ~source:0 ~sink:4 () in
+  Alcotest.(check int) "max flow" 4 flow;
+  (* Conservation at internal nodes. *)
+  let net_flow = Array.make 5 0 in
+  List.iter
+    (fun (s, d, f, _) ->
+      net_flow.(s) <- net_flow.(s) - f;
+      net_flow.(d) <- net_flow.(d) + f)
+    (Mcmf.flow_on_edges net);
+  Alcotest.(check int) "source out" (-4) net_flow.(0);
+  Alcotest.(check int) "sink in" 4 net_flow.(4);
+  Alcotest.(check int) "internal 1" 0 net_flow.(1);
+  Alcotest.(check int) "internal 2" 0 net_flow.(2);
+  Alcotest.(check int) "internal 3" 0 net_flow.(3)
+
+let test_mcmf_validation () =
+  let net = Mcmf.create 2 in
+  Alcotest.check_raises "bad endpoint" (Invalid_argument "Mcmf.add_edge: endpoint out of range")
+    (fun () -> Mcmf.add_edge net ~src:0 ~dst:5 ~capacity:1 ~cost:0.);
+  Alcotest.check_raises "bad capacity" (Invalid_argument "Mcmf.add_edge: negative capacity")
+    (fun () -> Mcmf.add_edge net ~src:0 ~dst:1 ~capacity:(-1) ~cost:0.)
+
+(* ------------------------------------------------------------------ *)
+(* GAP                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let small_gap () =
+  (* 2 machines, 3 jobs. *)
+  Gap.make
+    ~cost:[| [| 1.; 2.; 3. |]; [| 3.; 1.; 1. |] |]
+    ~load:[| [| 1.; 1.; 1. |]; [| 1.; 1.; 1. |] |]
+    ~budget:[| 2.; 2. |] ()
+
+let test_gap_accessors () =
+  let g = small_gap () in
+  let a = [| 0; 1; 1 |] in
+  check_float "cost" 3. (Gap.assignment_cost g a);
+  Alcotest.(check (array (float 1e-9))) "loads" [| 1.; 2. |] (Gap.machine_loads g a);
+  Alcotest.(check bool) "respects" true (Gap.respects g a);
+  Alcotest.(check bool) "violates" false (Gap.respects g [| 0; 0; 0 |]);
+  check_float "pmax" 1. (Gap.max_job_load g 0)
+
+let test_gap_validation () =
+  Alcotest.check_raises "shape" (Invalid_argument "Gap.make: bad shape for load") (fun () ->
+      ignore
+        (Gap.make ~cost:[| [| 1. |] |] ~load:[| [| 1.; 2. |] |] ~budget:[| 1. |] ()));
+  Alcotest.check_raises "budget" (Invalid_argument "Gap.make: negative budget") (fun () ->
+      ignore (Gap.make ~cost:[| [| 1. |] |] ~load:[| [| 1. |] |] ~budget:[| -1. |] ()))
+
+let test_gap_lp_known () =
+  let g = small_gap () in
+  match Gap_lp.solve g with
+  | None -> Alcotest.fail "feasible instance"
+  | Some { Gap_lp.y; lp_cost } ->
+      (* Integral optimum assigns j0->m0 (1), j1->m1 (1), j2->m1 (1) =
+         3 and fits budgets, so the LP is exactly 3. *)
+      check_float "lp cost" 3. lp_cost;
+      for j = 0 to 2 do
+        let s = y.(0).(j) +. y.(1).(j) in
+        check_float "job fully assigned" 1. s
+      done
+
+let test_gap_lp_infeasible () =
+  let g =
+    Gap.make ~cost:[| [| 1.; 1. |] |] ~load:[| [| 1.; 1. |] |] ~budget:[| 1.5 |] ()
+  in
+  Alcotest.(check bool) "infeasible" true (Gap_lp.solve g = None)
+
+let test_gap_lp_respects_forbidden () =
+  let g =
+    Gap.make
+      ~cost:[| [| 0.; 0. |]; [| 5.; 5. |] |]
+      ~load:[| [| 1.; 1. |]; [| 1.; 1. |] |]
+      ~budget:[| 2.; 2. |]
+      ~allowed:[| [| false; false |]; [| true; true |] |]
+      ()
+  in
+  match Gap_lp.solve g with
+  | None -> Alcotest.fail "feasible via machine 1"
+  | Some { Gap_lp.y; lp_cost } ->
+      check_float "forced expensive machine" 10. lp_cost;
+      check_float "no forbidden mass" 0. (y.(0).(0) +. y.(0).(1))
+
+let test_st_round_known () =
+  let g = small_gap () in
+  match Shmoys_tardos.solve g with
+  | None -> Alcotest.fail "feasible"
+  | Some r ->
+      check_float "integral cost equals LP here" 3. r.Shmoys_tardos.cost;
+      Alcotest.(check bool) "loads within T + pmax" true
+        (Array.for_all2 (fun l b -> l <= b +. 1. +. 1e-9) r.Shmoys_tardos.loads
+           [| 2.; 2. |])
+
+let test_st_round_validates () =
+  let g = small_gap () in
+  Alcotest.check_raises "bad fractions"
+    (Invalid_argument "Shmoys_tardos.round: job fractions do not sum to 1") (fun () ->
+      ignore (Shmoys_tardos.round g [| [| 0.5; 0.; 0. |]; [| 0.; 0.; 0. |] |]))
+
+(* Random GAP instances: guarantee checks. Budgets are set to the
+   fractional loads of a random feasible assignment so the LP is
+   always feasible. *)
+let random_gap seed =
+  let rng = Rng.create seed in
+  let nm = 2 + Rng.int rng 4 in
+  let nj = 2 + Rng.int rng 8 in
+  let cost = Array.init nm (fun _ -> Array.init nj (fun _ -> Rng.float rng 10.)) in
+  let load = Array.init nm (fun _ -> Array.init nj (fun _ -> 0.1 +. Rng.float rng 2.)) in
+  (* Feasibility witness: each job on a random machine. *)
+  let budget = Array.make nm 0. in
+  for j = 0 to nj - 1 do
+    let i = Rng.int rng nm in
+    budget.(i) <- budget.(i) +. load.(i).(j)
+  done;
+  Gap.make ~cost ~load ~budget ()
+
+let prop_st_guarantees =
+  QCheck.Test.make ~name:"Shmoys-Tardos guarantees on random instances" ~count:60
+    QCheck.small_int (fun seed ->
+      let g = random_gap seed in
+      match Gap_lp.solve g with
+      | None -> false (* witness guarantees feasibility *)
+      | Some { Gap_lp.y; _ } ->
+          let r = Shmoys_tardos.round g y in
+          Shmoys_tardos.check_guarantees g y r)
+
+let prop_lp_cost_lower_bounds_integral =
+  QCheck.Test.make ~name:"GAP LP lower-bounds any integral assignment" ~count:40
+    QCheck.small_int (fun seed ->
+      let g = random_gap (seed + 500) in
+      match Gap_lp.solve g with
+      | None -> false
+      | Some { Gap_lp.lp_cost; _ } ->
+          (* Enumerate a few random capacity-respecting assignments. *)
+          let rng = Rng.create (seed * 31) in
+          let ok = ref true in
+          for _ = 1 to 20 do
+            let a = Array.init g.Gap.n_jobs (fun _ -> Rng.int rng g.Gap.n_machines) in
+            if Gap.respects g a && Gap.assignment_cost g a < lp_cost -. 1e-6 then
+              ok := false
+          done;
+          !ok)
+
+(* Unit loads: GAP = transportation; MCMF gives the exact integral
+   optimum, and ST rounding must match it (cost <= LP <= OPT and
+   integral feasible => equality). *)
+let prop_unit_load_matches_mcmf =
+  QCheck.Test.make ~name:"unit-load GAP: ST rounding = MCMF optimum" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 900) in
+      let nm = 2 + Rng.int rng 3 in
+      let nj = nm + Rng.int rng 3 in
+      let cost = Array.init nm (fun _ -> Array.init nj (fun _ -> Rng.float rng 10.)) in
+      let load = Array.init nm (fun _ -> Array.make nj 1.) in
+      (* Capacities: ceil(nj/nm) + 1 per machine — always feasible. *)
+      let capn = (nj / nm) + 2 in
+      let budget = Array.make nm (float_of_int capn) in
+      let g = Gap.make ~cost ~load ~budget () in
+      (* Exact optimum via flow. *)
+      let net = Mcmf.create (1 + nj + nm + 1) in
+      let job_node j = 1 + j and machine_node i = 1 + nj + i in
+      let sink = 1 + nj + nm in
+      for j = 0 to nj - 1 do
+        Mcmf.add_edge net ~src:0 ~dst:(job_node j) ~capacity:1 ~cost:0.;
+        for i = 0 to nm - 1 do
+          Mcmf.add_edge net ~src:(job_node j) ~dst:(machine_node i) ~capacity:1
+            ~cost:cost.(i).(j)
+        done
+      done;
+      for i = 0 to nm - 1 do
+        Mcmf.add_edge net ~src:(machine_node i) ~dst:sink ~capacity:capn ~cost:0.
+      done;
+      let flow, opt = Mcmf.min_cost_flow net ~source:0 ~sink () in
+      flow = nj
+      &&
+      match Shmoys_tardos.solve g with
+      | None -> false
+      | Some r ->
+          (* Provable direction: rounded cost <= LP value <= integral
+             optimum under the same budgets. *)
+          r.Shmoys_tardos.cost <= opt +. 1e-6)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_st_guarantees; prop_lp_cost_lower_bounds_integral; prop_unit_load_matches_mcmf ]
+
+let suites =
+  [
+    ( "assign.mcmf",
+      [
+        Alcotest.test_case "simple path" `Quick test_mcmf_simple_path;
+        Alcotest.test_case "cheap path" `Quick test_mcmf_chooses_cheap_path;
+        Alcotest.test_case "max-flow cap" `Quick test_mcmf_max_flow_cap;
+        Alcotest.test_case "disconnected" `Quick test_mcmf_disconnected;
+        Alcotest.test_case "negative costs" `Quick test_mcmf_negative_costs;
+        Alcotest.test_case "assignment optimum" `Quick test_mcmf_assignment_instance;
+        Alcotest.test_case "flow conservation" `Quick test_mcmf_flow_edges_conservation;
+        Alcotest.test_case "validation" `Quick test_mcmf_validation;
+      ] );
+    ( "assign.gap",
+      [
+        Alcotest.test_case "accessors" `Quick test_gap_accessors;
+        Alcotest.test_case "validation" `Quick test_gap_validation;
+        Alcotest.test_case "LP known optimum" `Quick test_gap_lp_known;
+        Alcotest.test_case "LP infeasible" `Quick test_gap_lp_infeasible;
+        Alcotest.test_case "LP respects forbidden" `Quick test_gap_lp_respects_forbidden;
+        Alcotest.test_case "ST round known" `Quick test_st_round_known;
+        Alcotest.test_case "ST validates input" `Quick test_st_round_validates;
+      ] );
+    ("assign.properties", qcheck_tests);
+  ]

@@ -1,0 +1,146 @@
+open Qp_quorum
+module Rng = Qp_util.Rng
+module Combin = Qp_util.Combin
+
+(* ------------------------------------------------------------------ *)
+(* Byzantine quorum systems                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_intersection_degree_basics () =
+  Alcotest.(check int) "triangle overlap 1" 1
+    (Byzantine_qs.intersection_degree (Simple_qs.triangle ()));
+  (* FPP: any two lines meet in exactly one point. *)
+  Alcotest.(check int) "fpp overlap 1" 1 (Byzantine_qs.intersection_degree (Fpp_qs.make 3));
+  (* Single-quorum system: degree = universe. *)
+  Alcotest.(check int) "singleton" 4
+    (Byzantine_qs.intersection_degree (Quorum.make ~universe:4 [| [| 0; 1; 2; 3 |] |]))
+
+let test_majority_intersection_degree () =
+  (* t-of-n threshold: min overlap = 2t - n. *)
+  let s = Majority_qs.make ~n:7 ~t:5 in
+  Alcotest.(check int) "2t-n" 3 (Byzantine_qs.intersection_degree s);
+  Alcotest.(check int) "max dissemination f" 2 (Byzantine_qs.max_dissemination_f s);
+  Alcotest.(check int) "max masking f" 1 (Byzantine_qs.max_masking_f s)
+
+let test_dissemination_construction () =
+  let n = 7 and f = 2 in
+  let s = Byzantine_qs.dissemination_majority ~n ~f in
+  Alcotest.(check bool) "is dissemination" true (Byzantine_qs.is_dissemination s ~f);
+  Alcotest.(check bool) "intersecting" true (Quorum.all_intersecting s);
+  (* Quorums small enough to survive f crashes. *)
+  Array.iter
+    (fun q -> Alcotest.(check bool) "available after f crashes" true (Array.length q <= n - f))
+    (Quorum.quorums s)
+
+let test_masking_construction () =
+  let n = 9 and f = 2 in
+  let s = Byzantine_qs.masking_majority ~n ~f in
+  Alcotest.(check bool) "is masking" true (Byzantine_qs.is_masking s ~f);
+  Alcotest.(check bool) "masking implies dissemination" true
+    (Byzantine_qs.is_dissemination s ~f);
+  Array.iter
+    (fun q -> Alcotest.(check bool) "available after f crashes" true (Array.length q <= n - f))
+    (Quorum.quorums s)
+
+let test_byzantine_bounds () =
+  Alcotest.check_raises "dissemination needs 3f+1"
+    (Invalid_argument "Byzantine_qs.dissemination_majority: n >= 3f + 1 required")
+    (fun () -> ignore (Byzantine_qs.dissemination_majority ~n:6 ~f:2));
+  Alcotest.check_raises "masking needs 4f+1"
+    (Invalid_argument "Byzantine_qs.masking_majority: n >= 4f + 1 required") (fun () ->
+      ignore (Byzantine_qs.masking_majority ~n:8 ~f:2));
+  (* Plain majority is 0-masking but not 1-dissemination when overlap
+     is 1. *)
+  let plain = Majority_qs.make ~n:5 ~t:3 in
+  Alcotest.(check bool) "0-masking" true (Byzantine_qs.is_masking plain ~f:0);
+  Alcotest.(check bool) "not 1-dissemination" false
+    (Byzantine_qs.is_dissemination plain ~f:1)
+
+let prop_threshold_overlap_formula =
+  QCheck.Test.make ~name:"threshold overlap = 2t - n" ~count:25
+    QCheck.(pair (int_range 3 9) (int_range 0 4))
+    (fun (n, delta) ->
+      let t = (n / 2) + 1 + delta in
+      t > n
+      || Combin.binomial n t = 0
+      ||
+      let s = Majority_qs.make ~n ~t in
+      (* Only when at least two quorums exist. *)
+      Quorum.n_quorums s < 2 || Byzantine_qs.intersection_degree s = (2 * t) - n)
+
+(* ------------------------------------------------------------------ *)
+(* Probe complexity                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_probe_no_failures () =
+  let rng = Rng.create 1 in
+  (* With p = 0 the greedy prober verifies a smallest quorum. *)
+  List.iter
+    (fun system ->
+      let o = Probe.greedy_probe rng system ~p:0. in
+      Alcotest.(check bool) "found" true o.Probe.found;
+      Alcotest.(check int) "c(Q) probes" (Probe.min_quorum_size system) o.Probe.probes)
+    [ Simple_qs.triangle (); Grid_qs.make 3; Simple_qs.wheel 6; Fpp_qs.make 2 ]
+
+let test_probe_all_dead () =
+  let rng = Rng.create 2 in
+  let system = Simple_qs.triangle () in
+  let o = Probe.greedy_probe rng system ~p:1. in
+  Alcotest.(check bool) "not found" false o.Probe.found;
+  (* Two dead elements kill all three pair-quorums. *)
+  Alcotest.(check int) "two probes suffice to refute" 2 o.Probe.probes
+
+let test_probe_estimate_consistency () =
+  let rng = Rng.create 3 in
+  let system = Majority_qs.make ~n:5 ~t:3 in
+  let st = Probe.estimate rng system ~p:0.2 ~samples:4000 in
+  (* Success rate should track the availability of the system under
+     iid failures (the prober is exhaustive: it fails only when no
+     quorum is alive). *)
+  let expected_up = 1. -. Availability.failure_probability system 0.2 in
+  Alcotest.(check bool) "success ~ availability" true
+    (Float.abs (st.Probe.success_rate -. expected_up) < 0.03);
+  Alcotest.(check bool) "probes >= c(Q)" true
+    (st.Probe.mean_probes_on_success >= float_of_int (Probe.min_quorum_size system) -. 1e-9)
+
+let prop_probe_exhaustive =
+  QCheck.Test.make ~name:"greedy prober success iff some quorum alive" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let system =
+        match seed mod 3 with
+        | 0 -> Simple_qs.triangle ()
+        | 1 -> Grid_qs.make 2
+        | _ -> Majority_qs.make ~n:5 ~t:3
+      in
+      (* Run the prober and an independent oracle on the SAME failure
+         pattern: re-derive the pattern by reusing the seed is not
+         possible (adaptive draws), so instead check the logical
+         implications: found => at least c(Q) probes; not found =>
+         probes cover a transversal of dead elements. This weaker but
+         deterministic property must always hold. *)
+      let o = Probe.greedy_probe rng system ~p:0.4 in
+      if o.Probe.found then o.Probe.probes >= Probe.min_quorum_size system
+      else o.Probe.probes >= 1)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest [ prop_threshold_overlap_formula; prop_probe_exhaustive ]
+
+let suites =
+  [
+    ( "quorum.byzantine",
+      [
+        Alcotest.test_case "intersection degree" `Quick test_intersection_degree_basics;
+        Alcotest.test_case "majority overlap" `Quick test_majority_intersection_degree;
+        Alcotest.test_case "dissemination construction" `Quick test_dissemination_construction;
+        Alcotest.test_case "masking construction" `Quick test_masking_construction;
+        Alcotest.test_case "bounds + rejections" `Quick test_byzantine_bounds;
+      ] );
+    ( "quorum.probe",
+      [
+        Alcotest.test_case "failure-free optimum" `Quick test_probe_no_failures;
+        Alcotest.test_case "all dead" `Quick test_probe_all_dead;
+        Alcotest.test_case "estimate ~ availability" `Quick test_probe_estimate_consistency;
+      ] );
+    ("byzantine.properties", qcheck_tests);
+  ]

@@ -1,0 +1,124 @@
+open Qp_design.Design
+module Rng = Qp_util.Rng
+module Metric = Qp_graph.Metric
+module Generators = Qp_graph.Generators
+module Quorum = Qp_quorum.Quorum
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let random_metric seed n =
+  let rng = Rng.create seed in
+  Metric.of_graph (fst (Generators.random_geometric rng n 0.5))
+
+(* ------------------------------------------------------------------ *)
+(* Min-max design (Tsuchiya-style)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_minmax_path () =
+  (* Path 0-1-2-3-4: worst pair (0,4); midpoint 2 gives radius 2. *)
+  let m = Metric.of_graph (Generators.path 5) in
+  check_float "radius" 2. (minmax_optimal_radius m);
+  let design = minmax_optimal_design m in
+  check_float "achieved" 2. (eccentricity_of_design m design);
+  Alcotest.(check bool) "valid system" true (Quorum.all_intersecting design)
+
+let test_minmax_star () =
+  (* Star: hub reaches everything at 1; balls B_1 all contain the hub. *)
+  let m = Metric.of_graph (Generators.star 6) in
+  check_float "radius 1" 1. (minmax_optimal_radius m);
+  check_float "achieved" 1. (eccentricity_of_design m (minmax_optimal_design m))
+
+let test_minmax_complete () =
+  (* Radius 0 balls are singletons (disjoint); radius 1 balls are the
+     whole vertex set, so the optimum is 1: for any pair (v, v') the
+     best meeting point w = v costs max(0, 1) = 1. *)
+  let m = Metric.of_graph (Generators.complete 5) in
+  check_float "radius 1" 1. (minmax_optimal_radius m)
+
+let test_minmax_is_lower_bound_for_other_designs () =
+  (* Any concrete design over the vertices has eccentricity >= the
+     optimal radius. *)
+  for seed = 1 to 10 do
+    let m = random_metric seed 7 in
+    let r = minmax_optimal_radius m in
+    let singleton = Quorum.make ~universe:7 [| [| seed mod 7 |] |] in
+    Alcotest.(check bool) "singleton no better" true
+      (eccentricity_of_design m singleton +. 1e-12 >= r);
+    let majority = Qp_quorum.Majority_qs.make ~n:7 ~t:4 in
+    Alcotest.(check bool) "majority no better" true
+      (eccentricity_of_design m majority +. 1e-12 >= r)
+  done
+
+let prop_minmax_optimal =
+  QCheck.Test.make ~name:"ball design achieves the optimal radius" ~count:30
+    QCheck.small_int (fun seed ->
+      let n = 4 + (seed mod 6) in
+      let m = random_metric (seed + 100) n in
+      let r = minmax_optimal_radius m in
+      let design = minmax_optimal_design m in
+      Float.abs (eccentricity_of_design m design -. r) < 1e-9
+      && Quorum.all_intersecting design)
+
+(* ------------------------------------------------------------------ *)
+(* Min-avg design (Kobayashi / Lin)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_lin_median_on_path () =
+  let m = Metric.of_graph (Generators.path 5) in
+  let median, design = lin_median_design m in
+  Alcotest.(check int) "median is center" 2 median;
+  check_float "cost = avg distance" (6. /. 5.) (mean_delay_of_design m design)
+
+let test_lin_two_approx_chain () =
+  (* median cost <= 2 LB <= 2 OPT, and OPT <= median cost. *)
+  for seed = 1 to 10 do
+    let m = random_metric (seed + 300) 4 in
+    let _, design = lin_median_design m in
+    let cost = mean_delay_of_design m design in
+    let lb = minavg_lower_bound m in
+    let opt = minavg_exhaustive m in
+    Alcotest.(check bool) "cost <= 2 LB" true (cost <= (2. *. lb) +. 1e-9);
+    Alcotest.(check bool) "LB <= OPT" true (lb <= opt +. 1e-9);
+    Alcotest.(check bool) "OPT <= cost" true (opt <= cost +. 1e-9);
+    Alcotest.(check bool) "2-approx" true (cost <= (2. *. opt) +. 1e-9)
+  done
+
+let test_minavg_exhaustive_guard () =
+  let m = random_metric 1 5 in
+  Alcotest.check_raises "guard" (Invalid_argument "Design.minavg_exhaustive: n <= 4 required")
+    (fun () -> ignore (minavg_exhaustive m))
+
+let test_design_universe_mismatch () =
+  let m = random_metric 2 5 in
+  let sys = Qp_quorum.Simple_qs.triangle () in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Design: system universe must be the vertex set") (fun () ->
+      ignore (mean_delay_of_design m sys))
+
+let prop_lin_two_approx =
+  QCheck.Test.make ~name:"Lin median design is a 2-approximation" ~count:40
+    QCheck.small_int (fun seed ->
+      let m = random_metric (seed + 500) 4 in
+      let _, design = lin_median_design m in
+      mean_delay_of_design m design <= (2. *. minavg_exhaustive m) +. 1e-9)
+
+let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_minmax_optimal; prop_lin_two_approx ]
+
+let suites =
+  [
+    ( "design.minmax",
+      [
+        Alcotest.test_case "path" `Quick test_minmax_path;
+        Alcotest.test_case "star" `Quick test_minmax_star;
+        Alcotest.test_case "complete" `Quick test_minmax_complete;
+        Alcotest.test_case "lower bound" `Quick test_minmax_is_lower_bound_for_other_designs;
+      ] );
+    ( "design.minavg",
+      [
+        Alcotest.test_case "median on path" `Quick test_lin_median_on_path;
+        Alcotest.test_case "2-approx chain" `Quick test_lin_two_approx_chain;
+        Alcotest.test_case "exhaustive guard" `Quick test_minavg_exhaustive_guard;
+        Alcotest.test_case "universe mismatch" `Quick test_design_universe_mismatch;
+      ] );
+    ("design.properties", qcheck_tests);
+  ]

@@ -1,0 +1,165 @@
+open Qp_sim
+module Rng = Qp_util.Rng
+module Generators = Qp_graph.Generators
+module Strategy = Qp_quorum.Strategy
+module Simple_qs = Qp_quorum.Simple_qs
+module Majority_qs = Qp_quorum.Majority_qs
+module Availability = Qp_quorum.Availability
+module Problem = Qp_place.Problem
+
+let fixture ?(n = 6) ?(system = Simple_qs.triangle ()) () =
+  let rng = Rng.create 10 in
+  let g, _ = Generators.random_geometric rng n 0.6 in
+  let problem =
+    Problem.of_graph_qpp ~graph:g ~capacities:(Array.make n 2.) ~system
+      ~strategy:(Strategy.uniform system) ()
+  in
+  let universe = Qp_quorum.Quorum.universe system in
+  (problem, Array.init universe (fun u -> u mod n))
+
+let test_no_failures_full_availability () =
+  let problem, placement = fixture () in
+  let cfg = Fault_sim.default_config ~problem ~placement ~failure_model:(Fault_sim.Static 0.) in
+  let r = Fault_sim.run cfg in
+  Alcotest.(check (float 1e-9)) "all succeed" 1. r.Fault_sim.availability;
+  Alcotest.(check (float 1e-9)) "one attempt each" 1. r.Fault_sim.mean_attempts;
+  Alcotest.(check (float 1e-9)) "prediction agrees" 1. r.Fault_sim.predicted_success
+
+let test_total_failure () =
+  let problem, placement = fixture () in
+  let cfg = Fault_sim.default_config ~problem ~placement ~failure_model:(Fault_sim.Static 1.) in
+  let r = Fault_sim.run cfg in
+  Alcotest.(check (float 1e-9)) "all fail" 0. r.Fault_sim.availability;
+  Alcotest.(check (float 1e-9)) "max attempts burned" 3. r.Fault_sim.mean_attempts
+
+let test_static_matches_iid_prediction () =
+  let problem, placement = fixture ~n:8 ~system:(Majority_qs.make ~n:5 ~t:3) () in
+  let cfg =
+    {
+      (Fault_sim.default_config ~problem ~placement ~failure_model:(Fault_sim.Static 0.25)) with
+      Fault_sim.accesses_per_client = 3000;
+    }
+  in
+  let r = Fault_sim.run cfg in
+  Alcotest.(check bool) "within 2% of iid closed form" true
+    (Float.abs (r.Fault_sim.availability -. r.Fault_sim.predicted_success) < 0.02)
+
+let test_iid_closed_form_accounts_colocation () =
+  (* All three elements of the triangle on ONE node: a quorum needs
+     only that node alive, so single-attempt success = 1 - p. *)
+  let rng = Rng.create 1 in
+  let g, _ = Generators.random_geometric rng 4 0.8 in
+  let system = Simple_qs.triangle () in
+  let problem =
+    Problem.of_graph_qpp ~graph:g ~capacities:(Array.make 4 2.) ~system
+      ~strategy:(Strategy.uniform system) ()
+  in
+  let placement = [| 0; 0; 0 |] in
+  let cfg =
+    { (Fault_sim.default_config ~problem ~placement ~failure_model:(Fault_sim.Static 0.3)) with
+      Fault_sim.max_attempts = 1 }
+  in
+  Alcotest.(check (float 1e-9)) "co-located fate sharing" 0.7
+    (Fault_sim.iid_success_probability cfg)
+
+let test_retries_improve_availability () =
+  let problem, placement = fixture ~n:8 ~system:(Majority_qs.make ~n:5 ~t:3) () in
+  let base = Fault_sim.default_config ~problem ~placement ~failure_model:(Fault_sim.Static 0.35) in
+  let one =
+    Fault_sim.run { base with Fault_sim.max_attempts = 1; accesses_per_client = 1500 }
+  in
+  let three =
+    Fault_sim.run { base with Fault_sim.max_attempts = 3; accesses_per_client = 1500 }
+  in
+  Alcotest.(check bool) "retries help" true
+    (three.Fault_sim.availability > one.Fault_sim.availability +. 0.05)
+
+let test_failed_attempts_cost_timeout () =
+  let problem, placement = fixture () in
+  let base = Fault_sim.default_config ~problem ~placement ~failure_model:(Fault_sim.Static 0.3) in
+  let r = Fault_sim.run { base with Fault_sim.accesses_per_client = 1500 } in
+  let r0 = Fault_sim.run { base with Fault_sim.failure_model = Fault_sim.Static 0.; accesses_per_client = 1500 } in
+  Alcotest.(check bool) "successful-access delay grows with retries" true
+    (r.Fault_sim.mean_delay_success > r0.Fault_sim.mean_delay_success);
+  (* Histogram sums to the number of successes. *)
+  Alcotest.(check int) "histogram consistent" r.Fault_sim.n_success
+    (Array.fold_left ( + ) 0 r.Fault_sim.attempt_histogram)
+
+let test_dynamic_model_runs () =
+  let problem, placement = fixture ~n:8 ~system:(Majority_qs.make ~n:5 ~t:3) () in
+  let cfg =
+    {
+      (Fault_sim.default_config ~problem ~placement
+         ~failure_model:(Fault_sim.Dynamic { mtbf = 50.; mttr = 10. })) with
+      Fault_sim.accesses_per_client = 800;
+    }
+  in
+  let r = Fault_sim.run cfg in
+  Alcotest.(check bool) "some succeed" true (r.Fault_sim.availability > 0.5);
+  Alcotest.(check bool) "some fail" true (r.Fault_sim.availability < 1.);
+  Alcotest.(check bool) "attempts within budget" true
+    (r.Fault_sim.mean_attempts <= float_of_int cfg.Fault_sim.max_attempts +. 1e-9)
+
+let test_dynamic_extremes () =
+  let problem, placement = fixture () in
+  (* Nodes essentially never fail. *)
+  let up =
+    Fault_sim.run
+      { (Fault_sim.default_config ~problem ~placement
+           ~failure_model:(Fault_sim.Dynamic { mtbf = 1e12; mttr = 1e-6 })) with
+        Fault_sim.accesses_per_client = 100 }
+  in
+  Alcotest.(check (float 1e-9)) "always up" 1. up.Fault_sim.availability
+
+let test_validation () =
+  let problem, placement = fixture () in
+  let cfg = Fault_sim.default_config ~problem ~placement ~failure_model:(Fault_sim.Static 0.1) in
+  Alcotest.check_raises "attempts" (Invalid_argument "Fault_sim.run: max_attempts >= 1 required")
+    (fun () -> ignore (Fault_sim.run { cfg with Fault_sim.max_attempts = 0 }));
+  Alcotest.check_raises "timeout" (Invalid_argument "Fault_sim.run: timeout must be positive")
+    (fun () -> ignore (Fault_sim.run { cfg with Fault_sim.timeout = 0. }));
+  Alcotest.check_raises "probability" (Invalid_argument "Fault_sim.run: failure probability out of range")
+    (fun () -> ignore (Fault_sim.run { cfg with Fault_sim.failure_model = Fault_sim.Static 2. }))
+
+(* Cross-module consistency: with one element per node and one attempt,
+   the simulated availability matches the Availability module's exact
+   system failure probability. *)
+let test_matches_availability_module () =
+  let system = Majority_qs.make ~n:5 ~t:3 in
+  let rng = Rng.create 2 in
+  let g, _ = Generators.random_geometric rng 5 0.7 in
+  let problem =
+    Problem.of_graph_qpp ~graph:g ~capacities:(Array.make 5 1.) ~system
+      ~strategy:(Strategy.uniform system) ()
+  in
+  let placement = [| 0; 1; 2; 3; 4 |] in
+  let p = 0.3 in
+  let cfg =
+    { (Fault_sim.default_config ~problem ~placement ~failure_model:(Fault_sim.Static p)) with
+      Fault_sim.max_attempts = 1; accesses_per_client = 4000 }
+  in
+  let r = Fault_sim.run cfg in
+  let exact_up = 1. -. Availability.failure_probability system p in
+  (* A single attempt samples ONE quorum, so it can fail even when some
+     other quorum is alive: per-attempt success <= system availability. *)
+  Alcotest.(check bool) "attempt success <= system availability" true
+    (r.Fault_sim.predicted_success <= exact_up +. 1e-9);
+  Alcotest.(check bool) "simulation near its prediction" true
+    (Float.abs (r.Fault_sim.availability -. r.Fault_sim.predicted_success) < 0.02)
+
+let suites =
+  [
+    ( "sim.faults",
+      [
+        Alcotest.test_case "no failures" `Quick test_no_failures_full_availability;
+        Alcotest.test_case "total failure" `Quick test_total_failure;
+        Alcotest.test_case "matches iid prediction" `Quick test_static_matches_iid_prediction;
+        Alcotest.test_case "co-location fate sharing" `Quick test_iid_closed_form_accounts_colocation;
+        Alcotest.test_case "retries improve availability" `Quick test_retries_improve_availability;
+        Alcotest.test_case "timeouts counted in delay" `Quick test_failed_attempts_cost_timeout;
+        Alcotest.test_case "dynamic model" `Quick test_dynamic_model_runs;
+        Alcotest.test_case "dynamic extremes" `Quick test_dynamic_extremes;
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "consistent with Availability" `Quick test_matches_availability_module;
+      ] );
+  ]

@@ -1,0 +1,373 @@
+open Qp_graph
+module Rng = Qp_util.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  let rng = Rng.create 1 in
+  let xs = Array.init 500 (fun _ -> Rng.uniform rng) in
+  Array.iter (fun x -> Heap.push h x x) xs;
+  let prev = ref neg_infinity in
+  let count = ref 0 in
+  let rec drain () =
+    match Heap.pop_min h with
+    | None -> ()
+    | Some (k, v) ->
+        check_float "key = value" k v;
+        Alcotest.(check bool) "nondecreasing" true (k >= !prev);
+        prev := k;
+        incr count;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check int) "drained all" 500 !count
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Heap.pop_min h = None);
+  Heap.push h 1.0 "a";
+  Alcotest.(check bool) "nonempty" false (Heap.is_empty h);
+  Alcotest.(check bool) "peek" true (Heap.peek_min h = Some (1.0, "a"));
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+(* ------------------------------------------------------------------ *)
+(* Graph                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_basic () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1 2.0;
+  Graph.add_edge g 1 2 3.0;
+  Alcotest.(check int) "n" 4 (Graph.n_vertices g);
+  Alcotest.(check int) "m" 2 (Graph.n_edges g);
+  Alcotest.(check (option (float 1e-9))) "edge len" (Some 2.0) (Graph.edge_length g 1 0);
+  Alcotest.(check (option (float 1e-9))) "missing edge" None (Graph.edge_length g 0 3);
+  Alcotest.(check int) "degree" 2 (Graph.degree g 1)
+
+let test_graph_parallel_edge_min () =
+  let g = Graph.create 2 in
+  Graph.add_edge g 0 1 5.0;
+  Graph.add_edge g 0 1 2.0;
+  Graph.add_edge g 0 1 9.0;
+  Alcotest.(check int) "still one edge" 1 (Graph.n_edges g);
+  Alcotest.(check (option (float 1e-9))) "min kept" (Some 2.0) (Graph.edge_length g 0 1)
+
+let test_graph_rejects () =
+  let g = Graph.create 3 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop")
+    (fun () -> Graph.add_edge g 1 1 1.0);
+  Alcotest.check_raises "bad length" (Invalid_argument "Graph.add_edge: non-positive length")
+    (fun () -> Graph.add_edge g 0 1 0.0);
+  Alcotest.check_raises "out of range" (Invalid_argument "Graph.add_edge: vertex out of range")
+    (fun () -> Graph.add_edge g 0 7 1.0)
+
+let test_graph_connectivity () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1 1.;
+  Graph.add_edge g 2 3 1.;
+  Alcotest.(check bool) "disconnected" false (Graph.is_connected g);
+  Graph.add_edge g 1 2 1.;
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  Alcotest.(check bool) "empty connected" true (Graph.is_connected (Graph.create 0))
+
+let test_graph_iter_edges_once () =
+  let g = Generators.complete 5 in
+  let count = ref 0 in
+  Graph.iter_edges g (fun u v _ ->
+      Alcotest.(check bool) "u < v" true (u < v);
+      incr count);
+  Alcotest.(check int) "edge count" 10 !count
+
+(* ------------------------------------------------------------------ *)
+(* Dijkstra / APSP                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_dijkstra_path_graph () =
+  let g = Generators.path 5 in
+  let d = Dijkstra.distances g 0 in
+  Array.iteri (fun i di -> check_float "distance" (float_of_int i) di) d
+
+let test_dijkstra_weighted () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1 1.0;
+  Graph.add_edge g 1 2 1.0;
+  Graph.add_edge g 0 2 5.0;
+  Graph.add_edge g 2 3 1.0;
+  let d = Dijkstra.distances g 0 in
+  check_float "shortcut ignored" 2.0 d.(2);
+  check_float "end" 3.0 d.(3)
+
+let test_dijkstra_unreachable () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 1.0;
+  let d = Dijkstra.distances g 0 in
+  Alcotest.(check bool) "unreachable = inf" true (d.(2) = infinity);
+  Alcotest.(check bool) "no path" true (Dijkstra.path g 0 2 = None)
+
+let test_dijkstra_path_reconstruction () =
+  let g = Generators.cycle 6 in
+  match Dijkstra.path g 0 3 with
+  | None -> Alcotest.fail "expected path"
+  | Some p ->
+      Alcotest.(check int) "path length" 4 (List.length p);
+      Alcotest.(check int) "starts at src" 0 (List.hd p);
+      Alcotest.(check int) "ends at dst" 3 (List.nth p 3)
+
+let random_connected_graph seed n =
+  let rng = Rng.create seed in
+  let g = Generators.erdos_renyi rng n 0.2 in
+  (* Randomize lengths while keeping connectivity: rebuild with random
+     weights on the same edge set. *)
+  let g' = Graph.create n in
+  Graph.iter_edges g (fun u v _ -> Graph.add_edge g' u v (0.1 +. Rng.uniform rng));
+  g'
+
+let test_apsp_dijkstra_equals_floyd () =
+  for seed = 1 to 10 do
+    let g = random_connected_graph seed 20 in
+    let a = Apsp.repeated_dijkstra g in
+    let b = Apsp.floyd_warshall g in
+    for i = 0 to 19 do
+      for j = 0 to 19 do
+        Alcotest.(check bool) "apsp agree" true (Float.abs (a.(i).(j) -. b.(i).(j)) < 1e-9)
+      done
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Metric                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_metric_of_graph_triangle () =
+  for seed = 1 to 10 do
+    let g = random_connected_graph (100 + seed) 15 in
+    let m = Metric.of_graph g in
+    Alcotest.(check bool) "triangle holds" true (Metric.check_triangle m = None)
+  done
+
+let test_metric_rejects_disconnected () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 1.0;
+  Alcotest.check_raises "disconnected" (Invalid_argument "Metric.of_graph: disconnected graph")
+    (fun () -> ignore (Metric.of_graph g))
+
+let test_metric_of_matrix_validation () =
+  Alcotest.check_raises "asymmetric" (Invalid_argument "Metric.of_matrix: not symmetric")
+    (fun () -> ignore (Metric.of_matrix [| [| 0.; 1. |]; [| 2.; 0. |] |]));
+  Alcotest.check_raises "diag" (Invalid_argument "Metric.of_matrix: non-zero diagonal")
+    (fun () -> ignore (Metric.of_matrix [| [| 1. |] |]))
+
+let test_metric_triangle_detector () =
+  (* d(0,2)=10 violates via middle point 1: 1 + 1 < 10. *)
+  let m = Metric.of_matrix [| [| 0.; 1.; 10. |]; [| 1.; 0.; 1. |]; [| 10.; 1.; 0. |] |] in
+  Alcotest.(check bool) "violation found" true (Metric.check_triangle m <> None)
+
+let test_metric_nodes_by_distance () =
+  let g = Generators.path 5 in
+  let m = Metric.of_graph g in
+  Alcotest.(check (array int)) "order from end" [| 4; 3; 2; 1; 0 |] (Metric.nodes_by_distance m 4);
+  Alcotest.(check (array int)) "order from middle" [| 2; 1; 3; 0; 4 |] (Metric.nodes_by_distance m 2)
+
+let test_metric_avg_and_diameter () =
+  let m = Metric.of_graph (Generators.path 3) in
+  check_float "diameter" 2.0 (Metric.diameter m);
+  check_float "avg from end" 1.0 (Metric.average_distance m 0);
+  check_float "avg from middle" (2. /. 3.) (Metric.average_distance m 1)
+
+let test_metric_submetric_scale () =
+  let m = Metric.of_graph (Generators.path 5) in
+  let s = Metric.submetric m [| 0; 4 |] in
+  Alcotest.(check int) "size" 2 (Metric.size s);
+  check_float "kept distance" 4.0 (Metric.dist s 0 1);
+  let sc = Metric.scale m 2.0 in
+  check_float "scaled" 8.0 (Metric.dist sc 0 4)
+
+(* ------------------------------------------------------------------ *)
+(* Union-find / MST                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_union_find () =
+  let uf = Union_find.create 5 in
+  Alcotest.(check int) "classes" 5 (Union_find.n_classes uf);
+  Alcotest.(check bool) "union new" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "union dup" false (Union_find.union uf 1 0);
+  Alcotest.(check bool) "same" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "not same" false (Union_find.same uf 0 2);
+  Alcotest.(check int) "classes after" 4 (Union_find.n_classes uf)
+
+let test_mst_known () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1 1.0;
+  Graph.add_edge g 1 2 2.0;
+  Graph.add_edge g 2 3 1.0;
+  Graph.add_edge g 0 3 10.0;
+  Graph.add_edge g 0 2 2.5;
+  let mst = Mst.kruskal g in
+  Alcotest.(check int) "n-1 edges" 3 (List.length mst);
+  check_float "weight" 4.0 (Mst.total_weight mst)
+
+let test_mst_spans () =
+  let rng = Rng.create 77 in
+  let g, _ = Generators.random_geometric rng 30 0.3 in
+  let mst = Mst.kruskal g in
+  Alcotest.(check int) "spanning" (Graph.n_vertices g - 1) (List.length mst)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_generators_shapes () =
+  Alcotest.(check int) "path edges" 9 (Graph.n_edges (Generators.path 10));
+  Alcotest.(check int) "cycle edges" 10 (Graph.n_edges (Generators.cycle 10));
+  Alcotest.(check int) "star edges" 9 (Graph.n_edges (Generators.star 10));
+  Alcotest.(check int) "complete edges" 45 (Graph.n_edges (Generators.complete 10));
+  Alcotest.(check int) "grid edges" 12 (Graph.n_edges (Generators.grid2d 3 3));
+  Alcotest.(check int) "torus edges" 18 (Graph.n_edges (Generators.torus2d 3 3));
+  Alcotest.(check int) "barbell vertices" 8 (Graph.n_vertices (Generators.barbell 4))
+
+let test_generators_connected () =
+  let rng = Rng.create 5 in
+  let graphs =
+    [
+      Generators.random_tree rng 40;
+      Generators.erdos_renyi rng 40 0.05;
+      fst (Generators.random_geometric rng 40 0.2);
+      fst (Generators.waxman rng 40 ());
+      Generators.caterpillar rng 40;
+      Generators.integrality_gap_graph 5;
+    ]
+  in
+  List.iter (fun g -> Alcotest.(check bool) "connected" true (Graph.is_connected g)) graphs
+
+let test_generators_tree_edge_count () =
+  let rng = Rng.create 9 in
+  let g = Generators.random_tree rng 25 in
+  Alcotest.(check int) "tree edges" 24 (Graph.n_edges g)
+
+let test_gap_graph_distances () =
+  (* Distances from v0 sorted must be 0, then 1 x (n-k), then 2..k. *)
+  let k = 5 in
+  let g = Generators.integrality_gap_graph k in
+  let n = k * k in
+  Alcotest.(check int) "n = k^2" n (Graph.n_vertices g);
+  let d = Dijkstra.distances g 0 in
+  let sorted = Array.copy d in
+  Array.sort compare sorted;
+  check_float "self" 0. sorted.(0);
+  for i = 1 to n - k do
+    check_float "unit spokes" 1. sorted.(i)
+  done;
+  for j = 2 to k do
+    check_float "tail path" (float_of_int j) sorted.(n - k + j - 1)
+  done
+
+let test_weighted_path () =
+  let g = Generators.weighted_path [| 2.; 3.; 4. |] in
+  let d = Dijkstra.distances g 0 in
+  check_float "cumulative" 9.0 d.(3)
+
+let test_dot_output () =
+  let g = Generators.path 3 in
+  let s = Dot.of_graph ~highlight:[ 1 ] g in
+  Alcotest.(check bool) "nonempty dot" true (String.length s > 20)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_dijkstra_triangle =
+  QCheck.Test.make ~name:"graph metric satisfies triangle inequality" ~count:30
+    QCheck.(pair small_int (int_range 4 25))
+    (fun (seed, n) ->
+      let g = random_connected_graph seed n in
+      Metric.check_triangle (Metric.of_graph g) = None)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:100
+    QCheck.(list (float_range 0. 1000.))
+    (fun xs ->
+      let h = Heap.create () in
+      List.iter (fun x -> Heap.push h x ()) xs;
+      let rec drain acc =
+        match Heap.pop_min h with None -> List.rev acc | Some (k, ()) -> drain (k :: acc)
+      in
+      let drained = drain [] in
+      drained = List.sort compare xs)
+
+let prop_mst_weight_leq_any_spanning_subgraph =
+  QCheck.Test.make ~name:"MST weight <= path-tree weight" ~count:30
+    QCheck.(pair small_int (int_range 3 15))
+    (fun (seed, n) ->
+      let g = random_connected_graph seed n in
+      let mst_w = Mst.total_weight (Mst.kruskal g) in
+      (* Compare against the shortest-path tree from vertex 0. *)
+      let _, parent = Dijkstra.distances_with_parents g 0 in
+      let spt_w = ref 0. in
+      Array.iteri
+        (fun v p ->
+          if p >= 0 then
+            match Graph.edge_length g v p with Some l -> spt_w := !spt_w +. l | None -> ())
+        parent;
+      mst_w <= !spt_w +. 1e-9)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_dijkstra_triangle; prop_heap_sorts; prop_mst_weight_leq_any_spanning_subgraph ]
+
+let suites =
+  [
+    ( "graph.heap",
+      [
+        Alcotest.test_case "sorted drain" `Quick test_heap_order;
+        Alcotest.test_case "empty behaviour" `Quick test_heap_empty;
+      ] );
+    ( "graph.core",
+      [
+        Alcotest.test_case "basic" `Quick test_graph_basic;
+        Alcotest.test_case "parallel edges keep min" `Quick test_graph_parallel_edge_min;
+        Alcotest.test_case "rejects invalid edges" `Quick test_graph_rejects;
+        Alcotest.test_case "connectivity" `Quick test_graph_connectivity;
+        Alcotest.test_case "iter_edges visits once" `Quick test_graph_iter_edges_once;
+      ] );
+    ( "graph.shortest_paths",
+      [
+        Alcotest.test_case "path graph" `Quick test_dijkstra_path_graph;
+        Alcotest.test_case "weighted" `Quick test_dijkstra_weighted;
+        Alcotest.test_case "unreachable" `Quick test_dijkstra_unreachable;
+        Alcotest.test_case "path reconstruction" `Quick test_dijkstra_path_reconstruction;
+        Alcotest.test_case "dijkstra = floyd-warshall" `Quick test_apsp_dijkstra_equals_floyd;
+      ] );
+    ( "graph.metric",
+      [
+        Alcotest.test_case "triangle inequality" `Quick test_metric_of_graph_triangle;
+        Alcotest.test_case "rejects disconnected" `Quick test_metric_rejects_disconnected;
+        Alcotest.test_case "matrix validation" `Quick test_metric_of_matrix_validation;
+        Alcotest.test_case "violation detector" `Quick test_metric_triangle_detector;
+        Alcotest.test_case "nodes by distance" `Quick test_metric_nodes_by_distance;
+        Alcotest.test_case "avg + diameter" `Quick test_metric_avg_and_diameter;
+        Alcotest.test_case "submetric + scale" `Quick test_metric_submetric_scale;
+      ] );
+    ( "graph.mst",
+      [
+        Alcotest.test_case "union-find" `Quick test_union_find;
+        Alcotest.test_case "known instance" `Quick test_mst_known;
+        Alcotest.test_case "spans" `Quick test_mst_spans;
+      ] );
+    ( "graph.generators",
+      [
+        Alcotest.test_case "shapes" `Quick test_generators_shapes;
+        Alcotest.test_case "connectivity" `Quick test_generators_connected;
+        Alcotest.test_case "tree edge count" `Quick test_generators_tree_edge_count;
+        Alcotest.test_case "figure-1 gap graph distances" `Quick test_gap_graph_distances;
+        Alcotest.test_case "weighted path" `Quick test_weighted_path;
+        Alcotest.test_case "dot export" `Quick test_dot_output;
+      ] );
+    ("graph.properties", qcheck_tests);
+  ]

@@ -1,0 +1,86 @@
+module Rng = Qp_util.Rng
+module Generators = Qp_graph.Generators
+module Strategy = Qp_quorum.Strategy
+module Grid_qs = Qp_quorum.Grid_qs
+open Qp_place
+
+let fixture seed =
+  let rng = Rng.create seed in
+  let n = 10 in
+  let g, _ = Generators.random_geometric rng n 0.5 in
+  let system = Grid_qs.make 2 in
+  Problem.of_graph_qpp ~graph:g
+    ~capacities:(Array.make n (Grid_qs.element_load 2))
+    ~system ~strategy:(Strategy.uniform system) ()
+
+let test_dominates () =
+  let mk delay load_violation =
+    { Pareto.alpha = 2.; delay; load_violation; placement = [||] }
+  in
+  Alcotest.(check bool) "strictly better" true (Pareto.dominates (mk 1. 1.) (mk 2. 2.));
+  Alcotest.(check bool) "better in one" true (Pareto.dominates (mk 1. 2.) (mk 2. 2.));
+  Alcotest.(check bool) "equal does not dominate" false (Pareto.dominates (mk 1. 1.) (mk 1. 1.));
+  Alcotest.(check bool) "incomparable" false (Pareto.dominates (mk 1. 3.) (mk 2. 2.))
+
+let test_frontier_structure () =
+  let p = fixture 3 in
+  let pts = Pareto.frontier ~candidates:[ 0; 5 ] p in
+  Alcotest.(check bool) "non-empty" true (pts <> []);
+  (* Sorted by delay, anti-sorted by violation, pairwise non-dominated. *)
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "delay increasing" true (a.Pareto.delay <= b.Pareto.delay +. 1e-12);
+        Alcotest.(check bool) "violation non-increasing" true
+          (a.Pareto.load_violation +. 1e-12 >= b.Pareto.load_violation);
+        check rest
+    | _ -> ()
+  in
+  check pts;
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b -> if a != b then Alcotest.(check bool) "non-dominated" false (Pareto.dominates a b))
+        pts)
+    pts;
+  (* Every point's data is self-consistent. *)
+  List.iter
+    (fun pt ->
+      Alcotest.(check (float 1e-9)) "delay consistent" pt.Pareto.delay
+        (Delay.avg_max_delay p pt.Pareto.placement);
+      Alcotest.(check (float 1e-9)) "violation consistent" pt.Pareto.load_violation
+        (Placement.max_violation p pt.Pareto.placement))
+    pts
+
+let test_frontier_empty_when_infeasible () =
+  let rng = Rng.create 4 in
+  let g, _ = Generators.random_geometric rng 3 0.8 in
+  let system = Grid_qs.make 2 in
+  (* 3 nodes, 4 elements in the unit regime: infeasible. *)
+  let p =
+    Problem.of_graph_qpp ~graph:g
+      ~capacities:(Array.make 3 (Grid_qs.element_load 2))
+      ~system ~strategy:(Strategy.uniform system) ()
+  in
+  Alcotest.(check bool) "empty" true (Pareto.frontier ~candidates:[ 0 ] p = [])
+
+let prop_frontier_nondominated =
+  QCheck.Test.make ~name:"pareto frontier is an antichain" ~count:8 QCheck.small_int
+    (fun seed ->
+      let p = fixture (seed + 50) in
+      let pts = Pareto.frontier ~alphas:[ 1.5; 2.; 4. ] ~candidates:[ 0; 3 ] p in
+      List.for_all
+        (fun a -> List.for_all (fun b -> a == b || not (Pareto.dominates a b)) pts)
+        pts)
+
+let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_frontier_nondominated ]
+
+let suites =
+  [
+    ( "place.pareto",
+      [
+        Alcotest.test_case "dominance" `Quick test_dominates;
+        Alcotest.test_case "frontier structure" `Quick test_frontier_structure;
+        Alcotest.test_case "infeasible" `Quick test_frontier_empty_when_infeasible;
+      ] );
+    ("pareto.properties", qcheck_tests);
+  ]

@@ -1,0 +1,599 @@
+open Qp_place
+module Rng = Qp_util.Rng
+module Metric = Qp_graph.Metric
+module Generators = Qp_graph.Generators
+module Quorum = Qp_quorum.Quorum
+module Strategy = Qp_quorum.Strategy
+module Simple_qs = Qp_quorum.Simple_qs
+module Grid_qs = Qp_quorum.Grid_qs
+module Majority_qs = Qp_quorum.Majority_qs
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* Random SSQPP with a uniform-load system and unit-regime capacities:
+   the exact DP applies, so every algorithmic guarantee can be checked
+   against the true optimum. *)
+let random_uniform_ssqpp seed =
+  let rng = Rng.create seed in
+  let system, load =
+    match Rng.int rng 2 with
+    | 0 -> (Simple_qs.triangle (), 2. /. 3.)
+    | _ -> (Grid_qs.make 2, Grid_qs.element_load 2)
+  in
+  let nu = Quorum.universe system in
+  let n = nu + 2 + Rng.int rng 5 in
+  let g, _ = Generators.random_geometric rng n 0.5 in
+  let caps = Array.make n load in
+  let strategy = Strategy.uniform system in
+  let p = Problem.of_graph_qpp ~graph:g ~capacities:caps ~system ~strategy () in
+  Problem.ssqpp_of_qpp p (Rng.int rng n)
+
+(* ------------------------------------------------------------------ *)
+(* LP formulation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_lp_lower_bounds_exact () =
+  for seed = 1 to 6 do
+    let s = random_uniform_ssqpp seed in
+    match (Lp_formulation.solve s, Exact.ssqpp_uniform_dp s) with
+    | Some sol, Some (opt, _) ->
+        Alcotest.(check bool) "Z* <= OPT" true
+          (sol.Lp_formulation.z_star <= opt +. 1e-6)
+    | _ -> Alcotest.fail "expected feasible"
+  done
+
+let test_lp_infeasible_detection () =
+  let system = Simple_qs.triangle () in
+  let strategy = Strategy.uniform system in
+  (* Two nodes for three unit-regime elements. *)
+  let p =
+    Problem.of_graph_qpp ~graph:(Generators.path 2)
+      ~capacities:(Array.make 2 (2. /. 3.))
+      ~system ~strategy ()
+  in
+  let s = Problem.ssqpp_of_qpp p 0 in
+  Alcotest.(check bool) "infeasible" true (Lp_formulation.solve s = None)
+
+let test_lp_zero_when_colocated () =
+  (* One node with huge capacity at the source: LP value 0. *)
+  let system = Simple_qs.triangle () in
+  let strategy = Strategy.uniform system in
+  let p =
+    Problem.of_graph_qpp ~graph:(Generators.path 3) ~capacities:[| 10.; 0.; 0. |]
+      ~system ~strategy ()
+  in
+  let s = Problem.ssqpp_of_qpp p 0 in
+  match Lp_formulation.solve s with
+  | None -> Alcotest.fail "feasible"
+  | Some sol -> check_float "zero delay" 0. sol.Lp_formulation.z_star
+
+let test_lp_ordering_fields () =
+  let s = random_uniform_ssqpp 42 in
+  match Lp_formulation.solve s with
+  | None -> Alcotest.fail "feasible"
+  | Some sol ->
+      let n = Array.length sol.Lp_formulation.dist in
+      (* dist is sorted ascending and rank/node arrays are inverse. *)
+      for t = 0 to n - 2 do
+        Alcotest.(check bool) "sorted" true
+          (sol.Lp_formulation.dist.(t) <= sol.Lp_formulation.dist.(t + 1) +. 1e-12)
+      done;
+      for t = 0 to n - 1 do
+        Alcotest.(check int) "inverse maps" t
+          sol.Lp_formulation.rank_of_node.(sol.Lp_formulation.node_of_rank.(t))
+      done
+
+(* ------------------------------------------------------------------ *)
+(* Filtering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_filtering_invariants () =
+  List.iter
+    (fun alpha ->
+      for seed = 1 to 4 do
+        let s = random_uniform_ssqpp (100 + seed) in
+        match Lp_formulation.solve s with
+        | None -> Alcotest.fail "feasible"
+        | Some sol ->
+            let flt = Filtering.apply ~alpha sol in
+            Alcotest.(check bool) "invariants hold" true (Filtering.check_invariants flt)
+      done)
+    [ 1.5; 2.; 3.; 4. ]
+
+let test_filtering_rejects_alpha () =
+  let s = random_uniform_ssqpp 7 in
+  match Lp_formulation.solve s with
+  | None -> Alcotest.fail "feasible"
+  | Some sol ->
+      Alcotest.check_raises "alpha must exceed 1"
+        (Invalid_argument "Filtering.apply: alpha > 1 required") (fun () ->
+          ignore (Filtering.apply ~alpha:1. sol))
+
+(* ------------------------------------------------------------------ *)
+(* Rounding (Theorem 3.7)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_thm37 s alpha =
+  match Rounding.solve ~alpha s with
+  | None -> Alcotest.fail "expected feasible LP"
+  | Some r ->
+      Alcotest.(check bool) "delay within alpha/(alpha-1) * Z*" true
+        (r.Rounding.delay <= r.Rounding.delay_bound +. 1e-6);
+      Alcotest.(check bool) "load within alpha+1" true
+        (r.Rounding.load_violation <= r.Rounding.load_bound +. 1e-6);
+      (* The delay bound also certifies against the true optimum. *)
+      (match Exact.ssqpp_uniform_dp s with
+      | Some (opt, _) ->
+          Alcotest.(check bool) "delay within bound * OPT" true
+            (r.Rounding.delay <= (alpha /. (alpha -. 1.) *. opt) +. 1e-6)
+      | None -> Alcotest.fail "expected feasible DP")
+
+let test_rounding_thm37_alpha2 () =
+  for seed = 1 to 6 do
+    check_thm37 (random_uniform_ssqpp (200 + seed)) 2.
+  done
+
+let test_rounding_thm37_alpha_sweep () =
+  List.iter (fun alpha -> check_thm37 (random_uniform_ssqpp 300) alpha) [ 1.25; 1.5; 3.; 5. ]
+
+let test_rounding_heterogeneous_loads () =
+  (* Star system: hub load 1, leaf loads 1/(n-1). Node capacities must
+     leave room for the hub somewhere. *)
+  let system = Simple_qs.star 4 in
+  let strategy = Strategy.uniform system in
+  let rng = Rng.create 9 in
+  let g, _ = Generators.random_geometric rng 8 0.5 in
+  let caps = Array.init 8 (fun v -> if v < 2 then 1.2 else 0.5) in
+  let p = Problem.of_graph_qpp ~graph:g ~capacities:caps ~system ~strategy () in
+  let s = Problem.ssqpp_of_qpp p 3 in
+  match Rounding.solve ~alpha:2. s with
+  | None -> Alcotest.fail "feasible"
+  | Some r ->
+      Alcotest.(check bool) "delay bound" true
+        (r.Rounding.delay <= r.Rounding.delay_bound +. 1e-6);
+      Alcotest.(check bool) "load bound" true
+        (r.Rounding.load_violation <= 3. +. 1e-6)
+
+let test_rounding_infeasible () =
+  let system = Simple_qs.triangle () in
+  let strategy = Strategy.uniform system in
+  let p =
+    Problem.of_graph_qpp ~graph:(Generators.path 2)
+      ~capacities:(Array.make 2 (2. /. 3.))
+      ~system ~strategy ()
+  in
+  Alcotest.(check bool) "None" true (Rounding.solve (Problem.ssqpp_of_qpp p 0) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Grid layout (Theorem B.1)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let grid_ssqpp ~k ~n ~seed =
+  let rng = Rng.create seed in
+  let g, _ = Generators.random_geometric rng n 0.5 in
+  let system = Grid_qs.make k in
+  let strategy = Strategy.uniform system in
+  let caps = Array.make n (Grid_qs.element_load k) in
+  let p = Problem.of_graph_qpp ~graph:g ~capacities:caps ~system ~strategy () in
+  Problem.ssqpp_of_qpp p 0
+
+let test_grid_rank_pattern () =
+  (* k = 3 concentric pattern (1-based ranks):
+       1 2 5
+       3 4 6
+       7 8 9 *)
+  let expected = [| [| 1; 2; 5 |]; [| 3; 4; 6 |]; [| 7; 8; 9 |] |] in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      Alcotest.(check int) "rank" expected.(i).(j) (Grid_layout.rank_of_cell 3 i j)
+    done
+  done
+
+let test_grid_layout_equals_dp () =
+  for seed = 1 to 5 do
+    let s = grid_ssqpp ~k:2 ~n:(6 + seed) ~seed:(400 + seed) in
+    match (Grid_layout.place s, Exact.ssqpp_uniform_dp s) with
+    | Some layout, Some (opt, _) ->
+        Alcotest.(check bool) "concentric layout optimal" true
+          (Float.abs (layout.Grid_layout.delay -. opt) < 1e-9)
+    | _ -> Alcotest.fail "expected feasible"
+  done
+
+let test_grid_layout_equals_dp_k3 () =
+  let s = grid_ssqpp ~k:3 ~n:12 ~seed:999 in
+  match (Grid_layout.place s, Exact.ssqpp_uniform_dp s) with
+  | Some layout, Some (opt, _) ->
+      Alcotest.(check bool) "k=3 optimal" true
+        (Float.abs (layout.Grid_layout.delay -. opt) < 1e-9)
+  | _ -> Alcotest.fail "expected feasible"
+
+let test_grid_layout_equals_dp_k4 () =
+  (* |U| = 16: the largest size the subset DP covers comfortably. *)
+  let s = grid_ssqpp ~k:4 ~n:20 ~seed:1001 in
+  match (Grid_layout.place s, Exact.ssqpp_uniform_dp s) with
+  | Some layout, Some (opt, _) ->
+      Alcotest.(check bool) "k=4 optimal" true
+        (Float.abs (layout.Grid_layout.delay -. opt) < 1e-9)
+  | _ -> Alcotest.fail "expected feasible"
+
+let test_grid_layout_predicted_matches () =
+  let s = grid_ssqpp ~k:3 ~n:11 ~seed:123 in
+  match Grid_layout.place s with
+  | None -> Alcotest.fail "feasible"
+  | Some layout ->
+      (* Reconstruct tau (descending distances of the 9 nearest). *)
+      let order = Metric.nodes_by_distance s.Problem.metric s.Problem.v0 in
+      let nearest = Array.sub order 0 9 in
+      let tau = Array.map (fun v -> Metric.dist s.Problem.metric s.Problem.v0 v) nearest in
+      Array.sort (fun a b -> compare b a) tau;
+      check_float "closed form = evaluation" (Grid_layout.predicted_delay tau 3)
+        layout.Grid_layout.delay
+
+let test_grid_layout_rejects_non_grid () =
+  let system = Simple_qs.triangle () in
+  let strategy = Strategy.uniform system in
+  let p =
+    Problem.of_graph_qpp ~graph:(Generators.path 4) ~capacities:(Array.make 4 1.)
+      ~system ~strategy ()
+  in
+  Alcotest.check_raises "not a grid" (Invalid_argument "Grid_layout: system is not a k x k grid")
+    (fun () -> ignore (Grid_layout.place (Problem.ssqpp_of_qpp p 0)))
+
+let test_grid_layout_with_expansion () =
+  (* Nodes with capacity for several elements. *)
+  let rng = Rng.create 31 in
+  let g, _ = Generators.random_geometric rng 6 0.5 in
+  let k = 2 in
+  let system = Grid_qs.make k in
+  let strategy = Strategy.uniform system in
+  let load = Grid_qs.element_load k in
+  let caps = Array.init 6 (fun v -> if v mod 2 = 0 then 2.5 *. load else 0.2 *. load) in
+  let p = Problem.of_graph_qpp ~graph:g ~capacities:caps ~system ~strategy () in
+  let s = Problem.ssqpp_of_qpp p 0 in
+  match Grid_layout.place_with_expansion s with
+  | None -> Alcotest.fail "expected enough copies"
+  | Some (_, projected) ->
+      Alcotest.(check bool) "projection respects capacities" true
+        (Placement.respects_capacities p projected)
+
+(* ------------------------------------------------------------------ *)
+(* Majority (Eq. 19)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let majority_ssqpp ~n ~t ~nodes ~seed =
+  let rng = Rng.create seed in
+  let g, _ = Generators.random_geometric rng nodes 0.5 in
+  let system = Majority_qs.make ~n ~t in
+  let strategy = Strategy.uniform system in
+  let load = float_of_int t /. float_of_int n in
+  let caps = Array.make nodes load in
+  let p = Problem.of_graph_qpp ~graph:g ~capacities:caps ~system ~strategy () in
+  Problem.ssqpp_of_qpp p 0
+
+let test_majority_closed_form_matches_direct () =
+  let s = majority_ssqpp ~n:5 ~t:3 ~nodes:8 ~seed:500 in
+  match Majority_layout.place s with
+  | None -> Alcotest.fail "feasible"
+  | Some (predicted, f) ->
+      check_float "Eq.19 = direct evaluation" predicted (Delay.ssqpp_delay s f)
+
+let test_majority_placement_invariance () =
+  (* Any permutation of elements over the same nodes: same delay. *)
+  let s = majority_ssqpp ~n:5 ~t:3 ~nodes:7 ~seed:501 in
+  match Majority_layout.place s with
+  | None -> Alcotest.fail "feasible"
+  | Some (predicted, f) ->
+      let rng = Rng.create 1 in
+      for _ = 1 to 10 do
+        let perm = Rng.permutation rng 5 in
+        let g = Array.init 5 (fun u -> f.(perm.(u))) in
+        check_float "permutation invariant" predicted (Delay.ssqpp_delay s g)
+      done
+
+let test_majority_matches_dp () =
+  let s = majority_ssqpp ~n:5 ~t:3 ~nodes:8 ~seed:502 in
+  match (Majority_layout.place s, Exact.ssqpp_uniform_dp s) with
+  | Some (predicted, _), Some (opt, _) ->
+      check_float "closed form optimal" predicted opt
+  | _ -> Alcotest.fail "expected feasible"
+
+let test_majority_threshold_recovery () =
+  let system = Majority_qs.make ~n:6 ~t:4 in
+  Alcotest.(check int) "t" 4 (Majority_layout.threshold_of_system system);
+  Alcotest.check_raises "not threshold"
+    (Invalid_argument "Majority_layout: quorums are not all the same size") (fun () ->
+      ignore (Majority_layout.threshold_of_system (Simple_qs.wheel 5)))
+
+(* ------------------------------------------------------------------ *)
+(* Total delay (Theorem 5.1)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_total_delay_thm51 () =
+  for seed = 1 to 6 do
+    let rng = Rng.create (600 + seed) in
+    let n = 7 + Rng.int rng 4 in
+    let g, _ = Generators.random_geometric rng n 0.5 in
+    let system = Simple_qs.triangle () in
+    let strategy = Strategy.uniform system in
+    let caps = Array.make n (2. /. 3.) in
+    let p = Problem.of_graph_qpp ~graph:g ~capacities:caps ~system ~strategy () in
+    match Total_delay.solve p with
+    | None -> Alcotest.fail "feasible"
+    | Some r ->
+        Alcotest.(check bool) "load within 2x" true (r.Total_delay.load_violation <= 2. +. 1e-6);
+        Alcotest.(check bool) "cost equals GAP objective" true
+          (Float.abs (r.Total_delay.cost -. r.Total_delay.lp_cost) < 1e-6
+          || r.Total_delay.cost >= r.Total_delay.lp_cost -. 1e-6);
+        (* Theorem 5.1: cost <= capacity-respecting optimum. *)
+        (match Exact.total_delay_brute_force p with
+        | Some (opt, _) ->
+            Alcotest.(check bool) "cost <= OPT" true (r.Total_delay.cost <= opt +. 1e-6)
+        | None -> Alcotest.fail "brute force feasible")
+  done
+
+let test_total_delay_exact_uniform () =
+  for seed = 1 to 5 do
+    let rng = Rng.create (700 + seed) in
+    let n = 6 + Rng.int rng 3 in
+    let g, _ = Generators.random_geometric rng n 0.5 in
+    let system = Simple_qs.triangle () in
+    let strategy = Strategy.uniform system in
+    let caps = Array.make n (2. /. 3.) in
+    let p = Problem.of_graph_qpp ~graph:g ~capacities:caps ~system ~strategy () in
+    match (Total_delay.exact_uniform p, Exact.total_delay_brute_force p) with
+    | Some (greedy, f), Some (bf, _) ->
+        Alcotest.(check bool) "greedy fill optimal" true (Float.abs (greedy -. bf) < 1e-9);
+        Alcotest.(check bool) "feasible" true (Placement.respects_capacities p f)
+    | _ -> Alcotest.fail "expected feasible"
+  done
+
+let test_total_delay_separability () =
+  (* Avg Gamma = sum_u load(u) * AvgDist(f(u)). *)
+  let p, _ =
+    let rng = Rng.create 800 in
+    let g, _ = Generators.random_geometric rng 7 0.5 in
+    let system = Simple_qs.star 4 in
+    let strategy = Strategy.uniform system in
+    ( Problem.of_graph_qpp ~graph:g ~capacities:(Array.make 7 2.) ~system ~strategy (),
+      () )
+  in
+  let f = [| 1; 3; 0; 5 |] in
+  let loads = Problem.element_loads p in
+  let expected =
+    Array.to_list (Array.mapi (fun u v -> loads.(u) *. Total_delay.avg_dist_to p v) f)
+    |> List.fold_left ( +. ) 0.
+  in
+  check_float "separable form" expected (Delay.avg_total_delay p f)
+
+(* ------------------------------------------------------------------ *)
+(* QPP solver (Theorem 1.2)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_qpp_solver_guarantees () =
+  for seed = 1 to 4 do
+    let rng = Rng.create (900 + seed) in
+    let n = 6 + Rng.int rng 2 in
+    let g, _ = Generators.random_geometric rng n 0.5 in
+    let system = Simple_qs.triangle () in
+    let strategy = Strategy.uniform system in
+    let caps = Array.make n (2. /. 3.) in
+    let p = Problem.of_graph_qpp ~graph:g ~capacities:caps ~system ~strategy () in
+    match Qpp_solver.solve ~alpha:2. p with
+    | None -> Alcotest.fail "feasible"
+    | Some r ->
+        Alcotest.(check bool) "load within alpha+1" true (r.Qpp_solver.load_violation <= 3. +. 1e-6);
+        check_float "bound constant" 10. r.Qpp_solver.approx_bound;
+        (* Against the exhaustive optimum. *)
+        (match Exact.qpp_brute_force p with
+        | Some (opt, _) ->
+            Alcotest.(check bool) "within 10x OPT" true
+              (r.Qpp_solver.objective <= (10. *. opt) +. 1e-6);
+            (match r.Qpp_solver.lower_bound with
+            | Some lb ->
+                Alcotest.(check bool) "lower bound valid" true (lb <= opt +. 1e-6)
+            | None -> Alcotest.fail "expected lower bound")
+        | None -> Alcotest.fail "brute force feasible");
+        Alcotest.(check bool) "direct <= relayed" true
+          (r.Qpp_solver.objective <= r.Qpp_solver.relayed_objective +. 1e-9)
+  done
+
+let test_qpp_solver_with_client_rates () =
+  (* The Section 6 extension: rate-weighted objective. The guarantee
+     chain (Lemma 3.1 generalizes per the paper) must hold against the
+     rate-weighted exhaustive optimum. *)
+  for seed = 1 to 3 do
+    let rng = Rng.create (9600 + seed) in
+    let n = 6 in
+    let g, _ = Generators.random_geometric rng n 0.55 in
+    let system = Simple_qs.triangle () in
+    let strategy = Strategy.uniform system in
+    let rates = Array.init n (fun _ -> 0.2 +. Rng.float rng 3.) in
+    let p =
+      Problem.of_graph_qpp ~graph:g ~capacities:(Array.make n (2. /. 3.)) ~system
+        ~strategy ~client_rates:rates ()
+    in
+    match Qpp_solver.solve ~alpha:2. p with
+    | None -> Alcotest.fail "feasible"
+    | Some r -> (
+        Alcotest.(check bool) "load bound" true (r.Qpp_solver.load_violation <= 3. +. 1e-6);
+        match Exact.qpp_brute_force p with
+        | Some (opt, _) ->
+            Alcotest.(check bool) "within 10x weighted OPT" true
+              (r.Qpp_solver.objective <= (10. *. opt) +. 1e-6);
+            (match r.Qpp_solver.lower_bound with
+            | Some lb -> Alcotest.(check bool) "weighted LB valid" true (lb <= opt +. 1e-6)
+            | None -> Alcotest.fail "expected lower bound")
+        | None -> Alcotest.fail "brute force feasible")
+  done
+
+let test_qpp_solver_candidate_subset () =
+  let rng = Rng.create 950 in
+  let g, _ = Generators.random_geometric rng 7 0.5 in
+  let system = Simple_qs.triangle () in
+  let strategy = Strategy.uniform system in
+  let p =
+    Problem.of_graph_qpp ~graph:g ~capacities:(Array.make 7 (2. /. 3.)) ~system ~strategy ()
+  in
+  match Qpp_solver.solve ~alpha:2. ~candidates:[ 0; 3 ] p with
+  | None -> Alcotest.fail "feasible"
+  | Some r ->
+      Alcotest.(check bool) "no lower bound on subset" true (r.Qpp_solver.lower_bound = None);
+      Alcotest.(check bool) "v0 from subset" true (r.Qpp_solver.v0 = 0 || r.Qpp_solver.v0 = 3)
+
+(* ------------------------------------------------------------------ *)
+(* Integrality gap (Claim A.1)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_integrality_path () =
+  let n = 8 and m = 100. in
+  let s = Integrality.path_instance ~n ~m in
+  let r = Integrality.measure s in
+  check_float "integral = M" m r.Integrality.integral_opt;
+  (* LP value <= (n-2 + M)/n (the uniform spread is feasible). *)
+  Alcotest.(check bool) "LP small" true
+    (r.Integrality.lp_value <= ((float_of_int (n - 2) +. m) /. float_of_int n) +. 1e-6);
+  Alcotest.(check bool) "gap large" true (r.Integrality.gap >= float_of_int n /. 2.)
+
+let test_integrality_figure1 () =
+  let k = 4 in
+  let s = Integrality.figure1_instance k in
+  let r = Integrality.measure s in
+  check_float "integral = k" (float_of_int k) r.Integrality.integral_opt;
+  (* LP is at most ~1.5 + o(1) on this family. *)
+  Alcotest.(check bool) "LP below 2" true (r.Integrality.lp_value <= 2.);
+  Alcotest.(check bool) "gap grows with k" true (r.Integrality.gap >= float_of_int k /. 2.)
+
+let test_integrality_rejects_multi_quorum () =
+  let system = Simple_qs.triangle () in
+  let strategy = Strategy.uniform system in
+  let p =
+    Problem.of_graph_qpp ~graph:(Generators.path 4) ~capacities:(Array.make 4 1.)
+      ~system ~strategy ()
+  in
+  Alcotest.check_raises "single quorum only"
+    (Invalid_argument "Integrality.measure: single-quorum instances only") (fun () ->
+      ignore (Integrality.measure (Problem.ssqpp_of_qpp p 0)))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_thm37_random =
+  QCheck.Test.make ~name:"Theorem 3.7 guarantees (random instances)" ~count:15
+    QCheck.small_int (fun seed ->
+      let s = random_uniform_ssqpp (5000 + seed) in
+      match Rounding.solve ~alpha:2. s with
+      | None -> false
+      | Some r ->
+          r.Rounding.delay <= r.Rounding.delay_bound +. 1e-6
+          && r.Rounding.load_violation <= 3. +. 1e-6)
+
+let prop_grid_concentric_optimal =
+  QCheck.Test.make ~name:"Theorem B.1: concentric layout optimal (k=2)" ~count:10
+    QCheck.small_int (fun seed ->
+      let s = grid_ssqpp ~k:2 ~n:(6 + (seed mod 4)) ~seed:(6000 + seed) in
+      match (Grid_layout.place s, Exact.ssqpp_uniform_dp s) with
+      | Some layout, Some (opt, _) -> Float.abs (layout.Grid_layout.delay -. opt) < 1e-9
+      | _ -> false)
+
+let prop_majority_any_placement_same_delay =
+  QCheck.Test.make ~name:"Eq. 19: all placements on same nodes equal" ~count:10
+    QCheck.small_int (fun seed ->
+      let s = majority_ssqpp ~n:5 ~t:3 ~nodes:7 ~seed:(7000 + seed) in
+      match Majority_layout.place s with
+      | None -> false
+      | Some (predicted, f) ->
+          let rng = Rng.create seed in
+          let perm = Rng.permutation rng 5 in
+          let g = Array.init 5 (fun u -> f.(perm.(u))) in
+          Float.abs (Delay.ssqpp_delay s g -. predicted) < 1e-9)
+
+(* Scaling every distance by a positive factor must scale Z*, the
+   rounded delay, and the exact optimum by exactly that factor (the
+   algorithms are combinatorial in the ranks, which scaling
+   preserves). Guards against hidden absolute-epsilon dependencies. *)
+let prop_scale_invariance =
+  QCheck.Test.make ~name:"solver pipeline is scale-invariant" ~count:8
+    QCheck.(pair small_int (float_range 3. 1000.))
+    (fun (seed, factor) ->
+      let s = random_uniform_ssqpp (8000 + seed) in
+      let scaled =
+        Problem.make_ssqpp
+          ~metric:(Metric.scale s.Problem.metric factor)
+          ~capacities:s.Problem.capacities ~system:s.Problem.system
+          ~strategy:s.Problem.strategy ~v0:s.Problem.v0
+      in
+      match (Rounding.solve ~alpha:2. s, Rounding.solve ~alpha:2. scaled) with
+      | Some a, Some b ->
+          let close x y =
+            Float.abs ((factor *. x) -. y) <= 1e-6 *. Float.max 1. (Float.abs y)
+          in
+          close a.Rounding.z_star b.Rounding.z_star
+          && close a.Rounding.delay b.Rounding.delay
+      | _ -> false)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_thm37_random; prop_grid_concentric_optimal;
+      prop_majority_any_placement_same_delay; prop_scale_invariance;
+    ]
+
+let suites =
+  [
+    ( "place.lp",
+      [
+        Alcotest.test_case "Z* lower-bounds OPT" `Quick test_lp_lower_bounds_exact;
+        Alcotest.test_case "infeasible detection" `Quick test_lp_infeasible_detection;
+        Alcotest.test_case "zero when colocated" `Quick test_lp_zero_when_colocated;
+        Alcotest.test_case "ordering fields" `Quick test_lp_ordering_fields;
+      ] );
+    ( "place.filtering",
+      [
+        Alcotest.test_case "invariants across alpha" `Quick test_filtering_invariants;
+        Alcotest.test_case "alpha validation" `Quick test_filtering_rejects_alpha;
+      ] );
+    ( "place.rounding",
+      [
+        Alcotest.test_case "Theorem 3.7 (alpha=2)" `Quick test_rounding_thm37_alpha2;
+        Alcotest.test_case "alpha sweep" `Quick test_rounding_thm37_alpha_sweep;
+        Alcotest.test_case "heterogeneous loads" `Quick test_rounding_heterogeneous_loads;
+        Alcotest.test_case "infeasible" `Quick test_rounding_infeasible;
+      ] );
+    ( "place.grid_layout",
+      [
+        Alcotest.test_case "rank pattern" `Quick test_grid_rank_pattern;
+        Alcotest.test_case "optimal k=2" `Quick test_grid_layout_equals_dp;
+        Alcotest.test_case "optimal k=3" `Quick test_grid_layout_equals_dp_k3;
+        Alcotest.test_case "optimal k=4" `Quick test_grid_layout_equals_dp_k4;
+        Alcotest.test_case "closed form matches" `Quick test_grid_layout_predicted_matches;
+        Alcotest.test_case "rejects non-grid" `Quick test_grid_layout_rejects_non_grid;
+        Alcotest.test_case "expansion" `Quick test_grid_layout_with_expansion;
+      ] );
+    ( "place.majority",
+      [
+        Alcotest.test_case "Eq.19 = direct" `Quick test_majority_closed_form_matches_direct;
+        Alcotest.test_case "placement invariance" `Quick test_majority_placement_invariance;
+        Alcotest.test_case "matches DP optimum" `Quick test_majority_matches_dp;
+        Alcotest.test_case "threshold recovery" `Quick test_majority_threshold_recovery;
+      ] );
+    ( "place.total_delay",
+      [
+        Alcotest.test_case "Theorem 5.1" `Quick test_total_delay_thm51;
+        Alcotest.test_case "exact uniform greedy" `Quick test_total_delay_exact_uniform;
+        Alcotest.test_case "separability" `Quick test_total_delay_separability;
+      ] );
+    ( "place.qpp_solver",
+      [
+        Alcotest.test_case "Theorem 1.2 guarantees" `Quick test_qpp_solver_guarantees;
+        Alcotest.test_case "candidate subset" `Quick test_qpp_solver_candidate_subset;
+        Alcotest.test_case "client rates (Section 6)" `Quick test_qpp_solver_with_client_rates;
+      ] );
+    ( "place.integrality",
+      [
+        Alcotest.test_case "path instance" `Quick test_integrality_path;
+        Alcotest.test_case "figure-1 instance" `Quick test_integrality_figure1;
+        Alcotest.test_case "rejects multi-quorum" `Quick test_integrality_rejects_multi_quorum;
+      ] );
+    ("place.algo_properties", qcheck_tests);
+  ]

@@ -1,0 +1,124 @@
+module Rng = Qp_util.Rng
+module Generators = Qp_graph.Generators
+module Strategy = Qp_quorum.Strategy
+module Simple_qs = Qp_quorum.Simple_qs
+module Grid_qs = Qp_quorum.Grid_qs
+open Qp_place
+
+let fixture ?(slack = 2.0) seed =
+  let rng = Rng.create seed in
+  let n = 10 in
+  let g, _ = Generators.random_geometric rng n 0.5 in
+  let system = Grid_qs.make 2 in
+  let load = Grid_qs.element_load 2 in
+  let p =
+    Problem.of_graph_qpp ~graph:g ~capacities:(Array.make n (slack *. load)) ~system
+      ~strategy:(Strategy.uniform system) ()
+  in
+  (p, [| 0; 1; 2; 3 |])
+
+let test_repair_moves_only_displaced () =
+  let p, f = fixture 1 in
+  match Repair.repair p f ~dead:[ 1; 3 ] with
+  | None -> Alcotest.fail "enough surviving capacity"
+  | Some r ->
+      Alcotest.(check (list int)) "exactly the hosted elements move"
+        (List.sort compare [ 1; 3 ])
+        (List.sort compare r.Repair.moved);
+      (* Elements on surviving nodes kept their host. *)
+      Alcotest.(check int) "element 0 stays" 0 r.Repair.placement.(0);
+      Alcotest.(check int) "element 2 stays" 2 r.Repair.placement.(2);
+      (* No element on a dead node. *)
+      Array.iter
+        (fun v -> Alcotest.(check bool) "avoids dead" true (v <> 1 && v <> 3))
+        r.Repair.placement
+
+let test_repair_respects_surviving_capacity () =
+  let p, f = fixture 2 in
+  match Repair.repair p f ~dead:[ 0 ] with
+  | None -> Alcotest.fail "feasible"
+  | Some r ->
+      (* Validate against the survivors problem: dead capacity 0. *)
+      let caps' = Array.copy p.Problem.capacities in
+      caps'.(0) <- 0.;
+      let p' =
+        Problem.make_qpp ~metric:p.Problem.metric ~capacities:caps'
+          ~system:p.Problem.system ~strategy:p.Problem.strategy ()
+      in
+      Alcotest.(check bool) "respects caps" true
+        (Placement.respects_capacities p' r.Repair.placement)
+
+let test_repair_noop_when_no_hosted_dead () =
+  let p, f = fixture 3 in
+  (* Nodes 7, 8, 9 host nothing. *)
+  match Repair.repair p f ~dead:[ 7; 8; 9 ] with
+  | None -> Alcotest.fail "feasible"
+  | Some r ->
+      Alcotest.(check (list int)) "nothing moved" [] r.Repair.moved;
+      Alcotest.(check (array int)) "unchanged" f r.Repair.placement;
+      Alcotest.(check (float 1e-9)) "delay unchanged" r.Repair.delay_before
+        r.Repair.delay_after
+
+let test_repair_infeasible () =
+  (* Tight capacities: killing a host leaves nowhere to go. *)
+  let p, f = fixture ~slack:1.0 4 in
+  (* With slack 1.0 every surviving node already hosting an element is
+     full; nodes 4..9 are empty with capacity = 1 load though, so kill
+     all of them plus a host. *)
+  Alcotest.(check bool) "infeasible when everything else is gone" true
+    (Repair.repair p f ~dead:[ 0; 4; 5; 6; 7; 8; 9 ] = None)
+
+let test_repair_validation () =
+  let p, f = fixture 5 in
+  Alcotest.check_raises "bad node" (Invalid_argument "Repair: dead node out of range")
+    (fun () -> ignore (Repair.repair p f ~dead:[ 42 ]));
+  Alcotest.check_raises "all dead" (Invalid_argument "Repair: no surviving node")
+    (fun () -> ignore (Repair.repair p f ~dead:(List.init 10 (fun v -> v))))
+
+let test_degradation_vs_resolve () =
+  let p, _ = fixture 6 in
+  (* Start from a solved placement so the comparison is meaningful. *)
+  match Qpp_solver.solve ~alpha:2. p with
+  | None -> Alcotest.fail "feasible"
+  | Some solved -> (
+      let f = solved.Qpp_solver.placement in
+      let dead = [ f.(0) ] in
+      match Repair.degradation_vs_resolve p f ~dead with
+      | None -> Alcotest.fail "feasible after churn"
+      | Some (repaired, resolved) ->
+          Alcotest.(check bool) "both positive" true (repaired >= 0. && resolved >= 0.);
+          (* The greedy patch cannot beat... actually it CAN beat the
+             approximate re-solve; only assert both are finite and the
+             repair is within a loose factor of the re-solve. *)
+          Alcotest.(check bool) "repair within 5x of re-solve" true
+            (repaired <= (5. *. resolved) +. 1e-6))
+
+let prop_repair_sound =
+  QCheck.Test.make ~name:"repair avoids dead nodes and moves minimally" ~count:20
+    QCheck.small_int (fun seed ->
+      let p, f = fixture (seed + 100) in
+      let rng = Rng.create seed in
+      let dead = Rng.sample_distinct rng 2 10 in
+      match Repair.repair p f ~dead with
+      | None -> true
+      | Some r ->
+          Array.for_all (fun v -> not (List.mem v dead)) r.Repair.placement
+          && Array.for_all2
+               (fun before after -> before = after || List.mem before dead)
+               f r.Repair.placement)
+
+let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_repair_sound ]
+
+let suites =
+  [
+    ( "place.repair",
+      [
+        Alcotest.test_case "moves only displaced" `Quick test_repair_moves_only_displaced;
+        Alcotest.test_case "respects surviving capacity" `Quick test_repair_respects_surviving_capacity;
+        Alcotest.test_case "noop on empty hosts" `Quick test_repair_noop_when_no_hosted_dead;
+        Alcotest.test_case "infeasible" `Quick test_repair_infeasible;
+        Alcotest.test_case "validation" `Quick test_repair_validation;
+        Alcotest.test_case "vs re-solve" `Quick test_degradation_vs_resolve;
+      ] );
+    ("repair.properties", qcheck_tests);
+  ]

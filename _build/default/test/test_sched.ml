@@ -1,0 +1,251 @@
+open Qp_sched
+module Rng = Qp_util.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Core                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let simple_instance () =
+  (* 3 jobs, 0 -> 2 precedence. *)
+  Sched.make ~time:[| 2.; 1.; 3. |] ~weight:[| 1.; 2.; 1. |] ~prec:[ (0, 2) ]
+
+let test_make_validation () =
+  Alcotest.check_raises "cycle" (Invalid_argument "Sched.make: cyclic precedence")
+    (fun () ->
+      ignore (Sched.make ~time:[| 1.; 1. |] ~weight:[| 1.; 1. |] ~prec:[ (0, 1); (1, 0) ]));
+  Alcotest.check_raises "self edge" (Invalid_argument "Sched.make: bad precedence pair")
+    (fun () -> ignore (Sched.make ~time:[| 1. |] ~weight:[| 1. |] ~prec:[ (0, 0) ]));
+  Alcotest.check_raises "negative time" (Invalid_argument "Sched.make: negative time")
+    (fun () -> ignore (Sched.make ~time:[| -1. |] ~weight:[| 1. |] ~prec:[]))
+
+let test_cost_and_feasibility () =
+  let t = simple_instance () in
+  (* Order 1, 0, 2: C_1 = 1, C_0 = 3, C_2 = 6 -> 2 + 3 + 6 = 11. *)
+  check_float "cost" 11. (Sched.cost t [| 1; 0; 2 |]);
+  Alcotest.(check bool) "feasible" true (Sched.is_feasible t [| 0; 1; 2 |]);
+  Alcotest.(check bool) "violates prec" false (Sched.is_feasible t [| 2; 0; 1 |]);
+  Alcotest.(check bool) "not a permutation" false (Sched.is_feasible t [| 0; 0; 2 |]);
+  Alcotest.check_raises "cost rejects" (Invalid_argument "Sched.cost: infeasible schedule")
+    (fun () -> ignore (Sched.cost t [| 2; 0; 1 |]))
+
+let test_topological () =
+  let t = simple_instance () in
+  Alcotest.(check bool) "topo feasible" true (Sched.is_feasible t (Sched.topological_order t));
+  Alcotest.(check (list int)) "preds" [ 0 ] (Sched.predecessors t 2);
+  Alcotest.(check (list int)) "succs" [ 2 ] (Sched.successors t 0)
+
+let test_woeginger_form () =
+  let t = Sched.make ~time:[| 1.; 0. |] ~weight:[| 0.; 1. |] ~prec:[ (0, 1) ] in
+  Alcotest.(check bool) "in form" true (Sched.is_woeginger_form t);
+  Alcotest.(check bool) "general not in form" false
+    (Sched.is_woeginger_form (simple_instance ()));
+  let bad_edge = Sched.make ~time:[| 1.; 1. |] ~weight:[| 0.; 0. |] ~prec:[ (0, 1) ] in
+  Alcotest.(check bool) "edge between unit-time jobs" false
+    (Sched.is_woeginger_form bad_edge)
+
+let test_random_woeginger () =
+  let rng = Rng.create 3 in
+  let t = Sched.random_woeginger rng ~n_unit_time:4 ~n_unit_weight:3 ~edge_prob:0.5 in
+  Alcotest.(check int) "job count" 7 t.Sched.n;
+  Alcotest.(check bool) "in form" true (Sched.is_woeginger_form t)
+
+(* ------------------------------------------------------------------ *)
+(* Exact DP                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_exact_no_prec_smith_rule () =
+  (* Without precedence the optimum follows Smith's rule (sort by
+     w/T descending): times 3,1,2 weights 1,1,4 -> order 2,1,0 ->
+     C = 2, 3, 6 -> 4*2 + 1*3 + 1*6 = 17. *)
+  let t = Sched.make ~time:[| 3.; 1.; 2. |] ~weight:[| 1.; 1.; 4. |] ~prec:[] in
+  let cost, order = Sched_exact.solve t in
+  check_float "optimal cost" 17. cost;
+  Alcotest.(check bool) "order feasible" true (Sched.is_feasible t order);
+  check_float "order cost matches" cost (Sched.cost t order)
+
+let test_exact_with_prec () =
+  (* Force the heavy job behind a slow one. *)
+  let t = Sched.make ~time:[| 5.; 1. |] ~weight:[| 0.; 10. |] ~prec:[ (0, 1) ] in
+  let cost, order = Sched_exact.solve t in
+  check_float "forced wait" 60. cost;
+  Alcotest.(check (array int)) "order" [| 0; 1 |] order
+
+let prop_exact_equals_brute_force =
+  QCheck.Test.make ~name:"DP = brute force on small instances" ~count:50
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 5 in
+      let time = Array.init n (fun _ -> float_of_int (Rng.int rng 4)) in
+      let weight = Array.init n (fun _ -> float_of_int (Rng.int rng 4)) in
+      (* Random DAG respecting index order. *)
+      let prec = ref [] in
+      for a = 0 to n - 1 do
+        for b = a + 1 to n - 1 do
+          if Rng.uniform rng < 0.3 then prec := (a, b) :: !prec
+        done
+      done;
+      let t = Sched.make ~time ~weight ~prec:!prec in
+      let dp, order = Sched_exact.solve t in
+      let bf = Sched_exact.brute_force t in
+      Float.abs (dp -. bf) < 1e-9 && Sched.is_feasible t order)
+
+let prop_wspt_optimal_without_prec =
+  QCheck.Test.make ~name:"WSPT heuristic optimal when prec empty" ~count:50
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 100) in
+      let n = 2 + Rng.int rng 5 in
+      let time = Array.init n (fun _ -> 1. +. float_of_int (Rng.int rng 4)) in
+      let weight = Array.init n (fun _ -> float_of_int (Rng.int rng 5)) in
+      let t = Sched.make ~time ~weight ~prec:[] in
+      let dp, _ = Sched_exact.solve t in
+      Float.abs (Sched.cost t (Sched_heuristics.wspt t) -. dp) < 1e-9)
+
+let prop_heuristics_feasible_and_ge_opt =
+  QCheck.Test.make ~name:"heuristics feasible and >= optimum" ~count:50
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 200) in
+      let t = Sched.random_woeginger rng ~n_unit_time:4 ~n_unit_weight:4 ~edge_prob:0.4 in
+      let dp, _ = Sched_exact.solve t in
+      let h1 = Sched_heuristics.wspt t in
+      let h2 = Sched_heuristics.topological t in
+      Sched.is_feasible t h1 && Sched.is_feasible t h2
+      && Sched.cost t h1 >= dp -. 1e-9
+      && Sched.cost t h2 >= dp -. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Reduction (Theorem 3.6)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let woeginger_fixture () =
+  (* 3 unit-time jobs (0,1,2), 2 unit-weight jobs (3,4);
+     0 -> 3, 1 -> 3, 2 -> 4. *)
+  Sched.make
+    ~time:[| 1.; 1.; 1.; 0.; 0. |]
+    ~weight:[| 0.; 0.; 0.; 1.; 1. |]
+    ~prec:[ (0, 3); (1, 3); (2, 4) ]
+
+let test_reduction_shape () =
+  let r = Reduction.make (woeginger_fixture ()) in
+  Alcotest.(check int) "universe = n-m+1" 4 (Qp_quorum.Quorum.universe r.Reduction.system);
+  Alcotest.(check int) "quorum count = n" 5
+    (Qp_quorum.Quorum.n_quorums r.Reduction.system);
+  Alcotest.(check int) "path nodes" 4 (Qp_graph.Graph.n_vertices r.Reduction.graph);
+  check_float "hub capacity" 1. r.Reduction.capacities.(0);
+  (* Strategy sums to 1 and epsilon below the proof's threshold. *)
+  Alcotest.(check bool) "epsilon small" true
+    (r.Reduction.epsilon < (1. -. r.Reduction.epsilon) /. 3.)
+
+let test_reduction_load_properties () =
+  let r = Reduction.make (woeginger_fixture ()) in
+  let loads = Qp_quorum.Strategy.loads r.Reduction.system r.Reduction.strategy in
+  check_float "hub load is 1" 1. loads.(0);
+  let nm = 3. in
+  let eps = r.Reduction.epsilon in
+  for u = 1 to 3 do
+    Alcotest.(check bool) "element load within proof bounds" true
+      (loads.(u) >= ((1. -. eps) /. nm) -. 1e-9
+      && loads.(u) < (2. *. (1. -. eps) /. nm) +. 1e-9)
+  done;
+  (* Non-hub capacity must accept exactly one element. *)
+  let cap = r.Reduction.capacities.(1) in
+  for u = 1 to 3 do
+    Alcotest.(check bool) "one element fits" true (loads.(u) <= cap +. 1e-9)
+  done;
+  Alcotest.(check bool) "two min elements do not fit" true
+    (2. *. ((1. -. eps) /. nm) > cap +. 1e-9)
+
+let test_reduction_rejects () =
+  Alcotest.check_raises "not woeginger"
+    (Invalid_argument "Reduction.make: instance not in Woeginger form") (fun () ->
+      ignore (Reduction.make (simple_instance ())));
+  let reordered =
+    Sched.make ~time:[| 0.; 1. |] ~weight:[| 1.; 0. |] ~prec:[]
+  in
+  Alcotest.check_raises "ordering"
+    (Invalid_argument "Reduction.make: unit-time jobs must precede unit-weight jobs")
+    (fun () -> ignore (Reduction.make reordered))
+
+let test_reduction_cost_correspondence () =
+  let sched = woeginger_fixture () in
+  let r = Reduction.make sched in
+  (* Try all 3! placements of elements 1..3 on nodes 1..3. *)
+  let perms = [ [| 1; 2; 3 |]; [| 1; 3; 2 |]; [| 2; 1; 3 |]; [| 2; 3; 1 |]; [| 3; 1; 2 |]; [| 3; 2; 1 |] ] in
+  List.iter
+    (fun perm ->
+      let f = Array.append [| 0 |] perm in
+      let delay = Reduction.delay_of_placement r f in
+      let schedule = Reduction.schedule_of_placement r f in
+      Alcotest.(check bool) "schedule feasible" true (Sched.is_feasible sched schedule);
+      let cost = Sched.cost sched schedule in
+      check_float "affine correspondence" delay (Reduction.delay_of_cost r cost);
+      check_float "inverse" cost (Reduction.cost_of_delay r delay))
+    perms
+
+let test_reduction_optima_align () =
+  let sched = woeginger_fixture () in
+  let r = Reduction.make sched in
+  let opt_cost, _ = Sched_exact.solve sched in
+  (* Brute-force the SSQPP side over all placements. *)
+  let best_delay = ref infinity in
+  let perms = [ [| 1; 2; 3 |]; [| 1; 3; 2 |]; [| 2; 1; 3 |]; [| 2; 3; 1 |]; [| 3; 1; 2 |]; [| 3; 2; 1 |] ] in
+  List.iter
+    (fun perm ->
+      let f = Array.append [| 0 |] perm in
+      let d = Reduction.delay_of_placement r f in
+      if d < !best_delay then best_delay := d)
+    perms;
+  check_float "optimal schedule <-> optimal placement" opt_cost
+    (Reduction.cost_of_delay r !best_delay)
+
+let prop_reduction_correspondence_random =
+  QCheck.Test.make ~name:"reduction affine correspondence (random)" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 42) in
+      let nt = 2 + Rng.int rng 4 in
+      let nw = 1 + Rng.int rng 3 in
+      let sched = Sched.random_woeginger rng ~n_unit_time:nt ~n_unit_weight:nw ~edge_prob:0.5 in
+      let r = Reduction.make sched in
+      (* Random placement: random permutation of 1..nt. *)
+      let perm = Rng.permutation rng nt in
+      let f = Array.append [| 0 |] (Array.map (fun x -> x + 1) perm) in
+      let delay = Reduction.delay_of_placement r f in
+      let schedule = Reduction.schedule_of_placement r f in
+      Sched.is_feasible sched schedule
+      &&
+      let cost = Sched.cost sched schedule in
+      Float.abs (delay -. Reduction.delay_of_cost r cost) < 1e-9)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_exact_equals_brute_force; prop_wspt_optimal_without_prec;
+      prop_heuristics_feasible_and_ge_opt; prop_reduction_correspondence_random;
+    ]
+
+let suites =
+  [
+    ( "sched.core",
+      [
+        Alcotest.test_case "validation" `Quick test_make_validation;
+        Alcotest.test_case "cost + feasibility" `Quick test_cost_and_feasibility;
+        Alcotest.test_case "topological" `Quick test_topological;
+        Alcotest.test_case "woeginger form" `Quick test_woeginger_form;
+        Alcotest.test_case "random woeginger" `Quick test_random_woeginger;
+      ] );
+    ( "sched.exact",
+      [
+        Alcotest.test_case "smith rule" `Quick test_exact_no_prec_smith_rule;
+        Alcotest.test_case "with precedence" `Quick test_exact_with_prec;
+      ] );
+    ( "sched.reduction",
+      [
+        Alcotest.test_case "shape" `Quick test_reduction_shape;
+        Alcotest.test_case "load properties" `Quick test_reduction_load_properties;
+        Alcotest.test_case "rejects bad input" `Quick test_reduction_rejects;
+        Alcotest.test_case "cost correspondence" `Quick test_reduction_cost_correspondence;
+        Alcotest.test_case "optima align" `Quick test_reduction_optima_align;
+      ] );
+    ("sched.properties", qcheck_tests);
+  ]

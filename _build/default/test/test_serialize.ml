@@ -1,0 +1,124 @@
+module Rng = Qp_util.Rng
+module Metric = Qp_graph.Metric
+module Generators = Qp_graph.Generators
+module Strategy = Qp_quorum.Strategy
+module Simple_qs = Qp_quorum.Simple_qs
+module Grid_qs = Qp_quorum.Grid_qs
+open Qp_place
+
+let random_problem seed =
+  let rng = Rng.create seed in
+  let n = 4 + Rng.int rng 6 in
+  let g, _ = Generators.random_geometric rng n 0.5 in
+  let system = if Rng.bool rng then Simple_qs.triangle () else Grid_qs.make 2 in
+  let strategy =
+    if Rng.bool rng then Strategy.uniform system
+    else begin
+      let m = Qp_quorum.Quorum.n_quorums system in
+      Strategy.of_weights system (Array.init m (fun _ -> 0.1 +. Rng.uniform rng))
+    end
+  in
+  let caps = Array.init n (fun _ -> Rng.float rng 3.) in
+  let rates =
+    if Rng.bool rng then Some (Array.init n (fun _ -> Rng.float rng 2. +. 0.01)) else None
+  in
+  Problem.of_graph_qpp ~graph:g ~capacities:caps ~system ~strategy ?client_rates:rates ()
+
+let same_problem (a : Problem.qpp) (b : Problem.qpp) =
+  let n = Problem.n_nodes a in
+  Problem.n_nodes b = n
+  && Problem.n_elements a = Problem.n_elements b
+  && a.Problem.capacities = b.Problem.capacities
+  && a.Problem.strategy = b.Problem.strategy
+  && a.Problem.client_rates = b.Problem.client_rates
+  && Qp_quorum.Quorum.quorums a.Problem.system = Qp_quorum.Quorum.quorums b.Problem.system
+  && begin
+       let ok = ref true in
+       for v = 0 to n - 1 do
+         for w = 0 to n - 1 do
+           if Metric.dist a.Problem.metric v w <> Metric.dist b.Problem.metric v w then
+             ok := false
+         done
+       done;
+       !ok
+     end
+
+let test_round_trip () =
+  for seed = 1 to 20 do
+    let p = random_problem seed in
+    let p' = Serialize.problem_of_string (Serialize.problem_to_string p) in
+    Alcotest.(check bool) "round trip exact" true (same_problem p p')
+  done
+
+let test_round_trip_objective_stable () =
+  let p = random_problem 99 in
+  let p' = Serialize.problem_of_string (Serialize.problem_to_string p) in
+  let f = Array.init (Problem.n_elements p) (fun u -> u mod Problem.n_nodes p) in
+  Alcotest.(check (float 0.)) "identical delays" (Delay.avg_max_delay p f)
+    (Delay.avg_max_delay p' f)
+
+let test_placement_round_trip () =
+  let f = [| 3; 0; 7; 3 |] in
+  Alcotest.(check (array int)) "round trip" f
+    (Serialize.placement_of_string (Serialize.placement_to_string f));
+  Alcotest.(check (array int)) "whitespace tolerant" [| 1; 2 |]
+    (Serialize.placement_of_string "  1   2 ")
+
+let check_fails fragment text =
+  match Serialize.problem_of_string text with
+  | exception Failure msg ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("error mentions " ^ fragment) true (contains msg fragment)
+  | _ -> Alcotest.fail "expected parse failure"
+
+let test_malformed_inputs () =
+  check_fails "expected" "not-an-instance\n";
+  check_fails "unexpected end" "qplace-instance v1\nnodes 2\n";
+  check_fails "expected 2 numbers"
+    "qplace-instance v1\nnodes 2\nmetric\n0 1 2\n0 1\n";
+  (* Asymmetric metric rejected by validation. *)
+  check_fails "invalid metric"
+    "qplace-instance v1\nnodes 2\nmetric\n0 1\n2 0\ncapacities\n1 1\nuniverse 1\nquorums 1\nq 0\nstrategy\n1\nrates none\nend\n";
+  (* Non-intersecting quorums rejected. *)
+  check_fails "invalid quorum system"
+    "qplace-instance v1\nnodes 2\nmetric\n0 1\n1 0\ncapacities\n1 1\nuniverse 2\nquorums 2\nq 0\nq 1\nstrategy\n0.5 0.5\nrates none\nend\n";
+  (* Bad strategy sum. *)
+  check_fails "invalid problem"
+    "qplace-instance v1\nnodes 2\nmetric\n0 1\n1 0\ncapacities\n1 1\nuniverse 1\nquorums 1\nq 0\nstrategy\n0.7\nrates none\nend\n"
+
+let test_file_round_trip () =
+  let p = random_problem 7 in
+  let path = Filename.temp_file "qplace" ".inst" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      Serialize.save_problem path p;
+      let p' = Serialize.load_problem path in
+      Alcotest.(check bool) "file round trip" true (same_problem p p'))
+
+let test_placement_bad_token () =
+  Alcotest.check_raises "bad token" (Failure "Serialize: bad placement token \"x\"")
+    (fun () -> ignore (Serialize.placement_of_string "1 x 2"))
+
+let prop_round_trip =
+  QCheck.Test.make ~name:"serialize round trip" ~count:40 QCheck.small_int (fun seed ->
+      let p = random_problem (seed + 1000) in
+      same_problem p (Serialize.problem_of_string (Serialize.problem_to_string p)))
+
+let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_round_trip ]
+
+let suites =
+  [
+    ( "place.serialize",
+      [
+        Alcotest.test_case "round trip" `Quick test_round_trip;
+        Alcotest.test_case "objective stable" `Quick test_round_trip_objective_stable;
+        Alcotest.test_case "placement round trip" `Quick test_placement_round_trip;
+        Alcotest.test_case "malformed inputs" `Quick test_malformed_inputs;
+        Alcotest.test_case "file round trip" `Quick test_file_round_trip;
+        Alcotest.test_case "placement bad token" `Quick test_placement_bad_token;
+      ] );
+    ("serialize.properties", qcheck_tests);
+  ]

@@ -1,0 +1,207 @@
+module Rng = Qp_util.Rng
+module Maxflow = Qp_assign.Maxflow
+open Qp_sched
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Max-flow                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_maxflow_known () =
+  (* Classic 4-node example: max flow 2.5 through two paths. *)
+  let net = Maxflow.create 4 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~capacity:1.5;
+  Maxflow.add_edge net ~src:0 ~dst:2 ~capacity:1.0;
+  Maxflow.add_edge net ~src:1 ~dst:3 ~capacity:2.0;
+  Maxflow.add_edge net ~src:2 ~dst:3 ~capacity:1.0;
+  check_float "value" 2.5 (Maxflow.max_flow net ~source:0 ~sink:3);
+  let side = Maxflow.min_cut_side net ~source:0 in
+  Alcotest.(check bool) "source in" true side.(0);
+  Alcotest.(check bool) "sink out" false side.(3)
+
+let test_maxflow_bottleneck () =
+  let net = Maxflow.create 3 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~capacity:10.;
+  Maxflow.add_edge net ~src:1 ~dst:2 ~capacity:0.25;
+  check_float "bottleneck" 0.25 (Maxflow.max_flow net ~source:0 ~sink:2)
+
+let test_maxflow_disconnected () =
+  let net = Maxflow.create 3 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~capacity:1.;
+  check_float "zero" 0. (Maxflow.max_flow net ~source:0 ~sink:2)
+
+let test_maxflow_infinite_arc () =
+  let net = Maxflow.create 3 in
+  Maxflow.add_edge net ~src:0 ~dst:1 ~capacity:3.;
+  Maxflow.add_edge net ~src:1 ~dst:2 ~capacity:infinity;
+  check_float "finite bottleneck" 3. (Maxflow.max_flow net ~source:0 ~sink:2)
+
+let test_maxflow_equals_mcmf_on_unit_networks () =
+  (* Cross-check against the integer MCMF on random unit-capacity
+     DAGs. *)
+  for seed = 1 to 10 do
+    let rng = Rng.create (700 + seed) in
+    let n = 6 in
+    let edges = ref [] in
+    for i = 0 to n - 2 do
+      for j = i + 1 to n - 1 do
+        if Rng.uniform rng < 0.5 then edges := (i, j) :: !edges
+      done
+    done;
+    let net = Maxflow.create n in
+    let mc = Qp_assign.Mcmf.create n in
+    List.iter
+      (fun (i, j) ->
+        Maxflow.add_edge net ~src:i ~dst:j ~capacity:1.;
+        Qp_assign.Mcmf.add_edge mc ~src:i ~dst:j ~capacity:1 ~cost:0.)
+      !edges;
+    let f1 = Maxflow.max_flow net ~source:0 ~sink:(n - 1) in
+    let f2, _ = Qp_assign.Mcmf.min_cost_flow mc ~source:0 ~sink:(n - 1) () in
+    check_float "agree" (float_of_int f2) f1
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Max-weight ideals                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let chain3 () =
+  (* 0 -> 1 -> 2 with mixed weights. *)
+  Sched.make ~time:[| 1.; 1.; 1. |] ~weight:[| 1.; 1.; 1. |] ~prec:[ (0, 1); (1, 2) ]
+
+let test_ideal_respects_closure () =
+  let t = chain3 () in
+  (* Weight +1 on job 2 only: taking 2 forces 0 and 1 (costs -0.6
+     each): net -0.2 < 0, so the best ideal is empty. *)
+  let w = function 2 -> 1. | _ -> -0.6 in
+  Alcotest.(check (list int)) "empty" []
+    (Sidney.max_weight_ideal t ~among:[ 0; 1; 2 ] ~weights:w);
+  (* Cheaper predecessors: take the whole chain. *)
+  let w = function 2 -> 1. | _ -> -0.3 in
+  Alcotest.(check (list int)) "whole chain" [ 0; 1; 2 ]
+    (Sidney.max_weight_ideal t ~among:[ 0; 1; 2 ] ~weights:w)
+
+let test_ideal_picks_positive_prefix () =
+  let t = chain3 () in
+  let w = function 0 -> 2. | 1 -> -1. | _ -> -5. in
+  Alcotest.(check (list int)) "prefix only" [ 0 ]
+    (Sidney.max_weight_ideal t ~among:[ 0; 1; 2 ] ~weights:w)
+
+(* ------------------------------------------------------------------ *)
+(* Sidney decomposition                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_density_blocks_nonincreasing () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10 do
+    let n = 4 + Rng.int rng 5 in
+    let time = Array.init n (fun _ -> 1. +. float_of_int (Rng.int rng 4)) in
+    let weight = Array.init n (fun _ -> float_of_int (Rng.int rng 6)) in
+    let prec = ref [] in
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        if Rng.uniform rng < 0.3 then prec := (a, b) :: !prec
+      done
+    done;
+    let t = Sched.make ~time ~weight ~prec:!prec in
+    let blocks = Sidney.decomposition t in
+    (* Partition check. *)
+    let all = List.sort compare (List.concat blocks) in
+    Alcotest.(check (list int)) "partition" (List.init n (fun j -> j)) all;
+    (* Densities non-increasing. *)
+    let density block =
+      let w = List.fold_left (fun acc j -> acc +. weight.(j)) 0. block in
+      let p = List.fold_left (fun acc j -> acc +. time.(j)) 0. block in
+      w /. p
+    in
+    let rec check = function
+      | a :: (b :: _ as rest) ->
+          Alcotest.(check bool) "non-increasing density" true
+            (density a +. 1e-9 >= density b);
+          check rest
+      | _ -> ()
+    in
+    check blocks
+  done
+
+let test_schedule_feasible_and_two_approx () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 15 do
+    let n = 4 + Rng.int rng 5 in
+    let time = Array.init n (fun _ -> 1. +. float_of_int (Rng.int rng 4)) in
+    let weight = Array.init n (fun _ -> float_of_int (Rng.int rng 6)) in
+    let prec = ref [] in
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        if Rng.uniform rng < 0.3 then prec := (a, b) :: !prec
+      done
+    done;
+    let t = Sched.make ~time ~weight ~prec:!prec in
+    let order = Sidney.schedule t in
+    Alcotest.(check bool) "feasible" true (Sched.is_feasible t order);
+    let opt, _ = Sched_exact.solve t in
+    if opt > 0. then
+      Alcotest.(check bool) "2-approximation" true
+        (Sched.cost t order <= (2. *. opt) +. 1e-9)
+  done
+
+let test_schedule_optimal_without_prec () =
+  (* No precedence: Sidney blocks peel off in WSPT order, giving the
+     exact optimum (Smith's rule). *)
+  let rng = Rng.create 17 in
+  for _ = 1 to 10 do
+    let n = 3 + Rng.int rng 5 in
+    let time = Array.init n (fun _ -> 1. +. float_of_int (Rng.int rng 4)) in
+    let weight = Array.init n (fun _ -> 1. +. float_of_int (Rng.int rng 5)) in
+    let t = Sched.make ~time ~weight ~prec:[] in
+    let opt, _ = Sched_exact.solve t in
+    check_float "optimal" opt (Sched.cost t (Sidney.schedule t))
+  done
+
+let test_sidney_rejects_zero_times () =
+  let t = Sched.make ~time:[| 1.; 0. |] ~weight:[| 0.; 1. |] ~prec:[] in
+  Alcotest.check_raises "zero time"
+    (Invalid_argument "Sidney: positive processing times required") (fun () ->
+      ignore (Sidney.decomposition t))
+
+let prop_sidney_two_approx =
+  QCheck.Test.make ~name:"Sidney schedule within 2x of subset-DP optimum" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 900) in
+      let n = 3 + Rng.int rng 6 in
+      let time = Array.init n (fun _ -> 1. +. float_of_int (Rng.int rng 3)) in
+      let weight = Array.init n (fun _ -> float_of_int (Rng.int rng 5)) in
+      let prec = ref [] in
+      for a = 0 to n - 1 do
+        for b = a + 1 to n - 1 do
+          if Rng.uniform rng < 0.35 then prec := (a, b) :: !prec
+        done
+      done;
+      let t = Sched.make ~time ~weight ~prec:!prec in
+      let order = Sidney.schedule t in
+      let opt, _ = Sched_exact.solve t in
+      Sched.is_feasible t order && Sched.cost t order <= (2. *. opt) +. 1e-9)
+
+let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_sidney_two_approx ]
+
+let suites =
+  [
+    ( "assign.maxflow",
+      [
+        Alcotest.test_case "known value + cut" `Quick test_maxflow_known;
+        Alcotest.test_case "bottleneck" `Quick test_maxflow_bottleneck;
+        Alcotest.test_case "disconnected" `Quick test_maxflow_disconnected;
+        Alcotest.test_case "infinite arcs" `Quick test_maxflow_infinite_arc;
+        Alcotest.test_case "matches mcmf" `Quick test_maxflow_equals_mcmf_on_unit_networks;
+      ] );
+    ( "sched.sidney",
+      [
+        Alcotest.test_case "closure respected" `Quick test_ideal_respects_closure;
+        Alcotest.test_case "positive prefix" `Quick test_ideal_picks_positive_prefix;
+        Alcotest.test_case "block densities" `Quick test_density_blocks_nonincreasing;
+        Alcotest.test_case "feasible 2-approx" `Quick test_schedule_feasible_and_two_approx;
+        Alcotest.test_case "optimal without prec" `Quick test_schedule_optimal_without_prec;
+        Alcotest.test_case "rejects zero times" `Quick test_sidney_rejects_zero_times;
+      ] );
+    ("sidney.properties", qcheck_tests);
+  ]

@@ -1,0 +1,293 @@
+open Qp_sim
+module Rng = Qp_util.Rng
+module Generators = Qp_graph.Generators
+module Strategy = Qp_quorum.Strategy
+module Quorum = Qp_quorum.Quorum
+module Simple_qs = Qp_quorum.Simple_qs
+module Problem = Qp_place.Problem
+module Placement = Qp_place.Placement
+module Delay = Qp_place.Delay
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim 3.0 (fun _ -> log := 3 :: !log);
+  Sim.schedule sim 1.0 (fun _ -> log := 1 :: !log);
+  Sim.schedule sim 2.0 (fun s ->
+      log := 2 :: !log;
+      Sim.schedule_in s 0.5 (fun _ -> log := 25 :: !log));
+  Sim.run sim;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 25; 3 ] (List.rev !log);
+  Alcotest.(check int) "processed" 4 (Sim.events_processed sim);
+  check_float "final clock" 3.0 (Sim.now sim)
+
+let test_engine_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Sim.schedule sim (float_of_int i) (fun _ -> incr count)
+  done;
+  Sim.run ~until:5.5 sim;
+  Alcotest.(check int) "stopped at horizon" 5 !count;
+  Sim.run sim;
+  Alcotest.(check int) "resumes" 10 !count
+
+let test_engine_stop () =
+  (* A self-regenerating event chain is cut off by Sim.stop. *)
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick s =
+    incr count;
+    if !count = 5 then Sim.stop s else Sim.schedule_in s 1.0 tick
+  in
+  Sim.schedule sim 0.0 tick;
+  Sim.run sim;
+  Alcotest.(check int) "stopped after 5" 5 !count
+
+let test_engine_rejects_past () =
+  let sim = Sim.create () in
+  Sim.schedule sim 5.0 (fun s ->
+      Alcotest.check_raises "past event" (Invalid_argument "Sim.schedule: time in the past")
+        (fun () -> Sim.schedule s 1.0 (fun _ -> ())));
+  Sim.run sim
+
+(* ------------------------------------------------------------------ *)
+(* Access simulation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fixture () =
+  let system = Simple_qs.triangle () in
+  let p =
+    Problem.of_graph_qpp ~graph:(Generators.path 3)
+      ~capacities:(Array.make 3 (2. /. 3.))
+      ~system ~strategy:(Strategy.uniform system) ()
+  in
+  (p, [| 0; 1; 2 |])
+
+(* Single quorum: every access has the same deterministic delay, so
+   the simulated mean equals the analytic value exactly. *)
+let single_quorum_fixture () =
+  let n = 4 in
+  let system = Quorum.make ~universe:2 [| [| 0; 1 |] |] in
+  let p =
+    Problem.of_graph_qpp ~graph:(Generators.path n) ~capacities:(Array.make n 1.)
+      ~system ~strategy:[| 1. |] ()
+  in
+  (p, [| 1; 2 |])
+
+let test_calibration_exact_single_quorum () =
+  let problem, placement = single_quorum_fixture () in
+  let cfg = Access_sim.default_config ~problem ~placement in
+  List.iter
+    (fun protocol ->
+      let report = Access_sim.run { cfg with Access_sim.protocol; accesses_per_client = 50 } in
+      check_float "simulated = analytic (deterministic)" report.Access_sim.analytic_delay
+        report.Access_sim.mean_delay;
+      check_float "relative error zero" 0. report.Access_sim.relative_error)
+    [ Access_sim.Parallel; Access_sim.Sequential ]
+
+let test_calibration_sampling_converges () =
+  let problem, placement = fixture () in
+  let cfg = Access_sim.default_config ~problem ~placement in
+  let report = Access_sim.run { cfg with Access_sim.accesses_per_client = 4000 } in
+  Alcotest.(check bool) "within 5% of Avg Delta_f" true
+    (report.Access_sim.relative_error < 0.05)
+
+let test_calibration_sequential_converges () =
+  let problem, placement = fixture () in
+  let cfg = Access_sim.default_config ~problem ~placement in
+  let report =
+    Access_sim.run
+      { cfg with Access_sim.protocol = Access_sim.Sequential; accesses_per_client = 4000 }
+  in
+  Alcotest.(check bool) "within 5% of Avg Gamma_f" true
+    (report.Access_sim.relative_error < 0.05)
+
+let test_empirical_load_matches_placement_load () =
+  let problem, placement = fixture () in
+  let cfg = Access_sim.default_config ~problem ~placement in
+  let report = Access_sim.run { cfg with Access_sim.accesses_per_client = 4000 } in
+  let expected = Placement.node_loads problem placement in
+  Array.iteri
+    (fun v l ->
+      Alcotest.(check bool) "probe frequency ~ load_f" true
+        (Float.abs (report.Access_sim.empirical_node_load.(v) -. l) < 0.05))
+    expected
+
+let test_round_trip_at_least_double () =
+  (* Round-trip with zero service: every delay doubles relative to the
+     one-way measurement for parallel accesses (same path out and
+     back, no jitter). *)
+  let problem, placement = single_quorum_fixture () in
+  let cfg = Access_sim.default_config ~problem ~placement in
+  let one_way = Access_sim.run { cfg with Access_sim.accesses_per_client = 20 } in
+  let rt =
+    Access_sim.run { cfg with Access_sim.round_trip = true; accesses_per_client = 20 }
+  in
+  check_float "round trip doubles" (2. *. one_way.Access_sim.mean_delay)
+    rt.Access_sim.mean_delay
+
+let test_service_time_adds_delay () =
+  let problem, placement = single_quorum_fixture () in
+  let cfg = Access_sim.default_config ~problem ~placement in
+  let base =
+    Access_sim.run { cfg with Access_sim.round_trip = true; accesses_per_client = 20 }
+  in
+  let slow =
+    Access_sim.run
+      {
+        cfg with
+        Access_sim.round_trip = true;
+        service = Access_sim.Fixed 0.5;
+        accesses_per_client = 20;
+      }
+  in
+  Alcotest.(check bool) "service adds >= 0.5" true
+    (slow.Access_sim.mean_delay >= base.Access_sim.mean_delay +. 0.5 -. 1e-9)
+
+let test_queueing_under_contention () =
+  (* Very high arrival rate + non-trivial service: FIFO queueing must
+     push delays above the uncontended value. *)
+  let problem, placement = single_quorum_fixture () in
+  let cfg = Access_sim.default_config ~problem ~placement in
+  let uncontended =
+    Access_sim.run
+      {
+        cfg with
+        Access_sim.round_trip = true;
+        service = Access_sim.Fixed 0.2;
+        arrival_rate = 0.001;
+        accesses_per_client = 50;
+      }
+  in
+  let contended =
+    Access_sim.run
+      {
+        cfg with
+        Access_sim.round_trip = true;
+        service = Access_sim.Fixed 0.2;
+        arrival_rate = 100.;
+        accesses_per_client = 50;
+      }
+  in
+  Alcotest.(check bool) "queueing visible" true
+    (contended.Access_sim.mean_delay > uncontended.Access_sim.mean_delay +. 0.1)
+
+let test_jitter_increases_delay () =
+  let problem, placement = single_quorum_fixture () in
+  let cfg = Access_sim.default_config ~problem ~placement in
+  let jittered =
+    Access_sim.run { cfg with Access_sim.jitter = 0.5; accesses_per_client = 500 }
+  in
+  (* Jitter only inflates latencies (factor in [1, 1.5]). *)
+  Alcotest.(check bool) "mean above analytic" true
+    (jittered.Access_sim.mean_delay >= jittered.Access_sim.analytic_delay -. 1e-9)
+
+let test_client_rates_weighting () =
+  (* All rate concentrated on client 0: mean approaches Delta_f(0). *)
+  let system = Simple_qs.triangle () in
+  let graph = Generators.path 3 in
+  let problem =
+    Problem.of_graph_qpp ~graph ~capacities:(Array.make 3 1.) ~system
+      ~strategy:(Strategy.uniform system)
+      ~client_rates:[| 1.; 0.; 0. |] ()
+  in
+  let placement = [| 0; 1; 2 |] in
+  let cfg = Access_sim.default_config ~problem ~placement in
+  let report = Access_sim.run { cfg with Access_sim.accesses_per_client = 4000 } in
+  let expected = Delay.client_max_delay problem placement 0 in
+  Alcotest.(check bool) "rate-weighted mean" true
+    (Float.abs (report.Access_sim.mean_delay -. expected) /. expected < 0.05)
+
+let test_run_validation () =
+  let problem, placement = fixture () in
+  let cfg = Access_sim.default_config ~problem ~placement in
+  Alcotest.check_raises "bad count"
+    (Invalid_argument "Access_sim.run: accesses_per_client must be positive") (fun () ->
+      ignore (Access_sim.run { cfg with Access_sim.accesses_per_client = 0 }));
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Access_sim.run: arrival_rate must be positive") (fun () ->
+      ignore (Access_sim.run { cfg with Access_sim.arrival_rate = 0. }))
+
+let test_determinism () =
+  let problem, placement = fixture () in
+  let cfg = Access_sim.default_config ~problem ~placement in
+  let a = Access_sim.run { cfg with Access_sim.seed = 42 } in
+  let b = Access_sim.run { cfg with Access_sim.seed = 42 } in
+  check_float "same seed, same mean" a.Access_sim.mean_delay b.Access_sim.mean_delay;
+  let c = Access_sim.run { cfg with Access_sim.seed = 43 } in
+  Alcotest.(check bool) "different seed differs" true
+    (a.Access_sim.mean_delay <> c.Access_sim.mean_delay)
+
+let test_conservation_invariants () =
+  (* Per-client means and access counts must be mutually consistent,
+     and total probes must equal the sum of sampled quorum sizes. *)
+  let problem, placement = fixture () in
+  let cfg = Access_sim.default_config ~problem ~placement in
+  let r = Access_sim.run { cfg with Access_sim.accesses_per_client = 300 } in
+  Alcotest.(check int) "every client ran its quota" (3 * 300) r.Access_sim.n_accesses;
+  let total_probes = Array.fold_left ( + ) 0 r.Access_sim.node_probes in
+  (* Triangle quorums all have 2 elements. *)
+  Alcotest.(check int) "probes = accesses x |Q|" (2 * r.Access_sim.n_accesses) total_probes;
+  (* The global mean is the mean of per-client means (equal counts). *)
+  let mean_of_means =
+    Array.fold_left ( +. ) 0. r.Access_sim.per_client_mean /. 3.
+  in
+  check_float "mean decomposition" r.Access_sim.mean_delay mean_of_means
+
+let prop_calibration_matches_analytic =
+  QCheck.Test.make ~name:"simulated delay tracks analytic (random instances)" ~count:10
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 4000) in
+      let n = 5 + Rng.int rng 5 in
+      let g, _ = Generators.random_geometric rng n 0.5 in
+      let system = Simple_qs.triangle () in
+      let strategy = Strategy.uniform system in
+      let problem =
+        Problem.of_graph_qpp ~graph:g ~capacities:(Array.make n 1.) ~system ~strategy ()
+      in
+      let placement = Array.init 3 (fun u -> u mod n) in
+      let cfg = Access_sim.default_config ~problem ~placement in
+      let report =
+        Access_sim.run { cfg with Access_sim.accesses_per_client = 2000; seed }
+      in
+      report.Access_sim.analytic_delay = 0. || report.Access_sim.relative_error < 0.1)
+
+let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_calibration_matches_analytic ]
+
+let suites =
+  [
+    ( "sim.engine",
+      [
+        Alcotest.test_case "ordering" `Quick test_engine_ordering;
+        Alcotest.test_case "horizon" `Quick test_engine_until;
+        Alcotest.test_case "stop" `Quick test_engine_stop;
+        Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+      ] );
+    ( "sim.access",
+      [
+        Alcotest.test_case "exact on deterministic instance" `Quick
+          test_calibration_exact_single_quorum;
+        Alcotest.test_case "parallel converges to Avg Delta" `Quick
+          test_calibration_sampling_converges;
+        Alcotest.test_case "sequential converges to Avg Gamma" `Quick
+          test_calibration_sequential_converges;
+        Alcotest.test_case "empirical load ~ load_f" `Quick
+          test_empirical_load_matches_placement_load;
+        Alcotest.test_case "round trip doubles" `Quick test_round_trip_at_least_double;
+        Alcotest.test_case "service adds delay" `Quick test_service_time_adds_delay;
+        Alcotest.test_case "queueing under contention" `Quick test_queueing_under_contention;
+        Alcotest.test_case "jitter inflates" `Quick test_jitter_increases_delay;
+        Alcotest.test_case "client rates" `Quick test_client_rates_weighting;
+        Alcotest.test_case "validation" `Quick test_run_validation;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "conservation invariants" `Quick test_conservation_invariants;
+      ] );
+    ("sim.properties", qcheck_tests);
+  ]

@@ -1,0 +1,290 @@
+open Qp_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let rng = Rng.create 7 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_uniform_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let u = Rng.uniform rng in
+    Alcotest.(check bool) "in [0,1)" true (u >= 0. && u < 1.)
+  done
+
+let test_rng_uniform_mean () =
+  let rng = Rng.create 5 in
+  let xs = Array.init 20000 (fun _ -> Rng.uniform rng) in
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "mean near 1/2" true (Float.abs (m -. 0.5) < 0.02)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 11 in
+  let xs = Array.init 20000 (fun _ -> Rng.exponential rng 2.0) in
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "mean near 1/rate" true (Float.abs (m -. 0.5) < 0.03)
+
+let test_rng_permutation () =
+  let rng = Rng.create 13 in
+  let p = Rng.permutation rng 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_sample_distinct () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 100 do
+    let s = Rng.sample_distinct rng 5 12 in
+    Alcotest.(check int) "size" 5 (List.length (List.sort_uniq compare s));
+    List.iter (fun v -> Alcotest.(check bool) "range" true (v >= 0 && v < 12)) s
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 23 in
+  let b = Rng.split a in
+  let xa = Rng.int64 a and xb = Rng.int64 b in
+  Alcotest.(check bool) "distinct streams" true (xa <> xb)
+
+let test_rng_categorical () =
+  let rng = Rng.create 29 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 30000 do
+    let i = Rng.categorical rng [| 1.; 2.; 1. |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let frac1 = float_of_int counts.(1) /. 30000. in
+  Alcotest.(check bool) "middle weight dominates" true (Float.abs (frac1 -. 0.5) < 0.03);
+  Alcotest.check_raises "zero weights"
+    (Invalid_argument "Rng.categorical: weights must have positive sum") (fun () ->
+      ignore (Rng.categorical rng [| 0.; 0. |]))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_mean () = check_float "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |])
+
+let test_stats_variance () =
+  check_float "variance" (5. /. 3.) (Stats.variance [| 1.; 2.; 3.; 4. |])
+
+let test_stats_min_max () =
+  check_float "min" (-2.) (Stats.min [| 3.; -2.; 7. |]);
+  check_float "max" 7. (Stats.max [| 3.; -2.; 7. |])
+
+let test_stats_percentile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "median" 3. (Stats.median xs);
+  check_float "p0" 1. (Stats.percentile xs 0.);
+  check_float "p100" 5. (Stats.percentile xs 100.);
+  check_float "p25" 2. (Stats.percentile xs 25.)
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty input") (fun () ->
+      ignore (Stats.mean [||]))
+
+let test_stats_online_matches_batch () =
+  let rng = Rng.create 31 in
+  let xs = Array.init 500 (fun _ -> Rng.uniform rng *. 10.) in
+  let o = Stats.online_create () in
+  Array.iter (Stats.online_add o) xs;
+  Alcotest.(check bool) "mean matches" true
+    (Float.abs (Stats.online_mean o -. Stats.mean xs) < 1e-9);
+  Alcotest.(check bool) "stddev matches" true
+    (Float.abs (Stats.online_stddev o -. Stats.stddev xs) < 1e-9)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.; 2.; 3. |] in
+  Alcotest.(check int) "n" 3 s.Stats.n;
+  check_float "mean" 2. s.Stats.mean
+
+(* ------------------------------------------------------------------ *)
+(* Combin                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_binomial_values () =
+  Alcotest.(check int) "C(5,2)" 10 (Combin.binomial 5 2);
+  Alcotest.(check int) "C(10,0)" 1 (Combin.binomial 10 0);
+  Alcotest.(check int) "C(10,10)" 1 (Combin.binomial 10 10);
+  Alcotest.(check int) "C(10,11)" 0 (Combin.binomial 10 11);
+  Alcotest.(check int) "C(10,-1)" 0 (Combin.binomial 10 (-1));
+  Alcotest.(check int) "C(52,5)" 2598960 (Combin.binomial 52 5)
+
+let test_binomial_pascal () =
+  for n = 1 to 30 do
+    for k = 1 to n - 1 do
+      Alcotest.(check int) "pascal" (Combin.binomial n k)
+        (Combin.binomial (n - 1) (k - 1) + Combin.binomial (n - 1) k)
+    done
+  done
+
+let test_factorial () =
+  Alcotest.(check int) "0!" 1 (Combin.factorial 0);
+  Alcotest.(check int) "5!" 120 (Combin.factorial 5);
+  Alcotest.(check int) "12!" 479001600 (Combin.factorial 12)
+
+let test_overflow_detection () =
+  (* 63-bit ints hold 20! but not 21!. *)
+  Alcotest.(check bool) "20! fits" true (Combin.factorial 20 > 0);
+  Alcotest.check_raises "21! overflows" (Failure "Combin: 63-bit overflow") (fun () ->
+      ignore (Combin.factorial 21));
+  Alcotest.check_raises "C(70,35) overflows" (Failure "Combin: 63-bit overflow")
+    (fun () -> ignore (Combin.binomial 70 35));
+  (* The float fallback still works there. *)
+  Alcotest.(check bool) "log binomial finite" true
+    (Float.is_finite (Combin.log_binomial 70 35))
+
+let test_choose_iter_counts () =
+  let count = ref 0 in
+  Combin.choose_iter 6 3 (fun _ -> incr count);
+  Alcotest.(check int) "C(6,3) subsets" 20 !count;
+  let subsets = Combin.subsets_of_size 4 2 in
+  Alcotest.(check int) "C(4,2)" 6 (List.length subsets);
+  Alcotest.(check bool) "all sorted distinct" true
+    (List.for_all (fun s -> List.sort compare s = s) subsets)
+
+let test_log_binomial () =
+  let exact = log (float_of_int (Combin.binomial 30 15)) in
+  Alcotest.(check bool) "log binomial accurate" true
+    (Float.abs (Combin.log_binomial 30 15 -. exact) < 1e-8)
+
+(* ------------------------------------------------------------------ *)
+(* Floatx                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_floatx () =
+  Alcotest.(check bool) "approx" true (Floatx.approx 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "not approx" false (Floatx.approx 1.0 1.1);
+  Alcotest.(check bool) "leq slack" true (Floatx.leq (1.0 +. 1e-12) 1.0);
+  Alcotest.(check bool) "leq strict fail" false (Floatx.leq 1.1 1.0);
+  check_float "clamp" 1.0 (Floatx.clamp 0. 1. 3.)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" [ ("a", Table.Left); ("b", Table.Right) ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_rowf t "yy|%d" 22;
+  let s = Table.render t in
+  Alcotest.(check bool) "contains title" true
+    (String.length s > 0 && String.sub s 0 4 = "demo");
+  Alcotest.(check bool) "contains formatted row" true (contains s "yy" && contains s "22")
+
+let test_table_manual_contains () =
+  let t = Table.create [ ("col", Table.Left) ] in
+  Table.add_row t [ "value" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has header" true (contains s "col");
+  Alcotest.(check bool) "has value" true (contains s "value")
+
+let test_table_mismatch () =
+  let t = Table.create [ ("a", Table.Left); ("b", Table.Left) ] in
+  Alcotest.check_raises "bad row" (Invalid_argument "Table.add_row: cell count mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_binomial_symmetry =
+  QCheck.Test.make ~name:"binomial symmetric" ~count:200
+    QCheck.(pair (int_range 0 40) (int_range 0 40))
+    (fun (n, k) -> Combin.binomial n k = Combin.binomial n (n - k) || k > n)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in q" ~count:100
+    QCheck.(pair (array_of_size (QCheck.Gen.int_range 1 30) (float_range (-100.) 100.))
+              (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (xs, (q1, q2)) ->
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
+
+let prop_shuffle_preserves_multiset =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:100
+    QCheck.(pair small_int (array small_int))
+    (fun (seed, a) ->
+      let b = Array.copy a in
+      Rng.shuffle (Rng.create seed) b;
+      let sa = Array.copy a and sb = Array.copy b in
+      Array.sort compare sa;
+      Array.sort compare sb;
+      sa = sb)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_binomial_symmetry; prop_percentile_monotone; prop_shuffle_preserves_multiset ]
+
+let suites =
+  [
+    ( "util.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "int range" `Quick test_rng_int_range;
+        Alcotest.test_case "int rejects bound<=0" `Quick test_rng_int_rejects_nonpositive;
+        Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+        Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "permutation" `Quick test_rng_permutation;
+        Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct;
+        Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        Alcotest.test_case "categorical" `Quick test_rng_categorical;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "mean" `Quick test_stats_mean;
+        Alcotest.test_case "variance" `Quick test_stats_variance;
+        Alcotest.test_case "min/max" `Quick test_stats_min_max;
+        Alcotest.test_case "percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "empty input" `Quick test_stats_empty;
+        Alcotest.test_case "online = batch" `Quick test_stats_online_matches_batch;
+        Alcotest.test_case "summary" `Quick test_stats_summary;
+      ] );
+    ( "util.combin",
+      [
+        Alcotest.test_case "binomial values" `Quick test_binomial_values;
+        Alcotest.test_case "pascal identity" `Quick test_binomial_pascal;
+        Alcotest.test_case "factorial" `Quick test_factorial;
+        Alcotest.test_case "overflow detection" `Quick test_overflow_detection;
+        Alcotest.test_case "choose_iter counts" `Quick test_choose_iter_counts;
+        Alcotest.test_case "log binomial" `Quick test_log_binomial;
+      ] );
+    ( "util.floatx",
+      [ Alcotest.test_case "comparisons" `Quick test_floatx ] );
+    ( "util.table",
+      [
+        Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "contains cells" `Quick test_table_manual_contains;
+        Alcotest.test_case "row mismatch" `Quick test_table_mismatch;
+      ] );
+    ("util.properties", qcheck_tests);
+  ]
