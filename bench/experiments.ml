@@ -659,11 +659,15 @@ let e11 () =
   in
   List.iter
     (fun (p, attempts) ->
+      let base =
+        Qp_sim.Fault_sim.default_config ~problem ~placement
+          ~failure_model:(Qp_sim.Fault_sim.Static p)
+      in
       let cfg =
         {
-          (Qp_sim.Fault_sim.default_config ~problem ~placement
-             ~failure_model:(Qp_sim.Fault_sim.Static p)) with
-          Qp_sim.Fault_sim.max_attempts = attempts;
+          base with
+          Qp_sim.Fault_sim.retry =
+            { base.Qp_sim.Fault_sim.retry with Qp_runtime.Retry.max_attempts = attempts };
           accesses_per_client = 1500;
         }
       in
@@ -918,6 +922,104 @@ let e15 () =
          fraction of the data - the operational story for churn."
 
 (* ------------------------------------------------------------------ *)
+(* E16 — closed-loop resilience engine vs static baseline              *)
+(* ------------------------------------------------------------------ *)
+
+let e16 () =
+  section "E16  Closed-loop resilience: adaptive engine vs static strategy under churn";
+  let module Engine = Qp_runtime.Engine in
+  let module Retry = Qp_runtime.Retry in
+  let module Failure = Qp_runtime.Failure in
+  let rng = Rng.create 83 in
+  let n = 14 in
+  let graph = topology "waxman" rng n in
+  let system = Majority_qs.make ~n:5 ~t:3 in
+  let problem = uniform_problem ~system ~graph ~slack:1.5 in
+  let placement =
+    match Qpp_solver.solve ~alpha:2. ~candidates:[ 0; 7 ] problem with
+    | Some r -> r.Qpp_solver.placement
+    | None -> failwith "infeasible"
+  in
+  let retry =
+    Retry.fixed ~timeout:(4. *. Metric.diameter problem.Problem.metric) ~max_attempts:3
+  in
+  let accesses = 600 in
+  let static_run fm =
+    let base = Qp_sim.Fault_sim.default_config ~problem ~placement ~failure_model:fm in
+    Qp_sim.Fault_sim.run
+      { base with Qp_sim.Fault_sim.retry; accesses_per_client = accesses; seed = 5 }
+  in
+  let engine_run ?repair ~adaptive fm =
+    let base = Engine.default_config ~adaptive ?repair ~problem ~placement ~failure:fm () in
+    Engine.run { base with Engine.retry; accesses_per_client = accesses; seed = 5 }
+  in
+  (* Sanity anchor: with no failures the engine must reproduce the
+     static strategy's analytic average max-delay (the adaptive layer
+     falls back to the static optimum when the detector is healthy). *)
+  let ff = engine_run ~adaptive:true (Failure.Static 0.) in
+  Printf.printf
+    "failure-free check: simulated mean delay %.4f vs analytic %.4f (error %.2f%%)\n\n"
+    ff.Engine.mean_delay_success ff.Engine.analytic_delay
+    (100.
+    *. Float.abs (ff.Engine.mean_delay_success -. ff.Engine.analytic_delay)
+    /. ff.Engine.analytic_delay);
+  let tbl =
+    Table.create
+      ~title:
+        "Dynamic mtbf/mttr sweep, equal retry budget (3 attempts, fixed timeout)"
+      [ ("mtbf/mttr", Table.Right); ("node avail", Table.Right);
+        ("static avail", Table.Right); ("adaptive avail", Table.Right);
+        ("gain", Table.Right); ("static delay", Table.Right);
+        ("adaptive delay", Table.Right) ]
+  in
+  List.iter
+    (fun (mtbf, mttr) ->
+      let fm = Failure.Dynamic { mtbf; mttr } in
+      let s = static_run fm in
+      let a = engine_run ~adaptive:true fm in
+      Table.add_rowf tbl "%.0f/%.0f|%.3f|%.4f|%.4f|%+.4f|%.3f|%.3f" mtbf mttr
+        (Failure.node_availability fm)
+        s.Qp_sim.Fault_sim.availability a.Engine.availability
+        (a.Engine.availability -. s.Qp_sim.Fault_sim.availability)
+        s.Qp_sim.Fault_sim.mean_delay_success a.Engine.mean_delay_success)
+    [ (85., 15.); (80., 20.); (60., 40.); (40., 40.) ];
+  Table.print tbl;
+  (* The full loop: hedged retries + automatic placement repair. *)
+  let tbl2 =
+    Table.create ~title:"full loop under heavy churn (mtbf 60 / mttr 40)"
+      [ ("configuration", Table.Left); ("avail", Table.Right); ("delay", Table.Right);
+        ("hedges won", Table.Right); ("repairs", Table.Right); ("moved", Table.Right) ]
+  in
+  let fm = Failure.Dynamic { mtbf = 60.; mttr = 40. } in
+  let hedged =
+    Retry.exponential ~jitter:0.2
+      ~hedge_after:(0.5 *. retry.Retry.timeout)
+      ~timeout:retry.Retry.timeout ~base:(0.2 *. retry.Retry.timeout) ~max_attempts:3 ()
+  in
+  List.iter
+    (fun (label, adaptive, rp, rt) ->
+      let base = Engine.default_config ~adaptive ?repair:rp ~problem ~placement ~failure:fm () in
+      let r = Engine.run { base with Engine.retry = rt; accesses_per_client = accesses; seed = 5 } in
+      let moved = List.fold_left (fun acc e -> acc + e.Engine.moved) 0 r.Engine.repairs in
+      Table.add_rowf tbl2 "%s|%.4f|%.3f|%d/%d|%d|%d" label r.Engine.availability
+        r.Engine.mean_delay_success r.Engine.hedges_won r.Engine.hedges_launched
+        (List.length r.Engine.repairs) moved)
+    [
+      ("static strategy", false, None, retry);
+      ("adaptive", true, None, retry);
+      ("adaptive + hedge", true, None, hedged);
+      ("adaptive + hedge + repair", true, Some Engine.default_trigger, hedged);
+    ];
+  Table.print tbl2;
+  print_endline
+    "Claims: at equal retry budget the adaptive engine strictly beats the static\n\
+     baseline on availability under correlated churn (and does not pay in delay) -\n\
+     the detector steers accesses away from down replicas instead of burning\n\
+     timeouts on them. Hedged retries shave the tail; automatic repair migrates\n\
+     replicas off long-dead nodes. With no failures the engine reproduces the\n\
+     paper's analytic delay (the static optimum is recovered exactly)."
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   e1 ();
@@ -936,7 +1038,8 @@ let all () =
   e12 ();
   e13 ();
   e14 ();
-  e15 ()
+  e15 ();
+  e16 ()
 
 let by_name = function
   | "e1" -> e1 ()
@@ -954,6 +1057,7 @@ let by_name = function
   | "e13" -> e13 ()
   | "e14" -> e14 ()
   | "e15" -> e15 ()
+  | "e16" -> e16 ()
   | "f1" -> f1 ()
   | "f2" -> f2 ()
   | other -> failwith ("unknown experiment " ^ other)

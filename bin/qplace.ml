@@ -1,10 +1,11 @@
 (* qplace: command-line front end for the quorum-placement library.
 
    Subcommands:
-     solve     build an instance and place it with a chosen algorithm
-     simulate  place and then drive the discrete-event simulator
-     gap       print the Appendix-A integrality-gap measurements
-     info      describe a quorum system construction
+     solve       build an instance and place it with a chosen algorithm
+     simulate    place and then drive the discrete-event simulator
+     gap         print the Appendix-A integrality-gap measurements
+     info        describe a quorum system construction
+     resilience  closed-loop engine vs static baseline under churn
    Instances are generated from named topologies and constructions,
    deterministically from --seed. *)
 
@@ -208,11 +209,15 @@ let faults_cmd topology nodes system_name cap_slack seed p attempts =
       prerr_endline "infeasible";
       exit 1
   | Some r ->
+      let base =
+        Qp_sim.Fault_sim.default_config ~problem ~placement:r.Qpp_solver.placement
+          ~failure_model:(Qp_sim.Fault_sim.Static p)
+      in
       let cfg =
         {
-          (Qp_sim.Fault_sim.default_config ~problem ~placement:r.Qpp_solver.placement
-             ~failure_model:(Qp_sim.Fault_sim.Static p)) with
-          Qp_sim.Fault_sim.max_attempts = attempts;
+          base with
+          Qp_sim.Fault_sim.retry =
+            { base.Qp_sim.Fault_sim.retry with Qp_runtime.Retry.max_attempts = attempts };
           accesses_per_client = 1000;
           seed;
         }
@@ -224,6 +229,77 @@ let faults_cmd topology nodes system_name cap_slack seed p attempts =
         fr.predicted_success;
       Printf.printf "mean delay (ok): %.4f\n" fr.mean_delay_success;
       Printf.printf "mean attempts:   %.2f\n" fr.mean_attempts
+
+let resilience_cmd topology nodes system_name cap_slack seed mtbf mttr attempts accesses
+    hedge no_repair =
+  let problem = build_problem ~topology ~nodes ~system_name ~cap_slack ~seed in
+  match Qpp_solver.solve ~alpha:2. problem with
+  | None ->
+      prerr_endline "infeasible";
+      exit 1
+  | Some r ->
+      let placement = r.Qpp_solver.placement in
+      let module Failure = Qp_runtime.Failure in
+      let module Retry = Qp_runtime.Retry in
+      let module Engine = Qp_runtime.Engine in
+      let failure = Failure.Dynamic { mtbf; mttr } in
+      let timeout = 4. *. Qp_graph.Metric.diameter problem.Problem.metric in
+      let retry =
+        if hedge then
+          Retry.exponential ~jitter:0.2 ~hedge_after:(0.5 *. timeout) ~timeout
+            ~base:(0.2 *. timeout) ~max_attempts:attempts ()
+        else Retry.fixed ~timeout ~max_attempts:attempts
+      in
+      (* Static baseline at the same retry budget and failure trajectory. *)
+      let sr =
+        Qp_sim.Fault_sim.run
+          { (Qp_sim.Fault_sim.default_config ~problem ~placement ~failure_model:failure) with
+            Qp_sim.Fault_sim.retry = Retry.fixed ~timeout ~max_attempts:attempts;
+            accesses_per_client = accesses;
+            seed }
+      in
+      let cfg =
+        { (Engine.default_config ~adaptive:true
+             ?repair:(if no_repair then None else Some Engine.default_trigger)
+             ~problem ~placement ~failure ()) with
+          Engine.retry; accesses_per_client = accesses; seed }
+      in
+      let er = Engine.run cfg in
+      Printf.printf "dynamic churn: mtbf %.1f, mttr %.1f (node availability %.3f)\n" mtbf
+        mttr (Failure.node_availability failure);
+      Printf.printf "retry budget:  %d attempts, timeout %.3f%s\n" attempts timeout
+        (if hedge then ", hedged + exponential backoff" else ", fixed");
+      let tbl =
+        Table.create ~title:"static baseline vs closed-loop engine"
+          [ ("metric", Table.Left); ("static", Table.Right); ("engine", Table.Right) ]
+      in
+      Table.add_rowf tbl "availability|%.4f|%.4f" sr.Qp_sim.Fault_sim.availability
+        er.Engine.availability;
+      Table.add_rowf tbl "mean delay (ok)|%.4f|%.4f" sr.Qp_sim.Fault_sim.mean_delay_success
+        er.Engine.mean_delay_success;
+      Table.add_rowf tbl "mean attempts|%.2f|%.2f" sr.Qp_sim.Fault_sim.mean_attempts
+        er.Engine.mean_attempts;
+      Table.print tbl;
+      Printf.printf "analytic failure-free delay: %.4f\n" er.Engine.analytic_delay;
+      if hedge then
+        Printf.printf "hedges: %d launched, %d won the race\n" er.Engine.hedges_launched
+          er.Engine.hedges_won;
+      (match er.Engine.repairs with
+      | [] -> print_endline "repairs: none triggered"
+      | rs ->
+          Printf.printf "repairs: %d triggered\n" (List.length rs);
+          List.iter
+            (fun (ev : Engine.repair_event) ->
+              Printf.printf
+                "  t=%8.2f  dead {%s}  moved %d  delay %.4f -> %.4f\n" ev.Engine.time
+                (String.concat ", " (List.map string_of_int ev.Engine.dead))
+                ev.Engine.moved ev.Engine.delay_before ev.Engine.delay_after)
+            rs);
+      (match er.Engine.final_suspected with
+      | [] -> print_endline "final suspected set: empty"
+      | s ->
+          Printf.printf "final suspected set: {%s}\n"
+            (String.concat ", " (List.map string_of_int s)))
 
 let eval_cmd instance placement =
   let problem = Serialize.load_problem instance in
@@ -341,6 +417,34 @@ let faults_term =
 let faults_cmd_info =
   Cmd.info "faults" ~doc:"Solve, then run the fault-injection simulator on the placement."
 
+let mtbf_t =
+  Arg.(value & opt float 60. & info [ "mtbf" ] ~docv:"T"
+         ~doc:"Mean time between failures of the crash/repair churn process.")
+
+let mttr_t =
+  Arg.(value & opt float 20. & info [ "mttr" ] ~docv:"T"
+         ~doc:"Mean time to repair of the crash/repair churn process.")
+
+let hedge_t =
+  Arg.(value & flag & info [ "hedge" ]
+         ~doc:"Use exponential backoff with a hedged second quorum probe.")
+
+let no_repair_t =
+  Arg.(value & flag & info [ "no-repair" ]
+         ~doc:"Disable the automatic placement-repair trigger.")
+
+let resilience_accesses_t =
+  Arg.(value & opt int 500 & info [ "accesses" ] ~docv:"K"
+         ~doc:"Accesses per client in the simulation.")
+
+let resilience_term =
+  Term.(const resilience_cmd $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t
+        $ mtbf_t $ mttr_t $ attempts_t $ resilience_accesses_t $ hedge_t $ no_repair_t)
+
+let resilience_cmd_info =
+  Cmd.info "resilience"
+    ~doc:"Run the closed-loop resilience engine against the static baseline under churn."
+
 let eval_instance_t =
   Arg.(required & opt (some string) None & info [ "instance" ] ~docv:"FILE"
          ~doc:"Instance file (see the solve --save-instance flag).")
@@ -369,6 +473,7 @@ let main_cmd =
       Cmd.v info_cmd_info info_term;
       Cmd.v availability_cmd_info availability_term;
       Cmd.v faults_cmd_info faults_term;
+      Cmd.v resilience_cmd_info resilience_term;
       Cmd.v design_cmd_info design_term;
       Cmd.v eval_cmd_info eval_term;
     ]

@@ -10,6 +10,8 @@ let of_matrix d =
   for i = 0 to n - 1 do
     if d.(i).(i) <> 0. then invalid_arg "Metric.of_matrix: non-zero diagonal";
     for j = 0 to n - 1 do
+      if not (Float.is_finite d.(i).(j)) then
+        invalid_arg "Metric.of_matrix: non-finite distance";
       if d.(i).(j) < 0. then invalid_arg "Metric.of_matrix: negative distance";
       if not (Qp_util.Floatx.approx d.(i).(j) d.(j).(i)) then
         invalid_arg "Metric.of_matrix: not symmetric"

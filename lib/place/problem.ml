@@ -20,16 +20,45 @@ type ssqpp = {
 
 let validate ~metric ~capacities ~system ~strategy ~client_rates =
   let n = Metric.size metric in
+  if n < 1 then invalid_arg "Problem: metric must have at least one node";
+  (* Defense in depth: Metric.of_matrix/of_graph already enforce these,
+     but a metric arriving through deserialization or future
+     constructors must not poison every downstream LP and simulation
+     with NaNs or asymmetric "distances". *)
+  for i = 0 to n - 1 do
+    if not (Float.is_finite (Metric.dist metric i i)) then
+      invalid_arg "Problem: non-finite metric entry";
+    if Metric.dist metric i i <> 0. then
+      invalid_arg "Problem: metric diagonal must be zero";
+    for j = i + 1 to n - 1 do
+      let d = Metric.dist metric i j in
+      if not (Float.is_finite d) then invalid_arg "Problem: non-finite metric entry";
+      if d < 0. then invalid_arg "Problem: negative metric entry";
+      if not (Qp_util.Floatx.approx d (Metric.dist metric j i)) then
+        invalid_arg "Problem: metric must be symmetric"
+    done
+  done;
+  if Quorum.universe system = 0 then
+    invalid_arg "Problem: quorum system has an empty universe";
+  if Quorum.n_quorums system = 0 then invalid_arg "Problem: quorum system has no quorums";
   if Array.length capacities <> n then
     invalid_arg "Problem: capacities length must match metric size";
-  Array.iter (fun c -> if c < 0. then invalid_arg "Problem: negative capacity") capacities;
+  Array.iter
+    (fun c ->
+      if not (Float.is_finite c) then invalid_arg "Problem: non-finite capacity";
+      if c < 0. then invalid_arg "Problem: negative capacity")
+    capacities;
   Strategy.validate system strategy;
   match client_rates with
   | None -> ()
   | Some rates ->
       if Array.length rates <> n then
         invalid_arg "Problem: client_rates length must match metric size";
-      Array.iter (fun r -> if r < 0. then invalid_arg "Problem: negative client rate") rates;
+      Array.iter
+        (fun r ->
+          if not (Float.is_finite r) then invalid_arg "Problem: non-finite client rate";
+          if r < 0. then invalid_arg "Problem: negative client rate")
+        rates;
       if Array.fold_left ( +. ) 0. rates <= 0. then
         invalid_arg "Problem: client rates must have positive sum"
 

@@ -32,8 +32,13 @@ val make_qpp :
   ?client_rates:float array ->
   unit ->
   qpp
-(** Validates shapes, non-negative capacities, the strategy, and
-    positive total client rate. *)
+(** Validates the instance and raises a descriptive [Invalid_argument]
+    on: a metric with non-finite, negative or asymmetric entries or a
+    non-zero diagonal; an empty quorum system (no elements or no
+    quorums); capacity/rate arrays of the wrong length; non-finite or
+    negative capacities; an invalid strategy (negative mass or not
+    summing to 1); non-finite or negative client rates, or rates with
+    zero total. *)
 
 val make_ssqpp :
   metric:Qp_graph.Metric.t ->

@@ -38,6 +38,18 @@ let total_load s p = Array.fold_left ( +. ) 0. (loads s p)
 
 let sample rng p = Qp_util.Rng.categorical rng p
 
+let reweight p w =
+  let scaled =
+    Array.mapi
+      (fun i x ->
+        let f = w i in
+        if f < 0. then invalid_arg "Strategy.reweight: negative weight factor";
+        x *. f)
+      p
+  in
+  let total = Array.fold_left ( +. ) 0. scaled in
+  if total <= 1e-12 then None else Some (Array.map (fun x -> x /. total) scaled)
+
 let mix p q lambda =
   if Array.length p <> Array.length q then invalid_arg "Strategy.mix: length mismatch";
   if lambda < 0. || lambda > 1. then invalid_arg "Strategy.mix: lambda out of range";

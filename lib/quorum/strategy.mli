@@ -32,6 +32,14 @@ val total_load : Quorum.system -> t -> float
 val sample : Qp_util.Rng.t -> t -> int
 (** Draws a quorum index from the distribution. *)
 
+val reweight : t -> (int -> float) -> t option
+(** [reweight p w] multiplies each [p.(i)] by the non-negative factor
+    [w i] and renormalizes — the primitive behind adaptive access
+    strategies that steer probability away from quorums on unhealthy
+    nodes. [None] when the surviving mass is (numerically) zero, i.e.
+    every quorum with positive probability was fully down-weighted.
+    @raise Invalid_argument on a negative factor. *)
+
 val mix : t -> t -> float -> t
 (** [mix p q lambda] = lambda p + (1-lambda) q; used by the
     "average of client strategies" extension in Section 6. *)

@@ -1,0 +1,55 @@
+type config = { gain : float; suspect_threshold : float }
+
+let default_config = { gain = 0.35; suspect_threshold = 0.6 }
+
+let validate_config c =
+  if c.gain <= 0. || c.gain > 1. then
+    invalid_arg "Detector: gain must lie in (0, 1]";
+  if c.suspect_threshold <= 0. || c.suspect_threshold > 1. then
+    invalid_arg "Detector: suspect_threshold must lie in (0, 1]"
+
+type t = {
+  config : config;
+  suspicion : float array;
+  observations : int array;
+  mutable version : int;
+}
+
+let create ?(config = default_config) n =
+  validate_config config;
+  if n <= 0 then invalid_arg "Detector.create: need at least one node";
+  { config; suspicion = Array.make n 0.; observations = Array.make n 0; version = 0 }
+
+let n_nodes t = Array.length t.suspicion
+
+let suspicion t v = t.suspicion.(v)
+
+let suspected t v = t.suspicion.(v) >= t.config.suspect_threshold
+
+let observe t v ~ok =
+  if v < 0 || v >= n_nodes t then invalid_arg "Detector.observe: node out of range";
+  let s = t.suspicion.(v) in
+  let target = if ok then 0. else 1. in
+  let s' = s +. (t.config.gain *. (target -. s)) in
+  t.observations.(v) <- t.observations.(v) + 1;
+  let was = s >= t.config.suspect_threshold in
+  let is = s' >= t.config.suspect_threshold in
+  t.suspicion.(v) <- s';
+  if was <> is then t.version <- t.version + 1
+
+let suspected_nodes t =
+  let acc = ref [] in
+  for v = n_nodes t - 1 downto 0 do
+    if suspected t v then acc := v :: !acc
+  done;
+  !acc
+
+let healthy t = Array.for_all (fun s -> s < t.config.suspect_threshold) t.suspicion
+
+let observations t v = t.observations.(v)
+
+let version t = t.version
+
+let reset t v =
+  if suspected t v then t.version <- t.version + 1;
+  t.suspicion.(v) <- 0.

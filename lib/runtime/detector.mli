@@ -1,0 +1,53 @@
+(** EWMA-suspicion failure detector.
+
+    Tracks one suspicion level per node in [0, 1], updated from probe
+    outcomes (heartbeats and piggy-backed access probes) by an
+    exponentially weighted moving average:
+    [s <- s + gain * (target - s)] with target 1 on a failed probe and
+    0 on a successful one. A node is {e suspected} once its suspicion
+    crosses [suspect_threshold]. The detector is deliberately simple —
+    the phi-accrual refinement would slot in behind the same
+    interface — but already gives the two properties the closed loop
+    needs: fast detection (a few failed probes) and self-healing
+    (successful probes decay suspicion after the node recovers). *)
+
+type config = {
+  gain : float; (* EWMA step in (0, 1]: larger = faster, noisier *)
+  suspect_threshold : float; (* suspicion >= threshold => suspected *)
+}
+
+val default_config : config
+(** gain 0.35, threshold 0.6: roughly three consecutive failed probes
+    to suspect a healthy node, two successes to clear it. *)
+
+type t
+
+val create : ?config:config -> int -> t
+(** [create n] tracks nodes [0 .. n-1], all initially unsuspected.
+    @raise Invalid_argument on non-positive [n] or out-of-range
+    config. *)
+
+val n_nodes : t -> int
+
+val observe : t -> int -> ok:bool -> unit
+(** Fold one probe outcome for a node into its suspicion level. *)
+
+val suspicion : t -> int -> float
+val suspected : t -> int -> bool
+val suspected_nodes : t -> int list
+(** Ascending list of currently suspected nodes. *)
+
+val healthy : t -> bool
+(** No node suspected — the failure-free fast path: adaptive
+    strategies must fall back to the static optimum here. *)
+
+val observations : t -> int -> int
+(** Probes folded in for a node (diagnostics). *)
+
+val version : t -> int
+(** Bumped whenever some node crosses the suspect threshold in either
+    direction; lets callers cache derived state (e.g. a reweighted
+    strategy) and rebuild only on change. *)
+
+val reset : t -> int -> unit
+(** Clear a node's suspicion (e.g. after a repair migrated its data). *)

@@ -1,0 +1,312 @@
+module Rng = Qp_util.Rng
+module Metric = Qp_graph.Metric
+module Quorum = Qp_quorum.Quorum
+module Strategy = Qp_quorum.Strategy
+module Problem = Qp_place.Problem
+module Placement = Qp_place.Placement
+module Delay = Qp_place.Delay
+module Repair = Qp_place.Repair
+
+type repair_trigger = {
+  capacity_frac : float;
+  delay_factor : float;
+  check_interval : float;
+  min_interval : float;
+}
+
+let default_trigger =
+  { capacity_frac = 0.15; delay_factor = 2.0; check_interval = 5.0; min_interval = 20.0 }
+
+type repair_event = {
+  time : float;
+  dead : int list;
+  moved : int;
+  delay_before : float;
+  delay_after : float;
+}
+
+type config = {
+  problem : Problem.qpp;
+  placement : Placement.t;
+  failure : Failure.model;
+  retry : Retry.t;
+  detector : Detector.config;
+  adaptive : bool;
+  repair : repair_trigger option;
+  probe_interval : float;
+  accesses_per_client : int;
+  arrival_rate : float;
+  seed : int;
+}
+
+let default_config ?(adaptive = true) ?repair ~problem ~placement ~failure () =
+  {
+    problem;
+    placement;
+    failure;
+    retry = Retry.fixed ~timeout:(4. *. Metric.diameter problem.Problem.metric) ~max_attempts:3;
+    detector = Detector.default_config;
+    adaptive;
+    repair;
+    probe_interval = 1.0;
+    accesses_per_client = 200;
+    arrival_rate = 1.0;
+    seed = 1;
+  }
+
+type report = {
+  n_accesses : int;
+  n_success : int;
+  availability : float;
+  mean_delay_success : float;
+  mean_attempts : float;
+  attempt_histogram : int array;
+  hedges_launched : int;
+  hedges_won : int;
+  repairs : repair_event list;
+  final_placement : Placement.t;
+  final_suspected : int list;
+  analytic_delay : float;
+}
+
+let validate cfg =
+  Placement.validate cfg.problem cfg.placement;
+  Failure.validate cfg.failure;
+  Retry.validate cfg.retry;
+  if cfg.probe_interval <= 0. then
+    invalid_arg "Engine: probe_interval must be positive";
+  if cfg.accesses_per_client < 1 then
+    invalid_arg "Engine: accesses_per_client >= 1 required";
+  if cfg.arrival_rate <= 0. then invalid_arg "Engine: arrival_rate must be positive";
+  match cfg.repair with
+  | None -> ()
+  | Some t ->
+      if t.capacity_frac <= 0. || t.capacity_frac > 1. then
+        invalid_arg "Engine: repair capacity_frac must lie in (0, 1]";
+      if t.delay_factor <= 1. then
+        invalid_arg "Engine: repair delay_factor must exceed 1";
+      if t.check_interval <= 0. || t.min_interval < 0. then
+        invalid_arg "Engine: repair intervals must be positive"
+
+(* Mutable simulation state threaded through the event closures. *)
+type state = {
+  up : bool array; (* ground truth, flipped by the churn process *)
+  placement : Placement.t ref; (* swapped by repairs *)
+  mutable successes : int;
+  mutable delays_sum : float;
+  mutable attempts_total : int;
+  mutable resolved : int;
+  mutable expected : int;
+  histogram : int array;
+  mutable hedges_launched : int;
+  mutable hedges_won : int;
+  mutable repairs : repair_event list;
+  mutable delay_ewma : float; (* running success-delay estimate *)
+  mutable last_repair_time : float;
+  mutable last_dead : int list;
+}
+
+let run cfg =
+  validate cfg;
+  let n = Problem.n_nodes cfg.problem in
+  let metric = cfg.problem.Problem.metric in
+  let system = cfg.problem.Problem.system in
+  let static = cfg.problem.Problem.strategy in
+  let analytic = Delay.avg_max_delay cfg.problem cfg.placement in
+  let rng = Rng.create cfg.seed in
+  (* Dedicated churn and arrival streams, derived from the seed
+     exactly as in Fault_sim.run_dynamic: at equal seeds the static
+     baseline and the engine face the bit-identical failure trajectory
+     AND access times, so comparisons are paired rather than drowned
+     in trajectory variance. *)
+  let churn_rng = Rng.split rng in
+  let arrival_rng = Rng.split rng in
+  let sim = Event.create () in
+  let detector = Detector.create ~config:cfg.detector n in
+  let st =
+    {
+      up = Array.make n true;
+      placement = ref (Array.copy cfg.placement);
+      successes = 0;
+      delays_sum = 0.;
+      attempts_total = 0;
+      resolved = 0;
+      expected = 0;
+      histogram = Array.make cfg.retry.Retry.max_attempts 0;
+      hedges_launched = 0;
+      hedges_won = 0;
+      repairs = [];
+      delay_ewma = analytic;
+      last_repair_time = neg_infinity;
+      last_dead = [];
+    }
+  in
+  Failure.install_churn cfg.failure ~n ~rng:churn_rng ~up:st.up sim;
+  let adaptive = Adaptive.make system !(st.placement) ~static in
+  let current_strategy () =
+    if cfg.adaptive then Adaptive.refresh adaptive detector else static
+  in
+  (* Heartbeat monitors: each node is probed every probe_interval,
+     phase-shifted at random so probes do not arrive in lockstep. The
+     outcomes are the detector's baseline signal; access probes
+     piggy-back additional observations below. *)
+  let rec heartbeat node sim =
+    Detector.observe detector node ~ok:(Failure.probe_up cfg.failure ~rng ~up:st.up node);
+    Event.schedule_in sim cfg.probe_interval (heartbeat node)
+  in
+  for v = 0 to n - 1 do
+    Event.schedule_in sim (Rng.float rng cfg.probe_interval) (heartbeat v)
+  done;
+  (* Closed-loop repair: periodically compare the suspected capacity
+     and the observed delay EWMA against the thresholds, and patch the
+     placement off the suspected nodes when either trips. *)
+  (match cfg.repair with
+  | None -> ()
+  | Some trig ->
+      let total_cap = Array.fold_left ( +. ) 0. cfg.problem.Problem.capacities in
+      let rec check sim =
+        let now = Event.now sim in
+        let dead = Detector.suspected_nodes detector in
+        let dead_cap =
+          List.fold_left (fun a v -> a +. cfg.problem.Problem.capacities.(v)) 0. dead
+        in
+        let capacity_trip = total_cap > 0. && dead_cap /. total_cap >= trig.capacity_frac in
+        let delay_trip = analytic > 0. && st.delay_ewma >= trig.delay_factor *. analytic in
+        let hosted_on_dead =
+          Array.exists (fun v -> List.mem v dead) !(st.placement)
+        in
+        if
+          dead <> [] && hosted_on_dead
+          && List.length dead < n
+          && (capacity_trip || delay_trip)
+          && now -. st.last_repair_time >= trig.min_interval
+          && dead <> st.last_dead
+        then begin
+          (match Repair.repair cfg.problem !(st.placement) ~dead with
+          | None -> () (* survivors cannot absorb the displaced load *)
+          | Some r ->
+              st.placement := r.Repair.placement;
+              Adaptive.set_placement adaptive detector r.Repair.placement;
+              st.last_repair_time <- now;
+              st.repairs <-
+                {
+                  time = now;
+                  dead;
+                  moved = List.length r.Repair.moved;
+                  delay_before = r.Repair.delay_before;
+                  delay_after = r.Repair.delay_after;
+                }
+                :: st.repairs);
+          st.last_dead <- dead
+        end;
+        Event.schedule_in sim trig.check_interval check
+      in
+      Event.schedule_in sim trig.check_interval check);
+  let finish sim =
+    st.resolved <- st.resolved + 1;
+    (* Heartbeats and churn regenerate forever; stop once every access
+       has been resolved. *)
+    if st.resolved = st.expected then Event.stop sim
+  in
+  let succeed k start0 finished sim =
+    st.successes <- st.successes + 1;
+    let d = finished -. start0 in
+    st.delays_sum <- st.delays_sum +. d;
+    st.delay_ewma <- st.delay_ewma +. (0.1 *. (d -. st.delay_ewma));
+    st.histogram.(k - 1) <- st.histogram.(k - 1) + 1;
+    finish sim
+  in
+  (* One probe wave = one sampled quorum probed in parallel. An attempt
+     launches one wave, plus optionally a hedged second wave if it has
+     not resolved after the hedge delay. Down nodes are silent, so a
+     failed attempt is only discovered at the attempt timeout. *)
+  let rec attempt client k start0 t0 sim =
+    let resolved_flag = ref false in
+    let timeout = cfg.retry.Retry.timeout in
+    let launch_wave ~hedged sim =
+      if not !resolved_flag then begin
+        if hedged then st.hedges_launched <- st.hedges_launched + 1;
+        let qi = Strategy.sample rng (current_strategy ()) in
+        let q = Quorum.quorum system qi in
+        let hosts =
+          List.sort_uniq compare
+            (Array.to_list (Array.map (fun u -> !(st.placement).(u)) q))
+        in
+        let pending = ref (List.length hosts) in
+        let ok = ref true in
+        let latest = ref (Event.now sim) in
+        List.iter
+          (fun node ->
+            let arrive = Event.now sim +. Metric.dist metric client node in
+            if arrive > !latest then latest := arrive;
+            Event.schedule sim arrive (fun sim ->
+                let alive = Failure.probe_up cfg.failure ~rng ~up:st.up node in
+                Detector.observe detector node ~ok:alive;
+                if not alive then ok := false;
+                decr pending;
+                if !pending = 0 && !ok && not !resolved_flag then begin
+                  let finished = !latest in
+                  if finished -. t0 <= timeout +. 1e-12 then begin
+                    resolved_flag := true;
+                    if hedged then st.hedges_won <- st.hedges_won + 1;
+                    succeed k start0 finished sim
+                  end
+                end))
+          hosts
+      end
+    in
+    st.attempts_total <- st.attempts_total + 1;
+    launch_wave ~hedged:false sim;
+    (match cfg.retry.Retry.hedge with
+    | Some { Retry.after } -> Event.schedule sim (t0 +. after) (launch_wave ~hedged:true)
+    | None -> ());
+    Event.schedule sim (t0 +. timeout) (fun sim ->
+        if not !resolved_flag then begin
+          resolved_flag := true;
+          if k < cfg.retry.Retry.max_attempts then begin
+            let pause = Retry.backoff_delay cfg.retry rng ~attempt:k in
+            Event.schedule_in sim pause (fun sim ->
+                attempt client (k + 1) start0 (Event.now sim) sim)
+          end
+          else finish sim
+        end)
+  in
+  let rates =
+    match cfg.problem.Problem.client_rates with
+    | Some r -> r
+    | None -> Array.make n 1.
+  in
+  let accesses = ref 0 in
+  for client = 0 to n - 1 do
+    if rates.(client) > 0. then begin
+      st.expected <- st.expected + cfg.accesses_per_client;
+      let remaining = ref cfg.accesses_per_client in
+      let rec arrival sim =
+        incr accesses;
+        attempt client 1 (Event.now sim) (Event.now sim) sim;
+        decr remaining;
+        if !remaining > 0 then
+          Event.schedule_in sim (Rng.exponential arrival_rng cfg.arrival_rate) arrival
+      in
+      Event.schedule sim (Rng.exponential arrival_rng cfg.arrival_rate) arrival
+    end
+  done;
+  Event.run sim;
+  {
+    n_accesses = !accesses;
+    n_success = st.successes;
+    availability =
+      (if !accesses = 0 then 1. else float_of_int st.successes /. float_of_int !accesses);
+    mean_delay_success =
+      (if st.successes = 0 then 0. else st.delays_sum /. float_of_int st.successes);
+    mean_attempts =
+      (if !accesses = 0 then 0.
+       else float_of_int st.attempts_total /. float_of_int !accesses);
+    attempt_histogram = st.histogram;
+    hedges_launched = st.hedges_launched;
+    hedges_won = st.hedges_won;
+    repairs = List.rev st.repairs;
+    final_placement = Array.copy !(st.placement);
+    final_suspected = Detector.suspected_nodes detector;
+    analytic_delay = analytic;
+  }

@@ -1,0 +1,91 @@
+(** Closed-loop resilience engine.
+
+    Runs a placed quorum system through a failure process inside the
+    discrete-event simulator, with the full feedback loop a production
+    deployment would run:
+
+    + heartbeat probes feed the EWMA {!Detector} (access probes
+      piggy-back extra observations);
+    + accesses sample quorums from the {!Adaptive} strategy, which
+      steers probability away from suspected hosts and falls back to
+      the paper's static optimum when the network is healthy — so the
+      failure-free run reproduces the static delay analysis;
+    + failed attempts are retried under a shared {!Retry} policy
+      (timeout, exponential backoff + jitter, optional hedged second
+      quorum probe);
+    + a {!repair_trigger} watches detected-dead capacity and the
+      observed delay EWMA, and invokes {!Qp_place.Repair.repair} to
+      migrate replicas off suspected nodes when a threshold trips,
+      recording delay before/after each repair.
+
+    Down nodes are silent: a failed attempt is discovered only at its
+    timeout, never early — matching the fault-injection simulator so
+    static-vs-adaptive comparisons at equal retry budget are fair. *)
+
+type repair_trigger = {
+  capacity_frac : float;
+      (** repair when suspected nodes hold at least this fraction of
+          total capacity (in (0, 1]) *)
+  delay_factor : float;
+      (** ... or when the success-delay EWMA exceeds this multiple of
+          the analytic failure-free delay (> 1) *)
+  check_interval : float; (** how often the trigger is evaluated *)
+  min_interval : float; (** refractory period between repairs *)
+}
+
+val default_trigger : repair_trigger
+(** capacity 15%, delay 2x, check every 5, at most one repair per 20
+    time units. *)
+
+type repair_event = {
+  time : float;
+  dead : int list; (* suspected nodes the repair routed around *)
+  moved : int; (* elements migrated *)
+  delay_before : float; (* avg max-delay on survivors, old placement *)
+  delay_after : float; (* ... patched placement *)
+}
+
+type config = {
+  problem : Qp_place.Problem.qpp;
+  placement : Qp_place.Placement.t;
+  failure : Failure.model;
+  retry : Retry.t;
+  detector : Detector.config;
+  adaptive : bool; (* false = always sample the static strategy *)
+  repair : repair_trigger option; (* None = never migrate replicas *)
+  probe_interval : float; (* heartbeat period per node *)
+  accesses_per_client : int;
+  arrival_rate : float;
+  seed : int;
+}
+
+val default_config :
+  ?adaptive:bool ->
+  ?repair:repair_trigger ->
+  problem:Qp_place.Problem.qpp ->
+  placement:Qp_place.Placement.t ->
+  failure:Failure.model ->
+  unit ->
+  config
+(** Adaptive on, no auto-repair, legacy retry policy (timeout = 4x
+    diameter, 3 attempts), default detector, heartbeat period 1,
+    200 accesses/client, rate 1, seed 1. *)
+
+type report = {
+  n_accesses : int;
+  n_success : int;
+  availability : float; (* successes / accesses *)
+  mean_delay_success : float; (* completion delay incl. failed-attempt time *)
+  mean_attempts : float;
+  attempt_histogram : int array; (* index k-1: successes finishing in k *)
+  hedges_launched : int;
+  hedges_won : int; (* attempts resolved by the hedged wave *)
+  repairs : repair_event list; (* in trigger order *)
+  final_placement : Qp_place.Placement.t;
+  final_suspected : int list; (* detector state at the end of the run *)
+  analytic_delay : float; (* static failure-free reference delay *)
+}
+
+val run : config -> report
+(** Deterministic in [config] (all randomness flows from [seed]).
+    @raise Invalid_argument on out-of-range configuration. *)

@@ -1,0 +1,38 @@
+module Heap = Qp_graph.Heap
+
+type t = {
+  queue : (t -> unit) Heap.t;
+  mutable clock : float;
+  mutable processed : int;
+  mutable stopped : bool;
+}
+
+let create () = { queue = Heap.create (); clock = 0.; processed = 0; stopped = false }
+
+let stop t = t.stopped <- true
+
+let now t = t.clock
+
+let schedule t time handler =
+  if time < t.clock -. 1e-12 then invalid_arg "Event.schedule: time in the past";
+  Heap.push t.queue time handler
+
+let schedule_in t dt handler = schedule t (t.clock +. dt) handler
+
+let run ?(until = infinity) t =
+  t.stopped <- false;
+  let continue_ = ref true in
+  while !continue_ && not t.stopped do
+    match Heap.peek_min t.queue with
+    | None -> continue_ := false
+    | Some (time, _) when time > until -> continue_ := false
+    | Some _ ->
+        (match Heap.pop_min t.queue with
+        | Some (time, handler) ->
+            t.clock <- time;
+            t.processed <- t.processed + 1;
+            handler t
+        | None -> assert false)
+  done
+
+let events_processed t = t.processed

@@ -1,0 +1,37 @@
+(** Minimal discrete-event simulation engine.
+
+    Events are closures scheduled at absolute times; the engine pops
+    them in time order (deterministic but unspecified order among
+    equal timestamps) and runs them. Event handlers may schedule
+    further events.
+
+    This is the substrate shared by the offline simulators
+    ({!Qp_sim.Access_sim}, {!Qp_sim.Fault_sim} — which re-export it as
+    [Qp_sim.Sim]) and the closed-loop resilience {!Engine}. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation clock (0 before the first event). *)
+
+val schedule : t -> float -> (t -> unit) -> unit
+(** [schedule sim time handler] enqueues an event; [time] must not
+    precede the current clock. @raise Invalid_argument otherwise. *)
+
+val schedule_in : t -> float -> (t -> unit) -> unit
+(** Relative variant: [schedule_in sim dt h = schedule sim (now + dt) h]. *)
+
+val run : ?until:float -> t -> unit
+(** Processes events in time order until the queue empties, the clock
+    would pass [until], or {!stop} has been called (remaining events
+    stay queued). *)
+
+val stop : t -> unit
+(** Makes the current {!run} return after the in-flight event handler.
+    Needed by simulations with self-regenerating background processes
+    (e.g. crash/repair cycles) that would otherwise never drain the
+    queue. *)
+
+val events_processed : t -> int

@@ -1,0 +1,65 @@
+module Rng = Qp_util.Rng
+
+type backoff =
+  | No_backoff
+  | Exponential of { base : float; factor : float; max : float }
+
+type hedge = { after : float }
+
+type t = {
+  max_attempts : int;
+  timeout : float;
+  backoff : backoff;
+  jitter : float;
+  hedge : hedge option;
+}
+
+let validate t =
+  if t.max_attempts < 1 then invalid_arg "Retry: max_attempts >= 1 required";
+  if t.timeout <= 0. then invalid_arg "Retry: timeout must be positive";
+  if t.jitter < 0. || t.jitter >= 1. then invalid_arg "Retry: jitter must lie in [0, 1)";
+  (match t.backoff with
+  | No_backoff -> ()
+  | Exponential { base; factor; max } ->
+      if base < 0. then invalid_arg "Retry: backoff base must be non-negative";
+      if factor < 1. then invalid_arg "Retry: backoff factor must be >= 1";
+      if max < base then invalid_arg "Retry: backoff max must be >= base");
+  match t.hedge with
+  | None -> ()
+  | Some { after } ->
+      if after <= 0. || after >= t.timeout then
+        invalid_arg "Retry: hedge delay must lie in (0, timeout)"
+
+let fixed ~timeout ~max_attempts =
+  let t = { max_attempts; timeout; backoff = No_backoff; jitter = 0.; hedge = None } in
+  validate t;
+  t
+
+let exponential ?(jitter = 0.2) ?hedge_after ~timeout ~base ?(factor = 2.)
+    ?(max_backoff = infinity) ~max_attempts () =
+  let t =
+    {
+      max_attempts;
+      timeout;
+      backoff = Exponential { base; factor; max = max_backoff };
+      jitter;
+      hedge = (match hedge_after with None -> None | Some after -> Some { after });
+    }
+  in
+  validate t;
+  t
+
+let base_backoff t ~attempt =
+  if attempt < 1 then invalid_arg "Retry.base_backoff: attempt >= 1 required";
+  match t.backoff with
+  | No_backoff -> 0.
+  | Exponential { base; factor; max } ->
+      Float.min max (base *. (factor ** float_of_int (attempt - 1)))
+
+let backoff_delay t rng ~attempt =
+  let d = base_backoff t ~attempt in
+  if d = 0. || t.jitter = 0. then d
+  else
+    (* Symmetric jitter: d * (1 + U(-jitter, jitter)); stays positive
+       because jitter < 1. *)
+    d *. (1. +. (t.jitter *. ((2. *. Rng.uniform rng) -. 1.)))

@@ -4,15 +4,18 @@ module Quorum = Qp_quorum.Quorum
 module Strategy = Qp_quorum.Strategy
 module Problem = Qp_place.Problem
 module Placement = Qp_place.Placement
+module Failure = Qp_runtime.Failure
+module Retry = Qp_runtime.Retry
 
-type failure_model = Static of float | Dynamic of { mtbf : float; mttr : float }
+type failure_model = Failure.model =
+  | Static of float
+  | Dynamic of { mtbf : float; mttr : float }
 
 type config = {
   problem : Problem.qpp;
   placement : Placement.t;
   failure_model : failure_model;
-  timeout : float;
-  max_attempts : int;
+  retry : Retry.t;
   accesses_per_client : int;
   arrival_rate : float;
   seed : int;
@@ -23,8 +26,8 @@ let default_config ~problem ~placement ~failure_model =
     problem;
     placement;
     failure_model;
-    timeout = 4. *. Metric.diameter problem.Problem.metric;
-    max_attempts = 3;
+    retry =
+      Retry.fixed ~timeout:(4. *. Metric.diameter problem.Problem.metric) ~max_attempts:3;
     accesses_per_client = 200;
     arrival_rate = 1.0;
     seed = 1;
@@ -59,14 +62,15 @@ let iid_success_probability cfg =
       !s
 
 let predicted cfg =
+  let attempts = float_of_int cfg.retry.Retry.max_attempts in
   match cfg.failure_model with
   | Static _ ->
       let s = iid_success_probability cfg in
-      1. -. ((1. -. s) ** float_of_int cfg.max_attempts)
-  | Dynamic { mtbf; mttr } ->
+      1. -. ((1. -. s) ** attempts)
+  | Dynamic _ ->
       (* Steady-state node availability, used in the same iid formula;
          an optimistic reference point for the correlated process. *)
-      let avail = mtbf /. (mtbf +. mttr) in
+      let avail = Failure.node_availability cfg.failure_model in
       let s = ref 0. in
       Array.iteri
         (fun qi pq ->
@@ -75,10 +79,13 @@ let predicted cfg =
             s := !s +. (pq *. (avail ** float_of_int k))
           end)
         cfg.problem.Problem.strategy;
-      1. -. ((1. -. !s) ** float_of_int cfg.max_attempts)
+      1. -. ((1. -. !s) ** attempts)
 
-(* One client access under the Static model: pure computation. *)
+(* One client access under the Static model: pure computation. Failed
+   attempts burn the attempt timeout plus the policy's (jittered)
+   backoff before the next try. *)
 let static_access cfg rng p client =
+  let timeout = cfg.retry.Retry.timeout in
   let rec attempt k spent =
     let qi = Strategy.sample rng cfg.problem.Problem.strategy in
     let nodes = distinct_nodes_of_quorum cfg qi in
@@ -90,9 +97,10 @@ let static_access cfg rng p client =
           Float.max acc (Metric.dist cfg.problem.Problem.metric client cfg.placement.(u)))
         0. q
     in
-    if all_up && delay <= cfg.timeout +. 1e-12 then Some (k, spent +. delay)
-    else if k >= cfg.max_attempts then None
-    else attempt (k + 1) (spent +. cfg.timeout)
+    if all_up && delay <= timeout +. 1e-12 then Some (k, spent +. delay)
+    else if k >= cfg.retry.Retry.max_attempts then None
+    else
+      attempt (k + 1) (spent +. timeout +. Retry.backoff_delay cfg.retry rng ~attempt:k)
   in
   attempt 1 0.
 
@@ -106,10 +114,18 @@ type dyn_state = {
   histogram : int array;
 }
 
-let run_dynamic cfg ~mtbf ~mttr =
+let run_dynamic cfg =
   let n = Problem.n_nodes cfg.problem in
   let rng = Rng.create cfg.seed in
+  (* Churn and arrivals get their own streams, derived from the seed
+     the same way in every simulator: at equal seeds the failure
+     trajectory and the access times are bit-identical no matter how
+     the workload consumes randomness, so static/adaptive comparisons
+     are paired. *)
+  let churn_rng = Rng.split rng in
+  let arrival_rng = Rng.split rng in
   let sim = Sim.create () in
+  let timeout = cfg.retry.Retry.timeout in
   let st =
     {
       up = Array.make n true;
@@ -118,20 +134,11 @@ let run_dynamic cfg ~mtbf ~mttr =
       attempts_total = 0;
       resolved = 0;
       expected = 0;
-      histogram = Array.make cfg.max_attempts 0;
+      histogram = Array.make cfg.retry.Retry.max_attempts 0;
     }
   in
-  (* Crash/repair alternation per node. *)
-  let rec crash node sim =
-    st.up.(node) <- false;
-    Sim.schedule_in sim (Rng.exponential rng (1. /. mttr)) (repair node)
-  and repair node sim =
-    st.up.(node) <- true;
-    Sim.schedule_in sim (Rng.exponential rng (1. /. mtbf)) (crash node)
-  in
-  for v = 0 to n - 1 do
-    Sim.schedule_in sim (Rng.exponential rng (1. /. mtbf)) (crash v)
-  done;
+  (* Crash/repair alternation per node (the shared churn process). *)
+  Failure.install_churn cfg.failure_model ~n ~rng:churn_rng ~up:st.up sim;
   let accesses = ref 0 in
   let metric = cfg.problem.Problem.metric in
   (* One access attempt: probes arrive at their nodes; each probe
@@ -155,7 +162,7 @@ let run_dynamic cfg ~mtbf ~mttr =
       q
   and resolve client k start0 t0 ok finished sim =
     st.attempts_total <- st.attempts_total + 1;
-    let within_timeout = finished -. t0 <= cfg.timeout +. 1e-12 in
+    let within_timeout = finished -. t0 <= timeout +. 1e-12 in
     if ok && within_timeout then begin
       st.successes <- st.successes + 1;
       (* Completion delay measured from the original access start, so
@@ -164,10 +171,13 @@ let run_dynamic cfg ~mtbf ~mttr =
       st.histogram.(k - 1) <- st.histogram.(k - 1) + 1;
       finish sim
     end
-    else if k < cfg.max_attempts then
-      (* Retry once the timeout since attempt start expires. *)
-      Sim.schedule sim (t0 +. cfg.timeout) (fun sim ->
+    else if k < cfg.retry.Retry.max_attempts then begin
+      (* Retry once the timeout since attempt start expires, plus the
+         policy's backoff. *)
+      let pause = Retry.backoff_delay cfg.retry rng ~attempt:k in
+      Sim.schedule sim (Float.max finished (t0 +. timeout) +. pause) (fun sim ->
           attempt client (k + 1) start0 (Sim.now sim) sim)
+    end
     else finish sim
   and finish sim =
     st.resolved <- st.resolved + 1;
@@ -189,9 +199,9 @@ let run_dynamic cfg ~mtbf ~mttr =
         attempt client 1 (Sim.now sim) (Sim.now sim) sim;
         decr remaining;
         if !remaining > 0 then
-          Sim.schedule_in sim (Rng.exponential rng cfg.arrival_rate) arrival
+          Sim.schedule_in sim (Rng.exponential arrival_rng cfg.arrival_rate) arrival
       in
-      Sim.schedule sim (Rng.exponential rng cfg.arrival_rate) arrival
+      Sim.schedule sim (Rng.exponential arrival_rng cfg.arrival_rate) arrival
     end
   done;
   Sim.run sim;
@@ -199,14 +209,13 @@ let run_dynamic cfg ~mtbf ~mttr =
 
 let run cfg =
   Placement.validate cfg.problem cfg.placement;
-  if cfg.max_attempts < 1 then invalid_arg "Fault_sim.run: max_attempts >= 1 required";
-  if cfg.timeout <= 0. then invalid_arg "Fault_sim.run: timeout must be positive";
+  Retry.validate cfg.retry;
+  Failure.validate cfg.failure_model;
   match cfg.failure_model with
   | Static p ->
-      if p < 0. || p > 1. then invalid_arg "Fault_sim.run: failure probability out of range";
       let n = Problem.n_nodes cfg.problem in
       let rng = Rng.create cfg.seed in
-      let histogram = Array.make cfg.max_attempts 0 in
+      let histogram = Array.make cfg.retry.Retry.max_attempts 0 in
       let successes = ref 0 in
       let delays_sum = ref 0. in
       let attempts_total = ref 0 in
@@ -220,7 +229,7 @@ let run cfg =
               delays_sum := !delays_sum +. delay;
               attempts_total := !attempts_total + k;
               histogram.(k - 1) <- histogram.(k - 1) + 1
-          | None -> attempts_total := !attempts_total + cfg.max_attempts
+          | None -> attempts_total := !attempts_total + cfg.retry.Retry.max_attempts
         done
       done;
       {
@@ -233,9 +242,8 @@ let run cfg =
         mean_attempts = float_of_int !attempts_total /. float_of_int !accesses;
         attempt_histogram = histogram;
       }
-  | Dynamic { mtbf; mttr } ->
-      if mtbf <= 0. || mttr <= 0. then invalid_arg "Fault_sim.run: mtbf/mttr must be positive";
-      let st, accesses = run_dynamic cfg ~mtbf ~mttr in
+  | Dynamic _ ->
+      let st, accesses = run_dynamic cfg in
       {
         n_accesses = accesses;
         n_success = st.successes;

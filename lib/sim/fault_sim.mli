@@ -1,32 +1,41 @@
 (** Fault-injection simulation of quorum accesses.
 
     Extends the access model with node failures — the scenario quorum
-    systems exist for. A client samples a quorum, probes all its
-    members in parallel, and succeeds when every member answers within
-    the timeout; if some member is down it retries with a freshly
-    sampled quorum (paying the timeout), up to a retry budget.
+    systems exist for. A client samples a quorum from the {e static}
+    strategy, probes all its members in parallel, and succeeds when
+    every member answers within the retry policy's timeout; if some
+    member is down it retries with a freshly sampled quorum (paying
+    the timeout plus the policy's backoff), up to the policy's attempt
+    budget.
 
-    Two failure models:
+    The failure process and retry policy are the shared
+    {!Qp_runtime.Failure} / {!Qp_runtime.Retry} types, so this static
+    baseline is directly comparable to the closed-loop
+    {!Qp_runtime.Engine} at an equal retry budget — the engine differs
+    only in feeding a failure detector and reweighting the strategy
+    online.
+
+    Failure models (see {!Qp_runtime.Failure}):
 
     - [Static p]: every probe independently finds its node failed with
       probability [p] (memoryless; matches the iid analysis of the
       availability literature exactly, so the simulated availability
       can be checked against {!predicted_success}).
     - [Dynamic {mtbf; mttr}]: nodes alternate exponential up/down
-      periods (mean time between failures / to repair); probes to a
-      down node are lost. Temporally correlated — retries hitting the
-      same down replica keep failing — so availability is generally
-      WORSE than the iid prediction at equal steady-state node
-      availability. *)
+      periods; probes to a down node are lost. Temporally correlated —
+      retries hitting the same down replica keep failing — so
+      availability is generally WORSE than the iid prediction at equal
+      steady-state node availability. *)
 
-type failure_model = Static of float | Dynamic of { mtbf : float; mttr : float }
+type failure_model = Qp_runtime.Failure.model =
+  | Static of float
+  | Dynamic of { mtbf : float; mttr : float }
 
 type config = {
   problem : Qp_place.Problem.qpp;
   placement : Qp_place.Placement.t;
   failure_model : failure_model;
-  timeout : float; (* client gives up on an attempt after this long *)
-  max_attempts : int; (* quorum (re)tries per access *)
+  retry : Qp_runtime.Retry.t; (* timeout, attempt budget, backoff *)
   accesses_per_client : int;
   arrival_rate : float;
   seed : int;
@@ -37,8 +46,8 @@ val default_config :
   placement:Qp_place.Placement.t ->
   failure_model:failure_model ->
   config
-(** timeout = 4x metric diameter, 3 attempts, 200 accesses/client,
-    rate 1.0, seed 1. *)
+(** Legacy fixed policy (timeout = 4x metric diameter, 3 attempts, no
+    backoff), 200 accesses/client, rate 1.0, seed 1. *)
 
 type report = {
   n_accesses : int;

@@ -1,33 +1,9 @@
 (** Minimal discrete-event simulation engine.
 
-    Events are closures scheduled at absolute times; the engine pops
-    them in time order (deterministic but unspecified order among
-    equal timestamps) and runs them. Event handlers may schedule
-    further events. *)
+    Alias of {!Qp_runtime.Event} (see there for the semantics); kept
+    under the historical [Qp_sim.Sim] name for the simulators built on
+    top of it. *)
 
-type t
-
-val create : unit -> t
-
-val now : t -> float
-(** Current simulation clock (0 before the first event). *)
-
-val schedule : t -> float -> (t -> unit) -> unit
-(** [schedule sim time handler] enqueues an event; [time] must not
-    precede the current clock. @raise Invalid_argument otherwise. *)
-
-val schedule_in : t -> float -> (t -> unit) -> unit
-(** Relative variant: [schedule_in sim dt h = schedule sim (now + dt) h]. *)
-
-val run : ?until:float -> t -> unit
-(** Processes events in time order until the queue empties, the clock
-    would pass [until], or {!stop} has been called (remaining events
-    stay queued). *)
-
-val stop : t -> unit
-(** Makes the current {!run} return after the in-flight event handler.
-    Needed by simulations with self-regenerating background processes
-    (e.g. crash/repair cycles) that would otherwise never drain the
-    queue. *)
-
-val events_processed : t -> int
+include module type of struct
+  include Qp_runtime.Event
+end

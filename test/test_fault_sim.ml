@@ -7,6 +7,14 @@ module Majority_qs = Qp_quorum.Majority_qs
 module Availability = Qp_quorum.Availability
 module Problem = Qp_place.Problem
 
+(* Helpers for overriding the shared retry policy in a config. *)
+let with_attempts cfg k =
+  { cfg with
+    Fault_sim.retry = { cfg.Fault_sim.retry with Qp_runtime.Retry.max_attempts = k } }
+
+let with_timeout cfg t =
+  { cfg with Fault_sim.retry = { cfg.Fault_sim.retry with Qp_runtime.Retry.timeout = t } }
+
 let fixture ?(n = 6) ?(system = Simple_qs.triangle ()) () =
   let rng = Rng.create 10 in
   let g, _ = Generators.random_geometric rng n 0.6 in
@@ -56,8 +64,9 @@ let test_iid_closed_form_accounts_colocation () =
   in
   let placement = [| 0; 0; 0 |] in
   let cfg =
-    { (Fault_sim.default_config ~problem ~placement ~failure_model:(Fault_sim.Static 0.3)) with
-      Fault_sim.max_attempts = 1 }
+    with_attempts
+      (Fault_sim.default_config ~problem ~placement ~failure_model:(Fault_sim.Static 0.3))
+      1
   in
   Alcotest.(check (float 1e-9)) "co-located fate sharing" 0.7
     (Fault_sim.iid_success_probability cfg)
@@ -66,10 +75,10 @@ let test_retries_improve_availability () =
   let problem, placement = fixture ~n:8 ~system:(Majority_qs.make ~n:5 ~t:3) () in
   let base = Fault_sim.default_config ~problem ~placement ~failure_model:(Fault_sim.Static 0.35) in
   let one =
-    Fault_sim.run { base with Fault_sim.max_attempts = 1; accesses_per_client = 1500 }
+    Fault_sim.run (with_attempts { base with Fault_sim.accesses_per_client = 1500 } 1)
   in
   let three =
-    Fault_sim.run { base with Fault_sim.max_attempts = 3; accesses_per_client = 1500 }
+    Fault_sim.run (with_attempts { base with Fault_sim.accesses_per_client = 1500 } 3)
   in
   Alcotest.(check bool) "retries help" true
     (three.Fault_sim.availability > one.Fault_sim.availability +. 0.05)
@@ -98,7 +107,8 @@ let test_dynamic_model_runs () =
   Alcotest.(check bool) "some succeed" true (r.Fault_sim.availability > 0.5);
   Alcotest.(check bool) "some fail" true (r.Fault_sim.availability < 1.);
   Alcotest.(check bool) "attempts within budget" true
-    (r.Fault_sim.mean_attempts <= float_of_int cfg.Fault_sim.max_attempts +. 1e-9)
+    (r.Fault_sim.mean_attempts
+    <= float_of_int cfg.Fault_sim.retry.Qp_runtime.Retry.max_attempts +. 1e-9)
 
 let test_dynamic_extremes () =
   let problem, placement = fixture () in
@@ -114,11 +124,12 @@ let test_dynamic_extremes () =
 let test_validation () =
   let problem, placement = fixture () in
   let cfg = Fault_sim.default_config ~problem ~placement ~failure_model:(Fault_sim.Static 0.1) in
-  Alcotest.check_raises "attempts" (Invalid_argument "Fault_sim.run: max_attempts >= 1 required")
-    (fun () -> ignore (Fault_sim.run { cfg with Fault_sim.max_attempts = 0 }));
-  Alcotest.check_raises "timeout" (Invalid_argument "Fault_sim.run: timeout must be positive")
-    (fun () -> ignore (Fault_sim.run { cfg with Fault_sim.timeout = 0. }));
-  Alcotest.check_raises "probability" (Invalid_argument "Fault_sim.run: failure probability out of range")
+  Alcotest.check_raises "attempts" (Invalid_argument "Retry: max_attempts >= 1 required")
+    (fun () -> ignore (Fault_sim.run (with_attempts cfg 0)));
+  Alcotest.check_raises "timeout" (Invalid_argument "Retry: timeout must be positive")
+    (fun () -> ignore (Fault_sim.run (with_timeout cfg 0.)));
+  Alcotest.check_raises "probability"
+    (Invalid_argument "Failure.validate: Static probability must lie in [0, 1]")
     (fun () -> ignore (Fault_sim.run { cfg with Fault_sim.failure_model = Fault_sim.Static 2. }))
 
 (* Cross-module consistency: with one element per node and one attempt,
@@ -135,8 +146,10 @@ let test_matches_availability_module () =
   let placement = [| 0; 1; 2; 3; 4 |] in
   let p = 0.3 in
   let cfg =
-    { (Fault_sim.default_config ~problem ~placement ~failure_model:(Fault_sim.Static p)) with
-      Fault_sim.max_attempts = 1; accesses_per_client = 4000 }
+    with_attempts
+      { (Fault_sim.default_config ~problem ~placement ~failure_model:(Fault_sim.Static p)) with
+        Fault_sim.accesses_per_client = 4000 }
+      1
   in
   let r = Fault_sim.run cfg in
   let exact_up = 1. -. Availability.failure_probability system p in

@@ -42,7 +42,37 @@ let test_problem_validation () =
     (Invalid_argument "Problem: client rates must have positive sum") (fun () ->
       ignore
         (Problem.make_qpp ~metric ~capacities:(Array.make 3 1.) ~system
-           ~strategy:(Strategy.uniform system) ~client_rates:[| 0.; 0.; 0. |] ()))
+           ~strategy:(Strategy.uniform system) ~client_rates:[| 0.; 0.; 0. |] ()));
+  Alcotest.check_raises "empty metric"
+    (Invalid_argument "Problem: metric must have at least one node") (fun () ->
+      ignore
+        (Problem.make_qpp ~metric:(Metric.of_matrix [||]) ~capacities:[||] ~system
+           ~strategy:(Strategy.uniform system) ()));
+  (* Metric.scale with an infinite factor is the one public path that
+     produces non-finite distances; the instance must refuse them. *)
+  Alcotest.check_raises "non-finite metric"
+    (Invalid_argument "Problem: non-finite metric entry") (fun () ->
+      ignore
+        (Problem.make_qpp ~metric:(Metric.scale metric infinity)
+           ~capacities:(Array.make 3 1.) ~system ~strategy:(Strategy.uniform system) ()));
+  Alcotest.check_raises "non-finite cap" (Invalid_argument "Problem: non-finite capacity")
+    (fun () ->
+      ignore
+        (Problem.make_qpp ~metric ~capacities:[| 1.; Float.nan; 1. |] ~system
+           ~strategy:(Strategy.uniform system) ()));
+  Alcotest.check_raises "non-finite rate"
+    (Invalid_argument "Problem: non-finite client rate") (fun () ->
+      ignore
+        (Problem.make_qpp ~metric ~capacities:(Array.make 3 1.) ~system
+           ~strategy:(Strategy.uniform system) ~client_rates:[| 1.; infinity; 1. |] ()));
+  (* Empty quorum systems are unconstructable: even the unchecked
+     constructor refuses them, so no qpp can smuggle one in (the
+     Problem-level guards are defense in depth). *)
+  Alcotest.check_raises "empty universe"
+    (Invalid_argument "Quorum.make: universe must be positive") (fun () ->
+      ignore (Quorum.make_unchecked ~universe:0 [||]));
+  Alcotest.check_raises "no quorums" (Invalid_argument "Quorum.make: empty family")
+    (fun () -> ignore (Quorum.make_unchecked ~universe:3 [||]))
 
 let test_problem_capacity_feasible () =
   let p = triangle_on_path () in

@@ -1,0 +1,346 @@
+(* The closed-loop resilience engine: failure detector, retry policy,
+   adaptive strategy and the end-to-end engine. *)
+
+module Rng = Qp_util.Rng
+module Generators = Qp_graph.Generators
+module Metric = Qp_graph.Metric
+module Strategy = Qp_quorum.Strategy
+module Majority_qs = Qp_quorum.Majority_qs
+module Simple_qs = Qp_quorum.Simple_qs
+module Problem = Qp_place.Problem
+module Detector = Qp_runtime.Detector
+module Retry = Qp_runtime.Retry
+module Failure = Qp_runtime.Failure
+module Adaptive = Qp_runtime.Adaptive
+module Engine = Qp_runtime.Engine
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Detector                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_detector_ewma () =
+  let d = Detector.create 3 in
+  Alcotest.(check bool) "initially healthy" true (Detector.healthy d);
+  check_float "zero suspicion" 0. (Detector.suspicion d 1);
+  (* Failed probes drive suspicion toward 1 geometrically. *)
+  Detector.observe d 1 ~ok:false;
+  check_float "one miss" 0.35 (Detector.suspicion d 1);
+  Detector.observe d 1 ~ok:false;
+  check_float "two misses" (0.35 +. (0.35 *. 0.65)) (Detector.suspicion d 1);
+  Alcotest.(check bool) "not yet suspected" false (Detector.suspected d 1);
+  Detector.observe d 1 ~ok:false;
+  Alcotest.(check bool) "suspected after three" true (Detector.suspected d 1);
+  Alcotest.(check (list int)) "suspect list" [ 1 ] (Detector.suspected_nodes d);
+  (* Successes decay it back below threshold. *)
+  Detector.observe d 1 ~ok:true;
+  Detector.observe d 1 ~ok:true;
+  Alcotest.(check bool) "recovered" false (Detector.suspected d 1);
+  Alcotest.(check int) "observation count" 5 (Detector.observations d 1)
+
+let test_detector_version_tracks_crossings () =
+  let d = Detector.create 2 in
+  let v0 = Detector.version d in
+  Detector.observe d 0 ~ok:true;
+  Alcotest.(check int) "no crossing, no bump" v0 (Detector.version d);
+  Detector.observe d 0 ~ok:false;
+  Detector.observe d 0 ~ok:false;
+  Detector.observe d 0 ~ok:false;
+  Alcotest.(check bool) "bumped on suspect" true (Detector.version d > v0);
+  let v1 = Detector.version d in
+  Detector.observe d 0 ~ok:false;
+  Alcotest.(check int) "deeper suspicion, same version" v1 (Detector.version d);
+  Detector.reset d 0;
+  Alcotest.(check bool) "bumped on reset" true (Detector.version d > v1);
+  check_float "reset clears" 0. (Detector.suspicion d 0)
+
+let test_detector_validation () =
+  Alcotest.check_raises "bad gain" (Invalid_argument "Detector: gain must lie in (0, 1]")
+    (fun () ->
+      ignore (Detector.create ~config:{ Detector.gain = 0.; suspect_threshold = 0.5 } 2));
+  Alcotest.check_raises "empty" (Invalid_argument "Detector.create: need at least one node")
+    (fun () -> ignore (Detector.create 0));
+  let d = Detector.create 2 in
+  Alcotest.check_raises "range" (Invalid_argument "Detector.observe: node out of range")
+    (fun () -> Detector.observe d 7 ~ok:true)
+
+(* ------------------------------------------------------------------ *)
+(* Retry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_retry_backoff () =
+  let p =
+    Retry.exponential ~jitter:0. ~timeout:10. ~base:1. ~factor:2. ~max_backoff:5.
+      ~max_attempts:5 ()
+  in
+  check_float "first" 1. (Retry.base_backoff p ~attempt:1);
+  check_float "second" 2. (Retry.base_backoff p ~attempt:2);
+  check_float "third" 4. (Retry.base_backoff p ~attempt:3);
+  check_float "capped" 5. (Retry.base_backoff p ~attempt:4);
+  let fixed = Retry.fixed ~timeout:10. ~max_attempts:3 in
+  check_float "fixed policy never pauses" 0. (Retry.base_backoff fixed ~attempt:2)
+
+let test_retry_jitter_bounds () =
+  let p = Retry.exponential ~jitter:0.5 ~timeout:10. ~base:2. ~max_attempts:3 () in
+  let rng = Rng.create 4 in
+  for _ = 1 to 200 do
+    let d = Retry.backoff_delay p rng ~attempt:1 in
+    Alcotest.(check bool) "within jitter band" true (d >= 1. && d <= 3.)
+  done
+
+let test_retry_validation () =
+  Alcotest.check_raises "attempts" (Invalid_argument "Retry: max_attempts >= 1 required")
+    (fun () -> ignore (Retry.fixed ~timeout:1. ~max_attempts:0));
+  Alcotest.check_raises "hedge range"
+    (Invalid_argument "Retry: hedge delay must lie in (0, timeout)") (fun () ->
+      ignore (Retry.exponential ~hedge_after:2. ~timeout:1. ~base:0.1 ~max_attempts:2 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive strategy                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let triangle_fixture () =
+  let system = Simple_qs.triangle () in
+  let rng = Rng.create 3 in
+  let g, _ = Generators.random_geometric rng 4 0.8 in
+  let problem =
+    Problem.of_graph_qpp ~graph:g ~capacities:(Array.make 4 1.) ~system
+      ~strategy:(Strategy.uniform system) ()
+  in
+  (problem, [| 0; 1; 2 |])
+
+let test_adaptive_healthy_is_static () =
+  let problem, placement = triangle_fixture () in
+  let system = problem.Problem.system in
+  let static = problem.Problem.strategy in
+  let d = Detector.create 4 in
+  (* Physical equality: when the detector is quiet the engine must run
+     the paper's static optimum, not a reweighted copy of it. *)
+  Alcotest.(check bool) "same array" true
+    (Adaptive.strategy system placement d ~static == static)
+
+let test_adaptive_shifts_mass_off_suspected () =
+  let problem, placement = triangle_fixture () in
+  let system = problem.Problem.system in
+  let static = problem.Problem.strategy in
+  let d = Detector.create 4 in
+  (* Node 2 (hosting element 2) goes dark. Triangle quorums: {0,1},
+     {1,2}, {0,2} - the two quorums touching element 2 must lose mass
+     to {0,1}. *)
+  for _ = 1 to 5 do
+    Detector.observe d 2 ~ok:false
+  done;
+  let p = Adaptive.strategy system placement d ~static in
+  Alcotest.(check bool) "healthy quorum gains" true (p.(0) > static.(0));
+  Alcotest.(check bool) "suspect quorums lose" true (p.(1) < static.(1) && p.(2) < static.(2));
+  check_float "still a distribution" 1. (Array.fold_left ( +. ) 0. p);
+  (* All nodes deeply dark: every quorum's health underflows the
+     renormalization floor, so reweighting has no signal and the
+     strategy falls back to the static optimum. *)
+  for v = 0 to 3 do
+    for _ = 1 to 60 do
+      Detector.observe d v ~ok:false
+    done
+  done;
+  let q = Adaptive.strategy system placement d ~static in
+  Alcotest.(check bool) "all-dark falls back to static" true
+    (Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-6) q static)
+
+let test_adaptive_cache_tracks_version () =
+  let problem, placement = triangle_fixture () in
+  let system = problem.Problem.system in
+  let static = problem.Problem.strategy in
+  let d = Detector.create 4 in
+  let c = Adaptive.make system placement ~static in
+  let s0 = Adaptive.refresh c d in
+  Alcotest.(check bool) "healthy cache serves static" true (s0 == static);
+  for _ = 1 to 5 do
+    Detector.observe d 2 ~ok:false
+  done;
+  let s1 = Adaptive.refresh c d in
+  Alcotest.(check bool) "recomputed on crossing" true (s1 != static);
+  let s2 = Adaptive.refresh c d in
+  Alcotest.(check bool) "cached between crossings" true (s1 == s2)
+
+let test_strategy_reweight () =
+  let p = [| 0.5; 0.25; 0.25 |] in
+  (match Strategy.reweight p (fun i -> if i = 0 then 0. else 1.) with
+  | None -> Alcotest.fail "renormalizable"
+  | Some q ->
+      check_float "zeroed" 0. q.(0);
+      check_float "renormalized" 0.5 q.(1));
+  Alcotest.(check bool) "all-zero weights collapse" true
+    (Strategy.reweight p (fun _ -> 0.) = None);
+  Alcotest.check_raises "negative factor"
+    (Invalid_argument "Strategy.reweight: negative weight factor") (fun () ->
+      ignore (Strategy.reweight p (fun _ -> -1.)))
+
+(* ------------------------------------------------------------------ *)
+(* Engine, end to end                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let engine_fixture () =
+  let rng = Rng.create 11 in
+  let n = 10 in
+  let g, _ = Generators.random_geometric rng n 0.6 in
+  let system = Majority_qs.make ~n:5 ~t:3 in
+  let strategy = Strategy.uniform system in
+  let problem =
+    Problem.of_graph_qpp ~graph:g ~capacities:(Array.make n (1.5 *. (3. /. 5.))) ~system
+      ~strategy ()
+  in
+  match Qp_place.Qpp_solver.solve ~alpha:2. problem with
+  | Some r -> (problem, r.Qp_place.Qpp_solver.placement)
+  | None -> Alcotest.fail "fixture infeasible"
+
+let test_engine_failure_free_matches_analytic () =
+  let problem, placement = engine_fixture () in
+  let cfg =
+    { (Engine.default_config ~problem ~placement ~failure:(Failure.Static 0.) ()) with
+      Engine.accesses_per_client = 2000 }
+  in
+  let r = Engine.run cfg in
+  check_float "everything succeeds" 1. r.Engine.availability;
+  check_float "single attempts" 1. r.Engine.mean_attempts;
+  (* Poisson sampling of the static strategy: the mean delay estimates
+     the paper's analytic average max-delay. *)
+  Alcotest.(check bool) "reproduces the analytic delay" true
+    (Float.abs (r.Engine.mean_delay_success -. r.Engine.analytic_delay)
+     /. r.Engine.analytic_delay
+    < 0.05)
+
+let test_engine_adaptive_beats_static_under_churn () =
+  let problem, placement = engine_fixture () in
+  let failure = Failure.Dynamic { mtbf = 60.; mttr = 40. } in
+  let retry =
+    Retry.fixed
+      ~timeout:(4. *. Metric.diameter problem.Problem.metric)
+      ~max_attempts:3
+  in
+  let static =
+    Qp_sim.Fault_sim.run
+      { (Qp_sim.Fault_sim.default_config ~problem ~placement ~failure_model:failure) with
+        Qp_sim.Fault_sim.retry; accesses_per_client = 400; seed = 3 }
+  in
+  let adaptive =
+    Engine.run
+      { (Engine.default_config ~adaptive:true ~problem ~placement ~failure ()) with
+        Engine.retry; accesses_per_client = 400; seed = 3 }
+  in
+  (* Same seed => same churn trajectory and access times (both streams
+     are split off the seed identically in both simulators): a paired
+     comparison at an equal retry budget. *)
+  Alcotest.(check bool) "strictly more accesses succeed" true
+    (adaptive.Engine.availability > static.Qp_sim.Fault_sim.availability);
+  Alcotest.(check bool) "no extra attempts" true
+    (adaptive.Engine.mean_attempts <= static.Qp_sim.Fault_sim.mean_attempts +. 1e-9)
+
+let test_engine_repair_fires_and_avoids_dead () =
+  let problem, placement = engine_fixture () in
+  let failure = Failure.Dynamic { mtbf = 40.; mttr = 60. } in
+  let cfg =
+    { (Engine.default_config ~adaptive:true ~repair:Engine.default_trigger ~problem
+         ~placement ~failure ()) with
+      Engine.accesses_per_client = 300;
+      seed = 2 }
+  in
+  let r = Engine.run cfg in
+  Alcotest.(check bool) "repairs triggered" true (r.Engine.repairs <> []);
+  List.iter
+    (fun (ev : Engine.repair_event) ->
+      Alcotest.(check bool) "moved something" true (ev.Engine.moved > 0))
+    r.Engine.repairs;
+  (* The last repair's placement is the final one; it must avoid the
+     nodes that repair believed dead at that point. *)
+  (match List.rev r.Engine.repairs with
+  | last :: _ ->
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) "replica off believed-dead node" true
+            (not (List.mem v last.Engine.dead)))
+        r.Engine.final_placement
+  | [] -> ());
+  Alcotest.(check bool) "repair helped" true (r.Engine.availability > 0.5)
+
+let test_engine_deterministic () =
+  let problem, placement = engine_fixture () in
+  let failure = Failure.Dynamic { mtbf = 50.; mttr = 30. } in
+  let cfg =
+    { (Engine.default_config ~adaptive:true ~problem ~placement ~failure ()) with
+      Engine.accesses_per_client = 150;
+      seed = 9 }
+  in
+  let a = Engine.run cfg in
+  let b = Engine.run cfg in
+  Alcotest.(check int) "same successes" a.Engine.n_success b.Engine.n_success;
+  check_float "same delay" a.Engine.mean_delay_success b.Engine.mean_delay_success;
+  Alcotest.(check (array int)) "same final placement" a.Engine.final_placement
+    b.Engine.final_placement
+
+let test_engine_hedging_accounting () =
+  let problem, placement = engine_fixture () in
+  let timeout = 4. *. Metric.diameter problem.Problem.metric in
+  let retry =
+    Retry.exponential ~jitter:0.2 ~hedge_after:(0.5 *. timeout) ~timeout
+      ~base:(0.2 *. timeout) ~max_attempts:3 ()
+  in
+  let cfg =
+    { (Engine.default_config ~adaptive:true ~problem ~placement
+         ~failure:(Failure.Dynamic { mtbf = 60.; mttr = 40. }) ()) with
+      Engine.retry; accesses_per_client = 300; seed = 4 }
+  in
+  let r = Engine.run cfg in
+  Alcotest.(check bool) "hedges launched" true (r.Engine.hedges_launched > 0);
+  Alcotest.(check bool) "wins within launches" true
+    (r.Engine.hedges_won <= r.Engine.hedges_launched);
+  Alcotest.(check int) "histogram covers successes" r.Engine.n_success
+    (Array.fold_left ( + ) 0 r.Engine.attempt_histogram)
+
+let test_engine_validation () =
+  let problem, placement = engine_fixture () in
+  let base = Engine.default_config ~problem ~placement ~failure:(Failure.Static 0.1) () in
+  Alcotest.check_raises "probe interval"
+    (Invalid_argument "Engine: probe_interval must be positive") (fun () ->
+      ignore (Engine.run { base with Engine.probe_interval = 0. }));
+  Alcotest.check_raises "repair trigger"
+    (Invalid_argument "Engine: repair capacity_frac must lie in (0, 1]") (fun () ->
+      ignore
+        (Engine.run
+           { base with
+             Engine.repair = Some { Engine.default_trigger with Engine.capacity_frac = 0. }
+           }))
+
+let suites =
+  [
+    ( "runtime.detector",
+      [
+        Alcotest.test_case "ewma suspicion" `Quick test_detector_ewma;
+        Alcotest.test_case "version on crossings" `Quick test_detector_version_tracks_crossings;
+        Alcotest.test_case "validation" `Quick test_detector_validation;
+      ] );
+    ( "runtime.retry",
+      [
+        Alcotest.test_case "exponential backoff" `Quick test_retry_backoff;
+        Alcotest.test_case "jitter bounds" `Quick test_retry_jitter_bounds;
+        Alcotest.test_case "validation" `Quick test_retry_validation;
+      ] );
+    ( "runtime.adaptive",
+      [
+        Alcotest.test_case "healthy serves static" `Quick test_adaptive_healthy_is_static;
+        Alcotest.test_case "shifts mass off suspects" `Quick test_adaptive_shifts_mass_off_suspected;
+        Alcotest.test_case "cache tracks version" `Quick test_adaptive_cache_tracks_version;
+        Alcotest.test_case "strategy reweight" `Quick test_strategy_reweight;
+      ] );
+    ( "runtime.engine",
+      [
+        Alcotest.test_case "failure-free matches analytic" `Quick
+          test_engine_failure_free_matches_analytic;
+        Alcotest.test_case "adaptive beats static" `Quick
+          test_engine_adaptive_beats_static_under_churn;
+        Alcotest.test_case "repair fires" `Quick test_engine_repair_fires_and_avoids_dead;
+        Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
+        Alcotest.test_case "hedging accounting" `Quick test_engine_hedging_accounting;
+        Alcotest.test_case "validation" `Quick test_engine_validation;
+      ] );
+  ]

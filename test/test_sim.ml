@@ -53,7 +53,7 @@ let test_engine_stop () =
 let test_engine_rejects_past () =
   let sim = Sim.create () in
   Sim.schedule sim 5.0 (fun s ->
-      Alcotest.check_raises "past event" (Invalid_argument "Sim.schedule: time in the past")
+      Alcotest.check_raises "past event" (Invalid_argument "Event.schedule: time in the past")
         (fun () -> Sim.schedule s 1.0 (fun _ -> ())));
   Sim.run sim
 
