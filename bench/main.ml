@@ -1,21 +1,87 @@
 (* Benchmark & experiment driver.
 
    Usage:
-     dune exec bench/main.exe             # all experiments (E1-E9, F1-F2)
-     dune exec bench/main.exe -- e5 f1    # selected experiments
-     dune exec bench/main.exe -- micro    # bechamel microbenchmarks
-     dune exec bench/main.exe -- all micro *)
+     dune exec bench/main.exe                 # all experiments (E1-E16, F1-F2)
+     dune exec bench/main.exe -- e5 f1        # selected experiments
+     dune exec bench/main.exe -- micro        # bechamel microbenchmarks
+     dune exec bench/main.exe -- --smoke      # fast subset for CI
+     dune exec bench/main.exe -- --out FILE   # results file (default BENCH_results.json)
+
+   Every experiment run also writes a machine-readable summary: per
+   experiment the wall-clock time plus the change in every telemetry
+   series (solver pivots, simulated accesses, ...) recorded while it
+   ran. *)
+
+module Obs = Qp_obs
+
+(* Change in each scalar series across an experiment; series absent
+   before count from zero, unchanged series are dropped. *)
+let series_delta before after =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) before;
+  List.filter_map
+    (fun (k, v) ->
+      let d = v -. Option.value ~default:0. (Hashtbl.find_opt tbl k) in
+      if d <> 0. then Some (k, Obs.Json.Float d) else None)
+    after
+
+let run_one name f =
+  let before = Obs.Metrics.scalar_series Obs.Metrics.default in
+  let t0 = Obs.Core.now () in
+  f ();
+  let wall = Obs.Core.now () -. t0 in
+  let after = Obs.Metrics.scalar_series Obs.Metrics.default in
+  Obs.Json.Obj
+    [ ("experiment", Obs.Json.String name);
+      ("wall_s", Obs.Json.Float wall);
+      ("metrics", Obs.Json.Obj (series_delta before after)) ]
+
+let write_results path results =
+  let doc =
+    Obs.Json.Obj
+      [ ("schema", Obs.Json.String "qp-bench/1");
+        ("version", Obs.Json.String Obs.Build_info.version);
+        ("experiments", Obs.Json.List results) ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "results written to %s\n" path
 
 let () =
   print_endline "Quorum Placement in Networks to Minimize Access Delays (PODC'05)";
   print_endline "Experiment reproduction suite - see DESIGN.md / EXPERIMENTS.md";
-  let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [] -> Experiments.all ()
-  | args ->
-      List.iter
-        (function
-          | "all" -> Experiments.all ()
-          | "micro" -> Micro.run ()
-          | name -> Experiments.by_name name)
-        args
+  let out = ref "BENCH_results.json" in
+  let names = ref [] in
+  let micro = ref false in
+  let add ns = names := !names @ ns in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: path :: rest ->
+        out := path;
+        parse rest
+    | "--out" :: [] -> failwith "--out requires a FILE argument"
+    | "--smoke" :: rest ->
+        add Experiments.smoke;
+        parse rest
+    | "micro" :: rest ->
+        micro := true;
+        parse rest
+    | "all" :: rest ->
+        add (List.map fst Experiments.registry);
+        parse rest
+    | name :: rest ->
+        if not (List.mem_assoc name Experiments.registry) then
+          failwith ("unknown experiment " ^ name);
+        add [ name ];
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let names =
+    if !names = [] && not !micro then List.map fst Experiments.registry else !names
+  in
+  Obs.Metrics.set_enabled Obs.Metrics.default true;
+  let results = List.map (fun n -> run_one n (fun () -> Experiments.by_name n)) names in
+  if !micro then Micro.run ();
+  if results <> [] then write_results !out results

@@ -11,11 +11,67 @@
 
 module Rng = Qp_util.Rng
 module Table = Qp_util.Table
+module Obs = Qp_obs
 module Generators = Qp_graph.Generators
 module Graph = Qp_graph.Graph
 module Quorum = Qp_quorum.Quorum
 module Strategy = Qp_quorum.Strategy
 open Qp_place
+
+(* ------------------------------------------------------------------ *)
+(* Observability plumbing: --trace / --metrics on the solving and      *)
+(* simulating subcommands.                                             *)
+(* ------------------------------------------------------------------ *)
+
+type run_meta = {
+  command : string;
+  topology : string;
+  nodes : int;
+  system : string;
+  cap_slack : float;
+  seed : int;
+  alpha : float option;
+  algorithm : string option;
+}
+
+let meta_fields m =
+  [ ("command", Obs.Json.String m.command);
+    ("topology", Obs.Json.String m.topology);
+    ("nodes", Obs.Json.Int m.nodes);
+    ("system", Obs.Json.String m.system);
+    ("cap_slack", Obs.Json.Float m.cap_slack);
+    ("seed", Obs.Json.Int m.seed) ]
+  @ (match m.alpha with Some a -> [ ("alpha", Obs.Json.Float a) ] | None -> [])
+  @ match m.algorithm with Some a -> [ ("algorithm", Obs.Json.String a) ] | None -> []
+
+let print_meta m =
+  Printf.printf "run: %s topology=%s nodes=%d system=%s cap-slack=%g seed=%d%s%s version=%s\n"
+    m.command m.topology m.nodes m.system m.cap_slack m.seed
+    (match m.alpha with Some a -> Printf.sprintf " alpha=%g" a | None -> "")
+    (match m.algorithm with Some a -> " alg=" ^ a | None -> "")
+    Obs.Build_info.version
+
+(* Run [f] with the requested telemetry sinks live: a JSONL trace
+   (header record first) and/or a Prometheus text dump of the default
+   registry written when the command finishes, even on error. *)
+let with_obs ~trace ~metrics meta f =
+  print_meta meta;
+  (match trace with
+  | Some path ->
+      Obs.Trace.install (Obs.Trace.to_file path);
+      Obs.Trace.header (meta_fields meta)
+  | None -> ());
+  if metrics <> None then Obs.Metrics.set_enabled Obs.Metrics.default true;
+  Fun.protect
+    ~finally:(fun () ->
+      (match metrics with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Obs.Metrics.to_prometheus Obs.Metrics.default);
+          close_out oc
+      | None -> ());
+      Obs.Trace.uninstall ())
+    f
 
 (* ------------------------------------------------------------------ *)
 (* Instance construction from CLI names                                *)
@@ -82,7 +138,12 @@ let get_problem ~instance ~topology ~nodes ~system_name ~cap_slack ~seed =
   | Some path -> Serialize.load_problem path
   | None -> build_problem ~topology ~nodes ~system_name ~cap_slack ~seed
 
-let solve_cmd topology nodes system_name cap_slack seed algorithm alpha instance save =
+let solve_cmd topology nodes system_name cap_slack seed algorithm alpha instance save
+    trace metrics =
+  with_obs ~trace ~metrics
+    { command = "solve"; topology; nodes; system = system_name; cap_slack; seed;
+      alpha = Some alpha; algorithm = Some algorithm }
+  @@ fun () ->
   let problem = get_problem ~instance ~topology ~nodes ~system_name ~cap_slack ~seed in
   (match save with
   | Some path ->
@@ -128,7 +189,11 @@ let solve_cmd topology nodes system_name cap_slack seed algorithm alpha instance
       prerr_endline (Printf.sprintf "unknown algorithm %S (lp|total|greedy|random)" other);
       exit 2
 
-let simulate_cmd topology nodes system_name cap_slack seed protocol accesses =
+let simulate_cmd topology nodes system_name cap_slack seed protocol accesses trace metrics =
+  with_obs ~trace ~metrics
+    { command = "simulate"; topology; nodes; system = system_name; cap_slack; seed;
+      alpha = Some 2.; algorithm = Some "lp" }
+  @@ fun () ->
   let problem = build_problem ~topology ~nodes ~system_name ~cap_slack ~seed in
   match Qpp_solver.solve ~alpha:2. problem with
   | None ->
@@ -202,7 +267,11 @@ let availability_cmd system_name p =
       (Qp_quorum.Availability.failure_probability_mc rng system p ~samples:100_000)
   end
 
-let faults_cmd topology nodes system_name cap_slack seed p attempts =
+let faults_cmd topology nodes system_name cap_slack seed p attempts trace metrics =
+  with_obs ~trace ~metrics
+    { command = "faults"; topology; nodes; system = system_name; cap_slack; seed;
+      alpha = Some 2.; algorithm = Some "lp" }
+  @@ fun () ->
   let problem = build_problem ~topology ~nodes ~system_name ~cap_slack ~seed in
   match Qpp_solver.solve ~alpha:2. problem with
   | None ->
@@ -231,7 +300,11 @@ let faults_cmd topology nodes system_name cap_slack seed p attempts =
       Printf.printf "mean attempts:   %.2f\n" fr.mean_attempts
 
 let resilience_cmd topology nodes system_name cap_slack seed mtbf mttr attempts accesses
-    hedge no_repair =
+    hedge no_repair trace metrics =
+  with_obs ~trace ~metrics
+    { command = "resilience"; topology; nodes; system = system_name; cap_slack; seed;
+      alpha = Some 2.; algorithm = Some "lp" }
+  @@ fun () ->
   let problem = build_problem ~topology ~nodes ~system_name ~cap_slack ~seed in
   match Qpp_solver.solve ~alpha:2. problem with
   | None ->
@@ -367,9 +440,17 @@ let save_t =
   Arg.(value & opt (some string) None & info [ "save-instance" ] ~docv:"FILE"
          ~doc:"Save the instance to FILE before solving.")
 
+let trace_t =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a JSONL span/event trace of the run to FILE.")
+
+let metrics_t =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write Prometheus-format metrics of the run to FILE.")
+
 let solve_term =
   Term.(const solve_cmd $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t
-        $ algorithm_t $ alpha_t $ instance_t $ save_t)
+        $ algorithm_t $ alpha_t $ instance_t $ save_t $ trace_t $ metrics_t)
 
 let solve_cmd_info = Cmd.info "solve" ~doc:"Place a quorum system on a generated network."
 
@@ -383,7 +464,7 @@ let accesses_t =
 
 let simulate_term =
   Term.(const simulate_cmd $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t
-        $ protocol_t $ accesses_t)
+        $ protocol_t $ accesses_t $ trace_t $ metrics_t)
 
 let simulate_cmd_info =
   Cmd.info "simulate" ~doc:"Solve, then validate the placement in the event simulator."
@@ -412,7 +493,7 @@ let attempts_t =
 
 let faults_term =
   Term.(const faults_cmd $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t
-        $ fail_p_t $ attempts_t)
+        $ fail_p_t $ attempts_t $ trace_t $ metrics_t)
 
 let faults_cmd_info =
   Cmd.info "faults" ~doc:"Solve, then run the fault-injection simulator on the placement."
@@ -439,7 +520,8 @@ let resilience_accesses_t =
 
 let resilience_term =
   Term.(const resilience_cmd $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t
-        $ mtbf_t $ mttr_t $ attempts_t $ resilience_accesses_t $ hedge_t $ no_repair_t)
+        $ mtbf_t $ mttr_t $ attempts_t $ resilience_accesses_t $ hedge_t $ no_repair_t
+        $ trace_t $ metrics_t)
 
 let resilience_cmd_info =
   Cmd.info "resilience"

@@ -1,3 +1,5 @@
+module Obs = Qp_obs
+
 type outcome =
   | Optimal of { x : float array; objective : float }
   | Infeasible
@@ -75,7 +77,8 @@ let update_reduced_costs t r ~row ~col =
 type phase_result = Phase_optimal | Phase_unbounded
 
 (* Run simplex iterations on the current tableau with the given cost
-   vector until optimal or unbounded. [allowed col] gates the entering
+   vector until optimal or unbounded, returning the outcome and the
+   number of pivots performed. [allowed col] gates the entering
    variable (used to keep artificials out in phase 2). Dantzig pricing
    with a permanent switch to Bland's rule after [stall_limit]
    consecutive non-improving pivots. *)
@@ -147,7 +150,8 @@ let optimize t cost ~allowed ~max_pivots =
       end
     end
   in
-  loop ()
+  let result = loop () in
+  (result, !pivots)
 
 type certified = {
   x : float array;
@@ -166,6 +170,25 @@ let solve_internal ?max_pivots lp =
   let n = Lp.n_vars lp in
   let rows = Lp.constraints lp in
   let m = List.length rows in
+  let solves_c =
+    Obs.Metrics.counter ~help:"Two-phase simplex invocations" Obs.Metrics.default
+      "qp_simplex_solves_total"
+  in
+  let pivots_c =
+    Obs.Metrics.counter ~help:"Simplex pivots across both phases" Obs.Metrics.default
+      "qp_simplex_pivots_total"
+  in
+  Obs.Metrics.inc solves_c;
+  let total_pivots = ref 0 in
+  let count_pivots k = total_pivots := !total_pivots + k in
+  Obs.Span.with_ "simplex"
+    ~attrs:[ ("vars", Obs.Json.Int n); ("rows", Obs.Json.Int m) ]
+  @@ fun () ->
+  let finish outcome =
+    Obs.Metrics.add pivots_c (float_of_int !total_pivots);
+    Obs.Span.add_attr "pivots" (Obs.Json.Int !total_pivots);
+    outcome
+  in
   let max_pivots =
     match max_pivots with Some v -> v | None -> 50_000 + (50 * (m + n))
   in
@@ -233,8 +256,8 @@ let solve_internal ?max_pivots lp =
        cost1.(j) <- 1.
      done;
      match optimize t cost1 ~allowed:(fun _ -> true) ~max_pivots with
-     | Phase_unbounded -> assert false (* phase-1 objective bounded below by 0 *)
-     | Phase_optimal -> ()
+     | Phase_unbounded, _ -> assert false (* phase-1 objective bounded below by 0 *)
+     | Phase_optimal, k -> count_pivots k
    end);
   let phase1_value =
     let v = ref 0. in
@@ -243,7 +266,7 @@ let solve_internal ?max_pivots lp =
     done;
     !v
   in
-  if n_artificial > 0 && phase1_value > 1e-7 then C_infeasible
+  if n_artificial > 0 && phase1_value > 1e-7 then finish C_infeasible
   else begin
     (* Drive any residual artificial out of the basis; rows where that
        is impossible are redundant and are dropped. *)
@@ -281,8 +304,11 @@ let solve_internal ?max_pivots lp =
     Array.blit obj 0 cost2 0 n;
     let allowed j = j < first_artificial in
     match optimize t cost2 ~allowed ~max_pivots with
-    | Phase_unbounded -> C_unbounded
-    | Phase_optimal ->
+    | Phase_unbounded, k ->
+        count_pivots k;
+        finish C_unbounded
+    | Phase_optimal, k ->
+        count_pivots k;
         let x = Array.make n 0. in
         for i = 0 to t.m - 1 do
           if t.basis.(i) < n then x.(t.basis.(i)) <- t.b.(i)
@@ -293,7 +319,7 @@ let solve_internal ?max_pivots lp =
         assert (Lp.is_feasible ~tol:1e-6 lp x);
         let r, _ = reduced_costs t cost2 in
         let duals = Array.map (fun (col, factor) -> factor *. r.(col)) row_dual in
-        Certified { x; objective; duals }
+        finish (Certified { x; objective; duals })
   end
 
 let solve ?max_pivots lp =

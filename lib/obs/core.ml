@@ -1,0 +1,23 @@
+(* Global switchboard for the telemetry layer.
+
+   Everything in qp_obs is a no-op unless explicitly enabled, so
+   instrumented hot paths pay a single mutable-bool load per
+   operation. Tracing and metrics are gated independently: [tracing]
+   is flipped by [Trace.install]/[Trace.uninstall]; each metrics
+   registry carries its own enabled flag (the shared default registry
+   starts disabled). *)
+
+let tracing = ref false
+
+(* Wall-clock used for span timestamps and bench timings. OCaml's
+   stdlib has no monotonic clock without external packages, so the
+   default is [Unix.gettimeofday]; tests (and callers that do have a
+   monotonic source) install their own via [set_clock], which also
+   makes span timing deterministic under test. *)
+let clock : (unit -> float) ref = ref Unix.gettimeofday
+
+let now () = !clock ()
+
+let set_clock f = clock := f
+
+let default_clock () = clock := Unix.gettimeofday

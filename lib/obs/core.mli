@@ -1,0 +1,20 @@
+(** Global switchboard for the telemetry layer: the tracing flag
+    (owned by {!Trace}) and the pluggable clock. *)
+
+val tracing : bool ref
+(** True while a trace sink is installed. Flipped by
+    {!Trace.install}/{!Trace.uninstall}; instrumented code only ever
+    reads it. *)
+
+val now : unit -> float
+(** Current time from the configured clock (seconds). *)
+
+val set_clock : (unit -> float) -> unit
+(** Install a clock — tests use a fake counter for deterministic span
+    timings. The default is [Unix.gettimeofday] (best available
+    without external monotonic-clock packages). *)
+
+val default_clock : unit -> unit
+(** Restore [Unix.gettimeofday]. *)
+
+val clock : (unit -> float) ref

@@ -1,0 +1,90 @@
+(* Span-based tracing. [with_ name f] times [f] on the configured
+   clock and emits one JSONL record when the span closes (children
+   therefore appear before their parents in the stream; consumers
+   rebuild the tree from id/parent). The span stack is process-global:
+   the whole pipeline is single-threaded. *)
+
+type frame = {
+  id : int;
+  name : string;
+  parent : int option;
+  depth : int;
+  start : float;
+  mutable attrs : (string * Json.t) list;
+}
+
+let stack : frame list ref = ref []
+
+let current_id () = match !stack with [] -> None | fr :: _ -> Some fr.id
+
+let add_attr key value =
+  match !stack with
+  | fr :: _ when !Core.tracing -> fr.attrs <- fr.attrs @ [ (key, value) ]
+  | _ -> ()
+
+let json_of_parent = function None -> Json.Null | Some id -> Json.Int id
+
+let emit_span fr ~t_end ~error =
+  let base =
+    [
+      ("type", Json.String "span");
+      ("id", Json.Int fr.id);
+      ("parent", json_of_parent fr.parent);
+      ("name", Json.String fr.name);
+      ("depth", Json.Int fr.depth);
+      ("t_start", Json.Float fr.start);
+      ("t_end", Json.Float t_end);
+      ("dur_s", Json.Float (t_end -. fr.start));
+    ]
+  in
+  let base =
+    match error with None -> base | Some e -> base @ [ ("error", Json.String e) ]
+  in
+  let base =
+    match fr.attrs with [] -> base | attrs -> base @ [ ("attrs", Json.Obj attrs) ]
+  in
+  Trace.emit (Json.Obj base)
+
+let with_ ?(attrs = []) name f =
+  if not !Core.tracing then f ()
+  else begin
+    let fr =
+      {
+        id = Trace.next_id ();
+        name;
+        parent = current_id ();
+        depth = List.length !stack;
+        start = Core.now ();
+        attrs;
+      }
+    in
+    stack := fr :: !stack;
+    let finish error =
+      (match !stack with top :: rest when top == fr -> stack := rest | _ -> ());
+      emit_span fr ~t_end:(Core.now ()) ~error
+    in
+    match f () with
+    | v ->
+        finish None;
+        v
+    | exception e ->
+        finish (Some (Printexc.to_string e));
+        raise e
+  end
+
+let event ?(attrs = []) name =
+  if !Core.tracing then begin
+    let base =
+      [
+        ("type", Json.String "event");
+        ("id", Json.Int (Trace.next_id ()));
+        ("span", json_of_parent (current_id ()));
+        ("name", Json.String name);
+        ("ts", Json.Float (Core.now ()));
+      ]
+    in
+    let base =
+      match attrs with [] -> base | attrs -> base @ [ ("attrs", Json.Obj attrs) ]
+    in
+    Trace.emit (Json.Obj base)
+  end

@@ -1,0 +1,22 @@
+(** Span-based tracing around the solver / simulator phases.
+
+    [with_ ~name f] is a no-op wrapper (one branch) unless a
+    {!Trace} sink is installed; when tracing it times [f] on the
+    configured clock and emits one record as the span closes. Records
+    appear in end-time order (children before parents); consumers
+    rebuild the tree from [id]/[parent]. *)
+
+val with_ : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** Run [f] inside a named span. Exceptions are recorded on the span
+    ([error] field) and re-raised. *)
+
+val add_attr : string -> Json.t -> unit
+(** Attach an attribute to the innermost open span (no-op outside any
+    span or when tracing is off). *)
+
+val event : ?attrs:(string * Json.t) list -> string -> unit
+(** Emit a point-in-time event record, linked to the innermost open
+    span when there is one (e.g. detector transitions, repairs). *)
+
+val current_id : unit -> int option
+(** Id of the innermost open span, if any. *)

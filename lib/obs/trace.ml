@@ -1,0 +1,70 @@
+(* Trace sinks: destinations for span and event records. One sink is
+   installed at a time (the common case is a JSONL file opened by the
+   CLI); installing flips the global tracing flag that every span
+   checks, so an uninstalled tracer costs callers one branch. *)
+
+type sink = {
+  emit : Json.t -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+let null = { emit = ignore; flush = ignore; close = ignore }
+
+let to_channel oc =
+  {
+    emit =
+      (fun j ->
+        output_string oc (Json.to_string j);
+        output_char oc '\n');
+    flush = (fun () -> flush oc);
+    close = (fun () -> flush oc);
+  }
+
+let to_file path =
+  let oc = open_out path in
+  let chan = to_channel oc in
+  { chan with close = (fun () -> close_out oc) }
+
+let memory () =
+  let records = ref [] in
+  let sink =
+    { emit = (fun j -> records := j :: !records); flush = ignore; close = ignore }
+  in
+  (sink, fun () -> List.rev !records)
+
+let current : sink option ref = ref None
+
+(* Monotone record/span id source, reset per installed trace so runs
+   produce reproducible ids. *)
+let seq = ref 0
+
+let next_id () =
+  incr seq;
+  !seq
+
+let install sink =
+  (match !current with Some s -> s.close () | None -> ());
+  current := Some sink;
+  seq := 0;
+  Core.tracing := true
+
+let uninstall () =
+  (match !current with Some s -> s.close () | None -> ());
+  current := None;
+  Core.tracing := false
+
+let active () = !Core.tracing
+
+let emit j = match !current with None -> () | Some s -> s.emit j
+
+let flush () = match !current with None -> () | Some s -> s.flush ()
+
+let header fields =
+  if active () then
+    emit
+      (Json.Obj
+         (("type", Json.String "meta")
+         :: ("schema", Json.String "qp-trace/1")
+         :: ("version", Json.String Build_info.version)
+         :: fields))

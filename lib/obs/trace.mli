@@ -1,0 +1,44 @@
+(** Trace sinks — destinations for the JSONL span/event stream.
+
+    One sink is installed at a time; {!install} flips the process-wide
+    tracing flag checked by every {!Span.with_}, so tracing-off costs
+    instrumented code a single branch. Records are one JSON object per
+    line when written through {!to_channel}/{!to_file}. *)
+
+type sink
+
+val null : sink
+val to_channel : out_channel -> sink
+(** Writes one record per line; [close] flushes but does not close the
+    channel (the caller owns it). *)
+
+val to_file : string -> sink
+(** Opens [path] for writing; [close] closes it. *)
+
+val memory : unit -> sink * (unit -> Json.t list)
+(** In-memory sink for tests; the thunk returns records in emission
+    order. *)
+
+val install : sink -> unit
+(** Make [sink] current, closing any previous sink, resetting span ids
+    and enabling tracing. *)
+
+val uninstall : unit -> unit
+(** Close the current sink and disable tracing. Idempotent. *)
+
+val active : unit -> bool
+
+val next_id : unit -> int
+(** Fresh monotone record id (reset by {!install}); used by
+    {!Span}. *)
+
+val emit : Json.t -> unit
+(** Low-level record write (no-op when no sink is installed). *)
+
+val flush : unit -> unit
+
+val header : (string * Json.t) list -> unit
+(** Emit the run-metadata record
+    [{"type":"meta","schema":"qp-trace/1","version":...,...fields}] —
+    the first line of every trace, making runs reproducible from the
+    artifact alone. No-op when tracing is inactive. *)

@@ -20,6 +20,8 @@ let filter_column ~alpha column_of n =
 
 let apply ~alpha (sol : Lp_formulation.fractional) =
   if alpha <= 1. then invalid_arg "Filtering.apply: alpha > 1 required";
+  Qp_obs.Span.with_ "filtering" ~attrs:[ ("alpha", Qp_obs.Json.Float alpha) ]
+  @@ fun () ->
   let n = Array.length sol.Lp_formulation.dist in
   let nu = Array.length sol.Lp_formulation.x_elem.(0) in
   let nq = Array.length sol.Lp_formulation.x_quorum.(0) in

@@ -3,6 +3,7 @@ module Quorum = Qp_quorum.Quorum
 module Strategy = Qp_quorum.Strategy
 module Lp = Qp_lp.Lp
 module Simplex = Qp_lp.Simplex
+module Obs = Qp_obs
 
 type fractional = {
   rank_of_node : int array;
@@ -78,11 +79,19 @@ let solve (s : Problem.ssqpp) =
   let n = Array.length node_of_rank in
   let nu = Quorum.universe s.Problem.system in
   let nq = Quorum.n_quorums s.Problem.system in
+  Obs.Span.with_ "lp_solve"
+    ~attrs:
+      [ ("v0", Obs.Json.Int s.Problem.v0); ("n", Obs.Json.Int n);
+        ("universe", Obs.Json.Int nu); ("quorums", Obs.Json.Int nq) ]
+  @@ fun () ->
   let lp, var_elem, var_quorum = build s in
   match Simplex.solve lp with
-  | Simplex.Infeasible -> None
+  | Simplex.Infeasible ->
+      Obs.Span.add_attr "infeasible" (Obs.Json.Bool true);
+      None
   | Simplex.Unbounded -> assert false (* objective is non-negative *)
   | Simplex.Optimal { x; objective } ->
+      Obs.Span.add_attr "z_star" (Obs.Json.Float objective);
       let clip v = if v < 1e-11 then 0. else if v > 1. then 1. else v in
       let x_elem =
         Array.init n (fun t -> Array.init nu (fun u -> clip x.(var_elem t u)))

@@ -1,4 +1,5 @@
 module Metric = Qp_graph.Metric
+module Obs = Qp_obs
 
 let log_src = Logs.Src.create "qp_place.qpp_solver" ~doc:"Theorem 1.2 solver"
 
@@ -28,10 +29,16 @@ let solve ?(alpha = 2.) ?candidates (p : Problem.qpp) =
           c;
         (c, List.sort_uniq compare c = List.init n (fun v -> v))
   in
+  Obs.Span.with_ "qpp_solve"
+    ~attrs:
+      [ ("alpha", Obs.Json.Float alpha); ("n", Obs.Json.Int n);
+        ("candidates", Obs.Json.Int (List.length candidates)) ]
+  @@ fun () ->
   let best = ref None in
   let bound_acc = ref infinity in
   List.iter
     (fun v0 ->
+      Obs.Span.with_ "candidate" ~attrs:[ ("v0", Obs.Json.Int v0) ] @@ fun () ->
       let s = Problem.ssqpp_of_qpp p v0 in
       match Rounding.solve ~alpha s with
       | None -> Log.debug (fun m -> m "candidate v0=%d: LP infeasible" v0)
@@ -63,15 +70,43 @@ let solve ?(alpha = 2.) ?candidates (p : Problem.qpp) =
   match !best with
   | None -> None
   | Some (objective, v0, r) ->
-      Some
+      let relayed_objective =
+        Obs.Span.with_ "relay" ~attrs:[ ("v0", Obs.Json.Int v0) ] @@ fun () ->
+        Relay.relay_delay_via p r.Rounding.placement v0
+      in
+      let result =
         {
           placement = r.Rounding.placement;
           v0;
           alpha;
           objective;
-          relayed_objective = Relay.relay_delay_via p r.Rounding.placement v0;
+          relayed_objective;
           ssqpp = r;
           lower_bound = (if complete then Some !bound_acc else None);
           load_violation = Placement.max_violation p r.Rounding.placement;
           approx_bound = Relay.bound *. alpha /. (alpha -. 1.);
         }
+      in
+      (* Quality gauges: the same numbers the CLI prints, exported so a
+         metrics dump can be checked against the human output. *)
+      let g name help = Obs.Metrics.gauge ~help Obs.Metrics.default name in
+      Obs.Metrics.set (g "qp_solver_objective" "Avg max-delay of the chosen placement")
+        result.objective;
+      Obs.Metrics.set (g "qp_solver_z_star" "LP optimum Z* of the winning source")
+        r.Rounding.z_star;
+      Obs.Metrics.set
+        (g "qp_solver_delay_bound" "Theorem 3.7 delay bound a/(a-1) * Z*")
+        r.Rounding.delay_bound;
+      Obs.Metrics.set
+        (g "qp_solver_load_violation" "Max load/capacity ratio of the placement")
+        result.load_violation;
+      Obs.Metrics.set (g "qp_solver_load_bound" "Load bound alpha + 1")
+        r.Rounding.load_bound;
+      Obs.Metrics.set (g "qp_solver_approx_bound" "QPP bound 5a/(a-1)")
+        result.approx_bound;
+      (match result.lower_bound with
+      | Some lb -> Obs.Metrics.set (g "qp_solver_lower_bound" "Certified lower bound on OPT") lb
+      | None -> ());
+      Obs.Span.add_attr "v0" (Obs.Json.Int v0);
+      Obs.Span.add_attr "objective" (Obs.Json.Float result.objective);
+      Some result

@@ -2,6 +2,7 @@ module Quorum = Qp_quorum.Quorum
 module Strategy = Qp_quorum.Strategy
 module Gap = Qp_assign.Gap
 module St = Qp_assign.Shmoys_tardos
+module Obs = Qp_obs
 
 type result = {
   placement : Placement.t;
@@ -14,6 +15,9 @@ type result = {
 }
 
 let round_filtered (s : Problem.ssqpp) (flt : Filtering.filtered) =
+  Obs.Span.with_ "rounding"
+    ~attrs:[ ("alpha", Obs.Json.Float flt.Filtering.alpha) ]
+  @@ fun () ->
   let sol = flt.Filtering.sol in
   let n = Array.length sol.Lp_formulation.dist in
   let nu = Quorum.universe s.Problem.system in
@@ -38,15 +42,21 @@ let round_filtered (s : Problem.ssqpp) (flt : Filtering.filtered) =
   let qpp = Problem.qpp_of_ssqpp s in
   let delay = Delay.ssqpp_delay s placement in
   let alpha = flt.Filtering.alpha in
-  {
-    placement;
-    alpha;
-    z_star = sol.Lp_formulation.z_star;
-    delay;
-    delay_bound = alpha /. (alpha -. 1.) *. sol.Lp_formulation.z_star;
-    load_violation = Placement.max_violation qpp placement;
-    load_bound = alpha +. 1.;
-  }
+  let result =
+    {
+      placement;
+      alpha;
+      z_star = sol.Lp_formulation.z_star;
+      delay;
+      delay_bound = alpha /. (alpha -. 1.) *. sol.Lp_formulation.z_star;
+      load_violation = Placement.max_violation qpp placement;
+      load_bound = alpha +. 1.;
+    }
+  in
+  Obs.Span.add_attr "delay" (Obs.Json.Float result.delay);
+  Obs.Span.add_attr "delay_bound" (Obs.Json.Float result.delay_bound);
+  Obs.Span.add_attr "load_violation" (Obs.Json.Float result.load_violation);
+  result
 
 let solve ?(alpha = 2.) (s : Problem.ssqpp) =
   if alpha <= 1. then invalid_arg "Rounding.solve: alpha > 1 required";

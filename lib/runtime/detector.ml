@@ -1,3 +1,5 @@
+module Obs = Qp_obs
+
 type config = { gain : float; suspect_threshold : float }
 
 let default_config = { gain = 0.35; suspect_threshold = 0.6 }
@@ -26,6 +28,10 @@ let suspicion t v = t.suspicion.(v)
 
 let suspected t v = t.suspicion.(v) >= t.config.suspect_threshold
 
+let transition_counter dir =
+  Obs.Metrics.counter ~help:"Detector suspicion-threshold crossings"
+    ~labels:[ ("dir", dir) ] Obs.Metrics.default "qp_detector_transitions_total"
+
 let observe t v ~ok =
   if v < 0 || v >= n_nodes t then invalid_arg "Detector.observe: node out of range";
   let s = t.suspicion.(v) in
@@ -35,7 +41,15 @@ let observe t v ~ok =
   let was = s >= t.config.suspect_threshold in
   let is = s' >= t.config.suspect_threshold in
   t.suspicion.(v) <- s';
-  if was <> is then t.version <- t.version + 1
+  if was <> is then begin
+    t.version <- t.version + 1;
+    let dir = if is then "suspect" else "clear" in
+    Obs.Metrics.inc (transition_counter dir);
+    Obs.Span.event "detector_transition"
+      ~attrs:
+        [ ("node", Obs.Json.Int v); ("dir", Obs.Json.String dir);
+          ("suspicion", Obs.Json.Float s') ]
+  end
 
 let suspected_nodes t =
   let acc = ref [] in

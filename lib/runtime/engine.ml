@@ -1,4 +1,5 @@
 module Rng = Qp_util.Rng
+module Obs = Qp_obs
 module Metric = Qp_graph.Metric
 module Quorum = Qp_quorum.Quorum
 module Strategy = Qp_quorum.Strategy
@@ -106,9 +107,43 @@ type state = {
   mutable last_dead : int list;
 }
 
+(* Engine-level counters, shared across runs in the default registry;
+   handles are fetched once per run so the per-event cost is an
+   enabled-flag branch plus a float add. *)
+type obs_handles = {
+  m_accesses : Obs.Metrics.counter;
+  m_attempts : Obs.Metrics.counter;
+  m_successes : Obs.Metrics.counter;
+  m_hedges_launched : Obs.Metrics.counter;
+  m_hedges_won : Obs.Metrics.counter;
+  m_repairs : Obs.Metrics.counter;
+  m_delay : Obs.Metrics.histogram;
+}
+
+let obs_handles () =
+  let c name help = Obs.Metrics.counter ~help Obs.Metrics.default name in
+  {
+    m_accesses = c "qp_engine_accesses_total" "Accesses issued by the engine";
+    m_attempts = c "qp_engine_attempts_total" "Quorum attempts (incl. retries)";
+    m_successes = c "qp_engine_successes_total" "Accesses that completed a quorum";
+    m_hedges_launched = c "qp_engine_hedges_launched_total" "Hedged second waves launched";
+    m_hedges_won = c "qp_engine_hedges_won_total" "Attempts resolved by the hedged wave";
+    m_repairs = c "qp_engine_repairs_total" "Placement repairs triggered";
+    m_delay =
+      Obs.Metrics.histogram ~help:"Per-access completion delay (successes)"
+        Obs.Metrics.default "qp_engine_access_delay";
+  }
+
 let run cfg =
   validate cfg;
   let n = Problem.n_nodes cfg.problem in
+  let obs = obs_handles () in
+  Obs.Span.with_ "engine_run"
+    ~attrs:
+      [ ("n", Obs.Json.Int n); ("seed", Obs.Json.Int cfg.seed);
+        ("adaptive", Obs.Json.Bool cfg.adaptive);
+        ("repair", Obs.Json.Bool (cfg.repair <> None)) ]
+  @@ fun () ->
   let metric = cfg.problem.Problem.metric in
   let system = cfg.problem.Problem.system in
   let static = cfg.problem.Problem.strategy in
@@ -188,6 +223,14 @@ let run cfg =
               st.placement := r.Repair.placement;
               Adaptive.set_placement adaptive detector r.Repair.placement;
               st.last_repair_time <- now;
+              Obs.Metrics.inc obs.m_repairs;
+              Obs.Span.event "repair"
+                ~attrs:
+                  [ ("time", Obs.Json.Float now);
+                    ("dead", Obs.Json.List (List.map (fun v -> Obs.Json.Int v) dead));
+                    ("moved", Obs.Json.Int (List.length r.Repair.moved));
+                    ("delay_before", Obs.Json.Float r.Repair.delay_before);
+                    ("delay_after", Obs.Json.Float r.Repair.delay_after) ];
               st.repairs <-
                 {
                   time = now;
@@ -214,6 +257,8 @@ let run cfg =
     st.delays_sum <- st.delays_sum +. d;
     st.delay_ewma <- st.delay_ewma +. (0.1 *. (d -. st.delay_ewma));
     st.histogram.(k - 1) <- st.histogram.(k - 1) + 1;
+    Obs.Metrics.inc obs.m_successes;
+    Obs.Metrics.observe obs.m_delay d;
     finish sim
   in
   (* One probe wave = one sampled quorum probed in parallel. An attempt
@@ -225,7 +270,10 @@ let run cfg =
     let timeout = cfg.retry.Retry.timeout in
     let launch_wave ~hedged sim =
       if not !resolved_flag then begin
-        if hedged then st.hedges_launched <- st.hedges_launched + 1;
+        if hedged then begin
+          st.hedges_launched <- st.hedges_launched + 1;
+          Obs.Metrics.inc obs.m_hedges_launched
+        end;
         let qi = Strategy.sample rng (current_strategy ()) in
         let q = Quorum.quorum system qi in
         let hosts =
@@ -248,7 +296,10 @@ let run cfg =
                   let finished = !latest in
                   if finished -. t0 <= timeout +. 1e-12 then begin
                     resolved_flag := true;
-                    if hedged then st.hedges_won <- st.hedges_won + 1;
+                    if hedged then begin
+                      st.hedges_won <- st.hedges_won + 1;
+                      Obs.Metrics.inc obs.m_hedges_won
+                    end;
                     succeed k start0 finished sim
                   end
                 end))
@@ -256,6 +307,7 @@ let run cfg =
       end
     in
     st.attempts_total <- st.attempts_total + 1;
+    Obs.Metrics.inc obs.m_attempts;
     launch_wave ~hedged:false sim;
     (match cfg.retry.Retry.hedge with
     | Some { Retry.after } -> Event.schedule sim (t0 +. after) (launch_wave ~hedged:true)
@@ -283,6 +335,7 @@ let run cfg =
       let remaining = ref cfg.accesses_per_client in
       let rec arrival sim =
         incr accesses;
+        Obs.Metrics.inc obs.m_accesses;
         attempt client 1 (Event.now sim) (Event.now sim) sim;
         decr remaining;
         if !remaining > 0 then
@@ -292,6 +345,9 @@ let run cfg =
     end
   done;
   Event.run sim;
+  Obs.Span.add_attr "accesses" (Obs.Json.Int !accesses);
+  Obs.Span.add_attr "successes" (Obs.Json.Int st.successes);
+  Obs.Span.add_attr "repairs" (Obs.Json.Int (List.length st.repairs));
   {
     n_accesses = !accesses;
     n_success = st.successes;

@@ -1,5 +1,6 @@
 module Rng = Qp_util.Rng
 module Stats = Qp_util.Stats
+module Obs = Qp_obs
 module Metric = Qp_graph.Metric
 module Quorum = Qp_quorum.Quorum
 module Strategy = Qp_quorum.Strategy
@@ -54,6 +55,7 @@ type state = {
   node_probes : int array;
   delays : float Queue.t;
   per_client : Stats.online array;
+  delay_hist : Obs.Metrics.histogram;
   mutable completed : int;
 }
 
@@ -70,6 +72,7 @@ let service_time st =
 let record st client delay =
   Queue.add delay st.delays;
   Stats.online_add st.per_client.(client) delay;
+  Obs.Metrics.observe st.delay_hist delay;
   st.completed <- st.completed + 1
 
 (* Serve a probe arriving now at [node] (FIFO single server); returns
@@ -158,6 +161,13 @@ let run cfg =
     invalid_arg "Access_sim.run: accesses_per_client must be positive";
   if cfg.arrival_rate <= 0. then invalid_arg "Access_sim.run: arrival_rate must be positive";
   let n = Problem.n_nodes cfg.problem in
+  Obs.Span.with_ "access_sim_run"
+    ~attrs:
+      [ ("n", Obs.Json.Int n); ("seed", Obs.Json.Int cfg.seed);
+        ( "protocol",
+          Obs.Json.String
+            (match cfg.protocol with Parallel -> "parallel" | Sequential -> "sequential") ) ]
+  @@ fun () ->
   let st =
     {
       cfg;
@@ -166,6 +176,9 @@ let run cfg =
       node_probes = Array.make n 0;
       delays = Queue.create ();
       per_client = Array.init n (fun _ -> Stats.online_create ());
+      delay_hist =
+        Obs.Metrics.histogram ~help:"Per-access delay (max or total per protocol)"
+          Obs.Metrics.default "qp_sim_access_delay";
       completed = 0;
     }
   in
@@ -203,6 +216,20 @@ let run cfg =
     | Sequential -> Delay.avg_total_delay cfg.problem cfg.placement
   in
   let mean = if Array.length delays = 0 then 0. else Stats.mean delays in
+  let cnt = Obs.Metrics.counter ~help:"Simulated accesses" Obs.Metrics.default
+      "qp_sim_accesses_total" in
+  Obs.Metrics.add cnt (float_of_int st.completed);
+  Obs.Metrics.set
+    (Obs.Metrics.gauge ~help:"Mean simulated access delay" Obs.Metrics.default
+       "qp_sim_mean_delay")
+    mean;
+  Obs.Metrics.set
+    (Obs.Metrics.gauge ~help:"Analytic expected delay of the placement"
+       Obs.Metrics.default "qp_sim_analytic_delay")
+    analytic;
+  Obs.Span.add_attr "accesses" (Obs.Json.Int st.completed);
+  Obs.Span.add_attr "mean_delay" (Obs.Json.Float mean);
+  Obs.Span.add_attr "analytic_delay" (Obs.Json.Float analytic);
   {
     n_accesses = st.completed;
     mean_delay = mean;

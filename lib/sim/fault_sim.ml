@@ -1,4 +1,5 @@
 module Rng = Qp_util.Rng
+module Obs = Qp_obs
 module Metric = Qp_graph.Metric
 module Quorum = Qp_quorum.Quorum
 module Strategy = Qp_quorum.Strategy
@@ -207,10 +208,36 @@ let run_dynamic cfg =
   Sim.run sim;
   (st, !accesses)
 
+(* Shared accounting for both the static and dynamic paths. *)
+let emit_report_metrics report =
+  let c name help v =
+    Obs.Metrics.add (Obs.Metrics.counter ~help Obs.Metrics.default name) v
+  in
+  c "qp_fault_accesses_total" "Fault-injection accesses" (float_of_int report.n_accesses);
+  c "qp_fault_successes_total" "Fault-injection successful accesses"
+    (float_of_int report.n_success);
+  Obs.Metrics.set
+    (Obs.Metrics.gauge ~help:"Observed availability of the last fault-sim run"
+       Obs.Metrics.default "qp_fault_availability")
+    report.availability;
+  Obs.Span.add_attr "accesses" (Obs.Json.Int report.n_accesses);
+  Obs.Span.add_attr "availability" (Obs.Json.Float report.availability);
+  Obs.Span.add_attr "mean_attempts" (Obs.Json.Float report.mean_attempts);
+  report
+
 let run cfg =
   Placement.validate cfg.problem cfg.placement;
   Retry.validate cfg.retry;
   Failure.validate cfg.failure_model;
+  Obs.Span.with_ "fault_sim_run"
+    ~attrs:
+      [ ("seed", Obs.Json.Int cfg.seed);
+        ( "failure_model",
+          Obs.Json.String
+            (match cfg.failure_model with Static _ -> "static" | Dynamic _ -> "dynamic") ) ]
+  @@ fun () ->
+  emit_report_metrics
+  @@
   match cfg.failure_model with
   | Static p ->
       let n = Problem.n_nodes cfg.problem in

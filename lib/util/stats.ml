@@ -26,11 +26,16 @@ let max xs =
   check "max" xs;
   Array.fold_left Stdlib.max xs.(0) xs
 
-let percentile xs q =
-  check "percentile" xs;
+let check_finite name xs =
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) then
+        invalid_arg ("Stats." ^ name ^ ": non-finite input"))
+    xs
+
+(* [sorted] must already be sorted ascending (all elements finite). *)
+let percentile_of_sorted sorted q =
   if q < 0. || q > 100. then invalid_arg "Stats.percentile: q out of range";
-  let sorted = Array.copy xs in
-  Array.sort compare sorted;
   let n = Array.length sorted in
   if n = 1 then sorted.(0)
   else
@@ -39,6 +44,13 @@ let percentile xs q =
     let hi = Stdlib.min (lo + 1) (n - 1) in
     let frac = rank -. float_of_int lo in
     (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let percentile xs q =
+  check "percentile" xs;
+  check_finite "percentile" xs;
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  percentile_of_sorted sorted q
 
 let median xs = percentile xs 50.
 
@@ -54,14 +66,17 @@ type summary = {
 
 let summarize xs =
   check "summarize" xs;
+  check_finite "summarize" xs;
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
   {
-    n = Array.length xs;
-    mean = mean xs;
-    stddev = stddev xs;
-    min = min xs;
-    p50 = percentile xs 50.;
-    p95 = percentile xs 95.;
-    max = max xs;
+    n = Array.length sorted;
+    mean = mean sorted;
+    stddev = stddev sorted;
+    min = sorted.(0);
+    p50 = percentile_of_sorted sorted 50.;
+    p95 = percentile_of_sorted sorted 95.;
+    max = sorted.(Array.length sorted - 1);
   }
 
 let pp_summary ppf s =
@@ -84,3 +99,19 @@ let online_stddev o =
   if o.count < 2 then 0. else sqrt (o.s /. float_of_int (o.count - 1))
 
 let online_count o = o.count
+
+(* Parallel Welford combine (Chan et al.): merging two accumulators is
+   equivalent to having folded both streams into one. *)
+let online_merge a b =
+  let n = a.count + b.count in
+  if n = 0 then online_create ()
+  else begin
+    let na = float_of_int a.count and nb = float_of_int b.count in
+    let nf = float_of_int n in
+    let delta = b.m -. a.m in
+    {
+      count = n;
+      m = a.m +. (delta *. nb /. nf);
+      s = a.s +. b.s +. (delta *. delta *. na *. nb /. nf);
+    }
+  end

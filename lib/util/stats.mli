@@ -13,7 +13,10 @@ val sum : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs q] with [q] in [\[0,100\]]; linear interpolation
-    between order statistics. Input need not be sorted. *)
+    between order statistics (total order via [Float.compare]). Input
+    need not be sorted. NaN and infinities are rejected with
+    [Invalid_argument] — order statistics are meaningless on
+    non-finite data. *)
 
 val median : float array -> float
 
@@ -28,6 +31,9 @@ type summary = {
 }
 
 val summarize : float array -> summary
+(** Sorts once and reads min/p50/p95/max off the sorted copy. Rejects
+    non-finite inputs like {!percentile}. *)
+
 val pp_summary : Format.formatter -> summary -> unit
 
 type online
@@ -38,3 +44,8 @@ val online_add : online -> float -> unit
 val online_mean : online -> float
 val online_stddev : online -> float
 val online_count : online -> int
+
+val online_merge : online -> online -> online
+(** Parallel Welford combine: the result is equivalent (up to
+    roundoff) to folding both input streams into a single accumulator.
+    Inputs are not mutated; either side may be empty. *)

@@ -1,0 +1,349 @@
+(* Telemetry layer: JSON round-trips, metrics registry semantics,
+   histogram quantiles vs the exact Stats.percentile, span
+   nesting/ordering through the memory sink, Prometheus escaping, and
+   the disabled-path no-ops. *)
+
+module Json = Qp_obs.Json
+module Metrics = Qp_obs.Metrics
+module Trace = Qp_obs.Trace
+module Span = Qp_obs.Span
+module Core = Qp_obs.Core
+module Stats = Qp_util.Stats
+module Rng = Qp_util.Rng
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [ ("null", Json.Null); ("yes", Json.Bool true); ("int", Json.Int (-42));
+        ("float", Json.Float 0.1); ("tiny", Json.Float 1.3113021850585938e-05);
+        ("str", Json.String "quote \" backslash \\ newline \n tab \t caf\xc3\xa9");
+        ("list", Json.List [ Json.Int 1; Json.Float 2.5; Json.Obj [] ]) ]
+  in
+  Alcotest.(check bool) "roundtrip" true (Json.of_string (Json.to_string v) = v)
+
+let test_json_nonfinite_is_null () =
+  Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf" "null" (Json.to_string (Json.Float Float.infinity))
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | exception Json.Parse_error _ -> ()
+      | v -> Alcotest.failf "parsed %S as %s" s (Json.to_string v))
+    [ "{bad"; "[1,"; "\"unterminated"; "1 2"; ""; "nul" ]
+
+let test_json_accessors () =
+  let v = Json.of_string {|{"a": 3, "b": 2.5, "c": "x"}|} in
+  Alcotest.(check (option int)) "int" (Some 3) Option.(bind (Json.member "a" v) Json.to_int);
+  Alcotest.(check bool) "widen" true
+    (Option.(bind (Json.member "a" v) Json.to_float) = Some 3.);
+  Alcotest.(check bool) "float" true
+    (Option.(bind (Json.member "b" v) Json.to_float) = Some 2.5);
+  Alcotest.(check (option string)) "str" (Some "x")
+    Option.(bind (Json.member "c" v) Json.to_str);
+  Alcotest.(check bool) "missing" true (Json.member "zz" v = None)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_gauge () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "qp_test_total" in
+  let g = Metrics.gauge r "qp_test_gauge" in
+  Metrics.inc c;
+  Metrics.add c 2.5;
+  Metrics.set g 7.;
+  Metrics.set g (-3.);
+  Alcotest.(check (float 1e-12)) "counter" 3.5 (Metrics.counter_value c);
+  Alcotest.(check (float 1e-12)) "gauge" (-3.) (Metrics.gauge_value g);
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Metrics.add: counters only accept finite non-negative increments")
+    (fun () -> Metrics.add c (-1.));
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics: qp_test_total is not a gauge") (fun () ->
+      ignore (Metrics.gauge r "qp_test_total"));
+  Alcotest.check_raises "invalid name"
+    (Invalid_argument "Metrics: invalid metric name \"0bad name\"") (fun () ->
+      ignore (Metrics.counter r "0bad name"))
+
+let test_bucket_boundaries () =
+  let r = Metrics.create () in
+  let h =
+    Metrics.histogram ~buckets:(Metrics.log_buckets ~lo:1. ~factor:2. ~count:4) r "h"
+  in
+  Alcotest.(check bool) "bounds" true (Metrics.hist_bounds h = [| 1.; 2.; 4.; 8. |]);
+  (* Upper bounds are inclusive (Prometheus le semantics); values past
+     the last bound land in the overflow bucket. *)
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 2.1; 8.0; 9.0 ];
+  Alcotest.(check bool) "per-bucket counts" true
+    (Metrics.hist_bucket_counts h = [| 2; 2; 1; 1; 1 |]);
+  Alcotest.(check int) "count" 7 (Metrics.hist_count h);
+  Alcotest.check_raises "non-finite observation"
+    (Invalid_argument "Metrics.observe: non-finite observation") (fun () ->
+      Metrics.observe h Float.nan)
+
+(* First bucket (le-inclusive) that contains [v]. *)
+let bucket_of bounds v =
+  let n = Array.length bounds in
+  let rec go i = if i >= n || v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+(* The quantile estimate interpolates between per-order-statistic
+   estimates, each guaranteed to lie in its true order statistic's
+   bucket — so the estimate for quantile q must land between the lower
+   edge of the bucket holding order statistic floor(q*(n-1)) and the
+   upper edge of the bucket holding order statistic ceil(q*(n-1)),
+   clamped by the tracked min/max. *)
+let test_quantile_brackets_percentile () =
+  let rng = Rng.create 7 in
+  let bounds = Metrics.log_buckets ~lo:0.01 ~factor:2. ~count:16 in
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~buckets:bounds r "h" in
+  let xs = Array.init 400 (fun _ -> Rng.uniform rng *. 80.) in
+  Array.iter (Metrics.observe h) xs;
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  List.iter
+    (fun q ->
+      let est = Metrics.quantile h q in
+      let rank = q *. float_of_int (n - 1) in
+      let lo_stat = sorted.(int_of_float (Float.floor rank)) in
+      let hi_stat = sorted.(int_of_float (Float.ceil rank)) in
+      let lo_edge =
+        let b = bucket_of bounds lo_stat in
+        Float.max sorted.(0) (if b = 0 then Float.neg_infinity else bounds.(b - 1))
+      in
+      let hi_edge =
+        let b = bucket_of bounds hi_stat in
+        Float.min sorted.(n - 1)
+          (if b = Array.length bounds then Float.infinity else bounds.(b))
+      in
+      if not (est >= lo_edge -. 1e-9 && est <= hi_edge +. 1e-9) then
+        Alcotest.failf "q=%.2f: estimate %g outside [%g, %g] (exact %g)" q est lo_edge
+          hi_edge
+          (Stats.percentile xs (100. *. q)))
+    [ 0.; 0.05; 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 1. ]
+
+let test_quantile_degenerate () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "h" in
+  Alcotest.check_raises "empty" (Invalid_argument "Metrics.quantile: empty histogram")
+    (fun () -> ignore (Metrics.quantile h 0.5));
+  Metrics.observe h 3.25;
+  Alcotest.(check (float 1e-12)) "single q=0.5" 3.25 (Metrics.quantile h 0.5);
+  Alcotest.(check (float 1e-12)) "single q=1" 3.25 (Metrics.quantile h 1.)
+
+let test_histogram_merge () =
+  let r = Metrics.create () in
+  let bounds = Metrics.log_buckets ~lo:0.1 ~factor:4. ~count:6 in
+  let a = Metrics.histogram ~buckets:bounds r "a" in
+  let b = Metrics.histogram ~buckets:bounds r "b" in
+  let combined = Metrics.histogram ~buckets:bounds r "combined" in
+  let rng = Rng.create 11 in
+  for _ = 1 to 200 do
+    let x = Rng.uniform rng *. 30. in
+    Metrics.observe (if Rng.uniform rng < 0.5 then a else b) x;
+    Metrics.observe combined x
+  done;
+  Metrics.merge_histogram ~into:a b;
+  Alcotest.(check bool) "bucket counts" true
+    (Metrics.hist_bucket_counts a = Metrics.hist_bucket_counts combined);
+  Alcotest.(check int) "count" (Metrics.hist_count combined) (Metrics.hist_count a);
+  Alcotest.(check (float 1e-9)) "sum" (Metrics.hist_sum combined) (Metrics.hist_sum a);
+  Alcotest.(check (float 1e-9)) "same quantiles" (Metrics.quantile combined 0.9)
+    (Metrics.quantile a 0.9);
+  let other = Metrics.histogram r "other" in
+  Alcotest.check_raises "bucket mismatch"
+    (Invalid_argument "Metrics.merge_histogram: bucket bounds differ") (fun () ->
+      Metrics.merge_histogram ~into:a other)
+
+let test_disabled_registry_noop () =
+  let r = Metrics.create ~enabled:false () in
+  let c = Metrics.counter r "c" in
+  let g = Metrics.gauge r "g" in
+  let h = Metrics.histogram r "h" in
+  Metrics.inc c;
+  Metrics.add c (-5.) (* not even validated when disabled *);
+  Metrics.set g 9.;
+  Metrics.observe h Float.nan;
+  Alcotest.(check (float 0.)) "counter untouched" 0. (Metrics.counter_value c);
+  Alcotest.(check (float 0.)) "gauge untouched" 0. (Metrics.gauge_value g);
+  Alcotest.(check int) "histogram untouched" 0 (Metrics.hist_count h);
+  Metrics.set_enabled r true;
+  Metrics.inc c;
+  Alcotest.(check (float 0.)) "enabled counts" 1. (Metrics.counter_value c)
+
+let test_prometheus_text () =
+  let r = Metrics.create () in
+  let c =
+    Metrics.counter ~help:"Help text"
+      ~labels:[ ("path", "a\\b \"c\"\nd") ]
+      r "qp_esc_total"
+  in
+  Metrics.inc c;
+  let h = Metrics.histogram ~buckets:[| 1.; 2. |] r "qp_h" in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 5. ];
+  let text = Metrics.to_prometheus r in
+  Alcotest.(check bool) "help" true (contains text "# HELP qp_esc_total Help text");
+  Alcotest.(check bool) "type" true (contains text "# TYPE qp_esc_total counter");
+  Alcotest.(check bool) "escaped label" true
+    (contains text {|path="a\\b \"c\"\nd"|});
+  Alcotest.(check bool) "cumulative buckets" true
+    (contains text "qp_h_bucket{le=\"1\"} 1"
+    && contains text "qp_h_bucket{le=\"2\"} 2"
+    && contains text "qp_h_bucket{le=\"+Inf\"} 3");
+  Alcotest.(check bool) "sum and count" true
+    (contains text "qp_h_sum 7" && contains text "qp_h_count 3")
+
+(* ------------------------------------------------------------------ *)
+(* Trace / Span                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let with_fake_clock_and_sink f =
+  let sink, read = Trace.memory () in
+  let tick = ref 0. in
+  Core.set_clock (fun () ->
+      tick := !tick +. 1.;
+      !tick);
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.uninstall ();
+      Core.default_clock ())
+    (fun () ->
+      Trace.install sink;
+      f read)
+
+let get_int key record =
+  match Option.bind (Json.member key record) Json.to_int with
+  | Some i -> i
+  | None -> Alcotest.failf "missing int field %s in %s" key (Json.to_string record)
+
+let get_str key record =
+  match Option.bind (Json.member key record) Json.to_str with
+  | Some s -> s
+  | None -> Alcotest.failf "missing string field %s in %s" key (Json.to_string record)
+
+let test_span_nesting_and_order () =
+  with_fake_clock_and_sink @@ fun read ->
+  Trace.header [ ("seed", Json.Int 42) ];
+  let result =
+    Span.with_ "outer" ~attrs:[ ("phase", Json.String "test") ] @@ fun () ->
+    Alcotest.(check bool) "current id" true (Span.current_id () <> None);
+    Span.event "ping" ~attrs:[ ("k", Json.Int 1) ];
+    Span.add_attr "extra" (Json.Bool true);
+    let x = Span.with_ "inner" (fun () -> 21) in
+    2 * x
+  in
+  Alcotest.(check int) "result" 42 result;
+  match read () with
+  | [ meta; ping; inner; outer ] ->
+      Alcotest.(check string) "meta type" "meta" (get_str "type" meta);
+      Alcotest.(check string) "schema" "qp-trace/1" (get_str "schema" meta);
+      Alcotest.(check int) "meta seed" 42 (get_int "seed" meta);
+      (* Children and events land before their parent (end-time order);
+         the tree is rebuilt from id/parent. *)
+      let outer_id = get_int "id" outer in
+      Alcotest.(check string) "outer name" "outer" (get_str "name" outer);
+      Alcotest.(check int) "outer depth" 0 (get_int "depth" outer);
+      Alcotest.(check bool) "outer is root" true (Json.member "parent" outer = Some Json.Null);
+      Alcotest.(check string) "event name" "ping" (get_str "name" ping);
+      Alcotest.(check int) "event links span" outer_id (get_int "span" ping);
+      Alcotest.(check string) "inner name" "inner" (get_str "name" inner);
+      Alcotest.(check int) "inner parent" outer_id (get_int "parent" inner);
+      Alcotest.(check int) "inner depth" 1 (get_int "depth" inner);
+      let time key r = Option.get (Option.bind (Json.member key r) Json.to_float) in
+      Alcotest.(check bool) "fake clock ordering" true
+        (time "t_start" outer < time "t_start" inner
+        && time "t_start" inner < time "t_end" inner
+        && time "t_end" inner < time "t_end" outer);
+      let attrs = Option.get (Json.member "attrs" outer) in
+      Alcotest.(check bool) "declared attr" true
+        (Option.bind (Json.member "phase" attrs) Json.to_str = Some "test");
+      Alcotest.(check bool) "added attr" true
+        (Json.member "extra" attrs = Some (Json.Bool true))
+  | records -> Alcotest.failf "expected 4 records, got %d" (List.length records)
+
+let test_span_exception () =
+  with_fake_clock_and_sink @@ fun read ->
+  (try Span.with_ "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  match read () with
+  | [ record ] ->
+      Alcotest.(check string) "name" "boom" (get_str "name" record);
+      Alcotest.(check bool) "error recorded" true (Json.member "error" record <> None)
+  | records -> Alcotest.failf "expected 1 record, got %d" (List.length records)
+
+let test_tracing_off_noop () =
+  Trace.uninstall ();
+  Alcotest.(check bool) "inactive" false (Trace.active ());
+  let ran = ref false in
+  let v =
+    Span.with_ "ghost" (fun () ->
+        ran := true;
+        Alcotest.(check bool) "no current span" true (Span.current_id () = None);
+        Span.event "ghost-event";
+        Span.add_attr "ignored" Json.Null;
+        17)
+  in
+  Alcotest.(check bool) "body ran" true !ran;
+  Alcotest.(check int) "value through" 17 v
+
+let test_jsonl_file_sink () =
+  let path = Filename.temp_file "qp_obs_test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Trace.install (Trace.to_file path);
+  Trace.header [ ("run", Json.String "test") ];
+  Span.with_ "a" (fun () -> Span.with_ "b" ignore);
+  Trace.uninstall ();
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let records = List.rev_map Json.of_string !lines in
+  Alcotest.(check int) "one record per line" 3 (List.length records);
+  Alcotest.(check string) "meta first" "meta" (get_str "type" (List.hd records));
+  Alcotest.(check bool) "spans follow" true
+    (List.for_all (fun r -> get_str "type" r = "span") (List.tl records))
+
+let suites =
+  [
+    ( "obs.json",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "non-finite -> null" `Quick test_json_nonfinite_is_null;
+        Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        Alcotest.test_case "accessors" `Quick test_json_accessors;
+      ] );
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "counter/gauge" `Quick test_counter_gauge;
+        Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+        Alcotest.test_case "quantile brackets percentile" `Quick
+          test_quantile_brackets_percentile;
+        Alcotest.test_case "quantile degenerate" `Quick test_quantile_degenerate;
+        Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+        Alcotest.test_case "disabled registry no-op" `Quick test_disabled_registry_noop;
+        Alcotest.test_case "prometheus text" `Quick test_prometheus_text;
+      ] );
+    ( "obs.trace",
+      [
+        Alcotest.test_case "span nesting and order" `Quick test_span_nesting_and_order;
+        Alcotest.test_case "span exception" `Quick test_span_exception;
+        Alcotest.test_case "tracing off no-op" `Quick test_tracing_off_noop;
+        Alcotest.test_case "jsonl file sink" `Quick test_jsonl_file_sink;
+      ] );
+  ]

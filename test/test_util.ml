@@ -120,6 +120,23 @@ let test_stats_summary () =
   Alcotest.(check int) "n" 3 s.Stats.n;
   check_float "mean" 2. s.Stats.mean
 
+let test_stats_nonfinite () =
+  Alcotest.check_raises "nan rejected"
+    (Invalid_argument "Stats.percentile: non-finite input") (fun () ->
+      ignore (Stats.percentile [| 1.; Float.nan |] 50.));
+  Alcotest.check_raises "inf rejected"
+    (Invalid_argument "Stats.summarize: non-finite input") (fun () ->
+      ignore (Stats.summarize [| 1.; Float.infinity |]))
+
+let test_stats_online_merge_edges () =
+  let a = Stats.online_create () and b = Stats.online_create () in
+  Alcotest.(check int) "empty + empty" 0 (Stats.online_count (Stats.online_merge a b));
+  Array.iter (Stats.online_add a) [| 1.; 2.; 3. |];
+  let one_sided = Stats.online_merge a b in
+  Alcotest.(check int) "count vs empty" 3 (Stats.online_count one_sided);
+  check_float "mean vs empty" 2. (Stats.online_mean one_sided);
+  check_float "stddev vs empty" 1. (Stats.online_stddev one_sided)
+
 (* ------------------------------------------------------------------ *)
 (* Combin                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -228,6 +245,21 @@ let prop_percentile_monotone =
       let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
       Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
 
+let prop_online_merge_matches_single_stream =
+  QCheck.Test.make ~name:"online merge = single stream" ~count:200
+    QCheck.(pair (array (float_range (-50.) 50.)) (array (float_range (-50.) 50.)))
+    (fun (xs, ys) ->
+      let a = Stats.online_create () and b = Stats.online_create () in
+      Array.iter (Stats.online_add a) xs;
+      Array.iter (Stats.online_add b) ys;
+      let merged = Stats.online_merge a b in
+      let single = Stats.online_create () in
+      Array.iter (Stats.online_add single) xs;
+      Array.iter (Stats.online_add single) ys;
+      Stats.online_count merged = Stats.online_count single
+      && Float.abs (Stats.online_mean merged -. Stats.online_mean single) < 1e-9
+      && Float.abs (Stats.online_stddev merged -. Stats.online_stddev single) < 1e-9)
+
 let prop_shuffle_preserves_multiset =
   QCheck.Test.make ~name:"shuffle preserves multiset" ~count:100
     QCheck.(pair small_int (array small_int))
@@ -241,7 +273,8 @@ let prop_shuffle_preserves_multiset =
 
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_binomial_symmetry; prop_percentile_monotone; prop_shuffle_preserves_multiset ]
+    [ prop_binomial_symmetry; prop_percentile_monotone;
+      prop_online_merge_matches_single_stream; prop_shuffle_preserves_multiset ]
 
 let suites =
   [
@@ -267,6 +300,8 @@ let suites =
         Alcotest.test_case "percentile" `Quick test_stats_percentile;
         Alcotest.test_case "empty input" `Quick test_stats_empty;
         Alcotest.test_case "online = batch" `Quick test_stats_online_matches_batch;
+        Alcotest.test_case "non-finite rejected" `Quick test_stats_nonfinite;
+        Alcotest.test_case "online merge edge cases" `Quick test_stats_online_merge_edges;
         Alcotest.test_case "summary" `Quick test_stats_summary;
       ] );
     ( "util.combin",
