@@ -4,7 +4,25 @@
 
 module Rng = Qp_util.Rng
 module Stats = Qp_util.Stats
-module Table = Qp_util.Table
+
+(* Experiments may run concurrently under --jobs N: every print below
+   goes through the domain-local sink of [Qp_par.Io], so an experiment
+   running on a worker domain writes into its own buffer (flushed by
+   the driver in experiment order) while a sequential run still prints
+   straight to stdout — byte-identical output either way. *)
+let print_endline = Qp_par.Io.print_endline
+let print_newline = Qp_par.Io.print_newline
+
+module Printf = struct
+  let sprintf = Stdlib.Printf.sprintf
+  let printf fmt = Qp_par.Io.printf fmt
+end
+
+module Table = struct
+  include Qp_util.Table
+
+  let print t = Qp_par.Io.print_string (Qp_util.Table.render t)
+end
 module Metric = Qp_graph.Metric
 module Generators = Qp_graph.Generators
 module Quorum = Qp_quorum.Quorum

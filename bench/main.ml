@@ -5,42 +5,47 @@
      dune exec bench/main.exe -- e5 f1        # selected experiments
      dune exec bench/main.exe -- micro        # bechamel microbenchmarks
      dune exec bench/main.exe -- --smoke      # fast subset for CI
+     dune exec bench/main.exe -- --jobs N     # worker domains (0 = all cores)
      dune exec bench/main.exe -- --out FILE   # results file (default BENCH_results.json)
 
    Every experiment run also writes a machine-readable summary: per
-   experiment the wall-clock time plus the change in every telemetry
-   series (solver pivots, simulated accesses, ...) recorded while it
-   ran. *)
+   experiment the wall-clock time plus every telemetry series (solver
+   pivots, simulated accesses, ...) recorded while it ran.
+
+   Experiments are independent, so with --jobs N > 1 they run
+   concurrently on the default domain pool. Each experiment gets its
+   own metrics registry and (when parallel) its own output buffer;
+   buffers are flushed and results emitted in experiment order, so
+   stdout and the JSON payload are byte-identical for every worker
+   count — only the wall_s fields move. *)
 
 module Obs = Qp_obs
 
-(* Change in each scalar series across an experiment; series absent
-   before count from zero, unchanged series are dropped. *)
-let series_delta before after =
-  let tbl = Hashtbl.create 64 in
-  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) before;
-  List.filter_map
-    (fun (k, v) ->
-      let d = v -. Option.value ~default:0. (Hashtbl.find_opt tbl k) in
-      if d <> 0. then Some (k, Obs.Json.Float d) else None)
-    after
-
-let run_one name f =
-  let before = Obs.Metrics.scalar_series Obs.Metrics.default in
+(* One experiment: fresh enabled registry scoped over the run, so the
+   recorded series are exactly the experiment's own, no matter which
+   domain executes it or what runs beside it. *)
+let run_one ~buffer name =
+  let reg = Obs.Metrics.create ~enabled:true () in
+  let run () = Obs.Metrics.with_current reg (fun () -> Experiments.by_name name) in
   let t0 = Obs.Core.now () in
-  f ();
+  (match buffer with Some b -> Qp_par.Io.with_buffer b run | None -> run ());
   let wall = Obs.Core.now () -. t0 in
-  let after = Obs.Metrics.scalar_series Obs.Metrics.default in
+  let series =
+    List.filter_map
+      (fun (k, v) -> if v <> 0. then Some (k, Obs.Json.Float v) else None)
+      (Obs.Metrics.scalar_series reg)
+  in
   Obs.Json.Obj
     [ ("experiment", Obs.Json.String name);
       ("wall_s", Obs.Json.Float wall);
-      ("metrics", Obs.Json.Obj (series_delta before after)) ]
+      ("metrics", Obs.Json.Obj series) ]
 
-let write_results path results =
+let write_results path ~jobs results =
   let doc =
     Obs.Json.Obj
-      [ ("schema", Obs.Json.String "qp-bench/1");
+      [ ("schema", Obs.Json.String "qp-bench/2");
         ("version", Obs.Json.String Obs.Build_info.version);
+        ("jobs", Obs.Json.Int jobs);
         ("experiments", Obs.Json.List results) ]
   in
   let oc = open_out path in
@@ -55,6 +60,7 @@ let () =
   let out = ref "BENCH_results.json" in
   let names = ref [] in
   let micro = ref false in
+  let jobs = ref 0 in
   let add ns = names := !names @ ns in
   let rec parse = function
     | [] -> ()
@@ -62,6 +68,12 @@ let () =
         out := path;
         parse rest
     | "--out" :: [] -> failwith "--out requires a FILE argument"
+    | "--jobs" :: n :: rest | "-j" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 0 -> jobs := j
+        | _ -> failwith "--jobs requires a non-negative integer");
+        parse rest
+    | "--jobs" :: [] -> failwith "--jobs requires an integer argument"
     | "--smoke" :: rest ->
         add Experiments.smoke;
         parse rest
@@ -81,7 +93,24 @@ let () =
   let names =
     if !names = [] && not !micro then List.map fst Experiments.registry else !names
   in
-  Obs.Metrics.set_enabled Obs.Metrics.default true;
-  let results = List.map (fun n -> run_one n (fun () -> Experiments.by_name n)) names in
+  let jobs = if !jobs = 0 then Domain.recommended_domain_count () else !jobs in
+  Qp_par.Pool.set_default_jobs jobs;
+  let results =
+    if jobs = 1 then List.map (fun n -> run_one ~buffer:None n) names
+    else begin
+      (* Concurrent experiments print into per-experiment buffers,
+         flushed in order below — same bytes as the sequential path. *)
+      let runs =
+        Qp_par.Pool.parallel_map (Qp_par.Pool.default ())
+          (fun name ->
+            let b = Buffer.create 4096 in
+            let json = run_one ~buffer:(Some b) name in
+            (json, b))
+          (Array.of_list names)
+      in
+      Array.iter (fun (_, b) -> print_string (Buffer.contents b)) runs;
+      Array.to_list (Array.map fst runs)
+    end
+  in
   if !micro then Micro.run ();
-  if results <> [] then write_results !out results
+  if results <> [] then write_results !out ~jobs results

@@ -30,6 +30,7 @@ type run_meta = {
   system : string;
   cap_slack : float;
   seed : int;
+  jobs : int;
   alpha : float option;
   algorithm : string option;
 }
@@ -40,16 +41,26 @@ let meta_fields m =
     ("nodes", Obs.Json.Int m.nodes);
     ("system", Obs.Json.String m.system);
     ("cap_slack", Obs.Json.Float m.cap_slack);
-    ("seed", Obs.Json.Int m.seed) ]
+    ("seed", Obs.Json.Int m.seed);
+    ("jobs", Obs.Json.Int m.jobs) ]
   @ (match m.alpha with Some a -> [ ("alpha", Obs.Json.Float a) ] | None -> [])
   @ match m.algorithm with Some a -> [ ("algorithm", Obs.Json.String a) ] | None -> []
 
 let print_meta m =
-  Printf.printf "run: %s topology=%s nodes=%d system=%s cap-slack=%g seed=%d%s%s version=%s\n"
-    m.command m.topology m.nodes m.system m.cap_slack m.seed
+  Printf.printf
+    "run: %s topology=%s nodes=%d system=%s cap-slack=%g seed=%d jobs=%d%s%s version=%s\n"
+    m.command m.topology m.nodes m.system m.cap_slack m.seed m.jobs
     (match m.alpha with Some a -> Printf.sprintf " alpha=%g" a | None -> "")
     (match m.algorithm with Some a -> " alg=" ^ a | None -> "")
     Obs.Build_info.version
+
+(* --jobs 0 means "all cores"; everything downstream sees the resolved
+   count. All parallel sections are deterministic by construction, so
+   the choice only affects wall-clock time, never output. *)
+let resolve_jobs jobs =
+  let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
+  Qp_par.Pool.set_default_jobs jobs;
+  jobs
 
 (* Run [f] with the requested telemetry sinks live: a JSONL trace
    (header record first) and/or a Prometheus text dump of the default
@@ -138,10 +149,11 @@ let get_problem ~instance ~topology ~nodes ~system_name ~cap_slack ~seed =
   | Some path -> Serialize.load_problem path
   | None -> build_problem ~topology ~nodes ~system_name ~cap_slack ~seed
 
-let solve_cmd topology nodes system_name cap_slack seed algorithm alpha instance save
+let solve_cmd topology nodes system_name cap_slack seed jobs algorithm alpha instance save
     trace metrics =
+  let jobs = resolve_jobs jobs in
   with_obs ~trace ~metrics
-    { command = "solve"; topology; nodes; system = system_name; cap_slack; seed;
+    { command = "solve"; topology; nodes; system = system_name; cap_slack; seed; jobs;
       alpha = Some alpha; algorithm = Some algorithm }
   @@ fun () ->
   let problem = get_problem ~instance ~topology ~nodes ~system_name ~cap_slack ~seed in
@@ -189,9 +201,11 @@ let solve_cmd topology nodes system_name cap_slack seed algorithm alpha instance
       prerr_endline (Printf.sprintf "unknown algorithm %S (lp|total|greedy|random)" other);
       exit 2
 
-let simulate_cmd topology nodes system_name cap_slack seed protocol accesses trace metrics =
+let simulate_cmd topology nodes system_name cap_slack seed jobs protocol accesses trace
+    metrics =
+  let jobs = resolve_jobs jobs in
   with_obs ~trace ~metrics
-    { command = "simulate"; topology; nodes; system = system_name; cap_slack; seed;
+    { command = "simulate"; topology; nodes; system = system_name; cap_slack; seed; jobs;
       alpha = Some 2.; algorithm = Some "lp" }
   @@ fun () ->
   let problem = build_problem ~topology ~nodes ~system_name ~cap_slack ~seed in
@@ -267,9 +281,10 @@ let availability_cmd system_name p =
       (Qp_quorum.Availability.failure_probability_mc rng system p ~samples:100_000)
   end
 
-let faults_cmd topology nodes system_name cap_slack seed p attempts trace metrics =
+let faults_cmd topology nodes system_name cap_slack seed jobs p attempts trace metrics =
+  let jobs = resolve_jobs jobs in
   with_obs ~trace ~metrics
-    { command = "faults"; topology; nodes; system = system_name; cap_slack; seed;
+    { command = "faults"; topology; nodes; system = system_name; cap_slack; seed; jobs;
       alpha = Some 2.; algorithm = Some "lp" }
   @@ fun () ->
   let problem = build_problem ~topology ~nodes ~system_name ~cap_slack ~seed in
@@ -299,10 +314,11 @@ let faults_cmd topology nodes system_name cap_slack seed p attempts trace metric
       Printf.printf "mean delay (ok): %.4f\n" fr.mean_delay_success;
       Printf.printf "mean attempts:   %.2f\n" fr.mean_attempts
 
-let resilience_cmd topology nodes system_name cap_slack seed mtbf mttr attempts accesses
-    hedge no_repair trace metrics =
+let resilience_cmd topology nodes system_name cap_slack seed jobs mtbf mttr attempts
+    accesses hedge no_repair trace metrics =
+  let jobs = resolve_jobs jobs in
   with_obs ~trace ~metrics
-    { command = "resilience"; topology; nodes; system = system_name; cap_slack; seed;
+    { command = "resilience"; topology; nodes; system = system_name; cap_slack; seed; jobs;
       alpha = Some 2.; algorithm = Some "lp" }
   @@ fun () ->
   let problem = build_problem ~topology ~nodes ~system_name ~cap_slack ~seed in
@@ -424,6 +440,11 @@ let cap_slack_t =
 
 let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let jobs_t =
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains for parallel sections (0 = all cores, 1 = sequential). \
+               Results are identical for every N.")
+
 let alpha_t =
   Arg.(value & opt float 2.0 & info [ "alpha" ] ~docv:"A"
          ~doc:"Rounding parameter of Theorem 3.7 (alpha > 1).")
@@ -449,7 +470,7 @@ let metrics_t =
          ~doc:"Write Prometheus-format metrics of the run to FILE.")
 
 let solve_term =
-  Term.(const solve_cmd $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t
+  Term.(const solve_cmd $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t $ jobs_t
         $ algorithm_t $ alpha_t $ instance_t $ save_t $ trace_t $ metrics_t)
 
 let solve_cmd_info = Cmd.info "solve" ~doc:"Place a quorum system on a generated network."
@@ -464,7 +485,7 @@ let accesses_t =
 
 let simulate_term =
   Term.(const simulate_cmd $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t
-        $ protocol_t $ accesses_t $ trace_t $ metrics_t)
+        $ jobs_t $ protocol_t $ accesses_t $ trace_t $ metrics_t)
 
 let simulate_cmd_info =
   Cmd.info "simulate" ~doc:"Solve, then validate the placement in the event simulator."
@@ -493,7 +514,7 @@ let attempts_t =
 
 let faults_term =
   Term.(const faults_cmd $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t
-        $ fail_p_t $ attempts_t $ trace_t $ metrics_t)
+        $ jobs_t $ fail_p_t $ attempts_t $ trace_t $ metrics_t)
 
 let faults_cmd_info =
   Cmd.info "faults" ~doc:"Solve, then run the fault-injection simulator on the placement."
@@ -520,8 +541,8 @@ let resilience_accesses_t =
 
 let resilience_term =
   Term.(const resilience_cmd $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t
-        $ mtbf_t $ mttr_t $ attempts_t $ resilience_accesses_t $ hedge_t $ no_repair_t
-        $ trace_t $ metrics_t)
+        $ jobs_t $ mtbf_t $ mttr_t $ attempts_t $ resilience_accesses_t $ hedge_t
+        $ no_repair_t $ trace_t $ metrics_t)
 
 let resilience_cmd_info =
   Cmd.info "resilience"

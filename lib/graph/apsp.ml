@@ -1,5 +1,7 @@
-let repeated_dijkstra g =
-  Array.init (Graph.n_vertices g) (fun src -> Dijkstra.distances g src)
+let repeated_dijkstra ?pool g =
+  let pool = match pool with Some p -> p | None -> Qp_par.Pool.default () in
+  Qp_par.Pool.parallel_init pool (Graph.n_vertices g) (fun src ->
+      Dijkstra.distances g src)
 
 let floyd_warshall g =
   let n = Graph.n_vertices g in

@@ -4,9 +4,12 @@
     path, used by {!Metric.of_graph}) and Floyd–Warshall (used as a
     cross-check oracle in property tests). *)
 
-val repeated_dijkstra : Graph.t -> float array array
+val repeated_dijkstra : ?pool:Qp_par.Pool.t -> Graph.t -> float array array
 (** Distance matrix via n Dijkstra runs; [infinity] for unreachable
-    pairs. *)
+    pairs. The per-source runs are fanned out over [pool] (default:
+    {!Qp_par.Pool.default}); each row is computed independently by a
+    sequential Dijkstra, so the matrix is bit-identical for any worker
+    count. *)
 
 val floyd_warshall : Graph.t -> float array array
 (** Distance matrix via Floyd–Warshall dynamic programming. *)

@@ -19,11 +19,73 @@ let of_matrix d =
   done;
   { n; d }
 
-let of_graph g =
+(* ------------------------------------------------------------------ *)
+(* APSP cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Bench experiments rebuild structurally identical topologies from
+   the same generator seed, each paying a full APSP. A small
+   fingerprint-keyed cache shares the distance matrix between them;
+   the matrices are immutable by convention (every Metric operation
+   copies), so sharing is safe. Bounded FIFO so long-lived processes
+   cannot grow it without limit; mutex-guarded so worker domains can
+   build metrics concurrently. *)
+
+type fingerprint = int * (int * int * float) list
+
+let cache_capacity = 16
+let cache : (fingerprint, float array array) Hashtbl.t = Hashtbl.create cache_capacity
+let cache_order : fingerprint Queue.t = Queue.create ()
+let cache_lock = Mutex.create ()
+let cache_hits = ref 0
+let cache_misses = ref 0
+
+let fingerprint g : fingerprint = (Graph.n_vertices g, Graph.edges g)
+
+let cache_find key =
+  Mutex.protect cache_lock (fun () ->
+      match Hashtbl.find_opt cache key with
+      | Some d ->
+          incr cache_hits;
+          Some d
+      | None ->
+          incr cache_misses;
+          None)
+
+let cache_insert key d =
+  Mutex.protect cache_lock (fun () ->
+      if not (Hashtbl.mem cache key) then begin
+        if Hashtbl.length cache >= cache_capacity then
+          Hashtbl.remove cache (Queue.pop cache_order);
+        Hashtbl.add cache key d;
+        Queue.push key cache_order
+      end)
+
+let apsp_cache_stats () = (!cache_hits, !cache_misses)
+
+let reset_apsp_cache () =
+  Mutex.protect cache_lock (fun () ->
+      Hashtbl.reset cache;
+      Queue.clear cache_order;
+      cache_hits := 0;
+      cache_misses := 0)
+
+let of_graph ?(cache = true) g =
   if not (Graph.is_connected g) then invalid_arg "Metric.of_graph: disconnected graph";
   let n = Graph.n_vertices g in
-  let d = Array.init n (fun src -> Dijkstra.distances g src) in
-  { n; d }
+  if not cache then { n; d = Apsp.repeated_dijkstra g }
+  else begin
+    let key = fingerprint g in
+    match cache_find key with
+    | Some d -> { n; d }
+    | None ->
+        (* Compute outside the lock: APSP dominates, and a racing
+           duplicate computation is deterministic so either copy may
+           land in the cache. *)
+        let d = Apsp.repeated_dijkstra g in
+        cache_insert key d;
+        { n; d }
+  end
 
 let check_triangle ?(tol = Qp_util.Floatx.eps) t =
   let result = ref None in

@@ -15,9 +15,22 @@ val of_matrix : float array array -> t
     square, symmetric, non-negative, with a zero diagonal. Triangle
     inequality is NOT enforced here; use {!check_triangle}. *)
 
-val of_graph : Graph.t -> t
-(** Shortest-path metric of a connected graph (runs Dijkstra from every
-    vertex). @raise Invalid_argument if the graph is disconnected. *)
+val of_graph : ?cache:bool -> Graph.t -> t
+(** Shortest-path metric of a connected graph (runs Dijkstra from
+    every vertex, fanned out over {!Qp_par.Pool.default}). With
+    [cache] (the default), the distance matrix is memoized in a small
+    process-wide table keyed by graph structure, so callers that
+    regenerate the same topology from the same seed — notably bench
+    experiments — share one APSP computation; pass [~cache:false] to
+    force a fresh computation. @raise Invalid_argument if the graph is
+    disconnected. *)
+
+val apsp_cache_stats : unit -> int * int
+(** [(hits, misses)] of the {!of_graph} APSP cache since start or the
+    last {!reset_apsp_cache}. *)
+
+val reset_apsp_cache : unit -> unit
+(** Empty the APSP cache and zero its statistics (test hook). *)
 
 val check_triangle : ?tol:float -> t -> (int * int * int) option
 (** Returns a violating triple [(i, j, k)] with

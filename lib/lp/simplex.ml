@@ -171,11 +171,11 @@ let solve_internal ?max_pivots lp =
   let rows = Lp.constraints lp in
   let m = List.length rows in
   let solves_c =
-    Obs.Metrics.counter ~help:"Two-phase simplex invocations" Obs.Metrics.default
+    Obs.Metrics.counter ~help:"Two-phase simplex invocations" (Obs.Metrics.current ())
       "qp_simplex_solves_total"
   in
   let pivots_c =
-    Obs.Metrics.counter ~help:"Simplex pivots across both phases" Obs.Metrics.default
+    Obs.Metrics.counter ~help:"Simplex pivots across both phases" (Obs.Metrics.current ())
       "qp_simplex_pivots_total"
   in
   Obs.Metrics.inc solves_c;

@@ -43,6 +43,23 @@ let create ?(enabled = true) () =
    disabled so uninstrumented runs pay only the flag check. *)
 let default = create ~enabled:false ()
 
+(* The registry instrumentation writes to: a domain-local override
+   installed by [with_current]/[with_current_lazy] (the parallel pool
+   scopes every element in one, and the bench driver scopes each
+   experiment), falling back to [default]. Held lazily so scoping a
+   region that never touches a metric allocates nothing. *)
+let current_key : t Lazy.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Lazy.from_val default)
+
+let current () = Lazy.force (Domain.DLS.get current_key)
+
+let with_current_lazy reg f =
+  let old = Domain.DLS.get current_key in
+  Domain.DLS.set current_key reg;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current_key old) f
+
+let with_current reg f = with_current_lazy (Lazy.from_val reg) f
+
 let set_enabled t b = t.enabled := b
 let enabled t = !(t.enabled)
 

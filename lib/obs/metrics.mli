@@ -20,8 +20,24 @@ val create : ?enabled:bool -> unit -> t
 
 val default : t
 (** Shared process-wide registry used by library instrumentation.
-    Starts {e disabled}; [qplace --metrics]/the bench driver enable
-    it. *)
+    Starts {e disabled}; [qplace --metrics] enables it. *)
+
+val current : unit -> t
+(** The registry instrumented code should write to: the innermost
+    domain-local override installed by {!with_current} /
+    {!with_current_lazy}, or {!default} when none is installed on this
+    domain. Instrumentation sites fetch handles through this at run
+    time (not at module init) so a scoped region — a parallel-pool
+    element, a bench experiment — captures its own series. *)
+
+val with_current : t -> (unit -> 'a) -> 'a
+(** Run the callback with the given registry as this domain's
+    {!current} (restored on exit, including on exceptions). *)
+
+val with_current_lazy : t Lazy.t -> (unit -> 'a) -> 'a
+(** Like {!with_current} but the registry is created only if the
+    callback actually touches a metric — the parallel pool uses this
+    to scope every element at negligible cost. *)
 
 val set_enabled : t -> bool -> unit
 val enabled : t -> bool

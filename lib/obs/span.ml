@@ -1,8 +1,11 @@
 (* Span-based tracing. [with_ name f] times [f] on the configured
    clock and emits one JSONL record when the span closes (children
    therefore appear before their parents in the stream; consumers
-   rebuild the tree from id/parent). The span stack is process-global:
-   the whole pipeline is single-threaded. *)
+   rebuild the tree from id/parent). Each domain keeps its own span
+   stack, so spans opened inside parallel-pool workers nest correctly
+   within that worker (they surface as roots rather than children of
+   the submitting domain's open span); record emission itself is
+   serialized by the trace sink. *)
 
 type frame = {
   id : int;
@@ -13,12 +16,14 @@ type frame = {
   mutable attrs : (string * Json.t) list;
 }
 
-let stack : frame list ref = ref []
+let stack_key : frame list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
-let current_id () = match !stack with [] -> None | fr :: _ -> Some fr.id
+let stack () = Domain.DLS.get stack_key
+
+let current_id () = match !(stack ()) with [] -> None | fr :: _ -> Some fr.id
 
 let add_attr key value =
-  match !stack with
+  match !(stack ()) with
   | fr :: _ when !Core.tracing -> fr.attrs <- fr.attrs @ [ (key, value) ]
   | _ -> ()
 
@@ -48,6 +53,7 @@ let emit_span fr ~t_end ~error =
 let with_ ?(attrs = []) name f =
   if not !Core.tracing then f ()
   else begin
+    let stack = stack () in
     let fr =
       {
         id = Trace.next_id ();

@@ -35,13 +35,16 @@ let memory () =
 
 let current : sink option ref = ref None
 
+(* Serializes id allocation and sink writes: spans may close on
+   parallel-pool worker domains while the main domain is also
+   emitting. *)
+let lock = Mutex.create ()
+
 (* Monotone record/span id source, reset per installed trace so runs
    produce reproducible ids. *)
 let seq = ref 0
 
-let next_id () =
-  incr seq;
-  !seq
+let next_id () = Mutex.protect lock (fun () -> incr seq; !seq)
 
 let install sink =
   (match !current with Some s -> s.close () | None -> ());
@@ -56,9 +59,15 @@ let uninstall () =
 
 let active () = !Core.tracing
 
-let emit j = match !current with None -> () | Some s -> s.emit j
+let emit j =
+  match !current with
+  | None -> ()
+  | Some s -> Mutex.protect lock (fun () -> s.emit j)
 
-let flush () = match !current with None -> () | Some s -> s.flush ()
+let flush () =
+  match !current with
+  | None -> ()
+  | Some s -> Mutex.protect lock (fun () -> s.flush ())
 
 let header fields =
   if active () then

@@ -1,0 +1,22 @@
+(* Domain-local output sink: a buffer installed by [with_buffer], or
+   stdout when none is. See the .mli for the concurrency story. *)
+
+let sink : Buffer.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let with_buffer buf f =
+  let old = Domain.DLS.get sink in
+  Domain.DLS.set sink (Some buf);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set sink old) f
+
+let print_string s =
+  match Domain.DLS.get sink with
+  | Some b -> Buffer.add_string b s
+  | None -> Stdlib.print_string s
+
+let print_endline s =
+  print_string s;
+  print_string "\n"
+
+let print_newline () = print_string "\n"
+
+let printf fmt = Printf.ksprintf print_string fmt

@@ -1,0 +1,19 @@
+(** Domain-local output redirection.
+
+    The bench experiments report through these printers instead of
+    [Stdlib.print_*] so the driver can run experiments on worker
+    domains concurrently: each experiment writes into its own buffer
+    (installed with {!with_buffer}) and the driver flushes the buffers
+    in registry order, producing the same bytes as a sequential run.
+    With no buffer installed — the default on every domain — output
+    goes straight to stdout. *)
+
+val with_buffer : Buffer.t -> (unit -> 'a) -> 'a
+(** Redirect this domain's {!print_string}/{!printf} output into [buf]
+    for the duration of the callback (restores the previous sink on
+    exit, including on exceptions). *)
+
+val print_string : string -> unit
+val print_endline : string -> unit
+val print_newline : unit -> unit
+val printf : ('a, unit, string, unit) format4 -> 'a

@@ -20,20 +20,33 @@ let client_max_delay p f v = expected_over_quorums p (quorum_max_delay p f v)
 
 let client_total_delay p f v = expected_over_quorums p (quorum_total_delay p f v)
 
+(* Per-client delays evaluated over the default domain pool. The
+   reduction below always runs sequentially in client order, so the
+   result is bit-identical to a single-core run for any worker
+   count. *)
+let per_client_values n per_client =
+  Qp_par.Pool.parallel_init (Qp_par.Pool.default ()) n per_client
+
 let weighted_avg (p : Problem.qpp) per_client =
   let n = Problem.n_nodes p in
   match p.Problem.client_rates with
   | None ->
+      let values = per_client_values n per_client in
       let acc = ref 0. in
       for v = 0 to n - 1 do
-        acc := !acc +. per_client v
+        acc := !acc +. values.(v)
       done;
       !acc /. float_of_int n
   | Some rates ->
       let total = Array.fold_left ( +. ) 0. rates in
+      (* Rate-zero clients are skipped, not just weighted out, to keep
+         the float-operation sequence of the sequential path. *)
+      let values =
+        per_client_values n (fun v -> if rates.(v) > 0. then per_client v else 0.)
+      in
       let acc = ref 0. in
       for v = 0 to n - 1 do
-        if rates.(v) > 0. then acc := !acc +. (rates.(v) *. per_client v)
+        if rates.(v) > 0. then acc := !acc +. (rates.(v) *. values.(v))
       done;
       !acc /. total
 
@@ -52,4 +65,4 @@ let ssqpp_delay (s : Problem.ssqpp) f =
 
 let all_client_max_delays p f =
   Placement.validate p f;
-  Array.init (Problem.n_nodes p) (fun v -> client_max_delay p f v)
+  per_client_values (Problem.n_nodes p) (fun v -> client_max_delay p f v)

@@ -9,7 +9,12 @@
     [Avg_v Gamma_f(v)].
 
     When the problem carries client rates (Section 6), averages are
-    rate-weighted. *)
+    rate-weighted.
+
+    The per-client scans behind {!avg_max_delay}, {!avg_total_delay}
+    and {!all_client_max_delays} are fanned out over
+    {!Qp_par.Pool.default}; the final reduction always runs in client
+    order, so results are bit-identical for any worker count. *)
 
 val quorum_max_delay : Problem.qpp -> Placement.t -> int -> int -> float
 (** [quorum_max_delay p f v qi] = delta_f(v, Q_qi). *)

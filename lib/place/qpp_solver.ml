@@ -34,39 +34,56 @@ let solve ?(alpha = 2.) ?candidates (p : Problem.qpp) =
       [ ("alpha", Obs.Json.Float alpha); ("n", Obs.Json.Int n);
         ("candidates", Obs.Json.Int (List.length candidates)) ]
   @@ fun () ->
+  (* Candidate sources are independent: fan the LP + rounding + delay
+     evaluation of each out over the default domain pool. The
+     winner/lower-bound folds below run sequentially in candidate
+     order with exactly the sequential path's comparisons, so the
+     chosen placement and certified bound are identical for any worker
+     count (simplex pivot counters recorded inside a candidate are
+     merged back in candidate order by the pool). *)
+  let evaluations =
+    Qp_par.Pool.parallel_map (Qp_par.Pool.default ())
+      (fun v0 ->
+        Obs.Span.with_ "candidate" ~attrs:[ ("v0", Obs.Json.Int v0) ] @@ fun () ->
+        match Rounding.solve ~alpha (Problem.ssqpp_of_qpp p v0) with
+        | None ->
+            Log.debug (fun m -> m "candidate v0=%d: LP infeasible" v0);
+            (v0, None)
+        | Some r ->
+            let objective = Delay.avg_max_delay p r.Rounding.placement in
+            Log.debug (fun m ->
+                m "candidate v0=%d: Z*=%.4f delay=%.4f objective=%.4f" v0
+                  r.Rounding.z_star r.Rounding.delay objective);
+            (* Lower-bound term uses Z*, not the rounded placement. *)
+            let avg_dist =
+              match p.Problem.client_rates with
+              | None -> Metric.average_distance p.Problem.metric v0
+              | Some rates ->
+                  let total = Array.fold_left ( +. ) 0. rates in
+                  let acc = ref 0. in
+                  Array.iteri
+                    (fun v rate ->
+                      if rate > 0. then
+                        acc := !acc +. (rate *. Metric.dist p.Problem.metric v v0))
+                    rates;
+                  !acc /. total
+            in
+            let term = (avg_dist +. r.Rounding.z_star) /. Relay.bound in
+            (v0, Some (objective, term, r)))
+      (Array.of_list candidates)
+  in
   let best = ref None in
   let bound_acc = ref infinity in
-  List.iter
-    (fun v0 ->
-      Obs.Span.with_ "candidate" ~attrs:[ ("v0", Obs.Json.Int v0) ] @@ fun () ->
-      let s = Problem.ssqpp_of_qpp p v0 in
-      match Rounding.solve ~alpha s with
-      | None -> Log.debug (fun m -> m "candidate v0=%d: LP infeasible" v0)
-      | Some r ->
-          let objective = Delay.avg_max_delay p r.Rounding.placement in
-          Log.debug (fun m ->
-              m "candidate v0=%d: Z*=%.4f delay=%.4f objective=%.4f" v0
-                r.Rounding.z_star r.Rounding.delay objective);
-          (* Lower-bound term uses Z*, not the rounded placement. *)
-          let avg_dist =
-            match p.Problem.client_rates with
-            | None -> Metric.average_distance p.Problem.metric v0
-            | Some rates ->
-                let total = Array.fold_left ( +. ) 0. rates in
-                let acc = ref 0. in
-                Array.iteri
-                  (fun v rate ->
-                    if rate > 0. then
-                      acc := !acc +. (rate *. Metric.dist p.Problem.metric v v0))
-                  rates;
-                !acc /. total
-          in
-          let term = (avg_dist +. r.Rounding.z_star) /. Relay.bound in
+  Array.iter
+    (fun (v0, eval) ->
+      match eval with
+      | None -> ()
+      | Some (objective, term, r) ->
           if term < !bound_acc then bound_acc := term;
           (match !best with
           | Some (best_obj, _, _) when best_obj <= objective -> ()
           | _ -> best := Some (objective, v0, r)))
-    candidates;
+    evaluations;
   match !best with
   | None -> None
   | Some (objective, v0, r) ->
@@ -89,7 +106,7 @@ let solve ?(alpha = 2.) ?candidates (p : Problem.qpp) =
       in
       (* Quality gauges: the same numbers the CLI prints, exported so a
          metrics dump can be checked against the human output. *)
-      let g name help = Obs.Metrics.gauge ~help Obs.Metrics.default name in
+      let g name help = Obs.Metrics.gauge ~help (Obs.Metrics.current ()) name in
       Obs.Metrics.set (g "qp_solver_objective" "Avg max-delay of the chosen placement")
         result.objective;
       Obs.Metrics.set (g "qp_solver_z_star" "LP optimum Z* of the winning source")

@@ -30,7 +30,7 @@ let suspected t v = t.suspicion.(v) >= t.config.suspect_threshold
 
 let transition_counter dir =
   Obs.Metrics.counter ~help:"Detector suspicion-threshold crossings"
-    ~labels:[ ("dir", dir) ] Obs.Metrics.default "qp_detector_transitions_total"
+    ~labels:[ ("dir", dir) ] (Obs.Metrics.current ()) "qp_detector_transitions_total"
 
 let observe t v ~ok =
   if v < 0 || v >= n_nodes t then invalid_arg "Detector.observe: node out of range";

@@ -121,7 +121,7 @@ type obs_handles = {
 }
 
 let obs_handles () =
-  let c name help = Obs.Metrics.counter ~help Obs.Metrics.default name in
+  let c name help = Obs.Metrics.counter ~help (Obs.Metrics.current ()) name in
   {
     m_accesses = c "qp_engine_accesses_total" "Accesses issued by the engine";
     m_attempts = c "qp_engine_attempts_total" "Quorum attempts (incl. retries)";
@@ -131,7 +131,7 @@ let obs_handles () =
     m_repairs = c "qp_engine_repairs_total" "Placement repairs triggered";
     m_delay =
       Obs.Metrics.histogram ~help:"Per-access completion delay (successes)"
-        Obs.Metrics.default "qp_engine_access_delay";
+        (Obs.Metrics.current ()) "qp_engine_access_delay";
   }
 
 let run cfg =

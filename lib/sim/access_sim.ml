@@ -178,7 +178,7 @@ let run cfg =
       per_client = Array.init n (fun _ -> Stats.online_create ());
       delay_hist =
         Obs.Metrics.histogram ~help:"Per-access delay (max or total per protocol)"
-          Obs.Metrics.default "qp_sim_access_delay";
+          (Obs.Metrics.current ()) "qp_sim_access_delay";
       completed = 0;
     }
   in
@@ -216,16 +216,16 @@ let run cfg =
     | Sequential -> Delay.avg_total_delay cfg.problem cfg.placement
   in
   let mean = if Array.length delays = 0 then 0. else Stats.mean delays in
-  let cnt = Obs.Metrics.counter ~help:"Simulated accesses" Obs.Metrics.default
+  let cnt = Obs.Metrics.counter ~help:"Simulated accesses" (Obs.Metrics.current ())
       "qp_sim_accesses_total" in
   Obs.Metrics.add cnt (float_of_int st.completed);
   Obs.Metrics.set
-    (Obs.Metrics.gauge ~help:"Mean simulated access delay" Obs.Metrics.default
+    (Obs.Metrics.gauge ~help:"Mean simulated access delay" (Obs.Metrics.current ())
        "qp_sim_mean_delay")
     mean;
   Obs.Metrics.set
     (Obs.Metrics.gauge ~help:"Analytic expected delay of the placement"
-       Obs.Metrics.default "qp_sim_analytic_delay")
+       (Obs.Metrics.current ()) "qp_sim_analytic_delay")
     analytic;
   Obs.Span.add_attr "accesses" (Obs.Json.Int st.completed);
   Obs.Span.add_attr "mean_delay" (Obs.Json.Float mean);

@@ -211,14 +211,14 @@ let run_dynamic cfg =
 (* Shared accounting for both the static and dynamic paths. *)
 let emit_report_metrics report =
   let c name help v =
-    Obs.Metrics.add (Obs.Metrics.counter ~help Obs.Metrics.default name) v
+    Obs.Metrics.add (Obs.Metrics.counter ~help (Obs.Metrics.current ()) name) v
   in
   c "qp_fault_accesses_total" "Fault-injection accesses" (float_of_int report.n_accesses);
   c "qp_fault_successes_total" "Fault-injection successful accesses"
     (float_of_int report.n_success);
   Obs.Metrics.set
     (Obs.Metrics.gauge ~help:"Observed availability of the last fault-sim run"
-       Obs.Metrics.default "qp_fault_availability")
+       (Obs.Metrics.current ()) "qp_fault_availability")
     report.availability;
   Obs.Span.add_attr "accesses" (Obs.Json.Int report.n_accesses);
   Obs.Span.add_attr "availability" (Obs.Json.Float report.availability);
