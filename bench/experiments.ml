@@ -43,19 +43,32 @@ let section title =
 (* Shared instance builders                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Both builders delegate to the shared instance layer; the bench
+   suite's geometric topologies historically use radius 0.45 (the CLI
+   default is 0.4), hence the explicit radius suffix. *)
 let topology name rng n =
-  match name with
-  | "waxman" -> fst (Generators.waxman rng n ())
-  | "geometric" -> fst (Generators.random_geometric rng n 0.45)
-  | other -> failwith ("unknown topology " ^ other)
+  let name = if name = "geometric" then "geometric:0.45" else name in
+  match Qp_instance.Spec.build_topology name n rng with
+  | Ok g -> g
+  | Error e -> failwith (Qp_util.Qp_error.to_string e)
 
 let uniform_problem ~system ~graph ~slack =
-  let strategy = Strategy.uniform system in
-  let loads = Strategy.loads system strategy in
-  let max_load = Array.fold_left Float.max 0. loads in
-  let n = Qp_graph.Graph.n_vertices graph in
-  Problem.of_graph_qpp ~graph ~capacities:(Array.make n (slack *. max_load)) ~system
-    ~strategy ()
+  Qp_instance.Spec.uniform_problem ~graph ~system ~slack
+
+(* Registry dispatch for the experiment solvers. Experiments whose rng
+   is threaded through their own sampling stream (E2, E5's random
+   baseline) keep direct calls: the registry's seed-based params
+   cannot reproduce a mid-stream draw. *)
+let solve_via name ?candidates ?(source = 0) problem =
+  let solver = Solver.find_exn name in
+  let params = { Solver.default_params with Solver.candidates; source } in
+  match solver.Solver.solve params problem with
+  | Ok o -> Some o
+  | Error (Qp_util.Qp_error.Infeasible _) -> None
+  | Error e -> failwith (Qp_util.Qp_error.to_string e)
+
+let detail_or_nan o key =
+  match Outcome.detail o key with Some v -> v | None -> nan
 
 (* ------------------------------------------------------------------ *)
 (* E1 — Theorem 1.2: QPP via LP rounding, alpha sweep                  *)
@@ -324,8 +337,8 @@ let e5 () =
         else "(skipped)"
       in
       let greedy =
-        match Baselines.greedy_closest problem 0 with
-        | Some f -> Delay.ssqpp_delay s f
+        match solve_via "greedy" problem with
+        | Some o -> Delay.ssqpp_delay s o.Outcome.placement
         | None -> nan
       in
       let random =
@@ -400,18 +413,18 @@ let e7 () =
       let n = 11 in
       let graph = topology "geometric" rng n in
       let problem = uniform_problem ~system ~graph ~slack:1.0 in
-      match Total_delay.solve problem with
+      match solve_via "total" problem with
       | None -> Printf.printf "(%s infeasible)\n" name
-      | Some r ->
+      | Some o ->
           let opt =
             match Total_delay.exact_uniform problem with
             | Some (c, _) -> c
             | None -> nan
           in
-          Table.add_rowf tbl "%s|%d|%.4f|%.4f|%.4f|%s|%.2f|2" name n r.Total_delay.lp_cost
-            r.Total_delay.cost opt
-            (if r.Total_delay.cost <= opt +. 1e-9 then "yes" else "NO")
-            r.Total_delay.load_violation)
+          Table.add_rowf tbl "%s|%d|%.4f|%.4f|%.4f|%s|%.2f|2" name n
+            (detail_or_nan o "lp_cost") o.Outcome.objective opt
+            (if o.Outcome.objective <= opt +. 1e-9 then "yes" else "NO")
+            o.Outcome.load_violation)
     [ ("triangle", Simple_qs.triangle ()); ("grid 2x2", Grid_qs.make 2);
       ("grid 3x3", Grid_qs.make 3); ("majority 4/7", Majority_qs.make ~n:7 ~t:4) ];
   Table.print tbl;
@@ -508,14 +521,14 @@ let e8 () =
   List.iter
     (fun (name, system) ->
       let problem = uniform_problem ~system ~graph ~slack:1.3 in
-      match Qpp_solver.solve ~alpha:2. ~candidates:[ 0; 1; 2 ] problem with
+      match solve_via "lp" ~candidates:[ 0; 1; 2 ] problem with
       | None -> ()
       | Some r ->
           List.iter
             (fun (pname, protocol) ->
               let cfg =
                 Qp_sim.Access_sim.default_config ~problem
-                  ~placement:r.Qpp_solver.placement
+                  ~placement:r.Outcome.placement
               in
               let report =
                 Qp_sim.Access_sim.run
@@ -553,12 +566,11 @@ let e9 () =
   List.iter
     (fun slack ->
       let problem = uniform_problem ~system ~graph ~slack in
-      match Qpp_solver.solve ~alpha:2. ~candidates:[ 0; 4; 8 ] problem with
+      match solve_via "lp" ~candidates:[ 0; 4; 8 ] problem with
       | None -> Table.add_rowf tbl "%.1f|infeasible|-|-" slack
       | Some r ->
-          Table.add_rowf tbl "%.1f|%.4f|%d|%.2f" slack r.Qpp_solver.objective
-            (List.length (Placement.used_nodes r.Qpp_solver.placement))
-            r.Qpp_solver.load_violation)
+          Table.add_rowf tbl "%.1f|%.4f|%d|%.2f" slack r.Outcome.objective
+            r.Outcome.nodes_used r.Outcome.load_violation)
     [ 1.0; 1.5; 2.; 4.; 9. ];
   Table.print tbl;
   (* Section 6 extension: non-uniform client rates. *)
@@ -577,14 +589,14 @@ let e9 () =
       let problem =
         Problem.of_graph_qpp ~graph ~capacities ~system ~strategy ?client_rates:rates ()
       in
-      match Qpp_solver.solve ~alpha:2. ~candidates:[ 0; 4; 8 ] problem with
+      match solve_via "lp" ~candidates:[ 0; 4; 8 ] problem with
       | None -> ()
       | Some r ->
-          let f = r.Qpp_solver.placement in
+          let f = r.Outcome.placement in
           let worst =
             Array.fold_left Float.max 0. (Delay.all_client_max_delays problem f)
           in
-          Table.add_rowf tbl2 "%s|%.4f|%.4f|%.4f" label r.Qpp_solver.objective
+          Table.add_rowf tbl2 "%s|%.4f|%.4f|%.4f" label r.Outcome.objective
             (Delay.client_max_delay problem f hot)
             worst)
     [
@@ -618,10 +630,10 @@ let e10 () =
     (fun (name, system) ->
       let strategy = Strategy.uniform system in
       let problem = uniform_problem ~system ~graph ~slack:1.4 in
-      match Qpp_solver.solve ~alpha:2. ~candidates:[ 0; 5; 10 ] problem with
+      match solve_via "lp" ~candidates:[ 0; 5; 10 ] problem with
       | None -> Printf.printf "(%s infeasible)\n" name
       | Some r ->
-          let f = r.Qpp_solver.placement in
+          let f = r.Outcome.placement in
           let sizes = Array.map Array.length (Quorum.quorums system) in
           let fail =
             if Quorum.universe system <= 22 then
@@ -665,8 +677,8 @@ let e11 () =
   let system = Majority_qs.make ~n:5 ~t:3 in
   let problem = uniform_problem ~system ~graph ~slack:1.2 in
   let placement =
-    match Qpp_solver.solve ~alpha:2. ~candidates:[ 0; 6 ] problem with
-    | Some r -> r.Qpp_solver.placement
+    match solve_via "lp" ~candidates:[ 0; 6 ] problem with
+    | Some r -> r.Outcome.placement
     | None -> failwith "infeasible"
   in
   let tbl =
@@ -755,9 +767,9 @@ let e12 () =
   let lin_load = Strategy.system_load lin (Strategy.uniform lin) in
   let system = Grid_qs.make 3 in
   let problem = uniform_problem ~system ~graph ~slack:1.3 in
-  (match Qpp_solver.solve ~alpha:2. ~candidates:[ 0; 6 ] problem with
+  (match solve_via "lp" ~candidates:[ 0; 6 ] problem with
   | Some r ->
-      let f = r.Qpp_solver.placement in
+      let f = r.Outcome.placement in
       let loads = Placement.node_loads problem f in
       let worst = Array.fold_left Float.max 0. loads in
       Printf.printf
@@ -799,10 +811,10 @@ let e13 () =
           let n = 12 in
           let graph = topology topo rng n in
           let problem = uniform_problem ~system ~graph ~slack:1.2 in
-          match Qpp_solver.solve ~alpha:2. ~candidates:[ 0; 6 ] problem with
+          match solve_via "lp" ~candidates:[ 0; 6 ] problem with
           | None -> ()
           | Some r ->
-              let f = r.Qpp_solver.placement in
+              let f = r.Outcome.placement in
               (* Budget = what the placement already uses (cf. the
                  strategy_tuning example). *)
               let achieved = Placement.node_loads problem f in
@@ -867,9 +879,10 @@ let e14 () =
          beyond the LP's practical size - so all systems are placed by
          the same greedy-closest heuristic for a like-for-like
          comparison. *)
-      match Baselines.greedy_closest problem median with
+      match solve_via "greedy" ~source:median problem with
       | None -> Printf.printf "(%s infeasible)\n" name
-      | Some f ->
+      | Some o ->
+          let f = o.Outcome.placement in
           let sizes = Array.map Array.length (Quorum.quorums system) in
           let probes = Probe.estimate probe_rng system ~p:0.1 ~samples:2000 in
           Table.add_rowf tbl "%s|%d|%d|%d|%.3f|%.4f|%.2f" name
@@ -904,10 +917,10 @@ let e15 () =
   let graph = topology "waxman" rng n in
   let system = Grid_qs.make 3 in
   let problem = uniform_problem ~system ~graph ~slack:1.6 in
-  match Qpp_solver.solve ~alpha:2. ~candidates:[ 0; 7 ] problem with
+  match solve_via "lp" ~candidates:[ 0; 7 ] problem with
   | None -> print_endline "(infeasible)"
   | Some solved ->
-      let f = solved.Qpp_solver.placement in
+      let f = solved.Outcome.placement in
       let tbl =
         Table.create
           [ ("dead nodes", Table.Right); ("elements moved", Table.Right);
@@ -954,8 +967,8 @@ let e16 () =
   let system = Majority_qs.make ~n:5 ~t:3 in
   let problem = uniform_problem ~system ~graph ~slack:1.5 in
   let placement =
-    match Qpp_solver.solve ~alpha:2. ~candidates:[ 0; 7 ] problem with
-    | Some r -> r.Qpp_solver.placement
+    match solve_via "lp" ~candidates:[ 0; 7 ] problem with
+    | Some r -> r.Outcome.placement
     | None -> failwith "infeasible"
   in
   let retry =

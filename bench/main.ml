@@ -54,6 +54,12 @@ let write_results path ~jobs results =
   close_out oc;
   Printf.printf "results written to %s\n" path
 
+(* Bad command lines are user errors, not crashes: one-line diagnostic
+   on stderr and the invalid-instance exit code (2), no backtrace. *)
+let usage_fail msg =
+  prerr_endline ("bench: " ^ msg);
+  exit 2
+
 let () =
   print_endline "Quorum Placement in Networks to Minimize Access Delays (PODC'05)";
   print_endline "Experiment reproduction suite - see DESIGN.md / EXPERIMENTS.md";
@@ -67,13 +73,13 @@ let () =
     | "--out" :: path :: rest ->
         out := path;
         parse rest
-    | "--out" :: [] -> failwith "--out requires a FILE argument"
+    | "--out" :: [] -> usage_fail "--out requires a FILE argument"
     | "--jobs" :: n :: rest | "-j" :: n :: rest ->
         (match int_of_string_opt n with
         | Some j when j >= 0 -> jobs := j
-        | _ -> failwith "--jobs requires a non-negative integer");
+        | _ -> usage_fail "--jobs requires a non-negative integer");
         parse rest
-    | "--jobs" :: [] -> failwith "--jobs requires an integer argument"
+    | "--jobs" :: [] -> usage_fail "--jobs requires an integer argument"
     | "--smoke" :: rest ->
         add Experiments.smoke;
         parse rest
@@ -85,7 +91,7 @@ let () =
         parse rest
     | name :: rest ->
         if not (List.mem_assoc name Experiments.registry) then
-          failwith ("unknown experiment " ^ name);
+          usage_fail ("unknown experiment " ^ name);
         add [ name ];
         parse rest
   in

@@ -97,10 +97,30 @@ let mcmf_test =
          done;
          ignore (Qp_assign.Mcmf.min_cost_flow net ~source:0 ~sink:41 ())))
 
+let solve_many_test =
+  (* The Solver batch entry point end-to-end: spec -> problem -> greedy
+     placement over a pool of small instances. *)
+  let problems =
+    List.filter_map
+      (fun seed ->
+        Result.to_option
+          (Qp_instance.Spec.build
+             { Qp_instance.Spec.default with
+               Qp_instance.Spec.topology = "geometric";
+               nodes = 12;
+               system = "grid:2";
+               cap_slack = 1.3;
+               seed }))
+      [ 11; 12; 13; 14; 15; 16; 17; 18 ]
+  in
+  let greedy = Solver.find_exn "greedy" in
+  Test.make ~name:"solve_many greedy (8 x n=12)"
+    (Staged.stage (fun () -> ignore (Solver.solve_many greedy problems)))
+
 let run () =
   let tests =
     [ dijkstra_test; apsp_test; simplex_test; rounding_test; dp_test; layout_test;
-      sim_test; mcmf_test ]
+      sim_test; mcmf_test; solve_many_test ]
   in
   let grouped = Test.make_grouped ~name:"qp" tests in
   let instance = Instance.monotonic_clock in

@@ -5,43 +5,47 @@
      simulate    place and then drive the discrete-event simulator
      gap         print the Appendix-A integrality-gap measurements
      info        describe a quorum system construction
+     solvers     list the registered placement algorithms
      resilience  closed-loop engine vs static baseline under churn
-   Instances are generated from named topologies and constructions,
-   deterministically from --seed. *)
+   Instances are described by one shared {!Qp_instance.Spec.t} record
+   (deterministic from --seed); algorithms are selected by name from
+   the {!Qp_place.Solver} registry. Library errors arrive as typed
+   {!Qp_util.Qp_error.t} values and map to exit codes:
+   infeasible/capacity 1, invalid instance 2, internal 3. *)
 
 module Rng = Qp_util.Rng
 module Table = Qp_util.Table
+module Qp_error = Qp_util.Qp_error
 module Obs = Qp_obs
-module Generators = Qp_graph.Generators
-module Graph = Qp_graph.Graph
+module Spec = Qp_instance.Spec
 module Quorum = Qp_quorum.Quorum
 module Strategy = Qp_quorum.Strategy
 open Qp_place
 
+let ( let* ) = Qp_error.( let* )
+
 (* ------------------------------------------------------------------ *)
-(* Observability plumbing: --trace / --metrics on the solving and      *)
-(* simulating subcommands.                                             *)
+(* Common flags: every instance-driven subcommand shares one spec      *)
+(* record plus the telemetry sinks.                                    *)
 (* ------------------------------------------------------------------ *)
+
+type common = { spec : Spec.t; trace : string option; metrics : string option }
 
 type run_meta = {
   command : string;
-  topology : string;
-  nodes : int;
-  system : string;
-  cap_slack : float;
-  seed : int;
-  jobs : int;
+  spec : Spec.t;
+  jobs : int; (* resolved worker count (spec.jobs with 0 = all cores) *)
   alpha : float option;
   algorithm : string option;
 }
 
 let meta_fields m =
   [ ("command", Obs.Json.String m.command);
-    ("topology", Obs.Json.String m.topology);
-    ("nodes", Obs.Json.Int m.nodes);
-    ("system", Obs.Json.String m.system);
-    ("cap_slack", Obs.Json.Float m.cap_slack);
-    ("seed", Obs.Json.Int m.seed);
+    ("topology", Obs.Json.String m.spec.Spec.topology);
+    ("nodes", Obs.Json.Int m.spec.Spec.nodes);
+    ("system", Obs.Json.String m.spec.Spec.system);
+    ("cap_slack", Obs.Json.Float m.spec.Spec.cap_slack);
+    ("seed", Obs.Json.Int m.spec.Spec.seed);
     ("jobs", Obs.Json.Int m.jobs) ]
   @ (match m.alpha with Some a -> [ ("alpha", Obs.Json.Float a) ] | None -> [])
   @ match m.algorithm with Some a -> [ ("algorithm", Obs.Json.String a) ] | None -> []
@@ -49,7 +53,8 @@ let meta_fields m =
 let print_meta m =
   Printf.printf
     "run: %s topology=%s nodes=%d system=%s cap-slack=%g seed=%d jobs=%d%s%s version=%s\n"
-    m.command m.topology m.nodes m.system m.cap_slack m.seed m.jobs
+    m.command m.spec.Spec.topology m.spec.Spec.nodes m.spec.Spec.system
+    m.spec.Spec.cap_slack m.spec.Spec.seed m.jobs
     (match m.alpha with Some a -> Printf.sprintf " alpha=%g" a | None -> "")
     (match m.algorithm with Some a -> " alg=" ^ a | None -> "")
     Obs.Build_info.version
@@ -64,18 +69,19 @@ let resolve_jobs jobs =
 
 (* Run [f] with the requested telemetry sinks live: a JSONL trace
    (header record first) and/or a Prometheus text dump of the default
-   registry written when the command finishes, even on error. *)
-let with_obs ~trace ~metrics meta f =
-  print_meta meta;
-  (match trace with
+   registry written when the command finishes, even on error.
+   [quiet] suppresses the human-readable meta line (--format json). *)
+let with_obs ?(quiet = false) (c : common) meta f =
+  if not quiet then print_meta meta;
+  (match c.trace with
   | Some path ->
       Obs.Trace.install (Obs.Trace.to_file path);
       Obs.Trace.header (meta_fields meta)
   | None -> ());
-  if metrics <> None then Obs.Metrics.set_enabled Obs.Metrics.default true;
+  if c.metrics <> None then Obs.Metrics.set_enabled Obs.Metrics.default true;
   Fun.protect
     ~finally:(fun () ->
-      (match metrics with
+      (match c.metrics with
       | Some path ->
           let oc = open_out path in
           output_string oc (Obs.Metrics.to_prometheus Obs.Metrics.default);
@@ -84,48 +90,17 @@ let with_obs ~trace ~metrics meta f =
       Obs.Trace.uninstall ())
     f
 
-(* ------------------------------------------------------------------ *)
-(* Instance construction from CLI names                                *)
-(* ------------------------------------------------------------------ *)
+(* Every subcommand body returns [(unit, Qp_error.t) result]; this is
+   the single place errors become diagnostics and exit codes. *)
+let run_result r =
+  match r with
+  | Ok () -> ()
+  | Error e ->
+      prerr_endline ("qplace: " ^ Qp_error.to_string e);
+      exit (Qp_error.exit_code e)
 
-let build_topology name n rng =
-  match name with
-  | "path" -> Generators.path n
-  | "cycle" -> Generators.cycle n
-  | "star" -> Generators.star n
-  | "complete" -> Generators.complete n
-  | "tree" -> Generators.random_tree rng n
-  | "waxman" -> fst (Generators.waxman rng n ())
-  | "geometric" -> fst (Generators.random_geometric rng n 0.4)
-  | "barbell" -> Generators.barbell (n / 2)
-  | other -> failwith (Printf.sprintf "unknown topology %S" other)
-
-let build_system name =
-  match String.split_on_char ':' name with
-  | [ "grid"; k ] -> Qp_quorum.Grid_qs.make (int_of_string k)
-  | [ "majority"; n; t ] ->
-      Qp_quorum.Majority_qs.make ~n:(int_of_string n) ~t:(int_of_string t)
-  | [ "fpp"; q ] -> Qp_quorum.Fpp_qs.make (int_of_string q)
-  | [ "tree"; d ] -> Qp_quorum.Tree_qs.make (int_of_string d)
-  | [ "wheel"; n ] -> Qp_quorum.Simple_qs.wheel (int_of_string n)
-  | [ "star"; n ] -> Qp_quorum.Simple_qs.star (int_of_string n)
-  | [ "triangle" ] -> Qp_quorum.Simple_qs.triangle ()
-  | _ ->
-      failwith
-        (Printf.sprintf
-           "unknown system %S (try grid:3, majority:7:4, fpp:3, tree:2, wheel:5, \
-            star:5, triangle)"
-           name)
-
-let build_problem ~topology ~nodes ~system_name ~cap_slack ~seed =
-  let rng = Rng.create seed in
-  let graph = build_topology topology nodes rng in
-  let system = build_system system_name in
-  let strategy = Strategy.uniform system in
-  let loads = Strategy.loads system strategy in
-  let max_load = Array.fold_left Float.max 0. loads in
-  let capacities = Array.make (Graph.n_vertices graph) (cap_slack *. max_load) in
-  Problem.of_graph_qpp ~graph ~capacities ~system ~strategy ()
+let meta_of ?(command = "solve") ?alpha ?algorithm (c : common) ~jobs =
+  { command; spec = c.spec; jobs; alpha; algorithm }
 
 let describe_placement problem label f =
   let tbl =
@@ -144,97 +119,92 @@ let describe_placement problem label f =
 (* Subcommand implementations                                          *)
 (* ------------------------------------------------------------------ *)
 
-let get_problem ~instance ~topology ~nodes ~system_name ~cap_slack ~seed =
+let get_problem ~instance (c : common) =
   match instance with
   | Some path -> Serialize.load_problem path
-  | None -> build_problem ~topology ~nodes ~system_name ~cap_slack ~seed
+  | None -> Spec.build c.spec
 
-let solve_cmd topology nodes system_name cap_slack seed jobs algorithm alpha instance save
-    trace metrics =
-  let jobs = resolve_jobs jobs in
-  with_obs ~trace ~metrics
-    { command = "solve"; topology; nodes; system = system_name; cap_slack; seed; jobs;
-      alpha = Some alpha; algorithm = Some algorithm }
+(* Solver parameters from the CLI spec. The randomized solver streams
+   from [seed + 1] so "solve" and the instance construction (seeded
+   with [seed]) stay independent. *)
+let params_of (c : common) ~alpha =
+  { Solver.default_params with Solver.alpha; seed = c.spec.Spec.seed + 1 }
+
+let solve_cmd (c : common) algorithm alpha instance save format =
+  run_result
+  @@
+  let* solver = Solver.find algorithm in
+  let* format =
+    match format with
+    | "text" | "json" -> Ok format
+    | other -> Qp_error.invalid_instancef "unknown format %S (text|json)" other
+  in
+  let jobs = resolve_jobs c.spec.Spec.jobs in
+  with_obs ~quiet:(format = "json") c
+    (meta_of c ~jobs ~alpha ~algorithm)
   @@ fun () ->
-  let problem = get_problem ~instance ~topology ~nodes ~system_name ~cap_slack ~seed in
-  (match save with
-  | Some path ->
-      Serialize.save_problem path problem;
-      Printf.printf "instance saved to %s\n" path
-  | None -> ());
-  let rng = Rng.create (seed + 1) in
-  match algorithm with
-  | "lp" -> (
-      match Qpp_solver.solve ~alpha problem with
-      | None ->
-          prerr_endline "infeasible: LP has no solution under these capacities";
-          exit 1
-      | Some r ->
-          Printf.printf "Theorem 1.2 placement via source v0 = %d (alpha = %.2f)\n"
-            r.Qpp_solver.v0 alpha;
-          (match r.Qpp_solver.lower_bound with
-          | Some lb -> Printf.printf "certified lower bound on OPT: %.4f\n" lb
-          | None -> ());
-          describe_placement problem "LP rounding result" r.Qpp_solver.placement)
-  | "total" -> (
-      match Total_delay.solve problem with
-      | None ->
-          prerr_endline "infeasible GAP relaxation";
-          exit 1
-      | Some r ->
-          Printf.printf "Theorem 5.1 total-delay placement (GAP LP %.4f)\n"
-            r.Total_delay.lp_cost;
-          describe_placement problem "total-delay result" r.Total_delay.placement)
-  | "greedy" -> (
-      match Baselines.greedy_closest problem 0 with
-      | None ->
-          prerr_endline "greedy failed to fit";
-          exit 1
-      | Some f -> describe_placement problem "greedy-closest result" f)
-  | "random" -> (
-      match Baselines.random rng problem with
-      | None ->
-          prerr_endline "no feasible random placement found";
-          exit 1
-      | Some f -> describe_placement problem "random feasible result" f)
-  | other ->
-      prerr_endline (Printf.sprintf "unknown algorithm %S (lp|total|greedy|random)" other);
-      exit 2
+  let* problem = get_problem ~instance c in
+  let* () =
+    match save with
+    | Some path ->
+        let* () = Serialize.save_problem path problem in
+        if format <> "json" then Printf.printf "instance saved to %s\n" path;
+        Ok ()
+    | None -> Ok ()
+  in
+  let* outcome = solver.Solver.solve (params_of c ~alpha) problem in
+  if format = "json" then print_endline (Serialize.outcome_to_string outcome)
+  else begin
+    List.iter print_endline (solver.Solver.headline outcome);
+    describe_placement problem solver.Solver.label outcome.Outcome.placement
+  end;
+  Ok ()
 
-let simulate_cmd topology nodes system_name cap_slack seed jobs protocol accesses trace
-    metrics =
-  let jobs = resolve_jobs jobs in
-  with_obs ~trace ~metrics
-    { command = "simulate"; topology; nodes; system = system_name; cap_slack; seed; jobs;
-      alpha = Some 2.; algorithm = Some "lp" }
+let simulate_cmd (c : common) protocol accesses =
+  run_result
+  @@
+  let* solver = Solver.find "lp" in
+  let* protocol =
+    match protocol with
+    | "parallel" -> Ok Qp_sim.Access_sim.Parallel
+    | "sequential" -> Ok Qp_sim.Access_sim.Sequential
+    | other -> Qp_error.invalid_instancef "unknown protocol %S (parallel|sequential)" other
+  in
+  let jobs = resolve_jobs c.spec.Spec.jobs in
+  with_obs c (meta_of c ~command:"simulate" ~jobs ~alpha:2. ~algorithm:"lp")
   @@ fun () ->
-  let problem = build_problem ~topology ~nodes ~system_name ~cap_slack ~seed in
-  match Qpp_solver.solve ~alpha:2. problem with
-  | None ->
-      prerr_endline "infeasible";
-      exit 1
-  | Some r ->
-      let protocol =
-        match protocol with
-        | "parallel" -> Qp_sim.Access_sim.Parallel
-        | "sequential" -> Qp_sim.Access_sim.Sequential
-        | other -> failwith (Printf.sprintf "unknown protocol %S" other)
-      in
-      let cfg =
-        Qp_sim.Access_sim.default_config ~problem ~placement:r.Qpp_solver.placement
-      in
-      let report =
-        Qp_sim.Access_sim.run
-          { cfg with Qp_sim.Access_sim.protocol; accesses_per_client = accesses; seed }
-      in
-      let open Qp_sim.Access_sim in
-      Printf.printf "accesses: %d\n" report.n_accesses;
-      Printf.printf "simulated mean delay: %.4f\n" report.mean_delay;
-      Printf.printf "analytic delay:       %.4f\n" report.analytic_delay;
-      Printf.printf "relative error:       %.3f%%\n" (100. *. report.relative_error);
-      Format.printf "summary: %a@." Qp_util.Stats.pp_summary report.delay_summary
+  let* problem = Spec.build c.spec in
+  let* outcome = solver.Solver.solve (params_of c ~alpha:2.) problem in
+  let cfg =
+    Qp_sim.Access_sim.default_config ~problem
+      ~placement:outcome.Outcome.placement
+  in
+  let report =
+    Qp_sim.Access_sim.run
+      { cfg with
+        Qp_sim.Access_sim.protocol;
+        accesses_per_client = accesses;
+        seed = c.spec.Spec.seed }
+  in
+  let open Qp_sim.Access_sim in
+  Printf.printf "accesses: %d\n" report.n_accesses;
+  Printf.printf "simulated mean delay: %.4f\n" report.mean_delay;
+  Printf.printf "analytic delay:       %.4f\n" report.analytic_delay;
+  Printf.printf "relative error:       %.3f%%\n" (100. *. report.relative_error);
+  Format.printf "summary: %a@." Qp_util.Stats.pp_summary report.delay_summary;
+  Ok ()
 
-let gap_cmd max_k =
+let gap_cmd (c : common) max_k =
+  run_result
+  @@
+  let* () =
+    if max_k < 2 then Qp_error.invalid_instancef "max-k must be at least 2 (got %d)" max_k
+    else Ok ()
+  in
+  let jobs = resolve_jobs c.spec.Spec.jobs in
+  with_obs c (meta_of c ~command:"gap" ~jobs)
+  @@ fun () ->
+  Qp_error.guard @@ fun () ->
   let tbl =
     Table.create ~title:"Integrality gap of LP (9)-(14) on the Figure-1 family"
       [ ("k", Table.Right); ("n = k^2", Table.Right); ("LP value", Table.Right);
@@ -245,10 +215,16 @@ let gap_cmd max_k =
     Table.add_rowf tbl "%d|%d|%.4f|%.1f|%.2f" k r.Integrality.n r.Integrality.lp_value
       r.Integrality.integral_opt r.Integrality.gap
   done;
-  Table.print tbl
+  Table.print tbl;
+  Ok ()
 
-let info_cmd system_name =
-  let system = build_system system_name in
+let info_cmd (c : common) =
+  run_result
+  @@
+  let jobs = resolve_jobs c.spec.Spec.jobs in
+  with_obs c (meta_of c ~command:"info" ~jobs)
+  @@ fun () ->
+  let* system = Spec.build_system c.spec.Spec.system in
   let strategy = Strategy.uniform system in
   let loads = Strategy.loads system strategy in
   Printf.printf "universe size:   %d\n" (Quorum.universe system);
@@ -263,10 +239,16 @@ let info_cmd system_name =
   Printf.printf "balanced loads:  %b\n"
     (Array.for_all (fun l -> Qp_util.Floatx.approx l loads.(0)) loads);
   Printf.printf "is coterie:      %b\n" (Quorum.is_coterie system);
-  Printf.printf "intersecting:    %b\n" (Quorum.all_intersecting system)
+  Printf.printf "intersecting:    %b\n" (Quorum.all_intersecting system);
+  Ok ()
+
+let solvers_cmd () =
+  print_string (Solver.registry_table_markdown ())
 
 let availability_cmd system_name p =
-  let system = build_system system_name in
+  run_result
+  @@
+  let* system = Spec.build_system system_name in
   Printf.printf "resilience:           %d\n%!" (Qp_quorum.Availability.resilience system);
   Printf.printf "Naor-Wool load bound: %.4f\n%!"
     (Qp_quorum.Availability.naor_wool_load_lower_bound system);
@@ -279,128 +261,134 @@ let availability_cmd system_name p =
     let rng = Rng.create 1 in
     Printf.printf "failure prob (p=%.2f): %.6f (Monte-Carlo, 100k samples)\n" p
       (Qp_quorum.Availability.failure_probability_mc rng system p ~samples:100_000)
-  end
+  end;
+  Ok ()
 
-let faults_cmd topology nodes system_name cap_slack seed jobs p attempts trace metrics =
-  let jobs = resolve_jobs jobs in
-  with_obs ~trace ~metrics
-    { command = "faults"; topology; nodes; system = system_name; cap_slack; seed; jobs;
-      alpha = Some 2.; algorithm = Some "lp" }
+let faults_cmd (c : common) p attempts =
+  run_result
+  @@
+  let* solver = Solver.find "lp" in
+  let jobs = resolve_jobs c.spec.Spec.jobs in
+  with_obs c (meta_of c ~command:"faults" ~jobs ~alpha:2. ~algorithm:"lp")
   @@ fun () ->
-  let problem = build_problem ~topology ~nodes ~system_name ~cap_slack ~seed in
-  match Qpp_solver.solve ~alpha:2. problem with
-  | None ->
-      prerr_endline "infeasible";
-      exit 1
-  | Some r ->
-      let base =
-        Qp_sim.Fault_sim.default_config ~problem ~placement:r.Qpp_solver.placement
-          ~failure_model:(Qp_sim.Fault_sim.Static p)
-      in
-      let cfg =
-        {
-          base with
-          Qp_sim.Fault_sim.retry =
-            { base.Qp_sim.Fault_sim.retry with Qp_runtime.Retry.max_attempts = attempts };
-          accesses_per_client = 1000;
-          seed;
-        }
-      in
-      let fr = Qp_sim.Fault_sim.run cfg in
-      let open Qp_sim.Fault_sim in
-      Printf.printf "accesses:        %d\n" fr.n_accesses;
-      Printf.printf "availability:    %.4f (iid prediction %.4f)\n" fr.availability
-        fr.predicted_success;
-      Printf.printf "mean delay (ok): %.4f\n" fr.mean_delay_success;
-      Printf.printf "mean attempts:   %.2f\n" fr.mean_attempts
+  let* problem = Spec.build c.spec in
+  let* outcome = solver.Solver.solve (params_of c ~alpha:2.) problem in
+  let base =
+    Qp_sim.Fault_sim.default_config ~problem
+      ~placement:outcome.Outcome.placement
+      ~failure_model:(Qp_sim.Fault_sim.Static p)
+  in
+  let cfg =
+    {
+      base with
+      Qp_sim.Fault_sim.retry =
+        { base.Qp_sim.Fault_sim.retry with Qp_runtime.Retry.max_attempts = attempts };
+      accesses_per_client = 1000;
+      seed = c.spec.Spec.seed;
+    }
+  in
+  let fr = Qp_sim.Fault_sim.run cfg in
+  let open Qp_sim.Fault_sim in
+  Printf.printf "accesses:        %d\n" fr.n_accesses;
+  Printf.printf "availability:    %.4f (iid prediction %.4f)\n" fr.availability
+    fr.predicted_success;
+  Printf.printf "mean delay (ok): %.4f\n" fr.mean_delay_success;
+  Printf.printf "mean attempts:   %.2f\n" fr.mean_attempts;
+  Ok ()
 
-let resilience_cmd topology nodes system_name cap_slack seed jobs mtbf mttr attempts
-    accesses hedge no_repair trace metrics =
-  let jobs = resolve_jobs jobs in
-  with_obs ~trace ~metrics
-    { command = "resilience"; topology; nodes; system = system_name; cap_slack; seed; jobs;
-      alpha = Some 2.; algorithm = Some "lp" }
+let resilience_cmd (c : common) mtbf mttr attempts accesses hedge no_repair =
+  run_result
+  @@
+  let* solver = Solver.find "lp" in
+  let jobs = resolve_jobs c.spec.Spec.jobs in
+  with_obs c (meta_of c ~command:"resilience" ~jobs ~alpha:2. ~algorithm:"lp")
   @@ fun () ->
-  let problem = build_problem ~topology ~nodes ~system_name ~cap_slack ~seed in
-  match Qpp_solver.solve ~alpha:2. problem with
-  | None ->
-      prerr_endline "infeasible";
-      exit 1
-  | Some r ->
-      let placement = r.Qpp_solver.placement in
-      let module Failure = Qp_runtime.Failure in
-      let module Retry = Qp_runtime.Retry in
-      let module Engine = Qp_runtime.Engine in
-      let failure = Failure.Dynamic { mtbf; mttr } in
-      let timeout = 4. *. Qp_graph.Metric.diameter problem.Problem.metric in
-      let retry =
-        if hedge then
-          Retry.exponential ~jitter:0.2 ~hedge_after:(0.5 *. timeout) ~timeout
-            ~base:(0.2 *. timeout) ~max_attempts:attempts ()
-        else Retry.fixed ~timeout ~max_attempts:attempts
-      in
-      (* Static baseline at the same retry budget and failure trajectory. *)
-      let sr =
-        Qp_sim.Fault_sim.run
-          { (Qp_sim.Fault_sim.default_config ~problem ~placement ~failure_model:failure) with
-            Qp_sim.Fault_sim.retry = Retry.fixed ~timeout ~max_attempts:attempts;
-            accesses_per_client = accesses;
-            seed }
-      in
-      let cfg =
-        { (Engine.default_config ~adaptive:true
-             ?repair:(if no_repair then None else Some Engine.default_trigger)
-             ~problem ~placement ~failure ()) with
-          Engine.retry; accesses_per_client = accesses; seed }
-      in
-      let er = Engine.run cfg in
-      Printf.printf "dynamic churn: mtbf %.1f, mttr %.1f (node availability %.3f)\n" mtbf
-        mttr (Failure.node_availability failure);
-      Printf.printf "retry budget:  %d attempts, timeout %.3f%s\n" attempts timeout
-        (if hedge then ", hedged + exponential backoff" else ", fixed");
-      let tbl =
-        Table.create ~title:"static baseline vs closed-loop engine"
-          [ ("metric", Table.Left); ("static", Table.Right); ("engine", Table.Right) ]
-      in
-      Table.add_rowf tbl "availability|%.4f|%.4f" sr.Qp_sim.Fault_sim.availability
-        er.Engine.availability;
-      Table.add_rowf tbl "mean delay (ok)|%.4f|%.4f" sr.Qp_sim.Fault_sim.mean_delay_success
-        er.Engine.mean_delay_success;
-      Table.add_rowf tbl "mean attempts|%.2f|%.2f" sr.Qp_sim.Fault_sim.mean_attempts
-        er.Engine.mean_attempts;
-      Table.print tbl;
-      Printf.printf "analytic failure-free delay: %.4f\n" er.Engine.analytic_delay;
-      if hedge then
-        Printf.printf "hedges: %d launched, %d won the race\n" er.Engine.hedges_launched
-          er.Engine.hedges_won;
-      (match er.Engine.repairs with
-      | [] -> print_endline "repairs: none triggered"
-      | rs ->
-          Printf.printf "repairs: %d triggered\n" (List.length rs);
-          List.iter
-            (fun (ev : Engine.repair_event) ->
-              Printf.printf
-                "  t=%8.2f  dead {%s}  moved %d  delay %.4f -> %.4f\n" ev.Engine.time
-                (String.concat ", " (List.map string_of_int ev.Engine.dead))
-                ev.Engine.moved ev.Engine.delay_before ev.Engine.delay_after)
-            rs);
-      (match er.Engine.final_suspected with
-      | [] -> print_endline "final suspected set: empty"
-      | s ->
-          Printf.printf "final suspected set: {%s}\n"
-            (String.concat ", " (List.map string_of_int s)))
+  let* problem = Spec.build c.spec in
+  let* outcome = solver.Solver.solve (params_of c ~alpha:2.) problem in
+  let placement = outcome.Outcome.placement in
+  let seed = c.spec.Spec.seed in
+  let module Failure = Qp_runtime.Failure in
+  let module Retry = Qp_runtime.Retry in
+  let module Engine = Qp_runtime.Engine in
+  let failure = Failure.Dynamic { mtbf; mttr } in
+  let timeout = 4. *. Qp_graph.Metric.diameter problem.Problem.metric in
+  let retry =
+    if hedge then
+      Retry.exponential ~jitter:0.2 ~hedge_after:(0.5 *. timeout) ~timeout
+        ~base:(0.2 *. timeout) ~max_attempts:attempts ()
+    else Retry.fixed ~timeout ~max_attempts:attempts
+  in
+  (* Static baseline at the same retry budget and failure trajectory. *)
+  let sr =
+    Qp_sim.Fault_sim.run
+      { (Qp_sim.Fault_sim.default_config ~problem ~placement ~failure_model:failure) with
+        Qp_sim.Fault_sim.retry = Retry.fixed ~timeout ~max_attempts:attempts;
+        accesses_per_client = accesses;
+        seed }
+  in
+  let cfg =
+    { (Engine.default_config ~adaptive:true
+         ?repair:(if no_repair then None else Some Engine.default_trigger)
+         ~problem ~placement ~failure ()) with
+      Engine.retry; accesses_per_client = accesses; seed }
+  in
+  let er = Engine.run cfg in
+  Printf.printf "dynamic churn: mtbf %.1f, mttr %.1f (node availability %.3f)\n" mtbf
+    mttr (Failure.node_availability failure);
+  Printf.printf "retry budget:  %d attempts, timeout %.3f%s\n" attempts timeout
+    (if hedge then ", hedged + exponential backoff" else ", fixed");
+  let tbl =
+    Table.create ~title:"static baseline vs closed-loop engine"
+      [ ("metric", Table.Left); ("static", Table.Right); ("engine", Table.Right) ]
+  in
+  Table.add_rowf tbl "availability|%.4f|%.4f" sr.Qp_sim.Fault_sim.availability
+    er.Engine.availability;
+  Table.add_rowf tbl "mean delay (ok)|%.4f|%.4f" sr.Qp_sim.Fault_sim.mean_delay_success
+    er.Engine.mean_delay_success;
+  Table.add_rowf tbl "mean attempts|%.2f|%.2f" sr.Qp_sim.Fault_sim.mean_attempts
+    er.Engine.mean_attempts;
+  Table.print tbl;
+  Printf.printf "analytic failure-free delay: %.4f\n" er.Engine.analytic_delay;
+  if hedge then
+    Printf.printf "hedges: %d launched, %d won the race\n" er.Engine.hedges_launched
+      er.Engine.hedges_won;
+  (match er.Engine.repairs with
+  | [] -> print_endline "repairs: none triggered"
+  | rs ->
+      Printf.printf "repairs: %d triggered\n" (List.length rs);
+      List.iter
+        (fun (ev : Engine.repair_event) ->
+          Printf.printf
+            "  t=%8.2f  dead {%s}  moved %d  delay %.4f -> %.4f\n" ev.Engine.time
+            (String.concat ", " (List.map string_of_int ev.Engine.dead))
+            ev.Engine.moved ev.Engine.delay_before ev.Engine.delay_after)
+        rs);
+  (match er.Engine.final_suspected with
+  | [] -> print_endline "final suspected set: empty"
+  | s ->
+      Printf.printf "final suspected set: {%s}\n"
+        (String.concat ", " (List.map string_of_int s)));
+  Ok ()
 
 let eval_cmd instance placement =
-  let problem = Serialize.load_problem instance in
-  let f = Serialize.placement_of_string placement in
+  run_result
+  @@
+  let* problem = Serialize.load_problem instance in
+  let* f = Serialize.placement_of_string placement in
+  let* () = Qp_error.of_invalid_arg (fun () -> Placement.validate problem f) in
+  Qp_error.guard @@ fun () ->
   describe_placement problem "evaluation" f;
   let a = Relay.analyze problem f in
   Printf.printf "relay analysis: v0 = %d, direct %.4f, relayed %.4f (ratio %.3f <= 5)\n"
-    a.Relay.v0 a.Relay.direct a.Relay.relayed a.Relay.ratio
+    a.Relay.v0 a.Relay.direct a.Relay.relayed a.Relay.ratio;
+  Ok ()
 
 let design_cmd topology nodes seed =
+  run_result
+  @@
   let rng = Rng.create seed in
-  let graph = build_topology topology nodes rng in
+  let* graph = Spec.build_topology topology nodes rng in
+  Qp_error.guard @@ fun () ->
   let metric = Qp_graph.Metric.of_graph graph in
   let module Design = Qp_design.Design in
   let radius = Design.minmax_optimal_radius metric in
@@ -415,7 +403,8 @@ let design_cmd topology nodes seed =
   Printf.printf "  lower bound on OPT: %.4f\n" (Design.minavg_lower_bound metric);
   Printf.printf
     "  (note: the Lin design has system load 1 - the concentration the paper's\n\
-    \   placement formulation exists to avoid)\n"
+    \   placement formulation exists to avoid)\n";
+  Ok ()
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner wiring                                                     *)
@@ -445,13 +434,30 @@ let jobs_t =
          ~doc:"Worker domains for parallel sections (0 = all cores, 1 = sequential). \
                Results are identical for every N.")
 
+let trace_t =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a JSONL span/event trace of the run to FILE.")
+
+let metrics_t =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write Prometheus-format metrics of the run to FILE.")
+
+let common_t =
+  let mk topology nodes system cap_slack seed jobs trace metrics =
+    { spec = { Spec.topology; nodes; system; cap_slack; seed; jobs };
+      trace; metrics }
+  in
+  Term.(const mk $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t
+        $ jobs_t $ trace_t $ metrics_t)
+
 let alpha_t =
   Arg.(value & opt float 2.0 & info [ "alpha" ] ~docv:"A"
          ~doc:"Rounding parameter of Theorem 3.7 (alpha > 1).")
 
 let algorithm_t =
   Arg.(value & opt string "lp" & info [ "alg" ] ~docv:"ALG"
-         ~doc:"Algorithm: lp (Thm 1.2), total (Thm 5.1), greedy, random.")
+         ~doc:"Algorithm (see the solvers subcommand): lp (Thm 1.2), total (Thm 5.1), \
+               greedy, random, exact, grid, majority, partial.")
 
 let instance_t =
   Arg.(value & opt (some string) None & info [ "instance" ] ~docv:"FILE"
@@ -461,17 +467,13 @@ let save_t =
   Arg.(value & opt (some string) None & info [ "save-instance" ] ~docv:"FILE"
          ~doc:"Save the instance to FILE before solving.")
 
-let trace_t =
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-         ~doc:"Write a JSONL span/event trace of the run to FILE.")
-
-let metrics_t =
-  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
-         ~doc:"Write Prometheus-format metrics of the run to FILE.")
+let format_t =
+  Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT"
+         ~doc:"Output format: text (human-readable) or json (one qp-solve/1 object).")
 
 let solve_term =
-  Term.(const solve_cmd $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t $ jobs_t
-        $ algorithm_t $ alpha_t $ instance_t $ save_t $ trace_t $ metrics_t)
+  Term.(const solve_cmd $ common_t $ algorithm_t $ alpha_t $ instance_t $ save_t
+        $ format_t)
 
 let solve_cmd_info = Cmd.info "solve" ~doc:"Place a quorum system on a generated network."
 
@@ -483,9 +485,7 @@ let accesses_t =
   Arg.(value & opt int 500 & info [ "accesses" ] ~docv:"K"
          ~doc:"Accesses per client in the simulation.")
 
-let simulate_term =
-  Term.(const simulate_cmd $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t
-        $ jobs_t $ protocol_t $ accesses_t $ trace_t $ metrics_t)
+let simulate_term = Term.(const simulate_cmd $ common_t $ protocol_t $ accesses_t)
 
 let simulate_cmd_info =
   Cmd.info "simulate" ~doc:"Solve, then validate the placement in the event simulator."
@@ -493,13 +493,18 @@ let simulate_cmd_info =
 let max_k_t =
   Arg.(value & opt int 8 & info [ "max-k" ] ~docv:"K" ~doc:"Largest k for the gap series.")
 
-let gap_term = Term.(const gap_cmd $ max_k_t)
+let gap_term = Term.(const gap_cmd $ common_t $ max_k_t)
 
 let gap_cmd_info = Cmd.info "gap" ~doc:"Reproduce the Appendix-A integrality gap series."
 
-let info_term = Term.(const info_cmd $ system_t)
+let info_term = Term.(const info_cmd $ common_t)
 
 let info_cmd_info = Cmd.info "info" ~doc:"Describe a quorum system construction."
+
+let solvers_term = Term.(const solvers_cmd $ const ())
+
+let solvers_cmd_info =
+  Cmd.info "solvers" ~doc:"List the registered placement algorithms and their guarantees."
 
 let fail_p_t =
   Arg.(value & opt float 0.1 & info [ "fail-prob" ] ~docv:"P" ~doc:"Per-node failure probability.")
@@ -512,9 +517,7 @@ let availability_cmd_info =
 let attempts_t =
   Arg.(value & opt int 3 & info [ "attempts" ] ~docv:"K" ~doc:"Quorum retries per access.")
 
-let faults_term =
-  Term.(const faults_cmd $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t
-        $ jobs_t $ fail_p_t $ attempts_t $ trace_t $ metrics_t)
+let faults_term = Term.(const faults_cmd $ common_t $ fail_p_t $ attempts_t)
 
 let faults_cmd_info =
   Cmd.info "faults" ~doc:"Solve, then run the fault-injection simulator on the placement."
@@ -540,9 +543,8 @@ let resilience_accesses_t =
          ~doc:"Accesses per client in the simulation.")
 
 let resilience_term =
-  Term.(const resilience_cmd $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t
-        $ jobs_t $ mtbf_t $ mttr_t $ attempts_t $ resilience_accesses_t $ hedge_t
-        $ no_repair_t $ trace_t $ metrics_t)
+  Term.(const resilience_cmd $ common_t $ mtbf_t $ mttr_t $ attempts_t
+        $ resilience_accesses_t $ hedge_t $ no_repair_t)
 
 let resilience_cmd_info =
   Cmd.info "resilience"
@@ -574,6 +576,7 @@ let main_cmd =
       Cmd.v simulate_cmd_info simulate_term;
       Cmd.v gap_cmd_info gap_term;
       Cmd.v info_cmd_info info_term;
+      Cmd.v solvers_cmd_info solvers_term;
       Cmd.v availability_cmd_info availability_term;
       Cmd.v faults_cmd_info faults_term;
       Cmd.v resilience_cmd_info resilience_term;

@@ -73,7 +73,8 @@ let bellman_ford t source =
       end
     done
   done;
-  if !changed then failwith "Mcmf: negative cycle detected";
+  if !changed then
+    raise (Qp_util.Qp_error.Error (Internal "Mcmf: negative cycle detected"));
   dist
 
 let min_cost_flow t ~source ~sink ?(max_flow = max_int) () =

@@ -95,7 +95,9 @@ let round (g : Gap.t) y =
     slots;
   let flow, _ = Mcmf.min_cost_flow net ~source ~sink () in
   if flow <> g.n_jobs then
-    failwith "Shmoys_tardos.round: integral matching incomplete (numerical trouble)";
+    raise
+      (Qp_util.Qp_error.Error
+         (Internal "Shmoys_tardos.round: integral matching incomplete (numerical trouble)"));
   let assignment = Array.make g.n_jobs (-1) in
   List.iter
     (fun (src, dst, fl, _) ->

@@ -22,7 +22,10 @@ type rounded = {
 val round : Gap.t -> float array array -> rounded
 (** [round gap y] rounds a fractional solution [y] (machine -> job ->
     fraction; rows summing to 1 per job over machines).
-    @raise Invalid_argument if [y] is not a fractional assignment. *)
+    @raise Invalid_argument if [y] is not a fractional assignment.
+    @raise Qp_util.Qp_error.Error [(Internal _)] if the extracted
+    matching is incomplete (numerical trouble; caught at the
+    solver-engine boundary). *)
 
 val solve : Gap.t -> rounded option
 (** LP solve ({!Gap_lp.solve}) followed by {!round}; [None] if the

@@ -1,0 +1,96 @@
+module Rng = Qp_util.Rng
+module Qp_error = Qp_util.Qp_error
+module Generators = Qp_graph.Generators
+module Graph = Qp_graph.Graph
+module Strategy = Qp_quorum.Strategy
+
+type t = {
+  topology : string;
+  nodes : int;
+  system : string;
+  cap_slack : float;
+  seed : int;
+  jobs : int;
+}
+
+let default =
+  { topology = "waxman"; nodes = 16; system = "grid:3"; cap_slack = 1.0;
+    seed = 1; jobs = 0 }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "spec(topology=%s nodes=%d system=%s cap-slack=%g seed=%d jobs=%d)"
+    t.topology t.nodes t.system t.cap_slack t.seed t.jobs
+
+let topology_names =
+  "path|cycle|star|complete|tree|waxman|geometric[:R]|barbell"
+
+let build_topology name n rng =
+  Qp_error.guard @@ fun () ->
+  match name with
+  | "path" -> Ok (Generators.path n)
+  | "cycle" -> Ok (Generators.cycle n)
+  | "star" -> Ok (Generators.star n)
+  | "complete" -> Ok (Generators.complete n)
+  | "tree" -> Ok (Generators.random_tree rng n)
+  | "waxman" -> Ok (fst (Generators.waxman rng n ()))
+  | "geometric" -> Ok (fst (Generators.random_geometric rng n 0.4))
+  | "barbell" -> Ok (Generators.barbell (n / 2))
+  | other -> (
+      match String.split_on_char ':' other with
+      | [ "geometric"; r ] -> (
+          match float_of_string_opt r with
+          | Some radius when Float.is_finite radius && radius > 0. ->
+              Ok (fst (Generators.random_geometric rng n radius))
+          | _ ->
+              Qp_error.invalid_instancef "bad geometric radius %S" r)
+      | _ ->
+          Qp_error.invalid_instancef "unknown topology %S (%s)" other
+            topology_names)
+
+let build_system name =
+  Qp_error.guard @@ fun () ->
+  let pint s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None ->
+        raise
+          (Qp_error.Error
+             (Qp_error.Invalid_instance
+                (Printf.sprintf "bad integer %S in system %S" s name)))
+  in
+  match String.split_on_char ':' name with
+  | [ "grid"; k ] -> Ok (Qp_quorum.Grid_qs.make (pint k))
+  | [ "majority"; n; t ] ->
+      Ok (Qp_quorum.Majority_qs.make ~n:(pint n) ~t:(pint t))
+  | [ "fpp"; q ] -> Ok (Qp_quorum.Fpp_qs.make (pint q))
+  | [ "tree"; d ] -> Ok (Qp_quorum.Tree_qs.make (pint d))
+  | [ "wheel"; n ] -> Ok (Qp_quorum.Simple_qs.wheel (pint n))
+  | [ "star"; n ] -> Ok (Qp_quorum.Simple_qs.star (pint n))
+  | [ "triangle" ] -> Ok (Qp_quorum.Simple_qs.triangle ())
+  | _ ->
+      Qp_error.invalid_instancef
+        "unknown system %S (try grid:3, majority:7:4, fpp:3, tree:2, wheel:5, \
+         star:5, triangle)"
+        name
+
+let uniform_problem ~graph ~system ~slack =
+  let strategy = Strategy.uniform system in
+  let loads = Strategy.loads system strategy in
+  let max_load = Array.fold_left Float.max 0. loads in
+  let capacities = Array.make (Graph.n_vertices graph) (slack *. max_load) in
+  Qp_place.Problem.of_graph_qpp ~graph ~capacities ~system ~strategy ()
+
+let build spec =
+  let ( let* ) = Qp_error.( let* ) in
+  if spec.nodes <= 0 then
+    Qp_error.invalid_instancef "nodes must be positive (got %d)" spec.nodes
+  else if not (Float.is_finite spec.cap_slack && spec.cap_slack > 0.) then
+    Qp_error.invalid_instancef "cap-slack must be a positive finite number (got %g)"
+      spec.cap_slack
+  else
+    Qp_error.guard @@ fun () ->
+    let rng = Rng.create spec.seed in
+    let* graph = build_topology spec.topology spec.nodes rng in
+    let* system = build_system spec.system in
+    Ok (uniform_problem ~graph ~system ~slack:spec.cap_slack)

@@ -137,7 +137,9 @@ let optimize t cost ~allowed ~max_pivots =
         update_reduced_costs t r ~row:!row ~col;
         incr pivots;
         if !pivots > max_pivots then
-          failwith "Simplex: pivot budget exceeded (numerical trouble?)";
+          raise
+            (Qp_util.Qp_error.Error
+               (Internal "Simplex: pivot budget exceeded (numerical trouble?)"));
         (* Degenerate pivots (zero ratio) do not improve the objective;
            a long streak of them triggers the switch to Bland's rule,
            which guarantees termination. *)

@@ -13,8 +13,9 @@ type outcome =
 
 val solve : ?max_pivots:int -> Lp.t -> outcome
 (** Solves [minimize c.x  s.t. rows, x >= 0]. [max_pivots] defaults to
-    [50_000 + 50 * (rows + vars)]; exceeding it raises [Failure]
-    (a safety net, not a tuning knob). On [Optimal], the returned point
+    [50_000 + 50 * (rows + vars)]; exceeding it raises
+    [Qp_util.Qp_error.Error (Internal _)] (a safety net, not a tuning
+    knob — caught at the solver-engine boundary). On [Optimal], the returned point
     satisfies every row to within [1e-6] relative tolerance — asserted
     internally. *)
 

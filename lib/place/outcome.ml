@@ -1,0 +1,69 @@
+type t = {
+  solver : string;
+  placement : Placement.t;
+  objective : float;
+  avg_max_delay : float;
+  avg_total_delay : float;
+  lower_bound : float option;
+  load_violation : float;
+  load_bound : float option;
+  approx_bound : float option;
+  nodes_used : int;
+  detail : (string * float) list;
+}
+
+let make ~solver ~problem ~placement ~objective ?avg_max_delay ?avg_total_delay
+    ?lower_bound ?load_bound ?approx_bound ?(detail = []) () =
+  let avg_max_delay =
+    match avg_max_delay with
+    | Some d -> d
+    | None -> Delay.avg_max_delay problem placement
+  in
+  let avg_total_delay =
+    match avg_total_delay with
+    | Some d -> d
+    | None -> Delay.avg_total_delay problem placement
+  in
+  {
+    solver;
+    placement;
+    objective;
+    avg_max_delay;
+    avg_total_delay;
+    lower_bound;
+    load_violation = Placement.max_violation problem placement;
+    load_bound;
+    approx_bound;
+    nodes_used = List.length (Placement.used_nodes placement);
+    detail;
+  }
+
+let detail t key = List.assoc_opt key t.detail
+
+let equal_float_opt a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> Float.equal x y
+  | _ -> false
+
+let equal a b =
+  String.equal a.solver b.solver
+  && a.placement = b.placement
+  && Float.equal a.objective b.objective
+  && Float.equal a.avg_max_delay b.avg_max_delay
+  && Float.equal a.avg_total_delay b.avg_total_delay
+  && equal_float_opt a.lower_bound b.lower_bound
+  && Float.equal a.load_violation b.load_violation
+  && equal_float_opt a.load_bound b.load_bound
+  && equal_float_opt a.approx_bound b.approx_bound
+  && a.nodes_used = b.nodes_used
+  && List.length a.detail = List.length b.detail
+  && List.for_all2
+       (fun (ka, va) (kb, vb) -> String.equal ka kb && Float.equal va vb)
+       a.detail b.detail
+
+let pp ppf t =
+  Format.fprintf ppf
+    "outcome(%s: objective=%g avg-max=%g avg-total=%g violation=%g nodes=%d)"
+    t.solver t.objective t.avg_max_delay t.avg_total_delay t.load_violation
+    t.nodes_used

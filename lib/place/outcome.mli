@@ -1,0 +1,59 @@
+(** The common result shape every registered solver returns.
+
+    Each algorithm in {!Solver} historically invented its own record
+    ([Qpp_solver.result], [Total_delay.result], bare placements, ...).
+    [Outcome.t] is the shared denominator the engine exposes: the
+    placement, the solver's own objective value, both paper objectives
+    evaluated on the placement, the certified lower bound when one
+    exists, load accounting against the declared capacity blow-up, and
+    a flat [detail] list of per-stage diagnostics (winning source,
+    LP value, rounds, ...) for telemetry and JSON export. *)
+
+type t = {
+  solver : string; (* registry name of the producing solver *)
+  placement : Placement.t;
+  objective : float;
+      (* the solver's own objective on [placement] (avg max-delay for
+         QPP solvers, Delta_f(v0) for single-source layouts, avg
+         total-delay for the GAP route) *)
+  avg_max_delay : float; (* Avg_v Delta_f(v) on [placement] *)
+  avg_total_delay : float; (* Avg_v Gamma_f(v) on [placement] *)
+  lower_bound : float option;
+      (* certified lower bound on the optimum of [objective] *)
+  load_violation : float; (* max_v load_f(v)/cap(v) *)
+  load_bound : float option;
+      (* the solver's declared bound on [load_violation]; [None] when
+         the formulation has no capacity constraint *)
+  approx_bound : float option;
+      (* declared approximation factor on [objective], when proven *)
+  nodes_used : int;
+  detail : (string * float) list;
+      (* per-solver diagnostics, e.g. [("v0", 13.); ("z_star", 0.3)] *)
+}
+
+val make :
+  solver:string ->
+  problem:Problem.qpp ->
+  placement:Placement.t ->
+  objective:float ->
+  ?avg_max_delay:float ->
+  ?avg_total_delay:float ->
+  ?lower_bound:float ->
+  ?load_bound:float ->
+  ?approx_bound:float ->
+  ?detail:(string * float) list ->
+  unit ->
+  t
+(** Fills the derived fields: the two paper objectives are evaluated
+    on [placement] unless the caller already computed them,
+    [load_violation] via {!Placement.max_violation}, [nodes_used] via
+    {!Placement.used_nodes}. *)
+
+val detail : t -> string -> float option
+(** Lookup in the [detail] list. *)
+
+val equal : t -> t -> bool
+(** Structural equality (float fields compared exactly — used by the
+    serialization round-trip tests). *)
+
+val pp : Format.formatter -> t -> unit

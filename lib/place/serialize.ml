@@ -1,5 +1,7 @@
 module Metric = Qp_graph.Metric
 module Quorum = Qp_quorum.Quorum
+module Qp_error = Qp_util.Qp_error
+module Json = Qp_obs.Json
 
 let float_row xs =
   String.concat " " (Array.to_list (Array.map (fun x -> Printf.sprintf "%.17g" x) xs))
@@ -45,7 +47,14 @@ let problem_to_string (p : Problem.qpp) =
 
 type cursor = { lines : string array; mutable pos : int }
 
-let fail cur msg = failwith (Printf.sprintf "Serialize: line %d: %s" (cur.pos + 1) msg)
+(* Raises [Qp_error.Error (Invalid_instance _)]; the public entry
+   points run under [Qp_error.guard], so callers only ever see a
+   [result]. *)
+let fail cur msg =
+  raise
+    (Qp_error.Error
+       (Qp_error.Invalid_instance
+          (Printf.sprintf "Serialize: line %d: %s" (cur.pos + 1) msg)))
 
 let next_line cur =
   if cur.pos >= Array.length cur.lines then fail cur "unexpected end of input";
@@ -81,7 +90,7 @@ let parse_keyword_int cur keyword =
       | None -> fail cur (Printf.sprintf "bad integer %S" v))
   | _ -> fail cur (Printf.sprintf "expected %S <int>" keyword)
 
-let problem_of_string text =
+let problem_of_string_exn text =
   (* Blank lines are insignificant. *)
   let lines =
     List.filter
@@ -128,31 +137,169 @@ let problem_of_string text =
     with Invalid_argument msg -> fail cur ("invalid metric: " ^ msg)
   in
   let system =
-    try Quorum.make ~universe quorums
-    with Invalid_argument msg -> fail cur ("invalid quorum system: " ^ msg)
+    match Quorum.make_checked ~universe quorums with
+    | Ok s -> s
+    | Error (Qp_error.Invalid_instance msg) ->
+        fail cur ("invalid quorum system: " ^ msg)
+    | Error e -> raise (Qp_error.Error e)
   in
   try Problem.make_qpp ~metric ~capacities ~system ~strategy ?client_rates:rates ()
   with Invalid_argument msg -> fail cur ("invalid problem: " ^ msg)
+
+let problem_of_string text =
+  Qp_error.of_invalid_arg (fun () -> problem_of_string_exn text)
 
 let placement_to_string f =
   String.concat " " (Array.to_list (Array.map string_of_int f))
 
 let placement_of_string s =
-  Array.of_list
-    (List.map
-       (fun tok ->
-         match int_of_string_opt tok with
-         | Some v -> v
-         | None -> failwith (Printf.sprintf "Serialize: bad placement token %S" tok))
-       (tokens (String.trim s)))
+  Qp_error.of_invalid_arg (fun () ->
+      Array.of_list
+        (List.map
+           (fun tok ->
+             match int_of_string_opt tok with
+             | Some v -> v
+             | None ->
+                 raise
+                   (Qp_error.Error
+                      (Qp_error.Invalid_instance
+                         (Printf.sprintf "Serialize: bad placement token %S" tok))))
+           (tokens (String.trim s))))
 
 let save_problem path p =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc (problem_to_string p))
+  match
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        output_string oc (problem_to_string p))
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error (Qp_error.Invalid_instance msg)
 
 let load_problem path =
-  let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-      let size = in_channel_length ic in
-      problem_of_string (really_input_string ic size))
+  match
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        let size = in_channel_length ic in
+        really_input_string ic size)
+  with
+  | text -> problem_of_string text
+  | exception Sys_error msg -> Error (Qp_error.Invalid_instance msg)
+
+(* ------------------------------------------------------------------ *)
+(* Outcome JSON                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_schema = "qp-solve/1"
+
+let outcome_to_json (o : Outcome.t) =
+  let fopt = function Some v -> Json.Float v | None -> Json.Null in
+  Json.Obj
+    [ ("schema", Json.String outcome_schema);
+      ("solver", Json.String o.Outcome.solver);
+      ( "placement",
+        Json.List
+          (Array.to_list (Array.map (fun v -> Json.Int v) o.Outcome.placement)) );
+      ("objective", Json.Float o.Outcome.objective);
+      ("avg_max_delay", Json.Float o.Outcome.avg_max_delay);
+      ("avg_total_delay", Json.Float o.Outcome.avg_total_delay);
+      ("lower_bound", fopt o.Outcome.lower_bound);
+      ("load_violation", Json.Float o.Outcome.load_violation);
+      ("load_bound", fopt o.Outcome.load_bound);
+      ("approx_bound", fopt o.Outcome.approx_bound);
+      ("nodes_used", Json.Int o.Outcome.nodes_used);
+      ( "detail",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) o.Outcome.detail) )
+    ]
+
+let outcome_of_json j =
+  let open Qp_error in
+  let ( let* ) = Qp_error.( let* ) in
+  let str key =
+    match Option.bind (Json.member key j) Json.to_str with
+    | Some s -> Ok s
+    | None -> invalid_instancef "outcome JSON: missing string field %S" key
+  in
+  let num key =
+    match Option.bind (Json.member key j) Json.to_float with
+    | Some v -> Ok v
+    | None -> invalid_instancef "outcome JSON: missing numeric field %S" key
+  in
+  let int key =
+    match Option.bind (Json.member key j) Json.to_int with
+    | Some v -> Ok v
+    | None -> invalid_instancef "outcome JSON: missing integer field %S" key
+  in
+  let opt key =
+    match Json.member key j with
+    | None | Some Json.Null -> Ok None
+    | Some v -> (
+        match Json.to_float v with
+        | Some f -> Ok (Some f)
+        | None -> invalid_instancef "outcome JSON: field %S is not numeric" key)
+  in
+  let* schema = str "schema" in
+  if schema <> outcome_schema then
+    invalid_instancef "outcome JSON: schema %S (expected %S)" schema
+      outcome_schema
+  else
+    let* solver = str "solver" in
+    let* placement =
+      match Json.member "placement" j with
+      | Some (Json.List items) ->
+          let rec go acc = function
+            | [] -> Ok (Array.of_list (List.rev acc))
+            | item :: rest -> (
+                match Json.to_int item with
+                | Some v -> go (v :: acc) rest
+                | None ->
+                    invalid_instancef
+                      "outcome JSON: placement entries must be integers")
+          in
+          go [] items
+      | _ -> invalid_instancef "outcome JSON: missing array field \"placement\""
+    in
+    let* objective = num "objective" in
+    let* avg_max_delay = num "avg_max_delay" in
+    let* avg_total_delay = num "avg_total_delay" in
+    let* lower_bound = opt "lower_bound" in
+    let* load_violation = num "load_violation" in
+    let* load_bound = opt "load_bound" in
+    let* approx_bound = opt "approx_bound" in
+    let* nodes_used = int "nodes_used" in
+    let* detail =
+      match Json.member "detail" j with
+      | Some (Json.Obj fields) ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | (k, v) :: rest -> (
+                match Json.to_float v with
+                | Some f -> go ((k, f) :: acc) rest
+                | None ->
+                    invalid_instancef
+                      "outcome JSON: detail field %S is not numeric" k)
+          in
+          go [] fields
+      | _ -> invalid_instancef "outcome JSON: missing object field \"detail\""
+    in
+    Ok
+      {
+        Outcome.solver;
+        placement;
+        objective;
+        avg_max_delay;
+        avg_total_delay;
+        lower_bound;
+        load_violation;
+        load_bound;
+        approx_bound;
+        nodes_used;
+        detail;
+      }
+
+let outcome_to_string o = Json.to_string (outcome_to_json o)
+
+let outcome_of_string s =
+  match Json.of_string s with
+  | j -> outcome_of_json j
+  | exception Json.Parse_error msg ->
+      Error (Qp_error.Invalid_instance ("outcome JSON: " ^ msg))

@@ -1,7 +1,9 @@
-(** Plain-text (de)serialization of problem instances and placements.
+(** Serialization of problem instances, placements and solver
+    outcomes.
 
-    A line-oriented, versioned format so instances can be saved from
-    the CLI, shipped in bug reports, and reloaded bit-exactly:
+    Instances use a line-oriented, versioned plain-text format so they
+    can be saved from the CLI, shipped in bug reports, and reloaded
+    bit-exactly:
 
     {v
     qplace-instance v1
@@ -20,19 +22,49 @@
     end
     v}
 
-    Floats are printed with ["%.17g"] so round-trips are exact. *)
+    Floats are printed with ["%.17g"] so round-trips are exact.
+
+    Solver outcomes ({!Outcome.t}) serialize to single-line JSON under
+    the versioned schema {!outcome_schema} (the [qplace solve
+    --format json] output; cf. the [qp-bench/2] artifact schema).
+    Finite floats round-trip exactly through {!Qp_obs.Json}.
+
+    All parsers follow the repository error convention: malformed
+    input comes back as [Error (Invalid_instance _)] — never an
+    exception. *)
 
 val problem_to_string : Problem.qpp -> string
 
-val problem_of_string : string -> Problem.qpp
-(** @raise Failure with a line-numbered message on malformed input
-    (also when the embedded system/strategy fails validation). *)
+val problem_of_string : string -> (Problem.qpp, Qp_util.Qp_error.t) result
+(** [Error (Invalid_instance _)] with a line-numbered message on
+    malformed input (also when the embedded metric/system/strategy
+    fails validation). *)
 
 val placement_to_string : Placement.t -> string
 (** Space-separated node ids on one line. *)
 
-val placement_of_string : string -> Placement.t
-(** @raise Failure on non-integer tokens. *)
+val placement_of_string : string -> (Placement.t, Qp_util.Qp_error.t) result
+(** [Error (Invalid_instance _)] on non-integer tokens. Range/shape
+    checking against a problem is the caller's job
+    ({!Placement.validate}). *)
 
-val save_problem : string -> Problem.qpp -> unit
-val load_problem : string -> Problem.qpp
+val save_problem : string -> Problem.qpp -> (unit, Qp_util.Qp_error.t) result
+(** [Error (Invalid_instance _)] when the file cannot be written. *)
+
+val load_problem : string -> (Problem.qpp, Qp_util.Qp_error.t) result
+(** [Error (Invalid_instance _)] when the file cannot be read or does
+    not parse. *)
+
+(** {2 Outcome JSON} *)
+
+val outcome_schema : string
+(** ["qp-solve/1"] — bumped on any shape change. *)
+
+val outcome_to_json : Outcome.t -> Qp_obs.Json.t
+
+val outcome_of_json : Qp_obs.Json.t -> (Outcome.t, Qp_util.Qp_error.t) result
+
+val outcome_to_string : Outcome.t -> string
+(** Compact single-line JSON. *)
+
+val outcome_of_string : string -> (Outcome.t, Qp_util.Qp_error.t) result

@@ -77,6 +77,9 @@ let make ~universe quorums =
     invalid_arg "Quorum.make: family is not pairwise intersecting";
   s
 
+let make_checked ~universe quorums =
+  Qp_util.Qp_error.of_invalid_arg (fun () -> make ~universe quorums)
+
 let universe s = s.universe
 
 let quorums s = s.quorums

@@ -16,6 +16,13 @@ val make : universe:int -> int array array -> system
     @raise Invalid_argument if the family is empty, a quorum is empty
     or out of range, or two quorums fail to intersect. *)
 
+val make_checked :
+  universe:int -> int array array -> (system, Qp_util.Qp_error.t) result
+(** Like {!make}, but user-input validation failures come back as
+    [Error (Invalid_instance _)] instead of an exception — the entry
+    point for systems built from untrusted data (instance files,
+    CLI-provided constructions). *)
+
 val make_unchecked : universe:int -> int array array -> system
 (** Same normalization but skips the O(m^2) pairwise intersection
     check. Use only for constructions whose intersection property is

@@ -1,0 +1,37 @@
+type t =
+  | Invalid_instance of string
+  | Infeasible of string
+  | Capacity_violation of { node : int; load : float; cap : float }
+  | Internal of string
+
+exception Error of t
+
+let to_string = function
+  | Invalid_instance msg -> "invalid instance: " ^ msg
+  | Infeasible msg -> "infeasible: " ^ msg
+  | Capacity_violation { node; load; cap } ->
+      Printf.sprintf "capacity violation: node %d carries load %g over capacity %g" node
+        load cap
+  | Internal msg -> "internal error: " ^ msg
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let exit_code = function
+  | Infeasible _ | Capacity_violation _ -> 1
+  | Invalid_instance _ -> 2
+  | Internal _ -> 3
+
+let invalid_instancef fmt = Printf.ksprintf (fun msg -> Result.Error (Invalid_instance msg)) fmt
+let infeasiblef fmt = Printf.ksprintf (fun msg -> Result.Error (Infeasible msg)) fmt
+let internalf fmt = Printf.ksprintf (fun msg -> Result.Error (Internal msg)) fmt
+
+let guard f =
+  match f () with
+  | r -> r
+  | exception Error e -> Result.Error e
+  | exception Invalid_argument msg -> Result.Error (Invalid_instance msg)
+  | exception Failure msg -> Result.Error (Internal msg)
+
+let of_invalid_arg f = guard (fun () -> Result.Ok (f ()))
+
+let ( let* ) = Result.bind

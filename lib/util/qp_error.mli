@@ -1,0 +1,71 @@
+(** Typed errors for the solver engine.
+
+    Every user-reachable failure in the placement stack — malformed
+    instances, infeasible relaxations, numerical trouble deep inside a
+    solver stage — is represented as a {!t} and carried in a
+    [('a, t) result], so front ends (the [qplace] CLI, the bench
+    driver, the runtime repair loop) report a one-line diagnostic and a
+    meaningful exit code instead of dying on a stack trace.
+
+    [Invalid_argument] remains reserved for true programmer errors
+    (out-of-range indices, broken invariants in trusted code paths);
+    the {!guard} combinator converts it at the engine boundary, where a
+    stage rejecting its input means "this solver does not apply to
+    this instance". *)
+
+type t =
+  | Invalid_instance of string
+      (** The instance (spec, file, flag value) is malformed: unknown
+          topology or construction name, non-positive node count,
+          negative capacity, parse error, or a solver's structural
+          precondition (e.g. a non-grid system handed to the grid
+          layout). *)
+  | Infeasible of string
+      (** The instance is well-formed but admits no solution under its
+          capacities (LP/GAP relaxation empty, no capacity-respecting
+          placement found). *)
+  | Capacity_violation of { node : int; load : float; cap : float }
+      (** A produced placement exceeded its declared load bound on
+          [node] — a solver contract violation surfaced to the
+          caller. *)
+  | Internal of string
+      (** Numerical or invariant trouble inside a solver stage (pivot
+          budget exceeded, incomplete matching). Inputs were valid;
+          the engine could not certify a result. *)
+
+exception Error of t
+(** Raised by deep solver stages (simplex pivot budget,
+    Shmoys–Tardos matching extraction) that cannot return a [result]
+    without churning every intermediate signature. {!guard} and
+    {!protect} catch it at the engine boundary. *)
+
+val to_string : t -> string
+(** One-line human rendering, e.g.
+    ["infeasible: LP has no solution under these capacities"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val exit_code : t -> int
+(** Process exit code convention used by [qplace]:
+    [Infeasible]/[Capacity_violation] -> 1, [Invalid_instance] -> 2,
+    [Internal] -> 3. *)
+
+val invalid_instancef : ('a, unit, string, ('b, t) result) format4 -> 'a
+(** [invalid_instancef fmt ...] = [Error (Invalid_instance msg)]. *)
+
+val infeasiblef : ('a, unit, string, ('b, t) result) format4 -> 'a
+val internalf : ('a, unit, string, ('b, t) result) format4 -> 'a
+
+val guard : (unit -> ('a, t) result) -> ('a, t) result
+(** Runs the thunk, converting raised {!Error} back to [Error],
+    [Invalid_argument msg] to [Error (Invalid_instance msg)] and
+    [Failure msg] to [Error (Internal msg)]. The boundary between the
+    exception-based stage internals and the [result]-based engine
+    API. *)
+
+val of_invalid_arg : (unit -> 'a) -> ('a, t) result
+(** [of_invalid_arg f] is [Ok (f ())], with the same exception
+    conversions as {!guard}. *)
+
+val ( let* ) : ('a, t) result -> ('a -> ('b, t) result) -> ('b, t) result
+(** [Result.bind] for pipelining validation steps. *)

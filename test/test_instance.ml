@@ -1,0 +1,88 @@
+(* The shared instance layer: Spec.build must be deterministic, agree
+   with the historical CLI construction, and reject malformed specs
+   with typed errors. *)
+
+module Qp_error = Qp_util.Qp_error
+module Spec = Qp_instance.Spec
+open Qp_place
+
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Qp_error.to_string e)
+
+let check_invalid what = function
+  | Error (Qp_error.Invalid_instance _) -> ()
+  | Error e ->
+      Alcotest.fail
+        (Printf.sprintf "%s: wrong error category: %s" what (Qp_error.to_string e))
+  | Ok _ -> Alcotest.fail (what ^ ": expected Invalid_instance")
+
+let test_build_deterministic () =
+  let spec = { Spec.default with Spec.topology = "geometric"; nodes = 12; seed = 5 } in
+  let a = ok_exn (Spec.build spec) in
+  let b = ok_exn (Spec.build spec) in
+  Alcotest.(check string) "equal specs build byte-identical instances"
+    (Serialize.problem_to_string a)
+    (Serialize.problem_to_string b)
+
+(* The spec path must reproduce the historical construction exactly:
+   seeded rng -> topology -> uniform strategy -> capacities scaled off
+   the max element load. *)
+let test_build_matches_manual_construction () =
+  let spec =
+    { Spec.default with Spec.topology = "waxman"; nodes = 14; system = "grid:3";
+      cap_slack = 1.2; seed = 3 }
+  in
+  let built = ok_exn (Spec.build spec) in
+  let rng = Qp_util.Rng.create 3 in
+  let graph = ok_exn (Spec.build_topology "waxman" 14 rng) in
+  let system = ok_exn (Spec.build_system "grid:3") in
+  let manual = Spec.uniform_problem ~graph ~system ~slack:1.2 in
+  Alcotest.(check string) "spec path = manual path"
+    (Serialize.problem_to_string manual)
+    (Serialize.problem_to_string built)
+
+let test_all_topologies_build () =
+  List.iter
+    (fun topology ->
+      let spec = { Spec.default with Spec.topology; nodes = 9; system = "grid:2" } in
+      let p = ok_exn (Spec.build spec) in
+      (* barbell builds two K_{n/2} cliques, so it rounds odd n down. *)
+      let expect = if topology = "barbell" then 8 else 9 in
+      Alcotest.(check int) (topology ^ " node count") expect (Problem.n_nodes p))
+    [ "path"; "cycle"; "star"; "complete"; "tree"; "waxman"; "geometric";
+      "geometric:0.45"; "barbell" ]
+
+let test_all_systems_build () =
+  List.iter
+    (fun system ->
+      let spec = { Spec.default with Spec.nodes = 12; Spec.system = system } in
+      ignore (ok_exn (Spec.build spec)))
+    [ "grid:3"; "majority:7:4"; "fpp:2"; "tree:2"; "wheel:5"; "star:5"; "triangle" ]
+
+let test_invalid_specs () =
+  check_invalid "zero nodes" (Spec.build { Spec.default with Spec.nodes = 0 });
+  check_invalid "negative nodes" (Spec.build { Spec.default with Spec.nodes = -3 });
+  check_invalid "zero slack" (Spec.build { Spec.default with Spec.cap_slack = 0. });
+  check_invalid "nan slack" (Spec.build { Spec.default with Spec.cap_slack = Float.nan });
+  check_invalid "unknown topology"
+    (Spec.build { Spec.default with Spec.topology = "moebius" });
+  check_invalid "unknown system"
+    (Spec.build { Spec.default with Spec.system = "hexagon:9" });
+  check_invalid "bad system integer"
+    (Spec.build { Spec.default with Spec.system = "grid:x" });
+  check_invalid "bad geometric radius"
+    (Spec.build { Spec.default with Spec.topology = "geometric:zero" })
+
+let suites =
+  [
+    ( "instance.spec",
+      [
+        Alcotest.test_case "build deterministic" `Quick test_build_deterministic;
+        Alcotest.test_case "matches manual construction" `Quick
+          test_build_matches_manual_construction;
+        Alcotest.test_case "all topologies build" `Quick test_all_topologies_build;
+        Alcotest.test_case "all systems build" `Quick test_all_systems_build;
+        Alcotest.test_case "invalid specs" `Quick test_invalid_specs;
+      ] );
+  ]

@@ -1,10 +1,15 @@
 module Rng = Qp_util.Rng
+module Qp_error = Qp_util.Qp_error
 module Metric = Qp_graph.Metric
 module Generators = Qp_graph.Generators
 module Strategy = Qp_quorum.Strategy
 module Simple_qs = Qp_quorum.Simple_qs
 module Grid_qs = Qp_quorum.Grid_qs
 open Qp_place
+
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Qp_error.to_string e)
 
 let random_problem seed =
   let rng = Rng.create seed in
@@ -46,13 +51,13 @@ let same_problem (a : Problem.qpp) (b : Problem.qpp) =
 let test_round_trip () =
   for seed = 1 to 20 do
     let p = random_problem seed in
-    let p' = Serialize.problem_of_string (Serialize.problem_to_string p) in
+    let p' = ok_exn (Serialize.problem_of_string (Serialize.problem_to_string p)) in
     Alcotest.(check bool) "round trip exact" true (same_problem p p')
   done
 
 let test_round_trip_objective_stable () =
   let p = random_problem 99 in
-  let p' = Serialize.problem_of_string (Serialize.problem_to_string p) in
+  let p' = ok_exn (Serialize.problem_of_string (Serialize.problem_to_string p)) in
   let f = Array.init (Problem.n_elements p) (fun u -> u mod Problem.n_nodes p) in
   Alcotest.(check (float 0.)) "identical delays" (Delay.avg_max_delay p f)
     (Delay.avg_max_delay p' f)
@@ -60,20 +65,23 @@ let test_round_trip_objective_stable () =
 let test_placement_round_trip () =
   let f = [| 3; 0; 7; 3 |] in
   Alcotest.(check (array int)) "round trip" f
-    (Serialize.placement_of_string (Serialize.placement_to_string f));
+    (ok_exn (Serialize.placement_of_string (Serialize.placement_to_string f)));
   Alcotest.(check (array int)) "whitespace tolerant" [| 1; 2 |]
-    (Serialize.placement_of_string "  1   2 ")
+    (ok_exn (Serialize.placement_of_string "  1   2 "))
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Malformed input must come back as [Error (Invalid_instance _)] —
+   never an exception — per the repository error convention. *)
 let check_fails fragment text =
   match Serialize.problem_of_string text with
-  | exception Failure msg ->
-      let contains hay needle =
-        let nh = String.length hay and nn = String.length needle in
-        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-        go 0
-      in
+  | Error (Qp_error.Invalid_instance msg) ->
       Alcotest.(check bool) ("error mentions " ^ fragment) true (contains msg fragment)
-  | _ -> Alcotest.fail "expected parse failure"
+  | Error e -> Alcotest.fail ("wrong error category: " ^ Qp_error.to_string e)
+  | Ok _ -> Alcotest.fail "expected parse failure"
 
 let test_malformed_inputs () =
   check_fails "expected" "not-an-instance\n";
@@ -94,18 +102,66 @@ let test_file_round_trip () =
   let p = random_problem 7 in
   let path = Filename.temp_file "qplace" ".inst" in
   Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
-      Serialize.save_problem path p;
-      let p' = Serialize.load_problem path in
+      ok_exn (Serialize.save_problem path p);
+      let p' = ok_exn (Serialize.load_problem path) in
       Alcotest.(check bool) "file round trip" true (same_problem p p'))
 
+let test_load_missing_file () =
+  match Serialize.load_problem "/nonexistent/qplace.inst" with
+  | Error (Qp_error.Invalid_instance _) -> ()
+  | Error e -> Alcotest.fail ("wrong error category: " ^ Qp_error.to_string e)
+  | Ok _ -> Alcotest.fail "expected load failure"
+
 let test_placement_bad_token () =
-  Alcotest.check_raises "bad token" (Failure "Serialize: bad placement token \"x\"")
-    (fun () -> ignore (Serialize.placement_of_string "1 x 2"))
+  match Serialize.placement_of_string "1 x 2" with
+  | Error (Qp_error.Invalid_instance msg) ->
+      Alcotest.(check bool) "mentions token" true (contains msg "bad placement token")
+  | Error e -> Alcotest.fail ("wrong error category: " ^ Qp_error.to_string e)
+  | Ok _ -> Alcotest.fail "expected placement failure"
+
+(* Outcome JSON: every solver's outcome on a small instance must
+   round-trip exactly through the qp-solve/1 schema. *)
+let small_problem nodes system =
+  ok_exn
+    (Qp_instance.Spec.build
+       { Qp_instance.Spec.default with Qp_instance.Spec.nodes; system;
+         cap_slack = 1.3 })
+
+let test_outcome_round_trip () =
+  let generic = small_problem 10 "grid:2" in
+  (* partial deployment needs |quorums| = |nodes| = |elements|. *)
+  let square = small_problem 4 "grid:2" in
+  List.iter
+    (fun (s : Solver.t) ->
+      let p = if s.Solver.name = "partial" then square else generic in
+      match s.Solver.solve Solver.default_params p with
+      | Error e ->
+          Alcotest.fail
+            (Printf.sprintf "%s failed: %s" s.Solver.name (Qp_error.to_string e))
+      | Ok o ->
+          let o' = ok_exn (Serialize.outcome_of_string (Serialize.outcome_to_string o)) in
+          Alcotest.(check bool)
+            ("outcome round trip: " ^ s.Solver.name)
+            true (Outcome.equal o o'))
+    (Solver.all ())
+
+let test_outcome_bad_json () =
+  let reject text =
+    match Serialize.outcome_of_string text with
+    | Error (Qp_error.Invalid_instance _) -> ()
+    | Error e -> Alcotest.fail ("wrong error category: " ^ Qp_error.to_string e)
+    | Ok _ -> Alcotest.fail "expected outcome parse failure"
+  in
+  reject "not json";
+  reject "{\"schema\":\"qp-solve/0\"}";
+  reject "{\"schema\":\"qp-solve/1\",\"solver\":7}"
 
 let prop_round_trip =
   QCheck.Test.make ~name:"serialize round trip" ~count:40 QCheck.small_int (fun seed ->
       let p = random_problem (seed + 1000) in
-      same_problem p (Serialize.problem_of_string (Serialize.problem_to_string p)))
+      match Serialize.problem_of_string (Serialize.problem_to_string p) with
+      | Ok p' -> same_problem p p'
+      | Error _ -> false)
 
 let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_round_trip ]
 
@@ -118,7 +174,10 @@ let suites =
         Alcotest.test_case "placement round trip" `Quick test_placement_round_trip;
         Alcotest.test_case "malformed inputs" `Quick test_malformed_inputs;
         Alcotest.test_case "file round trip" `Quick test_file_round_trip;
+        Alcotest.test_case "load missing file" `Quick test_load_missing_file;
         Alcotest.test_case "placement bad token" `Quick test_placement_bad_token;
+        Alcotest.test_case "outcome round trip" `Quick test_outcome_round_trip;
+        Alcotest.test_case "outcome bad json" `Quick test_outcome_bad_json;
       ] );
     ("serialize.properties", qcheck_tests);
   ]

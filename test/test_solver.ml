@@ -1,0 +1,222 @@
+(* The solver engine: registry lookup, outcome invariants shared by
+   every algorithm, the batch entry point, and the registry-driven
+   capacity property from the acceptance criteria. *)
+
+module Qp_error = Qp_util.Qp_error
+module Spec = Qp_instance.Spec
+open Qp_place
+
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Qp_error.to_string e)
+
+let build_spec ?(topology = "waxman") ?(nodes = 10) ?(system = "grid:2")
+    ?(cap_slack = 1.3) ?(seed = 1) () =
+  { Spec.default with Spec.topology; nodes; system; cap_slack; seed }
+
+let small_problem () = ok_exn (Spec.build (build_spec ()))
+
+let test_registry_contents () =
+  let expected =
+    [ "lp"; "total"; "greedy"; "random"; "exact"; "grid"; "majority"; "partial" ]
+  in
+  Alcotest.(check (list string)) "registered names" expected (Solver.names ())
+
+let test_find () =
+  let s = ok_exn (Solver.find "lp") in
+  Alcotest.(check string) "find returns the named solver" "lp" s.Solver.name;
+  match Solver.find "simulated-annealing" with
+  | Ok _ -> Alcotest.fail "unknown name must not resolve"
+  | Error (Qp_error.Invalid_instance msg) ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "lists known algorithms" true (contains msg "known:")
+  | Error e -> Alcotest.fail ("wrong error category: " ^ Qp_error.to_string e)
+
+(* Every registered solver must produce a well-formed outcome on a
+   feasible instance: valid placement, agreeing derived fields, and its
+   own name stamped on the result. *)
+let test_all_solvers_well_formed () =
+  let generic = small_problem () in
+  (* partial deployment needs |quorums| = |nodes| = |elements|: grid:2
+     on 4 nodes (4 elements, 2 rows + 2 columns). *)
+  let square =
+    ok_exn (Spec.build (build_spec ~topology:"complete" ~nodes:4 ()))
+  in
+  List.iter
+    (fun (s : Solver.t) ->
+      let p = if s.Solver.name = "partial" then square else generic in
+      match s.Solver.solve Solver.default_params p with
+      | Error e ->
+          Alcotest.fail
+            (Printf.sprintf "%s on feasible instance: %s" s.Solver.name
+               (Qp_error.to_string e))
+      | Ok o ->
+          Alcotest.(check string) (s.Solver.name ^ " stamps name") s.Solver.name
+            o.Outcome.solver;
+          Placement.validate p o.Outcome.placement;
+          Alcotest.(check bool)
+            (s.Solver.name ^ " objective finite")
+            true
+            (Float.is_finite o.Outcome.objective);
+          Alcotest.(check (float 1e-12))
+            (s.Solver.name ^ " load_violation consistent")
+            (Placement.max_violation p o.Outcome.placement)
+            o.Outcome.load_violation)
+    (Solver.all ())
+
+let test_source_out_of_range () =
+  let p = small_problem () in
+  let bad = { Solver.default_params with Solver.source = 99 } in
+  List.iter
+    (fun name ->
+      let s = Solver.find_exn name in
+      match s.Solver.solve bad p with
+      | Error (Qp_error.Invalid_instance _) -> ()
+      | Error e ->
+          Alcotest.fail
+            (Printf.sprintf "%s: wrong error category: %s" name
+               (Qp_error.to_string e))
+      | Ok _ -> Alcotest.fail (name ^ ": accepted out-of-range source"))
+    [ "greedy"; "grid"; "majority" ]
+
+let test_infeasible_is_typed () =
+  (* Slack below 1 leaves no capacity-respecting placement; solvers
+     with a capacity constraint must answer [Infeasible], not crash. *)
+  let p = ok_exn (Spec.build (build_spec ~nodes:6 ~cap_slack:0.2 ())) in
+  List.iter
+    (fun name ->
+      let s = Solver.find_exn name in
+      match s.Solver.solve Solver.default_params p with
+      | Error (Qp_error.Infeasible _) -> ()
+      | Error e ->
+          Alcotest.fail
+            (Printf.sprintf "%s: wrong error category: %s" name
+               (Qp_error.to_string e))
+      | Ok _ -> Alcotest.fail (name ^ ": solved an infeasible instance"))
+    [ "greedy"; "random"; "exact" ]
+
+(* solve_many must agree with the sequential map, element for element,
+   on both payloads and ordering. *)
+let test_solve_many_matches_sequential () =
+  let problems =
+    List.map (fun seed -> ok_exn (Spec.build (build_spec ~seed ()))) [ 1; 2; 3; 4; 5 ]
+  in
+  let s = Solver.find_exn "greedy" in
+  let batch = Solver.solve_many s problems in
+  let seq = List.map (s.Solver.solve Solver.default_params) problems in
+  Alcotest.(check int) "same length" (List.length seq) (List.length batch);
+  List.iter2
+    (fun a b ->
+      match (a, b) with
+      | Ok oa, Ok ob ->
+          Alcotest.(check bool) "same outcome" true (Outcome.equal oa ob)
+      | Error ea, Error eb ->
+          Alcotest.(check string) "same error" (Qp_error.to_string ea)
+            (Qp_error.to_string eb)
+      | _ -> Alcotest.fail "batch/sequential disagree on feasibility")
+    seq batch
+
+let test_registry_table () =
+  let table = Solver.registry_table_markdown () in
+  List.iter
+    (fun (s : Solver.t) ->
+      let cell = Printf.sprintf "| `%s` |" s.Solver.name in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("table row for " ^ s.Solver.name) true
+        (contains table cell))
+    (Solver.all ())
+
+(* README drift test: the algorithm table in README.md is generated
+   from the registry; regenerate with `qplace solvers` when it drifts. *)
+let readme_marker_begin = "<!-- solver-registry:begin -->"
+let readme_marker_end = "<!-- solver-registry:end -->"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_readme_in_sync () =
+  let readme_path =
+    (* dune runs tests from the build directory; the dune rule adds
+       README.md to the test deps so it is present beside the repo
+       sources either way. *)
+    List.find Sys.file_exists [ "../README.md"; "README.md" ]
+  in
+  let readme = read_file readme_path in
+  let index_of hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      if i + nn > nh then None
+      else if String.sub hay i nn = needle then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  match (index_of readme readme_marker_begin, index_of readme readme_marker_end) with
+  | Some b, Some e ->
+      let start = b + String.length readme_marker_begin in
+      let embedded = String.trim (String.sub readme start (e - start)) in
+      Alcotest.(check string) "README algorithm table matches the registry"
+        (String.trim (Solver.registry_table_markdown ()))
+        embedded
+  | _ -> Alcotest.fail "README.md is missing the solver-registry markers"
+
+(* The acceptance property: every solver that declares a load bound
+   keeps load_f(v) <= bound * cap(v) on random feasible instances. *)
+let spec_gen =
+  QCheck.Gen.(
+    let* nodes = int_range 6 10 in
+    let* system = oneofl [ "grid:2"; "majority:5:3"; "wheel:5"; "triangle" ] in
+    let* cap_slack = float_range 1.0 1.8 in
+    let* seed = int_range 1 10_000 in
+    let* topology = oneofl [ "waxman"; "complete"; "cycle"; "tree" ] in
+    return (build_spec ~topology ~nodes ~system ~cap_slack ~seed ()))
+
+let spec_arbitrary =
+  QCheck.make ~print:(Format.asprintf "%a" Spec.pp) spec_gen
+
+let prop_load_bounds =
+  QCheck.Test.make ~name:"registry solvers respect declared load bounds" ~count:60
+    spec_arbitrary (fun spec ->
+      match Spec.build spec with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok p ->
+          List.for_all
+            (fun (s : Solver.t) ->
+              match s.Solver.load_bound Solver.default_params with
+              | None -> true
+              | Some bound -> (
+                  match s.Solver.solve Solver.default_params p with
+                  | Error _ -> true (* infeasible under this slack: fine *)
+                  | Ok o -> o.Outcome.load_violation <= bound +. 1e-9))
+            (Solver.all ()))
+
+let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_load_bounds ]
+
+let suites =
+  [
+    ( "place.solver",
+      [
+        Alcotest.test_case "registry contents" `Quick test_registry_contents;
+        Alcotest.test_case "find" `Quick test_find;
+        Alcotest.test_case "all solvers well-formed" `Quick
+          test_all_solvers_well_formed;
+        Alcotest.test_case "source out of range" `Quick test_source_out_of_range;
+        Alcotest.test_case "infeasible is typed" `Quick test_infeasible_is_typed;
+        Alcotest.test_case "solve_many matches sequential" `Quick
+          test_solve_many_matches_sequential;
+        Alcotest.test_case "registry table" `Quick test_registry_table;
+        Alcotest.test_case "README table in sync" `Quick test_readme_in_sync;
+      ] );
+    ("solver.properties", qcheck_tests);
+  ]
