@@ -1,0 +1,131 @@
+(* Standalone closed-loop load generator for qp_serve — a thin flag
+   parser over {!Qp_serve.Loadgen}, in the style of [bench/main.ml].
+   The CLI front end ([qplace loadgen]) exposes the same knobs through
+   cmdliner; this binary exists so benchmark scripts can drive a
+   server without pulling in the whole CLI. *)
+
+module Obs = Qp_obs
+module Qp_error = Qp_util.Qp_error
+module Loadgen = Qp_serve.Loadgen
+module Protocol = Qp_serve.Protocol
+
+let usage_fail msg =
+  prerr_endline ("loadgen: " ^ msg);
+  prerr_endline
+    "usage: loadgen [--host H] [--port P] [--connections N] [--duration S]\n\
+    \               [--mix solve=8,info=1,health=1] [--alg NAME] [--alpha A]\n\
+    \               [--deadline-ms MS] [--pivot-budget N] [--seed N] [--out FILE]";
+  exit 2
+
+let () =
+  let cfg = ref Loadgen.default_config in
+  let out = ref None in
+  let set f v = cfg := f !cfg v in
+  let int_arg name v k rest =
+    match int_of_string_opt v with
+    | Some i -> k i rest
+    | None -> usage_fail (Printf.sprintf "%s: bad integer %S" name v)
+  in
+  let float_arg name v k rest =
+    match float_of_string_opt v with
+    | Some f -> k f rest
+    | None -> usage_fail (Printf.sprintf "%s: bad number %S" name v)
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--host" :: v :: rest ->
+        set (fun c v -> { c with Loadgen.host = v }) v;
+        parse rest
+    | "--port" :: v :: rest ->
+        int_arg "--port" v
+          (fun i rest ->
+            set (fun c i -> { c with Loadgen.port = i }) i;
+            parse rest)
+          rest
+    | "--connections" :: v :: rest ->
+        int_arg "--connections" v
+          (fun i rest ->
+            set (fun c i -> { c with Loadgen.connections = i }) i;
+            parse rest)
+          rest
+    | "--duration" :: v :: rest ->
+        float_arg "--duration" v
+          (fun f rest ->
+            set (fun c f -> { c with Loadgen.duration_s = f }) f;
+            parse rest)
+          rest
+    | "--mix" :: v :: rest -> (
+        match Loadgen.mix_of_string v with
+        | Ok mix ->
+            set (fun c m -> { c with Loadgen.mix = m }) mix;
+            parse rest
+        | Error e -> usage_fail (Qp_error.to_string e))
+    | "--alg" :: v :: rest ->
+        set
+          (fun c v ->
+            { c with
+              Loadgen.options = { c.Loadgen.options with Protocol.algorithm = v }
+            })
+          v;
+        parse rest
+    | "--alpha" :: v :: rest ->
+        float_arg "--alpha" v
+          (fun f rest ->
+            set
+              (fun c f ->
+                { c with
+                  Loadgen.options = { c.Loadgen.options with Protocol.alpha = f }
+                })
+              f;
+            parse rest)
+          rest
+    | "--deadline-ms" :: v :: rest ->
+        int_arg "--deadline-ms" v
+          (fun i rest ->
+            set
+              (fun c i ->
+                { c with
+                  Loadgen.options =
+                    { c.Loadgen.options with Protocol.deadline_ms = Some i }
+                })
+              i;
+            parse rest)
+          rest
+    | "--pivot-budget" :: v :: rest ->
+        int_arg "--pivot-budget" v
+          (fun i rest ->
+            set
+              (fun c i ->
+                { c with
+                  Loadgen.options =
+                    { c.Loadgen.options with Protocol.pivot_budget = Some i }
+                })
+              i;
+            parse rest)
+          rest
+    | "--seed" :: v :: rest ->
+        int_arg "--seed" v
+          (fun i rest ->
+            set (fun c i -> { c with Loadgen.seed = i }) i;
+            parse rest)
+          rest
+    | "--out" :: v :: rest ->
+        out := Some v;
+        parse rest
+    | flag :: _ -> usage_fail ("unknown flag " ^ flag)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match Loadgen.run !cfg with
+  | Error e ->
+      prerr_endline ("loadgen: " ^ Qp_error.to_string e);
+      exit (Qp_error.exit_code e)
+  | Ok report ->
+      let doc = Obs.Json.to_string (Loadgen.report_to_json report) in
+      (match !out with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc doc;
+          output_char oc '\n';
+          close_out oc
+      | None -> ());
+      print_endline doc

@@ -126,11 +126,16 @@ let get_problem ~instance (c : common) =
 
 (* Solver parameters from the CLI spec. The randomized solver streams
    from [seed + 1] so "solve" and the instance construction (seeded
-   with [seed]) stay independent. *)
-let params_of (c : common) ~alpha =
-  { Solver.default_params with Solver.alpha; seed = c.spec.Spec.seed + 1 }
+   with [seed]) stay independent. Shared with the server through
+   {!Qp_serve.Protocol.solver_params}, so served and offline
+   placements agree byte-for-byte. *)
+let params_of ?pivot_budget (c : common) ~alpha =
+  Qp_serve.Protocol.solver_params c.spec
+    { Qp_serve.Protocol.default_options with
+      Qp_serve.Protocol.alpha;
+      pivot_budget }
 
-let solve_cmd (c : common) algorithm alpha instance save format =
+let solve_cmd (c : common) algorithm alpha pivot_budget instance save format =
   run_result
   @@
   let* solver = Solver.find algorithm in
@@ -152,7 +157,7 @@ let solve_cmd (c : common) algorithm alpha instance save format =
         Ok ()
     | None -> Ok ()
   in
-  let* outcome = solver.Solver.solve (params_of c ~alpha) problem in
+  let* outcome = solver.Solver.solve (params_of ?pivot_budget c ~alpha) problem in
   if format = "json" then print_endline (Serialize.outcome_to_string outcome)
   else begin
     List.iter print_endline (solver.Solver.headline outcome);
@@ -407,6 +412,67 @@ let design_cmd topology nodes seed =
   Ok ()
 
 (* ------------------------------------------------------------------ *)
+(* serve / loadgen: the network front end (lib/serve)                  *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd (c : common) port host queue_depth deadline_ms =
+  run_result
+  @@
+  let* () =
+    if queue_depth < 1 then
+      Qp_error.invalid_instancef "queue-depth must be >= 1 (got %d)" queue_depth
+    else Ok ()
+  in
+  let jobs = resolve_jobs c.spec.Spec.jobs in
+  with_obs c (meta_of c ~command:"serve" ~jobs)
+  @@ fun () ->
+  let cfg =
+    { Qp_serve.Server.default_config with
+      Qp_serve.Server.host;
+      port;
+      queue_depth;
+      default_deadline_ms = deadline_ms;
+      default_spec = c.spec }
+  in
+  Qp_serve.Server.run
+    ~ready:(fun p -> Printf.printf "serving qp-serve/1 on %s:%d\n%!" host p)
+    cfg
+
+let loadgen_cmd (c : common) host port connections duration mix deadline_ms
+    pivot_budget algorithm alpha out =
+  run_result
+  @@
+  let* mix = Qp_serve.Loadgen.mix_of_string mix in
+  ignore (resolve_jobs 1);
+  let options =
+    { Qp_serve.Protocol.algorithm;
+      alpha;
+      deadline_ms;
+      pivot_budget }
+  in
+  let cfg =
+    { Qp_serve.Loadgen.host;
+      port;
+      connections;
+      duration_s = duration;
+      mix;
+      spec = Some c.spec;
+      options;
+      seed = c.spec.Spec.seed }
+  in
+  let* report = Qp_serve.Loadgen.run cfg in
+  let doc = Obs.Json.to_string (Qp_serve.Loadgen.report_to_json report) in
+  (match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc doc;
+      output_char oc '\n';
+      close_out oc
+  | None -> ());
+  print_endline doc;
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* Cmdliner wiring                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -471,9 +537,14 @@ let format_t =
   Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT"
          ~doc:"Output format: text (human-readable) or json (one qp-solve/1 object).")
 
+let pivot_budget_t =
+  Arg.(value & opt (some int) None & info [ "pivot-budget" ] ~docv:"N"
+         ~doc:"Abort the LP after N simplex pivots (typed internal error). \
+               Bounds worst-case solve time; also available per request on the server.")
+
 let solve_term =
-  Term.(const solve_cmd $ common_t $ algorithm_t $ alpha_t $ instance_t $ save_t
-        $ format_t)
+  Term.(const solve_cmd $ common_t $ algorithm_t $ alpha_t $ pivot_budget_t
+        $ instance_t $ save_t $ format_t)
 
 let solve_cmd_info = Cmd.info "solve" ~doc:"Place a quorum system on a generated network."
 
@@ -568,9 +639,62 @@ let design_term = Term.(const design_cmd $ topology_t $ nodes_t $ seed_t)
 let design_cmd_info =
   Cmd.info "design" ~doc:"The Related-Work quorum DESIGN problems on a generated network."
 
+let host_t =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+         ~doc:"Address to bind (serve) or connect to (loadgen).")
+
+let port_t =
+  Arg.(value & opt int Qp_serve.Server.default_config.Qp_serve.Server.port
+       & info [ "port" ] ~docv:"PORT"
+           ~doc:"TCP port (0 = pick an ephemeral port and print it).")
+
+let queue_depth_t =
+  Arg.(value & opt int Qp_serve.Server.default_config.Qp_serve.Server.queue_depth
+       & info [ "queue-depth" ] ~docv:"N"
+           ~doc:"Admission-control bound: requests beyond N queued are rejected \
+                 immediately with an overloaded error.")
+
+let deadline_ms_t =
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+         ~doc:"Per-request deadline in milliseconds; expired requests are \
+               rejected (or cancelled mid-solve) with deadline_exceeded.")
+
+let serve_term =
+  Term.(const serve_cmd $ common_t $ port_t $ host_t $ queue_depth_t
+        $ deadline_ms_t)
+
+let serve_cmd_info =
+  Cmd.info "serve"
+    ~doc:"Serve placements over TCP (qp-serve/1 framed JSON) until shutdown or SIGTERM."
+
+let connections_t =
+  Arg.(value & opt int 4 & info [ "connections" ] ~docv:"N"
+         ~doc:"Concurrent closed-loop client connections.")
+
+let duration_t =
+  Arg.(value & opt float 2.0 & info [ "duration" ] ~docv:"S"
+         ~doc:"Load duration in seconds.")
+
+let mix_t =
+  Arg.(value & opt string "solve=8,info=1,health=1" & info [ "mix" ] ~docv:"MIX"
+         ~doc:"Weighted verb mix, e.g. solve=8,info=1,health=1.")
+
+let out_t =
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+         ~doc:"Also write the qp-loadgen/1 report to FILE.")
+
+let loadgen_term =
+  Term.(const loadgen_cmd $ common_t $ host_t $ port_t $ connections_t
+        $ duration_t $ mix_t $ deadline_ms_t $ pivot_budget_t $ algorithm_t
+        $ alpha_t $ out_t)
+
+let loadgen_cmd_info =
+  Cmd.info "loadgen"
+    ~doc:"Drive a qplace server with closed-loop load and report latency percentiles."
+
 let main_cmd =
   let doc = "quorum placement in networks to minimize access delays (PODC'05)" in
-  Cmd.group (Cmd.info "qplace" ~doc)
+  Cmd.group (Cmd.info "qplace" ~doc ~version:Obs.Build_info.version)
     [
       Cmd.v solve_cmd_info solve_term;
       Cmd.v simulate_cmd_info simulate_term;
@@ -582,6 +706,36 @@ let main_cmd =
       Cmd.v resilience_cmd_info resilience_term;
       Cmd.v design_cmd_info design_term;
       Cmd.v eval_cmd_info eval_term;
+      Cmd.v serve_cmd_info serve_term;
+      Cmd.v loadgen_cmd_info loadgen_term;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+let broken_pipe msg =
+  let sub = "Broken pipe" in
+  let n = String.length sub in
+  let rec find i =
+    i + n <= String.length msg && (String.sub msg i n = sub || find (i + 1))
+  in
+  find 0
+
+let () =
+  (* A downstream pipe closing early ([qplace ... | head]) or a client
+     hanging up mid-reply must surface as EPIPE on the write, not kill
+     the process — and EPIPE on stdout is a clean exit, not an error. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  match Cmd.eval ~catch:false main_cmd with
+  | code -> (
+      (* Flush before [exit] so a closed pipe cannot blow up in the
+         [at_exit] flusher after we picked the exit code. *)
+      match flush stdout with
+      | () -> exit code
+      | exception Sys_error msg when broken_pipe msg -> Unix._exit 0)
+  | exception Sys_error msg when broken_pipe msg -> Unix._exit 0
+  | exception Qp_error.Error e ->
+      prerr_endline ("qplace: " ^ Qp_error.to_string e);
+      exit (Qp_error.exit_code e)
+  | exception e ->
+      prerr_endline
+        ("qplace: internal error, uncaught exception: " ^ Printexc.to_string e);
+      exit Cmd.Exit.internal_error

@@ -5,6 +5,25 @@ type outcome =
   | Infeasible
   | Unbounded
 
+(* Cooperative cancellation for serving front ends: a process-wide
+   wall-clock deadline checked once per pivot (and once on entry).
+   Stored as an Atomic so pool worker domains running candidate LPs
+   observe a deadline installed by the dispatching domain. NaN means
+   "no deadline" — the hot path then costs one atomic load and a NaN
+   test per pivot, no clock read. *)
+let deadline = Atomic.make Float.nan
+
+let set_deadline = function
+  | None -> Atomic.set deadline Float.nan
+  | Some t -> Atomic.set deadline t
+
+let check_deadline () =
+  let d = Atomic.get deadline in
+  if (not (Float.is_nan d)) && Obs.Core.now () > d then
+    raise
+      (Qp_util.Qp_error.Error
+         (Internal "Simplex: deadline exceeded (cooperative cancellation)"))
+
 let eps_rc = 1e-9 (* reduced-cost optimality tolerance *)
 let eps_piv = 1e-9 (* minimum pivot magnitude *)
 let eps_zero = 1e-11
@@ -139,7 +158,10 @@ let optimize t cost ~allowed ~max_pivots =
         if !pivots > max_pivots then
           raise
             (Qp_util.Qp_error.Error
-               (Internal "Simplex: pivot budget exceeded (numerical trouble?)"));
+               (Internal
+                  (Printf.sprintf "Simplex: pivot budget exceeded (%d pivots)"
+                     max_pivots)));
+        check_deadline ();
         (* Degenerate pivots (zero ratio) do not improve the objective;
            a long streak of them triggers the switch to Bland's rule,
            which guarantees termination. *)
@@ -169,6 +191,7 @@ type certified_outcome = Certified of certified | C_infeasible | C_unbounded
    the sign mapping back to the original (pre-normalization)
    orientation. *)
 let solve_internal ?max_pivots lp =
+  check_deadline ();
   let n = Lp.n_vars lp in
   let rows = Lp.constraints lp in
   let m = List.length rows in

@@ -14,10 +14,21 @@ type outcome =
 val solve : ?max_pivots:int -> Lp.t -> outcome
 (** Solves [minimize c.x  s.t. rows, x >= 0]. [max_pivots] defaults to
     [50_000 + 50 * (rows + vars)]; exceeding it raises
-    [Qp_util.Qp_error.Error (Internal _)] (a safety net, not a tuning
-    knob — caught at the solver-engine boundary). On [Optimal], the returned point
-    satisfies every row to within [1e-6] relative tolerance — asserted
-    internally. *)
+    [Qp_util.Qp_error.Error (Internal _)] (caught at the solver-engine
+    boundary; front ends expose it as a [--pivot-budget] knob). On
+    [Optimal], the returned point satisfies every row to within [1e-6]
+    relative tolerance — asserted internally. *)
+
+val set_deadline : float option -> unit
+(** Install (or clear) a process-wide wall-clock deadline, in
+    {!Qp_obs.Core.now} seconds. While a deadline is set, every solve
+    checks it on entry and once per pivot and raises
+    [Qp_util.Qp_error.Error (Internal _)] as soon as the clock passes
+    it — cooperative cancellation for serving front ends
+    ([qp_serve] request deadlines). The deadline is visible to pool
+    worker domains running candidate LPs. Callers must clear it
+    ([set_deadline None]) when the guarded region ends; with no
+    deadline installed the per-pivot cost is one atomic load. *)
 
 type certified = {
   x : float array;

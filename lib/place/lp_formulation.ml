@@ -74,7 +74,7 @@ let build (s : Problem.ssqpp) =
     (Quorum.quorums s.Problem.system);
   (lp, var_elem, var_quorum)
 
-let solve (s : Problem.ssqpp) =
+let solve ?max_pivots (s : Problem.ssqpp) =
   let rank_of_node, node_of_rank, dist = ordering s in
   let n = Array.length node_of_rank in
   let nu = Quorum.universe s.Problem.system in
@@ -85,7 +85,7 @@ let solve (s : Problem.ssqpp) =
         ("universe", Obs.Json.Int nu); ("quorums", Obs.Json.Int nq) ]
   @@ fun () ->
   let lp, var_elem, var_quorum = build s in
-  match Simplex.solve lp with
+  match Simplex.solve ?max_pivots lp with
   | Simplex.Infeasible ->
       Obs.Span.add_attr "infeasible" (Obs.Json.Bool true);
       None

@@ -30,9 +30,12 @@ val build : Problem.ssqpp -> Qp_lp.Lp.t * (int -> int -> int) * (int -> int -> i
 (** [build s] returns the LP plus the variable numbering
     [(var_elem t u, var_quorum t q)]; exposed for white-box tests. *)
 
-val solve : Problem.ssqpp -> fractional option
+val solve : ?max_pivots:int -> Problem.ssqpp -> fractional option
 (** [None] when the LP is infeasible (capacities cannot hold the
-    loads). *)
+    loads). [max_pivots] overrides the {!Qp_lp.Simplex.solve} pivot
+    budget; exhausting it raises
+    [Qp_util.Qp_error.Error (Internal _)] (caught at the solver-engine
+    boundary). *)
 
 val quorum_frontier : fractional -> int -> float
 (** [quorum_frontier sol q] = [D_Q = sum_t d_t x_tQ], the per-quorum

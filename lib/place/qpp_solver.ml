@@ -17,7 +17,7 @@ type result = {
   approx_bound : float;
 }
 
-let solve ?(alpha = 2.) ?candidates (p : Problem.qpp) =
+let solve ?(alpha = 2.) ?max_pivots ?candidates (p : Problem.qpp) =
   if alpha <= 1. then invalid_arg "Qpp_solver.solve: alpha > 1 required";
   let n = Problem.n_nodes p in
   let candidates, complete =
@@ -45,7 +45,7 @@ let solve ?(alpha = 2.) ?candidates (p : Problem.qpp) =
     Qp_par.Pool.parallel_map (Qp_par.Pool.default ())
       (fun v0 ->
         Obs.Span.with_ "candidate" ~attrs:[ ("v0", Obs.Json.Int v0) ] @@ fun () ->
-        match Rounding.solve ~alpha (Problem.ssqpp_of_qpp p v0) with
+        match Rounding.solve ~alpha ?max_pivots (Problem.ssqpp_of_qpp p v0) with
         | None ->
             Log.debug (fun m -> m "candidate v0=%d: LP infeasible" v0);
             (v0, None)

@@ -28,6 +28,11 @@ type result = {
   approx_bound : float; (* 5 alpha / (alpha - 1) *)
 }
 
-val solve : ?alpha:float -> ?candidates:int list -> Problem.qpp -> result option
+val solve :
+  ?alpha:float -> ?max_pivots:int -> ?candidates:int list -> Problem.qpp ->
+  result option
 (** Default [alpha = 2] and [candidates] = all nodes. [None] when the
-    SSQPP LP is infeasible for every candidate. *)
+    SSQPP LP is infeasible for every candidate. [max_pivots] caps the
+    simplex pivot count of every candidate LP; exhausting it raises
+    [Qp_util.Qp_error.Error (Internal _)] (the solver registry maps it
+    to a typed [Internal] result). *)

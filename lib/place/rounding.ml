@@ -58,8 +58,8 @@ let round_filtered (s : Problem.ssqpp) (flt : Filtering.filtered) =
   Obs.Span.add_attr "load_violation" (Obs.Json.Float result.load_violation);
   result
 
-let solve ?(alpha = 2.) (s : Problem.ssqpp) =
+let solve ?(alpha = 2.) ?max_pivots (s : Problem.ssqpp) =
   if alpha <= 1. then invalid_arg "Rounding.solve: alpha > 1 required";
-  match Lp_formulation.solve s with
+  match Lp_formulation.solve ?max_pivots s with
   | None -> None
   | Some sol -> Some (round_filtered s (Filtering.apply ~alpha sol))

@@ -19,8 +19,10 @@ type result = {
   load_bound : float; (* alpha + 1 *)
 }
 
-val solve : ?alpha:float -> Problem.ssqpp -> result option
-(** [None] when LP (9)–(14) is infeasible. Default [alpha = 2]. *)
+val solve : ?alpha:float -> ?max_pivots:int -> Problem.ssqpp -> result option
+(** [None] when LP (9)–(14) is infeasible. Default [alpha = 2].
+    [max_pivots] caps the simplex pivot count
+    ({!Lp_formulation.solve}). *)
 
 val round_filtered : Problem.ssqpp -> Filtering.filtered -> result
 (** The rounding stage alone, for tests that want to inject a

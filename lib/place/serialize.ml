@@ -296,6 +296,64 @@ let outcome_of_json j =
         detail;
       }
 
+(* ------------------------------------------------------------------ *)
+(* Typed-error JSON                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let error_code = function
+  | Qp_error.Invalid_instance _ -> "invalid_instance"
+  | Qp_error.Infeasible _ -> "infeasible"
+  | Qp_error.Capacity_violation _ -> "capacity_violation"
+  | Qp_error.Internal _ -> "internal"
+
+let error_to_json (e : Qp_error.t) =
+  let base = [ ("code", Json.String (error_code e)) ] in
+  Json.Obj
+    (match e with
+    | Qp_error.Invalid_instance msg
+    | Qp_error.Infeasible msg
+    | Qp_error.Internal msg ->
+        base @ [ ("message", Json.String msg) ]
+    | Qp_error.Capacity_violation { node; load; cap } ->
+        base
+        @ [ ("message", Json.String (Qp_error.to_string e));
+            ("node", Json.Int node); ("load", Json.Float load);
+            ("cap", Json.Float cap) ])
+
+let error_of_json j =
+  let ( let* ) = Qp_error.( let* ) in
+  let str key =
+    match Option.bind (Json.member key j) Json.to_str with
+    | Some s -> Ok s
+    | None -> Qp_error.invalid_instancef "error JSON: missing string field %S" key
+  in
+  let num key =
+    match Option.bind (Json.member key j) Json.to_float with
+    | Some v -> Ok v
+    | None -> Qp_error.invalid_instancef "error JSON: missing numeric field %S" key
+  in
+  let* code = str "code" in
+  match code with
+  | "invalid_instance" ->
+      let* msg = str "message" in
+      Ok (Qp_error.Invalid_instance msg)
+  | "infeasible" ->
+      let* msg = str "message" in
+      Ok (Qp_error.Infeasible msg)
+  | "internal" ->
+      let* msg = str "message" in
+      Ok (Qp_error.Internal msg)
+  | "capacity_violation" ->
+      let* node =
+        match Option.bind (Json.member "node" j) Json.to_int with
+        | Some v -> Ok v
+        | None -> Qp_error.invalid_instancef "error JSON: missing integer field \"node\""
+      in
+      let* load = num "load" in
+      let* cap = num "cap" in
+      Ok (Qp_error.Capacity_violation { node; load; cap })
+  | other -> Qp_error.invalid_instancef "error JSON: unknown code %S" other
+
 let outcome_to_string o = Json.to_string (outcome_to_json o)
 
 let outcome_of_string s =

@@ -68,3 +68,21 @@ val outcome_to_string : Outcome.t -> string
 (** Compact single-line JSON. *)
 
 val outcome_of_string : string -> (Outcome.t, Qp_util.Qp_error.t) result
+
+(** {2 Typed-error JSON}
+
+    The wire representation of {!Qp_util.Qp_error.t} used by the
+    serving layer ([qp_serve] error frames): an object with a stable
+    [code] plus a human [message] (and the node/load/cap fields for
+    capacity violations). *)
+
+val error_code : Qp_util.Qp_error.t -> string
+(** ["invalid_instance" | "infeasible" | "capacity_violation" |
+    "internal"] — stable across schema versions. *)
+
+val error_to_json : Qp_util.Qp_error.t -> Qp_obs.Json.t
+
+val error_of_json :
+  Qp_obs.Json.t -> (Qp_util.Qp_error.t, Qp_util.Qp_error.t) result
+(** Inverse of {!error_to_json} ([Error (Invalid_instance _)] on a
+    malformed payload). *)

@@ -14,9 +14,11 @@ type params = {
   source : int;
   seed : int;
   candidates : int list option;
+  pivot_budget : int option;
 }
 
-let default_params = { alpha = 2.; source = 0; seed = 2; candidates = None }
+let default_params =
+  { alpha = 2.; source = 0; seed = 2; candidates = None; pivot_budget = None }
 
 type t = {
   name : string;
@@ -78,7 +80,10 @@ let check_source params p =
   else Ok params.source
 
 let lp_solve params p =
-  match Qpp_solver.solve ~alpha:params.alpha ?candidates:params.candidates p with
+  match
+    Qpp_solver.solve ~alpha:params.alpha ?max_pivots:params.pivot_budget
+      ?candidates:params.candidates p
+  with
   | None -> Error (Qp_error.Infeasible "LP has no solution under these capacities")
   | Some (r : Qpp_solver.result) ->
       Ok

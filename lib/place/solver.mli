@@ -25,11 +25,15 @@ type params = {
   source : int; (* v0 for single-source layouts and greedy *)
   seed : int; (* randomized solvers *)
   candidates : int list option; (* candidate sources for the LP route *)
+  pivot_budget : int option;
+      (* simplex pivot cap for the LP route ([None] = the
+         {!Qp_lp.Simplex} default); exhaustion comes back as
+         [Error (Internal _)]. Solvers without an LP ignore it. *)
 }
 
 val default_params : params
 (** [alpha = 2.], [source = 0], [seed = 2], [candidates = None]
-    (= all nodes). *)
+    (= all nodes), [pivot_budget = None]. *)
 
 type t = {
   name : string; (* registry key, e.g. "lp" *)

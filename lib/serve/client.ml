@@ -1,0 +1,58 @@
+module Json = Qp_obs.Json
+module Qp_error = Qp_util.Qp_error
+
+let ( let* ) = Qp_error.( let* )
+
+type t = { fd : Unix.file_descr; max_frame : int; mutable open_ : bool }
+
+(* The client is used from plain threads (loadgen) where an ECONNRESET
+   or EPIPE is data, not a crash: everything maps into [result]. *)
+let wrap what f =
+  match f () with
+  | v -> Ok v
+  | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Qp_error.Internal
+           (Printf.sprintf "%s: %s" what (Unix.error_message err)))
+  | exception Failure msg ->
+      Error (Qp_error.Internal (Printf.sprintf "%s: %s" what msg))
+
+let connect ?(host = "127.0.0.1") ?(max_frame = Frame.default_max_len) ~port ()
+    =
+  wrap "connect" @@ fun () ->
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; max_frame; open_ = true }
+
+let send_raw t payload = wrap "send" @@ fun () -> Frame.write t.fd payload
+
+let send t req =
+  send_raw t (Json.to_string (Protocol.request_to_json req))
+
+let recv t =
+  let* frame = wrap "recv" @@ fun () -> Frame.read ~max_len:t.max_frame t.fd in
+  match frame with
+  | None -> Ok None
+  | Some payload -> (
+      match Json.of_string payload with
+      | exception Json.Parse_error msg ->
+          Error (Qp_error.Internal ("response JSON: " ^ msg))
+      | j ->
+          let* resp = Protocol.response_of_json j in
+          Ok (Some resp))
+
+let call t req =
+  let* () = send t req in
+  let* resp = recv t in
+  match resp with
+  | Some r -> Ok r
+  | None -> Error (Qp_error.Internal "server closed the connection mid-call")
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

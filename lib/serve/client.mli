@@ -1,0 +1,33 @@
+(** Blocking [qp-serve/1] client.
+
+    One connection, synchronous framing. [call] is the common path
+    (send one request, read one response); [send]/[send_raw]/[recv]
+    are split out so tests and the load generator can pipeline many
+    requests into a single write (the deterministic way to exercise
+    the server's admission control) or push arbitrary bytes at the
+    framing layer. Thread-safe only in the trivial sense: one thread
+    per client, as in {!Loadgen}. *)
+
+module Qp_error := Qp_util.Qp_error
+
+type t
+
+val connect :
+  ?host:string -> ?max_frame:int -> port:int -> unit -> (t, Qp_error.t) result
+(** TCP connect (default host 127.0.0.1, frame bound
+    {!Frame.default_max_len}). [Error (Internal _)] when the
+    connection is refused. *)
+
+val send : t -> Protocol.request -> (unit, Qp_error.t) result
+val send_raw : t -> string -> (unit, Qp_error.t) result
+(** [send_raw] frames arbitrary bytes — not necessarily JSON. *)
+
+val recv : t -> (Protocol.response option, Qp_error.t) result
+(** Next response frame; [Ok None] on clean EOF (server closed).
+    [Error _] on truncated frames or undecodable responses. *)
+
+val call : t -> Protocol.request -> (Protocol.response, Qp_error.t) result
+(** [send] then [recv], treating EOF as an error. *)
+
+val close : t -> unit
+(** Idempotent. *)

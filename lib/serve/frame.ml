@@ -1,0 +1,96 @@
+let header_len = 4
+let default_max_len = 4 * 1024 * 1024
+
+let encode payload =
+  let len = String.length payload in
+  let b = Bytes.create (header_len + len) in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 b header_len len;
+  b
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd b !off (len - !off) in
+    off := !off + n
+  done
+
+let write fd payload = write_all fd (encode payload)
+
+(* Read exactly [len] bytes; [false] on EOF at offset 0, [Failure] on
+   EOF mid-buffer. *)
+let really_read fd b len =
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < len do
+    match Unix.read fd b !off (len - !off) with
+    | 0 -> if !off = 0 then eof := true else failwith "Frame.read: truncated frame"
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  not !eof
+
+let decode_len b ~max_len =
+  let len = Int32.to_int (Bytes.get_int32_be b 0) in
+  if len < 0 || len > max_len then
+    Error (Printf.sprintf "frame length %d outside [0, %d]" len max_len)
+  else Ok len
+
+let read ?(max_len = default_max_len) fd =
+  let hdr = Bytes.create header_len in
+  if not (really_read fd hdr header_len) then None
+  else
+    match decode_len hdr ~max_len with
+    | Error msg -> failwith ("Frame.read: " ^ msg)
+    | Ok len ->
+        let body = Bytes.create len in
+        if len > 0 && not (really_read fd body len) then
+          failwith "Frame.read: truncated frame"
+        else Some (Bytes.unsafe_to_string body)
+
+module Decoder = struct
+  type t = {
+    max_len : int;
+    buf : Buffer.t;
+    mutable pos : int; (* consumed prefix of [buf] *)
+    mutable poisoned : string option;
+  }
+
+  let create ?(max_len = default_max_len) () =
+    { max_len; buf = Buffer.create 4096; pos = 0; poisoned = None }
+
+  let feed t b n = Buffer.add_subbytes t.buf b 0 n
+
+  (* Drop the consumed prefix once it dominates the buffer, so a
+     long-lived connection does not grow its buffer without bound. *)
+  let compact t =
+    if t.pos > 65536 && t.pos * 2 > Buffer.length t.buf then begin
+      let rest = Buffer.sub t.buf t.pos (Buffer.length t.buf - t.pos) in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf rest;
+      t.pos <- 0
+    end
+
+  let next t =
+    match t.poisoned with
+    | Some msg -> `Error msg
+    | None ->
+        let avail = Buffer.length t.buf - t.pos in
+        if avail < header_len then `Await
+        else begin
+          let hdr = Bytes.of_string (Buffer.sub t.buf t.pos header_len) in
+          match decode_len hdr ~max_len:t.max_len with
+          | Error msg ->
+              t.poisoned <- Some msg;
+              `Error msg
+          | Ok len ->
+              if avail < header_len + len then `Await
+              else begin
+                let payload = Buffer.sub t.buf (t.pos + header_len) len in
+                t.pos <- t.pos + header_len + len;
+                compact t;
+                `Frame payload
+              end
+        end
+end

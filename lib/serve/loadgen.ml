@@ -1,0 +1,256 @@
+module Obs = Qp_obs
+module Json = Qp_obs.Json
+module Qp_error = Qp_util.Qp_error
+module Rng = Qp_util.Rng
+module Stats = Qp_util.Stats
+
+type config = {
+  host : string;
+  port : int;
+  connections : int;
+  duration_s : float;
+  mix : (Protocol.verb * float) list;
+  spec : Qp_instance.Spec.t option;
+  options : Protocol.options;
+  seed : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = Server.default_config.Server.port;
+    connections = 1;
+    duration_s = 2.;
+    mix = [ (Protocol.Solve, 8.); (Protocol.Info, 1.); (Protocol.Health, 1.) ];
+    spec = None;
+    options = Protocol.default_options;
+    seed = 1;
+  }
+
+let mix_of_string s =
+  let parse_one acc part =
+    match acc with
+    | Error _ as e -> e
+    | Ok acc -> (
+        match String.split_on_char '=' (String.trim part) with
+        | [ name; w ] -> (
+            match
+              (Protocol.verb_of_name (String.trim name), float_of_string_opt w)
+            with
+            | Ok Protocol.Shutdown, _ ->
+                Qp_error.invalid_instancef "mix: shutdown is not a load verb"
+            | Ok verb, Some weight when weight > 0. -> Ok ((verb, weight) :: acc)
+            | Ok _, _ ->
+                Qp_error.invalid_instancef "mix: weight %S must be positive" w
+            | (Error _ as e), _ -> e)
+        | _ ->
+            Qp_error.invalid_instancef "mix entry %S (expected verb=weight)"
+              part)
+  in
+  match List.fold_left parse_one (Ok []) (String.split_on_char ',' s) with
+  | Error _ as e -> e
+  | Ok [] -> Qp_error.invalid_instancef "mix must name at least one verb"
+  | Ok entries -> Ok (List.rev entries)
+
+type report = {
+  connections : int;
+  wall_s : float;
+  completed : int;
+  ok : int;
+  rejected : int;
+  transport_errors : int;
+  throughput_rps : float;
+  latencies_ms : float array;
+  by_verb : (string * int) list;
+  by_code : (string * int) list;
+  sample_outcome : Json.t option;
+}
+
+(* Per-thread tally; merged single-threadedly after the joins, so no
+   locking anywhere except the shared sample slot. *)
+type tally = {
+  mutable completed : int;
+  mutable ok : int;
+  mutable rejected : int;
+  mutable transport_errors : int;
+  mutable latencies : float list;
+  verbs : (string, int) Hashtbl.t;
+  codes : (string, int) Hashtbl.t;
+}
+
+let fresh_tally () =
+  {
+    completed = 0;
+    ok = 0;
+    rejected = 0;
+    transport_errors = 0;
+    latencies = [];
+    verbs = Hashtbl.create 8;
+    codes = Hashtbl.create 8;
+  }
+
+let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let pick_verb rng mix total =
+  let x = Rng.float rng total in
+  let rec walk acc = function
+    | [] -> fst (List.hd mix)
+    | (verb, w) :: rest ->
+        let acc = acc +. w in
+        if x < acc then verb else walk acc rest
+  in
+  walk 0. mix
+
+let worker cfg ~total_weight ~t_end ~idx ~sample ~sample_lock () =
+  let t = fresh_tally () in
+  match Client.connect ~host:cfg.host ~port:cfg.port () with
+  | Error _ ->
+      t.transport_errors <- t.transport_errors + 1;
+      t
+  | Ok client ->
+      let rng = Rng.create (cfg.seed + (1000 * idx)) in
+      let n = ref 0 in
+      let live = ref true in
+      while !live && Obs.Core.now () < t_end do
+        let verb = pick_verb rng cfg.mix total_weight in
+        let req =
+          Protocol.request
+            ~id:(Json.Int ((idx * 1_000_000) + !n))
+            ?spec:cfg.spec ~options:cfg.options verb
+        in
+        incr n;
+        let t0 = Obs.Core.now () in
+        match Client.call client req with
+        | Error _ ->
+            t.transport_errors <- t.transport_errors + 1;
+            live := false
+        | Ok resp ->
+            let dt_ms = (Obs.Core.now () -. t0) *. 1000. in
+            t.completed <- t.completed + 1;
+            t.latencies <- dt_ms :: t.latencies;
+            bump t.verbs resp.Protocol.verb;
+            (match resp.Protocol.payload with
+            | Ok result ->
+                t.ok <- t.ok + 1;
+                if verb = Protocol.Solve && Atomic.get sample = None then begin
+                  Mutex.lock sample_lock;
+                  if Atomic.get sample = None then
+                    Atomic.set sample (Some result);
+                  Mutex.unlock sample_lock
+                end
+            | Error e ->
+                let code = Protocol.serve_error_code e in
+                bump t.codes code;
+                (match e with
+                | Protocol.Overloaded _ | Protocol.Deadline_exceeded _ ->
+                    t.rejected <- t.rejected + 1
+                | Protocol.Typed _ -> ()))
+      done;
+      Client.close client;
+      t
+
+let run (cfg : config) =
+  if cfg.connections < 1 then
+    Qp_error.invalid_instancef "loadgen: connections must be >= 1"
+  else if cfg.duration_s <= 0. then
+    Qp_error.invalid_instancef "loadgen: duration must be positive"
+  else begin
+    let total_weight = List.fold_left (fun a (_, w) -> a +. w) 0. cfg.mix in
+    if total_weight <= 0. then
+      Qp_error.invalid_instancef "loadgen: mix weights must be positive"
+    else begin
+      let sample = Atomic.make None in
+      let sample_lock = Mutex.create () in
+      let t_start = Obs.Core.now () in
+      let t_end = t_start +. cfg.duration_s in
+      let slots = Array.make cfg.connections None in
+      let threads =
+        List.init cfg.connections (fun idx ->
+            Thread.create
+              (fun () ->
+                slots.(idx) <-
+                  Some
+                    (worker cfg ~total_weight ~t_end ~idx ~sample ~sample_lock
+                       ()))
+              ())
+      in
+      List.iter Thread.join threads;
+      let tallies = List.filter_map Fun.id (Array.to_list slots) in
+      let wall_s = Obs.Core.now () -. t_start in
+      let merged = fresh_tally () in
+      List.iter
+        (fun t ->
+          merged.completed <- merged.completed + t.completed;
+          merged.ok <- merged.ok + t.ok;
+          merged.rejected <- merged.rejected + t.rejected;
+          merged.transport_errors <- merged.transport_errors + t.transport_errors;
+          merged.latencies <- List.rev_append t.latencies merged.latencies;
+          Hashtbl.iter
+            (fun k v ->
+              Hashtbl.replace merged.verbs k
+                (v + Option.value ~default:0 (Hashtbl.find_opt merged.verbs k)))
+            t.verbs;
+          Hashtbl.iter
+            (fun k v ->
+              Hashtbl.replace merged.codes k
+                (v + Option.value ~default:0 (Hashtbl.find_opt merged.codes k)))
+            t.codes)
+        tallies;
+      if merged.completed = 0 && merged.transport_errors >= cfg.connections
+      then
+        Qp_error.invalid_instancef
+          "loadgen: no connection to %s:%d ever succeeded" cfg.host cfg.port
+      else begin
+        let sorted_counts tbl =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        in
+        Ok
+          {
+            connections = cfg.connections;
+            wall_s;
+            completed = merged.completed;
+            ok = merged.ok;
+            rejected = merged.rejected;
+            transport_errors = merged.transport_errors;
+            throughput_rps =
+              (if wall_s > 0. then float_of_int merged.completed /. wall_s
+               else 0.);
+            latencies_ms = Array.of_list merged.latencies;
+            by_verb = sorted_counts merged.verbs;
+            by_code = sorted_counts merged.codes;
+            sample_outcome = Atomic.get sample;
+          }
+      end
+    end
+  end
+
+let report_to_json r =
+  let latency_fields =
+    if Array.length r.latencies_ms = 0 then [ ("count", Json.Int 0) ]
+    else
+      [ ("count", Json.Int (Array.length r.latencies_ms));
+        ("mean_ms", Json.Float (Stats.mean r.latencies_ms));
+        ("p50_ms", Json.Float (Stats.percentile r.latencies_ms 50.));
+        ("p95_ms", Json.Float (Stats.percentile r.latencies_ms 95.));
+        ("p99_ms", Json.Float (Stats.percentile r.latencies_ms 99.));
+        ("max_ms", Json.Float (Stats.max r.latencies_ms)) ]
+  in
+  let counts kvs =
+    Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) kvs)
+  in
+  Json.Obj
+    [ ("schema", Json.String "qp-loadgen/1");
+      ("version", Json.String Obs.Build_info.version);
+      ("connections", Json.Int r.connections);
+      ("wall_s", Json.Float r.wall_s);
+      ("completed", Json.Int r.completed);
+      ("ok", Json.Int r.ok);
+      ("rejected", Json.Int r.rejected);
+      ("transport_errors", Json.Int r.transport_errors);
+      ("throughput_rps", Json.Float r.throughput_rps);
+      ("latency", Json.Obj latency_fields);
+      ("by_verb", counts r.by_verb);
+      ("by_code", counts r.by_code);
+      ( "sample_outcome",
+        match r.sample_outcome with Some j -> j | None -> Json.Null ) ]

@@ -1,0 +1,58 @@
+(** Closed-loop load generator for a [qp-serve/1] server.
+
+    [connections] client threads each run an issue-wait-record loop
+    until [duration_s] elapses: pick a verb from the weighted [mix]
+    with a per-thread seeded {!Qp_util.Rng} (seed + thread index, so a
+    run's request sequence is reproducible), send, block on the reply,
+    record the latency. Closed-loop means offered load tracks server
+    capacity — each connection has at most one request in flight.
+
+    The report follows the [qp-bench/2] artifact style (schema
+    [qp-loadgen/1]): totals, throughput, latency percentiles, per-verb
+    and per-error-code counts, and [sample_outcome] — the first
+    successful solve result — so scripts can diff a served placement
+    against the offline [qplace solve] JSON byte-for-byte. *)
+
+module Json := Qp_obs.Json
+module Qp_error := Qp_util.Qp_error
+
+type config = {
+  host : string;
+  port : int;
+  connections : int;
+  duration_s : float;
+  mix : (Protocol.verb * float) list; (* weighted verb mix *)
+  spec : Qp_instance.Spec.t option; (* None = the server's default *)
+  options : Protocol.options;
+  seed : int;
+}
+
+val default_config : config
+(** 1 connection, 2 s, mix [solve=8 info=1 health=1], default options,
+    seed 1, port {!Server.default_config}[.port]. *)
+
+val mix_of_string : string -> ((Protocol.verb * float) list, Qp_error.t) result
+(** Parse ["solve=8,info=1,health=1"]. Weights must be positive;
+    [shutdown] is rejected (a load mix must not kill the server). *)
+
+type report = {
+  connections : int;
+  wall_s : float;
+  completed : int; (* requests answered, ok or typed error *)
+  ok : int;
+  rejected : int; (* overloaded / deadline_exceeded replies *)
+  transport_errors : int; (* connect/framing/EOF failures *)
+  throughput_rps : float; (* completed / wall_s *)
+  latencies_ms : float array; (* every completed request, unordered *)
+  by_verb : (string * int) list; (* sorted by verb *)
+  by_code : (string * int) list; (* error-code histogram, sorted *)
+  sample_outcome : Json.t option;
+}
+
+val run : config -> (report, Qp_error.t) result
+(** [Error _] only when no connection could be established at all;
+    per-request failures are data ([transport_errors]). *)
+
+val report_to_json : report -> Json.t
+(** [qp-loadgen/1] document; latencies appear as
+    [{mean,p50,p95,p99,max}] in milliseconds, not as the raw array. *)

@@ -1,0 +1,258 @@
+module Json = Qp_obs.Json
+module Qp_error = Qp_util.Qp_error
+module Spec = Qp_instance.Spec
+module Serialize = Qp_place.Serialize
+
+let ( let* ) = Qp_error.( let* )
+
+let schema = "qp-serve/1"
+
+type verb = Solve | Info | Metrics | Health | Shutdown
+
+let verb_name = function
+  | Solve -> "solve"
+  | Info -> "info"
+  | Metrics -> "metrics"
+  | Health -> "health"
+  | Shutdown -> "shutdown"
+
+let verb_of_name = function
+  | "solve" -> Ok Solve
+  | "info" -> Ok Info
+  | "metrics" -> Ok Metrics
+  | "health" -> Ok Health
+  | "shutdown" -> Ok Shutdown
+  | other ->
+      Qp_error.invalid_instancef
+        "unknown verb %S (solve|info|metrics|health|shutdown)" other
+
+type options = {
+  algorithm : string;
+  alpha : float;
+  deadline_ms : int option;
+  pivot_budget : int option;
+}
+
+let default_options =
+  { algorithm = "lp"; alpha = 2.; deadline_ms = None; pivot_budget = None }
+
+type request = { id : Json.t; verb : verb; spec : Spec.t option; options : options }
+
+let request ?(id = Json.Null) ?spec ?(options = default_options) verb =
+  { id; verb; spec; options }
+
+(* ------------------------------------------------------------------ *)
+(* Spec codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let spec_to_json (s : Spec.t) =
+  Json.Obj
+    [ ("topology", Json.String s.Spec.topology);
+      ("nodes", Json.Int s.Spec.nodes);
+      ("system", Json.String s.Spec.system);
+      ("cap_slack", Json.Float s.Spec.cap_slack);
+      ("seed", Json.Int s.Spec.seed) ]
+
+(* Typed field accessors: a missing field falls back to [base], a
+   present field of the wrong type is a protocol error (silently
+   ignoring it would solve a different instance than the client
+   named). *)
+let field_str j key fallback =
+  match Json.member key j with
+  | None | Some Json.Null -> Ok fallback
+  | Some v -> (
+      match Json.to_str v with
+      | Some s -> Ok s
+      | None -> Qp_error.invalid_instancef "spec field %S must be a string" key)
+
+let field_int j key fallback =
+  match Json.member key j with
+  | None | Some Json.Null -> Ok fallback
+  | Some v -> (
+      match Json.to_int v with
+      | Some i -> Ok i
+      | None -> Qp_error.invalid_instancef "spec field %S must be an integer" key)
+
+let field_float j key fallback =
+  match Json.member key j with
+  | None | Some Json.Null -> Ok fallback
+  | Some v -> (
+      match Json.to_float v with
+      | Some f -> Ok f
+      | None -> Qp_error.invalid_instancef "spec field %S must be a number" key)
+
+let spec_of_json ?(base = { Spec.default with Spec.jobs = 1 }) j =
+  match j with
+  | Json.Obj _ ->
+      let* topology = field_str j "topology" base.Spec.topology in
+      let* nodes = field_int j "nodes" base.Spec.nodes in
+      let* system = field_str j "system" base.Spec.system in
+      let* cap_slack = field_float j "cap_slack" base.Spec.cap_slack in
+      let* seed = field_int j "seed" base.Spec.seed in
+      Ok { Spec.topology; nodes; system; cap_slack; seed; jobs = base.Spec.jobs }
+  | _ -> Qp_error.invalid_instancef "spec must be a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* Request codec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let options_to_json (o : options) =
+  let opt f = function Some v -> f v | None -> Json.Null in
+  Json.Obj
+    [ ("alg", Json.String o.algorithm);
+      ("alpha", Json.Float o.alpha);
+      ("deadline_ms", opt (fun v -> Json.Int v) o.deadline_ms);
+      ("pivot_budget", opt (fun v -> Json.Int v) o.pivot_budget) ]
+
+let options_of_json j =
+  match j with
+  | Json.Obj _ ->
+      let* algorithm = field_str j "alg" default_options.algorithm in
+      let* alpha = field_float j "alpha" default_options.alpha in
+      let opt_int key =
+        match Json.member key j with
+        | None | Some Json.Null -> Ok None
+        | Some v -> (
+            match Json.to_int v with
+            | Some i -> Ok (Some i)
+            | None ->
+                Qp_error.invalid_instancef "option %S must be an integer" key)
+      in
+      let* deadline_ms = opt_int "deadline_ms" in
+      let* pivot_budget = opt_int "pivot_budget" in
+      Ok { algorithm; alpha; deadline_ms; pivot_budget }
+  | _ -> Qp_error.invalid_instancef "options must be a JSON object"
+
+let request_to_json (r : request) =
+  Json.Obj
+    ([ ("schema", Json.String schema); ("verb", Json.String (verb_name r.verb)) ]
+    @ (match r.id with Json.Null -> [] | id -> [ ("id", id) ])
+    @ (match r.spec with Some s -> [ ("spec", spec_to_json s) ] | None -> [])
+    @ [ ("options", options_to_json r.options) ])
+
+let request_of_json j =
+  let id = Option.value (Json.member "id" j) ~default:Json.Null in
+  let* () =
+    match Json.member "schema" j with
+    | None -> Ok () (* schema field optional on requests *)
+    | Some s -> (
+        match Json.to_str s with
+        | Some v when v = schema -> Ok ()
+        | Some v ->
+            Qp_error.invalid_instancef "request schema %S (expected %S)" v schema
+        | None -> Qp_error.invalid_instancef "request schema must be a string")
+  in
+  let* verb =
+    match Option.bind (Json.member "verb" j) Json.to_str with
+    | Some name -> verb_of_name name
+    | None -> Qp_error.invalid_instancef "request: missing string field \"verb\""
+  in
+  let* spec =
+    match Json.member "spec" j with
+    | None | Some Json.Null -> Ok None
+    | Some sj ->
+        let* s = spec_of_json sj in
+        Ok (Some s)
+  in
+  let* options =
+    match Json.member "options" j with
+    | None | Some Json.Null -> Ok default_options
+    | Some oj -> options_of_json oj
+  in
+  Ok { id; verb; spec; options }
+
+let parse_request payload =
+  match Json.of_string payload with
+  | exception Json.Parse_error msg ->
+      Error (Json.Null, Qp_error.Invalid_instance ("request JSON: " ^ msg))
+  | j -> (
+      match request_of_json j with
+      | Ok r -> Ok r
+      | Error e ->
+          Error (Option.value (Json.member "id" j) ~default:Json.Null, e))
+
+(* ------------------------------------------------------------------ *)
+(* Response codec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type serve_error =
+  | Typed of Qp_error.t
+  | Overloaded of string
+  | Deadline_exceeded of string
+
+let serve_error_code = function
+  | Typed e -> Serialize.error_code e
+  | Overloaded _ -> "overloaded"
+  | Deadline_exceeded _ -> "deadline_exceeded"
+
+let serve_error_message = function
+  | Typed e -> Qp_error.to_string e
+  | Overloaded msg | Deadline_exceeded msg -> msg
+
+let serve_error_to_json = function
+  | Typed e -> Serialize.error_to_json e
+  | (Overloaded msg | Deadline_exceeded msg) as e ->
+      Json.Obj
+        [ ("code", Json.String (serve_error_code e));
+          ("message", Json.String msg) ]
+
+type response = { id : Json.t; verb : string; payload : (Json.t, serve_error) result }
+
+let response_to_json (r : response) =
+  Json.Obj
+    ([ ("schema", Json.String schema); ("id", r.id);
+       ("verb", Json.String r.verb) ]
+    @
+    match r.payload with
+    | Ok result -> [ ("ok", Json.Bool true); ("result", result) ]
+    | Error e ->
+        [ ("ok", Json.Bool false); ("error", serve_error_to_json e) ])
+
+let response_of_json j =
+  let* () =
+    match Option.bind (Json.member "schema" j) Json.to_str with
+    | Some v when v = schema -> Ok ()
+    | Some v ->
+        Qp_error.invalid_instancef "response schema %S (expected %S)" v schema
+    | None -> Qp_error.invalid_instancef "response: missing string field \"schema\""
+  in
+  let id = Option.value (Json.member "id" j) ~default:Json.Null in
+  let* verb =
+    match Option.bind (Json.member "verb" j) Json.to_str with
+    | Some v -> Ok v
+    | None -> Qp_error.invalid_instancef "response: missing string field \"verb\""
+  in
+  match Json.member "ok" j with
+  | Some (Json.Bool true) -> (
+      match Json.member "result" j with
+      | Some result -> Ok { id; verb; payload = Ok result }
+      | None -> Qp_error.invalid_instancef "response: ok without \"result\"")
+  | Some (Json.Bool false) -> (
+      match Json.member "error" j with
+      | Some ej -> (
+          let msg =
+            match Option.bind (Json.member "message" ej) Json.to_str with
+            | Some m -> m
+            | None -> ""
+          in
+          match Option.bind (Json.member "code" ej) Json.to_str with
+          | Some "overloaded" -> Ok { id; verb; payload = Error (Overloaded msg) }
+          | Some "deadline_exceeded" ->
+              Ok { id; verb; payload = Error (Deadline_exceeded msg) }
+          | Some _ ->
+              let* e = Serialize.error_of_json ej in
+              Ok { id; verb; payload = Error (Typed e) }
+          | None ->
+              Qp_error.invalid_instancef "response error: missing string field \"code\"")
+      | None -> Qp_error.invalid_instancef "response: not ok without \"error\"")
+  | _ -> Qp_error.invalid_instancef "response: missing boolean field \"ok\""
+
+(* ------------------------------------------------------------------ *)
+(* Shared solve semantics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let solver_params (spec : Spec.t) (o : options) =
+  { Qp_place.Solver.default_params with
+    Qp_place.Solver.alpha = o.alpha;
+    seed = spec.Spec.seed + 1;
+    pivot_budget = o.pivot_budget }

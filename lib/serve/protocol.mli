@@ -1,0 +1,105 @@
+(** The [qp-serve/1] request/response protocol.
+
+    One frame ({!Frame}) carries one JSON document. A request names a
+    verb, an optional instance {!Qp_instance.Spec.t} (missing fields
+    default to the server's spec) and per-request options; a response
+    echoes the request [id] verbatim and carries either a result
+    object or a typed error payload with a stable [code]. Servers
+    answer {e every} parseable frame — malformed requests come back as
+    [invalid_instance] errors, overload as [overloaded], expired
+    deadlines as [deadline_exceeded]; a connection is only dropped on
+    a framing violation.
+
+    Request:
+    {v
+    {"schema":"qp-serve/1","verb":"solve","id":1,
+     "spec":{"topology":"waxman","nodes":16,"system":"grid:3",
+             "cap_slack":1.0,"seed":1},
+     "options":{"alg":"lp","alpha":2.0,"deadline_ms":500,
+                "pivot_budget":100000}}
+    v}
+
+    Response:
+    {v
+    {"schema":"qp-serve/1","id":1,"verb":"solve","ok":true,
+     "result":{...qp-solve/1 outcome...}}
+    {"schema":"qp-serve/1","id":1,"verb":"solve","ok":false,
+     "error":{"code":"overloaded","message":"..."}}
+    v} *)
+
+module Json := Qp_obs.Json
+module Qp_error := Qp_util.Qp_error
+module Spec := Qp_instance.Spec
+
+val schema : string
+(** ["qp-serve/1"] — bumped on any shape change. *)
+
+type verb = Solve | Info | Metrics | Health | Shutdown
+
+val verb_name : verb -> string
+val verb_of_name : string -> (verb, Qp_error.t) result
+
+type options = {
+  algorithm : string; (* solver registry name; default "lp" *)
+  alpha : float; (* Theorem 3.7 rounding parameter; default 2. *)
+  deadline_ms : int option;
+      (* per-request deadline override (None = the server default) *)
+  pivot_budget : int option; (* simplex pivot cap for the LP route *)
+}
+
+val default_options : options
+
+type request = {
+  id : Json.t; (* echoed verbatim in the response; Null when absent *)
+  verb : verb;
+  spec : Spec.t option; (* None = the server's default spec *)
+  options : options;
+}
+
+val request : ?id:Json.t -> ?spec:Spec.t -> ?options:options -> verb -> request
+
+val request_to_json : request -> Json.t
+
+val request_of_json : Json.t -> (request, Qp_error.t) result
+
+val parse_request : string -> (request, Json.t * Qp_error.t) result
+(** Parse one frame payload. On error the best-effort request [id]
+    (Null when unrecoverable) rides along so the server can still
+    correlate the error reply. *)
+
+(** {2 Spec codec} *)
+
+val spec_to_json : Spec.t -> Json.t
+(** Serializes topology/nodes/system/cap_slack/seed. [jobs] is not on
+    the wire: the worker pool belongs to the server. *)
+
+val spec_of_json : ?base:Spec.t -> Json.t -> (Spec.t, Qp_error.t) result
+(** Missing fields default to [base] (default {!Spec.default} with
+    [jobs = 1]); value validation happens later in {!Spec.build}. *)
+
+(** {2 Responses} *)
+
+type serve_error =
+  | Typed of Qp_error.t (* library errors, wire codes from {!Qp_place.Serialize.error_code} *)
+  | Overloaded of string (* admission control rejected the request *)
+  | Deadline_exceeded of string (* deadline passed in queue or mid-solve *)
+
+val serve_error_code : serve_error -> string
+val serve_error_message : serve_error -> string
+
+type response = {
+  id : Json.t;
+  verb : string;
+  payload : (Json.t, serve_error) result;
+}
+
+val response_to_json : response -> Json.t
+val response_of_json : Json.t -> (response, Qp_error.t) result
+
+(** {2 Shared solve semantics} *)
+
+val solver_params : Spec.t -> options -> Qp_place.Solver.params
+(** The one spec-to-params mapping shared by [qplace solve] and the
+    server, so a served placement is byte-identical to the offline
+    result: [alpha]/[pivot_budget] from the options, solver seed
+    [spec.seed + 1] (instance construction uses [spec.seed]). *)

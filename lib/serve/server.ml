@@ -1,0 +1,411 @@
+module Obs = Qp_obs
+module Json = Qp_obs.Json
+module Qp_error = Qp_util.Qp_error
+module Spec = Qp_instance.Spec
+module Solver = Qp_place.Solver
+module Serialize = Qp_place.Serialize
+module Quorum = Qp_quorum.Quorum
+module Strategy = Qp_quorum.Strategy
+
+let ( let* ) = Qp_error.( let* )
+
+type config = {
+  host : string;
+  port : int;
+  queue_depth : int;
+  default_deadline_ms : int option;
+  max_frame : int;
+  max_connections : int;
+  default_spec : Spec.t;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7341;
+    queue_depth = 64;
+    default_deadline_ms = None;
+    max_frame = Frame.default_max_len;
+    max_connections = 1024;
+    default_spec = Spec.default;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Connections and per-server state                                    *)
+(* ------------------------------------------------------------------ *)
+
+type conn = { fd : Unix.file_descr; dec : Frame.Decoder.t; mutable alive : bool }
+
+type pending = { conn : conn; req : Protocol.request; arrival : float }
+
+type state = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  mutable conns : conn list;
+  queue : pending Queue.t;
+  mutable draining : bool;
+  mutable listen_open : bool;
+  started : float;
+}
+
+(* SIGTERM lands between loop iterations: the handler only flips this
+   flag, the event loop turns it into a graceful drain. *)
+let sigterm_requested = Atomic.make false
+
+(* ------------------------------------------------------------------ *)
+(* Metrics (always on the default registry: the [metrics] verb and the
+   CLI --metrics dump both export it)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let reg () = Obs.Metrics.default
+
+let requests_c verb =
+  Obs.Metrics.counter ~help:"Requests answered, by verb"
+    ~labels:[ ("verb", verb) ] (reg ()) "qp_serve_requests_total"
+
+let errors_c code =
+  Obs.Metrics.counter ~help:"Error responses, by code"
+    ~labels:[ ("code", code) ] (reg ()) "qp_serve_errors_total"
+
+let latency_h () =
+  Obs.Metrics.histogram
+    ~help:"Request latency from frame arrival to reply (seconds)"
+    ~buckets:(Obs.Metrics.log_buckets ~lo:1e-4 ~factor:2. ~count:22)
+    (reg ()) "qp_serve_request_latency_seconds"
+
+let connections_c () =
+  Obs.Metrics.counter ~help:"Connections accepted" (reg ())
+    "qp_serve_connections_total"
+
+let open_conns_g () =
+  Obs.Metrics.gauge ~help:"Currently open connections" (reg ())
+    "qp_serve_open_connections"
+
+(* ------------------------------------------------------------------ *)
+(* Socket helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Non-blocking frame write with a bounded patience: a client that
+   stops reading for >5s forfeits the reply and the connection. *)
+let write_frame conn payload =
+  if conn.alive then begin
+    let b = Frame.encode payload in
+    let len = Bytes.length b in
+    let off = ref 0 in
+    let give_up = Obs.Core.now () +. 5.0 in
+    let ok = ref true in
+    while !ok && !off < len do
+      match Unix.write conn.fd b !off (len - !off) with
+      | n -> off := !off + n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          if Obs.Core.now () > give_up then ok := false
+          else ignore (Unix.select [] [ conn.fd ] [] 0.25)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) -> ok := false
+    done;
+    if not !ok then conn.alive <- false
+  end
+
+let send_response conn (resp : Protocol.response) =
+  write_frame conn (Json.to_string (Protocol.response_to_json resp))
+
+let close_conn conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Verb handlers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let typed r = Result.map_error (fun e -> Protocol.Typed e) r
+
+let info_payload (spec : Spec.t) =
+  typed
+  @@ let* system = Spec.build_system spec.Spec.system in
+     let strategy = Strategy.uniform system in
+     let sizes = Array.map Array.length (Quorum.quorums system) in
+     Ok
+       (Json.Obj
+          [ ("system", Json.String spec.Spec.system);
+            ("universe", Json.Int (Quorum.universe system));
+            ("quorums", Json.Int (Quorum.n_quorums system));
+            ("min_quorum", Json.Int (Array.fold_left min sizes.(0) sizes));
+            ("max_quorum", Json.Int (Array.fold_left max sizes.(0) sizes));
+            ( "system_load",
+              Json.Float (Strategy.system_load system strategy) );
+            ("total_load", Json.Float (Strategy.total_load system strategy));
+            ("is_coterie", Json.Bool (Quorum.is_coterie system));
+            ( "all_intersecting",
+              Json.Bool (Quorum.all_intersecting system) ) ])
+
+let health_payload st =
+  Json.Obj
+    [ ("status", Json.String (if st.draining then "draining" else "ok"));
+      ("version", Json.String Obs.Build_info.version);
+      ("schema", Json.String Protocol.schema);
+      ("uptime_s", Json.Float (Obs.Core.now () -. st.started));
+      ("queue_depth", Json.Int st.cfg.queue_depth);
+      ("jobs", Json.Int (Qp_par.Pool.default_jobs ())) ]
+
+let metrics_payload () =
+  Json.Obj
+    [ ("content_type", Json.String "text/plain; version=0.0.4");
+      ("body", Json.String (Obs.Metrics.to_prometheus (reg ()))) ]
+
+let start_drain st =
+  if not st.draining then begin
+    st.draining <- true;
+    if st.listen_open then begin
+      st.listen_open <- false;
+      (try Unix.close st.listen_fd with Unix.Unix_error _ -> ())
+    end
+  end
+
+let solve_payload st (req : Protocol.request) ~deadline =
+  let spec = Option.value req.Protocol.spec ~default:st.cfg.default_spec in
+  let opts = req.Protocol.options in
+  let result =
+    let* solver = Solver.find opts.Protocol.algorithm in
+    let* problem = Spec.build spec in
+    let params = Protocol.solver_params spec opts in
+    (* Cooperative cancellation: the pivot loops poll this deadline,
+       so a request cannot hold the dispatcher past its budget by more
+       than one pivot. Cleared even when the solver raises. *)
+    Qp_lp.Simplex.set_deadline
+      (if deadline < infinity then Some deadline else None);
+    Fun.protect ~finally:(fun () -> Qp_lp.Simplex.set_deadline None)
+      (fun () -> solver.Solver.solve params problem)
+  in
+  match result with
+  | Ok outcome -> Ok (Serialize.outcome_to_json outcome)
+  | Error (Qp_error.Internal _ as e) when Obs.Core.now () > deadline ->
+      (* The pivot-budget hook fired (or the solver lost the race with
+         the clock): report the deadline, not the internal symptom. *)
+      Error
+        (Protocol.Deadline_exceeded
+           ("request deadline exceeded during solve: " ^ Qp_error.to_string e))
+  | Error e -> Error (Protocol.Typed e)
+
+let handle_verb st (req : Protocol.request) ~deadline =
+  match req.Protocol.verb with
+  | Protocol.Solve -> solve_payload st req ~deadline
+  | Protocol.Info ->
+      info_payload (Option.value req.Protocol.spec ~default:st.cfg.default_spec)
+  | Protocol.Metrics -> Ok (metrics_payload ())
+  | Protocol.Health -> Ok (health_payload st)
+  | Protocol.Shutdown ->
+      start_drain st;
+      Ok (Json.Obj [ ("draining", Json.Bool true) ])
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let dispatch_one st (p : pending) =
+  if p.conn.alive then begin
+    let verb = Protocol.verb_name p.req.Protocol.verb in
+    let deadline =
+      let ms =
+        match p.req.Protocol.options.Protocol.deadline_ms with
+        | Some ms -> Some ms
+        | None -> st.cfg.default_deadline_ms
+      in
+      match ms with
+      | Some ms -> p.arrival +. (float_of_int ms /. 1000.)
+      | None -> infinity
+    in
+    Obs.Span.with_ "request"
+      ~attrs:[ ("verb", Json.String verb); ("id", p.req.Protocol.id) ]
+    @@ fun () ->
+    let payload =
+      if Obs.Core.now () > deadline then
+        Error
+          (Protocol.Deadline_exceeded "request deadline expired in the queue")
+      else handle_verb st p.req ~deadline
+    in
+    Obs.Metrics.inc (requests_c verb);
+    (match payload with
+    | Error e ->
+        let code = Protocol.serve_error_code e in
+        Obs.Metrics.inc (errors_c code);
+        Obs.Span.add_attr "error" (Json.String code)
+    | Ok _ -> ());
+    let latency = Obs.Core.now () -. p.arrival in
+    Obs.Metrics.observe (latency_h ()) (Float.max latency 0.);
+    Obs.Span.add_attr "latency_s" (Json.Float latency);
+    send_response p.conn
+      { Protocol.id = p.req.Protocol.id; verb; payload }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Read / admission                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let reject conn ~id ~verb e =
+  Obs.Metrics.inc (errors_c (Protocol.serve_error_code e));
+  Obs.Span.event "rejected"
+    ~attrs:[ ("code", Json.String (Protocol.serve_error_code e)) ];
+  send_response conn { Protocol.id; verb; payload = Error e }
+
+let admit st conn payload =
+  match Protocol.parse_request payload with
+  | Error (id, e) -> reject conn ~id ~verb:"error" (Protocol.Typed e)
+  | Ok req ->
+      if Queue.length st.queue >= st.cfg.queue_depth then
+        reject conn ~id:req.Protocol.id
+          ~verb:(Protocol.verb_name req.Protocol.verb)
+          (Protocol.Overloaded
+             (Printf.sprintf "server queue full (depth %d)" st.cfg.queue_depth))
+      else
+        Queue.add { conn; req; arrival = Obs.Core.now () } st.queue
+
+let read_buf = Bytes.create 65536
+
+let on_readable st conn =
+  let closed =
+    match Unix.read conn.fd read_buf 0 (Bytes.length read_buf) with
+    | 0 -> true
+    | n ->
+        Frame.Decoder.feed conn.dec read_buf n;
+        false
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        false
+    | exception Unix.Unix_error (_, _, _) -> true
+  in
+  if closed then close_conn conn
+  else begin
+    let continue = ref true in
+    while !continue && conn.alive do
+      match Frame.Decoder.next conn.dec with
+      | `Frame payload -> admit st conn payload
+      | `Await -> continue := false
+      | `Error msg ->
+          (* Framing violation: one last typed error, then hang up —
+             the byte stream has no recoverable frame boundary. *)
+          reject conn ~id:Json.Null ~verb:"error"
+            (Protocol.Typed (Qp_error.Invalid_instance ("frame: " ^ msg)));
+          close_conn conn;
+          continue := false
+    done
+  end
+
+let accept_ready st =
+  let continue = ref true in
+  while !continue && st.listen_open do
+    match Unix.accept ~cloexec:true st.listen_fd with
+    | fd, _addr ->
+        if List.length st.conns >= st.cfg.max_connections then
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        else begin
+          Unix.set_nonblock fd;
+          Obs.Metrics.inc (connections_c ());
+          st.conns <-
+            st.conns
+            @ [ { fd; dec = Frame.Decoder.create ~max_len:st.cfg.max_frame ();
+                  alive = true } ]
+        end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> continue := false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Event loop                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let finish st =
+  Queue.clear st.queue;
+  List.iter close_conn st.conns;
+  st.conns <- [];
+  if st.listen_open then begin
+    st.listen_open <- false;
+    try Unix.close st.listen_fd with Unix.Unix_error _ -> ()
+  end
+
+let rec loop st =
+  if Atomic.get sigterm_requested then begin
+    Atomic.set sigterm_requested false;
+    start_drain st
+  end;
+  if st.draining && Queue.is_empty st.queue then finish st
+  else begin
+    let read_fds =
+      (if st.listen_open then [ st.listen_fd ] else [])
+      @ List.filter_map (fun c -> if c.alive then Some c.fd else None) st.conns
+    in
+    let readable =
+      match Unix.select read_fds [] [] 0.25 with
+      | r, _, _ -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+    in
+    if st.listen_open && List.memq st.listen_fd readable then accept_ready st;
+    List.iter
+      (fun c -> if c.alive && List.memq c.fd readable then on_readable st c)
+      st.conns;
+    (* Serve everything admitted this cycle, in admission order. A
+       shutdown request flips [draining] mid-loop but the rest of the
+       queue is still answered — graceful drain. *)
+    while not (Queue.is_empty st.queue) do
+      dispatch_one st (Queue.pop st.queue)
+    done;
+    st.conns <- List.filter (fun c -> c.alive) st.conns;
+    Obs.Metrics.set (open_conns_g ()) (float_of_int (List.length st.conns));
+    loop st
+  end
+
+let run ?ready cfg =
+  match
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    (try
+       Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port))
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    Unix.listen fd 128;
+    Unix.set_nonblock fd;
+    fd
+  with
+  | exception Unix.Unix_error (err, _, _) ->
+      Qp_error.invalid_instancef "serve: cannot bind %s:%d (%s)" cfg.host
+        cfg.port (Unix.error_message err)
+  | exception Failure msg ->
+      Qp_error.invalid_instancef "serve: cannot bind %s:%d (%s)" cfg.host
+        cfg.port msg
+  | listen_fd ->
+      Obs.Metrics.set_enabled (reg ()) true;
+      let st =
+        {
+          cfg;
+          listen_fd;
+          conns = [];
+          queue = Queue.create ();
+          draining = false;
+          listen_open = true;
+          started = Obs.Core.now ();
+        }
+      in
+      let port =
+        match Unix.getsockname listen_fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> cfg.port
+      in
+      Atomic.set sigterm_requested false;
+      let old_term =
+        Sys.signal Sys.sigterm
+          (Sys.Signal_handle (fun _ -> Atomic.set sigterm_requested true))
+      in
+      let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+      Fun.protect
+        ~finally:(fun () ->
+          finish st;
+          Sys.set_signal Sys.sigterm old_term;
+          Sys.set_signal Sys.sigpipe old_pipe)
+        (fun () ->
+          (match ready with Some f -> f port | None -> ());
+          loop st;
+          Ok ())

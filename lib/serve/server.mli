@@ -1,0 +1,52 @@
+(** [qp_serve]: a single-threaded TCP placement service.
+
+    One [Unix.select] event loop owns the listening socket and every
+    connection; requests are framed ({!Frame}), parsed
+    ({!Protocol.parse_request}) and admitted into a bounded FIFO
+    queue, then dispatched in admission order. Solves run through the
+    {!Qp_place.Solver} registry on the process-default
+    {!Qp_par.Pool}, so a served placement is byte-identical to the
+    offline [qplace solve] result for the same spec and options.
+
+    Robustness invariants (tested in [test/test_serve.ml]):
+    - every parseable frame gets exactly one response — malformed
+      requests come back as typed error frames, never dropped
+      connections; only framing violations close the connection (after
+      an error frame when the stream still admits one);
+    - admission control: when the queue holds [queue_depth] requests,
+      further requests are rejected immediately with [overloaded];
+    - deadlines: a request carries (or inherits) a deadline measured
+      from arrival; expired requests are rejected with
+      [deadline_exceeded] before solving, and a deadline that passes
+      mid-solve cancels the simplex cooperatively
+      ({!Qp_lp.Simplex.set_deadline});
+    - graceful drain: a [shutdown] request or SIGTERM stops accepting,
+      answers everything already admitted (in order), closes all
+      connections and returns.
+
+    Telemetry: per-request spans on the installed {!Qp_obs.Trace}
+    sink, and request counters plus a latency histogram in
+    {!Qp_obs.Metrics.default} (exported by the [metrics] verb as
+    Prometheus text). *)
+
+type config = {
+  host : string; (* bind address, default "127.0.0.1" *)
+  port : int; (* 0 = ephemeral (reported via [ready]) *)
+  queue_depth : int; (* admission-control bound on queued requests *)
+  default_deadline_ms : int option; (* None = no deadline *)
+  max_frame : int; (* framing bound, bytes *)
+  max_connections : int;
+  default_spec : Qp_instance.Spec.t; (* fills missing request spec fields *)
+}
+
+val default_config : config
+(** 127.0.0.1:7341, queue depth 64, no deadline, 4 MiB frames, 1024
+    connections, {!Qp_instance.Spec.default}. *)
+
+val run : ?ready:(int -> unit) -> config -> (unit, Qp_util.Qp_error.t) result
+(** Bind, serve until drained ([shutdown] verb or SIGTERM), then
+    return. [ready] is called once with the bound port before the
+    first [accept] (how tests and scripts learn an ephemeral port).
+    [Error (Invalid_instance _)] when the socket cannot be bound.
+    Installs a SIGTERM handler and ignores SIGPIPE for the duration of
+    the call. *)

@@ -1,0 +1,586 @@
+(* qp_serve: framing, protocol codecs, and in-process client/server
+   round-trips. The server runs in a thread on an ephemeral port; the
+   tests talk to it over real loopback sockets, so the admission,
+   deadline, and drain paths are exercised end to end exactly as a
+   remote client would see them. *)
+
+module Obs = Qp_obs
+module Json = Qp_obs.Json
+module Qp_error = Qp_util.Qp_error
+module Spec = Qp_instance.Spec
+module Solver = Qp_place.Solver
+module Serialize = Qp_place.Serialize
+module Frame = Qp_serve.Frame
+module Protocol = Qp_serve.Protocol
+module Server = Qp_serve.Server
+module Client = Qp_serve.Client
+module Loadgen = Qp_serve.Loadgen
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* Small and fast: grid:2 on 8 waxman nodes solves in ~10ms, so a
+   whole suite of round-trips stays well under a second. *)
+let test_spec =
+  { Spec.topology = "waxman"; nodes = 8; system = "grid:2"; cap_slack = 1.0;
+    seed = 3; jobs = 1 }
+
+let get_ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Qp_error.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Frame layer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_decoder_byte_by_byte () =
+  let payload = {|{"verb":"health"}|} in
+  let enc = Frame.encode payload in
+  let d = Frame.Decoder.create () in
+  let n = Bytes.length enc in
+  for i = 0 to n - 2 do
+    Frame.Decoder.feed d (Bytes.sub enc i 1) 1;
+    match Frame.Decoder.next d with
+    | `Await -> ()
+    | `Frame _ -> Alcotest.fail "frame completed early"
+    | `Error msg -> Alcotest.failf "decoder error mid-frame: %s" msg
+  done;
+  Frame.Decoder.feed d (Bytes.sub enc (n - 1) 1) 1;
+  (match Frame.Decoder.next d with
+  | `Frame p -> checks "payload" payload p
+  | _ -> Alcotest.fail "expected a complete frame");
+  match Frame.Decoder.next d with
+  | `Await -> ()
+  | _ -> Alcotest.fail "decoder must be empty after the frame"
+
+let test_decoder_pipelined () =
+  let p1 = "first" and p2 = {|{"k":[1,2,3]}|} in
+  let enc = Bytes.cat (Frame.encode p1) (Frame.encode p2) in
+  let d = Frame.Decoder.create () in
+  Frame.Decoder.feed d enc (Bytes.length enc);
+  (match Frame.Decoder.next d with
+  | `Frame p -> checks "first frame" p1 p
+  | _ -> Alcotest.fail "expected first frame");
+  (match Frame.Decoder.next d with
+  | `Frame p -> checks "second frame" p2 p
+  | _ -> Alcotest.fail "expected second frame");
+  match Frame.Decoder.next d with
+  | `Await -> ()
+  | _ -> Alcotest.fail "expected Await after both frames"
+
+let test_decoder_oversize_poisons () =
+  let d = Frame.Decoder.create ~max_len:8 () in
+  let enc = Frame.encode (String.make 100 'x') in
+  Frame.Decoder.feed d enc (Bytes.length enc);
+  (match Frame.Decoder.next d with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "oversize length must be a decoder error");
+  match Frame.Decoder.next d with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "decoder must stay poisoned"
+
+let test_decoder_negative_length () =
+  let d = Frame.Decoder.create () in
+  let b = Bytes.make 8 '\xff' in
+  Frame.Decoder.feed d b 8;
+  match Frame.Decoder.next d with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "negative length must be a decoder error"
+
+(* ------------------------------------------------------------------ *)
+(* Codecs                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_error_codec_roundtrip () =
+  let cases =
+    [ Qp_error.Invalid_instance "bad spec";
+      Qp_error.Infeasible "no placement";
+      Qp_error.Capacity_violation { node = 3; load = 2.5; cap = 1.0 };
+      Qp_error.Internal "pivot budget exceeded" ]
+  in
+  List.iter
+    (fun e ->
+      let j = Serialize.error_to_json e in
+      match Serialize.error_of_json j with
+      | Ok e' ->
+          checkb
+            (Printf.sprintf "round-trip %s" (Serialize.error_code e))
+            true (e = e')
+      | Error d -> Alcotest.failf "decode failed: %s" (Qp_error.to_string d))
+    cases;
+  checks "codes" "invalid_instance,infeasible,capacity_violation,internal"
+    (String.concat "," (List.map Serialize.error_code cases))
+
+let test_request_codec () =
+  let req =
+    Protocol.request ~id:(Json.Int 7) ~spec:test_spec
+      ~options:
+        { Protocol.default_options with
+          Protocol.deadline_ms = Some 250;
+          pivot_budget = Some 9 }
+      Protocol.Solve
+  in
+  let j = Protocol.request_to_json req in
+  let req' = get_ok "request_of_json" (Protocol.request_of_json j) in
+  checkb "id" true (req'.Protocol.id = Json.Int 7);
+  checkb "verb" true (req'.Protocol.verb = Protocol.Solve);
+  (match req'.Protocol.spec with
+  | Some s -> checkb "spec" true (s = test_spec)
+  | None -> Alcotest.fail "spec lost");
+  checkb "options" true
+    (req'.Protocol.options.Protocol.deadline_ms = Some 250
+    && req'.Protocol.options.Protocol.pivot_budget = Some 9)
+
+let test_request_defaults_and_errors () =
+  let req =
+    get_ok "minimal" (Protocol.request_of_json (Json.of_string {|{"verb":"health"}|}))
+  in
+  checkb "defaults" true
+    (req.Protocol.id = Json.Null
+    && req.Protocol.spec = None
+    && req.Protocol.options = Protocol.default_options);
+  (match Protocol.request_of_json (Json.of_string {|{"verb":"explode"}|}) with
+  | Error (Qp_error.Invalid_instance _) -> ()
+  | _ -> Alcotest.fail "unknown verb must be invalid_instance");
+  (match Protocol.request_of_json (Json.of_string {|{"verb":"solve","spec":{"nodes":"many"}}|}) with
+  | Error (Qp_error.Invalid_instance _) -> ()
+  | _ -> Alcotest.fail "mistyped spec field must be invalid_instance");
+  match Protocol.parse_request {|{"id":42,"verb":"nope"}|} with
+  | Error (Json.Int 42, _) -> ()
+  | _ -> Alcotest.fail "parse_request must recover the id"
+
+let test_partial_spec_defaults () =
+  let base = test_spec in
+  let s =
+    get_ok "partial spec"
+      (Protocol.spec_of_json ~base (Json.of_string {|{"seed":99}|}))
+  in
+  checkb "only seed overridden" true
+    (s = { base with Spec.seed = 99 })
+
+(* ------------------------------------------------------------------ *)
+(* In-process server harness                                           *)
+(* ------------------------------------------------------------------ *)
+
+let with_server ?(tweak = fun c -> c) f =
+  let port = Atomic.make 0 in
+  let cfg =
+    tweak
+      { Server.default_config with
+        Server.port = 0;
+        default_spec = test_spec }
+  in
+  let result = ref (Ok ()) in
+  let th =
+    Thread.create
+      (fun () -> result := Server.run ~ready:(fun p -> Atomic.set port p) cfg)
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.002
+  done;
+  if Atomic.get port = 0 then Alcotest.fail "server never became ready";
+  let p = Atomic.get port in
+  Fun.protect
+    ~finally:(fun () ->
+      (match Client.connect ~port:p () with
+      | Ok c ->
+          ignore (Client.call c (Protocol.request Protocol.Shutdown));
+          Client.close c
+      | Error _ -> () (* already drained *));
+      Thread.join th;
+      match !result with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "server exit: %s" (Qp_error.to_string e))
+    (fun () -> f p)
+
+let call_ok what client req =
+  match get_ok what (Client.call client req) with
+  | { Protocol.payload = Ok j; _ } -> j
+  | { Protocol.payload = Error e; _ } ->
+      Alcotest.failf "%s: server error %s: %s" what
+        (Protocol.serve_error_code e)
+        (Protocol.serve_error_message e)
+
+let call_err what client req =
+  match get_ok what (Client.call client req) with
+  | { Protocol.payload = Error e; _ } -> e
+  | { Protocol.payload = Ok _; _ } ->
+      Alcotest.failf "%s: expected an error response" what
+
+let member_string what j key =
+  match Option.bind (Json.member key j) Json.to_str with
+  | Some s -> s
+  | None -> Alcotest.failf "%s: missing string %S" what key
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end verbs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_verbs () =
+  with_server @@ fun port ->
+  let c = get_ok "connect" (Client.connect ~port ()) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* health: status + build version (the --version satellite, served) *)
+  let h = call_ok "health" c (Protocol.request ~id:(Json.Int 1) Protocol.Health) in
+  checks "health status" "ok" (member_string "health" h "status");
+  checks "health version" Obs.Build_info.version (member_string "health" h "version");
+  (* info: quorum-system description *)
+  let i = call_ok "info" c (Protocol.request ~id:(Json.Int 2) Protocol.Info) in
+  checki "info universe"
+    (match Json.member "universe" i with Some (Json.Int n) -> n | _ -> -1)
+    4;
+  (* metrics: well-formed Prometheus text mentioning our series *)
+  let m = call_ok "metrics" c (Protocol.request ~id:(Json.Int 3) Protocol.Metrics) in
+  let body = member_string "metrics" m "body" in
+  checkb "metrics exports request counter" true
+    (let re = "qp_serve_requests_total" in
+     let len = String.length re in
+     let rec find i =
+       i + len <= String.length body && (String.sub body i len = re || find (i + 1))
+     in
+     find 0);
+  (* solve: echoes the id and returns a qp-solve/1 outcome *)
+  let resp =
+    get_ok "solve"
+      (Client.call c (Protocol.request ~id:(Json.String "rq") Protocol.Solve))
+  in
+  checkb "solve id echoed" true (resp.Protocol.id = Json.String "rq");
+  match resp.Protocol.payload with
+  | Ok j -> checks "outcome schema" "qp-solve/1" (member_string "solve" j "schema")
+  | Error e -> Alcotest.failf "solve: %s" (Protocol.serve_error_message e)
+
+(* The acceptance property: a served placement is byte-identical to
+   the offline solve of the same spec and options. *)
+let test_served_equals_offline () =
+  let offline =
+    let solver = get_ok "find lp" (Solver.find "lp") in
+    let problem = get_ok "build" (Spec.build test_spec) in
+    let params = Protocol.solver_params test_spec Protocol.default_options in
+    get_ok "offline solve" (solver.Solver.solve params problem)
+  in
+  let offline_str = Json.to_string (Serialize.outcome_to_json offline) in
+  with_server @@ fun port ->
+  let c = get_ok "connect" (Client.connect ~port ()) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* once against the server's default spec, once with the spec on the
+     wire: both must be the same bytes *)
+  let served1 = call_ok "solve default" c (Protocol.request Protocol.Solve) in
+  let served2 =
+    call_ok "solve explicit" c (Protocol.request ~spec:test_spec Protocol.Solve)
+  in
+  checks "served(default spec) = offline" offline_str (Json.to_string served1);
+  checks "served(wire spec) = offline" offline_str (Json.to_string served2)
+
+let test_solve_typed_errors () =
+  with_server @@ fun port ->
+  let c = get_ok "connect" (Client.connect ~port ()) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* unknown algorithm -> invalid_instance, connection stays usable *)
+  let e =
+    call_err "bad alg" c
+      (Protocol.request
+         ~options:{ Protocol.default_options with Protocol.algorithm = "nope" }
+         Protocol.Solve)
+  in
+  checks "bad alg code" "invalid_instance" (Protocol.serve_error_code e);
+  (* pivot-budget exhaustion -> typed internal error *)
+  let e =
+    call_err "tiny budget" c
+      (Protocol.request
+         ~options:{ Protocol.default_options with Protocol.pivot_budget = Some 1 }
+         Protocol.Solve)
+  in
+  checks "pivot budget code" "internal" (Protocol.serve_error_code e);
+  checkb "pivot budget message" true
+    (let msg = Protocol.serve_error_message e in
+     let has sub =
+       let n = String.length sub in
+       let rec find i =
+         i + n <= String.length msg && (String.sub msg i n = sub || find (i + 1))
+       in
+       find 0
+     in
+     has "pivot");
+  (* and the server is still healthy afterwards *)
+  let h = call_ok "health after errors" c (Protocol.request Protocol.Health) in
+  checks "still ok" "ok" (member_string "health" h "status")
+
+let test_deadline_zero_rejected () =
+  with_server @@ fun port ->
+  let c = get_ok "connect" (Client.connect ~port ()) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let e =
+    call_err "deadline 0" c
+      (Protocol.request
+         ~options:{ Protocol.default_options with Protocol.deadline_ms = Some 0 }
+         Protocol.Solve)
+  in
+  checks "deadline code" "deadline_exceeded" (Protocol.serve_error_code e)
+
+let test_malformed_gets_reply_not_hangup () =
+  with_server @@ fun port ->
+  let c = get_ok "connect" (Client.connect ~port ()) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  get_ok "send garbage json" (Client.send_raw c "this is not json");
+  (match get_ok "recv" (Client.recv c) with
+  | Some { Protocol.payload = Error (Protocol.Typed (Qp_error.Invalid_instance _)); _ } ->
+      ()
+  | Some _ -> Alcotest.fail "expected invalid_instance reply"
+  | None -> Alcotest.fail "server hung up instead of replying");
+  (* same connection still serves requests *)
+  let h = call_ok "health after garbage" c (Protocol.request Protocol.Health) in
+  checks "still ok" "ok" (member_string "health" h "status")
+
+(* ------------------------------------------------------------------ *)
+(* Admission control and drain                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Raw pipelined burst on one socket: all frames land in the server's
+   read buffer together, so the admission decision is deterministic. *)
+let burst port payloads =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  let buf = Buffer.create 256 in
+  List.iter (fun p -> Buffer.add_bytes buf (Frame.encode p)) payloads;
+  let b = Buffer.to_bytes buf in
+  let n = Unix.write fd b 0 (Bytes.length b) in
+  checki "burst written in one call" (Bytes.length b) n;
+  fd
+
+let read_responses fd n =
+  let rec go acc k =
+    if k = 0 then List.rev acc
+    else
+      match Frame.read fd with
+      | Some payload ->
+          let j = Json.of_string payload in
+          go (get_ok "response_of_json" (Protocol.response_of_json j) :: acc)
+            (k - 1)
+      | None -> Alcotest.failf "EOF after %d responses" (n - k)
+  in
+  go [] n
+
+let solve_req id =
+  Json.to_string
+    (Protocol.request_to_json (Protocol.request ~id:(Json.Int id) Protocol.Solve))
+
+let test_queue_full_rejection () =
+  with_server ~tweak:(fun c -> { c with Server.queue_depth = 1 })
+  @@ fun port ->
+  let fd = burst port [ solve_req 1; solve_req 2; solve_req 3 ] in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let resps = read_responses fd 3 in
+  let by_id id =
+    match List.find_opt (fun r -> r.Protocol.id = Json.Int id) resps with
+    | Some r -> r
+    | None -> Alcotest.failf "no response for id %d" id
+  in
+  (* the first request of the burst is admitted and solved... *)
+  (match (by_id 1).Protocol.payload with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "admitted request failed: %s" (Protocol.serve_error_message e));
+  (* ...the overflow is rejected immediately with the typed code *)
+  List.iter
+    (fun id ->
+      match (by_id id).Protocol.payload with
+      | Error (Protocol.Overloaded _) -> ()
+      | _ -> Alcotest.failf "id %d should be overloaded" id)
+    [ 2; 3 ];
+  (* rejections are written during the read phase, before the solve *)
+  match List.map (fun r -> r.Protocol.id) resps with
+  | [ Json.Int 2; Json.Int 3; Json.Int 1 ] -> ()
+  | _ -> Alcotest.fail "rejections must precede the admitted reply on the wire"
+
+let test_graceful_drain_ordering () =
+  with_server @@ fun port ->
+  let shutdown_req =
+    Json.to_string
+      (Protocol.request_to_json (Protocol.request ~id:(Json.Int 2) Protocol.Shutdown))
+  in
+  let health_req =
+    Json.to_string
+      (Protocol.request_to_json (Protocol.request ~id:(Json.Int 3) Protocol.Health))
+  in
+  let fd = burst port [ solve_req 1; shutdown_req; health_req ] in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let resps = read_responses fd 3 in
+  (* everything admitted before the shutdown is answered, in order *)
+  (match List.map (fun r -> (r.Protocol.id, Result.is_ok r.Protocol.payload)) resps with
+  | [ (Json.Int 1, true); (Json.Int 2, true); (Json.Int 3, true) ] -> ()
+  | _ -> Alcotest.fail "drain must answer the whole admitted queue in order");
+  (* the health request dispatched after shutdown reports draining *)
+  (match (List.nth resps 2).Protocol.payload with
+  | Ok j -> checks "draining status" "draining" (member_string "drain" j "status")
+  | Error _ -> Alcotest.fail "health during drain failed");
+  (* then the server closes the connection... *)
+  (match Frame.read fd with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected EOF after drain");
+  (* ...and stops listening *)
+  match Client.connect ~port () with
+  | Error _ -> ()
+  | Ok c ->
+      (* accept backlog may race the close; a dead socket is also fine *)
+      let alive =
+        match Client.call c (Protocol.request Protocol.Health) with
+        | Ok _ -> true
+        | Error _ -> false
+      in
+      Client.close c;
+      checkb "no service after drain" false alive
+
+(* ------------------------------------------------------------------ *)
+(* Cooperative cancellation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_simplex_deadline_cancels () =
+  (* Deterministic via the fake clock: the deadline is already in the
+     past when the solver starts, so the very first pivot-loop check
+     must abort with a typed internal error. *)
+  Obs.Core.set_clock (fun () -> 100.);
+  Fun.protect
+    ~finally:(fun () ->
+      Qp_lp.Simplex.set_deadline None;
+      Obs.Core.default_clock ())
+  @@ fun () ->
+  Qp_lp.Simplex.set_deadline (Some 50.);
+  let solver = get_ok "find lp" (Solver.find "lp") in
+  let problem = get_ok "build" (Spec.build test_spec) in
+  let params = Protocol.solver_params test_spec Protocol.default_options in
+  match solver.Solver.solve params problem with
+  | Error (Qp_error.Internal msg) ->
+      checkb "mentions deadline" true
+        (let sub = "deadline" in
+         let n = String.length sub in
+         let rec find i =
+           i + n <= String.length msg
+           && (String.sub msg i n = sub || find (i + 1))
+         in
+         find 0)
+  | Ok _ -> Alcotest.fail "expired deadline must cancel the solve"
+  | Error e -> Alcotest.failf "wrong error: %s" (Qp_error.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: arbitrary bytes never kill the server                         *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_port = Atomic.make 0
+
+let fuzz_server_survives =
+  QCheck.Test.make ~count:20 ~name:"serve: arbitrary frames never crash the server"
+    QCheck.(string_of_size (Gen.int_range 0 2048))
+    (fun garbage ->
+      match Atomic.get fuzz_port with
+      | 0 -> QCheck.Test.fail_report "fuzz server not running"
+      | port ->
+          (* framed garbage payload on its own connection *)
+          (match Client.connect ~port () with
+          | Ok c ->
+              ignore (Client.send_raw c garbage);
+              ignore (Client.recv c);
+              Client.close c
+          | Error _ -> ());
+          (* raw unframed garbage too *)
+          (try
+             let fd =
+               Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0
+             in
+             Unix.connect fd
+               (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+             let b = Bytes.of_string garbage in
+             if Bytes.length b > 0 then
+               ignore (Unix.write fd b 0 (Bytes.length b));
+             Unix.close fd
+           with Unix.Unix_error _ -> ());
+          (* the server must still answer a well-formed health check *)
+          let c' =
+            match Client.connect ~port () with
+            | Ok c -> c
+            | Error e ->
+                QCheck.Test.fail_reportf "reconnect failed: %s"
+                  (Qp_error.to_string e)
+          in
+          let ok =
+            match Client.call c' (Protocol.request Protocol.Health) with
+            | Ok { Protocol.payload = Ok _; _ } -> true
+            | _ -> false
+          in
+          Client.close c';
+          ok)
+
+let test_fuzz () =
+  with_server @@ fun port ->
+  Atomic.set fuzz_port port;
+  Fun.protect ~finally:(fun () -> Atomic.set fuzz_port 0) @@ fun () ->
+  QCheck.Test.check_exn fuzz_server_survives
+
+(* ------------------------------------------------------------------ *)
+(* Loadgen                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_mix_of_string () =
+  (match Loadgen.mix_of_string "solve=8,info=1,health=1" with
+  | Ok [ (Protocol.Solve, 8.); (Protocol.Info, 1.); (Protocol.Health, 1.) ] -> ()
+  | Ok _ -> Alcotest.fail "wrong mix"
+  | Error e -> Alcotest.failf "mix: %s" (Qp_error.to_string e));
+  (match Loadgen.mix_of_string "shutdown=1" with
+  | Error (Qp_error.Invalid_instance _) -> ()
+  | _ -> Alcotest.fail "shutdown must be rejected in a mix");
+  match Loadgen.mix_of_string "solve=-1" with
+  | Error (Qp_error.Invalid_instance _) -> ()
+  | _ -> Alcotest.fail "negative weight must be rejected"
+
+let test_loadgen_against_server () =
+  with_server @@ fun port ->
+  let cfg =
+    { Loadgen.default_config with
+      Loadgen.port;
+      connections = 2;
+      duration_s = 0.4;
+      spec = Some test_spec;
+      seed = 42 }
+  in
+  let report = get_ok "loadgen" (Loadgen.run cfg) in
+  checkb "completed requests" true (report.Loadgen.completed > 0);
+  checki "no transport errors" 0 report.Loadgen.transport_errors;
+  checki "latencies recorded" report.Loadgen.completed
+    (Array.length report.Loadgen.latencies_ms);
+  (* report JSON is a qp-loadgen/1 document *)
+  let j = Loadgen.report_to_json report in
+  checks "report schema" "qp-loadgen/1" (member_string "report" j "schema");
+  match report.Loadgen.sample_outcome with
+  | Some outcome ->
+      checks "sample outcome schema" "qp-solve/1"
+        (member_string "sample" outcome "schema")
+  | None -> Alcotest.fail "solve-heavy mix must capture a sample outcome"
+
+let suites =
+  [ ( "serve.frame",
+      [ Alcotest.test_case "decoder byte-by-byte" `Quick test_decoder_byte_by_byte;
+        Alcotest.test_case "decoder pipelined frames" `Quick test_decoder_pipelined;
+        Alcotest.test_case "decoder oversize poisons" `Quick test_decoder_oversize_poisons;
+        Alcotest.test_case "decoder negative length" `Quick test_decoder_negative_length ] );
+    ( "serve.protocol",
+      [ Alcotest.test_case "error codec round-trip" `Quick test_error_codec_roundtrip;
+        Alcotest.test_case "request codec round-trip" `Quick test_request_codec;
+        Alcotest.test_case "request defaults and errors" `Quick test_request_defaults_and_errors;
+        Alcotest.test_case "partial spec defaults" `Quick test_partial_spec_defaults ] );
+    ( "serve.server",
+      [ Alcotest.test_case "all verbs round-trip" `Quick test_all_verbs;
+        Alcotest.test_case "served solve = offline solve" `Quick test_served_equals_offline;
+        Alcotest.test_case "typed solve errors" `Quick test_solve_typed_errors;
+        Alcotest.test_case "deadline 0 rejected" `Quick test_deadline_zero_rejected;
+        Alcotest.test_case "malformed request gets a reply" `Quick test_malformed_gets_reply_not_hangup;
+        Alcotest.test_case "queue-full rejection" `Quick test_queue_full_rejection;
+        Alcotest.test_case "graceful drain ordering" `Quick test_graceful_drain_ordering;
+        Alcotest.test_case "simplex deadline cancels" `Quick test_simplex_deadline_cancels;
+        Alcotest.test_case "fuzz: garbage never crashes" `Quick test_fuzz ] );
+    ( "serve.loadgen",
+      [ Alcotest.test_case "mix parser" `Quick test_mix_of_string;
+        Alcotest.test_case "closed-loop run" `Quick test_loadgen_against_server ] ) ]
