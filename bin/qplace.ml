@@ -7,6 +7,7 @@
      info        describe a quorum system construction
      solvers     list the registered placement algorithms
      resilience  closed-loop engine vs static baseline under churn
+     churn       greedy repair vs bounded-safe migration under churn
    Instances are described by one shared {!Qp_instance.Spec.t} record
    (deterministic from --seed); algorithms are selected by name from
    the {!Qp_place.Solver} registry. Library errors arrive as typed
@@ -411,6 +412,72 @@ let design_cmd topology nodes seed =
     \   placement formulation exists to avoid)\n";
   Ok ()
 
+(* Churn comparison: the greedy-repair engine vs the full closed loop
+   (warm re-solve + bounded-safe migration) on the same failure
+   trajectory and retry budget. *)
+let churn_cmd (c : common) mtbf mttr attempts accesses bound =
+  run_result
+  @@
+  let* solver = Solver.find "lp" in
+  let* () =
+    if bound <= 0. then
+      Qp_error.invalid_instancef "bound must be positive (got %g)" bound
+    else Ok ()
+  in
+  let jobs = resolve_jobs c.spec.Spec.jobs in
+  with_obs c (meta_of c ~command:"churn" ~jobs ~alpha:2. ~algorithm:"lp")
+  @@ fun () ->
+  let* problem = Spec.build c.spec in
+  let* outcome = solver.Solver.solve (params_of c ~alpha:2.) problem in
+  let placement = outcome.Outcome.placement in
+  let seed = c.spec.Spec.seed in
+  let module Failure = Qp_runtime.Failure in
+  let module Retry = Qp_runtime.Retry in
+  let module Engine = Qp_runtime.Engine in
+  let failure = Failure.Dynamic { mtbf; mttr } in
+  let timeout = 4. *. Qp_graph.Metric.diameter problem.Problem.metric in
+  let retry = Retry.fixed ~timeout ~max_attempts:attempts in
+  let cfg migration =
+    { (Engine.default_config ~adaptive:true ~repair:Engine.default_trigger
+         ?migration ~problem ~placement ~failure ()) with
+      Engine.retry; accesses_per_client = accesses; seed }
+  in
+  let greedy = Engine.run (cfg None) in
+  let migr =
+    Engine.run (cfg (Some { Engine.default_migration with Engine.bound }))
+  in
+  Printf.printf "dynamic churn: mtbf %.1f, mttr %.1f (node availability %.3f)\n"
+    mtbf mttr (Failure.node_availability failure);
+  let tbl =
+    Table.create ~title:"greedy repair vs bounded-safe migration"
+      [ ("metric", Table.Left); ("greedy", Table.Right); ("migration", Table.Right) ]
+  in
+  Table.add_rowf tbl "availability|%.4f|%.4f" greedy.Engine.availability
+    migr.Engine.availability;
+  Table.add_rowf tbl "mean delay (ok)|%.4f|%.4f" greedy.Engine.mean_delay_success
+    migr.Engine.mean_delay_success;
+  Table.add_rowf tbl "mean attempts|%.2f|%.2f" greedy.Engine.mean_attempts
+    migr.Engine.mean_attempts;
+  Table.add_rowf tbl "repairs / migrations|%d|%d"
+    (List.length greedy.Engine.repairs)
+    (List.length migr.Engine.migrations);
+  Table.print tbl;
+  (match migr.Engine.migrations with
+  | [] -> print_endline "migrations: none triggered"
+  | ms ->
+      List.iter
+        (fun (m : Engine.migration_event) ->
+          Printf.printf
+            "  t=%8.2f  dead {%s}  moves %d/%d (%d retried)%s%s  delay %.4f -> %.4f\n"
+            m.Engine.m_time
+            (String.concat ", " (List.map string_of_int m.Engine.m_dead))
+            m.Engine.applied_moves m.Engine.planned_moves m.Engine.retried_moves
+            (if m.Engine.warm then "  warm" else "  cold")
+            (if m.Engine.degraded then "  DEGRADED" else "")
+            m.Engine.m_delay_before m.Engine.m_delay_after)
+        ms);
+  Ok ()
+
 (* ------------------------------------------------------------------ *)
 (* serve / loadgen: the network front end (lib/serve)                  *)
 (* ------------------------------------------------------------------ *)
@@ -439,10 +506,15 @@ let serve_cmd (c : common) port host queue_depth deadline_ms =
     cfg
 
 let loadgen_cmd (c : common) host port connections duration mix deadline_ms
-    pivot_budget algorithm alpha out =
+    pivot_budget algorithm alpha timeout_ms retries drop_every out =
   run_result
   @@
   let* mix = Qp_serve.Loadgen.mix_of_string mix in
+  let* () =
+    if retries < 0 then
+      Qp_error.invalid_instancef "retries must be >= 0 (got %d)" retries
+    else Ok ()
+  in
   ignore (resolve_jobs 1);
   let options =
     { Qp_serve.Protocol.algorithm;
@@ -458,7 +530,10 @@ let loadgen_cmd (c : common) host port connections duration mix deadline_ms
       mix;
       spec = Some c.spec;
       options;
-      seed = c.spec.Spec.seed }
+      seed = c.spec.Spec.seed;
+      timeout_ms;
+      retries;
+      drop_every }
   in
   let* report = Qp_serve.Loadgen.run cfg in
   let doc = Obs.Json.to_string (Qp_serve.Loadgen.report_to_json report) in
@@ -683,14 +758,43 @@ let out_t =
   Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
          ~doc:"Also write the qp-loadgen/1 report to FILE.")
 
+let timeout_ms_t =
+  Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS"
+         ~doc:"Client connect and per-call socket timeout; a hung or \
+               partitioned server fails the call instead of blocking forever.")
+
+let retries_t =
+  Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N"
+         ~doc:"Retries per call (jittered exponential backoff) on transport \
+               errors and overloaded replies before the failure is recorded.")
+
+let chaos_drop_t =
+  Arg.(value & opt (some int) None & info [ "chaos-drop" ] ~docv:"K"
+         ~doc:"Fault injection: force-close each worker's connection before \
+               every K-th request, exercising the reconnect path.")
+
 let loadgen_term =
   Term.(const loadgen_cmd $ common_t $ host_t $ port_t $ connections_t
         $ duration_t $ mix_t $ deadline_ms_t $ pivot_budget_t $ algorithm_t
-        $ alpha_t $ out_t)
+        $ alpha_t $ timeout_ms_t $ retries_t $ chaos_drop_t $ out_t)
 
 let loadgen_cmd_info =
   Cmd.info "loadgen"
     ~doc:"Drive a qplace server with closed-loop load and report latency percentiles."
+
+let bound_t =
+  Arg.(value & opt float 3.0 & info [ "bound" ] ~docv:"B"
+         ~doc:"Migration load bound: every intermediate placement keeps each \
+               node's load within B times its capacity (default alpha + 1).")
+
+let churn_term =
+  Term.(const churn_cmd $ common_t $ mtbf_t $ mttr_t $ attempts_t
+        $ resilience_accesses_t $ bound_t)
+
+let churn_cmd_info =
+  Cmd.info "churn"
+    ~doc:"Compare greedy repair with the warm-re-solve + bounded-safe \
+          migration loop under node churn."
 
 let main_cmd =
   let doc = "quorum placement in networks to minimize access delays (PODC'05)" in
@@ -708,6 +812,7 @@ let main_cmd =
       Cmd.v eval_cmd_info eval_term;
       Cmd.v serve_cmd_info serve_term;
       Cmd.v loadgen_cmd_info loadgen_term;
+      Cmd.v churn_cmd_info churn_term;
     ]
 
 let broken_pipe msg =

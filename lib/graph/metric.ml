@@ -39,6 +39,7 @@ let cache_order : fingerprint Queue.t = Queue.create ()
 let cache_lock = Mutex.create ()
 let cache_hits = ref 0
 let cache_misses = ref 0
+let cache_partial = ref 0
 
 let fingerprint g : fingerprint = (Graph.n_vertices g, Graph.edges g)
 
@@ -52,6 +53,16 @@ let cache_find key =
           incr cache_misses;
           None)
 
+(* Lookup that counts a hit but leaves the miss classification (full
+   vs partial) to the caller. *)
+let cache_peek key =
+  Mutex.protect cache_lock (fun () ->
+      match Hashtbl.find_opt cache key with
+      | Some d ->
+          incr cache_hits;
+          Some d
+      | None -> None)
+
 let cache_insert key d =
   Mutex.protect cache_lock (fun () ->
       if not (Hashtbl.mem cache key) then begin
@@ -61,14 +72,15 @@ let cache_insert key d =
         Queue.push key cache_order
       end)
 
-let apsp_cache_stats () = (!cache_hits, !cache_misses)
+let apsp_cache_stats () = (!cache_hits, !cache_misses, !cache_partial)
 
 let reset_apsp_cache () =
   Mutex.protect cache_lock (fun () ->
       Hashtbl.reset cache;
       Queue.clear cache_order;
       cache_hits := 0;
-      cache_misses := 0)
+      cache_misses := 0;
+      cache_partial := 0)
 
 let of_graph ?(cache = true) g =
   if not (Graph.is_connected g) then invalid_arg "Metric.of_graph: disconnected graph";
@@ -85,6 +97,156 @@ let of_graph ?(cache = true) g =
         let d = Apsp.repeated_dijkstra g in
         cache_insert key d;
         { n; d }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Incremental APSP under edge deltas                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A single-edge length decrease (or edge insertion) updates the
+   matrix exactly with one O(n^2) relaxation through the new edge. An
+   increase (or removal) can only lengthen paths that ran through the
+   edge, so only the rows whose shortest-path tree used it need a
+   fresh Dijkstra; the remaining rows are provably unchanged. Deltas
+   are applied one edge at a time through a working copy, insertions
+   and decreases first so every intermediate graph is a supergraph of
+   the (connected) final graph. *)
+
+let relax_through_edge d n u v w =
+  for i = 0 to n - 1 do
+    let diu = d.(i).(u) and div = d.(i).(v) in
+    for j = 0 to n - 1 do
+      let via = Float.min (diu +. w +. d.(v).(j)) (div +. w +. d.(u).(j)) in
+      if via < d.(i).(j) then d.(i).(j) <- via
+    done
+  done
+
+(* Rows whose distance to some vertex may have used edge {u,v} at
+   length [w_old]: row i is affected iff for some k,
+   d(i,k) = d(i,u) + w_old + d(v,k) (or the symmetric form). The eps
+   absorbs float summation noise; false positives only cost an extra
+   row recompute, never correctness. *)
+let affected_rows d n u v w_old =
+  let eps = 1e-9 in
+  let rows = ref [] in
+  for i = n - 1 downto 0 do
+    let diu = d.(i).(u) and div = d.(i).(v) in
+    let hit = ref false in
+    let k = ref 0 in
+    while (not !hit) && !k < n do
+      let dk = d.(i).(!k) in
+      if
+        dk >= diu +. w_old +. d.(v).(!k) -. eps
+        || dk >= div +. w_old +. d.(u).(!k) -. eps
+      then hit := true;
+      incr k
+    done;
+    if !hit then rows := i :: !rows
+  done;
+  !rows
+
+type edge_delta =
+  | Relaxing of int * int * float (* insertion or length decrease *)
+  | Tightening of int * int * float (* removal or length increase: old length *)
+
+let classify_deltas old_edges new_edges =
+  let tbl_of es =
+    let h = Hashtbl.create (List.length es) in
+    List.iter (fun (u, v, w) -> Hashtbl.replace h (u, v) w) es;
+    h
+  in
+  let old_t = tbl_of old_edges and new_t = tbl_of new_edges in
+  let deltas = ref [] in
+  Hashtbl.iter
+    (fun (u, v) w_new ->
+      match Hashtbl.find_opt old_t (u, v) with
+      | None -> deltas := Relaxing (u, v, w_new) :: !deltas
+      | Some w_old ->
+          if w_new < w_old then deltas := Relaxing (u, v, w_new) :: !deltas
+          else if w_new > w_old then
+            deltas := Tightening (u, v, w_old) :: !deltas)
+    new_t;
+  Hashtbl.iter
+    (fun (u, v) w_old ->
+      if not (Hashtbl.mem new_t (u, v)) then
+        deltas := Tightening (u, v, w_old) :: !deltas)
+    old_t;
+  (* Deterministic order: relaxations first (keeps intermediates
+     connected), then by endpoints. *)
+  List.sort
+    (fun a b ->
+      match (a, b) with
+      | Relaxing _, Tightening _ -> -1
+      | Tightening _, Relaxing _ -> 1
+      | Relaxing (u, v, w), Relaxing (u', v', w')
+      | Tightening (u, v, w), Tightening (u', v', w') ->
+          compare (u, v, w) (u', v', w'))
+    !deltas
+
+(* Beyond this many changed edges a fresh APSP is cheaper than the
+   per-edge affected-row scans. *)
+let max_incremental_deltas = 8
+
+let of_graph_delta ?(cache = true) ~base ~base_graph g =
+  let n = Graph.n_vertices g in
+  if not (Graph.is_connected g) then
+    invalid_arg "Metric.of_graph_delta: disconnected graph";
+  let full ~count_miss =
+    if count_miss then
+      Mutex.protect cache_lock (fun () -> incr cache_misses);
+    let d = Apsp.repeated_dijkstra g in
+    if cache then cache_insert (fingerprint g) d;
+    { n; d }
+  in
+  if n <> base.n || n <> Graph.n_vertices base_graph then full ~count_miss:true
+  else begin
+    let key = fingerprint g in
+    let cached = if cache then cache_peek key else None in
+    match cached with
+    | Some d -> { n; d }
+    | None -> (
+        let deltas = classify_deltas (Graph.edges base_graph) (Graph.edges g) in
+        match deltas with
+        | [] -> { n; d = base.d }
+        | _ when List.length deltas > max_incremental_deltas ->
+            full ~count_miss:true
+        | _ ->
+            Mutex.protect cache_lock (fun () -> incr cache_partial);
+            let d = Array.map Array.copy base.d in
+            (* Working graph tracks the edge set matching [d] so the
+               per-row Dijkstra after a tightening sees the right
+               lengths. *)
+            let work = ref (Graph.edges base_graph) in
+            List.iter
+              (fun delta ->
+                match delta with
+                | Relaxing (u, v, w) ->
+                    work :=
+                      (u, v, w)
+                      :: List.filter (fun (a, b, _) -> (a, b) <> (u, v)) !work;
+                    relax_through_edge d n u v w
+                | Tightening (u, v, w_old) ->
+                    let rows = affected_rows d n u v w_old in
+                    let keep = List.filter (fun (a, b, _) -> (a, b) <> (u, v)) !work in
+                    work :=
+                      (match Graph.edge_length g u v with
+                      | Some w_new -> (u, v, w_new) :: keep
+                      | None -> keep);
+                    let g_work = Graph.of_edges n !work in
+                    List.iter
+                      (fun i -> d.(i) <- Dijkstra.distances g_work i)
+                      rows;
+                    (* Restore exact symmetry: column entries of
+                       recomputed rows. *)
+                    List.iter
+                      (fun i ->
+                        for j = 0 to n - 1 do
+                          d.(j).(i) <- d.(i).(j)
+                        done)
+                      rows)
+              deltas;
+            if cache then cache_insert key d;
+            { n; d })
   end
 
 let check_triangle ?(tol = Qp_util.Floatx.eps) t =

@@ -25,9 +25,25 @@ val of_graph : ?cache:bool -> Graph.t -> t
     force a fresh computation. @raise Invalid_argument if the graph is
     disconnected. *)
 
-val apsp_cache_stats : unit -> int * int
-(** [(hits, misses)] of the {!of_graph} APSP cache since start or the
-    last {!reset_apsp_cache}. *)
+val of_graph_delta : ?cache:bool -> base:t -> base_graph:Graph.t -> Graph.t -> t
+(** [of_graph_delta ~base ~base_graph g] is the shortest-path metric of
+    [g], computed incrementally from the metric [base] of [base_graph]
+    when the two graphs differ in only a few edges. Edge insertions and
+    length decreases cost one O(n^2) relaxation each; removals and
+    length increases re-run Dijkstra only from the rows whose shortest
+    paths used the changed edge (the other rows are provably
+    unchanged). Falls back to a full APSP when the vertex count
+    changed or more than a handful of edges differ. The result is
+    bit-comparable to [of_graph g] up to float summation noise and is
+    inserted into the same cache; incremental reuses count as partial
+    invalidations in {!apsp_cache_stats} rather than full misses.
+    @raise Invalid_argument if [g] is disconnected. *)
+
+val apsp_cache_stats : unit -> int * int * int
+(** [(hits, misses, partial)] of the {!of_graph} APSP cache since start
+    or the last {!reset_apsp_cache}: exact-fingerprint hits, full
+    recomputations, and {!of_graph_delta} incremental updates (partial
+    invalidations that reused unaffected rows). *)
 
 val reset_apsp_cache : unit -> unit
 (** Empty the APSP cache and zero its statistics (test hook). *)

@@ -1,0 +1,105 @@
+module Qp_error = Qp_util.Qp_error
+module Graph = Qp_graph.Graph
+module Metric = Qp_graph.Metric
+module Strategy = Qp_quorum.Strategy
+module Problem = Qp_place.Problem
+
+type t = {
+  spec : Spec.t;
+  system : Qp_quorum.Quorum.system;
+  strategy : Strategy.t;
+  max_load : float;
+  mutable graph : Graph.t;
+  mutable metric : Metric.t;
+  mutable capacities : float array;
+  mutable problem : Problem.qpp;
+  mutable generation : int;
+  mutable applied_ops : int;
+}
+
+let of_spec spec =
+  let ( let* ) = Qp_error.( let* ) in
+  let* problem = Spec.build spec in
+  Qp_error.guard @@ fun () ->
+  let rng = Qp_util.Rng.create spec.Spec.seed in
+  let* graph = Spec.build_topology spec.Spec.topology spec.Spec.nodes rng in
+  let* system = Spec.build_system spec.Spec.system in
+  let strategy = Strategy.uniform system in
+  let loads = Strategy.loads system strategy in
+  let max_load = Array.fold_left Float.max 0. loads in
+  Ok
+    {
+      spec;
+      system;
+      strategy;
+      max_load;
+      graph;
+      metric = problem.Problem.metric;
+      capacities = Array.copy problem.Problem.capacities;
+      problem;
+      generation = 0;
+      applied_ops = 0;
+    }
+
+let spec t = t.spec
+let problem t = t.problem
+let graph t = t.graph
+let capacities t = Array.copy t.capacities
+let generation t = t.generation
+let applied_ops t = t.applied_ops
+
+(* All-or-nothing: every op is validated and the full successor state
+   (graph, metric, capacities, problem) is constructed before any
+   field is written, so a rejected delta — out-of-range endpoint,
+   disconnecting removal, capacities that invalidate the instance —
+   leaves the live state bit-identical. *)
+let apply t ops =
+  let ( let* ) = Qp_error.( let* ) in
+  let nodes = Graph.n_vertices t.graph in
+  let* () = Delta.validate ~nodes ops in
+  Qp_error.guard @@ fun () ->
+  (* Fold ops over an (edge map, capacities) working state. *)
+  let edges = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v, w) -> Hashtbl.replace edges (Delta.norm_edge u v) w)
+    (Graph.edges t.graph);
+  let caps = Array.copy t.capacities in
+  List.iter
+    (fun op ->
+      match op with
+      | Delta.Set_edge { u; v; length } ->
+          Hashtbl.replace edges (Delta.norm_edge u v) length
+      | Delta.Remove_edge { u; v } ->
+          Hashtbl.remove edges (Delta.norm_edge u v)
+      | Delta.Set_capacity { node; cap } -> caps.(node) <- cap
+      | Delta.Set_cap_slack slack ->
+          Array.fill caps 0 (Array.length caps) (slack *. t.max_load))
+    ops;
+  let edge_list =
+    Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) edges []
+    |> List.sort compare
+  in
+  if edge_list = [] then
+    Qp_error.invalid_instancef "delta: graph would have no edges"
+  else begin
+    let graph' = Graph.of_edges nodes edge_list in
+    if not (Graph.is_connected graph') then
+      Qp_error.invalid_instancef "delta: graph would be disconnected"
+    else begin
+      let metric' =
+        Metric.of_graph_delta ~base:t.metric ~base_graph:t.graph graph'
+      in
+      let* problem' =
+        Qp_error.of_invalid_arg (fun () ->
+            Problem.make_qpp ~metric:metric' ~capacities:caps ~system:t.system
+              ~strategy:t.strategy ())
+      in
+      t.graph <- graph';
+      t.metric <- metric';
+      t.capacities <- caps;
+      t.problem <- problem';
+      t.generation <- t.generation + 1;
+      t.applied_ops <- t.applied_ops + List.length ops;
+      Ok ()
+    end
+  end

@@ -1,0 +1,44 @@
+(** A live, mutable instance: a {!Spec.t}-built problem that evolves
+    under {!Delta} ops without ever being torn down.
+
+    The value of keeping the instance alive rather than rebuilding
+    from a spec is the incremental path: edge deltas flow through
+    {!Qp_graph.Metric.of_graph_delta}, so only the affected rows of
+    the APSP matrix are recomputed, and the generation counter lets
+    cache layers (the serve solve cache) detect staleness with one
+    integer compare.
+
+    {!apply} is all-or-nothing: the successor graph, metric,
+    capacities and problem are fully constructed and validated before
+    any field is written, so a rejected delta leaves the live state
+    untouched — the property fuzzed by the serve-layer tests. *)
+
+type t
+
+val of_spec : Spec.t -> (t, Qp_util.Qp_error.t) result
+(** Build the initial state at generation 0. Equal specs yield the
+    same state {!Spec.build} would. *)
+
+val apply : t -> Delta.op list -> (unit, Qp_util.Qp_error.t) result
+(** Apply a delta atomically, bumping the generation on success.
+    Errors ([Invalid_instance]): out-of-range or malformed ops, a
+    removal that disconnects the graph, an edgeless result, or
+    capacities the problem validator rejects. On [Error] the state is
+    unchanged and the generation not bumped. *)
+
+val problem : t -> Qp_place.Problem.qpp
+(** The current problem; constant between successful {!apply} calls. *)
+
+val spec : t -> Spec.t
+(** The originating spec (describes generation 0, not the current
+    state). *)
+
+val graph : t -> Qp_graph.Graph.t
+val capacities : t -> float array
+(** A copy of the current per-node capacities. *)
+
+val generation : t -> int
+(** Number of successful {!apply} calls so far. *)
+
+val applied_ops : t -> int
+(** Total ops across all successful applies. *)

@@ -185,12 +185,66 @@ type certified = {
 
 type certified_outcome = Certified of certified | C_infeasible | C_unbounded
 
-(* Internal driver shared by [solve] and [solve_certified]. Tracks,
-   per original row, the unit column (slack / surplus / artificial)
-   whose phase-2 reduced cost encodes the row's dual multiplier, and
-   the sign mapping back to the original (pre-normalization)
-   orientation. *)
-let solve_internal ?max_pivots lp =
+type basis = int array
+
+(* Crash the columns of a previous optimal basis into the fresh
+   tableau: each warm column is pivoted in on the unclaimed row where
+   it has the largest magnitude. If the resulting basic solution is
+   primal-feasible (b >= -1e-7, no artificial carrying weight), phase 1
+   can be skipped entirely. Mutates [t]; on failure the caller must
+   rebuild the tableau. Returns [Some crash_pivots] on success. *)
+let try_crash_basis t ~first_artificial (warm : basis) =
+  let claimed = Array.make t.m false in
+  let crash_pivots = ref 0 in
+  Array.iter
+    (fun c ->
+      if c >= 0 && c < first_artificial && c < t.ncols then begin
+        let basic_row = ref (-1) in
+        for i = 0 to t.m - 1 do
+          if t.basis.(i) = c then basic_row := i
+        done;
+        if !basic_row >= 0 then claimed.(!basic_row) <- true
+        else begin
+          let best = ref (-1) in
+          let best_mag = ref 1e-7 in
+          for i = 0 to t.m - 1 do
+            if not claimed.(i) then begin
+              let mag = Float.abs t.a.(i).(c) in
+              if mag > !best_mag then begin
+                best := i;
+                best_mag := mag
+              end
+            end
+          done;
+          if !best >= 0 then begin
+            pivot t ~row:!best ~col:c;
+            claimed.(!best) <- true;
+            incr crash_pivots
+          end
+        end
+      end)
+    warm;
+  let feasible = ref true in
+  for i = 0 to t.m - 1 do
+    if t.b.(i) < -1e-7 then feasible := false
+    else if t.basis.(i) >= first_artificial && t.b.(i) > 1e-7 then
+      feasible := false
+  done;
+  if !feasible then begin
+    for i = 0 to t.m - 1 do
+      if t.b.(i) < 0. then t.b.(i) <- 0.
+    done;
+    Some !crash_pivots
+  end
+  else None
+
+(* Internal driver shared by [solve], [solve_certified] and
+   [solve_warm]. Tracks, per original row, the unit column (slack /
+   surplus / artificial) whose phase-2 reduced cost encodes the row's
+   dual multiplier, and the sign mapping back to the original
+   (pre-normalization) orientation. Returns the outcome plus, on
+   optimality, the final basis for warm-starting a nearby LP. *)
+let solve_internal ?max_pivots ?warm lp =
   check_deadline ();
   let n = Lp.n_vars lp in
   let rows = Lp.constraints lp in
@@ -202,6 +256,15 @@ let solve_internal ?max_pivots lp =
   let pivots_c =
     Obs.Metrics.counter ~help:"Simplex pivots across both phases" (Obs.Metrics.current ())
       "qp_simplex_pivots_total"
+  in
+  let warm_attempts_c =
+    Obs.Metrics.counter ~help:"Simplex warm-start attempts" (Obs.Metrics.current ())
+      "qp_simplex_warm_attempts_total"
+  in
+  let warm_used_c =
+    Obs.Metrics.counter
+      ~help:"Simplex solves where the crash basis skipped phase 1"
+      (Obs.Metrics.current ()) "qp_simplex_warm_used_total"
   in
   Obs.Metrics.inc solves_c;
   let total_pivots = ref 0 in
@@ -235,47 +298,68 @@ let solve_internal ?max_pivots lp =
     List.length (List.filter (fun (_, c, _) -> c <> Lp.Le) normalized)
   in
   let ncols = n + n_slack + n_artificial in
-  let a = Array.init m (fun _ -> Array.make ncols 0.) in
-  let b = Array.make m 0. in
-  let basis = Array.make m (-1) in
   let first_artificial = n + n_slack in
-  let slack_idx = ref n in
-  let art_idx = ref first_artificial in
-  (* (unit column, factor): original dual = factor * reduced_cost(col)
-     under the phase-2 objective. A slack/artificial column e_i gives
-     r = -y_i (factor -1); a surplus column -e_i gives r = +y_i
-     (factor +1). A row negated during normalization flips the
-     factor. *)
-  let row_dual = Array.make m (0, 0.) in
   let flipped = List.map2 (fun { Lp.rhs; _ } (_, _, rhs') -> rhs < 0. && rhs' > 0.) rows
       normalized in
-  List.iteri
-    (fun i (terms, cmp, rhs) ->
-      let flip_factor = if List.nth flipped i then -1. else 1. in
-      List.iter (fun (v, c) -> a.(i).(v) <- a.(i).(v) +. c) terms;
-      b.(i) <- rhs;
-      (match cmp with
-      | Lp.Le ->
-          a.(i).(!slack_idx) <- 1.;
-          basis.(i) <- !slack_idx;
-          row_dual.(i) <- (!slack_idx, -1. *. flip_factor);
-          incr slack_idx
-      | Lp.Ge ->
-          a.(i).(!slack_idx) <- -1.;
-          row_dual.(i) <- (!slack_idx, 1. *. flip_factor);
-          incr slack_idx;
-          a.(i).(!art_idx) <- 1.;
-          basis.(i) <- !art_idx;
-          incr art_idx
-      | Lp.Eq ->
-          a.(i).(!art_idx) <- 1.;
-          basis.(i) <- !art_idx;
-          row_dual.(i) <- (!art_idx, -1. *. flip_factor);
-          incr art_idx))
-    normalized;
-  let t = { m; ncols; a; b; basis } in
-  (* Phase 1: minimize the sum of artificials. *)
-  (if n_artificial > 0 then begin
+  (* Tableau construction is a function because a failed warm-start
+     crash leaves the tableau mutated and the cold path needs a fresh
+     one. *)
+  let build () =
+    let a = Array.init m (fun _ -> Array.make ncols 0.) in
+    let b = Array.make m 0. in
+    let basis = Array.make m (-1) in
+    let slack_idx = ref n in
+    let art_idx = ref first_artificial in
+    (* (unit column, factor): original dual = factor * reduced_cost(col)
+       under the phase-2 objective. A slack/artificial column e_i gives
+       r = -y_i (factor -1); a surplus column -e_i gives r = +y_i
+       (factor +1). A row negated during normalization flips the
+       factor. *)
+    let row_dual = Array.make m (0, 0.) in
+    List.iteri
+      (fun i (terms, cmp, rhs) ->
+        let flip_factor = if List.nth flipped i then -1. else 1. in
+        List.iter (fun (v, c) -> a.(i).(v) <- a.(i).(v) +. c) terms;
+        b.(i) <- rhs;
+        (match cmp with
+        | Lp.Le ->
+            a.(i).(!slack_idx) <- 1.;
+            basis.(i) <- !slack_idx;
+            row_dual.(i) <- (!slack_idx, -1. *. flip_factor);
+            incr slack_idx
+        | Lp.Ge ->
+            a.(i).(!slack_idx) <- -1.;
+            row_dual.(i) <- (!slack_idx, 1. *. flip_factor);
+            incr slack_idx;
+            a.(i).(!art_idx) <- 1.;
+            basis.(i) <- !art_idx;
+            incr art_idx
+        | Lp.Eq ->
+            a.(i).(!art_idx) <- 1.;
+            basis.(i) <- !art_idx;
+            row_dual.(i) <- (!art_idx, -1. *. flip_factor);
+            incr art_idx))
+      normalized;
+    ({ m; ncols; a; b; basis }, row_dual)
+  in
+  let t0, row_dual0 = build () in
+  let t, row_dual, warm_ok =
+    match warm with
+    | Some wb when Array.length wb > 0 ->
+        Obs.Metrics.inc warm_attempts_c;
+        (match try_crash_basis t0 ~first_artificial wb with
+        | Some crash_pivots ->
+            Obs.Metrics.inc warm_used_c;
+            count_pivots crash_pivots;
+            (t0, row_dual0, true)
+        | None ->
+            let t1, row_dual1 = build () in
+            (t1, row_dual1, false))
+    | _ -> (t0, row_dual0, false)
+  in
+  (* Phase 1: minimize the sum of artificials. Skipped when the crash
+     basis already reached a primal-feasible start. *)
+  (if n_artificial > 0 && not warm_ok then begin
      let cost1 = Array.make ncols 0. in
      for j = first_artificial to ncols - 1 do
        cost1.(j) <- 1.
@@ -291,7 +375,8 @@ let solve_internal ?max_pivots lp =
     done;
     !v
   in
-  if n_artificial > 0 && phase1_value > 1e-7 then finish C_infeasible
+  if n_artificial > 0 && (not warm_ok) && phase1_value > 1e-7 then
+    (finish C_infeasible, None)
   else begin
     (* Drive any residual artificial out of the basis; rows where that
        is impossible are redundant and are dropped. *)
@@ -331,7 +416,7 @@ let solve_internal ?max_pivots lp =
     match optimize t cost2 ~allowed ~max_pivots with
     | Phase_unbounded, k ->
         count_pivots k;
-        finish C_unbounded
+        (finish C_unbounded, None)
     | Phase_optimal, k ->
         count_pivots k;
         let x = Array.make n 0. in
@@ -344,16 +429,22 @@ let solve_internal ?max_pivots lp =
         assert (Lp.is_feasible ~tol:1e-6 lp x);
         let r, _ = reduced_costs t cost2 in
         let duals = Array.map (fun (col, factor) -> factor *. r.(col)) row_dual in
-        finish (Certified { x; objective; duals })
+        (finish (Certified { x; objective; duals }), Some (Array.sub t.basis 0 t.m))
   end
 
 let solve ?max_pivots lp =
-  match solve_internal ?max_pivots lp with
+  match fst (solve_internal ?max_pivots lp) with
   | C_infeasible -> Infeasible
   | C_unbounded -> Unbounded
   | Certified { x; objective; _ } -> Optimal { x; objective }
 
-let solve_certified ?max_pivots lp = solve_internal ?max_pivots lp
+let solve_certified ?max_pivots lp = fst (solve_internal ?max_pivots lp)
+
+let solve_warm ?max_pivots ?warm lp =
+  match solve_internal ?max_pivots ?warm lp with
+  | C_infeasible, _ -> (Infeasible, None)
+  | C_unbounded, _ -> (Unbounded, None)
+  | Certified { x; objective; _ }, basis -> (Optimal { x; objective }, basis)
 
 let check_certificate ?(tol = 1e-6) lp (c : certified) =
   let rows = Lp.constraints lp in

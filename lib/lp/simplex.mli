@@ -19,6 +19,27 @@ val solve : ?max_pivots:int -> Lp.t -> outcome
     [Optimal], the returned point satisfies every row to within [1e-6]
     relative tolerance — asserted internally. *)
 
+type basis
+(** Opaque snapshot of the final simplex basis of an optimal solve:
+    the handle for warm-starting a structurally identical LP whose
+    coefficients moved a little (an instance delta). *)
+
+val solve_warm :
+  ?max_pivots:int -> ?warm:basis -> Lp.t -> outcome * basis option
+(** Like {!solve}, and additionally returns the final basis on
+    [Optimal] for reuse. With [~warm] (a basis from a previous solve of
+    an LP with the same variable/constraint layout), the solver crashes
+    those columns into the fresh tableau first; if the crash start is
+    primal-feasible, phase 1 is skipped entirely and small deltas
+    re-solve in far fewer pivots. If the crash start is infeasible —
+    the delta moved the optimum across a facet, or the LP shapes do not
+    match — the tableau is rebuilt and the ordinary cold two-phase path
+    runs, so the outcome (objective, feasibility classification) is
+    always identical to {!solve} up to the usual pivot-order float
+    noise. Warm attempts and successes are counted in the
+    [qp_simplex_warm_attempts_total] / [qp_simplex_warm_used_total]
+    metrics; crash pivots count into [qp_simplex_pivots_total]. *)
+
 val set_deadline : float option -> unit
 (** Install (or clear) a process-wide wall-clock deadline, in
     {!Qp_obs.Core.now} seconds. While a deadline is set, every solve

@@ -74,7 +74,7 @@ let build (s : Problem.ssqpp) =
     (Quorum.quorums s.Problem.system);
   (lp, var_elem, var_quorum)
 
-let solve ?max_pivots (s : Problem.ssqpp) =
+let solve_warm ?max_pivots ?warm (s : Problem.ssqpp) =
   let rank_of_node, node_of_rank, dist = ordering s in
   let n = Array.length node_of_rank in
   let nu = Quorum.universe s.Problem.system in
@@ -85,12 +85,12 @@ let solve ?max_pivots (s : Problem.ssqpp) =
         ("universe", Obs.Json.Int nu); ("quorums", Obs.Json.Int nq) ]
   @@ fun () ->
   let lp, var_elem, var_quorum = build s in
-  match Simplex.solve ?max_pivots lp with
-  | Simplex.Infeasible ->
+  match Simplex.solve_warm ?max_pivots ?warm lp with
+  | Simplex.Infeasible, _ ->
       Obs.Span.add_attr "infeasible" (Obs.Json.Bool true);
-      None
-  | Simplex.Unbounded -> assert false (* objective is non-negative *)
-  | Simplex.Optimal { x; objective } ->
+      (None, None)
+  | Simplex.Unbounded, _ -> assert false (* objective is non-negative *)
+  | Simplex.Optimal { x; objective }, basis ->
       Obs.Span.add_attr "z_star" (Obs.Json.Float objective);
       let clip v = if v < 1e-11 then 0. else if v > 1. then 1. else v in
       let x_elem =
@@ -99,7 +99,10 @@ let solve ?max_pivots (s : Problem.ssqpp) =
       let x_quorum =
         Array.init n (fun t -> Array.init nq (fun q -> clip x.(var_quorum t q)))
       in
-      Some { rank_of_node; node_of_rank; dist; x_elem; x_quorum; z_star = objective }
+      ( Some { rank_of_node; node_of_rank; dist; x_elem; x_quorum; z_star = objective },
+        basis )
+
+let solve ?max_pivots (s : Problem.ssqpp) = fst (solve_warm ?max_pivots s)
 
 let quorum_frontier sol q =
   let acc = ref 0. in

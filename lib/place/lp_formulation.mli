@@ -37,6 +37,19 @@ val solve : ?max_pivots:int -> Problem.ssqpp -> fractional option
     [Qp_util.Qp_error.Error (Internal _)] (caught at the solver-engine
     boundary). *)
 
+val solve_warm :
+  ?max_pivots:int ->
+  ?warm:Qp_lp.Simplex.basis ->
+  Problem.ssqpp ->
+  fractional option * Qp_lp.Simplex.basis option
+(** Like {!solve}, threading a {!Qp_lp.Simplex.basis} through the
+    solve: pass the basis returned by a previous solve of the same
+    source on a slightly perturbed instance and the simplex crash-starts
+    from it (falling back to the cold path when the delta moved the
+    optimum too far or changed the LP layout, e.g. by re-ranking nodes
+    or toggling an oversize-pinning row). The returned basis is [None]
+    when the LP is infeasible. *)
+
 val quorum_frontier : fractional -> int -> float
 (** [quorum_frontier sol q] = [D_Q = sum_t d_t x_tQ], the per-quorum
     fractional delay used by Claim 3.8. *)

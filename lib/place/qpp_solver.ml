@@ -17,7 +17,14 @@ type result = {
   approx_bound : float;
 }
 
-let solve ?(alpha = 2.) ?max_pivots ?candidates (p : Problem.qpp) =
+(* Core driver shared by [solve] and [Resolve.solve]: [round] runs the
+   Theorem 3.7 stage for one candidate source and may thread a simplex
+   basis through (warm re-solve); everything else — the parallel
+   candidate fan-out, the sequential winner/lower-bound folds, the
+   quality gauges — is byte-identical between the cold and warm paths,
+   so both choose the same placement given the same roundings. Also
+   returns the per-candidate bases for the caller to stash. *)
+let solve_with ~alpha ?candidates ~round (p : Problem.qpp) =
   if alpha <= 1. then invalid_arg "Qpp_solver.solve: alpha > 1 required";
   let n = Problem.n_nodes p in
   let candidates, complete =
@@ -45,11 +52,11 @@ let solve ?(alpha = 2.) ?max_pivots ?candidates (p : Problem.qpp) =
     Qp_par.Pool.parallel_map (Qp_par.Pool.default ())
       (fun v0 ->
         Obs.Span.with_ "candidate" ~attrs:[ ("v0", Obs.Json.Int v0) ] @@ fun () ->
-        match Rounding.solve ~alpha ?max_pivots (Problem.ssqpp_of_qpp p v0) with
+        match round ~v0 (Problem.ssqpp_of_qpp p v0) with
         | None ->
             Log.debug (fun m -> m "candidate v0=%d: LP infeasible" v0);
-            (v0, None)
-        | Some r ->
+            (v0, None, None)
+        | Some ((r : Rounding.result), basis) ->
             let objective = Delay.avg_max_delay p r.Rounding.placement in
             Log.debug (fun m ->
                 m "candidate v0=%d: Z*=%.4f delay=%.4f objective=%.4f" v0
@@ -69,13 +76,18 @@ let solve ?(alpha = 2.) ?max_pivots ?candidates (p : Problem.qpp) =
                   !acc /. total
             in
             let term = (avg_dist +. r.Rounding.z_star) /. Relay.bound in
-            (v0, Some (objective, term, r)))
+            (v0, Some (objective, term, r), basis))
       (Array.of_list candidates)
+  in
+  let bases =
+    Array.to_list evaluations
+    |> List.filter_map (fun (v0, _, basis) ->
+           Option.map (fun b -> (v0, b)) basis)
   in
   let best = ref None in
   let bound_acc = ref infinity in
   Array.iter
-    (fun (v0, eval) ->
+    (fun (v0, eval, _) ->
       match eval with
       | None -> ()
       | Some (objective, term, r) ->
@@ -85,7 +97,7 @@ let solve ?(alpha = 2.) ?max_pivots ?candidates (p : Problem.qpp) =
           | _ -> best := Some (objective, v0, r)))
     evaluations;
   match !best with
-  | None -> None
+  | None -> (None, bases)
   | Some (objective, v0, r) ->
       let relayed_objective =
         Obs.Span.with_ "relay" ~attrs:[ ("v0", Obs.Json.Int v0) ] @@ fun () ->
@@ -126,4 +138,9 @@ let solve ?(alpha = 2.) ?max_pivots ?candidates (p : Problem.qpp) =
       | None -> ());
       Obs.Span.add_attr "v0" (Obs.Json.Int v0);
       Obs.Span.add_attr "objective" (Obs.Json.Float result.objective);
-      Some result
+      (Some result, bases)
+
+let solve ?(alpha = 2.) ?max_pivots ?candidates (p : Problem.qpp) =
+  fst
+    (solve_with ~alpha ?candidates p ~round:(fun ~v0:_ s ->
+         Rounding.solve_warm ~alpha ?max_pivots s))

@@ -36,3 +36,19 @@ val solve :
     simplex pivot count of every candidate LP; exhausting it raises
     [Qp_util.Qp_error.Error (Internal _)] (the solver registry maps it
     to a typed [Internal] result). *)
+
+val solve_with :
+  alpha:float ->
+  ?candidates:int list ->
+  round:
+    (v0:int ->
+    Problem.ssqpp ->
+    (Rounding.result * Qp_lp.Simplex.basis option) option) ->
+  Problem.qpp ->
+  result option * (int * Qp_lp.Simplex.basis) list
+(** The candidate fan-out and winner fold with a pluggable Theorem 3.7
+    stage — the hook {!Resolve} uses to thread per-source simplex bases
+    through repeated solves. Also returns the final basis of every
+    candidate whose LP was feasible, keyed by source. The fold is
+    identical to {!solve}'s, so given the same roundings both paths
+    pick the same placement. *)

@@ -58,8 +58,11 @@ let round_filtered (s : Problem.ssqpp) (flt : Filtering.filtered) =
   Obs.Span.add_attr "load_violation" (Obs.Json.Float result.load_violation);
   result
 
-let solve ?(alpha = 2.) ?max_pivots (s : Problem.ssqpp) =
+let solve_warm ?(alpha = 2.) ?max_pivots ?warm (s : Problem.ssqpp) =
   if alpha <= 1. then invalid_arg "Rounding.solve: alpha > 1 required";
-  match Lp_formulation.solve ?max_pivots s with
-  | None -> None
-  | Some sol -> Some (round_filtered s (Filtering.apply ~alpha sol))
+  match Lp_formulation.solve_warm ?max_pivots ?warm s with
+  | None, _ -> None
+  | Some sol, basis -> Some (round_filtered s (Filtering.apply ~alpha sol), basis)
+
+let solve ?alpha ?max_pivots (s : Problem.ssqpp) =
+  Option.map fst (solve_warm ?alpha ?max_pivots s)

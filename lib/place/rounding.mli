@@ -24,6 +24,17 @@ val solve : ?alpha:float -> ?max_pivots:int -> Problem.ssqpp -> result option
     [max_pivots] caps the simplex pivot count
     ({!Lp_formulation.solve}). *)
 
+val solve_warm :
+  ?alpha:float ->
+  ?max_pivots:int ->
+  ?warm:Qp_lp.Simplex.basis ->
+  Problem.ssqpp ->
+  (result * Qp_lp.Simplex.basis option) option
+(** Like {!solve}, threading a simplex basis through the LP stage
+    ({!Lp_formulation.solve_warm}) so a re-solve after a small instance
+    delta can crash-start from the previous optimum. The rounding
+    stage is unchanged; only pivot counts differ from {!solve}. *)
+
 val round_filtered : Problem.ssqpp -> Filtering.filtered -> result
 (** The rounding stage alone, for tests that want to inject a
     hand-built fractional solution. *)

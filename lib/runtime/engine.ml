@@ -7,6 +7,9 @@ module Problem = Qp_place.Problem
 module Placement = Qp_place.Placement
 module Delay = Qp_place.Delay
 module Repair = Qp_place.Repair
+module Resolve = Qp_place.Resolve
+module Migrate = Qp_place.Migrate
+module Qpp_solver = Qp_place.Qpp_solver
 
 type repair_trigger = {
   capacity_frac : float;
@@ -26,6 +29,37 @@ type repair_event = {
   delay_after : float;
 }
 
+type migration_policy = {
+  bound : float;
+  budget : int option;
+  max_retries : int;
+  retry_backoff : float;
+  move_interval : float;
+  candidates : int list option;
+}
+
+let default_migration =
+  {
+    bound = 3.;
+    budget = None;
+    max_retries = 3;
+    retry_backoff = 2.0;
+    move_interval = 1.0;
+    candidates = None;
+  }
+
+type migration_event = {
+  m_time : float;
+  m_dead : int list;
+  planned_moves : int;
+  applied_moves : int;
+  retried_moves : int;
+  degraded : bool;
+  m_delay_before : float;
+  m_delay_after : float;
+  warm : bool;
+}
+
 type config = {
   problem : Problem.qpp;
   placement : Placement.t;
@@ -34,13 +68,15 @@ type config = {
   detector : Detector.config;
   adaptive : bool;
   repair : repair_trigger option;
+  migration : migration_policy option;
   probe_interval : float;
   accesses_per_client : int;
   arrival_rate : float;
   seed : int;
 }
 
-let default_config ?(adaptive = true) ?repair ~problem ~placement ~failure () =
+let default_config ?(adaptive = true) ?repair ?migration ~problem ~placement
+    ~failure () =
   {
     problem;
     placement;
@@ -49,6 +85,7 @@ let default_config ?(adaptive = true) ?repair ~problem ~placement ~failure () =
     detector = Detector.default_config;
     adaptive;
     repair;
+    migration;
     probe_interval = 1.0;
     accesses_per_client = 200;
     arrival_rate = 1.0;
@@ -65,6 +102,7 @@ type report = {
   hedges_launched : int;
   hedges_won : int;
   repairs : repair_event list;
+  migrations : migration_event list;
   final_placement : Placement.t;
   final_suspected : int list;
   analytic_delay : float;
@@ -79,7 +117,7 @@ let validate cfg =
   if cfg.accesses_per_client < 1 then
     invalid_arg "Engine: accesses_per_client >= 1 required";
   if cfg.arrival_rate <= 0. then invalid_arg "Engine: arrival_rate must be positive";
-  match cfg.repair with
+  (match cfg.repair with
   | None -> ()
   | Some t ->
       if t.capacity_frac <= 0. || t.capacity_frac > 1. then
@@ -87,7 +125,19 @@ let validate cfg =
       if t.delay_factor <= 1. then
         invalid_arg "Engine: repair delay_factor must exceed 1";
       if t.check_interval <= 0. || t.min_interval < 0. then
-        invalid_arg "Engine: repair intervals must be positive"
+        invalid_arg "Engine: repair intervals must be positive");
+  match cfg.migration with
+  | None -> ()
+  | Some m ->
+      if cfg.repair = None then
+        invalid_arg "Engine: migration requires a repair trigger";
+      if m.bound <= 0. then invalid_arg "Engine: migration bound must be positive";
+      if m.max_retries < 0 then
+        invalid_arg "Engine: migration max_retries must be non-negative";
+      if m.retry_backoff < 0. then
+        invalid_arg "Engine: migration retry_backoff must be non-negative";
+      if m.move_interval <= 0. then
+        invalid_arg "Engine: migration move_interval must be positive"
 
 (* Mutable simulation state threaded through the event closures. *)
 type state = {
@@ -102,6 +152,8 @@ type state = {
   mutable hedges_launched : int;
   mutable hedges_won : int;
   mutable repairs : repair_event list;
+  mutable migrations : migration_event list;
+  mutable migrating : bool; (* a staged move plan is in flight *)
   mutable delay_ewma : float; (* running success-delay estimate *)
   mutable last_repair_time : float;
   mutable last_dead : int list;
@@ -117,6 +169,9 @@ type obs_handles = {
   m_hedges_launched : Obs.Metrics.counter;
   m_hedges_won : Obs.Metrics.counter;
   m_repairs : Obs.Metrics.counter;
+  m_migrations : Obs.Metrics.counter;
+  m_moves : Obs.Metrics.counter;
+  m_degraded : Obs.Metrics.counter;
   m_delay : Obs.Metrics.histogram;
 }
 
@@ -129,6 +184,11 @@ let obs_handles () =
     m_hedges_launched = c "qp_engine_hedges_launched_total" "Hedged second waves launched";
     m_hedges_won = c "qp_engine_hedges_won_total" "Attempts resolved by the hedged wave";
     m_repairs = c "qp_engine_repairs_total" "Placement repairs triggered";
+    m_migrations = c "qp_engine_migrations_total" "Staged migrations started";
+    m_moves = c "qp_engine_moves_total" "Migration moves applied";
+    m_degraded =
+      c "qp_engine_migrations_degraded_total"
+        "Migrations that fell back to strategy reweighting only";
     m_delay =
       Obs.Metrics.histogram ~help:"Per-access completion delay (successes)"
         (Obs.Metrics.current ()) "qp_engine_access_delay";
@@ -171,6 +231,8 @@ let run cfg =
       hedges_launched = 0;
       hedges_won = 0;
       repairs = [];
+      migrations = [];
+      migrating = false;
       delay_ewma = analytic;
       last_repair_time = neg_infinity;
       last_dead = [];
@@ -194,7 +256,147 @@ let run cfg =
   done;
   (* Closed-loop repair: periodically compare the suspected capacity
      and the observed delay EWMA against the thresholds, and patch the
-     placement off the suspected nodes when either trips. *)
+     placement off the suspected nodes when either trips. With a
+     migration policy, the patch is a warm re-solve followed by a
+     bounded-safe staged move plan instead of the greedy repair. *)
+  (* The instance restricted to survivors: dead nodes lose their
+     capacity (the LP's oversize pinning empties them) and their
+     client weight, so the re-solve optimizes the delay the surviving
+     clients actually see. *)
+  let survivors_problem dead =
+    let caps = Array.copy cfg.problem.Problem.capacities in
+    List.iter (fun v -> caps.(v) <- 0.) dead;
+    let rates =
+      match cfg.problem.Problem.client_rates with
+      | Some r -> Array.copy r
+      | None -> Array.make n 1.
+    in
+    List.iter (fun v -> rates.(v) <- 0.) dead;
+    Problem.make_qpp ~metric ~capacities:caps ~system
+      ~strategy:cfg.problem.Problem.strategy ~client_rates:rates ()
+  in
+  let resolve_state =
+    match cfg.migration with
+    | None -> None
+    | Some m -> Some (Resolve.create ?candidates:m.candidates ())
+  in
+  let greedy_repair sim dead =
+    let now = Event.now sim in
+    match Repair.repair cfg.problem !(st.placement) ~dead with
+    | None -> () (* survivors cannot absorb the displaced load *)
+    | Some r ->
+        st.placement := r.Repair.placement;
+        Adaptive.set_placement adaptive detector r.Repair.placement;
+        st.last_repair_time <- now;
+        Obs.Metrics.inc obs.m_repairs;
+        Obs.Span.event "repair"
+          ~attrs:
+            [ ("time", Obs.Json.Float now);
+              ("dead", Obs.Json.List (List.map (fun v -> Obs.Json.Int v) dead));
+              ("moved", Obs.Json.Int (List.length r.Repair.moved));
+              ("delay_before", Obs.Json.Float r.Repair.delay_before);
+              ("delay_after", Obs.Json.Float r.Repair.delay_after) ];
+        st.repairs <-
+          {
+            time = now;
+            dead;
+            moved = List.length r.Repair.moved;
+            delay_before = r.Repair.delay_before;
+            delay_after = r.Repair.delay_after;
+          }
+          :: st.repairs
+  in
+  let migrate sim (m : migration_policy) resolve dead =
+    let now = Event.now sim in
+    st.last_repair_time <- now;
+    let p' = survivors_problem dead in
+    let warm = Resolve.warm_sources resolve > 0 in
+    let delay_before = Delay.avg_max_delay p' !(st.placement) in
+    let record ~planned ~applied ~retried ~degraded sim =
+      let delay_after = Delay.avg_max_delay p' !(st.placement) in
+      if degraded then Obs.Metrics.inc obs.m_degraded;
+      Obs.Span.event "migration"
+        ~attrs:
+          [ ("time", Obs.Json.Float (Event.now sim));
+            ("dead", Obs.Json.List (List.map (fun v -> Obs.Json.Int v) dead));
+            ("planned", Obs.Json.Int planned);
+            ("applied", Obs.Json.Int applied);
+            ("degraded", Obs.Json.Bool degraded);
+            ("warm", Obs.Json.Bool warm) ];
+      st.migrations <-
+        {
+          m_time = Event.now sim;
+          m_dead = dead;
+          planned_moves = planned;
+          applied_moves = applied;
+          retried_moves = retried;
+          degraded;
+          m_delay_before = delay_before;
+          m_delay_after = delay_after;
+          warm;
+        }
+        :: st.migrations;
+      st.migrating <- false
+    in
+    Obs.Metrics.inc obs.m_migrations;
+    st.migrating <- true;
+    (* Degradation ladder: warm re-solve infeasible, or no safe move
+       order -> one-shot greedy repair (still yanks replicas off the
+       dead nodes); if even that fails, the adaptive strategy keeps
+       reweighting around the suspects. *)
+    match Resolve.solve resolve p' with
+    | None ->
+        greedy_repair sim dead;
+        record ~planned:0 ~applied:0 ~retried:0 ~degraded:true sim
+    | Some r -> (
+        let target = r.Qpp_solver.placement in
+        match
+          Migrate.plan ~bound:m.bound ?budget:m.budget p'
+            ~current:!(st.placement) ~target
+        with
+        | Error _ ->
+            greedy_repair sim dead;
+            record ~planned:0 ~applied:0 ~retried:0 ~degraded:true sim
+        | Ok plan ->
+            let moves = Array.of_list plan.Migrate.moves in
+            let planned = Array.length moves in
+            let applied = ref 0 in
+            let retried = ref 0 in
+            (* Staged application: one move per interval. A move whose
+               destination is down when it fires retries with backoff;
+               an exhausted move aborts the rest of the plan (the next
+               trigger re-plans from wherever we stopped). *)
+            let rec step idx retries_left sim =
+              if idx >= planned then
+                record ~planned ~applied:!applied ~retried:!retried
+                  ~degraded:false sim
+              else begin
+                let mv = moves.(idx) in
+                if st.up.(mv.Migrate.dst) then begin
+                  st.placement := Migrate.apply_move !(st.placement) mv;
+                  Adaptive.set_placement adaptive detector !(st.placement);
+                  incr applied;
+                  Obs.Metrics.inc obs.m_moves;
+                  Event.schedule_in sim m.move_interval
+                    (step (idx + 1) m.max_retries)
+                end
+                else if retries_left > 0 then begin
+                  incr retried;
+                  Event.schedule_in sim m.retry_backoff
+                    (step idx (retries_left - 1))
+                end
+                else begin
+                  (* Move retries exhausted mid-plan: patch whatever is
+                     still stranded on the dead nodes greedily rather
+                     than leaving it there until the next trigger. *)
+                  greedy_repair sim dead;
+                  record ~planned ~applied:!applied ~retried:!retried
+                    ~degraded:true sim
+                end
+              end
+            in
+            step 0 m.max_retries sim)
+  in
   (match cfg.repair with
   | None -> ()
   | Some trig ->
@@ -212,34 +414,15 @@ let run cfg =
         in
         if
           dead <> [] && hosted_on_dead
+          && (not st.migrating)
           && List.length dead < n
           && (capacity_trip || delay_trip)
           && now -. st.last_repair_time >= trig.min_interval
           && dead <> st.last_dead
         then begin
-          (match Repair.repair cfg.problem !(st.placement) ~dead with
-          | None -> () (* survivors cannot absorb the displaced load *)
-          | Some r ->
-              st.placement := r.Repair.placement;
-              Adaptive.set_placement adaptive detector r.Repair.placement;
-              st.last_repair_time <- now;
-              Obs.Metrics.inc obs.m_repairs;
-              Obs.Span.event "repair"
-                ~attrs:
-                  [ ("time", Obs.Json.Float now);
-                    ("dead", Obs.Json.List (List.map (fun v -> Obs.Json.Int v) dead));
-                    ("moved", Obs.Json.Int (List.length r.Repair.moved));
-                    ("delay_before", Obs.Json.Float r.Repair.delay_before);
-                    ("delay_after", Obs.Json.Float r.Repair.delay_after) ];
-              st.repairs <-
-                {
-                  time = now;
-                  dead;
-                  moved = List.length r.Repair.moved;
-                  delay_before = r.Repair.delay_before;
-                  delay_after = r.Repair.delay_after;
-                }
-                :: st.repairs);
+          (match (cfg.migration, resolve_state) with
+          | Some m, Some resolve -> migrate sim m resolve dead
+          | _ -> greedy_repair sim dead);
           st.last_dead <- dead
         end;
         Event.schedule_in sim trig.check_interval check
@@ -362,6 +545,7 @@ let run cfg =
     hedges_launched = st.hedges_launched;
     hedges_won = st.hedges_won;
     repairs = List.rev st.repairs;
+    migrations = List.rev st.migrations;
     final_placement = Array.copy !(st.placement);
     final_suspected = Detector.suspected_nodes detector;
     analytic_delay = analytic;

@@ -45,6 +45,39 @@ type repair_event = {
   delay_after : float; (* ... patched placement *)
 }
 
+type migration_policy = {
+  bound : float;
+      (** intermediate load cap, as a multiple of capacity — the
+          paper's [(alpha+1)] guarantee extended to every mid-plan
+          placement ({!Qp_place.Migrate}) *)
+  budget : int option; (** move budget; [None] = planner default *)
+  max_retries : int; (** retries per move whose destination is down *)
+  retry_backoff : float; (** sim-time pause before retrying a move *)
+  move_interval : float; (** sim-time between successive moves *)
+  candidates : int list option;
+      (** candidate sources for the re-solve; [None] = all nodes *)
+}
+
+val default_migration : migration_policy
+(** bound 3 (alpha = 2), planner-default budget, 3 retries, backoff 2,
+    one move per time unit, all candidate sources. *)
+
+type migration_event = {
+  m_time : float; (* when the migration finished or aborted *)
+  m_dead : int list;
+  planned_moves : int;
+  applied_moves : int;
+  retried_moves : int; (* retry attempts across all moves *)
+  degraded : bool;
+      (* true when the loop fell down the ladder: re-solve infeasible
+         or no safe move order (a one-shot greedy repair ran instead,
+         with strategy reweighting as the last rung), or a move
+         exhausted its retries mid-plan *)
+  m_delay_before : float;
+  m_delay_after : float;
+  warm : bool; (* the re-solve had stored bases to warm-start from *)
+}
+
 type config = {
   problem : Qp_place.Problem.qpp;
   placement : Qp_place.Placement.t;
@@ -53,6 +86,10 @@ type config = {
   detector : Detector.config;
   adaptive : bool; (* false = always sample the static strategy *)
   repair : repair_trigger option; (* None = never migrate replicas *)
+  migration : migration_policy option;
+      (* with a policy, a tripped trigger runs the closed loop
+         detector -> warm re-solve -> bounded-safe move plan -> staged
+         application instead of the greedy repair; requires [repair] *)
   probe_interval : float; (* heartbeat period per node *)
   accesses_per_client : int;
   arrival_rate : float;
@@ -62,6 +99,7 @@ type config = {
 val default_config :
   ?adaptive:bool ->
   ?repair:repair_trigger ->
+  ?migration:migration_policy ->
   problem:Qp_place.Problem.qpp ->
   placement:Qp_place.Placement.t ->
   failure:Failure.model ->
@@ -81,6 +119,7 @@ type report = {
   hedges_launched : int;
   hedges_won : int; (* attempts resolved by the hedged wave *)
   repairs : repair_event list; (* in trigger order *)
+  migrations : migration_event list; (* in completion order *)
   final_placement : Qp_place.Placement.t;
   final_suspected : int list; (* detector state at the end of the run *)
   analytic_delay : float; (* static failure-free reference delay *)

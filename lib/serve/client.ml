@@ -17,11 +17,33 @@ let wrap what f =
   | exception Failure msg ->
       Error (Qp_error.Internal (Printf.sprintf "%s: %s" what msg))
 
-let connect ?(host = "127.0.0.1") ?(max_frame = Frame.default_max_len) ~port ()
-    =
+let connect ?(host = "127.0.0.1") ?(max_frame = Frame.default_max_len)
+    ?timeout_ms ~port () =
   wrap "connect" @@ fun () ->
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  (try
+     (match timeout_ms with
+     | None -> Unix.connect fd addr
+     | Some ms ->
+         (* Bounded connect: non-blocking connect, select for
+            writability, then read the pending error off the socket.
+            The same budget becomes the send/recv timeout, so a hung
+            server can stall a call by at most ~2x the budget. *)
+         let t = float_of_int ms /. 1000. in
+         Unix.set_nonblock fd;
+         (try Unix.connect fd addr with
+         | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
+             match Unix.select [] [ fd ] [] t with
+             | _, [], _ ->
+                 raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", host))
+             | _ -> (
+                 match Unix.getsockopt_error fd with
+                 | None -> ()
+                 | Some err -> raise (Unix.Unix_error (err, "connect", host)))));
+         Unix.clear_nonblock fd;
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO t;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO t)
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
@@ -56,3 +78,100 @@ let close t =
     t.open_ <- false;
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* Robust wrapper                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Robust = struct
+  type client = t
+
+  type t = {
+    host : string;
+    port : int;
+    max_frame : int;
+    timeout_ms : int option;
+    retries : int;
+    backoff_ms : float;
+    rng : Qp_util.Rng.t;
+    mutable conn : client option;
+    mutable ever_connected : bool;
+    mutable reconnects : int;
+    mutable retried : int;
+  }
+
+  let create ?(host = "127.0.0.1") ?(max_frame = Frame.default_max_len)
+      ?timeout_ms ?(retries = 3) ?(backoff_ms = 25.) ?(seed = 1) ~port () =
+    {
+      host;
+      port;
+      max_frame;
+      timeout_ms;
+      retries;
+      backoff_ms;
+      rng = Qp_util.Rng.create seed;
+      conn = None;
+      ever_connected = false;
+      reconnects = 0;
+      retried = 0;
+    }
+
+  let reconnects t = t.reconnects
+  let retried t = t.retried
+
+  let drop t =
+    match t.conn with
+    | Some c ->
+        close c;
+        t.conn <- None
+    | None -> ()
+
+  let close = drop
+
+  let ensure t =
+    match t.conn with
+    | Some c -> Ok c
+    | None -> (
+        match
+          connect ~host:t.host ~max_frame:t.max_frame ?timeout_ms:t.timeout_ms
+            ~port:t.port ()
+        with
+        | Ok c ->
+            if t.ever_connected then t.reconnects <- t.reconnects + 1;
+            t.ever_connected <- true;
+            t.conn <- Some c;
+            Ok c
+        | Error _ as e -> e)
+
+  (* Full jitter, exponential base, capped at 2 s: enough spread that a
+     thundering herd of retries after a server restart decorrelates. *)
+  let backoff t ~attempt =
+    let base = t.backoff_ms *. (2. ** float_of_int attempt) in
+    let ms = base *. (0.5 +. Qp_util.Rng.uniform t.rng) in
+    Unix.sleepf (Float.min ms 2000. /. 1000.)
+
+  let call t req =
+    let rec go attempt =
+      let retry outcome =
+        if attempt >= t.retries then outcome
+        else begin
+          t.retried <- t.retried + 1;
+          backoff t ~attempt;
+          go (attempt + 1)
+        end
+      in
+      match ensure t with
+      | Error e -> retry (Error e)
+      | Ok c -> (
+          match call c req with
+          | Error e ->
+              (* A transport error poisons the framing: reconnect. *)
+              drop t;
+              retry (Error e)
+          | Ok resp -> (
+              match resp.Protocol.payload with
+              | Error (Protocol.Overloaded _) -> retry (Ok resp)
+              | _ -> Ok resp))
+    in
+    go 0
+end

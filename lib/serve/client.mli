@@ -13,10 +13,19 @@ module Qp_error := Qp_util.Qp_error
 type t
 
 val connect :
-  ?host:string -> ?max_frame:int -> port:int -> unit -> (t, Qp_error.t) result
+  ?host:string ->
+  ?max_frame:int ->
+  ?timeout_ms:int ->
+  port:int ->
+  unit ->
+  (t, Qp_error.t) result
 (** TCP connect (default host 127.0.0.1, frame bound
     {!Frame.default_max_len}). [Error (Internal _)] when the
-    connection is refused. *)
+    connection is refused. With [timeout_ms] the connect is bounded
+    (non-blocking connect + select) and the same budget is installed
+    as the socket send/receive timeout, so a later [call] against a
+    hung or partitioned server fails with [Error (Internal _)] instead
+    of blocking forever. *)
 
 val send : t -> Protocol.request -> (unit, Qp_error.t) result
 val send_raw : t -> string -> (unit, Qp_error.t) result
@@ -31,3 +40,43 @@ val call : t -> Protocol.request -> (Protocol.response, Qp_error.t) result
 
 val close : t -> unit
 (** Idempotent. *)
+
+(** Self-healing client: a lazily-(re)connected {!t} plus a bounded
+    retry policy. A transport error (refused/reset/timeout/EOF) drops
+    the connection and retries on a fresh one; an [overloaded] reply
+    is retried in place. Backoff is exponential with full jitter
+    (deterministic from [seed]), capped at 2 s per pause, so a herd of
+    clients re-arriving after a server restart decorrelates. After
+    [retries] extra attempts the last failure is returned as-is — a
+    final [overloaded] response surfaces as a response, not an error. *)
+module Robust : sig
+  type t
+
+  val create :
+    ?host:string ->
+    ?max_frame:int ->
+    ?timeout_ms:int ->
+    ?retries:int ->
+    ?backoff_ms:float ->
+    ?seed:int ->
+    port:int ->
+    unit ->
+    t
+  (** No I/O happens here: the first {!call} connects. Defaults:
+      3 retries, 25 ms base backoff, no timeout, seed 1. *)
+
+  val call : t -> Protocol.request -> (Protocol.response, Qp_error.t) result
+
+  val reconnects : t -> int
+  (** Successful connection establishments beyond the first. *)
+
+  val retried : t -> int
+  (** Retry attempts across all calls (each pause counts once). *)
+
+  val drop : t -> unit
+  (** Close the current connection (if any) without touching the
+      policy; the next {!call} reconnects. Fault-injection hook for
+      the load generator's connection-drop chaos mode. *)
+
+  val close : t -> unit
+end

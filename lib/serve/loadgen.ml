@@ -13,6 +13,9 @@ type config = {
   spec : Qp_instance.Spec.t option;
   options : Protocol.options;
   seed : int;
+  timeout_ms : int option;
+  retries : int;
+  drop_every : int option;
 }
 
 let default_config =
@@ -25,6 +28,9 @@ let default_config =
     spec = None;
     options = Protocol.default_options;
     seed = 1;
+    timeout_ms = None;
+    retries = 3;
+    drop_every = None;
   }
 
 let mix_of_string s =
@@ -39,6 +45,9 @@ let mix_of_string s =
             with
             | Ok Protocol.Shutdown, _ ->
                 Qp_error.invalid_instancef "mix: shutdown is not a load verb"
+            | Ok Protocol.Update, _ ->
+                Qp_error.invalid_instancef
+                  "mix: update mutates the instance and is not a load verb"
             | Ok verb, Some weight when weight > 0. -> Ok ((verb, weight) :: acc)
             | Ok _, _ ->
                 Qp_error.invalid_instancef "mix: weight %S must be positive" w
@@ -59,6 +68,8 @@ type report = {
   ok : int;
   rejected : int;
   transport_errors : int;
+  reconnects : int;
+  retried : int;
   throughput_rps : float;
   latencies_ms : float array;
   by_verb : (string * int) list;
@@ -73,6 +84,8 @@ type tally = {
   mutable ok : int;
   mutable rejected : int;
   mutable transport_errors : int;
+  mutable reconnects : int;
+  mutable retried : int;
   mutable latencies : float list;
   verbs : (string, int) Hashtbl.t;
   codes : (string, int) Hashtbl.t;
@@ -84,6 +97,8 @@ let fresh_tally () =
     ok = 0;
     rejected = 0;
     transport_errors = 0;
+    reconnects = 0;
+    retried = 0;
     latencies = [];
     verbs = Hashtbl.create 8;
     codes = Hashtbl.create 8;
@@ -101,53 +116,63 @@ let pick_verb rng mix total =
   in
   walk 0. mix
 
+(* Workers ride a {!Client.Robust} connection: a dropped connection or
+   a restarted server costs a reconnect, not the thread. A failed call
+   (retries exhausted) is recorded and the loop keeps going, so a
+   crash-recovery run shows service resuming after the restart. *)
 let worker cfg ~total_weight ~t_end ~idx ~sample ~sample_lock () =
   let t = fresh_tally () in
-  match Client.connect ~host:cfg.host ~port:cfg.port () with
-  | Error _ ->
-      t.transport_errors <- t.transport_errors + 1;
-      t
-  | Ok client ->
-      let rng = Rng.create (cfg.seed + (1000 * idx)) in
-      let n = ref 0 in
-      let live = ref true in
-      while !live && Obs.Core.now () < t_end do
-        let verb = pick_verb rng cfg.mix total_weight in
-        let req =
-          Protocol.request
-            ~id:(Json.Int ((idx * 1_000_000) + !n))
-            ?spec:cfg.spec ~options:cfg.options verb
-        in
-        incr n;
-        let t0 = Obs.Core.now () in
-        match Client.call client req with
-        | Error _ ->
-            t.transport_errors <- t.transport_errors + 1;
-            live := false
-        | Ok resp ->
-            let dt_ms = (Obs.Core.now () -. t0) *. 1000. in
-            t.completed <- t.completed + 1;
-            t.latencies <- dt_ms :: t.latencies;
-            bump t.verbs resp.Protocol.verb;
-            (match resp.Protocol.payload with
-            | Ok result ->
-                t.ok <- t.ok + 1;
-                if verb = Protocol.Solve && Atomic.get sample = None then begin
-                  Mutex.lock sample_lock;
-                  if Atomic.get sample = None then
-                    Atomic.set sample (Some result);
-                  Mutex.unlock sample_lock
-                end
-            | Error e ->
-                let code = Protocol.serve_error_code e in
-                bump t.codes code;
-                (match e with
-                | Protocol.Overloaded _ | Protocol.Deadline_exceeded _ ->
-                    t.rejected <- t.rejected + 1
-                | Protocol.Typed _ -> ()))
-      done;
-      Client.close client;
-      t
+  let client =
+    Client.Robust.create ~host:cfg.host ?timeout_ms:cfg.timeout_ms
+      ~retries:cfg.retries
+      ~seed:(cfg.seed + (1000 * idx) + 7)
+      ~port:cfg.port ()
+  in
+  let rng = Rng.create (cfg.seed + (1000 * idx)) in
+  let n = ref 0 in
+  while Obs.Core.now () < t_end do
+    (match cfg.drop_every with
+    | Some k when k > 0 && !n > 0 && !n mod k = 0 -> Client.Robust.drop client
+    | _ -> ());
+    let verb = pick_verb rng cfg.mix total_weight in
+    let req =
+      Protocol.request
+        ~id:(Json.Int ((idx * 1_000_000) + !n))
+        ?spec:cfg.spec ~options:cfg.options verb
+    in
+    incr n;
+    let t0 = Obs.Core.now () in
+    match Client.Robust.call client req with
+    | Error _ ->
+        t.transport_errors <- t.transport_errors + 1;
+        (* The server may be down entirely (crash tests): breathe
+           before offering the next request. *)
+        Unix.sleepf 0.05
+    | Ok resp ->
+        let dt_ms = (Obs.Core.now () -. t0) *. 1000. in
+        t.completed <- t.completed + 1;
+        t.latencies <- dt_ms :: t.latencies;
+        bump t.verbs resp.Protocol.verb;
+        (match resp.Protocol.payload with
+        | Ok result ->
+            t.ok <- t.ok + 1;
+            if verb = Protocol.Solve && Atomic.get sample = None then begin
+              Mutex.lock sample_lock;
+              if Atomic.get sample = None then Atomic.set sample (Some result);
+              Mutex.unlock sample_lock
+            end
+        | Error e ->
+            let code = Protocol.serve_error_code e in
+            bump t.codes code;
+            (match e with
+            | Protocol.Overloaded _ | Protocol.Deadline_exceeded _ ->
+                t.rejected <- t.rejected + 1
+            | Protocol.Typed _ -> ()))
+  done;
+  t.reconnects <- Client.Robust.reconnects client;
+  t.retried <- Client.Robust.retried client;
+  Client.Robust.close client;
+  t
 
 let run (cfg : config) =
   if cfg.connections < 1 then
@@ -184,6 +209,8 @@ let run (cfg : config) =
           merged.ok <- merged.ok + t.ok;
           merged.rejected <- merged.rejected + t.rejected;
           merged.transport_errors <- merged.transport_errors + t.transport_errors;
+          merged.reconnects <- merged.reconnects + t.reconnects;
+          merged.retried <- merged.retried + t.retried;
           merged.latencies <- List.rev_append t.latencies merged.latencies;
           Hashtbl.iter
             (fun k v ->
@@ -213,6 +240,8 @@ let run (cfg : config) =
             ok = merged.ok;
             rejected = merged.rejected;
             transport_errors = merged.transport_errors;
+            reconnects = merged.reconnects;
+            retried = merged.retried;
             throughput_rps =
               (if wall_s > 0. then float_of_int merged.completed /. wall_s
                else 0.);
@@ -248,6 +277,8 @@ let report_to_json r =
       ("ok", Json.Int r.ok);
       ("rejected", Json.Int r.rejected);
       ("transport_errors", Json.Int r.transport_errors);
+      ("reconnects", Json.Int r.reconnects);
+      ("retried", Json.Int r.retried);
       ("throughput_rps", Json.Float r.throughput_rps);
       ("latency", Json.Obj latency_fields);
       ("by_verb", counts r.by_verb);

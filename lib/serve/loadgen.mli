@@ -25,11 +25,17 @@ type config = {
   spec : Qp_instance.Spec.t option; (* None = the server's default *)
   options : Protocol.options;
   seed : int;
+  timeout_ms : int option; (* connect + per-call socket timeout *)
+  retries : int; (* {!Client.Robust} retry budget per call *)
+  drop_every : int option;
+      (* chaos mode: force-close the worker's connection before every
+         k-th request, exercising the reconnect path under load *)
 }
 
 val default_config : config
 (** 1 connection, 2 s, mix [solve=8 info=1 health=1], default options,
-    seed 1, port {!Server.default_config}[.port]. *)
+    seed 1, port {!Server.default_config}[.port], no timeout,
+    3 retries, no connection-drop chaos. *)
 
 val mix_of_string : string -> ((Protocol.verb * float) list, Qp_error.t) result
 (** Parse ["solve=8,info=1,health=1"]. Weights must be positive;
@@ -41,7 +47,9 @@ type report = {
   completed : int; (* requests answered, ok or typed error *)
   ok : int;
   rejected : int; (* overloaded / deadline_exceeded replies *)
-  transport_errors : int; (* connect/framing/EOF failures *)
+  transport_errors : int; (* calls failed after exhausting retries *)
+  reconnects : int; (* connections re-established across all workers *)
+  retried : int; (* retry attempts across all workers *)
   throughput_rps : float; (* completed / wall_s *)
   latencies_ms : float array; (* every completed request, unordered *)
   by_verb : (string * int) list; (* sorted by verb *)

@@ -1,16 +1,18 @@
 module Json = Qp_obs.Json
 module Qp_error = Qp_util.Qp_error
 module Spec = Qp_instance.Spec
+module Delta = Qp_instance.Delta
 module Serialize = Qp_place.Serialize
 
 let ( let* ) = Qp_error.( let* )
 
 let schema = "qp-serve/1"
 
-type verb = Solve | Info | Metrics | Health | Shutdown
+type verb = Solve | Update | Info | Metrics | Health | Shutdown
 
 let verb_name = function
   | Solve -> "solve"
+  | Update -> "update"
   | Info -> "info"
   | Metrics -> "metrics"
   | Health -> "health"
@@ -18,13 +20,14 @@ let verb_name = function
 
 let verb_of_name = function
   | "solve" -> Ok Solve
+  | "update" -> Ok Update
   | "info" -> Ok Info
   | "metrics" -> Ok Metrics
   | "health" -> Ok Health
   | "shutdown" -> Ok Shutdown
   | other ->
       Qp_error.invalid_instancef
-        "unknown verb %S (solve|info|metrics|health|shutdown)" other
+        "unknown verb %S (solve|update|info|metrics|health|shutdown)" other
 
 type options = {
   algorithm : string;
@@ -36,10 +39,16 @@ type options = {
 let default_options =
   { algorithm = "lp"; alpha = 2.; deadline_ms = None; pivot_budget = None }
 
-type request = { id : Json.t; verb : verb; spec : Spec.t option; options : options }
+type request = {
+  id : Json.t;
+  verb : verb;
+  spec : Spec.t option;
+  delta : Delta.op list option;
+  options : options;
+}
 
-let request ?(id = Json.Null) ?spec ?(options = default_options) verb =
-  { id; verb; spec; options }
+let request ?(id = Json.Null) ?spec ?delta ?(options = default_options) verb =
+  { id; verb; spec; delta; options }
 
 (* ------------------------------------------------------------------ *)
 (* Spec codec                                                          *)
@@ -93,6 +102,82 @@ let spec_of_json ?(base = { Spec.default with Spec.jobs = 1 }) j =
   | _ -> Qp_error.invalid_instancef "spec must be a JSON object"
 
 (* ------------------------------------------------------------------ *)
+(* Delta codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let delta_op_to_json = function
+  | Delta.Set_edge { u; v; length } ->
+      Json.Obj
+        [ ("op", Json.String "set_edge"); ("u", Json.Int u); ("v", Json.Int v);
+          ("length", Json.Float length) ]
+  | Delta.Remove_edge { u; v } ->
+      Json.Obj
+        [ ("op", Json.String "remove_edge"); ("u", Json.Int u);
+          ("v", Json.Int v) ]
+  | Delta.Set_capacity { node; cap } ->
+      Json.Obj
+        [ ("op", Json.String "set_capacity"); ("node", Json.Int node);
+          ("cap", Json.Float cap) ]
+  | Delta.Set_cap_slack slack ->
+      Json.Obj
+        [ ("op", Json.String "set_cap_slack"); ("slack", Json.Float slack) ]
+
+let delta_to_json ops = Json.List (List.map delta_op_to_json ops)
+
+(* Required typed fields: a delta op with a missing field has no sane
+   default — defaulting an endpoint or a length would apply an edit
+   the client never asked for. *)
+let req_int j key =
+  match Option.bind (Json.member key j) Json.to_int with
+  | Some i -> Ok i
+  | None -> Qp_error.invalid_instancef "delta op: missing integer field %S" key
+
+let req_float j key =
+  match Option.bind (Json.member key j) Json.to_float with
+  | Some f -> Ok f
+  | None -> Qp_error.invalid_instancef "delta op: missing number field %S" key
+
+let delta_op_of_json j =
+  match j with
+  | Json.Obj _ -> (
+      match Option.bind (Json.member "op" j) Json.to_str with
+      | Some "set_edge" ->
+          let* u = req_int j "u" in
+          let* v = req_int j "v" in
+          let* length = req_float j "length" in
+          Ok (Delta.Set_edge { u; v; length })
+      | Some "remove_edge" ->
+          let* u = req_int j "u" in
+          let* v = req_int j "v" in
+          Ok (Delta.Remove_edge { u; v })
+      | Some "set_capacity" ->
+          let* node = req_int j "node" in
+          let* cap = req_float j "cap" in
+          Ok (Delta.Set_capacity { node; cap })
+      | Some "set_cap_slack" ->
+          let* slack = req_float j "slack" in
+          Ok (Delta.Set_cap_slack slack)
+      | Some other ->
+          Qp_error.invalid_instancef
+            "delta op %S (set_edge|remove_edge|set_capacity|set_cap_slack)"
+            other
+      | None ->
+          Qp_error.invalid_instancef "delta op: missing string field \"op\"")
+  | _ -> Qp_error.invalid_instancef "delta op must be a JSON object"
+
+let delta_of_json j =
+  match j with
+  | Json.List ops ->
+      List.fold_left
+        (fun acc op ->
+          let* acc = acc in
+          let* op = delta_op_of_json op in
+          Ok (op :: acc))
+        (Ok []) ops
+      |> Result.map List.rev
+  | _ -> Qp_error.invalid_instancef "delta must be a JSON array of ops"
+
+(* ------------------------------------------------------------------ *)
 (* Request codec                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -128,6 +213,9 @@ let request_to_json (r : request) =
     ([ ("schema", Json.String schema); ("verb", Json.String (verb_name r.verb)) ]
     @ (match r.id with Json.Null -> [] | id -> [ ("id", id) ])
     @ (match r.spec with Some s -> [ ("spec", spec_to_json s) ] | None -> [])
+    @ (match r.delta with
+      | Some ops -> [ ("delta", delta_to_json ops) ]
+      | None -> [])
     @ [ ("options", options_to_json r.options) ])
 
 let request_of_json j =
@@ -154,12 +242,19 @@ let request_of_json j =
         let* s = spec_of_json sj in
         Ok (Some s)
   in
+  let* delta =
+    match Json.member "delta" j with
+    | None | Some Json.Null -> Ok None
+    | Some dj ->
+        let* ops = delta_of_json dj in
+        Ok (Some ops)
+  in
   let* options =
     match Json.member "options" j with
     | None | Some Json.Null -> Ok default_options
     | Some oj -> options_of_json oj
   in
-  Ok { id; verb; spec; options }
+  Ok { id; verb; spec; delta; options }
 
 let parse_request payload =
   match Json.of_string payload with

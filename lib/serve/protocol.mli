@@ -30,11 +30,12 @@
 module Json := Qp_obs.Json
 module Qp_error := Qp_util.Qp_error
 module Spec := Qp_instance.Spec
+module Delta := Qp_instance.Delta
 
 val schema : string
 (** ["qp-serve/1"] — bumped on any shape change. *)
 
-type verb = Solve | Info | Metrics | Health | Shutdown
+type verb = Solve | Update | Info | Metrics | Health | Shutdown
 
 val verb_name : verb -> string
 val verb_of_name : string -> (verb, Qp_error.t) result
@@ -52,11 +53,18 @@ val default_options : options
 type request = {
   id : Json.t; (* echoed verbatim in the response; Null when absent *)
   verb : verb;
-  spec : Spec.t option; (* None = the server's default spec *)
+  spec : Spec.t option; (* None = the server's live instance *)
+  delta : Delta.op list option; (* [update] payload *)
   options : options;
 }
 
-val request : ?id:Json.t -> ?spec:Spec.t -> ?options:options -> verb -> request
+val request :
+  ?id:Json.t ->
+  ?spec:Spec.t ->
+  ?delta:Delta.op list ->
+  ?options:options ->
+  verb ->
+  request
 
 val request_to_json : request -> Json.t
 
@@ -76,6 +84,22 @@ val spec_to_json : Spec.t -> Json.t
 val spec_of_json : ?base:Spec.t -> Json.t -> (Spec.t, Qp_error.t) result
 (** Missing fields default to [base] (default {!Spec.default} with
     [jobs = 1]); value validation happens later in {!Spec.build}. *)
+
+(** {2 Delta codec}
+
+    The [update] verb carries a [delta] array, one object per
+    {!Qp_instance.Delta.op}:
+    {v
+    [{"op":"set_edge","u":0,"v":1,"length":2.5},
+     {"op":"remove_edge","u":3,"v":4},
+     {"op":"set_capacity","node":2,"cap":4.0},
+     {"op":"set_cap_slack","slack":1.5}]
+    v}
+    Fields are required — a delta op with a missing endpoint or value
+    is a protocol error, never defaulted. *)
+
+val delta_to_json : Delta.op list -> Json.t
+val delta_of_json : Json.t -> (Delta.op list, Qp_error.t) result
 
 (** {2 Responses} *)
 

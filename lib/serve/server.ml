@@ -2,6 +2,7 @@ module Obs = Qp_obs
 module Json = Qp_obs.Json
 module Qp_error = Qp_util.Qp_error
 module Spec = Qp_instance.Spec
+module Live = Qp_instance.Live
 module Solver = Qp_place.Solver
 module Serialize = Qp_place.Serialize
 module Quorum = Qp_quorum.Quorum
@@ -46,6 +47,13 @@ type state = {
   mutable draining : bool;
   mutable listen_open : bool;
   started : float;
+  live : Live.t option;
+      (* the evolving default instance; spec-less solves hit it *)
+  solve_cache : (string, Json.t) Hashtbl.t;
+      (* live-instance solve results keyed by options; cleared on every
+         applied update, so a hit is always coherent with the current
+         generation (single-threaded loop: no window between the apply
+         and the clear) *)
 }
 
 (* SIGTERM lands between loop iterations: the handler only flips this
@@ -80,6 +88,14 @@ let connections_c () =
 let open_conns_g () =
   Obs.Metrics.gauge ~help:"Currently open connections" (reg ())
     "qp_serve_open_connections"
+
+let updates_c () =
+  Obs.Metrics.counter ~help:"Instance deltas applied to the live instance"
+    (reg ()) "qp_serve_updates_total"
+
+let cache_c result =
+  Obs.Metrics.counter ~help:"Live-instance solve cache lookups, by result"
+    ~labels:[ ("result", result) ] (reg ()) "qp_serve_solve_cache_total"
 
 (* ------------------------------------------------------------------ *)
 (* Socket helpers                                                      *)
@@ -147,6 +163,10 @@ let health_payload st =
       ("schema", Json.String Protocol.schema);
       ("uptime_s", Json.Float (Obs.Core.now () -. st.started));
       ("queue_depth", Json.Int st.cfg.queue_depth);
+      ( "generation",
+        match st.live with
+        | Some live -> Json.Int (Live.generation live)
+        | None -> Json.Null );
       ("jobs", Json.Int (Qp_par.Pool.default_jobs ())) ]
 
 let metrics_payload () =
@@ -163,20 +183,14 @@ let start_drain st =
     end
   end
 
-let solve_payload st (req : Protocol.request) ~deadline =
-  let spec = Option.value req.Protocol.spec ~default:st.cfg.default_spec in
-  let opts = req.Protocol.options in
+let run_solve ~deadline solve =
   let result =
-    let* solver = Solver.find opts.Protocol.algorithm in
-    let* problem = Spec.build spec in
-    let params = Protocol.solver_params spec opts in
     (* Cooperative cancellation: the pivot loops poll this deadline,
        so a request cannot hold the dispatcher past its budget by more
        than one pivot. Cleared even when the solver raises. *)
     Qp_lp.Simplex.set_deadline
       (if deadline < infinity then Some deadline else None);
-    Fun.protect ~finally:(fun () -> Qp_lp.Simplex.set_deadline None)
-      (fun () -> solver.Solver.solve params problem)
+    Fun.protect ~finally:(fun () -> Qp_lp.Simplex.set_deadline None) solve
   in
   match result with
   | Ok outcome -> Ok (Serialize.outcome_to_json outcome)
@@ -188,9 +202,75 @@ let solve_payload st (req : Protocol.request) ~deadline =
            ("request deadline exceeded during solve: " ^ Qp_error.to_string e))
   | Error e -> Error (Protocol.Typed e)
 
+let cache_key (o : Protocol.options) =
+  Printf.sprintf "%s|%.17g|%s" o.Protocol.algorithm o.Protocol.alpha
+    (match o.Protocol.pivot_budget with
+    | Some b -> string_of_int b
+    | None -> "-")
+
+let solve_payload st (req : Protocol.request) ~deadline =
+  let opts = req.Protocol.options in
+  match (req.Protocol.spec, st.live) with
+  | None, Some live -> (
+      (* Spec-less solves run against the live instance; a cache hit
+         is valid because the cache is cleared under every applied
+         delta. Generation 0 is byte-identical to the spec route. *)
+      let key = cache_key opts in
+      match Hashtbl.find_opt st.solve_cache key with
+      | Some cached ->
+          Obs.Metrics.inc (cache_c "hit");
+          Ok cached
+      | None ->
+          Obs.Metrics.inc (cache_c "miss");
+          let params = Protocol.solver_params (Live.spec live) opts in
+          let payload =
+            run_solve ~deadline (fun () ->
+                let* solver = Solver.find opts.Protocol.algorithm in
+                solver.Solver.solve params (Live.problem live))
+          in
+          (match payload with
+          | Ok j -> Hashtbl.replace st.solve_cache key j
+          | Error _ -> ());
+          payload)
+  | _ ->
+      let spec = Option.value req.Protocol.spec ~default:st.cfg.default_spec in
+      run_solve ~deadline (fun () ->
+          let* solver = Solver.find opts.Protocol.algorithm in
+          let* problem = Spec.build spec in
+          let params = Protocol.solver_params spec opts in
+          solver.Solver.solve params problem)
+
+let update_payload st (req : Protocol.request) =
+  match st.live with
+  | None ->
+      Error
+        (Protocol.Typed
+           (Qp_error.Invalid_instance "update: server has no live instance"))
+  | Some live -> (
+      match req.Protocol.delta with
+      | None | Some [] ->
+          Error
+            (Protocol.Typed
+               (Qp_error.Invalid_instance
+                  "update: missing or empty \"delta\" array"))
+      | Some ops -> (
+          match Live.apply live ops with
+          | Ok () ->
+              (* The swap is coherent: the apply was all-or-nothing and
+                 the cache clear happens before any later request is
+                 dispatched (single-threaded loop). *)
+              Hashtbl.reset st.solve_cache;
+              Obs.Metrics.inc (updates_c ());
+              Ok
+                (Json.Obj
+                   [ ("generation", Json.Int (Live.generation live));
+                     ("applied_ops", Json.Int (Live.applied_ops live)) ])
+          | Error e -> Error (Protocol.Typed e)))
+
 let handle_verb st (req : Protocol.request) ~deadline =
   match req.Protocol.verb with
   | Protocol.Solve -> solve_payload st req ~deadline
+  | Protocol.Update -> update_payload st req
   | Protocol.Info ->
       info_payload (Option.value req.Protocol.spec ~default:st.cfg.default_spec)
   | Protocol.Metrics -> Ok (metrics_payload ())
@@ -387,6 +467,11 @@ let run ?ready cfg =
           draining = false;
           listen_open = true;
           started = Obs.Core.now ();
+          live =
+            (match Live.of_spec cfg.default_spec with
+            | Ok live -> Some live
+            | Error _ -> None);
+          solve_cache = Hashtbl.create 8;
         }
       in
       let port =

@@ -74,6 +74,75 @@ let test_invalid_specs () =
   check_invalid "bad geometric radius"
     (Spec.build { Spec.default with Spec.topology = "geometric:zero" })
 
+(* ------------------------------------------------------------------ *)
+(* Deltas and the live instance                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Delta = Qp_instance.Delta
+module Live = Qp_instance.Live
+
+let live_spec =
+  { Spec.default with Spec.topology = "waxman"; nodes = 10; system = "grid:2";
+    cap_slack = 1.5; seed = 7 }
+
+let test_delta_validate () =
+  let ok ops =
+    match Delta.validate ~nodes:10 ops with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "valid delta rejected: %s" (Qp_error.to_string e)
+  in
+  ok [ Delta.Set_edge { u = 0; v = 1; length = 2. };
+       Delta.Remove_edge { u = 2; v = 3 };
+       Delta.Set_capacity { node = 9; cap = 0.5 };
+       Delta.Set_cap_slack 1.2 ];
+  List.iter
+    (fun (what, ops) -> check_invalid what (Delta.validate ~nodes:10 ops))
+    [ ("self-loop", [ Delta.Set_edge { u = 4; v = 4; length = 1. } ]);
+      ("negative length", [ Delta.Set_edge { u = 0; v = 1; length = -1. } ]);
+      ("node out of range", [ Delta.Set_capacity { node = 10; cap = 1. } ]);
+      ("negative node", [ Delta.Remove_edge { u = -1; v = 2 } ]);
+      ("non-positive slack", [ Delta.Set_cap_slack 0. ]) ]
+
+let test_live_apply_tracks_rebuild () =
+  (* Generation 0 equals Spec.build; after a delta the incremental
+     path (row-wise APSP patch) must equal what a from-scratch build
+     of the mutated graph would give. *)
+  let live = ok_exn (Live.of_spec live_spec) in
+  Alcotest.(check int) "generation 0" 0 (Live.generation live);
+  Alcotest.(check string) "gen0 = Spec.build"
+    (Serialize.problem_to_string (ok_exn (Spec.build live_spec)))
+    (Serialize.problem_to_string (Live.problem live));
+  let ops =
+    [ Delta.Set_edge { u = 0; v = 5; length = 0.1 };
+      Delta.Set_capacity { node = 2; cap = 3. } ]
+  in
+  ok_exn (Live.apply live ops);
+  Alcotest.(check int) "generation bumped" 1 (Live.generation live);
+  Alcotest.(check int) "ops counted" 2 (Live.applied_ops live);
+  let scratch =
+    let system = ok_exn (Spec.build_system live_spec.Spec.system) in
+    let p =
+      Spec.uniform_problem ~graph:(Live.graph live) ~system
+        ~slack:live_spec.Spec.cap_slack
+    in
+    { p with Problem.capacities = Live.capacities live }
+  in
+  Alcotest.(check string) "incremental = from-scratch rebuild"
+    (Serialize.problem_to_string scratch)
+    (Serialize.problem_to_string (Live.problem live))
+
+let test_live_apply_atomic () =
+  let live = ok_exn (Live.of_spec live_spec) in
+  let before = Serialize.problem_to_string (Live.problem live) in
+  (* second op is invalid: the valid first op must NOT have applied *)
+  check_invalid "batch with a bad op"
+    (Live.apply live
+       [ Delta.Set_edge { u = 0; v = 1; length = 2. };
+         Delta.Set_capacity { node = 99; cap = 1. } ]);
+  Alcotest.(check int) "generation unchanged" 0 (Live.generation live);
+  Alcotest.(check string) "state unchanged" before
+    (Serialize.problem_to_string (Live.problem live))
+
 let suites =
   [
     ( "instance.spec",
@@ -84,5 +153,12 @@ let suites =
         Alcotest.test_case "all topologies build" `Quick test_all_topologies_build;
         Alcotest.test_case "all systems build" `Quick test_all_systems_build;
         Alcotest.test_case "invalid specs" `Quick test_invalid_specs;
+      ] );
+    ( "instance.live",
+      [
+        Alcotest.test_case "delta validation" `Quick test_delta_validate;
+        Alcotest.test_case "apply tracks full rebuild" `Quick
+          test_live_apply_tracks_rebuild;
+        Alcotest.test_case "apply is atomic" `Quick test_live_apply_atomic;
       ] );
   ]

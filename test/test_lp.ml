@@ -157,6 +157,82 @@ let random_feasible_lp seed =
   done;
   (lp, witness)
 
+(* Two LPs with identical variable/constraint layout whose right-hand
+   sides differ by a small random delta — the shape of an instance
+   update reaching the solver. *)
+let random_lp_pair seed =
+  let rng = Rng.create seed in
+  let n = 2 + Rng.int rng 5 in
+  let m = 2 + Rng.int rng 8 in
+  let witness = Array.init n (fun _ -> Rng.float rng 5.) in
+  let base = Lp.create n in
+  let delta = Lp.create n in
+  for v = 0 to n - 1 do
+    let c = Rng.float rng 3. in
+    Lp.set_objective base v c;
+    Lp.set_objective delta v c
+  done;
+  for _ = 1 to m do
+    let terms = List.init n (fun v -> (v, Rng.float rng 4. -. 2.)) in
+    let lhs = Lp.eval_terms terms witness in
+    let bump = Rng.float rng 0.3 -. 0.15 in
+    match Rng.int rng 3 with
+    | 0 ->
+        let rhs = lhs +. Rng.float rng 2. in
+        Lp.add_constraint base terms Lp.Le rhs;
+        Lp.add_constraint delta terms Lp.Le (rhs +. bump)
+    | 1 ->
+        let rhs = lhs -. Rng.float rng 2. in
+        Lp.add_constraint base terms Lp.Ge rhs;
+        Lp.add_constraint delta terms Lp.Ge (rhs +. bump)
+    | _ ->
+        Lp.add_constraint base terms Lp.Eq lhs;
+        Lp.add_constraint delta terms Lp.Eq (lhs +. bump)
+  done;
+  (base, delta)
+
+(* Satellite property (b): a warm-started solve must agree with the
+   cold solve on the perturbed LP — the crash basis is an accelerator,
+   never an answer-changer. *)
+let prop_warm_equals_cold =
+  QCheck.Test.make ~name:"warm-started solve = cold solve on small deltas"
+    ~count:150 QCheck.small_int (fun seed ->
+      let base, delta = random_lp_pair (seed + 7000) in
+      match Simplex.solve_warm base with
+      | Simplex.Optimal _, Some basis -> (
+          let cold = Simplex.solve delta in
+          let warm, _ = Simplex.solve_warm ~warm:basis delta in
+          match (cold, warm) with
+          | Simplex.Optimal a, Simplex.Optimal b ->
+              Float.abs (a.objective -. b.objective)
+              <= 1e-6 *. Float.max 1. (Float.abs a.objective)
+          | Simplex.Infeasible, Simplex.Infeasible -> true
+          | Simplex.Unbounded, Simplex.Unbounded -> true
+          | _ -> false)
+      | _ -> true)
+
+(* An unchanged LP re-solved from its own final basis needs no phase-1
+   work at all: the crash start is already optimal, so phase 2 should
+   terminate without pivoting. *)
+let test_warm_identity () =
+  let lp () =
+    let lp = Lp.create 2 in
+    Lp.set_objective lp 0 (-3.);
+    Lp.set_objective lp 1 (-5.);
+    Lp.add_constraint lp [ (0, 1.) ] Lp.Le 4.;
+    Lp.add_constraint lp [ (1, 2.) ] Lp.Le 12.;
+    Lp.add_constraint lp [ (0, 3.); (1, 2.) ] Lp.Le 18.;
+    lp
+  in
+  match Simplex.solve_warm (lp ()) with
+  | Simplex.Optimal { objective; _ }, Some basis ->
+      check_float "cold objective" (-36.) objective;
+      (match Simplex.solve_warm ~warm:basis (lp ()) with
+      | Simplex.Optimal { objective; _ }, Some _ ->
+          check_float "warm objective" (-36.) objective
+      | _ -> Alcotest.fail "warm re-solve not optimal")
+  | _ -> Alcotest.fail "cold solve not optimal"
+
 let prop_simplex_beats_witness =
   QCheck.Test.make ~name:"simplex optimum feasible and <= witness" ~count:150
     QCheck.small_int (fun seed ->
@@ -285,7 +361,12 @@ let prop_certificates_verify =
 
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_simplex_beats_witness; prop_simplex_no_better_grid_point; prop_certificates_verify ]
+    [
+      prop_simplex_beats_witness;
+      prop_simplex_no_better_grid_point;
+      prop_certificates_verify;
+      prop_warm_equals_cold;
+    ]
 
 let suites =
   [
@@ -305,6 +386,7 @@ let suites =
         Alcotest.test_case "objective helpers" `Quick test_objective_helpers;
         Alcotest.test_case "transportation" `Quick test_transportation;
         Alcotest.test_case "beale anti-cycling" `Quick test_beale_cycling;
+        Alcotest.test_case "warm re-solve of identical LP" `Quick test_warm_identity;
       ] );
     ( "lp.duality",
       [

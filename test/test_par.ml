@@ -194,31 +194,57 @@ let test_apsp_parallel_equals_sequential =
       let par = with_pool 3 (fun pool -> Apsp.repeated_dijkstra ~pool g) in
       seq = par)
 
+let stats = Alcotest.(triple int int int)
+
 let test_apsp_cache () =
   Metric.reset_apsp_cache ();
-  Alcotest.(check (pair int int)) "fresh stats" (0, 0) (Metric.apsp_cache_stats ());
+  Alcotest.check stats "fresh stats" (0, 0, 0) (Metric.apsp_cache_stats ());
   let g = random_connected_graph 5 12 in
   let m1 = Metric.of_graph g in
-  Alcotest.(check (pair int int)) "first is a miss" (0, 1) (Metric.apsp_cache_stats ());
+  Alcotest.check stats "first is a miss" (0, 1, 0) (Metric.apsp_cache_stats ());
   (* A structurally identical graph built separately must hit. *)
   let m2 = Metric.of_graph (random_connected_graph 5 12) in
-  Alcotest.(check (pair int int)) "second hits" (1, 1) (Metric.apsp_cache_stats ());
+  Alcotest.check stats "second hits" (1, 1, 0) (Metric.apsp_cache_stats ());
   for u = 0 to 11 do
     for v = 0 to 11 do
       Alcotest.(check (float 0.)) "same distances" (Metric.dist m1 u v) (Metric.dist m2 u v)
     done
   done;
   ignore (Metric.of_graph ~cache:false g);
-  Alcotest.(check (pair int int)) "cache:false bypasses" (1, 1)
+  Alcotest.check stats "cache:false bypasses" (1, 1, 0)
     (Metric.apsp_cache_stats ());
   ignore (Metric.of_graph (random_connected_graph 6 12));
-  Alcotest.(check (pair int int)) "different graph misses" (1, 2)
+  Alcotest.check stats "different graph misses" (1, 2, 0)
     (Metric.apsp_cache_stats ());
   Metric.reset_apsp_cache ();
-  Alcotest.(check (pair int int)) "reset" (0, 0) (Metric.apsp_cache_stats ());
+  Alcotest.check stats "reset" (0, 0, 0) (Metric.apsp_cache_stats ());
   ignore (Metric.of_graph g);
-  Alcotest.(check (pair int int)) "re-computed after reset" (0, 1)
+  Alcotest.check stats "re-computed after reset" (0, 1, 0)
     (Metric.apsp_cache_stats ())
+
+(* Incremental APSP after a small edge delta must agree with a fresh
+   computation and count as a partial invalidation. *)
+let test_apsp_delta () =
+  Metric.reset_apsp_cache ();
+  let g = random_connected_graph 7 14 in
+  let base = Metric.of_graph g in
+  (* Perturb one edge (longer) and add one shortcut. *)
+  let edges = Graph.edges g in
+  let u0, v0, w0 = List.hd edges in
+  let edges' =
+    (u0, v0, w0 *. 3.) :: List.filter (fun (a, b, _) -> (a, b) <> (u0, v0)) edges
+  in
+  let g' = Graph.of_edges 14 edges' in
+  let inc = Metric.of_graph_delta ~base ~base_graph:g g' in
+  let fresh = Metric.of_graph ~cache:false g' in
+  for i = 0 to 13 do
+    for j = 0 to 13 do
+      Alcotest.(check (float 1e-9)) "delta = fresh" (Metric.dist fresh i j)
+        (Metric.dist inc i j)
+    done
+  done;
+  let _, _, partial = Metric.apsp_cache_stats () in
+  Alcotest.(check bool) "counted partial" true (partial >= 1)
 
 (* ------------------------------------------------------------------ *)
 (* End to end: the solver is worker-count invariant                    *)
@@ -280,6 +306,7 @@ let suites =
       [
         QCheck_alcotest.to_alcotest test_apsp_parallel_equals_sequential;
         Alcotest.test_case "metric cache hits and bypass" `Quick test_apsp_cache;
+        Alcotest.test_case "incremental APSP after delta" `Quick test_apsp_delta;
         Alcotest.test_case "solver invariant under jobs" `Quick test_solver_jobs_invariant;
       ] );
   ]

@@ -263,6 +263,35 @@ let test_engine_repair_fires_and_avoids_dead () =
   | [] -> ());
   Alcotest.(check bool) "repair helped" true (r.Engine.availability > 0.5)
 
+let test_engine_migration_loop () =
+  (* With a migration policy, a tripped trigger runs the closed loop:
+     warm re-solve -> bounded-safe plan -> staged application. The run
+     must record migration events whose accounting is consistent, and
+     must remain deterministic in the seed. *)
+  let problem, placement = engine_fixture () in
+  let failure = Failure.Dynamic { mtbf = 40.; mttr = 60. } in
+  let cfg =
+    { (Engine.default_config ~adaptive:true ~repair:Engine.default_trigger
+         ~migration:Engine.default_migration ~problem ~placement ~failure ()) with
+      Engine.accesses_per_client = 300;
+      seed = 2 }
+  in
+  let r = Engine.run cfg in
+  Alcotest.(check bool) "migrations triggered" true (r.Engine.migrations <> []);
+  List.iter
+    (fun (ev : Engine.migration_event) ->
+      Alcotest.(check bool) "applied <= planned" true
+        (ev.Engine.applied_moves <= ev.Engine.planned_moves);
+      Alcotest.(check bool) "non-degraded events apply their whole plan" true
+        (ev.Engine.degraded || ev.Engine.applied_moves = ev.Engine.planned_moves))
+    r.Engine.migrations;
+  let r' = Engine.run cfg in
+  Alcotest.(check int) "deterministic event count"
+    (List.length r.Engine.migrations)
+    (List.length r'.Engine.migrations);
+  Alcotest.(check (array int)) "deterministic final placement"
+    r.Engine.final_placement r'.Engine.final_placement
+
 let test_engine_deterministic () =
   let problem, placement = engine_fixture () in
   let failure = Failure.Dynamic { mtbf = 50.; mttr = 30. } in
@@ -339,6 +368,7 @@ let suites =
         Alcotest.test_case "adaptive beats static" `Quick
           test_engine_adaptive_beats_static_under_churn;
         Alcotest.test_case "repair fires" `Quick test_engine_repair_fires_and_avoids_dead;
+        Alcotest.test_case "migration loop" `Quick test_engine_migration_loop;
         Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
         Alcotest.test_case "hedging accounting" `Quick test_engine_hedging_accounting;
         Alcotest.test_case "validation" `Quick test_engine_validation;

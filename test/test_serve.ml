@@ -151,6 +151,29 @@ let test_request_defaults_and_errors () =
   | Error (Json.Int 42, _) -> ()
   | _ -> Alcotest.fail "parse_request must recover the id"
 
+let test_delta_codec () =
+  let delta =
+    [ Qp_instance.Delta.Set_edge { u = 0; v = 1; length = 2.5 };
+      Qp_instance.Delta.Remove_edge { u = 2; v = 3 };
+      Qp_instance.Delta.Set_capacity { node = 1; cap = 4. };
+      Qp_instance.Delta.Set_cap_slack 1.5 ]
+  in
+  let req = Protocol.request ~id:(Json.Int 9) ~delta Protocol.Update in
+  let j = Protocol.request_to_json req in
+  let req' = get_ok "update request" (Protocol.request_of_json j) in
+  checkb "verb" true (req'.Protocol.verb = Protocol.Update);
+  checkb "delta round-trips" true (req'.Protocol.delta = Some delta);
+  (* malformed deltas are typed errors, field by field *)
+  let bad s =
+    match Protocol.request_of_json (Json.of_string s) with
+    | Error (Qp_error.Invalid_instance _) -> ()
+    | _ -> Alcotest.failf "accepted malformed delta: %s" s
+  in
+  bad {|{"verb":"update","delta":"not an array"}|};
+  bad {|{"verb":"update","delta":[{"op":"set_edge","u":0}]}|};
+  bad {|{"verb":"update","delta":[{"op":"warp_core"}]}|};
+  bad {|{"verb":"update","delta":[42]}|}
+
 let test_partial_spec_defaults () =
   let base = test_spec in
   let s =
@@ -334,6 +357,179 @@ let test_malformed_gets_reply_not_hangup () =
   (* same connection still serves requests *)
   let h = call_ok "health after garbage" c (Protocol.request Protocol.Health) in
   checks "still ok" "ok" (member_string "health" h "status")
+
+(* ------------------------------------------------------------------ *)
+(* Live updates                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let generation what client =
+  let h = call_ok what client (Protocol.request Protocol.Health) in
+  match Json.member "generation" h with
+  | Some (Json.Int g) -> g
+  | _ -> Alcotest.failf "%s: health carries no generation" what
+
+let test_update_verb () =
+  with_server @@ fun port ->
+  let c = get_ok "connect" (Client.connect ~port ()) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  checki "initial generation" 0 (generation "gen0" c);
+  let before = call_ok "solve before" c (Protocol.request Protocol.Solve) in
+  (* a served solve with no spec is the live instance at generation 0:
+     byte-identical to the spec route *)
+  let explicit = call_ok "solve spec" c (Protocol.request ~spec:test_spec Protocol.Solve) in
+  checks "live gen0 = spec solve" (Json.to_string explicit) (Json.to_string before);
+  (* accepted delta: generation bumps, cache is invalidated *)
+  let delta = [ Qp_instance.Delta.Set_edge { u = 0; v = 1; length = 9. } ] in
+  let u = call_ok "update" c (Protocol.request ~delta Protocol.Update) in
+  checki "update reports generation"
+    (match Json.member "generation" u with Some (Json.Int g) -> g | _ -> -1)
+    1;
+  checki "generation after update" 1 (generation "gen1" c);
+  let after = call_ok "solve after" c (Protocol.request Protocol.Solve) in
+  (* the served solve now matches an offline solve of the mutated
+     instance, not of the original spec *)
+  let offline =
+    let live = get_ok "live" (Qp_instance.Live.of_spec test_spec) in
+    get_ok "offline apply" (Qp_instance.Live.apply live delta);
+    let solver = get_ok "find lp" (Solver.find "lp") in
+    let params = Protocol.solver_params test_spec Protocol.default_options in
+    get_ok "offline solve"
+      (solver.Solver.solve params (Qp_instance.Live.problem live))
+  in
+  checks "solve reflects the mutated instance"
+    (Json.to_string (Serialize.outcome_to_json offline))
+    (Json.to_string after);
+  (* repeat solve is served from the refreshed cache: same bytes *)
+  let again = call_ok "solve cached" c (Protocol.request Protocol.Solve) in
+  checks "cached solve identical" (Json.to_string after) (Json.to_string again);
+  (* rejected deltas leave the generation alone *)
+  let reject what delta =
+    let e = call_err what c (Protocol.request ?delta Protocol.Update) in
+    checks (what ^ " code") "invalid_instance" (Protocol.serve_error_code e);
+    checki (what ^ " generation unchanged") 1 (generation what c)
+  in
+  reject "missing delta" None;
+  reject "empty delta" (Some []);
+  reject "out-of-range node"
+    (Some [ Qp_instance.Delta.Set_capacity { node = 99; cap = 1. } ])
+
+(* Fuzz: random — frequently malformed — update deltas never crash the
+   server, and a rejected delta never moves the generation (Live.apply
+   is all-or-nothing). *)
+let fuzz_update_port = Atomic.make 0
+
+let rand_delta_json rng =
+  let rand_op () =
+    match Qp_util.Rng.int rng 8 with
+    | 0 ->
+        Json.Obj
+          [ ("op", Json.String "set_edge"); ("u", Json.Int (Qp_util.Rng.int rng 8));
+            ("v", Json.Int (Qp_util.Rng.int rng 8));
+            ("length", Json.Float (Qp_util.Rng.float rng 4. -. 1.)) ]
+    | 1 ->
+        Json.Obj
+          [ ("op", Json.String "remove_edge"); ("u", Json.Int (Qp_util.Rng.int rng 10));
+            ("v", Json.Int (Qp_util.Rng.int rng 10)) ]
+    | 2 ->
+        Json.Obj
+          [ ("op", Json.String "set_capacity");
+            ("node", Json.Int (Qp_util.Rng.int rng 12 - 2));
+            ("cap", Json.Float (Qp_util.Rng.float rng 5. -. 1.)) ]
+    | 3 ->
+        Json.Obj
+          [ ("op", Json.String "set_cap_slack");
+            ("slack", Json.Float (Qp_util.Rng.float rng 3. -. 0.5)) ]
+    | 4 -> Json.Obj [ ("op", Json.String "set_edge"); ("u", Json.Int 0) ]
+    | 5 -> Json.Obj [ ("op", Json.String "warp_core") ]
+    | 6 -> Json.Int 42
+    | _ ->
+        Json.Obj
+          [ ("op", Json.String "set_edge"); ("u", Json.Int 3); ("v", Json.Int 3);
+            ("length", Json.Float 1.) ]
+  in
+  match Qp_util.Rng.int rng 10 with
+  | 0 -> Json.String "not an array"
+  | 1 -> Json.List []
+  | _ -> Json.List (List.init (1 + Qp_util.Rng.int rng 3) (fun _ -> rand_op ()))
+
+let fuzz_update_survives =
+  QCheck.Test.make ~count:40
+    ~name:"serve: fuzzed update deltas never crash or corrupt the instance"
+    QCheck.small_int (fun seed ->
+      match Atomic.get fuzz_update_port with
+      | 0 -> QCheck.Test.fail_report "fuzz server not running"
+      | port ->
+          let rng = Qp_util.Rng.create (seed + 31) in
+          let c =
+            match Client.connect ~port () with
+            | Ok c -> c
+            | Error e ->
+                QCheck.Test.fail_reportf "connect: %s" (Qp_error.to_string e)
+          in
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          let gen_before = generation "fuzz before" c in
+          let payload =
+            Json.to_string
+              (Json.Obj
+                 [ ("verb", Json.String "update"); ("delta", rand_delta_json rng) ])
+          in
+          ignore (Client.send_raw c payload);
+          let accepted =
+            match get_ok "fuzz recv" (Client.recv c) with
+            | Some { Protocol.payload = Ok _; _ } -> true
+            | Some { Protocol.payload = Error _; _ } -> false
+            | None -> QCheck.Test.fail_report "server hung up on an update"
+          in
+          let gen_after = generation "fuzz after" c in
+          (* generation moves iff the delta was accepted, and the
+             instance still solves either way *)
+          gen_after = gen_before + (if accepted then 1 else 0)
+          && match Client.call c (Protocol.request Protocol.Solve) with
+             | Ok { Protocol.payload = Ok _; _ } -> true
+             | _ -> false)
+
+let test_update_fuzz () =
+  with_server @@ fun port ->
+  Atomic.set fuzz_update_port port;
+  Fun.protect ~finally:(fun () -> Atomic.set fuzz_update_port 0) @@ fun () ->
+  QCheck.Test.check_exn fuzz_update_survives
+
+(* ------------------------------------------------------------------ *)
+(* Robust client                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_robust_client_reconnects () =
+  with_server @@ fun port ->
+  let r = Client.Robust.create ~port ~timeout_ms:2000 ~retries:2 () in
+  Fun.protect ~finally:(fun () -> Client.Robust.close r) @@ fun () ->
+  (match Client.Robust.call r (Protocol.request Protocol.Health) with
+  | Ok { Protocol.payload = Ok _; _ } -> ()
+  | _ -> Alcotest.fail "first health failed");
+  checki "no reconnects yet" 0 (Client.Robust.reconnects r);
+  (* kill the connection under the client's feet: the next call must
+     transparently reconnect and succeed *)
+  Client.Robust.drop r;
+  (match Client.Robust.call r (Protocol.request Protocol.Health) with
+  | Ok { Protocol.payload = Ok _; _ } -> ()
+  | _ -> Alcotest.fail "health after drop failed");
+  checki "one reconnect" 1 (Client.Robust.reconnects r)
+
+let test_robust_client_gives_up () =
+  (* a port with no listener: every attempt fails, the typed error
+     surfaces after the retry budget instead of hanging *)
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> Alcotest.fail "no port"
+  in
+  Unix.close fd;
+  let r = Client.Robust.create ~port ~timeout_ms:200 ~retries:1 ~backoff_ms:1. () in
+  Fun.protect ~finally:(fun () -> Client.Robust.close r) @@ fun () ->
+  match Client.Robust.call r (Protocol.request Protocol.Health) with
+  | Error _ -> checki "retried once" 1 (Client.Robust.retried r)
+  | Ok _ -> Alcotest.fail "call to a dead port succeeded"
 
 (* ------------------------------------------------------------------ *)
 (* Admission control and drain                                         *)
@@ -570,6 +766,7 @@ let suites =
       [ Alcotest.test_case "error codec round-trip" `Quick test_error_codec_roundtrip;
         Alcotest.test_case "request codec round-trip" `Quick test_request_codec;
         Alcotest.test_case "request defaults and errors" `Quick test_request_defaults_and_errors;
+        Alcotest.test_case "delta codec" `Quick test_delta_codec;
         Alcotest.test_case "partial spec defaults" `Quick test_partial_spec_defaults ] );
     ( "serve.server",
       [ Alcotest.test_case "all verbs round-trip" `Quick test_all_verbs;
@@ -580,7 +777,11 @@ let suites =
         Alcotest.test_case "queue-full rejection" `Quick test_queue_full_rejection;
         Alcotest.test_case "graceful drain ordering" `Quick test_graceful_drain_ordering;
         Alcotest.test_case "simplex deadline cancels" `Quick test_simplex_deadline_cancels;
-        Alcotest.test_case "fuzz: garbage never crashes" `Quick test_fuzz ] );
+        Alcotest.test_case "fuzz: garbage never crashes" `Quick test_fuzz;
+        Alcotest.test_case "update verb end to end" `Quick test_update_verb;
+        Alcotest.test_case "fuzz: update deltas" `Quick test_update_fuzz;
+        Alcotest.test_case "robust client reconnects" `Quick test_robust_client_reconnects;
+        Alcotest.test_case "robust client gives up" `Quick test_robust_client_gives_up ] );
     ( "serve.loadgen",
       [ Alcotest.test_case "mix parser" `Quick test_mix_of_string;
         Alcotest.test_case "closed-loop run" `Quick test_loadgen_against_server ] ) ]
