@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- --smoke      # fast subset for CI
      dune exec bench/main.exe -- --jobs N     # worker domains (0 = all cores)
      dune exec bench/main.exe -- --out FILE   # results file (default BENCH_results.json)
+     dune exec bench/main.exe -- --wide-events FILE  # one wide event per experiment (JSONL)
 
    Every experiment run also writes a machine-readable summary: per
    experiment the wall-clock time plus every telemetry series (solver
@@ -27,9 +28,16 @@ module Obs = Qp_obs
 let run_one ~buffer name =
   let reg = Obs.Metrics.create ~enabled:true () in
   let run () = Obs.Metrics.with_current reg (fun () -> Experiments.by_name name) in
+  let ev = Obs.Wide.start ~kind:"bench_experiment" () in
+  Obs.Wide.set_str ev "experiment" name;
   let t0 = Obs.Core.now () in
-  (match buffer with Some b -> Qp_par.Io.with_buffer b run | None -> run ());
+  (try match buffer with Some b -> Qp_par.Io.with_buffer b run | None -> run ()
+   with e ->
+     Obs.Wide.finish ~outcome:"raised" ev;
+     raise e);
   let wall = Obs.Core.now () -. t0 in
+  Obs.Wide.set ev "wall_s" (Obs.Json.Float wall);
+  Obs.Wide.finish ev;
   let series =
     List.filter_map
       (fun (k, v) -> if v <> 0. then Some (k, Obs.Json.Float v) else None)
@@ -64,6 +72,7 @@ let () =
   print_endline "Quorum Placement in Networks to Minimize Access Delays (PODC'05)";
   print_endline "Experiment reproduction suite - see DESIGN.md / EXPERIMENTS.md";
   let out = ref "BENCH_results.json" in
+  let wide = ref None in
   let names = ref [] in
   let micro = ref false in
   let jobs = ref 0 in
@@ -74,6 +83,10 @@ let () =
         out := path;
         parse rest
     | "--out" :: [] -> usage_fail "--out requires a FILE argument"
+    | "--wide-events" :: path :: rest ->
+        wide := Some path;
+        parse rest
+    | "--wide-events" :: [] -> usage_fail "--wide-events requires a FILE argument"
     | "--jobs" :: n :: rest | "-j" :: n :: rest ->
         (match int_of_string_opt n with
         | Some j when j >= 0 -> jobs := j
@@ -101,6 +114,12 @@ let () =
   in
   let jobs = if !jobs = 0 then Domain.recommended_domain_count () else !jobs in
   Qp_par.Pool.set_default_jobs jobs;
+  (match !wide with
+  | None -> ()
+  | Some path ->
+      Obs.Wide.install (Obs.Trace.to_file path);
+      Obs.Wide.header
+        [ ("tool", Obs.Json.String "bench"); ("jobs", Obs.Json.Int jobs) ]);
   let results =
     if jobs = 1 then List.map (fun n -> run_one ~buffer:None n) names
     else begin
@@ -119,4 +138,5 @@ let () =
     end
   in
   if !micro then Micro.run ();
-  if results <> [] then write_results !out ~jobs results
+  if results <> [] then write_results !out ~jobs results;
+  Obs.Wide.uninstall ()

@@ -8,6 +8,7 @@
      solvers     list the registered placement algorithms
      resilience  closed-loop engine vs static baseline under churn
      churn       greedy repair vs bounded-safe migration under churn
+     tail        summarize wide-event JSONL artifacts
    Instances are described by one shared {!Qp_instance.Spec.t} record
    (deterministic from --seed); algorithms are selected by name from
    the {!Qp_place.Solver} registry. Library errors arrive as typed
@@ -30,7 +31,12 @@ let ( let* ) = Qp_error.( let* )
 (* record plus the telemetry sinks.                                    *)
 (* ------------------------------------------------------------------ *)
 
-type common = { spec : Spec.t; trace : string option; metrics : string option }
+type common = {
+  spec : Spec.t;
+  trace : string option;
+  metrics : string option;
+  wide : string option; (* wide-event JSONL sink *)
+}
 
 type run_meta = {
   command : string;
@@ -79,6 +85,11 @@ let with_obs ?(quiet = false) (c : common) meta f =
       Obs.Trace.install (Obs.Trace.to_file path);
       Obs.Trace.header (meta_fields meta)
   | None -> ());
+  (match c.wide with
+  | Some path ->
+      Obs.Wide.install (Obs.Trace.to_file path);
+      Obs.Wide.header (meta_fields meta)
+  | None -> ());
   if c.metrics <> None then Obs.Metrics.set_enabled Obs.Metrics.default true;
   Fun.protect
     ~finally:(fun () ->
@@ -88,6 +99,7 @@ let with_obs ?(quiet = false) (c : common) meta f =
           output_string oc (Obs.Metrics.to_prometheus Obs.Metrics.default);
           close_out oc
       | None -> ());
+      Obs.Wide.uninstall ();
       Obs.Trace.uninstall ())
     f
 
@@ -149,22 +161,34 @@ let solve_cmd (c : common) algorithm alpha pivot_budget instance save format =
   with_obs ~quiet:(format = "json") c
     (meta_of c ~jobs ~alpha ~algorithm)
   @@ fun () ->
-  let* problem = get_problem ~instance c in
-  let* () =
-    match save with
-    | Some path ->
-        let* () = Serialize.save_problem path problem in
-        if format <> "json" then Printf.printf "instance saved to %s\n" path;
-        Ok ()
-    | None -> Ok ()
+  let ev = Obs.Wide.start ~kind:"solve" () in
+  Obs.Wide.set_str ev "alg" algorithm;
+  Obs.Wide.set ev "alpha" (Obs.Json.Float alpha);
+  let res =
+    let* problem = Obs.Wide.timed ev "build" (fun () -> get_problem ~instance c) in
+    let* () =
+      match save with
+      | Some path ->
+          let* () = Serialize.save_problem path problem in
+          if format <> "json" then Printf.printf "instance saved to %s\n" path;
+          Ok ()
+      | None -> Ok ()
+    in
+    let* outcome =
+      Obs.Wide.timed ev "solve" (fun () ->
+          solver.Solver.solve (params_of ?pivot_budget c ~alpha) problem)
+    in
+    if format = "json" then print_endline (Serialize.outcome_to_string outcome)
+    else begin
+      List.iter print_endline (solver.Solver.headline outcome);
+      describe_placement problem solver.Solver.label outcome.Outcome.placement
+    end;
+    Ok ()
   in
-  let* outcome = solver.Solver.solve (params_of ?pivot_budget c ~alpha) problem in
-  if format = "json" then print_endline (Serialize.outcome_to_string outcome)
-  else begin
-    List.iter print_endline (solver.Solver.headline outcome);
-    describe_placement problem solver.Solver.label outcome.Outcome.placement
-  end;
-  Ok ()
+  (match res with
+  | Ok () -> Obs.Wide.finish ~outcome:"ok" ev
+  | Error e -> Obs.Wide.finish ~outcome:(Serialize.error_code e) ev);
+  res
 
 let simulate_cmd (c : common) protocol accesses =
   run_result
@@ -516,6 +540,11 @@ let loadgen_cmd (c : common) host port connections duration mix deadline_ms
     else Ok ()
   in
   ignore (resolve_jobs 1);
+  (* quiet: loadgen's stdout is the report document, nothing else —
+     the telemetry sinks (--trace/--metrics/--wide-events) still
+     install around the run *)
+  with_obs ~quiet:true c (meta_of c ~command:"loadgen" ~jobs:1 ~algorithm ~alpha)
+  @@ fun () ->
   let options =
     { Qp_serve.Protocol.algorithm;
       alpha;
@@ -533,7 +562,11 @@ let loadgen_cmd (c : common) host port connections duration mix deadline_ms
       seed = c.spec.Spec.seed;
       timeout_ms;
       retries;
-      drop_every }
+      drop_every;
+      (* Wide events imply per-request trace propagation: the client
+         mints ids, the server echoes phase timing, and the two JSONL
+         files join. *)
+      trace_requests = c.wide <> None }
   in
   let* report = Qp_serve.Loadgen.run cfg in
   let doc = Obs.Json.to_string (Qp_serve.Loadgen.report_to_json report) in
@@ -546,6 +579,151 @@ let loadgen_cmd (c : common) host port connections duration mix deadline_ms
   | None -> ());
   print_endline doc;
   Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* tail: summarize wide-event JSONL artifacts                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Reads one or more qp-wide/1 files (e.g. the server's and the
+   client's from one loadgen run) and prints per-kind counts, a
+   per-phase latency breakdown, delay CDFs, and — when both sides of a
+   trace are present — the client/server join. *)
+let tail_cmd files =
+  run_result
+  @@
+  let module Stats = Qp_util.Stats in
+  let read_records path =
+    match open_in path with
+    | exception Sys_error msg -> Qp_error.invalid_instancef "tail: %s" msg
+    | ic ->
+        let records = ref [] in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match Obs.Json.of_string line with
+               | exception Obs.Json.Parse_error _ -> ()
+               | j -> (
+                   match Obs.Json.member "type" j with
+                   | Some (Obs.Json.String "wide") -> records := j :: !records
+                   | _ -> ())
+           done
+         with End_of_file -> close_in ic);
+        Ok (List.rev !records)
+  in
+  let* records =
+    List.fold_left
+      (fun acc path ->
+        let* acc = acc in
+        let* rs = read_records path in
+        Ok (acc @ rs))
+      (Ok []) files
+  in
+  if records = [] then begin
+    print_endline "no wide events found";
+    Ok ()
+  end
+  else begin
+    let str j key = Option.bind (Obs.Json.member key j) Obs.Json.to_str in
+    let flt j key = Option.bind (Obs.Json.member key j) Obs.Json.to_float in
+    let push tbl key v =
+      match Hashtbl.find_opt tbl key with
+      | Some l -> l := v :: !l
+      | None -> Hashtbl.add tbl key (ref [ v ])
+    in
+    let durs_by_kind = Hashtbl.create 8 in
+    let outcomes = Hashtbl.create 8 in
+    let phase_samples = Hashtbl.create 8 in
+    let by_trace :
+        (string, float option ref * float option ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    List.iter
+      (fun j ->
+        let kind = Option.value (str j "kind") ~default:"?" in
+        let outcome = Option.value (str j "outcome") ~default:"?" in
+        (match flt j "dur_s" with
+        | Some d -> push durs_by_kind kind (d *. 1000.)
+        | None -> ());
+        let okey = kind ^ "/" ^ outcome in
+        Hashtbl.replace outcomes okey
+          (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes okey));
+        (match Obs.Json.member "phases" j with
+        | Some (Obs.Json.Obj ps) ->
+            List.iter
+              (fun (name, v) ->
+                match Obs.Json.to_float v with
+                | Some s -> push phase_samples (kind ^ ":" ^ name) (s *. 1000.)
+                | None -> ())
+              ps
+        | _ -> ());
+        match (str j "trace_id", flt j "dur_s") with
+        | Some tid, Some d ->
+            let cl, sv =
+              match Hashtbl.find_opt by_trace tid with
+              | Some slot -> slot
+              | None ->
+                  let slot = (ref None, ref None) in
+                  Hashtbl.add by_trace tid slot;
+                  slot
+            in
+            if kind = "client_call" then cl := Some d
+            else if kind = "serve_request" then sv := Some d
+        | _ -> ())
+      records;
+    let sorted tbl =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    let kinds = Table.create ~title:"wide events by kind/outcome"
+        [ ("kind/outcome", Table.Left); ("count", Table.Right) ]
+    in
+    List.iter
+      (fun (k, n) -> Table.add_rowf kinds "%s|%d" k n)
+      (List.sort compare (Hashtbl.fold (fun k v a -> (k, v) :: a) outcomes []));
+    Table.print kinds;
+    let phases = Table.create ~title:"phase breakdown (ms)"
+        [ ("phase", Table.Left); ("count", Table.Right); ("mean", Table.Right);
+          ("p50", Table.Right); ("p95", Table.Right); ("p99", Table.Right) ]
+    in
+    List.iter
+      (fun (name, l) ->
+        let a = Array.of_list !l in
+        Table.add_rowf phases "%s|%d|%.3f|%.3f|%.3f|%.3f" name (Array.length a)
+          (Stats.mean a) (Stats.percentile a 50.) (Stats.percentile a 95.)
+          (Stats.percentile a 99.))
+      (sorted phase_samples);
+    Table.print phases;
+    let cdf = Table.create ~title:"delay CDF (ms)"
+        [ ("kind", Table.Left); ("count", Table.Right); ("p10", Table.Right);
+          ("p50", Table.Right); ("p90", Table.Right); ("p99", Table.Right);
+          ("max", Table.Right) ]
+    in
+    List.iter
+      (fun (kind, l) ->
+        let a = Array.of_list !l in
+        Table.add_rowf cdf "%s|%d|%.3f|%.3f|%.3f|%.3f|%.3f" kind
+          (Array.length a) (Stats.percentile a 10.) (Stats.percentile a 50.)
+          (Stats.percentile a 90.) (Stats.percentile a 99.) (Stats.max a))
+      (sorted durs_by_kind);
+    Table.print cdf;
+    let joined = ref [] in
+    Hashtbl.iter
+      (fun _ (cl, sv) ->
+        match (!cl, !sv) with
+        | Some c, Some s -> joined := ((c -. s) *. 1000.) :: !joined
+        | _ -> ())
+      by_trace;
+    (match !joined with
+    | [] -> ()
+    | l ->
+        let a = Array.of_list l in
+        Printf.printf
+          "trace join: %d requests seen on both sides; client-server overhead \
+           mean %.3f ms, p99 %.3f ms\n"
+          (Array.length a) (Stats.mean a) (Stats.percentile a 99.));
+    Ok ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner wiring                                                     *)
@@ -583,13 +761,20 @@ let metrics_t =
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
          ~doc:"Write Prometheus-format metrics of the run to FILE.")
 
+let wide_t =
+  Arg.(value & opt (some string) None & info [ "wide-events" ] ~docv:"FILE"
+         ~doc:"Write one qp-wide/1 JSONL record per unit of work (request, \
+               solve, migration) to FILE. On loadgen this also attaches a \
+               trace context to every request, so client and server files \
+               join on trace id (see the tail subcommand).")
+
 let common_t =
-  let mk topology nodes system cap_slack seed jobs trace metrics =
+  let mk topology nodes system cap_slack seed jobs trace metrics wide =
     { spec = { Spec.topology; nodes; system; cap_slack; seed; jobs };
-      trace; metrics }
+      trace; metrics; wide }
   in
   Term.(const mk $ topology_t $ nodes_t $ system_t $ cap_slack_t $ seed_t
-        $ jobs_t $ trace_t $ metrics_t)
+        $ jobs_t $ trace_t $ metrics_t $ wide_t)
 
 let alpha_t =
   Arg.(value & opt float 2.0 & info [ "alpha" ] ~docv:"A"
@@ -782,6 +967,17 @@ let loadgen_cmd_info =
   Cmd.info "loadgen"
     ~doc:"Drive a qplace server with closed-loop load and report latency percentiles."
 
+let tail_files_t =
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE"
+         ~doc:"qp-wide/1 JSONL file(s); pass both the server's and the \
+               client's to see the cross-process trace join.")
+
+let tail_term = Term.(const tail_cmd $ tail_files_t)
+
+let tail_cmd_info =
+  Cmd.info "tail"
+    ~doc:"Summarize wide-event JSONL into per-phase breakdowns and delay CDFs."
+
 let bound_t =
   Arg.(value & opt float 3.0 & info [ "bound" ] ~docv:"B"
          ~doc:"Migration load bound: every intermediate placement keeps each \
@@ -812,6 +1008,7 @@ let main_cmd =
       Cmd.v eval_cmd_info eval_term;
       Cmd.v serve_cmd_info serve_term;
       Cmd.v loadgen_cmd_info loadgen_term;
+      Cmd.v tail_cmd_info tail_term;
       Cmd.v churn_cmd_info churn_term;
     ]
 

@@ -1,0 +1,223 @@
+(* Sliding-window SLOs with multi-window burn rates.
+
+   An objective classifies each unit of work as good or bad (ok flag,
+   optionally AND latency <= threshold). Units are accumulated into
+   fixed-width time buckets arranged as a ring spanning the longest
+   window, so [record] is O(1) and a window query sums at most
+   [window/bucket] buckets — no per-request allocation, bounded
+   memory regardless of traffic.
+
+   Burn rate is the SRE convention: the ratio of the observed bad
+   fraction to the budgeted bad fraction (1 - target). Burn 1.0 means
+   the error budget is being consumed exactly at the rate that
+   exhausts it over the SLO period; the standard alerting rule trips
+   when both a fast and a slow window burn above a threshold, which
+   catches sharp regressions without flapping on blips.
+
+   Every entry point takes an explicit [?now] so callers on simulated
+   clocks (the runtime engine) can feed their own time; the default is
+   [Core.now ()]. *)
+
+type objective = {
+  name : string;
+  target : float; (* good fraction in (0,1), e.g. 0.999 *)
+  latency_s : float option; (* good also requires latency <= this *)
+}
+
+type config = {
+  objective : objective;
+  windows_s : float list; (* sliding windows, shortest = fast alert *)
+  bucket_s : float; (* time-bucket granularity *)
+}
+
+let default_objective =
+  { name = "availability"; target = 0.99; latency_s = Some 1.0 }
+
+let default_config =
+  { objective = default_objective; windows_s = [ 60.; 300. ]; bucket_s = 5. }
+
+(* Latency histogram bounds shared by all buckets: 100us..~400s in
+   x2 steps, same shape as the serve latency histogram. *)
+let lat_bounds = Metrics.log_buckets ~lo:1e-4 ~factor:2. ~count:22
+
+type bucket = {
+  mutable epoch : int; (* floor (t / bucket_s); -1 = empty *)
+  mutable total : int;
+  mutable good : int;
+  lat : int array; (* counts per lat_bounds bucket, +Inf last *)
+  mutable lat_sum : float;
+}
+
+type t = {
+  cfg : config;
+  buckets : bucket array;
+  lock : Mutex.t;
+}
+
+let validate cfg =
+  if cfg.objective.target <= 0. || cfg.objective.target >= 1. then
+    invalid_arg "Slo.create: target must be in (0,1)";
+  if cfg.bucket_s <= 0. then invalid_arg "Slo.create: bucket_s <= 0";
+  if cfg.windows_s = [] then invalid_arg "Slo.create: no windows";
+  List.iter
+    (fun w -> if w < cfg.bucket_s then
+        invalid_arg "Slo.create: window shorter than bucket_s")
+    cfg.windows_s
+
+let create ?(cfg = default_config) () =
+  validate cfg;
+  let max_w = List.fold_left max 0. cfg.windows_s in
+  (* +2: one for the in-progress bucket, one so a window's oldest
+     partially-covered bucket is still resident. *)
+  let n = int_of_float (ceil (max_w /. cfg.bucket_s)) + 2 in
+  {
+    cfg;
+    buckets =
+      Array.init n (fun _ ->
+          {
+            epoch = -1;
+            total = 0;
+            good = 0;
+            lat = Array.make (Array.length lat_bounds + 1) 0;
+            lat_sum = 0.;
+          });
+    lock = Mutex.create ();
+  }
+
+let config t = t.cfg
+
+let lat_slot v =
+  let n = Array.length lat_bounds in
+  let rec go i = if i >= n then n else if v <= lat_bounds.(i) then i else go (i + 1) in
+  go 0
+
+let bucket_for t now =
+  let epoch = int_of_float (floor (now /. t.cfg.bucket_s)) in
+  let b = t.buckets.(((epoch mod Array.length t.buckets) + Array.length t.buckets)
+                     mod Array.length t.buckets) in
+  if b.epoch <> epoch then begin
+    b.epoch <- epoch;
+    b.total <- 0;
+    b.good <- 0;
+    Array.fill b.lat 0 (Array.length b.lat) 0;
+    b.lat_sum <- 0.
+  end;
+  b
+
+let is_good t ~ok ~latency_s =
+  ok
+  &&
+  match t.cfg.objective.latency_s with
+  | None -> true
+  | Some thr -> latency_s <= thr
+
+let record ?now t ~ok ~latency_s =
+  let now = match now with Some n -> n | None -> Core.now () in
+  Mutex.protect t.lock (fun () ->
+      let b = bucket_for t now in
+      b.total <- b.total + 1;
+      if is_good t ~ok ~latency_s then b.good <- b.good + 1;
+      let s = lat_slot latency_s in
+      b.lat.(s) <- b.lat.(s) + 1;
+      b.lat_sum <- b.lat_sum +. latency_s)
+
+(* Fold over the buckets whose interval intersects [now - window, now].
+   Called under the lock. *)
+let fold_window t ~now ~window_s f init =
+  let lo_epoch = int_of_float (floor ((now -. window_s) /. t.cfg.bucket_s)) in
+  let hi_epoch = int_of_float (floor (now /. t.cfg.bucket_s)) in
+  Array.fold_left
+    (fun acc b ->
+      if b.epoch >= lo_epoch && b.epoch <= hi_epoch && b.total > 0 then f acc b
+      else acc)
+    init t.buckets
+
+let counts ?now t ~window_s =
+  let now = match now with Some n -> n | None -> Core.now () in
+  Mutex.protect t.lock (fun () ->
+      fold_window t ~now ~window_s
+        (fun (g, tot) b -> (g + b.good, tot + b.total))
+        (0, 0))
+
+let error_rate ?now t ~window_s =
+  let good, total = counts ?now t ~window_s in
+  if total = 0 then 0. else 1. -. (float_of_int good /. float_of_int total)
+
+let burn_rate ?now t ~window_s =
+  let budget = 1. -. t.cfg.objective.target in
+  error_rate ?now t ~window_s /. budget
+
+let quantile ?now t ~window_s q =
+  if q < 0. || q > 1. then invalid_arg "Slo.quantile: q outside [0,1]";
+  let now = match now with Some n -> n | None -> Core.now () in
+  Mutex.protect t.lock (fun () ->
+      let merged = Array.make (Array.length lat_bounds + 1) 0 in
+      let total =
+        fold_window t ~now ~window_s
+          (fun acc b ->
+            Array.iteri (fun i c -> merged.(i) <- merged.(i) + c) b.lat;
+            acc + b.total)
+          0
+      in
+      if total = 0 then None
+      else begin
+        let rank = q *. float_of_int total in
+        let rec go i cum =
+          if i >= Array.length merged then lat_bounds.(Array.length lat_bounds - 1)
+          else
+            let cum' = cum +. float_of_int merged.(i) in
+            if cum' >= rank && merged.(i) > 0 then begin
+              (* Linear interpolation inside the bucket's bounds. *)
+              let lo = if i = 0 then 0. else lat_bounds.(i - 1) in
+              let hi =
+                if i < Array.length lat_bounds then lat_bounds.(i)
+                else lat_bounds.(Array.length lat_bounds - 1) *. 2.
+              in
+              let frac =
+                if merged.(i) = 0 then 0.
+                else (rank -. cum) /. float_of_int merged.(i)
+              in
+              lo +. ((hi -. lo) *. (max 0. (min 1. frac)))
+            end
+            else go (i + 1) cum'
+        in
+        Some (go 0 0.)
+      end)
+
+(* The standard multiwindow rule: burning only when EVERY window's
+   burn rate is at or above the threshold — the fast window proves the
+   problem is current, the slow window proves it is sustained. *)
+let burning ?now t ~threshold =
+  List.for_all
+    (fun w -> burn_rate ?now t ~window_s:w >= threshold)
+    t.cfg.windows_s
+
+let to_json ?now t =
+  let now = match now with Some n -> n | None -> Core.now () in
+  let windows =
+    List.map
+      (fun w ->
+        let good, total = counts ~now t ~window_s:w in
+        let p99 = quantile ~now t ~window_s:w 0.99 in
+        Json.Obj
+          [
+            ("window_s", Json.Float w);
+            ("total", Json.Int total);
+            ("good", Json.Int good);
+            ("error_rate", Json.Float (error_rate ~now t ~window_s:w));
+            ("burn_rate", Json.Float (burn_rate ~now t ~window_s:w));
+            ( "p99_s",
+              match p99 with None -> Json.Null | Some v -> Json.Float v );
+          ])
+      t.cfg.windows_s
+  in
+  Json.Obj
+    [
+      ("objective", Json.String t.cfg.objective.name);
+      ("target", Json.Float t.cfg.objective.target);
+      ( "latency_s",
+        match t.cfg.objective.latency_s with
+        | None -> Json.Null
+        | Some v -> Json.Float v );
+      ("windows", Json.List windows);
+    ]

@@ -26,6 +26,12 @@ let to_file path =
   let chan = to_channel oc in
   { chan with close = (fun () -> close_out oc) }
 
+(* Direct sink operations, for layers (e.g. [Wide]) that reuse the
+   writer machinery without going through the installed-span sink. *)
+let emit_to s j = s.emit j
+let flush_sink s = s.flush ()
+let close_sink s = s.close ()
+
 let memory () =
   let records = ref [] in
   let sink =

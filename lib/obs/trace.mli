@@ -19,6 +19,14 @@ val memory : unit -> sink * (unit -> Json.t list)
 (** In-memory sink for tests; the thunk returns records in emission
     order. *)
 
+val emit_to : sink -> Json.t -> unit
+(** Write one record directly to [sink], bypassing the installed
+    tracer. Callers are responsible for their own serialization of
+    concurrent writers; {!Wide} wraps this in its own mutex. *)
+
+val flush_sink : sink -> unit
+val close_sink : sink -> unit
+
 val install : sink -> unit
 (** Make [sink] current, closing any previous sink, resetting span ids
     and enabling tracing. *)

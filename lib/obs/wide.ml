@@ -1,0 +1,201 @@
+(* Wide events: one canonical JSONL record per unit of work (a served
+   request, a migration episode, a bench experiment). Each record
+   carries everything known about the unit — trace id, phase
+   durations, outcome, counters — so a single line answers "where did
+   this request spend its time" without joining many narrow spans.
+
+   One sink is installed at a time (a [Trace.sink], typically a JSONL
+   file). Head-based sampling is decided at [start]: every Nth unit is
+   emitted, the rest build no record. A bounded ring buffer keeps the
+   most recent emitted records in memory for the health endpoint and
+   tests. When no sink is installed every entry point is a one-branch
+   no-op, so default-flag runs stay byte-identical. *)
+
+type state = {
+  sink : Trace.sink;
+  sample_every : int;
+  ring : Json.t option array; (* bounded buffer of recent records *)
+  mutable ring_next : int; (* next write slot *)
+  mutable started : int; (* units seen, drives head sampling *)
+  mutable emitted : int;
+}
+
+let current : state option ref = ref None
+
+(* Serializes sampling decisions, ring writes and sink writes: wide
+   events finish on pool worker domains and server threads while the
+   main domain may also be emitting. *)
+let lock = Mutex.create ()
+
+let active () = !current <> None
+
+let install ?(sample_every = 1) ?(ring_capacity = 256) sink =
+  if sample_every < 1 then invalid_arg "Wide.install: sample_every < 1";
+  if ring_capacity < 1 then invalid_arg "Wide.install: ring_capacity < 1";
+  Mutex.protect lock (fun () ->
+      (match !current with Some s -> Trace.close_sink s.sink | None -> ());
+      current :=
+        Some
+          {
+            sink;
+            sample_every;
+            ring = Array.make ring_capacity None;
+            ring_next = 0;
+            started = 0;
+            emitted = 0;
+          })
+
+let uninstall () =
+  Mutex.protect lock (fun () ->
+      (match !current with Some s -> Trace.close_sink s.sink | None -> ());
+      current := None)
+
+(* An in-flight builder. [Drop] is returned when no sink is installed
+   or head sampling skipped this unit; every mutation on it is a
+   single-branch no-op. *)
+type t =
+  | Drop
+  | Ev of {
+      kind : string;
+      trace_id : string option;
+      parent_span : string option;
+      t_start : float;
+      mutable phases : (string * float) list; (* reversed *)
+      mutable attrs : (string * Json.t) list; (* reversed *)
+      mutable finished : bool;
+    }
+
+(* Fresh ids for units that did not inherit one from the wire. Salted
+   with the pid so ids from a client and a server process on one
+   machine stay distinct; uniqueness, not secrecy, is the goal. *)
+let id_seq = ref 0
+
+let fresh_trace_id () =
+  let n = Mutex.protect lock (fun () -> incr id_seq; !id_seq) in
+  Printf.sprintf "%x-%x" (Unix.getpid () land 0xffffff) n
+
+let start ~kind ?trace_id ?parent_span () =
+  match !current with
+  | None -> Drop
+  | Some _ ->
+      let sampled =
+        Mutex.protect lock (fun () ->
+            match !current with
+            | None -> false
+            | Some s ->
+                s.started <- s.started + 1;
+                (s.started - 1) mod s.sample_every = 0)
+      in
+      if not sampled then Drop
+      else
+        Ev
+          {
+            kind;
+            trace_id;
+            parent_span;
+            t_start = Core.now ();
+            phases = [];
+            attrs = [];
+            finished = false;
+          }
+
+let sampled = function Drop -> false | Ev _ -> true
+
+let set t name v =
+  match t with Drop -> () | Ev e -> e.attrs <- (name, v) :: e.attrs
+
+let set_str t name v = set t name (Json.String v)
+let set_int t name v = set t name (Json.Int v)
+
+let phase t name dur =
+  match t with Drop -> () | Ev e -> e.phases <- (name, dur) :: e.phases
+
+let timed t name f =
+  match t with
+  | Drop -> f ()
+  | Ev _ ->
+      let t0 = Core.now () in
+      Fun.protect ~finally:(fun () -> phase t name (Core.now () -. t0)) f
+
+let finish ?(outcome = "ok") t =
+  match t with
+  | Drop -> ()
+  | Ev e ->
+      if not e.finished then begin
+        e.finished <- true;
+        let t_end = Core.now () in
+        let base =
+          [
+            ("type", Json.String "wide");
+            ("kind", Json.String e.kind);
+            ("t_start", Json.Float e.t_start);
+            ("dur_s", Json.Float (t_end -. e.t_start));
+            ("outcome", Json.String outcome);
+          ]
+        in
+        let trace =
+          (match e.trace_id with
+          | None -> []
+          | Some id -> [ ("trace_id", Json.String id) ])
+          @
+          match e.parent_span with
+          | None -> []
+          | Some p -> [ ("parent_span", Json.String p) ]
+        in
+        let phases =
+          match e.phases with
+          | [] -> []
+          | ps ->
+              [
+                ( "phases",
+                  Json.Obj
+                    (List.rev_map (fun (n, d) -> (n, Json.Float d)) ps) );
+              ]
+        in
+        let attrs = List.rev e.attrs in
+        let record = Json.Obj (base @ trace @ phases @ attrs) in
+        Mutex.protect lock (fun () ->
+            match !current with
+            | None -> ()
+            | Some s ->
+                s.ring.(s.ring_next) <- Some record;
+                s.ring_next <- (s.ring_next + 1) mod Array.length s.ring;
+                s.emitted <- s.emitted + 1;
+                Trace.emit_to s.sink record)
+      end
+
+let ring () =
+  Mutex.protect lock (fun () ->
+      match !current with
+      | None -> []
+      | Some s ->
+          let n = Array.length s.ring in
+          let out = ref [] in
+          (* Oldest-first: walk forward from the next write slot. *)
+          for i = 0 to n - 1 do
+            match s.ring.((s.ring_next + i) mod n) with
+            | None -> ()
+            | Some r -> out := r :: !out
+          done;
+          List.rev !out)
+
+let emitted () =
+  Mutex.protect lock (fun () ->
+      match !current with None -> 0 | Some s -> s.emitted)
+
+let flush () =
+  Mutex.protect lock (fun () ->
+      match !current with None -> () | Some s -> Trace.flush_sink s.sink)
+
+let header fields =
+  if active () then
+    Mutex.protect lock (fun () ->
+        match !current with
+        | None -> ()
+        | Some s ->
+            Trace.emit_to s.sink
+              (Json.Obj
+                 (("type", Json.String "meta")
+                 :: ("schema", Json.String "qp-wide/1")
+                 :: ("version", Json.String Build_info.version)
+                 :: fields)))

@@ -60,6 +60,27 @@ type migration_event = {
   warm : bool;
 }
 
+(* SLO-based repair trigger: every access feeds a sliding-window
+   tracker (on simulated time), and the check loop trips when both the
+   fast and the slow window burn their error budget faster than
+   [burn_threshold] — the multiwindow rule, so one timed-out access
+   cannot start a migration but a sustained availability dip can, even
+   before the capacity or delay-EWMA heuristics notice. *)
+type slo_trigger = {
+  objective : Obs.Slo.objective;
+  fast_window : float;
+  slow_window : float;
+  burn_threshold : float;
+}
+
+let default_slo_trigger =
+  {
+    objective = { Obs.Slo.name = "access"; target = 0.9; latency_s = None };
+    fast_window = 30.;
+    slow_window = 120.;
+    burn_threshold = 1.0;
+  }
+
 type config = {
   problem : Problem.qpp;
   placement : Placement.t;
@@ -69,14 +90,15 @@ type config = {
   adaptive : bool;
   repair : repair_trigger option;
   migration : migration_policy option;
+  slo : slo_trigger option;
   probe_interval : float;
   accesses_per_client : int;
   arrival_rate : float;
   seed : int;
 }
 
-let default_config ?(adaptive = true) ?repair ?migration ~problem ~placement
-    ~failure () =
+let default_config ?(adaptive = true) ?repair ?migration ?slo ~problem
+    ~placement ~failure () =
   {
     problem;
     placement;
@@ -86,6 +108,7 @@ let default_config ?(adaptive = true) ?repair ?migration ~problem ~placement
     adaptive;
     repair;
     migration;
+    slo;
     probe_interval = 1.0;
     accesses_per_client = 200;
     arrival_rate = 1.0;
@@ -126,6 +149,17 @@ let validate cfg =
         invalid_arg "Engine: repair delay_factor must exceed 1";
       if t.check_interval <= 0. || t.min_interval < 0. then
         invalid_arg "Engine: repair intervals must be positive");
+  (match cfg.slo with
+  | None -> ()
+  | Some s ->
+      if cfg.repair = None then
+        invalid_arg "Engine: an SLO trigger requires a repair trigger";
+      if s.objective.Obs.Slo.target <= 0. || s.objective.Obs.Slo.target >= 1.
+      then invalid_arg "Engine: SLO target must lie in (0, 1)";
+      if s.fast_window <= 0. || s.slow_window < s.fast_window then
+        invalid_arg "Engine: SLO windows must satisfy 0 < fast <= slow";
+      if s.burn_threshold <= 0. then
+        invalid_arg "Engine: SLO burn_threshold must be positive");
   match cfg.migration with
   | None -> ()
   | Some m ->
@@ -239,6 +273,28 @@ let run cfg =
     }
   in
   Failure.install_churn cfg.failure ~n ~rng:churn_rng ~up:st.up sim;
+  (* The SLO tracker runs on simulated time: every record and query
+     passes the event clock explicitly, so a fake or wall clock in
+     [Obs.Core] never leaks into the windows. *)
+  let slo_state =
+    match cfg.slo with
+    | None -> None
+    | Some s ->
+        Some
+          (Obs.Slo.create
+             ~cfg:
+               {
+                 Obs.Slo.objective = s.objective;
+                 windows_s = [ s.fast_window; s.slow_window ];
+                 bucket_s = s.fast_window /. 6.;
+               }
+             ())
+  in
+  let slo_record ~now ~ok ~latency_s =
+    match slo_state with
+    | Some t -> Obs.Slo.record ~now t ~ok ~latency_s
+    | None -> ()
+  in
   let adaptive = Adaptive.make system !(st.placement) ~static in
   let current_strategy () =
     if cfg.adaptive then Adaptive.refresh adaptive detector else static
@@ -312,6 +368,15 @@ let run cfg =
     let p' = survivors_problem dead in
     let warm = Resolve.warm_sources resolve > 0 in
     let delay_before = Delay.avg_max_delay p' !(st.placement) in
+    (* One wide event per migration episode. Phases (resolve/plan) are
+       wall-clock compute cost; sim_* attributes carry the simulated
+       timeline. *)
+    let ev = Obs.Wide.start ~kind:"migration" () in
+    Obs.Wide.set ev "sim_time" (Obs.Json.Float now);
+    Obs.Wide.set ev "dead"
+      (Obs.Json.List (List.map (fun v -> Obs.Json.Int v) dead));
+    Obs.Wide.set ev "warm" (Obs.Json.Bool warm);
+    Obs.Wide.set ev "delay_before" (Obs.Json.Float delay_before);
     let record ~planned ~applied ~retried ~degraded sim =
       let delay_after = Delay.avg_max_delay p' !(st.placement) in
       if degraded then Obs.Metrics.inc obs.m_degraded;
@@ -323,6 +388,12 @@ let run cfg =
             ("applied", Obs.Json.Int applied);
             ("degraded", Obs.Json.Bool degraded);
             ("warm", Obs.Json.Bool warm) ];
+      Obs.Wide.set ev "sim_end" (Obs.Json.Float (Event.now sim));
+      Obs.Wide.set_int ev "planned" planned;
+      Obs.Wide.set_int ev "applied" applied;
+      Obs.Wide.set_int ev "retried" retried;
+      Obs.Wide.set ev "delay_after" (Obs.Json.Float delay_after);
+      Obs.Wide.finish ~outcome:(if degraded then "degraded" else "applied") ev;
       st.migrations <-
         {
           m_time = Event.now sim;
@@ -344,15 +415,16 @@ let run cfg =
        order -> one-shot greedy repair (still yanks replicas off the
        dead nodes); if even that fails, the adaptive strategy keeps
        reweighting around the suspects. *)
-    match Resolve.solve resolve p' with
+    match Obs.Wide.timed ev "resolve" (fun () -> Resolve.solve resolve p') with
     | None ->
         greedy_repair sim dead;
         record ~planned:0 ~applied:0 ~retried:0 ~degraded:true sim
     | Some r -> (
         let target = r.Qpp_solver.placement in
         match
-          Migrate.plan ~bound:m.bound ?budget:m.budget p'
-            ~current:!(st.placement) ~target
+          Obs.Wide.timed ev "plan" (fun () ->
+              Migrate.plan ~bound:m.bound ?budget:m.budget p'
+                ~current:!(st.placement) ~target)
         with
         | Error _ ->
             greedy_repair sim dead;
@@ -409,6 +481,12 @@ let run cfg =
         in
         let capacity_trip = total_cap > 0. && dead_cap /. total_cap >= trig.capacity_frac in
         let delay_trip = analytic > 0. && st.delay_ewma >= trig.delay_factor *. analytic in
+        let slo_trip =
+          match (cfg.slo, slo_state) with
+          | Some s, Some tracker ->
+              Obs.Slo.burning ~now tracker ~threshold:s.burn_threshold
+          | _ -> false
+        in
         let hosted_on_dead =
           Array.exists (fun v -> List.mem v dead) !(st.placement)
         in
@@ -416,7 +494,7 @@ let run cfg =
           dead <> [] && hosted_on_dead
           && (not st.migrating)
           && List.length dead < n
-          && (capacity_trip || delay_trip)
+          && (capacity_trip || delay_trip || slo_trip)
           && now -. st.last_repair_time >= trig.min_interval
           && dead <> st.last_dead
         then begin
@@ -442,6 +520,7 @@ let run cfg =
     st.histogram.(k - 1) <- st.histogram.(k - 1) + 1;
     Obs.Metrics.inc obs.m_successes;
     Obs.Metrics.observe obs.m_delay d;
+    slo_record ~now:finished ~ok:true ~latency_s:d;
     finish sim
   in
   (* One probe wave = one sampled quorum probed in parallel. An attempt
@@ -503,7 +582,11 @@ let run cfg =
             Event.schedule_in sim pause (fun sim ->
                 attempt client (k + 1) start0 (Event.now sim) sim)
           end
-          else finish sim
+          else begin
+            let now = Event.now sim in
+            slo_record ~now ~ok:false ~latency_s:(now -. start0);
+            finish sim
+          end
         end)
   in
   let rates =

@@ -78,6 +78,24 @@ type migration_event = {
   warm : bool; (* the re-solve had stored bases to warm-start from *)
 }
 
+(** SLO-based trigger: every finished access (success or retry
+    exhaustion) feeds an {!Qp_obs.Slo} tracker on {e simulated} time,
+    and the repair check additionally trips when both windows burn
+    their error budget at [burn_threshold] or faster — the standard
+    multiwindow rule, catching sustained availability dips even before
+    the capacity or delay-EWMA heuristics notice. Requires [repair]
+    (it feeds the same check loop). *)
+type slo_trigger = {
+  objective : Qp_obs.Slo.objective;
+  fast_window : float; (** proves the problem is current *)
+  slow_window : float; (** proves it is sustained; >= fast *)
+  burn_threshold : float;
+}
+
+val default_slo_trigger : slo_trigger
+(** 90% of accesses complete (no latency bound), windows 30/120,
+    threshold 1 (= budget consumed exactly at exhaustion rate). *)
+
 type config = {
   problem : Qp_place.Problem.qpp;
   placement : Qp_place.Placement.t;
@@ -90,6 +108,7 @@ type config = {
       (* with a policy, a tripped trigger runs the closed loop
          detector -> warm re-solve -> bounded-safe move plan -> staged
          application instead of the greedy repair; requires [repair] *)
+  slo : slo_trigger option; (* extra trip condition for the check loop *)
   probe_interval : float; (* heartbeat period per node *)
   accesses_per_client : int;
   arrival_rate : float;
@@ -100,14 +119,15 @@ val default_config :
   ?adaptive:bool ->
   ?repair:repair_trigger ->
   ?migration:migration_policy ->
+  ?slo:slo_trigger ->
   problem:Qp_place.Problem.qpp ->
   placement:Qp_place.Placement.t ->
   failure:Failure.model ->
   unit ->
   config
-(** Adaptive on, no auto-repair, legacy retry policy (timeout = 4x
-    diameter, 3 attempts), default detector, heartbeat period 1,
-    200 accesses/client, rate 1, seed 1. *)
+(** Adaptive on, no auto-repair, no SLO trigger, legacy retry policy
+    (timeout = 4x diameter, 3 attempts), default detector, heartbeat
+    period 1, 200 accesses/client, rate 1, seed 1. *)
 
 type report = {
   n_accesses : int;

@@ -16,6 +16,7 @@ type config = {
   timeout_ms : int option;
   retries : int;
   drop_every : int option;
+  trace_requests : bool;
 }
 
 let default_config =
@@ -31,6 +32,7 @@ let default_config =
     timeout_ms = None;
     retries = 3;
     drop_every = None;
+    trace_requests = false;
   }
 
 let mix_of_string s =
@@ -75,6 +77,7 @@ type report = {
   by_verb : (string * int) list;
   by_code : (string * int) list;
   sample_outcome : Json.t option;
+  phases_ms : (string * float array) list;
 }
 
 (* Per-thread tally; merged single-threadedly after the joins, so no
@@ -89,6 +92,8 @@ type tally = {
   mutable latencies : float list;
   verbs : (string, int) Hashtbl.t;
   codes : (string, int) Hashtbl.t;
+  phases : (string, float list ref) Hashtbl.t;
+      (* server-echoed phase durations in ms, per phase name *)
 }
 
 let fresh_tally () =
@@ -102,7 +107,13 @@ let fresh_tally () =
     latencies = [];
     verbs = Hashtbl.create 8;
     codes = Hashtbl.create 8;
+    phases = Hashtbl.create 8;
   }
+
+let add_phase t name ms =
+  match Hashtbl.find_opt t.phases name with
+  | Some l -> l := ms :: !l
+  | None -> Hashtbl.add t.phases name (ref [ ms ])
 
 let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
 
@@ -135,16 +146,39 @@ let worker cfg ~total_weight ~t_end ~idx ~sample ~sample_lock () =
     | Some k when k > 0 && !n > 0 && !n mod k = 0 -> Client.Robust.drop client
     | _ -> ());
     let verb = pick_verb rng cfg.mix total_weight in
+    (* Deterministic per-worker trace ids: a rerun with the same seed
+       mints the same ids, so client/server JSONL joins are stable. *)
+    let trace =
+      if cfg.trace_requests then
+        Some
+          { Protocol.trace_id =
+              Printf.sprintf "lg-%d-%d-%d" cfg.seed idx !n;
+            parent_span = None }
+      else None
+    in
     let req =
       Protocol.request
         ~id:(Json.Int ((idx * 1_000_000) + !n))
-        ?spec:cfg.spec ~options:cfg.options verb
+        ?spec:cfg.spec ~options:cfg.options ?trace verb
     in
     incr n;
+    let ev =
+      match trace with
+      | Some tc when Obs.Wide.active () ->
+          let ev =
+            Obs.Wide.start ~kind:"client_call" ~trace_id:tc.Protocol.trace_id
+              ()
+          in
+          Obs.Wide.set_str ev "verb" (Protocol.verb_name verb);
+          Obs.Wide.set_int ev "worker" idx;
+          ev
+      | _ -> Obs.Wide.start ~kind:"client_call" () (* inert *)
+    in
     let t0 = Obs.Core.now () in
     match Client.Robust.call client req with
     | Error _ ->
         t.transport_errors <- t.transport_errors + 1;
+        Obs.Wide.finish ~outcome:"transport_error" ev;
         (* The server may be down entirely (crash tests): breathe
            before offering the next request. *)
         Unix.sleepf 0.05
@@ -153,9 +187,20 @@ let worker cfg ~total_weight ~t_end ~idx ~sample ~sample_lock () =
         t.completed <- t.completed + 1;
         t.latencies <- dt_ms :: t.latencies;
         bump t.verbs resp.Protocol.verb;
+        Obs.Wide.phase ev "call" (dt_ms /. 1000.);
+        (match resp.Protocol.timing with
+        | Some server_phases ->
+            List.iter
+              (fun (name, s) ->
+                let ms = s *. 1000. in
+                add_phase t name ms;
+                Obs.Wide.phase ev ("server_" ^ name) s)
+              server_phases
+        | None -> ());
         (match resp.Protocol.payload with
         | Ok result ->
             t.ok <- t.ok + 1;
+            Obs.Wide.finish ~outcome:"ok" ev;
             if verb = Protocol.Solve && Atomic.get sample = None then begin
               Mutex.lock sample_lock;
               if Atomic.get sample = None then Atomic.set sample (Some result);
@@ -164,6 +209,7 @@ let worker cfg ~total_weight ~t_end ~idx ~sample ~sample_lock () =
         | Error e ->
             let code = Protocol.serve_error_code e in
             bump t.codes code;
+            Obs.Wide.finish ~outcome:code ev;
             (match e with
             | Protocol.Overloaded _ | Protocol.Deadline_exceeded _ ->
                 t.rejected <- t.rejected + 1
@@ -221,7 +267,10 @@ let run (cfg : config) =
             (fun k v ->
               Hashtbl.replace merged.codes k
                 (v + Option.value ~default:0 (Hashtbl.find_opt merged.codes k)))
-            t.codes)
+            t.codes;
+          Hashtbl.iter
+            (fun name l -> List.iter (add_phase merged name) !l)
+            t.phases)
         tallies;
       if merged.completed = 0 && merged.transport_errors >= cfg.connections
       then
@@ -249,6 +298,11 @@ let run (cfg : config) =
             by_verb = sorted_counts merged.verbs;
             by_code = sorted_counts merged.codes;
             sample_outcome = Atomic.get sample;
+            phases_ms =
+              Hashtbl.fold
+                (fun name l acc -> (name, Array.of_list !l) :: acc)
+                merged.phases []
+              |> List.sort (fun (a, _) (b, _) -> String.compare a b);
           }
       end
     end
@@ -269,7 +323,7 @@ let report_to_json r =
     Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) kvs)
   in
   Json.Obj
-    [ ("schema", Json.String "qp-loadgen/1");
+    ([ ("schema", Json.String "qp-loadgen/1");
       ("version", Json.String Obs.Build_info.version);
       ("connections", Json.Int r.connections);
       ("wall_s", Json.Float r.wall_s);
@@ -282,6 +336,25 @@ let report_to_json r =
       ("throughput_rps", Json.Float r.throughput_rps);
       ("latency", Json.Obj latency_fields);
       ("by_verb", counts r.by_verb);
-      ("by_code", counts r.by_code);
-      ( "sample_outcome",
-        match r.sample_outcome with Some j -> j | None -> Json.Null ) ]
+      ("by_code", counts r.by_code) ]
+    (* The phase breakdown appears only when the run collected server
+       timing (trace_requests on), so default reports keep their
+       pre-trace shape. *)
+    @ (match r.phases_ms with
+      | [] -> []
+      | phases ->
+          [ ( "phases",
+              Json.Obj
+                (List.map
+                   (fun (name, samples) ->
+                     ( name,
+                       Json.Obj
+                         [ ("count", Json.Int (Array.length samples));
+                           ("mean_ms", Json.Float (Stats.mean samples));
+                           ("p50_ms", Json.Float (Stats.percentile samples 50.));
+                           ("p95_ms", Json.Float (Stats.percentile samples 95.));
+                           ("p99_ms", Json.Float (Stats.percentile samples 99.))
+                         ] ))
+                   phases) ) ])
+    @ [ ( "sample_outcome",
+          match r.sample_outcome with Some j -> j | None -> Json.Null ) ])

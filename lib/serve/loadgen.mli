@@ -30,12 +30,16 @@ type config = {
   drop_every : int option;
       (* chaos mode: force-close the worker's connection before every
          k-th request, exercising the reconnect path under load *)
+  trace_requests : bool;
+      (* attach a deterministic per-request trace context (seed- and
+         worker-derived ids), emit a client-side wide event per call,
+         and collect the server's phase-timing echo into the report *)
 }
 
 val default_config : config
 (** 1 connection, 2 s, mix [solve=8 info=1 health=1], default options,
     seed 1, port {!Server.default_config}[.port], no timeout,
-    3 retries, no connection-drop chaos. *)
+    3 retries, no connection-drop chaos, no trace propagation. *)
 
 val mix_of_string : string -> ((Protocol.verb * float) list, Qp_error.t) result
 (** Parse ["solve=8,info=1,health=1"]. Weights must be positive;
@@ -55,6 +59,9 @@ type report = {
   by_verb : (string * int) list; (* sorted by verb *)
   by_code : (string * int) list; (* error-code histogram, sorted *)
   sample_outcome : Json.t option;
+  phases_ms : (string * float array) list;
+      (* server-echoed phase samples (parse/queue/handle) in ms,
+         sorted by phase; empty unless [trace_requests] *)
 }
 
 val run : config -> (report, Qp_error.t) result
@@ -63,4 +70,7 @@ val run : config -> (report, Qp_error.t) result
 
 val report_to_json : report -> Json.t
 (** [qp-loadgen/1] document; latencies appear as
-    [{mean,p50,p95,p99,max}] in milliseconds, not as the raw array. *)
+    [{mean,p50,p95,p99,max}] in milliseconds, not as the raw array. A
+    [phases] object (per-phase count/mean/p50/p95/p99) is present only
+    when the run collected server timing, so default-flag reports keep
+    their pre-trace shape. *)

@@ -39,16 +39,23 @@ type options = {
 let default_options =
   { algorithm = "lp"; alpha = 2.; deadline_ms = None; pivot_budget = None }
 
+(* Wire trace context: a client-minted id that the server adopts, so
+   client- and server-side wide events for one request join on
+   [trace_id] across processes. *)
+type trace_ctx = { trace_id : string; parent_span : string option }
+
 type request = {
   id : Json.t;
   verb : verb;
   spec : Spec.t option;
   delta : Delta.op list option;
   options : options;
+  trace : trace_ctx option;
 }
 
-let request ?(id = Json.Null) ?spec ?delta ?(options = default_options) verb =
-  { id; verb; spec; delta; options }
+let request ?(id = Json.Null) ?spec ?delta ?(options = default_options) ?trace
+    verb =
+  { id; verb; spec; delta; options; trace }
 
 (* ------------------------------------------------------------------ *)
 (* Spec codec                                                          *)
@@ -208,6 +215,35 @@ let options_of_json j =
       Ok { algorithm; alpha; deadline_ms; pivot_budget }
   | _ -> Qp_error.invalid_instancef "options must be a JSON object"
 
+let trace_ctx_to_json (t : trace_ctx) =
+  Json.Obj
+    (("trace_id", Json.String t.trace_id)
+    ::
+    (match t.parent_span with
+    | Some p -> [ ("parent_span", Json.String p) ]
+    | None -> []))
+
+let trace_ctx_of_json j =
+  match j with
+  | Json.Obj _ -> (
+      match Option.bind (Json.member "trace_id" j) Json.to_str with
+      | Some trace_id ->
+          let* parent_span =
+            match Json.member "parent_span" j with
+            | None | Some Json.Null -> Ok None
+            | Some v -> (
+                match Json.to_str v with
+                | Some s -> Ok (Some s)
+                | None ->
+                    Qp_error.invalid_instancef
+                      "trace field \"parent_span\" must be a string")
+          in
+          Ok { trace_id; parent_span }
+      | None ->
+          Qp_error.invalid_instancef
+            "trace: missing string field \"trace_id\"")
+  | _ -> Qp_error.invalid_instancef "trace must be a JSON object"
+
 let request_to_json (r : request) =
   Json.Obj
     ([ ("schema", Json.String schema); ("verb", Json.String (verb_name r.verb)) ]
@@ -215,6 +251,9 @@ let request_to_json (r : request) =
     @ (match r.spec with Some s -> [ ("spec", spec_to_json s) ] | None -> [])
     @ (match r.delta with
       | Some ops -> [ ("delta", delta_to_json ops) ]
+      | None -> [])
+    @ (match r.trace with
+      | Some t -> [ ("trace", trace_ctx_to_json t) ]
       | None -> [])
     @ [ ("options", options_to_json r.options) ])
 
@@ -254,7 +293,14 @@ let request_of_json j =
     | None | Some Json.Null -> Ok default_options
     | Some oj -> options_of_json oj
   in
-  Ok { id; verb; spec; delta; options }
+  let* trace =
+    match Json.member "trace" j with
+    | None | Some Json.Null -> Ok None
+    | Some tj ->
+        let* t = trace_ctx_of_json tj in
+        Ok (Some t)
+  in
+  Ok { id; verb; spec; delta; options; trace }
 
 let parse_request payload =
   match Json.of_string payload with
@@ -291,12 +337,29 @@ let serve_error_to_json = function
         [ ("code", Json.String (serve_error_code e));
           ("message", Json.String msg) ]
 
-type response = { id : Json.t; verb : string; payload : (Json.t, serve_error) result }
+type response = {
+  id : Json.t;
+  verb : string;
+  payload : (Json.t, serve_error) result;
+  (* Server-side phase durations in seconds (parse/queue/handle),
+     echoed only when the request carried a trace context so default
+     responses stay byte-identical. Serialize/write phases cannot
+     appear here — they happen after this record is encoded — and are
+     only in the server's wide event. *)
+  timing : (string * float) list option;
+}
+
+let response ?timing ~id ~verb payload = { id; verb; payload; timing }
 
 let response_to_json (r : response) =
   Json.Obj
     ([ ("schema", Json.String schema); ("id", r.id);
        ("verb", Json.String r.verb) ]
+    @ (match r.timing with
+      | None | Some [] -> []
+      | Some phases ->
+          [ ("timing",
+             Json.Obj (List.map (fun (n, d) -> (n, Json.Float d)) phases)) ])
     @
     match r.payload with
     | Ok result -> [ ("ok", Json.Bool true); ("result", result) ]
@@ -317,10 +380,26 @@ let response_of_json j =
     | Some v -> Ok v
     | None -> Qp_error.invalid_instancef "response: missing string field \"verb\""
   in
+  let* timing =
+    match Json.member "timing" j with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.Obj fields) ->
+        List.fold_left
+          (fun acc (name, v) ->
+            let* acc = acc in
+            match Json.to_float v with
+            | Some d -> Ok ((name, d) :: acc)
+            | None ->
+                Qp_error.invalid_instancef
+                  "response timing field %S must be a number" name)
+          (Ok []) fields
+        |> Result.map (fun ps -> Some (List.rev ps))
+    | Some _ -> Qp_error.invalid_instancef "response timing must be an object"
+  in
   match Json.member "ok" j with
   | Some (Json.Bool true) -> (
       match Json.member "result" j with
-      | Some result -> Ok { id; verb; payload = Ok result }
+      | Some result -> Ok { id; verb; payload = Ok result; timing }
       | None -> Qp_error.invalid_instancef "response: ok without \"result\"")
   | Some (Json.Bool false) -> (
       match Json.member "error" j with
@@ -331,12 +410,13 @@ let response_of_json j =
             | None -> ""
           in
           match Option.bind (Json.member "code" ej) Json.to_str with
-          | Some "overloaded" -> Ok { id; verb; payload = Error (Overloaded msg) }
+          | Some "overloaded" ->
+              Ok { id; verb; payload = Error (Overloaded msg); timing }
           | Some "deadline_exceeded" ->
-              Ok { id; verb; payload = Error (Deadline_exceeded msg) }
+              Ok { id; verb; payload = Error (Deadline_exceeded msg); timing }
           | Some _ ->
               let* e = Serialize.error_of_json ej in
-              Ok { id; verb; payload = Error (Typed e) }
+              Ok { id; verb; payload = Error (Typed e); timing }
           | None ->
               Qp_error.invalid_instancef "response error: missing string field \"code\"")
       | None -> Qp_error.invalid_instancef "response: not ok without \"error\"")

@@ -50,12 +50,22 @@ type options = {
 
 val default_options : options
 
+type trace_ctx = {
+  trace_id : string;
+      (* client-minted id adopted by the server's wide event *)
+  parent_span : string option; (* client-side span, for nesting *)
+}
+
 type request = {
   id : Json.t; (* echoed verbatim in the response; Null when absent *)
   verb : verb;
   spec : Spec.t option; (* None = the server's live instance *)
   delta : Delta.op list option; (* [update] payload *)
   options : options;
+  trace : trace_ctx option;
+      (* optional wire trace context; requests without one get no
+         timing echo and responses stay byte-identical to qp-serve/1
+         before trace propagation *)
 }
 
 val request :
@@ -63,8 +73,12 @@ val request :
   ?spec:Spec.t ->
   ?delta:Delta.op list ->
   ?options:options ->
+  ?trace:trace_ctx ->
   verb ->
   request
+
+val trace_ctx_to_json : trace_ctx -> Json.t
+val trace_ctx_of_json : Json.t -> (trace_ctx, Qp_error.t) result
 
 val request_to_json : request -> Json.t
 
@@ -115,9 +129,23 @@ type response = {
   id : Json.t;
   verb : string;
   payload : (Json.t, serve_error) result;
+  timing : (string * float) list option;
+      (* server phase durations in seconds (parse/queue/handle),
+         present only when the request carried a trace context *)
 }
 
+val response :
+  ?timing:(string * float) list ->
+  id:Json.t ->
+  verb:string ->
+  (Json.t, serve_error) result ->
+  response
+
 val response_to_json : response -> Json.t
+(** [timing] is emitted as an object of numbers and omitted entirely
+    when [None] or empty, keeping trace-free responses byte-identical
+    to the pre-trace protocol. *)
+
 val response_of_json : Json.t -> (response, Qp_error.t) result
 
 (** {2 Shared solve semantics} *)

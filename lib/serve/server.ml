@@ -37,7 +37,13 @@ let default_config =
 
 type conn = { fd : Unix.file_descr; dec : Frame.Decoder.t; mutable alive : bool }
 
-type pending = { conn : conn; req : Protocol.request; arrival : float }
+type pending = {
+  conn : conn;
+  req : Protocol.request;
+  arrival : float;
+  parse_s : float; (* time spent decoding this request's JSON *)
+  q_at_admit : int; (* queue depth the request saw on admission *)
+}
 
 type state = {
   cfg : config;
@@ -54,6 +60,9 @@ type state = {
          applied update, so a hit is always coherent with the current
          generation (single-threaded loop: no window between the apply
          and the clear) *)
+  slo : Obs.Slo.t;
+      (* every answered request feeds this; the [health] verb reports
+         its windows and burn rates *)
 }
 
 (* SIGTERM lands between loop iterations: the handler only flips this
@@ -96,6 +105,32 @@ let updates_c () =
 let cache_c result =
   Obs.Metrics.counter ~help:"Live-instance solve cache lookups, by result"
     ~labels:[ ("result", result) ] (reg ()) "qp_serve_solve_cache_total"
+
+let queue_depth_g () =
+  Obs.Metrics.gauge ~help:"Admission queue depth at the last loop cycle"
+    (reg ()) "qp_serve_queue_depth"
+
+let queue_wait_h () =
+  Obs.Metrics.histogram
+    ~help:"Time from admission to dispatch (seconds)"
+    ~buckets:(Obs.Metrics.log_buckets ~lo:1e-4 ~factor:2. ~count:22)
+    (reg ()) "qp_serve_queue_wait_seconds"
+
+let uptime_g () =
+  Obs.Metrics.gauge ~help:"Seconds since the server started" (reg ())
+    "process_uptime_seconds"
+
+let build_info_g () =
+  Obs.Metrics.gauge ~help:"Build metadata; value is always 1"
+    ~labels:[ ("version", Obs.Build_info.version) ]
+    (reg ()) "qp_build_info"
+
+(* Same series the simplex increments on the dispatcher's registry;
+   sampling it around [handle_verb] attributes pivot work to one
+   request. *)
+let pivots_c () =
+  Obs.Metrics.counter ~help:"Simplex pivots across both phases" (reg ())
+    "qp_simplex_pivots_total"
 
 (* ------------------------------------------------------------------ *)
 (* Socket helpers                                                      *)
@@ -163,13 +198,27 @@ let health_payload st =
       ("schema", Json.String Protocol.schema);
       ("uptime_s", Json.Float (Obs.Core.now () -. st.started));
       ("queue_depth", Json.Int st.cfg.queue_depth);
+      ("queue_len", Json.Int (Queue.length st.queue));
+      ( "solve_cache",
+        Json.Obj
+          [ ( "hits",
+              Json.Int
+                (int_of_float (Obs.Metrics.counter_value (cache_c "hit"))) );
+            ( "misses",
+              Json.Int
+                (int_of_float (Obs.Metrics.counter_value (cache_c "miss"))) ) ]
+      );
+      ("slo", Obs.Slo.to_json st.slo);
       ( "generation",
         match st.live with
         | Some live -> Json.Int (Live.generation live)
         | None -> Json.Null );
       ("jobs", Json.Int (Qp_par.Pool.default_jobs ())) ]
 
-let metrics_payload () =
+let metrics_payload st =
+  (* Refresh the point-in-time series the scrape should carry. *)
+  Obs.Metrics.set (uptime_g ()) (Obs.Core.now () -. st.started);
+  Obs.Metrics.set (build_info_g ()) 1.;
   Json.Obj
     [ ("content_type", Json.String "text/plain; version=0.0.4");
       ("body", Json.String (Obs.Metrics.to_prometheus (reg ()))) ]
@@ -273,7 +322,7 @@ let handle_verb st (req : Protocol.request) ~deadline =
   | Protocol.Update -> update_payload st req
   | Protocol.Info ->
       info_payload (Option.value req.Protocol.spec ~default:st.cfg.default_spec)
-  | Protocol.Metrics -> Ok (metrics_payload ())
+  | Protocol.Metrics -> Ok (metrics_payload st)
   | Protocol.Health -> Ok (health_payload st)
   | Protocol.Shutdown ->
       start_drain st;
@@ -299,24 +348,88 @@ let dispatch_one st (p : pending) =
     Obs.Span.with_ "request"
       ~attrs:[ ("verb", Json.String verb); ("id", p.req.Protocol.id) ]
     @@ fun () ->
+    let t_dispatch = Obs.Core.now () in
+    let queue_s = Float.max (t_dispatch -. p.arrival) 0. in
+    (* One wide event per request. The server adopts the client's
+       trace id when the request carries one, so both sides' records
+       join across processes; otherwise it mints its own. *)
+    let ev =
+      if Obs.Wide.active () then begin
+        let trace_id, parent_span =
+          match p.req.Protocol.trace with
+          | Some t -> (t.Protocol.trace_id, t.Protocol.parent_span)
+          | None -> (Obs.Wide.fresh_trace_id (), None)
+        in
+        let ev =
+          Obs.Wide.start ~kind:"serve_request" ~trace_id ?parent_span ()
+        in
+        Obs.Wide.set_str ev "verb" verb;
+        (match p.req.Protocol.verb with
+        | Protocol.Solve ->
+            Obs.Wide.set_str ev "alg"
+              p.req.Protocol.options.Protocol.algorithm
+        | _ -> ());
+        Obs.Wide.set_int ev "queue_depth_at_admission" p.q_at_admit;
+        ev
+      end
+      else Obs.Wide.start ~kind:"serve_request" () (* inert *)
+    in
+    let pivots0 =
+      if Obs.Wide.sampled ev then Obs.Metrics.counter_value (pivots_c ())
+      else 0.
+    in
     let payload =
-      if Obs.Core.now () > deadline then
+      if t_dispatch > deadline then
         Error
           (Protocol.Deadline_exceeded "request deadline expired in the queue")
       else handle_verb st p.req ~deadline
     in
+    let t_handled = Obs.Core.now () in
+    let handle_s = Float.max (t_handled -. t_dispatch) 0. in
     Obs.Metrics.inc (requests_c verb);
-    (match payload with
-    | Error e ->
-        let code = Protocol.serve_error_code e in
-        Obs.Metrics.inc (errors_c code);
-        Obs.Span.add_attr "error" (Json.String code)
-    | Ok _ -> ());
-    let latency = Obs.Core.now () -. p.arrival in
-    Obs.Metrics.observe (latency_h ()) (Float.max latency 0.);
+    let outcome =
+      match payload with
+      | Error e ->
+          let code = Protocol.serve_error_code e in
+          Obs.Metrics.inc (errors_c code);
+          Obs.Span.add_attr "error" (Json.String code);
+          code
+      | Ok _ -> "ok"
+    in
+    let latency = Float.max (t_handled -. p.arrival) 0. in
+    Obs.Metrics.observe (latency_h ()) latency;
+    Obs.Metrics.observe (queue_wait_h ()) queue_s;
+    Obs.Slo.record st.slo ~ok:(Result.is_ok payload) ~latency_s:latency;
     Obs.Span.add_attr "latency_s" (Json.Float latency);
-    send_response p.conn
-      { Protocol.id = p.req.Protocol.id; verb; payload }
+    (* The timing echo rides only on traced requests, so untraced
+       responses stay byte-identical. Serialize/write phases happen
+       after the response is encoded; they exist only in the wide
+       event. *)
+    let timing =
+      match p.req.Protocol.trace with
+      | None -> None
+      | Some _ ->
+          Some
+            [ ("parse", p.parse_s); ("queue", queue_s); ("handle", handle_s) ]
+    in
+    let resp = Protocol.response ?timing ~id:p.req.Protocol.id ~verb payload in
+    if Obs.Wide.sampled ev then begin
+      let t0 = Obs.Core.now () in
+      let body = Json.to_string (Protocol.response_to_json resp) in
+      let t1 = Obs.Core.now () in
+      write_frame p.conn body;
+      let t2 = Obs.Core.now () in
+      Obs.Wide.phase ev "parse" p.parse_s;
+      Obs.Wide.phase ev "queue" queue_s;
+      Obs.Wide.phase ev "handle" handle_s;
+      Obs.Wide.phase ev "serialize" (Float.max (t1 -. t0) 0.);
+      Obs.Wide.phase ev "write" (Float.max (t2 -. t1) 0.);
+      Obs.Wide.set ev "pivots"
+        (Json.Int
+           (int_of_float (Obs.Metrics.counter_value (pivots_c ()) -. pivots0)));
+      Obs.Wide.finish ~outcome ev
+    end
+    else send_response p.conn resp
   end
 
 (* ------------------------------------------------------------------ *)
@@ -327,19 +440,28 @@ let reject conn ~id ~verb e =
   Obs.Metrics.inc (errors_c (Protocol.serve_error_code e));
   Obs.Span.event "rejected"
     ~attrs:[ ("code", Json.String (Protocol.serve_error_code e)) ];
-  send_response conn { Protocol.id; verb; payload = Error e }
+  send_response conn (Protocol.response ~id ~verb (Error e))
 
 let admit st conn payload =
+  let t0 = Obs.Core.now () in
   match Protocol.parse_request payload with
   | Error (id, e) -> reject conn ~id ~verb:"error" (Protocol.Typed e)
   | Ok req ->
-      if Queue.length st.queue >= st.cfg.queue_depth then
+      let depth = Queue.length st.queue in
+      if depth >= st.cfg.queue_depth then
         reject conn ~id:req.Protocol.id
           ~verb:(Protocol.verb_name req.Protocol.verb)
           (Protocol.Overloaded
              (Printf.sprintf "server queue full (depth %d)" st.cfg.queue_depth))
       else
-        Queue.add { conn; req; arrival = Obs.Core.now () } st.queue
+        let arrival = Obs.Core.now () in
+        Queue.add
+          { conn;
+            req;
+            arrival;
+            parse_s = Float.max (arrival -. t0) 0.;
+            q_at_admit = depth }
+          st.queue
 
 let read_buf = Bytes.create 65536
 
@@ -428,7 +550,9 @@ let rec loop st =
       st.conns;
     (* Serve everything admitted this cycle, in admission order. A
        shutdown request flips [draining] mid-loop but the rest of the
-       queue is still answered — graceful drain. *)
+       queue is still answered — graceful drain. The gauge samples the
+       post-admission high-water mark, before the drain empties it. *)
+    Obs.Metrics.set (queue_depth_g ()) (float_of_int (Queue.length st.queue));
     while not (Queue.is_empty st.queue) do
       dispatch_one st (Queue.pop st.queue)
     done;
@@ -472,6 +596,7 @@ let run ?ready cfg =
             | Ok live -> Some live
             | Error _ -> None);
           solve_cache = Hashtbl.create 8;
+          slo = Obs.Slo.create ();
         }
       in
       let port =

@@ -25,9 +25,18 @@
       connections and returns.
 
     Telemetry: per-request spans on the installed {!Qp_obs.Trace}
-    sink, and request counters plus a latency histogram in
-    {!Qp_obs.Metrics.default} (exported by the [metrics] verb as
-    Prometheus text). *)
+    sink, and request counters plus latency and queue-wait histograms
+    in {!Qp_obs.Metrics.default} (exported by the [metrics] verb as
+    Prometheus text, together with [process_uptime_seconds] and the
+    [qp_build_info] gauge). With a {!Qp_obs.Wide} sink installed the
+    server also emits one wide event per request
+    (parse/queue/handle/serialize/write phases, queue depth at
+    admission, simplex pivot delta), adopting the client's trace id
+    when the request carries a [trace] context — and echoes
+    parse/queue/handle timing in such responses. Every answered
+    request feeds a {!Qp_obs.Slo} tracker whose windows, error rates
+    and burn rates are reported by the [health] verb alongside the
+    live queue length and solve-cache hit/miss counts. *)
 
 type config = {
   host : string; (* bind address, default "127.0.0.1" *)

@@ -1,13 +1,18 @@
 (* Telemetry layer: JSON round-trips, metrics registry semantics,
    histogram quantiles vs the exact Stats.percentile, span
-   nesting/ordering through the memory sink, Prometheus escaping, and
-   the disabled-path no-ops. *)
+   nesting/ordering through the memory sink, Prometheus escaping, the
+   disabled-path no-ops, wide-event sampling/ring/record shape, SLO
+   burn-rate windows, and whole-line sink atomicity when records are
+   emitted from pool worker domains. *)
 
 module Json = Qp_obs.Json
 module Metrics = Qp_obs.Metrics
 module Trace = Qp_obs.Trace
 module Span = Qp_obs.Span
 module Core = Qp_obs.Core
+module Wide = Qp_obs.Wide
+module Slo = Qp_obs.Slo
+module Pool = Qp_par.Pool
 module Stats = Qp_util.Stats
 module Rng = Qp_util.Rng
 
@@ -319,6 +324,235 @@ let test_jsonl_file_sink () =
   Alcotest.(check bool) "spans follow" true
     (List.for_all (fun r -> get_str "type" r = "span") (List.tl records))
 
+(* ------------------------------------------------------------------ *)
+(* Wide events                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let with_wide ?sample_every ?ring_capacity f =
+  let sink, read = Trace.memory () in
+  Fun.protect
+    ~finally:(fun () -> Wide.uninstall ())
+    (fun () ->
+      Wide.install ?sample_every ?ring_capacity sink;
+      f read)
+
+let test_wide_record_shape () =
+  with_wide @@ fun read ->
+  Wide.header [ ("run", Json.String "test") ];
+  let ev = Wide.start ~kind:"unit" ~trace_id:"t-1" ~parent_span:"s-9" () in
+  Alcotest.(check bool) "sampled" true (Wide.sampled ev);
+  Wide.set_str ev "verb" "solve";
+  Wide.set_int ev "queue_depth" 3;
+  Wide.phase ev "parse" 0.25;
+  let v = Wide.timed ev "work" (fun () -> 21 * 2) in
+  Alcotest.(check int) "timed passes value" 42 v;
+  Wide.finish ~outcome:"overloaded" ev;
+  Wide.finish ev;
+  (* idempotent: second finish emits nothing *)
+  match read () with
+  | [ meta; record ] ->
+      Alcotest.(check string) "meta type" "meta" (get_str "type" meta);
+      Alcotest.(check string) "schema" "qp-wide/1" (get_str "schema" meta);
+      Alcotest.(check string) "meta field" "test" (get_str "run" meta);
+      Alcotest.(check string) "type" "wide" (get_str "type" record);
+      Alcotest.(check string) "kind" "unit" (get_str "kind" record);
+      Alcotest.(check string) "trace id" "t-1" (get_str "trace_id" record);
+      Alcotest.(check string) "parent span" "s-9" (get_str "parent_span" record);
+      Alcotest.(check string) "outcome" "overloaded" (get_str "outcome" record);
+      Alcotest.(check bool) "duration" true (Json.member "dur_s" record <> None);
+      Alcotest.(check string) "attr str" "solve" (get_str "verb" record);
+      Alcotest.(check int) "attr int" 3 (get_int "queue_depth" record);
+      let phases = Option.get (Json.member "phases" record) in
+      Alcotest.(check bool) "explicit phase" true
+        (Option.bind (Json.member "parse" phases) Json.to_float = Some 0.25);
+      Alcotest.(check bool) "timed phase" true
+        (match Option.bind (Json.member "work" phases) Json.to_float with
+        | Some d -> d >= 0.
+        | None -> false)
+  | records -> Alcotest.failf "expected 2 records, got %d" (List.length records)
+
+let test_wide_sampling_and_ring () =
+  with_wide ~sample_every:3 ~ring_capacity:2 @@ fun read ->
+  for i = 0 to 8 do
+    let ev = Wide.start ~kind:"k" () in
+    Alcotest.(check bool)
+      (Printf.sprintf "head sampling at %d" i)
+      (i mod 3 = 0) (Wide.sampled ev);
+    Wide.set_int ev "i" i;
+    Wide.finish ev
+  done;
+  Alcotest.(check int) "emitted" 3 (Wide.emitted ());
+  Alcotest.(check int) "sink records" 3 (List.length (read ()));
+  match Wide.ring () with
+  | [ a; b ] ->
+      (* bounded ring keeps the most recent records, oldest first *)
+      Alcotest.(check int) "ring oldest" 3 (get_int "i" a);
+      Alcotest.(check int) "ring newest" 6 (get_int "i" b)
+  | l -> Alcotest.failf "expected ring of 2, got %d" (List.length l)
+
+let test_wide_off_noop () =
+  Wide.uninstall ();
+  Alcotest.(check bool) "inactive" false (Wide.active ());
+  let ev = Wide.start ~kind:"ghost" () in
+  Alcotest.(check bool) "not sampled" false (Wide.sampled ev);
+  Wide.set ev "k" Json.Null;
+  Wide.phase ev "p" 1.;
+  let v = Wide.timed ev "t" (fun () -> 7) in
+  Wide.finish ev;
+  Wide.header [];
+  Alcotest.(check int) "value through" 7 v;
+  Alcotest.(check int) "nothing emitted" 0 (Wide.emitted ());
+  Alcotest.(check bool) "ring empty" true (Wide.ring () = [])
+
+let test_wide_fresh_trace_ids () =
+  let a = Wide.fresh_trace_id () in
+  let b = Wide.fresh_trace_id () in
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check bool) "non-empty" true (a <> "" && b <> "")
+
+(* ------------------------------------------------------------------ *)
+(* Slo                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let slo_cfg ?(target = 0.9) ?latency windows bucket =
+  {
+    Slo.objective = { Slo.name = "t"; target; latency_s = latency };
+    windows_s = windows;
+    bucket_s = bucket;
+  }
+
+let test_slo_validation () =
+  List.iter
+    (fun cfg ->
+      match Slo.create ~cfg () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "config accepted: %s" cfg.Slo.objective.name)
+    [
+      slo_cfg ~target:0. [ 60. ] 5.;
+      slo_cfg ~target:1. [ 60. ] 5.;
+      slo_cfg [] 5.;
+      slo_cfg [ 60. ] 0.;
+      slo_cfg [ 2. ] 5. (* window shorter than a bucket *);
+    ];
+  ignore (Slo.create ())
+
+let test_slo_burn_rates () =
+  (* target 0.9 => error budget 0.1. 30 good units in [0,30), then 10
+     bad units in [30,40): at now=40 the 10s window is all bad
+     (burn 10x) while the 40s window has error rate 0.25 (burn 2.5x). *)
+  let t = Slo.create ~cfg:(slo_cfg [ 10.; 40. ] 1.) () in
+  for i = 0 to 29 do
+    Slo.record ~now:(float_of_int i +. 0.5) t ~ok:true ~latency_s:0.01
+  done;
+  for i = 30 to 39 do
+    Slo.record ~now:(float_of_int i +. 0.5) t ~ok:false ~latency_s:0.01
+  done;
+  let now = 40. in
+  Alcotest.(check (pair int int)) "fast counts" (0, 10) (Slo.counts ~now t ~window_s:10.);
+  Alcotest.(check (pair int int)) "slow counts" (30, 40) (Slo.counts ~now t ~window_s:40.);
+  Alcotest.(check (float 1e-9)) "fast error rate" 1. (Slo.error_rate ~now t ~window_s:10.);
+  Alcotest.(check (float 1e-9)) "fast burn" 10. (Slo.burn_rate ~now t ~window_s:10.);
+  Alcotest.(check (float 1e-9)) "slow burn" 2.5 (Slo.burn_rate ~now t ~window_s:40.);
+  Alcotest.(check bool) "burning at 2x" true (Slo.burning ~now t ~threshold:2.);
+  Alcotest.(check bool) "not burning at 3x (slow window)" false
+    (Slo.burning ~now t ~threshold:3.);
+  (* Buckets expire: far in the future every window is empty again. *)
+  Alcotest.(check (pair int int)) "expired" (0, 0)
+    (Slo.counts ~now:10_000. t ~window_s:40.);
+  Alcotest.(check (float 1e-9)) "empty window burns 0" 0.
+    (Slo.burn_rate ~now:10_000. t ~window_s:40.)
+
+let test_slo_latency_objective () =
+  (* ok with latency above the bound counts against the objective *)
+  let t = Slo.create ~cfg:(slo_cfg ~latency:0.1 [ 10. ] 1.) () in
+  Slo.record ~now:1. t ~ok:true ~latency_s:0.01;
+  Slo.record ~now:2. t ~ok:true ~latency_s:0.5;
+  Slo.record ~now:3. t ~ok:false ~latency_s:0.01;
+  Alcotest.(check (pair int int)) "slow success is bad" (1, 3)
+    (Slo.counts ~now:4. t ~window_s:10.);
+  match Slo.quantile ~now:4. t ~window_s:10. 0.5 with
+  | Some q -> Alcotest.(check bool) "median in latency bucket" true (q > 0.005 && q < 0.65)
+  | None -> Alcotest.fail "expected a quantile"
+
+let test_slo_json_shape () =
+  let t = Slo.create ~cfg:(slo_cfg [ 10.; 40. ] 1.) () in
+  Slo.record ~now:1. t ~ok:true ~latency_s:0.01;
+  let j = Slo.to_json ~now:2. t in
+  Alcotest.(check string) "objective name" "t" (get_str "objective" j);
+  match Json.member "windows" j with
+  | Some (Json.List ws) ->
+      Alcotest.(check int) "one entry per window" 2 (List.length ws);
+      List.iter
+        (fun w ->
+          Alcotest.(check int) "total" 1 (get_int "total" w);
+          Alcotest.(check int) "good" 1 (get_int "good" w))
+        ws;
+      Alcotest.(check bool) "empty quantile is null" true
+        (Json.member "p99_s" (List.hd ws) <> None)
+  | _ -> Alcotest.fail "expected windows list"
+
+(* ------------------------------------------------------------------ *)
+(* Sink atomicity from pool worker domains (JSONL whole-line writes)   *)
+(* ------------------------------------------------------------------ *)
+
+let read_jsonl path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  List.rev_map
+    (fun line ->
+      match Json.of_string line with
+      | j -> j
+      | exception Json.Parse_error _ -> Alcotest.failf "torn line: %s" line)
+    !lines
+
+let with_pool_and_file name f =
+  let path = Filename.temp_file name ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let pool = Pool.create ~jobs:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () -> f pool path
+
+let test_trace_sink_atomic_from_pool () =
+  with_pool_and_file "qp_obs_pool_trace" @@ fun pool path ->
+  let n = 200 in
+  Fun.protect ~finally:(fun () -> Trace.uninstall ()) (fun () ->
+      Trace.install (Trace.to_file path);
+      Trace.header [];
+      Pool.parallel_iter pool
+        (fun i -> Span.with_ (Printf.sprintf "job-%d" i) ignore)
+        (Array.init n Fun.id));
+  let records = read_jsonl path in
+  (* every record is a complete line and nothing was lost *)
+  Alcotest.(check int) "all records present" (n + 1) (List.length records);
+  Alcotest.(check int) "all spans" n
+    (List.length (List.filter (fun r -> get_str "type" r = "span") records))
+
+let test_wide_sink_atomic_from_pool () =
+  with_pool_and_file "qp_obs_pool_wide" @@ fun pool path ->
+  let n = 200 in
+  Fun.protect ~finally:(fun () -> Wide.uninstall ()) (fun () ->
+      Wide.install (Trace.to_file path);
+      Wide.header [];
+      Pool.parallel_iter pool
+        (fun i ->
+          let ev = Wide.start ~kind:"pool_job" () in
+          Wide.set_int ev "i" i;
+          Wide.timed ev "work" (fun () -> ignore (Sys.opaque_identity (i * i)));
+          Wide.finish ev)
+        (Array.init n Fun.id);
+      Alcotest.(check int) "emitted" n (Wide.emitted ()));
+  let records = read_jsonl path in
+  Alcotest.(check int) "all records present" (n + 1) (List.length records);
+  let wides = List.filter (fun r -> get_str "type" r = "wide") records in
+  Alcotest.(check int) "all wide events" n (List.length wides);
+  (* each job's record arrived exactly once *)
+  let seen = List.sort compare (List.map (get_int "i") wides) in
+  Alcotest.(check bool) "every index once" true (seen = List.init n Fun.id)
+
 let suites =
   [
     ( "obs.json",
@@ -345,5 +579,26 @@ let suites =
         Alcotest.test_case "span exception" `Quick test_span_exception;
         Alcotest.test_case "tracing off no-op" `Quick test_tracing_off_noop;
         Alcotest.test_case "jsonl file sink" `Quick test_jsonl_file_sink;
+      ] );
+    ( "obs.wide",
+      [
+        Alcotest.test_case "record shape" `Quick test_wide_record_shape;
+        Alcotest.test_case "sampling and ring" `Quick test_wide_sampling_and_ring;
+        Alcotest.test_case "off no-op" `Quick test_wide_off_noop;
+        Alcotest.test_case "fresh trace ids" `Quick test_wide_fresh_trace_ids;
+      ] );
+    ( "obs.slo",
+      [
+        Alcotest.test_case "validation" `Quick test_slo_validation;
+        Alcotest.test_case "burn rates and windows" `Quick test_slo_burn_rates;
+        Alcotest.test_case "latency objective" `Quick test_slo_latency_objective;
+        Alcotest.test_case "json shape" `Quick test_slo_json_shape;
+      ] );
+    ( "obs.sinks",
+      [
+        Alcotest.test_case "trace sink atomic from pool" `Quick
+          test_trace_sink_atomic_from_pool;
+        Alcotest.test_case "wide sink atomic from pool" `Quick
+          test_wide_sink_atomic_from_pool;
       ] );
   ]

@@ -340,6 +340,110 @@ let test_engine_validation () =
              Engine.repair = Some { Engine.default_trigger with Engine.capacity_frac = 0. }
            }))
 
+(* ------------------------------------------------------------------ *)
+(* SLO trigger and migration wide events                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_slo_validation () =
+  let problem, placement = engine_fixture () in
+  let base = Engine.default_config ~problem ~placement ~failure:(Failure.Static 0.1) () in
+  Alcotest.check_raises "requires repair"
+    (Invalid_argument "Engine: an SLO trigger requires a repair trigger") (fun () ->
+      ignore (Engine.run { base with Engine.slo = Some Engine.default_slo_trigger }));
+  let with_slo s =
+    { base with Engine.repair = Some Engine.default_trigger; slo = Some s }
+  in
+  Alcotest.check_raises "windows"
+    (Invalid_argument "Engine: SLO windows must satisfy 0 < fast <= slow") (fun () ->
+      ignore
+        (Engine.run
+           (with_slo { Engine.default_slo_trigger with Engine.fast_window = 200. })));
+  Alcotest.check_raises "threshold"
+    (Invalid_argument "Engine: SLO burn_threshold must be positive") (fun () ->
+      ignore
+        (Engine.run
+           (with_slo { Engine.default_slo_trigger with Engine.burn_threshold = 0. })));
+  Alcotest.check_raises "target"
+    (Invalid_argument "Engine: SLO target must lie in (0, 1)") (fun () ->
+      ignore
+        (Engine.run
+           (with_slo
+              { Engine.default_slo_trigger with
+                Engine.objective = { Qp_obs.Slo.name = "x"; target = 1.5; latency_s = None }
+              })))
+
+let test_engine_slo_trigger_trips () =
+  let problem, placement = engine_fixture () in
+  let failure = Failure.Dynamic { mtbf = 40.; mttr = 60. } in
+  (* A repair trigger whose heuristics can never fire (all capacity
+     suspected / 1000x delay): any repair in the run was tripped by
+     the SLO burn rate alone. *)
+  let inert =
+    { Engine.default_trigger with Engine.capacity_frac = 1.0; delay_factor = 1000. }
+  in
+  let cfg slo =
+    { (Engine.default_config ~adaptive:true ~repair:inert ?slo ~problem ~placement
+         ~failure ()) with
+      Engine.accesses_per_client = 300;
+      seed = 2 }
+  in
+  let without = Engine.run (cfg None) in
+  Alcotest.(check int) "inert heuristics never repair" 0
+    (List.length without.Engine.repairs);
+  (* 99% objective: under 60%-downtime churn the error budget burns in
+     both windows and the trip invokes the same repair path *)
+  let tight =
+    { Engine.default_slo_trigger with
+      Engine.objective = { Qp_obs.Slo.name = "access"; target = 0.99; latency_s = None }
+    }
+  in
+  let with_slo = Engine.run (cfg (Some tight)) in
+  Alcotest.(check bool) "slo burn trips repair" true (with_slo.Engine.repairs <> []);
+  (* deterministic in the seed, like every other engine path *)
+  let again = Engine.run (cfg (Some tight)) in
+  Alcotest.(check int) "deterministic repair count"
+    (List.length with_slo.Engine.repairs)
+    (List.length again.Engine.repairs)
+
+let test_engine_migration_wide_events () =
+  let module Wide = Qp_obs.Wide in
+  let module Json = Qp_obs.Json in
+  let sink, read = Qp_obs.Trace.memory () in
+  Fun.protect ~finally:(fun () -> Wide.uninstall ()) @@ fun () ->
+  Wide.install sink;
+  let problem, placement = engine_fixture () in
+  let failure = Failure.Dynamic { mtbf = 40.; mttr = 60. } in
+  let cfg =
+    { (Engine.default_config ~adaptive:true ~repair:Engine.default_trigger
+         ~migration:Engine.default_migration ~problem ~placement ~failure ()) with
+      Engine.accesses_per_client = 300;
+      seed = 2 }
+  in
+  let r = Engine.run cfg in
+  Alcotest.(check bool) "migrations happened" true (r.Engine.migrations <> []);
+  let str k j = Option.bind (Json.member k j) Json.to_str in
+  let migs =
+    List.filter (fun j -> str "kind" j = Some "migration") (read ())
+  in
+  Alcotest.(check int) "one wide event per migration episode"
+    (List.length r.Engine.migrations)
+    (List.length migs);
+  List.iter
+    (fun m ->
+      (match str "outcome" m with
+      | Some ("applied" | "degraded") -> ()
+      | o ->
+          Alcotest.failf "unexpected outcome %s"
+            (Option.value o ~default:"<none>"));
+      (* every episode times the warm re-solve; the plan phase exists
+         unless the ladder degraded before planning *)
+      let phases = Option.get (Json.member "phases" m) in
+      Alcotest.(check bool) "resolve phase timed" true
+        (Json.member "resolve" phases <> None);
+      Alcotest.(check bool) "sim timeline attrs" true
+        (Json.member "sim_time" m <> None && Json.member "sim_end" m <> None))
+    migs
+
 let suites =
   [
     ( "runtime.detector",
@@ -372,5 +476,9 @@ let suites =
         Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
         Alcotest.test_case "hedging accounting" `Quick test_engine_hedging_accounting;
         Alcotest.test_case "validation" `Quick test_engine_validation;
+        Alcotest.test_case "slo validation" `Quick test_engine_slo_validation;
+        Alcotest.test_case "slo trigger trips" `Quick test_engine_slo_trigger_trips;
+        Alcotest.test_case "migration wide events" `Quick
+          test_engine_migration_wide_events;
       ] );
   ]

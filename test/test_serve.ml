@@ -756,6 +756,204 @@ let test_loadgen_against_server () =
         (member_string "sample" outcome "schema")
   | None -> Alcotest.fail "solve-heavy mix must capture a sample outcome"
 
+(* ------------------------------------------------------------------ *)
+(* Trace propagation, timing echo, and wide-event observability        *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_and_timing_codec () =
+  let trace = { Protocol.trace_id = "t-7"; parent_span = Some "s-1" } in
+  let req = Protocol.request ~id:(Json.Int 1) ~trace Protocol.Health in
+  let req' =
+    get_ok "request" (Protocol.request_of_json (Protocol.request_to_json req))
+  in
+  checkb "trace round-trips" true (req'.Protocol.trace = Some trace);
+  (* a request without a context adds no key at all *)
+  let plain = Protocol.request ~id:(Json.Int 1) Protocol.Health in
+  checkb "no trace key" true
+    (Json.member "trace" (Protocol.request_to_json plain) = None);
+  (* response timing round-trips; absent timing adds no key *)
+  let resp =
+    Protocol.response
+      ~timing:[ ("parse", 0.001); ("queue", 0.002) ]
+      ~id:(Json.Int 1) ~verb:"health"
+      (Ok (Json.Obj []))
+  in
+  let j = Protocol.response_to_json resp in
+  let resp' = get_ok "response" (Protocol.response_of_json j) in
+  checkb "timing round-trips" true
+    (resp'.Protocol.timing = Some [ ("parse", 0.001); ("queue", 0.002) ]);
+  let bare = Protocol.response ~id:(Json.Int 1) ~verb:"health" (Ok (Json.Obj [])) in
+  checkb "no timing key" true
+    (Json.member "timing" (Protocol.response_to_json bare) = None);
+  match
+    Protocol.response_of_json
+      (Json.of_string {|{"id":1,"verb":"health","ok":{},"timing":{"parse":"x"}}|})
+  with
+  | Error (Qp_error.Invalid_instance _) -> ()
+  | _ -> Alcotest.fail "mistyped timing must be invalid_instance"
+
+let with_wide_sink f =
+  let sink, read = Obs.Trace.memory () in
+  Fun.protect
+    ~finally:(fun () -> Obs.Wide.uninstall ())
+    (fun () ->
+      Obs.Wide.install sink;
+      f read)
+
+let test_trace_propagation_end_to_end () =
+  with_wide_sink @@ fun read ->
+  with_server @@ fun port ->
+  let c = get_ok "connect" (Client.connect ~port ()) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* traced request: the response echoes phase timing... *)
+  let trace = { Protocol.trace_id = "client-trace-1"; parent_span = None } in
+  let resp =
+    get_ok "traced solve"
+      (Client.call c (Protocol.request ~id:(Json.Int 1) ~trace Protocol.Solve))
+  in
+  checkb "solve ok" true (Result.is_ok resp.Protocol.payload);
+  (match resp.Protocol.timing with
+  | Some timing ->
+      List.iter
+        (fun phase ->
+          checkb (phase ^ " echoed") true (List.mem_assoc phase timing);
+          checkb (phase ^ " sane") true (List.assoc phase timing >= 0.))
+        [ "parse"; "queue"; "handle" ]
+  | None -> Alcotest.fail "traced request must carry a timing echo");
+  (* ...an untraced request must not (byte-identical default shape) *)
+  let resp' =
+    get_ok "plain solve" (Client.call c (Protocol.request ~id:(Json.Int 2) Protocol.Solve))
+  in
+  checkb "no timing on untraced" true (resp'.Protocol.timing = None);
+  checkb "no timing key on the wire" true
+    (Json.member "timing" (Protocol.response_to_json resp') = None);
+  (* the server's wide event adopted the client's trace id and timed
+     every phase of the request's life *)
+  let wides =
+    List.filter
+      (fun r ->
+        Option.bind (Json.member "type" r) Json.to_str = Some "wide"
+        && Option.bind (Json.member "kind" r) Json.to_str = Some "serve_request")
+      (read ())
+  in
+  match
+    List.find_opt
+      (fun r ->
+        Option.bind (Json.member "trace_id" r) Json.to_str = Some "client-trace-1")
+      wides
+  with
+  | None -> Alcotest.fail "no server wide event joined the client trace id"
+  | Some r ->
+      checks "verb attr" "solve" (member_string "wide" r "verb");
+      checks "outcome" "ok" (member_string "wide" r "outcome");
+      let phases = Option.get (Json.member "phases" r) in
+      List.iter
+        (fun phase ->
+          checkb (phase ^ " phase present") true
+            (match Option.bind (Json.member phase phases) Json.to_float with
+            | Some d -> d >= 0.
+            | None -> false))
+        [ "parse"; "queue"; "handle"; "serialize"; "write" ]
+
+let test_health_and_metrics_observability () =
+  with_server @@ fun port ->
+  let c = get_ok "connect" (Client.connect ~port ()) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* prime the solve cache: one miss, then one hit *)
+  ignore (call_ok "solve 1" c (Protocol.request Protocol.Solve));
+  ignore (call_ok "solve 2" c (Protocol.request Protocol.Solve));
+  let h = call_ok "health" c (Protocol.request Protocol.Health) in
+  checki "idle queue" 0
+    (match Json.member "queue_len" h with Some (Json.Int n) -> n | _ -> -1);
+  (match Json.member "solve_cache" h with
+  | Some cache ->
+      let get k =
+        match Option.bind (Json.member k cache) Json.to_int with
+        | Some n -> n
+        | None -> Alcotest.failf "solve_cache missing %s" k
+      in
+      checkb "hits and misses counted" true (get "hits" >= 1 && get "misses" >= 1)
+  | None -> Alcotest.fail "health must report the solve cache");
+  (match Json.member "slo" h with
+  | Some slo ->
+      (match Json.member "windows" slo with
+      | Some (Json.List (_ :: _)) -> ()
+      | _ -> Alcotest.fail "slo must report windows");
+      checkb "no burn while healthy" true
+        (match Json.member "windows" slo with
+        | Some (Json.List ws) ->
+            List.for_all
+              (fun w ->
+                match Option.bind (Json.member "burn_rate" w) Json.to_float with
+                | Some b -> b = 0.
+                | None -> false)
+              ws
+        | _ -> false)
+  | None -> Alcotest.fail "health must report slo state");
+  let m = call_ok "metrics" c (Protocol.request Protocol.Metrics) in
+  let body = member_string "metrics" m "body" in
+  let has sub =
+    let n = String.length sub in
+    let rec find i =
+      i + n <= String.length body && (String.sub body i n = sub || find (i + 1))
+    in
+    find 0
+  in
+  checkb "uptime gauge" true (has "process_uptime_seconds");
+  checkb "build info gauge" true
+    (has ("qp_build_info{version=\"" ^ Obs.Build_info.version ^ "\"} 1"));
+  checkb "queue-wait histogram" true (has "qp_serve_queue_wait_seconds")
+
+let test_loadgen_trace_requests () =
+  with_wide_sink @@ fun read ->
+  with_server @@ fun port ->
+  let cfg =
+    { Loadgen.default_config with
+      Loadgen.port;
+      connections = 2;
+      duration_s = 0.4;
+      spec = Some test_spec;
+      seed = 42;
+      trace_requests = true }
+  in
+  let report = get_ok "loadgen" (Loadgen.run cfg) in
+  (* barrier: the server emits a request's wide event just after
+     writing its response, so the last loadgen reply can race our
+     read. The dispatch loop is sequential — once this health call is
+     answered, every earlier event has been emitted. *)
+  (let c = get_ok "barrier connect" (Client.connect ~port ()) in
+   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+   ignore (call_ok "barrier" c (Protocol.request Protocol.Health)));
+  checkb "completed requests" true (report.Loadgen.completed > 0);
+  (* the server's timing echo surfaces as per-phase samples *)
+  List.iter
+    (fun phase ->
+      match List.assoc_opt phase report.Loadgen.phases_ms with
+      | Some samples ->
+          checkb (phase ^ " sampled") true (Array.length samples > 0);
+          checkb (phase ^ " non-negative") true (Array.for_all (fun d -> d >= 0.) samples)
+      | None -> Alcotest.failf "report lost the %s phase" phase)
+    [ "parse"; "queue"; "handle" ];
+  (match Json.member "phases" (Loadgen.report_to_json report) with
+  | Some (Json.Obj (_ :: _)) -> ()
+  | _ -> Alcotest.fail "report json must carry a phases object");
+  (* client and server wide events join on trace ids *)
+  let by_kind k =
+    List.filter_map
+      (fun r ->
+        if Option.bind (Json.member "kind" r) Json.to_str = Some k then
+          Option.bind (Json.member "trace_id" r) Json.to_str
+        else None)
+      (read ())
+  in
+  let client_ids = by_kind "client_call" in
+  let server_ids = by_kind "serve_request" in
+  checkb "client events emitted" true (client_ids <> []);
+  List.iter
+    (fun id ->
+      checkb ("server side of " ^ id) true (List.mem id server_ids))
+    client_ids
+
 let suites =
   [ ( "serve.frame",
       [ Alcotest.test_case "decoder byte-by-byte" `Quick test_decoder_byte_by_byte;
@@ -781,7 +979,14 @@ let suites =
         Alcotest.test_case "update verb end to end" `Quick test_update_verb;
         Alcotest.test_case "fuzz: update deltas" `Quick test_update_fuzz;
         Alcotest.test_case "robust client reconnects" `Quick test_robust_client_reconnects;
-        Alcotest.test_case "robust client gives up" `Quick test_robust_client_gives_up ] );
+        Alcotest.test_case "robust client gives up" `Quick test_robust_client_gives_up;
+        Alcotest.test_case "trace/timing codecs" `Quick test_trace_and_timing_codec;
+        Alcotest.test_case "trace propagation end to end" `Quick
+          test_trace_propagation_end_to_end;
+        Alcotest.test_case "health/metrics observability" `Quick
+          test_health_and_metrics_observability ] );
     ( "serve.loadgen",
       [ Alcotest.test_case "mix parser" `Quick test_mix_of_string;
-        Alcotest.test_case "closed-loop run" `Quick test_loadgen_against_server ] ) ]
+        Alcotest.test_case "closed-loop run" `Quick test_loadgen_against_server;
+        Alcotest.test_case "traced run joins client and server" `Quick
+          test_loadgen_trace_requests ] ) ]
