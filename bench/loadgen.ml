@@ -14,12 +14,33 @@ let usage_fail msg =
   prerr_endline
     "usage: loadgen [--host H] [--port P] [--connections N] [--duration S]\n\
     \               [--mix solve=8,info=1,health=1] [--alg NAME] [--alpha A]\n\
-    \               [--deadline-ms MS] [--pivot-budget N] [--seed N] [--out FILE]";
+    \               [--deadline-ms MS] [--pivot-budget N] [--seed N]\n\
+    \               [--unique-specs] [--out FILE]\n\
+    \       loadgen --server-jobs 1,4 [--connections-sweep 1,4,8]\n\
+    \               [--cache-capacity N] [--queue-depth N] ...\n\
+    \         (sweep mode: each cell runs against a fresh in-process\n\
+    \          server on an ephemeral port; --host/--port are ignored)";
   exit 2
+
+let int_list name v =
+  List.map
+    (fun part ->
+      match int_of_string_opt (String.trim part) with
+      | Some i -> i
+      | None -> usage_fail (Printf.sprintf "%s: bad integer %S" name part))
+    (String.split_on_char ',' v)
 
 let () =
   let cfg = ref Loadgen.default_config in
   let out = ref None in
+  let server_jobs = ref [] in
+  let connections_sweep = ref [ 1; 4; 8 ] in
+  let cache_capacity =
+    ref Qp_serve.Server.default_config.Qp_serve.Server.cache_capacity
+  in
+  let queue_depth =
+    ref Qp_serve.Server.default_config.Qp_serve.Server.queue_depth
+  in
   let set f v = cfg := f !cfg v in
   let int_arg name v k rest =
     match int_of_string_opt v with
@@ -109,23 +130,67 @@ let () =
             set (fun c i -> { c with Loadgen.seed = i }) i;
             parse rest)
           rest
+    | "--unique-specs" :: rest ->
+        set (fun c () -> { c with Loadgen.unique_specs = true }) ();
+        parse rest
+    | "--server-jobs" :: v :: rest ->
+        server_jobs := int_list "--server-jobs" v;
+        parse rest
+    | "--connections-sweep" :: v :: rest ->
+        connections_sweep := int_list "--connections-sweep" v;
+        parse rest
+    | "--cache-capacity" :: v :: rest ->
+        int_arg "--cache-capacity" v
+          (fun i rest ->
+            cache_capacity := i;
+            parse rest)
+          rest
+    | "--queue-depth" :: v :: rest ->
+        int_arg "--queue-depth" v
+          (fun i rest ->
+            queue_depth := i;
+            parse rest)
+          rest
     | "--out" :: v :: rest ->
         out := Some v;
         parse rest
     | flag :: _ -> usage_fail ("unknown flag " ^ flag)
   in
   parse (List.tl (Array.to_list Sys.argv));
-  match Loadgen.run !cfg with
+  let emit doc_json =
+    let doc = Obs.Json.to_string doc_json in
+    (match !out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc doc;
+        output_char oc '\n';
+        close_out oc
+    | None -> ());
+    print_endline doc
+  in
+  let result =
+    match !server_jobs with
+    | [] -> Result.map Loadgen.report_to_json (Loadgen.run !cfg)
+    | jobs ->
+        let server_spec =
+          match !cfg.Loadgen.spec with
+          | Some s -> s
+          | None -> Qp_instance.Spec.default
+        in
+        let base = { !cfg with Loadgen.spec = Some server_spec } in
+        let sweep_cfg =
+          { Loadgen.base;
+            server_spec;
+            server_jobs = jobs;
+            connections_sweep = !connections_sweep;
+            cache_capacity = !cache_capacity;
+            queue_depth = !queue_depth
+          }
+        in
+        Result.map Loadgen.sweep_to_json (Loadgen.sweep sweep_cfg)
+  in
+  match result with
   | Error e ->
       prerr_endline ("loadgen: " ^ Qp_error.to_string e);
       exit (Qp_error.exit_code e)
-  | Ok report ->
-      let doc = Obs.Json.to_string (Loadgen.report_to_json report) in
-      (match !out with
-      | Some path ->
-          let oc = open_out path in
-          output_string oc doc;
-          output_char oc '\n';
-          close_out oc
-      | None -> ());
-      print_endline doc
+  | Ok doc -> emit doc

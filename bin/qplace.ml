@@ -506,12 +506,24 @@ let churn_cmd (c : common) mtbf mttr attempts accesses bound =
 (* serve / loadgen: the network front end (lib/serve)                  *)
 (* ------------------------------------------------------------------ *)
 
-let serve_cmd (c : common) port host queue_depth deadline_ms =
+let serve_cmd (c : common) port host queue_depth deadline_ms server_jobs
+    cache_capacity =
   run_result
   @@
   let* () =
     if queue_depth < 1 then
       Qp_error.invalid_instancef "queue-depth must be >= 1 (got %d)" queue_depth
+    else Ok ()
+  in
+  let* () =
+    if server_jobs < 1 then
+      Qp_error.invalid_instancef "server-jobs must be >= 1 (got %d)" server_jobs
+    else Ok ()
+  in
+  let* () =
+    if cache_capacity < 0 then
+      Qp_error.invalid_instancef "cache-capacity must be >= 0 (got %d)"
+        cache_capacity
     else Ok ()
   in
   let jobs = resolve_jobs c.spec.Spec.jobs in
@@ -523,14 +535,17 @@ let serve_cmd (c : common) port host queue_depth deadline_ms =
       port;
       queue_depth;
       default_deadline_ms = deadline_ms;
-      default_spec = c.spec }
+      default_spec = c.spec;
+      jobs = server_jobs;
+      cache_capacity }
   in
   Qp_serve.Server.run
     ~ready:(fun p -> Printf.printf "serving qp-serve/1 on %s:%d\n%!" host p)
     cfg
 
 let loadgen_cmd (c : common) host port connections duration mix deadline_ms
-    pivot_budget algorithm alpha timeout_ms retries drop_every out =
+    pivot_budget algorithm alpha timeout_ms retries drop_every unique_specs
+    out =
   run_result
   @@
   let* mix = Qp_serve.Loadgen.mix_of_string mix in
@@ -566,7 +581,8 @@ let loadgen_cmd (c : common) host port connections duration mix deadline_ms
       (* Wide events imply per-request trace propagation: the client
          mints ids, the server echoes phase timing, and the two JSONL
          files join. *)
-      trace_requests = c.wide <> None }
+      trace_requests = c.wide <> None;
+      unique_specs }
   in
   let* report = Qp_serve.Loadgen.run cfg in
   let doc = Obs.Json.to_string (Qp_serve.Loadgen.report_to_json report) in
@@ -919,9 +935,24 @@ let deadline_ms_t =
          ~doc:"Per-request deadline in milliseconds; expired requests are \
                rejected (or cancelled mid-solve) with deadline_exceeded.")
 
+let server_jobs_t =
+  Arg.(value & opt int Qp_serve.Server.default_config.Qp_serve.Server.jobs
+       & info [ "server-jobs" ] ~docv:"N"
+           ~doc:"Concurrent solves: 1 runs them inline on the event loop, N > \
+                 1 dispatches onto N dedicated worker domains (responses stay \
+                 byte-identical and in per-connection order). Distinct from \
+                 --jobs, which parallelizes within one solve.")
+
+let cache_capacity_t =
+  Arg.(value
+       & opt int Qp_serve.Server.default_config.Qp_serve.Server.cache_capacity
+       & info [ "cache-capacity" ] ~docv:"N"
+           ~doc:"Placement-cache entries (LRU, keyed by canonical \
+                 spec+options); 0 disables caching.")
+
 let serve_term =
   Term.(const serve_cmd $ common_t $ port_t $ host_t $ queue_depth_t
-        $ deadline_ms_t)
+        $ deadline_ms_t $ server_jobs_t $ cache_capacity_t)
 
 let serve_cmd_info =
   Cmd.info "serve"
@@ -958,10 +989,18 @@ let chaos_drop_t =
          ~doc:"Fault injection: force-close each worker's connection before \
                every K-th request, exercising the reconnect path.")
 
+let unique_specs_t =
+  Arg.(value & flag
+       & info [ "unique-specs" ]
+           ~doc:"Give every request its own spec seed, defeating the server's \
+                 placement cache and single-flight dedup — measures raw solve \
+                 throughput.")
+
 let loadgen_term =
   Term.(const loadgen_cmd $ common_t $ host_t $ port_t $ connections_t
         $ duration_t $ mix_t $ deadline_ms_t $ pivot_budget_t $ algorithm_t
-        $ alpha_t $ timeout_ms_t $ retries_t $ chaos_drop_t $ out_t)
+        $ alpha_t $ timeout_ms_t $ retries_t $ chaos_drop_t $ unique_specs_t
+        $ out_t)
 
 let loadgen_cmd_info =
   Cmd.info "loadgen"

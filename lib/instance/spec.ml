@@ -22,6 +22,18 @@ let pp fmt t =
     "spec(topology=%s nodes=%d system=%s cap-slack=%g seed=%d jobs=%d)"
     t.topology t.nodes t.system t.cap_slack t.seed t.jobs
 
+(* Canonical identity of the instance a spec builds. Excludes [jobs]:
+   parallelism is a front-end resource knob that never changes the
+   (byte-identical) solve result, so two specs differing only in jobs
+   must collide — that is what lets the qp_serve placement cache hit
+   across clients with different jobs settings. [%.17g] round-trips
+   every float exactly. Topology/system strings are length-prefixed so
+   no crafted string can alias another spec's key. *)
+let canonical_key t =
+  Printf.sprintf "t%d:%s|n%d|s%d:%s|c%.17g|r%d"
+    (String.length t.topology) t.topology t.nodes
+    (String.length t.system) t.system t.cap_slack t.seed
+
 let topology_names =
   "path|cycle|star|complete|tree|waxman|geometric[:R]|barbell"
 

@@ -32,6 +32,14 @@ val default : t
 
 val pp : Format.formatter -> t -> unit
 
+val canonical_key : t -> string
+(** Injective encoding of the instance identity this spec denotes:
+    topology, nodes, system, cap_slack (exact float round-trip) and
+    seed — everything {!build} consumes. [jobs] is deliberately
+    excluded: it is a resource knob that never affects results, so
+    specs differing only in [jobs] share a key. This is the spec
+    component of the qp_serve placement-cache key. *)
+
 val build_topology :
   string -> int -> Qp_util.Rng.t -> (Qp_graph.Graph.t, Qp_util.Qp_error.t) result
 (** [build_topology name n rng]. ["geometric"] uses connection radius

@@ -5,20 +5,37 @@ type outcome =
   | Infeasible
   | Unbounded
 
-(* Cooperative cancellation for serving front ends: a process-wide
-   wall-clock deadline checked once per pivot (and once on entry).
-   Stored as an Atomic so pool worker domains running candidate LPs
-   observe a deadline installed by the dispatching domain. NaN means
-   "no deadline" — the hot path then costs one atomic load and a NaN
-   test per pivot, no clock read. *)
-let deadline = Atomic.make Float.nan
+(* Cooperative cancellation for serving front ends: a wall-clock
+   deadline checked once per pivot (and once on entry). Domain-local —
+   not process-wide — so concurrent solves dispatched onto different
+   pool domains each observe only their own deadline. A
+   [Qp_par.Pool] context hook snapshots the submitting domain's
+   deadline at submit time, so candidate LPs parallelized below a
+   guarded solve still inherit it. NaN means "no deadline" — the hot
+   path then costs one DLS load and a NaN test per pivot, no clock
+   read. *)
+let deadline_key : float Domain.DLS.key = Domain.DLS.new_key (fun () -> Float.nan)
 
 let set_deadline = function
-  | None -> Atomic.set deadline Float.nan
-  | Some t -> Atomic.set deadline t
+  | None -> Domain.DLS.set deadline_key Float.nan
+  | Some t -> Domain.DLS.set deadline_key t
+
+let get_deadline () =
+  let d = Domain.DLS.get deadline_key in
+  if Float.is_nan d then None else Some d
+
+let () =
+  Qp_par.Pool.register_context_hook (fun () ->
+      let d = Domain.DLS.get deadline_key in
+      fun thunk ->
+        let prev = Domain.DLS.get deadline_key in
+        Domain.DLS.set deadline_key d;
+        Fun.protect
+          ~finally:(fun () -> Domain.DLS.set deadline_key prev)
+          thunk)
 
 let check_deadline () =
-  let d = Atomic.get deadline in
+  let d = Domain.DLS.get deadline_key in
   if (not (Float.is_nan d)) && Obs.Core.now () > d then
     raise
       (Qp_util.Qp_error.Error

@@ -41,15 +41,21 @@ val solve_warm :
     metrics; crash pivots count into [qp_simplex_pivots_total]. *)
 
 val set_deadline : float option -> unit
-(** Install (or clear) a process-wide wall-clock deadline, in
+(** Install (or clear) a domain-local wall-clock deadline, in
     {!Qp_obs.Core.now} seconds. While a deadline is set, every solve
-    checks it on entry and once per pivot and raises
+    on this domain checks it on entry and once per pivot and raises
     [Qp_util.Qp_error.Error (Internal _)] as soon as the clock passes
     it — cooperative cancellation for serving front ends
-    ([qp_serve] request deadlines). The deadline is visible to pool
-    worker domains running candidate LPs. Callers must clear it
+    ([qp_serve] request deadlines). The deadline is domain-local so
+    concurrent pooled solves never cancel each other; a
+    {!Qp_par.Pool} context hook propagates the submitting domain's
+    deadline into worker domains, so candidate LPs parallelized below
+    a guarded solve still honor it. Callers must clear it
     ([set_deadline None]) when the guarded region ends; with no
-    deadline installed the per-pivot cost is one atomic load. *)
+    deadline installed the per-pivot cost is one domain-local load. *)
+
+val get_deadline : unit -> float option
+(** The deadline currently installed on this domain, if any. *)
 
 type certified = {
   x : float array;

@@ -31,6 +31,32 @@ let in_worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let in_worker () = Domain.DLS.get in_worker_key
 
+(* Context propagation: libraries register a capture hook; at submit
+   time every hook runs on the submitting domain to snapshot its
+   domain-local context, yielding a wrapper that re-installs the
+   snapshot around each element on whichever domain executes it (and
+   restores the previous value afterwards). Used by [Qp_lp.Simplex] to
+   carry the cooperative-cancellation deadline into worker domains. *)
+let context_hooks : (unit -> (unit -> unit) -> unit) list Atomic.t =
+  Atomic.make []
+
+let register_context_hook h =
+  let rec add () =
+    let cur = Atomic.get context_hooks in
+    if not (Atomic.compare_and_set context_hooks cur (h :: cur)) then add ()
+  in
+  add ()
+
+(* Snapshot all registered contexts now; returns a wrapper composing
+   them around a thunk. Identity when no hooks are registered. *)
+let capture_context () =
+  match Atomic.get context_hooks with
+  | [] -> fun thunk -> thunk ()
+  | hooks ->
+      let wrappers = List.rev_map (fun h -> h ()) hooks in
+      fun thunk ->
+        List.fold_left (fun acc w () -> w acc) thunk wrappers ()
+
 let run_task task =
   let was = Domain.DLS.get in_worker_key in
   Domain.DLS.set in_worker_key true;
@@ -125,6 +151,7 @@ let run_indexed pool ~chunk n (f : int -> 'a) : 'a array =
         run_element i
       done
     else begin
+      let in_context = capture_context () in
       Mutex.lock pool.m;
       if pool.stopping then begin
         Mutex.unlock pool.m;
@@ -136,9 +163,10 @@ let run_indexed pool ~chunk n (f : int -> 'a) : 'a array =
         let lo = c * chunk_size and hi = min n ((c + 1) * chunk_size) in
         Queue.push
           (fun () ->
-            for i = lo to hi - 1 do
-              run_element i
-            done;
+            in_context (fun () ->
+                for i = lo to hi - 1 do
+                  run_element i
+                done);
             Mutex.lock pool.m;
             decr remaining;
             if !remaining = 0 then Condition.broadcast done_cv;
@@ -185,6 +213,30 @@ let parallel_map ?chunk pool f arr =
 
 let parallel_iter ?chunk pool f arr =
   ignore (run_indexed pool ~chunk (Array.length arr) (fun i -> f arr.(i)))
+
+(* ------------------------------------------------------------------ *)
+(* Fire-and-forget submission                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Single-task submission with no join: the caller arranges its own
+   completion signalling (qp_serve uses a self-pipe back to its event
+   loop). Runs inline when the pool has no worker domains — the
+   submitter is then the only executor — or when already inside a pool
+   task (same no-deadlock rule as the batch entry points). Captured
+   context hooks apply on the queued path. *)
+let async pool task =
+  if pool.pool_jobs = 1 || in_worker () then run_task task
+  else begin
+    let in_context = capture_context () in
+    Mutex.lock pool.m;
+    if pool.stopping then begin
+      Mutex.unlock pool.m;
+      invalid_arg "Pool: submit on a shut-down pool"
+    end;
+    Queue.push (fun () -> in_context task) pool.queue;
+    Condition.signal pool.work_cv;
+    Mutex.unlock pool.m
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Process-default pool                                                *)

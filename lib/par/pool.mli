@@ -57,9 +57,28 @@ val parallel_map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 
 val parallel_iter : ?chunk:int -> t -> ('a -> unit) -> 'a array -> unit
 
+val async : t -> (unit -> unit) -> unit
+(** [async pool task] submits a single task with no join: the caller
+    arranges its own completion signalling. Runs inline on the caller
+    when the pool has no worker domains ([jobs = 1]) or when invoked
+    from inside a pool task; otherwise a worker domain picks it up.
+    The task must not raise (exceptions are swallowed by the worker
+    guard). Context hooks captured at submit time apply on the queued
+    path. @raise Invalid_argument on a shut-down pool. *)
+
 val in_worker : unit -> bool
 (** True while the current domain is executing a pool task (including
     the submitting domain when it helps drain the queue). *)
+
+val register_context_hook : (unit -> (unit -> unit) -> unit) -> unit
+(** [register_context_hook h] adds a domain-local context propagation
+    hook, applied to every queued task of every pool. At submit time
+    [h ()] runs on the submitting domain and returns a wrapper; the
+    wrapper runs around each queued task on the executing domain,
+    re-installing the captured context and restoring the previous
+    value afterwards. Hooks are process-global and cannot be
+    unregistered; registration is idempotent in effect only if the
+    hook itself is. *)
 
 (** {2 Process-default pool}
 

@@ -4,6 +4,8 @@ module Qp_error = Qp_util.Qp_error
 module Rng = Qp_util.Rng
 module Stats = Qp_util.Stats
 
+let ( let* ) = Qp_error.( let* )
+
 type config = {
   host : string;
   port : int;
@@ -17,6 +19,7 @@ type config = {
   retries : int;
   drop_every : int option;
   trace_requests : bool;
+  unique_specs : bool;
 }
 
 let default_config =
@@ -33,6 +36,7 @@ let default_config =
     retries = 3;
     drop_every = None;
     trace_requests = false;
+    unique_specs = false;
   }
 
 let mix_of_string s =
@@ -156,10 +160,23 @@ let worker cfg ~total_weight ~t_end ~idx ~sample ~sample_lock () =
             parent_span = None }
       else None
     in
+    (* [unique_specs] gives every request its own spec seed, so
+       neither the placement cache nor single-flight dedup can
+       coalesce the work — the run then measures raw solve
+       throughput. *)
+    let spec =
+      match cfg.spec with
+      | Some s when cfg.unique_specs ->
+          Some
+            { s with
+              Qp_instance.Spec.seed =
+                s.Qp_instance.Spec.seed + (idx * 100_000) + !n }
+      | other -> other
+    in
     let req =
       Protocol.request
         ~id:(Json.Int ((idx * 1_000_000) + !n))
-        ?spec:cfg.spec ~options:cfg.options ?trace verb
+        ?spec ~options:cfg.options ?trace verb
     in
     incr n;
     let ev =
@@ -358,3 +375,152 @@ let report_to_json r =
                    phases) ) ])
     @ [ ( "sample_outcome",
           match r.sample_outcome with Some j -> j | None -> Json.Null ) ])
+
+(* ------------------------------------------------------------------ *)
+(* Saturation sweep                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type sweep_config = {
+  base : config; (* per-cell settings; host/port/connections overridden *)
+  server_spec : Qp_instance.Spec.t;
+  server_jobs : int list;
+  connections_sweep : int list;
+  cache_capacity : int; (* 0 = cache off (pure solve-throughput scaling) *)
+  queue_depth : int;
+}
+
+type sweep_cell = {
+  sw_jobs : int;
+  sw_connections : int;
+  sw_report : report;
+  sw_cache : (string * int) list;
+      (* hits/misses/inflight_joins/evictions from the final health *)
+}
+
+(* One isolated server per cell: an in-process server thread on an
+   ephemeral port, the closed-loop generator against it, a final
+   health scrape for the cache counters, then shutdown + join — so
+   every cell starts cold and its counters are absolute. *)
+let run_cell sc ~jobs ~connections =
+  let port_slot = Atomic.make None in
+  let server_result = ref (Ok ()) in
+  let srv =
+    Thread.create
+      (fun () ->
+        server_result :=
+          Server.run
+            ~ready:(fun p -> Atomic.set port_slot (Some p))
+            { Server.default_config with
+              Server.host = "127.0.0.1";
+              port = 0;
+              queue_depth = sc.queue_depth;
+              default_spec = sc.server_spec;
+              jobs;
+              cache_capacity = sc.cache_capacity })
+      ()
+  in
+  let rec wait_port n =
+    match Atomic.get port_slot with
+    | Some p -> Ok p
+    | None when n > 0 ->
+        Unix.sleepf 0.005;
+        wait_port (n - 1)
+    | None -> Qp_error.invalid_instancef "sweep: server did not come up"
+  in
+  let finish () =
+    (match Atomic.get port_slot with
+    | Some port -> (
+        match Client.connect ~port () with
+        | Ok c ->
+            ignore (Client.call c (Protocol.request Protocol.Shutdown));
+            Client.close c
+        | Error _ -> ())
+    | None -> ());
+    Thread.join srv
+  in
+  match
+    let* port = wait_port 1000 in
+    let* report =
+      run { sc.base with host = "127.0.0.1"; port; connections }
+    in
+    let* health =
+      let* c = Client.connect ~port () in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let* resp = Client.call c (Protocol.request Protocol.Health) in
+      match resp.Protocol.payload with
+      | Ok h -> Ok h
+      | Error e ->
+          Qp_error.invalid_instancef "sweep: health failed (%s)"
+            (Protocol.serve_error_message e)
+    in
+    let cache =
+      match Json.member "solve_cache" health with
+      | Some c ->
+          List.filter_map
+            (fun k ->
+              Option.bind (Json.member k c) Json.to_int
+              |> Option.map (fun v -> (k, v)))
+            [ "hits"; "misses"; "inflight_joins"; "evictions"; "entries" ]
+      | None -> []
+    in
+    Ok { sw_jobs = jobs; sw_connections = connections; sw_report = report;
+         sw_cache = cache }
+  with
+  | result ->
+      finish ();
+      result
+  | exception e ->
+      finish ();
+      raise e
+
+let sweep sc =
+  if sc.server_jobs = [] || sc.connections_sweep = [] then
+    Qp_error.invalid_instancef "sweep: server_jobs and connections must be non-empty"
+  else
+    List.fold_left
+      (fun acc jobs ->
+        let* acc = acc in
+        let* cells =
+          List.fold_left
+            (fun acc connections ->
+              let* acc = acc in
+              let* cell = run_cell sc ~jobs ~connections in
+              Ok (cell :: acc))
+            (Ok []) sc.connections_sweep
+        in
+        Ok (acc @ List.rev cells))
+      (Ok []) sc.server_jobs
+
+let cell_to_json c =
+  let lat p =
+    if Array.length c.sw_report.latencies_ms = 0 then Json.Null
+    else Json.Float (Stats.percentile c.sw_report.latencies_ms p)
+  in
+  let lookups =
+    List.fold_left
+      (fun a k ->
+        a + Option.value ~default:0 (List.assoc_opt k c.sw_cache))
+      0
+      [ "hits"; "misses"; "inflight_joins" ]
+  in
+  let hits = Option.value ~default:0 (List.assoc_opt "hits" c.sw_cache) in
+  Json.Obj
+    [ ("server_jobs", Json.Int c.sw_jobs);
+      ("connections", Json.Int c.sw_connections);
+      ("throughput_rps", Json.Float c.sw_report.throughput_rps);
+      ("completed", Json.Int c.sw_report.completed);
+      ("ok", Json.Int c.sw_report.ok);
+      ("rejected", Json.Int c.sw_report.rejected);
+      ("p50_ms", lat 50.);
+      ("p99_ms", lat 99.);
+      ( "cache",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) c.sw_cache) );
+      ( "cache_hit_rate",
+        if lookups = 0 then Json.Null
+        else Json.Float (float_of_int hits /. float_of_int lookups) ) ]
+
+let sweep_to_json cells =
+  Json.Obj
+    [ ("schema", Json.String "qp-saturation/1");
+      ("version", Json.String Obs.Build_info.version);
+      ("cells", Json.List (List.map cell_to_json cells)) ]

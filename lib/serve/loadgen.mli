@@ -34,12 +34,17 @@ type config = {
       (* attach a deterministic per-request trace context (seed- and
          worker-derived ids), emit a client-side wide event per call,
          and collect the server's phase-timing echo into the report *)
+  unique_specs : bool;
+      (* give every request its own spec seed (requires [spec]), so
+         neither the placement cache nor single-flight dedup can
+         coalesce the work — measures raw solve throughput *)
 }
 
 val default_config : config
 (** 1 connection, 2 s, mix [solve=8 info=1 health=1], default options,
     seed 1, port {!Server.default_config}[.port], no timeout,
-    3 retries, no connection-drop chaos, no trace propagation. *)
+    3 retries, no connection-drop chaos, no trace propagation, shared
+    specs. *)
 
 val mix_of_string : string -> ((Protocol.verb * float) list, Qp_error.t) result
 (** Parse ["solve=8,info=1,health=1"]. Weights must be positive;
@@ -74,3 +79,38 @@ val report_to_json : report -> Json.t
     [phases] object (per-phase count/mean/p50/p95/p99) is present only
     when the run collected server timing, so default-flag reports keep
     their pre-trace shape. *)
+
+(** {2 Saturation sweep}
+
+    Throughput vs connections at each server-jobs count, each cell
+    against a fresh in-process {!Server} on an ephemeral port — cold
+    cache, absolute counters. With [cache_capacity = 0] and
+    [base.unique_specs = true] the sweep measures raw solve-throughput
+    scaling; with the cache on and shared specs it measures the hit
+    path. *)
+
+type sweep_config = {
+  base : config; (* per-cell settings; host/port/connections overridden *)
+  server_spec : Qp_instance.Spec.t;
+  server_jobs : int list;
+  connections_sweep : int list;
+  cache_capacity : int; (* 0 = cache off *)
+  queue_depth : int;
+}
+
+type sweep_cell = {
+  sw_jobs : int;
+  sw_connections : int;
+  sw_report : report;
+  sw_cache : (string * int) list;
+      (* hits/misses/inflight_joins/evictions/entries from the final
+         health scrape *)
+}
+
+val sweep : sweep_config -> (sweep_cell list, Qp_error.t) result
+(** Cells in sweep order: for each jobs value, each connection count.
+    [Error _] when a cell's server cannot start or its run fails. *)
+
+val sweep_to_json : sweep_cell list -> Json.t
+(** [qp-saturation/1] document: one record per cell with throughput,
+    latency percentiles, cache counters and hit rate. *)

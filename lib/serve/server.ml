@@ -1,6 +1,7 @@
 module Obs = Qp_obs
 module Json = Qp_obs.Json
 module Qp_error = Qp_util.Qp_error
+module Lru = Qp_util.Lru
 module Spec = Qp_instance.Spec
 module Live = Qp_instance.Live
 module Solver = Qp_place.Solver
@@ -18,6 +19,11 @@ type config = {
   max_frame : int;
   max_connections : int;
   default_spec : Spec.t;
+  jobs : int;
+      (* concurrent solves: 1 = solves run inline on the event loop
+         (the fully sequential path); N > 1 = N dedicated worker
+         domains, the loop stays I/O-only *)
+  cache_capacity : int; (* placement-cache entries; 0 disables it *)
 }
 
 let default_config =
@@ -29,13 +35,27 @@ let default_config =
     max_frame = Frame.default_max_len;
     max_connections = 1024;
     default_spec = Spec.default;
+    jobs = 1;
+    cache_capacity = 256;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Connections and per-server state                                    *)
 (* ------------------------------------------------------------------ *)
 
-type conn = { fd : Unix.file_descr; dec : Frame.Decoder.t; mutable alive : bool }
+(* A finished response parked until every earlier response on the same
+   connection has been written; the wide event is finished when the
+   bytes go out so its [write] phase is the real write. *)
+type slot = { body : string; ev : Obs.Wide.t; outcome : string }
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Frame.Decoder.t;
+  mutable alive : bool;
+  mutable next_seq : int; (* next response slot to allocate *)
+  mutable next_write : int; (* lowest slot not yet written *)
+  slots : (int, slot) Hashtbl.t;
+}
 
 type pending = {
   conn : conn;
@@ -43,6 +63,42 @@ type pending = {
   arrival : float;
   parse_s : float; (* time spent decoding this request's JSON *)
   q_at_admit : int; (* queue depth the request saw on admission *)
+}
+
+(* One admitted request after dispatch: everything [deliver] needs to
+   assemble its response, including its ordered slot and its wide
+   event (started at dispatch, finished when the response is
+   written). *)
+type member = {
+  m_conn : conn;
+  seq : int;
+  m_req : Protocol.request;
+  m_arrival : float;
+  m_parse_s : float;
+  t_dispatch : float;
+  deadline : float;
+  ev : Obs.Wide.t;
+}
+
+(* A single-flight solve: one pool task per distinct cache key, with
+   every identical concurrent request joined as a member. [gen] pins
+   the live-instance generation the problem was captured at (None for
+   full-spec solves); [solve] is reusable so a follower can be
+   promoted to a fresh attempt when the leader's deadline fires. *)
+type flight = {
+  key : string;
+  mutable members : member list; (* leader first, joiners in order *)
+  gen : int option;
+  solve : unit -> (Qp_place.Outcome.t, Qp_error.t) result;
+}
+
+(* What a solve task sends back to the event loop: the payload plus
+   the scoped metrics registry its telemetry landed on (merged into
+   the default registry on the loop thread, never concurrently). *)
+type completion = {
+  c_key : string;
+  c_payload : (Json.t, Protocol.serve_error) result;
+  c_reg : Obs.Metrics.t option;
 }
 
 type state = {
@@ -55,11 +111,25 @@ type state = {
   started : float;
   live : Live.t option;
       (* the evolving default instance; spec-less solves hit it *)
-  solve_cache : (string, Json.t) Hashtbl.t;
-      (* live-instance solve results keyed by options; cleared on every
-         applied update, so a hit is always coherent with the current
-         generation (single-threaded loop: no window between the apply
-         and the clear) *)
+  cache : (string, Json.t) Lru.t;
+      (* placement cache over canonical (spec|generation, options)
+         keys. Live-route entries embed the generation, so an applied
+         update makes them unreachable without clearing — full-spec
+         entries pin their own instance and survive updates. *)
+  flights : (string, flight) Hashtbl.t; (* single-flight table *)
+  mutable inflight_n : int; (* solve tasks submitted, not yet completed *)
+  pool : Qp_par.Pool.t option; (* None when cfg.jobs = 1: solves inline *)
+  comp_m : Mutex.t;
+  completions : completion Queue.t;
+  wake_r : Unix.file_descr; (* self-pipe: workers wake the select *)
+  wake_w : Unix.file_descr;
+  loop_domain : Domain.id;
+  (* health-verb cache counters, tracked as plain ints so they stay
+     readable without scraping labeled series *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_joins : int;
+  mutable evictions_reported : int;
   slo : Obs.Slo.t;
       (* every answered request feeds this; the [health] verb reports
          its windows and burn rates *)
@@ -102,13 +172,26 @@ let updates_c () =
   Obs.Metrics.counter ~help:"Instance deltas applied to the live instance"
     (reg ()) "qp_serve_updates_total"
 
-let cache_c result =
-  Obs.Metrics.counter ~help:"Live-instance solve cache lookups, by result"
-    ~labels:[ ("result", result) ] (reg ()) "qp_serve_solve_cache_total"
+(* The generation label scopes hit rates to one cache epoch: an
+   applied update bumps it, so post-reconfiguration hit/miss series
+   start fresh and stay interpretable. Full-spec lookups (whose
+   entries survive updates) carry generation="spec". *)
+let cache_c ~generation result =
+  Obs.Metrics.counter ~help:"Placement cache lookups, by result"
+    ~labels:[ ("result", result); ("generation", generation) ]
+    (reg ()) "qp_serve_solve_cache_total"
+
+let cache_evictions_c () =
+  Obs.Metrics.counter ~help:"Placement cache entries evicted by capacity"
+    (reg ()) "qp_serve_solve_cache_evictions_total"
 
 let queue_depth_g () =
   Obs.Metrics.gauge ~help:"Admission queue depth at the last loop cycle"
     (reg ()) "qp_serve_queue_depth"
+
+let inflight_g () =
+  Obs.Metrics.gauge ~help:"Solve tasks dispatched to the pool, not yet done"
+    (reg ()) "qp_serve_inflight_solves"
 
 let queue_wait_h () =
   Obs.Metrics.histogram
@@ -124,13 +207,6 @@ let build_info_g () =
   Obs.Metrics.gauge ~help:"Build metadata; value is always 1"
     ~labels:[ ("version", Obs.Build_info.version) ]
     (reg ()) "qp_build_info"
-
-(* Same series the simplex increments on the dispatcher's registry;
-   sampling it around [handle_verb] attributes pivot work to one
-   request. *)
-let pivots_c () =
-  Obs.Metrics.counter ~help:"Simplex pivots across both phases" (reg ())
-    "qp_simplex_pivots_total"
 
 (* ------------------------------------------------------------------ *)
 (* Socket helpers                                                      *)
@@ -167,6 +243,36 @@ let close_conn conn =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Ordered response slots                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Responses on one connection go out in dispatch order even when
+   pooled solves complete out of order: each dispatched request takes
+   the next slot, and a finished response is written only once every
+   earlier slot has been. Admission-time rejections (overload, parse
+   errors) bypass the slots — they are written immediately, before
+   anything admitted in the same read cycle, exactly as the
+   single-threaded server did. *)
+let alloc_slot conn =
+  let s = conn.next_seq in
+  conn.next_seq <- s + 1;
+  s
+
+let flush_conn conn =
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt conn.slots conn.next_write with
+    | None -> continue := false
+    | Some s ->
+        Hashtbl.remove conn.slots conn.next_write;
+        conn.next_write <- conn.next_write + 1;
+        let t0 = Obs.Core.now () in
+        write_frame conn s.body;
+        Obs.Wide.phase s.ev "write" (Float.max (Obs.Core.now () -. t0) 0.);
+        Obs.Wide.finish ~outcome:s.outcome s.ev
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Verb handlers                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -199,26 +305,28 @@ let health_payload st =
       ("uptime_s", Json.Float (Obs.Core.now () -. st.started));
       ("queue_depth", Json.Int st.cfg.queue_depth);
       ("queue_len", Json.Int (Queue.length st.queue));
+      ("inflight_solves", Json.Int st.inflight_n);
       ( "solve_cache",
         Json.Obj
-          [ ( "hits",
-              Json.Int
-                (int_of_float (Obs.Metrics.counter_value (cache_c "hit"))) );
-            ( "misses",
-              Json.Int
-                (int_of_float (Obs.Metrics.counter_value (cache_c "miss"))) ) ]
-      );
+          [ ("hits", Json.Int st.cache_hits);
+            ("misses", Json.Int st.cache_misses);
+            ("inflight_joins", Json.Int st.cache_joins);
+            ("entries", Json.Int (Lru.length st.cache));
+            ("capacity", Json.Int st.cfg.cache_capacity);
+            ("evictions", Json.Int (Lru.evictions st.cache)) ] );
       ("slo", Obs.Slo.to_json st.slo);
       ( "generation",
         match st.live with
         | Some live -> Json.Int (Live.generation live)
         | None -> Json.Null );
+      ("server_jobs", Json.Int st.cfg.jobs);
       ("jobs", Json.Int (Qp_par.Pool.default_jobs ())) ]
 
 let metrics_payload st =
   (* Refresh the point-in-time series the scrape should carry. *)
   Obs.Metrics.set (uptime_g ()) (Obs.Core.now () -. st.started);
   Obs.Metrics.set (build_info_g ()) 1.;
+  Obs.Metrics.set (inflight_g ()) (float_of_int st.inflight_n);
   Json.Obj
     [ ("content_type", Json.String "text/plain; version=0.0.4");
       ("body", Json.String (Obs.Metrics.to_prometheus (reg ()))) ]
@@ -234,9 +342,12 @@ let start_drain st =
 
 let run_solve ~deadline solve =
   let result =
-    (* Cooperative cancellation: the pivot loops poll this deadline,
-       so a request cannot hold the dispatcher past its budget by more
-       than one pivot. Cleared even when the solver raises. *)
+    (* Cooperative cancellation: the pivot loops poll this
+       domain-local deadline, so a request cannot hold its domain past
+       its budget by more than one pivot. Cleared even when the solver
+       raises. Inside a pool worker this cancels only that worker's
+       solve; nested candidate-LP parallelism inherits it through the
+       pool context hook. *)
     Qp_lp.Simplex.set_deadline
       (if deadline < infinity then Some deadline else None);
     Fun.protect ~finally:(fun () -> Qp_lp.Simplex.set_deadline None) solve
@@ -251,43 +362,13 @@ let run_solve ~deadline solve =
            ("request deadline exceeded during solve: " ^ Qp_error.to_string e))
   | Error e -> Error (Protocol.Typed e)
 
-let cache_key (o : Protocol.options) =
+let opts_key (o : Protocol.options) =
+  (* deadline_ms is deliberately absent: it bounds solve time, never
+     the result, so requests differing only in deadline share a key. *)
   Printf.sprintf "%s|%.17g|%s" o.Protocol.algorithm o.Protocol.alpha
     (match o.Protocol.pivot_budget with
     | Some b -> string_of_int b
     | None -> "-")
-
-let solve_payload st (req : Protocol.request) ~deadline =
-  let opts = req.Protocol.options in
-  match (req.Protocol.spec, st.live) with
-  | None, Some live -> (
-      (* Spec-less solves run against the live instance; a cache hit
-         is valid because the cache is cleared under every applied
-         delta. Generation 0 is byte-identical to the spec route. *)
-      let key = cache_key opts in
-      match Hashtbl.find_opt st.solve_cache key with
-      | Some cached ->
-          Obs.Metrics.inc (cache_c "hit");
-          Ok cached
-      | None ->
-          Obs.Metrics.inc (cache_c "miss");
-          let params = Protocol.solver_params (Live.spec live) opts in
-          let payload =
-            run_solve ~deadline (fun () ->
-                let* solver = Solver.find opts.Protocol.algorithm in
-                solver.Solver.solve params (Live.problem live))
-          in
-          (match payload with
-          | Ok j -> Hashtbl.replace st.solve_cache key j
-          | Error _ -> ());
-          payload)
-  | _ ->
-      let spec = Option.value req.Protocol.spec ~default:st.cfg.default_spec in
-      run_solve ~deadline (fun () ->
-          let* solver = Solver.find opts.Protocol.algorithm in
-          let* problem = Spec.build spec in
-          let params = Protocol.solver_params spec opts in
-          solver.Solver.solve params problem)
 
 let update_payload st (req : Protocol.request) =
   match st.live with
@@ -305,10 +386,11 @@ let update_payload st (req : Protocol.request) =
       | Some ops -> (
           match Live.apply live ops with
           | Ok () ->
-              (* The swap is coherent: the apply was all-or-nothing and
-                 the cache clear happens before any later request is
-                 dispatched (single-threaded loop). *)
-              Hashtbl.reset st.solve_cache;
+              (* No cache clear: live-route entries are keyed by the
+                 generation they were solved at, so the bump alone
+                 makes them unreachable; full-spec entries pin their
+                 own instance and stay valid. Stale entries age out of
+                 the LRU under capacity pressure. *)
               Obs.Metrics.inc (updates_c ());
               Ok
                 (Json.Obj
@@ -316,21 +398,169 @@ let update_payload st (req : Protocol.request) =
                      ("applied_ops", Json.Int (Live.applied_ops live)) ])
           | Error e -> Error (Protocol.Typed e)))
 
-let handle_verb st (req : Protocol.request) ~deadline =
-  match req.Protocol.verb with
-  | Protocol.Solve -> solve_payload st req ~deadline
-  | Protocol.Update -> update_payload st req
-  | Protocol.Info ->
-      info_payload (Option.value req.Protocol.spec ~default:st.cfg.default_spec)
-  | Protocol.Metrics -> Ok (metrics_payload st)
-  | Protocol.Health -> Ok (health_payload st)
-  | Protocol.Shutdown ->
-      start_drain st;
-      Ok (Json.Obj [ ("draining", Json.Bool true) ])
+(* ------------------------------------------------------------------ *)
+(* Dispatch and delivery                                               *)
+(* ------------------------------------------------------------------ *)
 
-(* ------------------------------------------------------------------ *)
-(* Dispatch                                                            *)
-(* ------------------------------------------------------------------ *)
+let note_evictions st =
+  let total = Lru.evictions st.cache in
+  if total > st.evictions_reported then begin
+    Obs.Metrics.add (cache_evictions_c ())
+      (float_of_int (total - st.evictions_reported));
+    st.evictions_reported <- total
+  end
+
+(* Deliver one request's payload: record telemetry, assemble the
+   response (timing echo only on traced requests, so default responses
+   stay byte-identical), park it in the connection's ordered slot and
+   flush whatever prefix is ready. [sreg] is the scoped registry the
+   solve's telemetry landed on; merging here, on the loop thread,
+   keeps the default registry single-writer. *)
+let deliver st (m : member) (payload : (Json.t, Protocol.serve_error) result)
+    ~sreg =
+  (match sreg with
+  | Some r when Obs.Metrics.enabled (reg ()) -> Obs.Metrics.merge ~into:(reg ()) r
+  | _ -> ());
+  let verb = Protocol.verb_name m.m_req.Protocol.verb in
+  Obs.Span.with_ "request"
+    ~attrs:[ ("verb", Json.String verb); ("id", m.m_req.Protocol.id) ]
+  @@ fun () ->
+  let t_done = Obs.Core.now () in
+  let queue_s = Float.max (m.t_dispatch -. m.m_arrival) 0. in
+  let handle_s = Float.max (t_done -. m.t_dispatch) 0. in
+  Obs.Metrics.inc (requests_c verb);
+  let outcome =
+    match payload with
+    | Error e ->
+        let code = Protocol.serve_error_code e in
+        Obs.Metrics.inc (errors_c code);
+        Obs.Span.add_attr "error" (Json.String code);
+        code
+    | Ok _ -> "ok"
+  in
+  let latency = Float.max (t_done -. m.m_arrival) 0. in
+  Obs.Metrics.observe (latency_h ()) latency;
+  Obs.Metrics.observe (queue_wait_h ()) queue_s;
+  Obs.Slo.record st.slo ~ok:(Result.is_ok payload) ~latency_s:latency;
+  Obs.Span.add_attr "latency_s" (Json.Float latency);
+  let timing =
+    match m.m_req.Protocol.trace with
+    | None -> None
+    | Some _ ->
+        Some [ ("parse", m.m_parse_s); ("queue", queue_s); ("handle", handle_s) ]
+  in
+  let resp =
+    Protocol.response ?timing ~id:m.m_req.Protocol.id ~verb payload
+  in
+  let ev = m.ev in
+  Obs.Wide.phase ev "parse" m.m_parse_s;
+  Obs.Wide.phase ev "queue" queue_s;
+  Obs.Wide.phase ev "handle" handle_s;
+  (match sreg with
+  | Some r ->
+      Obs.Wide.set ev "pivots"
+        (Json.Int
+           (int_of_float
+              (Obs.Metrics.counter_value
+                 (Obs.Metrics.counter r "qp_simplex_pivots_total"))))
+  | None -> if Obs.Wide.sampled ev then Obs.Wide.set_int ev "pivots" 0);
+  let t0 = Obs.Core.now () in
+  let body = Json.to_string (Protocol.response_to_json resp) in
+  Obs.Wide.phase ev "serialize" (Float.max (Obs.Core.now () -. t0) 0.);
+  Hashtbl.replace m.m_conn.slots m.seq { body; ev; outcome };
+  flush_conn m.m_conn
+
+let push_completion st c =
+  Mutex.protect st.comp_m (fun () -> Queue.add c st.completions);
+  (* Wake the select only from worker domains; on the loop's own
+     domain the completion is drained in the same cycle. A full pipe
+     already guarantees a wakeup. *)
+  if Domain.self () <> st.loop_domain then
+    try ignore (Unix.write st.wake_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
+
+(* Submit one solve attempt for a flight: the task runs [run_solve]
+   under a fresh scoped metrics registry (never touching shared
+   registries off-loop) and reports back through the completion
+   queue. With no pool the task runs right here — the sequential
+   path — and the caller drains the completion immediately after. *)
+let submit st (fl : flight) ~deadline =
+  st.inflight_n <- st.inflight_n + 1;
+  let task () =
+    let enabled = Obs.Metrics.enabled (reg ()) in
+    let sreg = lazy (Obs.Metrics.create ~enabled ()) in
+    let payload =
+      Obs.Metrics.with_current_lazy sreg (fun () ->
+          run_solve ~deadline fl.solve)
+    in
+    push_completion st
+      {
+        c_key = fl.key;
+        c_payload = payload;
+        c_reg =
+          (if enabled && Lazy.is_val sreg then Some (Lazy.force sreg)
+           else None);
+      }
+  in
+  match st.pool with
+  | None -> task ()
+  | Some pool -> Qp_par.Pool.async pool task
+
+let count_cache st ~generation result =
+  Obs.Metrics.inc (cache_c ~generation result);
+  match result with
+  | "hit" -> st.cache_hits <- st.cache_hits + 1
+  | "miss" -> st.cache_misses <- st.cache_misses + 1
+  | _ -> st.cache_joins <- st.cache_joins + 1
+
+let dispatch_solve st (m : member) =
+  let opts = m.m_req.Protocol.options in
+  (* Capture the instance on the loop thread: live state may mutate
+     under a later update, but the problem value is immutable, so the
+     pool task solves a coherent snapshot. Full-spec builds run inside
+     the task — construction is deterministic and part of the solve
+     cost. *)
+  let key, generation, gen, solve =
+    match (m.m_req.Protocol.spec, st.live) with
+    | None, Some live ->
+        let g = Live.generation live in
+        let params = Protocol.solver_params (Live.spec live) opts in
+        let problem = Live.problem live in
+        ( Printf.sprintf "live:g%d|%s" g (opts_key opts),
+          string_of_int g,
+          Some g,
+          fun () ->
+            let* solver = Solver.find opts.Protocol.algorithm in
+            solver.Solver.solve params problem )
+    | _ ->
+        let spec =
+          Option.value m.m_req.Protocol.spec ~default:st.cfg.default_spec
+        in
+        let params = Protocol.solver_params spec opts in
+        ( "spec:" ^ Spec.canonical_key spec ^ "|" ^ opts_key opts,
+          "spec",
+          None,
+          fun () ->
+            let* solver = Solver.find opts.Protocol.algorithm in
+            let* problem = Spec.build spec in
+            solver.Solver.solve params problem )
+  in
+  match Lru.find st.cache key with
+  | Some cached ->
+      count_cache st ~generation "hit";
+      deliver st m (Ok cached) ~sreg:None
+  | None -> (
+      match Hashtbl.find_opt st.flights key with
+      | Some fl ->
+          (* Single-flight: an identical solve is already running;
+             join it instead of burning a second worker. *)
+          count_cache st ~generation "inflight";
+          fl.members <- fl.members @ [ m ]
+      | None ->
+          count_cache st ~generation "miss";
+          let fl = { key; members = [ m ]; gen; solve } in
+          Hashtbl.add st.flights key fl;
+          submit st fl ~deadline:m.deadline)
 
 let dispatch_one st (p : pending) =
   if p.conn.alive then begin
@@ -345,14 +575,11 @@ let dispatch_one st (p : pending) =
       | Some ms -> p.arrival +. (float_of_int ms /. 1000.)
       | None -> infinity
     in
-    Obs.Span.with_ "request"
-      ~attrs:[ ("verb", Json.String verb); ("id", p.req.Protocol.id) ]
-    @@ fun () ->
     let t_dispatch = Obs.Core.now () in
-    let queue_s = Float.max (t_dispatch -. p.arrival) 0. in
-    (* One wide event per request. The server adopts the client's
-       trace id when the request carries one, so both sides' records
-       join across processes; otherwise it mints its own. *)
+    (* One wide event per request, started at dispatch and finished
+       when its response bytes are written. The server adopts the
+       client's trace id when the request carries one, so both sides'
+       records join across processes; otherwise it mints its own. *)
     let ev =
       if Obs.Wide.active () then begin
         let trace_id, parent_span =
@@ -366,70 +593,114 @@ let dispatch_one st (p : pending) =
         Obs.Wide.set_str ev "verb" verb;
         (match p.req.Protocol.verb with
         | Protocol.Solve ->
-            Obs.Wide.set_str ev "alg"
-              p.req.Protocol.options.Protocol.algorithm
+            Obs.Wide.set_str ev "alg" p.req.Protocol.options.Protocol.algorithm
         | _ -> ());
         Obs.Wide.set_int ev "queue_depth_at_admission" p.q_at_admit;
         ev
       end
       else Obs.Wide.start ~kind:"serve_request" () (* inert *)
     in
-    let pivots0 =
-      if Obs.Wide.sampled ev then Obs.Metrics.counter_value (pivots_c ())
-      else 0.
+    let m =
+      {
+        m_conn = p.conn;
+        seq = alloc_slot p.conn;
+        m_req = p.req;
+        m_arrival = p.arrival;
+        m_parse_s = p.parse_s;
+        t_dispatch;
+        deadline;
+        ev;
+      }
     in
-    let payload =
-      if t_dispatch > deadline then
-        Error
-          (Protocol.Deadline_exceeded "request deadline expired in the queue")
-      else handle_verb st p.req ~deadline
+    if t_dispatch > deadline then
+      deliver st m
+        (Error (Protocol.Deadline_exceeded "request deadline expired in the queue"))
+        ~sreg:None
+    else
+      match p.req.Protocol.verb with
+      | Protocol.Solve -> dispatch_solve st m
+      | Protocol.Update -> deliver st m (update_payload st p.req) ~sreg:None
+      | Protocol.Info ->
+          deliver st m
+            (info_payload
+               (Option.value p.req.Protocol.spec ~default:st.cfg.default_spec))
+            ~sreg:None
+      | Protocol.Metrics -> deliver st m (Ok (metrics_payload st)) ~sreg:None
+      | Protocol.Health -> deliver st m (Ok (health_payload st)) ~sreg:None
+      | Protocol.Shutdown ->
+          start_drain st;
+          deliver st m (Ok (Json.Obj [ ("draining", Json.Bool true) ])) ~sreg:None
+  end
+
+(* One completed solve attempt. Deadline errors belong to the leader
+   alone — its budget, not the flight's — so a waiting follower is
+   promoted and the solve retried under the follower's own deadline.
+   Every other payload is a deterministic property of the request
+   (same key, same instance) and fans out to all members; successes
+   enter the cache unless the live instance moved on mid-flight. *)
+let process_completion st { c_key; c_payload; c_reg } =
+  st.inflight_n <- st.inflight_n - 1;
+  match Hashtbl.find_opt st.flights c_key with
+  | None -> ()
+  | Some fl -> (
+      match c_payload with
+      | Error (Protocol.Deadline_exceeded _) -> (
+          match fl.members with
+          | [] -> Hashtbl.remove st.flights c_key
+          | leader :: rest -> (
+              deliver st leader c_payload ~sreg:c_reg;
+              fl.members <- rest;
+              match rest with
+              | [] -> Hashtbl.remove st.flights c_key
+              | next :: _ -> submit st fl ~deadline:next.deadline))
+      | _ ->
+          Hashtbl.remove st.flights c_key;
+          (match c_payload with
+          | Ok j ->
+              let current =
+                match (fl.gen, st.live) with
+                | None, _ -> true
+                | Some g, Some live -> Live.generation live = g
+                | Some _, None -> false
+              in
+              if current then begin
+                Lru.put st.cache c_key j;
+                note_evictions st
+              end
+          | Error _ -> ());
+          List.iteri
+            (fun i m ->
+              deliver st m c_payload ~sreg:(if i = 0 then c_reg else None))
+            fl.members)
+
+let drain_completions st =
+  let batch =
+    Mutex.protect st.comp_m (fun () ->
+        let acc = ref [] in
+        while not (Queue.is_empty st.completions) do
+          acc := Queue.pop st.completions :: !acc
+        done;
+        List.rev !acc)
+  in
+  List.iter (process_completion st) batch
+
+(* Deliver whatever has completed, then feed the pool: requests leave
+   the admission queue in strict arrival order (so per-connection
+   response order is request order), stalling when every solve slot is
+   busy — admission control then backs up exactly as it did when
+   solves ran synchronously. *)
+let rec progress st =
+  drain_completions st;
+  if not (Queue.is_empty st.queue) then begin
+    let can_dispatch =
+      match (Queue.peek st.queue).req.Protocol.verb with
+      | Protocol.Solve -> st.inflight_n < max 1 st.cfg.jobs
+      | _ -> true
     in
-    let t_handled = Obs.Core.now () in
-    let handle_s = Float.max (t_handled -. t_dispatch) 0. in
-    Obs.Metrics.inc (requests_c verb);
-    let outcome =
-      match payload with
-      | Error e ->
-          let code = Protocol.serve_error_code e in
-          Obs.Metrics.inc (errors_c code);
-          Obs.Span.add_attr "error" (Json.String code);
-          code
-      | Ok _ -> "ok"
-    in
-    let latency = Float.max (t_handled -. p.arrival) 0. in
-    Obs.Metrics.observe (latency_h ()) latency;
-    Obs.Metrics.observe (queue_wait_h ()) queue_s;
-    Obs.Slo.record st.slo ~ok:(Result.is_ok payload) ~latency_s:latency;
-    Obs.Span.add_attr "latency_s" (Json.Float latency);
-    (* The timing echo rides only on traced requests, so untraced
-       responses stay byte-identical. Serialize/write phases happen
-       after the response is encoded; they exist only in the wide
-       event. *)
-    let timing =
-      match p.req.Protocol.trace with
-      | None -> None
-      | Some _ ->
-          Some
-            [ ("parse", p.parse_s); ("queue", queue_s); ("handle", handle_s) ]
-    in
-    let resp = Protocol.response ?timing ~id:p.req.Protocol.id ~verb payload in
-    if Obs.Wide.sampled ev then begin
-      let t0 = Obs.Core.now () in
-      let body = Json.to_string (Protocol.response_to_json resp) in
-      let t1 = Obs.Core.now () in
-      write_frame p.conn body;
-      let t2 = Obs.Core.now () in
-      Obs.Wide.phase ev "parse" p.parse_s;
-      Obs.Wide.phase ev "queue" queue_s;
-      Obs.Wide.phase ev "handle" handle_s;
-      Obs.Wide.phase ev "serialize" (Float.max (t1 -. t0) 0.);
-      Obs.Wide.phase ev "write" (Float.max (t2 -. t1) 0.);
-      Obs.Wide.set ev "pivots"
-        (Json.Int
-           (int_of_float (Obs.Metrics.counter_value (pivots_c ()) -. pivots0)));
-      Obs.Wide.finish ~outcome ev
+    if can_dispatch then begin
+      dispatch_one st (Queue.pop st.queue);
+      progress st
     end
-    else send_response p.conn resp
   end
 
 (* ------------------------------------------------------------------ *)
@@ -507,7 +778,8 @@ let accept_ready st =
           st.conns <-
             st.conns
             @ [ { fd; dec = Frame.Decoder.create ~max_len:st.cfg.max_frame ();
-                  alive = true } ]
+                  alive = true; next_seq = 0; next_write = 0;
+                  slots = Hashtbl.create 4 } ]
         end
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         continue := false
@@ -519,103 +791,153 @@ let accept_ready st =
 (* Event loop                                                          *)
 (* ------------------------------------------------------------------ *)
 
+let drain_wake st =
+  let b = Bytes.create 256 in
+  let continue = ref true in
+  while !continue do
+    match Unix.read st.wake_r b 0 (Bytes.length b) with
+    | n when n > 0 -> ()
+    | _ -> continue := false
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
 let finish st =
   Queue.clear st.queue;
   List.iter close_conn st.conns;
-  st.conns <- [];
-  if st.listen_open then begin
-    st.listen_open <- false;
-    try Unix.close st.listen_fd with Unix.Unix_error _ -> ()
-  end
+  st.conns <- []
+
+(* Drained when nothing is queued and no pooled solve is still
+   running: graceful drain answers every admitted request, including
+   solves already handed to worker domains. *)
+let drained st =
+  st.draining && Queue.is_empty st.queue && st.inflight_n = 0
+  && Hashtbl.length st.flights = 0
 
 let rec loop st =
   if Atomic.get sigterm_requested then begin
     Atomic.set sigterm_requested false;
     start_drain st
   end;
-  if st.draining && Queue.is_empty st.queue then finish st
+  if drained st then finish st
   else begin
     let read_fds =
       (if st.listen_open then [ st.listen_fd ] else [])
-      @ List.filter_map (fun c -> if c.alive then Some c.fd else None) st.conns
+      @ (st.wake_r
+        :: List.filter_map
+             (fun c -> if c.alive then Some c.fd else None)
+             st.conns)
     in
     let readable =
       match Unix.select read_fds [] [] 0.25 with
       | r, _, _ -> r
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
     in
+    if List.memq st.wake_r readable then drain_wake st;
     if st.listen_open && List.memq st.listen_fd readable then accept_ready st;
     List.iter
       (fun c -> if c.alive && List.memq c.fd readable then on_readable st c)
       st.conns;
     (* Serve everything admitted this cycle, in admission order. A
-       shutdown request flips [draining] mid-loop but the rest of the
-       queue is still answered — graceful drain. The gauge samples the
-       post-admission high-water mark, before the drain empties it. *)
+       shutdown request flips [draining] mid-cycle but the rest of the
+       queue (and every inflight solve) is still answered — graceful
+       drain. The gauge samples the post-admission high-water mark,
+       before dispatch empties it. *)
     Obs.Metrics.set (queue_depth_g ()) (float_of_int (Queue.length st.queue));
-    while not (Queue.is_empty st.queue) do
-      dispatch_one st (Queue.pop st.queue)
-    done;
+    progress st;
     st.conns <- List.filter (fun c -> c.alive) st.conns;
     Obs.Metrics.set (open_conns_g ()) (float_of_int (List.length st.conns));
     loop st
   end
 
 let run ?ready cfg =
-  match
-    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-    Unix.setsockopt fd Unix.SO_REUSEADDR true;
-    (try
-       Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port))
-     with e ->
-       (try Unix.close fd with Unix.Unix_error _ -> ());
-       raise e);
-    Unix.listen fd 128;
-    Unix.set_nonblock fd;
-    fd
-  with
-  | exception Unix.Unix_error (err, _, _) ->
-      Qp_error.invalid_instancef "serve: cannot bind %s:%d (%s)" cfg.host
-        cfg.port (Unix.error_message err)
-  | exception Failure msg ->
-      Qp_error.invalid_instancef "serve: cannot bind %s:%d (%s)" cfg.host
-        cfg.port msg
-  | listen_fd ->
-      Obs.Metrics.set_enabled (reg ()) true;
-      let st =
-        {
-          cfg;
-          listen_fd;
-          conns = [];
-          queue = Queue.create ();
-          draining = false;
-          listen_open = true;
-          started = Obs.Core.now ();
-          live =
-            (match Live.of_spec cfg.default_spec with
-            | Ok live -> Some live
-            | Error _ -> None);
-          solve_cache = Hashtbl.create 8;
-          slo = Obs.Slo.create ();
-        }
-      in
-      let port =
-        match Unix.getsockname listen_fd with
-        | Unix.ADDR_INET (_, p) -> p
-        | _ -> cfg.port
-      in
-      Atomic.set sigterm_requested false;
-      let old_term =
-        Sys.signal Sys.sigterm
-          (Sys.Signal_handle (fun _ -> Atomic.set sigterm_requested true))
-      in
-      let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
-      Fun.protect
-        ~finally:(fun () ->
-          finish st;
-          Sys.set_signal Sys.sigterm old_term;
-          Sys.set_signal Sys.sigpipe old_pipe)
-        (fun () ->
-          (match ready with Some f -> f port | None -> ());
-          loop st;
-          Ok ())
+  if cfg.jobs < 1 then
+    Qp_error.invalid_instancef "serve: jobs must be >= 1 (got %d)" cfg.jobs
+  else if cfg.cache_capacity < 0 then
+    Qp_error.invalid_instancef "serve: cache capacity must be >= 0 (got %d)"
+      cfg.cache_capacity
+  else
+    match
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      (try
+         Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port))
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      Unix.listen fd 128;
+      Unix.set_nonblock fd;
+      fd
+    with
+    | exception Unix.Unix_error (err, _, _) ->
+        Qp_error.invalid_instancef "serve: cannot bind %s:%d (%s)" cfg.host
+          cfg.port (Unix.error_message err)
+    | exception Failure msg ->
+        Qp_error.invalid_instancef "serve: cannot bind %s:%d (%s)" cfg.host
+          cfg.port msg
+    | listen_fd ->
+        Obs.Metrics.set_enabled (reg ()) true;
+        let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+        Unix.set_nonblock wake_r;
+        Unix.set_nonblock wake_w;
+        (* cfg.jobs solve workers need a pool of jobs + 1: the event
+           loop is the submitting "domain" but never helps drain. *)
+        let pool =
+          if cfg.jobs = 1 then None
+          else Some (Qp_par.Pool.create ~jobs:(cfg.jobs + 1))
+        in
+        let st =
+          {
+            cfg;
+            listen_fd;
+            conns = [];
+            queue = Queue.create ();
+            draining = false;
+            listen_open = true;
+            started = Obs.Core.now ();
+            live =
+              (match Live.of_spec cfg.default_spec with
+              | Ok live -> Some live
+              | Error _ -> None);
+            cache = Lru.create ~capacity:cfg.cache_capacity;
+            flights = Hashtbl.create 8;
+            inflight_n = 0;
+            pool;
+            comp_m = Mutex.create ();
+            completions = Queue.create ();
+            wake_r;
+            wake_w;
+            loop_domain = Domain.self ();
+            cache_hits = 0;
+            cache_misses = 0;
+            cache_joins = 0;
+            evictions_reported = 0;
+            slo = Obs.Slo.create ();
+          }
+        in
+        let port =
+          match Unix.getsockname listen_fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> cfg.port
+        in
+        Atomic.set sigterm_requested false;
+        let old_term =
+          Sys.signal Sys.sigterm
+            (Sys.Signal_handle (fun _ -> Atomic.set sigterm_requested true))
+        in
+        let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+        Fun.protect
+          ~finally:(fun () ->
+            finish st;
+            if st.listen_open then begin
+              st.listen_open <- false;
+              try Unix.close st.listen_fd with Unix.Unix_error _ -> ()
+            end;
+            Option.iter Qp_par.Pool.shutdown st.pool;
+            (try Unix.close st.wake_r with Unix.Unix_error _ -> ());
+            (try Unix.close st.wake_w with Unix.Unix_error _ -> ());
+            Sys.set_signal Sys.sigterm old_term;
+            Sys.set_signal Sys.sigpipe old_pipe)
+          (fun () ->
+            (match ready with Some f -> f port | None -> ());
+            loop st;
+            Ok ())

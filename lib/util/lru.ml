@@ -1,0 +1,102 @@
+(* Bounded LRU map: Hashtbl for O(1) lookup plus an intrusive
+   doubly-linked recency list (head = most recent). [capacity = 0]
+   disables storage entirely — every [put] is a no-op — which lets
+   callers keep one code path for "cache off". Not thread-safe; the
+   qp_serve cache confines all access to the event-loop thread. *)
+
+type ('k, 'v) node = {
+  nkey : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option; (* toward head / more recent *)
+  mutable next : ('k, 'v) node option; (* toward tail / less recent *)
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable evictions : int; (* capacity evictions only, not clear/remove *)
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+let evictions t = t.evictions
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let promote t n =
+  match t.head with
+  | Some h when h == n -> ()
+  | _ ->
+      unlink t n;
+      push_front t n
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some n ->
+      promote t n;
+      Some n.value
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl n.nkey;
+      t.evictions <- t.evictions + 1
+
+let put t k v =
+  if t.cap > 0 then
+    match Hashtbl.find_opt t.tbl k with
+    | Some n ->
+        n.value <- v;
+        promote t n
+    | None ->
+        if Hashtbl.length t.tbl >= t.cap then evict_lru t;
+        let n = { nkey = k; value = v; prev = None; next = None } in
+        Hashtbl.replace t.tbl k n;
+        push_front t n
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl k
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None
+
+let fold t ~init ~f =
+  (* Recency order, most recent first. *)
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (f acc n.nkey n.value) n.next
+  in
+  go init t.head

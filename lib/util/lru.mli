@@ -1,0 +1,45 @@
+(** Bounded least-recently-used map.
+
+    O(1) amortized [find]/[put] via a hash table plus an intrusive
+    recency list. A [find] or [put] of an existing key promotes it to
+    most-recently-used; inserting into a full map evicts the
+    least-recently-used entry first. [capacity = 0] disables storage:
+    every [put] is a no-op and every [find] misses, giving callers a
+    single code path for "cache off".
+
+    Not thread-safe — confine each instance to one thread. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** @raise Invalid_argument when [capacity < 0]. *)
+
+val capacity : ('k, 'v) t -> int
+
+val length : ('k, 'v) t -> int
+(** Current number of entries; always [<= capacity]. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup, promoting the entry to most-recently-used on a hit. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership test without promotion. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or overwrite, promoting to most-recently-used. Evicts the
+    least-recently-used entry when inserting a new key into a full
+    map. No-op when [capacity = 0]. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+(** Drop one entry. Does not count as an eviction. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every entry. Does not count as evictions — invalidation and
+    capacity pressure are distinct signals; see {!evictions}. *)
+
+val evictions : ('k, 'v) t -> int
+(** Total capacity evictions since [create] (monotone; unaffected by
+    {!remove}/{!clear}). *)
+
+val fold : ('k, 'v) t -> init:'a -> f:('a -> 'k -> 'v -> 'a) -> 'a
+(** Fold in recency order, most recent first. *)

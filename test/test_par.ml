@@ -116,6 +116,82 @@ let test_shutdown_semantics () =
     (Invalid_argument "Pool: submit on a shut-down pool") (fun () ->
       ignore (Pool.parallel_init pool 64 (fun i -> i)))
 
+(* ------------------------------------------------------------------ *)
+(* Fire-and-forget submission and context propagation                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_async_runs_tasks () =
+  with_pool 3 @@ fun pool ->
+  let n = 50 in
+  let hits = Atomic.make 0 in
+  let done_m = Mutex.create () and done_c = Condition.create () in
+  for _ = 1 to n do
+    Pool.async pool (fun () ->
+        if Atomic.fetch_and_add hits 1 = n - 1 then begin
+          Mutex.lock done_m;
+          Condition.signal done_c;
+          Mutex.unlock done_m
+        end)
+  done;
+  let deadline = Unix.gettimeofday () +. 10. in
+  Mutex.lock done_m;
+  while Atomic.get hits < n && Unix.gettimeofday () < deadline do
+    Mutex.unlock done_m;
+    Thread.delay 0.002;
+    Mutex.lock done_m
+  done;
+  Mutex.unlock done_m;
+  Alcotest.(check int) "every task ran exactly once" n (Atomic.get hits)
+
+let test_async_inline_on_single_job_pool () =
+  with_pool 1 @@ fun pool ->
+  (* jobs = 1 has no workers: async must degrade to a synchronous call
+     on the submitting thread, not deadlock *)
+  let ran = ref false in
+  Pool.async pool (fun () -> ran := true);
+  Alcotest.(check bool) "ran synchronously" true !ran
+
+let test_async_after_shutdown () =
+  let pool = Pool.create ~jobs:2 in
+  Pool.shutdown pool;
+  Alcotest.check_raises "async on a shut-down pool"
+    (Invalid_argument "Pool: submit on a shut-down pool") (fun () ->
+      Pool.async pool (fun () -> ()))
+
+let test_simplex_deadline_context_propagates () =
+  (* The simplex deadline is domain-local state; its registered context
+     hook must carry the submitting thread's deadline onto the worker
+     domain that executes the task — and restore the worker's own state
+     afterwards. *)
+  let module Simplex = Qp_lp.Simplex in
+  with_pool 2 @@ fun pool ->
+  Fun.protect ~finally:(fun () -> Simplex.set_deadline None) @@ fun () ->
+  Simplex.set_deadline (Some 123.5);
+  let observed = Atomic.make [] in
+  let record d = Atomic.set observed (d :: Atomic.get observed) in
+  let done_f = Atomic.make 0 in
+  Pool.async pool (fun () ->
+      record (Simplex.get_deadline ());
+      ignore (Atomic.fetch_and_add done_f 1));
+  let deadline = Unix.gettimeofday () +. 10. in
+  while Atomic.get done_f < 1 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.002
+  done;
+  Alcotest.(check bool) "worker saw the submitter's deadline" true
+    (Atomic.get observed = [ Some 123.5 ]);
+  (* after clearing, a new task must NOT inherit the stale value *)
+  Simplex.set_deadline None;
+  Atomic.set observed [];
+  Pool.async pool (fun () ->
+      record (Simplex.get_deadline ());
+      ignore (Atomic.fetch_and_add done_f 1));
+  let deadline = Unix.gettimeofday () +. 10. in
+  while Atomic.get done_f < 2 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.002
+  done;
+  Alcotest.(check bool) "cleared deadline does not leak to workers" true
+    (Atomic.get observed = [ None ])
+
 let test_default_pool () =
   Alcotest.(check int) "default is sequential" 1 (Pool.default_jobs ());
   Pool.set_default_jobs 3;
@@ -293,6 +369,12 @@ let suites =
         Alcotest.test_case "nested calls run inline" `Quick test_nested_calls_fall_back;
         Alcotest.test_case "shutdown semantics" `Quick test_shutdown_semantics;
         Alcotest.test_case "process-default pool" `Quick test_default_pool;
+        Alcotest.test_case "async runs every task" `Quick test_async_runs_tasks;
+        Alcotest.test_case "async inline at jobs=1" `Quick
+          test_async_inline_on_single_job_pool;
+        Alcotest.test_case "async after shutdown" `Quick test_async_after_shutdown;
+        Alcotest.test_case "deadline context propagates" `Quick
+          test_simplex_deadline_context_propagates;
       ] );
     ( "par.telemetry",
       [

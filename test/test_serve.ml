@@ -904,6 +904,216 @@ let test_health_and_metrics_observability () =
     (has ("qp_build_info{version=\"" ^ Obs.Build_info.version ^ "\"} 1"));
   checkb "queue-wait histogram" true (has "qp_serve_queue_wait_seconds")
 
+(* ------------------------------------------------------------------ *)
+(* Pooled dispatch and the placement cache                              *)
+(* ------------------------------------------------------------------ *)
+
+let connect_raw port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  fd
+
+let send_frame fd payload =
+  let b = Frame.encode payload in
+  checki "frame written in one call" (Bytes.length b)
+    (Unix.write fd b 0 (Bytes.length b))
+
+let read_raw fd =
+  match Frame.read fd with
+  | Some p -> p
+  | None -> Alcotest.fail "unexpected EOF"
+
+let solve_req_spec id seed =
+  Json.to_string
+    (Protocol.request_to_json
+       (Protocol.request ~id:(Json.Int id)
+          ~spec:{ test_spec with Spec.seed }
+          Protocol.Solve))
+
+(* Health-reported cache counters, read over a fresh connection (the
+   health verb itself never touches the solve cache). *)
+let cache_counters port =
+  let c = get_ok "counters connect" (Client.connect ~port ()) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let h = call_ok "counters health" c (Protocol.request Protocol.Health) in
+  match Json.member "solve_cache" h with
+  | Some cache ->
+      fun k ->
+        (match Option.bind (Json.member k cache) Json.to_int with
+        | Some n -> n
+        | None -> Alcotest.failf "solve_cache missing %s" k)
+  | None -> Alcotest.fail "health must report the solve cache"
+
+let string_contains hay sub =
+  let n = String.length sub in
+  let rec find i =
+    i + n <= String.length hay && (String.sub hay i n = sub || find (i + 1))
+  in
+  find 0
+
+let test_cache_hit_serves_identical_bytes () =
+  with_server @@ fun port ->
+  let fd = connect_raw port in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* sequential identical solves: the first misses and fills the
+     cache, the second is answered from it — same bytes on the wire *)
+  let req = solve_req 1 in
+  send_frame fd req;
+  let fresh = read_raw fd in
+  send_frame fd req;
+  let cached = read_raw fd in
+  checks "cache hit = fresh bytes" fresh cached;
+  let g = cache_counters port in
+  checki "one miss" 1 (g "misses");
+  checki "one hit" 1 (g "hits");
+  checki "one entry" 1 (g "entries")
+
+let test_single_flight_dedup () =
+  with_server ~tweak:(fun c -> { c with Server.jobs = 4 }) @@ fun port ->
+  (* two identical solves land in the server's read buffer together;
+     dispatch sends the first to a worker and the second must join its
+     flight rather than solve again *)
+  let fd = burst port [ solve_req 1; solve_req 2 ] in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let resps = read_responses fd 2 in
+  (match
+     List.map (fun r -> (r.Protocol.id, Result.is_ok r.Protocol.payload)) resps
+   with
+  | [ (Json.Int 1, true); (Json.Int 2, true) ] -> ()
+  | _ -> Alcotest.fail "both pipelined solves must succeed, in order");
+  let payload r =
+    match r.Protocol.payload with
+    | Ok j -> Json.to_string j
+    | Error _ -> Alcotest.fail "expected ok payload"
+  in
+  checks "identical payloads" (payload (List.nth resps 0))
+    (payload (List.nth resps 1));
+  let g = cache_counters port in
+  checki "one solve ran" 1 (g "misses");
+  checki "the second was absorbed" 1 (g "hits" + g "inflight_joins")
+
+let test_cache_eviction_bound () =
+  with_server ~tweak:(fun c -> { c with Server.cache_capacity = 2 })
+  @@ fun port ->
+  let c = get_ok "connect" (Client.connect ~port ()) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let solve_seed seed =
+    ignore
+      (call_ok
+         (Printf.sprintf "solve seed %d" seed)
+         c
+         (Protocol.request ~spec:{ test_spec with Spec.seed } Protocol.Solve))
+  in
+  List.iter solve_seed [ 11; 12; 13 ];
+  let g = cache_counters port in
+  checki "three distinct misses" 3 (g "misses");
+  checki "entries bounded by capacity" 2 (g "entries");
+  checki "one capacity eviction" 1 (g "evictions");
+  (* the evicted (least-recently-used) key must miss again *)
+  solve_seed 11;
+  let g = cache_counters port in
+  checki "evicted key re-misses" 4 (g "misses");
+  checki "still bounded" 2 (g "entries");
+  (* the eviction counter is exported as a monotone Prometheus series *)
+  let m = call_ok "metrics" c (Protocol.request Protocol.Metrics) in
+  let body = member_string "metrics" m "body" in
+  checkb "evictions series exported" true
+    (string_contains body "qp_serve_solve_cache_evictions_total")
+
+let test_pooled_deadline_cancellation () =
+  with_server ~tweak:(fun c -> { c with Server.jobs = 4 }) @@ fun port ->
+  (* A carries a 1 ms budget the default-instance solve cannot meet —
+     it must come back deadline_exceeded (cancelled mid-solve on its
+     worker, or at dispatch if the queue already ate the budget). B
+     runs concurrently with no deadline on another worker and must be
+     untouched: the deadline is domain-local, not process-global. *)
+  let fd_a = connect_raw port and fd_b = connect_raw port in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ fd_a; fd_b ])
+  @@ fun () ->
+  let req_a =
+    Json.to_string
+      (Protocol.request_to_json
+         (Protocol.request ~id:(Json.Int 1)
+            ~options:
+              { Protocol.default_options with Protocol.deadline_ms = Some 1 }
+            Protocol.Solve))
+  in
+  send_frame fd_a req_a;
+  send_frame fd_b (solve_req_spec 2 77);
+  (match (List.hd (read_responses fd_b 1)).Protocol.payload with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "concurrent no-deadline solve was cancelled: %s"
+        (Protocol.serve_error_message e));
+  (match (List.hd (read_responses fd_a 1)).Protocol.payload with
+  | Error (Protocol.Deadline_exceeded _) -> ()
+  | Ok _ -> Alcotest.fail "a 1 ms budget must cancel the solve"
+  | Error e ->
+      Alcotest.failf "wrong error: %s" (Protocol.serve_error_code e));
+  (* the worker that cancelled is reusable: a fresh solve succeeds *)
+  send_frame fd_a (solve_req 3);
+  match (List.hd (read_responses fd_a 1)).Protocol.payload with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "server unhealthy after cancellation: %s"
+        (Protocol.serve_error_message e)
+
+let test_drain_with_inflight_pooled_solves () =
+  with_server ~tweak:(fun c -> { c with Server.jobs = 4 }) @@ fun port ->
+  (* three distinct-spec solves go inflight on worker domains, then a
+     shutdown lands behind them: the drain must wait for every pooled
+     solve and the responses must still arrive in request order *)
+  let shutdown_req =
+    Json.to_string
+      (Protocol.request_to_json
+         (Protocol.request ~id:(Json.Int 4) Protocol.Shutdown))
+  in
+  let fd =
+    burst port
+      [ solve_req_spec 1 31; solve_req_spec 2 32; solve_req_spec 3 33;
+        shutdown_req ]
+  in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let resps = read_responses fd 4 in
+  (match
+     List.map (fun r -> (r.Protocol.id, Result.is_ok r.Protocol.payload)) resps
+   with
+  | [ (Json.Int 1, true); (Json.Int 2, true); (Json.Int 3, true);
+      (Json.Int 4, true) ] ->
+      ()
+  | _ ->
+      Alcotest.fail
+        "drain must answer every inflight pooled solve, in request order");
+  match Frame.read fd with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected EOF after drain"
+
+let test_served_bytes_identical_across_jobs () =
+  let serve_twice jobs =
+    with_server ~tweak:(fun c -> { c with Server.jobs }) @@ fun port ->
+    let fd = connect_raw port in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    send_frame fd (solve_req 1);
+    let fresh = read_raw fd in
+    send_frame fd (solve_req 1);
+    let cached = read_raw fd in
+    (fresh, cached)
+  in
+  let f1, c1 = serve_twice 1 in
+  let f4, c4 = serve_twice 4 in
+  checks "cache hit = fresh (jobs=1)" f1 c1;
+  checks "cache hit = fresh (jobs=4)" f4 c4;
+  checks "jobs=4 = jobs=1 on the wire" f1 f4
+
 let test_loadgen_trace_requests () =
   with_wide_sink @@ fun read ->
   with_server @@ fun port ->
@@ -985,6 +1195,17 @@ let suites =
           test_trace_propagation_end_to_end;
         Alcotest.test_case "health/metrics observability" `Quick
           test_health_and_metrics_observability ] );
+    ( "serve.pool_cache",
+      [ Alcotest.test_case "cache hit serves identical bytes" `Quick
+          test_cache_hit_serves_identical_bytes;
+        Alcotest.test_case "single-flight dedup" `Quick test_single_flight_dedup;
+        Alcotest.test_case "LRU eviction bound" `Quick test_cache_eviction_bound;
+        Alcotest.test_case "pooled deadline cancellation" `Quick
+          test_pooled_deadline_cancellation;
+        Alcotest.test_case "drain with inflight pooled solves" `Quick
+          test_drain_with_inflight_pooled_solves;
+        Alcotest.test_case "served bytes identical across jobs" `Quick
+          test_served_bytes_identical_across_jobs ] );
     ( "serve.loadgen",
       [ Alcotest.test_case "mix parser" `Quick test_mix_of_string;
         Alcotest.test_case "closed-loop run" `Quick test_loadgen_against_server;

@@ -260,6 +260,75 @@ let prop_online_merge_matches_single_stream =
       && Float.abs (Stats.online_mean merged -. Stats.online_mean single) < 1e-9
       && Float.abs (Stats.online_stddev merged -. Stats.online_stddev single) < 1e-9)
 
+(* ------------------------------------------------------------------ *)
+(* Lru                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_basics () =
+  let l = Lru.create ~capacity:3 in
+  Alcotest.(check int) "capacity" 3 (Lru.capacity l);
+  Alcotest.(check int) "empty" 0 (Lru.length l);
+  Lru.put l "a" 1;
+  Lru.put l "b" 2;
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find l "a");
+  Alcotest.(check (option int)) "miss" None (Lru.find l "zzz");
+  Lru.put l "a" 10;
+  Alcotest.(check (option int)) "overwrite" (Some 10) (Lru.find l "a");
+  Alcotest.(check int) "overwrite keeps length" 2 (Lru.length l);
+  Lru.remove l "a";
+  Alcotest.(check bool) "removed" false (Lru.mem l "a");
+  Alcotest.(check int) "remove is not an eviction" 0 (Lru.evictions l)
+
+let test_lru_eviction_order () =
+  let l = Lru.create ~capacity:2 in
+  Lru.put l "a" 1;
+  Lru.put l "b" 2;
+  (* touching [a] makes [b] the LRU, so the next insert evicts [b] *)
+  ignore (Lru.find l "a");
+  Lru.put l "c" 3;
+  Alcotest.(check bool) "a survives (promoted)" true (Lru.mem l "a");
+  Alcotest.(check bool) "b evicted" false (Lru.mem l "b");
+  Alcotest.(check bool) "c present" true (Lru.mem l "c");
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions l);
+  Alcotest.(check int) "bounded" 2 (Lru.length l);
+  (* fold is recency order, most recent first *)
+  Alcotest.(check (list string)) "recency order" [ "c"; "a" ]
+    (List.rev (Lru.fold l ~init:[] ~f:(fun acc k _ -> k :: acc)))
+
+let test_lru_bound_under_churn () =
+  let l = Lru.create ~capacity:4 in
+  for i = 1 to 100 do
+    Lru.put l (string_of_int i) i;
+    Alcotest.(check bool) "length <= capacity" true (Lru.length l <= 4)
+  done;
+  Alcotest.(check int) "evictions = inserts - capacity" 96 (Lru.evictions l);
+  (* the survivors are exactly the last four inserts *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) (Printf.sprintf "%d present" i) true
+        (Lru.mem l (string_of_int i)))
+    [ 97; 98; 99; 100 ]
+
+let test_lru_zero_capacity_and_clear () =
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Lru.create: negative capacity") (fun () ->
+      ignore (Lru.create ~capacity:(-1) : (int, int) Lru.t));
+  let off = Lru.create ~capacity:0 in
+  Lru.put off 1 1;
+  Alcotest.(check int) "capacity 0 stores nothing" 0 (Lru.length off);
+  Alcotest.(check (option int)) "capacity 0 always misses" None (Lru.find off 1);
+  Alcotest.(check int) "no-op put is not an eviction" 0 (Lru.evictions off);
+  let l = Lru.create ~capacity:2 in
+  Lru.put l 1 1;
+  Lru.put l 2 2;
+  Lru.put l 3 3;
+  Lru.clear l;
+  Alcotest.(check int) "cleared" 0 (Lru.length l);
+  Alcotest.(check int) "clear keeps the eviction count" 1 (Lru.evictions l);
+  (* reusable after clear *)
+  Lru.put l 9 9;
+  Alcotest.(check (option int)) "usable after clear" (Some 9) (Lru.find l 9)
+
 let prop_shuffle_preserves_multiset =
   QCheck.Test.make ~name:"shuffle preserves multiset" ~count:100
     QCheck.(pair small_int (array small_int))
@@ -315,6 +384,14 @@ let suites =
       ] );
     ( "util.floatx",
       [ Alcotest.test_case "comparisons" `Quick test_floatx ] );
+    ( "util.lru",
+      [
+        Alcotest.test_case "basics" `Quick test_lru_basics;
+        Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+        Alcotest.test_case "bound under churn" `Quick test_lru_bound_under_churn;
+        Alcotest.test_case "zero capacity and clear" `Quick
+          test_lru_zero_capacity_and_clear;
+      ] );
     ( "util.table",
       [
         Alcotest.test_case "render" `Quick test_table_render;
