@@ -39,6 +39,29 @@ open Qp_place
 let section title =
   Printf.printf "\n=== %s ===\n\n" title
 
+(* Structured result records (the qp-scaling/1 cells of E19) destined
+   for the experiment's entry in BENCH_results.json. Kept in a
+   domain-local list so concurrent experiments under --jobs N cannot
+   interleave; the bench driver drains them right after each
+   experiment returns, on the same domain that ran it. *)
+let records_key : Qp_obs.Json.t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let add_record r =
+  let rs = Domain.DLS.get records_key in
+  rs := r :: !rs
+
+let take_records () =
+  let rs = Domain.DLS.get records_key in
+  let out = List.rev !rs in
+  rs := [];
+  out
+
+(* Wall budget for the E19 scaling series. CI's scaling-smoke job runs
+   with a reduced budget via --scale-budget; the default is generous
+   enough to reach the 10x cell on any machine that can run the suite. *)
+let scale_budget = ref 60.
+
 (* ------------------------------------------------------------------ *)
 (* Shared instance builders                                            *)
 (* ------------------------------------------------------------------ *)
@@ -1351,6 +1374,175 @@ let e18 () =
      throughput moves."
 
 (* ------------------------------------------------------------------ *)
+(* E19 — Scaling the solve core: auto dispatch and the flat metrics    *)
+(* ------------------------------------------------------------------ *)
+
+let e19 () =
+  section
+    "E19  Solve-core scaling: exact tree dispatch and a size-doubling series";
+  let module Spec = Qp_instance.Spec in
+  let module Json = Qp_obs.Json in
+  let now = Qp_obs.Core.now in
+  let build spec =
+    match Spec.build spec with
+    | Ok p -> p
+    | Error e -> failwith (Qp_util.Qp_error.to_string e)
+  in
+  let tree_spec ~nodes ~system ~seed =
+    { Spec.default with Spec.topology = "tree"; nodes; system;
+      cap_slack = 1.5; seed }
+  in
+  (* Same spec-to-params mapping as the CLI and the server: topology
+     and system hints steer [auto] toward a specialist worth trying. *)
+  let params_of spec =
+    let topology_hint, system_hint = Spec.solver_hints spec in
+    { Solver.default_params with Solver.seed = spec.Spec.seed + 1;
+      topology_hint; system_hint }
+  in
+  let solve_with name spec p =
+    let s = Solver.find_exn name in
+    match s.Solver.solve (params_of spec) p with
+    | Ok o -> o
+    | Error e -> failwith (name ^ ": " ^ Qp_util.Qp_error.to_string e)
+  in
+  let time f =
+    let t0 = now () in
+    let r = f () in
+    (r, now () -. t0)
+  in
+  (* Part 1 - exactness: on a small tree instance the dispatcher must
+     pick the tree specialist and return the brute-force optimum. *)
+  let spec8 = tree_spec ~nodes:8 ~system:"grid:2" ~seed:191 in
+  let p8 = build spec8 in
+  let auto8 = solve_with "auto" spec8 p8 in
+  let exact8 = solve_with "exact" spec8 p8 in
+  let auto_picked_tree = auto8.Outcome.solver = "tree" in
+  let auto_is_exact =
+    Float.abs (auto8.Outcome.objective -. exact8.Outcome.objective) <= 1e-9
+  in
+  let tbl1 =
+    Table.create ~title:"auto dispatch vs exhaustive search (tree, n=8, grid:2)"
+      [ ("alg", Table.Left); ("dispatched", Table.Left);
+        ("objective", Table.Right); ("load viol", Table.Right) ]
+  in
+  Table.add_rowf tbl1 "auto|%s|%.6f|%.3f" auto8.Outcome.solver
+    auto8.Outcome.objective auto8.Outcome.load_violation;
+  Table.add_rowf tbl1 "exact|%s|%.6f|%.3f" exact8.Outcome.solver
+    exact8.Outcome.objective exact8.Outcome.load_violation;
+  Table.print tbl1;
+  (* Part 2 - head-to-head at equal n: the dispatched tree solver vs
+     the LP pipeline on the same instance. Best-of-3 for the fast side
+     (scheduler noise dominates millisecond runs); one LP run suffices,
+     it is the slow side by orders of magnitude. *)
+  let spec_h2h = tree_spec ~nodes:24 ~system:"grid:2" ~seed:192 in
+  let p_h2h = build spec_h2h in
+  let auto_h2h, auto_wall =
+    let best = ref infinity and last = ref None in
+    for _ = 1 to 3 do
+      let o, w = time (fun () -> solve_with "auto" spec_h2h p_h2h) in
+      if w < !best then best := w;
+      last := Some o
+    done;
+    (Option.get !last, !best)
+  in
+  let lp_h2h, lp_wall = time (fun () -> solve_with "lp" spec_h2h p_h2h) in
+  let speedup = lp_wall /. Float.max 1e-9 auto_wall in
+  let tbl2 =
+    Table.create ~title:"auto vs lp at equal size (tree, n=24, grid:2)"
+      [ ("alg", Table.Left); ("dispatched", Table.Left);
+        ("objective", Table.Right); ("wall s", Table.Right) ]
+  in
+  Table.add_rowf tbl2 "auto|%s|%.6f|%.4f" auto_h2h.Outcome.solver
+    auto_h2h.Outcome.objective auto_wall;
+  Table.add_rowf tbl2 "lp|%s|%.6f|%.4f" lp_h2h.Outcome.solver
+    lp_h2h.Outcome.objective lp_wall;
+  Table.print tbl2;
+  Printf.printf "\nhead-to-head speedup: %.1fx (auto best-of-3 vs one lp run)\n"
+    speedup;
+  (* Part 3 - scaling series: double n under a wall budget. The floor
+     of 480 (10x the largest default-suite instance, E18's n=48) always
+     runs; beyond it a cell is attempted only while its projected cost
+     (4x the previous cell - the work is quadratic in n) fits the
+     remaining budget. Each completed cell becomes a qp-scaling/1
+     record in BENCH_results.json. *)
+  let budget = !scale_budget in
+  let t_series = now () in
+  let tbl3 =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "scaling series on tree topology, grid:2 (budget %.0fs)" budget)
+      [ ("n", Table.Right); ("solver", Table.Left); ("build s", Table.Right);
+        ("solve s", Table.Right); ("objective", Table.Right);
+        ("rss MB", Table.Right) ]
+  in
+  let last_wall = ref 0. in
+  let completed = ref [] in
+  let skipped = ref [] in
+  List.iter
+    (fun n ->
+      let elapsed = now () -. t_series in
+      let projected = elapsed +. Float.max 0.05 (4. *. !last_wall) in
+      if n <= 480 || projected <= budget then begin
+        let spec = tree_spec ~nodes:n ~system:"grid:2" ~seed:(190 + n) in
+        let p, build_wall = time (fun () -> build spec) in
+        let o, solve_wall = time (fun () -> solve_with "auto" spec p) in
+        let rss_kb =
+          match Qp_obs.Core.max_rss_kb () with Some kb -> kb | None -> 0
+        in
+        last_wall := build_wall +. solve_wall;
+        completed := (n, o) :: !completed;
+        add_record
+          (Json.Obj
+             [ ("schema", Json.String "qp-scaling/1");
+               ("n", Json.Int n);
+               ("topology", Json.String "tree");
+               ("system", Json.String "grid:2");
+               ("solver", Json.String o.Outcome.solver);
+               ("build_s", Json.Float build_wall);
+               ("solve_s", Json.Float solve_wall);
+               ("objective", Json.Float o.Outcome.objective);
+               ("load_violation", Json.Float o.Outcome.load_violation);
+               ("max_rss_kb", Json.Int rss_kb) ]);
+        Table.add_rowf tbl3 "%d|%s|%.3f|%.3f|%.4f|%.0f" n o.Outcome.solver
+          build_wall solve_wall o.Outcome.objective
+          (float_of_int rss_kb /. 1024.)
+      end
+      else skipped := n :: !skipped)
+    [ 60; 120; 240; 480; 960; 1920; 3840 ];
+  Table.print tbl3;
+  (match List.rev !skipped with
+  | [] -> ()
+  | ns ->
+      Printf.printf "skipped over budget: %s\n"
+        (String.concat ", " (List.map string_of_int ns)));
+  let largest_n =
+    List.fold_left (fun acc (n, _) -> max acc n) 0 !completed
+  in
+  let cells_clean =
+    !completed <> []
+    && List.for_all
+         (fun (_, o) ->
+           Float.is_finite o.Outcome.objective
+           && o.Outcome.solver = "tree"
+           && o.Outcome.load_violation <= 1. +. 1e-9)
+         !completed
+  in
+  Printf.printf "largest completed cell: n=%d\n" largest_n;
+  (* Machine-checkable assertions for the CI scaling-smoke gate. *)
+  Printf.printf "e19-assert: auto_picked_tree=%b\n" auto_picked_tree;
+  Printf.printf "e19-assert: auto_is_exact=%b\n" auto_is_exact;
+  Printf.printf "e19-assert: auto_10x_faster=%b\n" (speedup >= 10.);
+  Printf.printf "e19-assert: scaling_reached_10x=%b\n" (largest_n >= 480);
+  Printf.printf "e19-assert: scaling_cells_clean=%b\n" cells_clean;
+  print_endline
+    "\nReading: on tree topologies the registry's auto entry routes the solve\n\
+     to the exact tree specialist - same optimum as exhaustive search, orders\n\
+     of magnitude faster than the LP pipeline at equal size - and the flat\n\
+     Bigarray metric lets the series double well past 10x the largest default\n\
+     experiment without touching the LP path."
+
+(* ------------------------------------------------------------------ *)
 
 (* Execution order of [all] — F1/F2 sit between E7 and E8 to match the
    historical report layout. *)
@@ -1358,7 +1550,7 @@ let registry =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("f1", f1); ("f2", f2); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("e16", e16); ("e17", e17); ("e18", e18) ]
+    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19) ]
 
 (* Small, fast subset exercised by the CI bench smoke job. E18 is
    excluded deliberately: its throughput numbers are nondeterministic

@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- --jobs N     # worker domains (0 = all cores)
      dune exec bench/main.exe -- --out FILE   # results file (default BENCH_results.json)
      dune exec bench/main.exe -- --wide-events FILE  # one wide event per experiment (JSONL)
+     dune exec bench/main.exe -- --scale-budget S    # E19 scaling-series wall budget (s)
 
    Every experiment run also writes a machine-readable summary: per
    experiment the wall-clock time plus every telemetry series (solver
@@ -40,13 +41,30 @@ let run_one ~buffer name =
   Obs.Wide.finish ev;
   let series =
     List.filter_map
-      (fun (k, v) -> if v <> 0. then Some (k, Obs.Json.Float v) else None)
+      (fun (k, v) ->
+        (* qp_apsp_cache_bytes tracks a process-wide cache: its value at
+           publish time depends on which experiments ran concurrently,
+           so like wall_s it cannot appear in byte-compared payloads. *)
+        if v <> 0. && k <> "qp_apsp_cache_bytes" then
+          Some (k, Obs.Json.Float v)
+        else None)
       (Obs.Metrics.scalar_series reg)
   in
+  (* Structured records (qp-scaling/1 cells) are drained here, on the
+     domain that ran the experiment; peak RSS is process-wide telemetry
+     (the kernel high-water mark), best-effort and absent off Linux.
+     Both are excluded — like wall_s — from cross-run byte comparisons. *)
+  let records = Experiments.take_records () in
   Obs.Json.Obj
-    [ ("experiment", Obs.Json.String name);
-      ("wall_s", Obs.Json.Float wall);
-      ("metrics", Obs.Json.Obj series) ]
+    ([ ("experiment", Obs.Json.String name);
+       ("wall_s", Obs.Json.Float wall) ]
+    @ (match Obs.Core.max_rss_kb () with
+      | Some kb -> [ ("max_rss_kb", Obs.Json.Int kb) ]
+      | None -> [])
+    @ [ ("metrics", Obs.Json.Obj series) ]
+    @ (match records with
+      | [] -> []
+      | rs -> [ ("records", Obs.Json.List rs) ]))
 
 let write_results path ~jobs results =
   let doc =
@@ -93,6 +111,13 @@ let () =
         | _ -> usage_fail "--jobs requires a non-negative integer");
         parse rest
     | "--jobs" :: [] -> usage_fail "--jobs requires an integer argument"
+    | "--scale-budget" :: s :: rest ->
+        (match float_of_string_opt s with
+        | Some b when b > 0. -> Experiments.scale_budget := b
+        | _ -> usage_fail "--scale-budget requires a positive number of seconds");
+        parse rest
+    | "--scale-budget" :: [] ->
+        usage_fail "--scale-budget requires a SECONDS argument"
     | "--smoke" :: rest ->
         add Experiments.smoke;
         parse rest

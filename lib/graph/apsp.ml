@@ -1,7 +1,25 @@
+type mat = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 let repeated_dijkstra ?pool g =
   let pool = match pool with Some p -> p | None -> Qp_par.Pool.default () in
   Qp_par.Pool.parallel_init pool (Graph.n_vertices g) (fun src ->
       Dijkstra.distances g src)
+
+let repeated_dijkstra_into ?pool g (d : mat) =
+  let pool = match pool with Some p -> p | None -> Qp_par.Pool.default () in
+  let n = Graph.n_vertices g in
+  if Bigarray.Array1.dim d <> n * n then
+    invalid_arg "Apsp.repeated_dijkstra_into: matrix dimension mismatch";
+  (* Each source writes only its own row, so concurrent workers touch
+     disjoint slices of the shared flat matrix. The per-row floats are
+     exactly the boxed path's: same sequential Dijkstra per source. *)
+  ignore
+    (Qp_par.Pool.parallel_init pool n (fun src ->
+         let row = Dijkstra.distances g src in
+         let off = src * n in
+         for j = 0 to n - 1 do
+           Bigarray.Array1.unsafe_set d (off + j) (Array.unsafe_get row j)
+         done))
 
 let floyd_warshall g =
   let n = Graph.n_vertices g in
@@ -25,3 +43,81 @@ let floyd_warshall g =
     done
   done;
   d
+
+(* ------------------------------------------------------------------ *)
+(* Blocked Floyd–Warshall on the flat layout                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The classic three-phase tiling: for each diagonal block K, (1) close
+   K against itself, (2) close K's block-row and block-column against
+   K, (3) close every remaining tile (I,J) against (I,K) and (K,J).
+   Within one phase the tiles only read tiles finished in an earlier
+   phase plus themselves, so the tiles of a phase can run on the domain
+   pool in any order — the result is bit-identical for any worker
+   count and identical to the untiled triple loop (same relaxation
+   arithmetic, same k-major order). *)
+
+let block = 64
+
+let fw_tile (d : mat) n ~k0 ~k1 ~i0 ~i1 ~j0 ~j1 =
+  for k = k0 to k1 - 1 do
+    let krow = k * n in
+    for i = i0 to i1 - 1 do
+      let irow = i * n in
+      let dik = Bigarray.Array1.unsafe_get d (irow + k) in
+      if dik < infinity then
+        for j = j0 to j1 - 1 do
+          let via = dik +. Bigarray.Array1.unsafe_get d (krow + j) in
+          if via < Bigarray.Array1.unsafe_get d (irow + j) then
+            Bigarray.Array1.unsafe_set d (irow + j) via
+        done
+    done
+  done
+
+let floyd_warshall_into ?pool g (d : mat) =
+  let pool = match pool with Some p -> p | None -> Qp_par.Pool.default () in
+  let n = Graph.n_vertices g in
+  if Bigarray.Array1.dim d <> n * n then
+    invalid_arg "Apsp.floyd_warshall_into: matrix dimension mismatch";
+  Bigarray.Array1.fill d infinity;
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set d ((i * n) + i) 0.
+  done;
+  Graph.iter_edges g (fun u v len ->
+      if len < Bigarray.Array1.get d ((u * n) + v) then begin
+        Bigarray.Array1.set d ((u * n) + v) len;
+        Bigarray.Array1.set d ((v * n) + u) len
+      end);
+  let nb = (n + block - 1) / block in
+  let lo b = b * block in
+  let hi b = min n ((b + 1) * block) in
+  let run_tiles tiles =
+    ignore
+      (Qp_par.Pool.parallel_init pool (Array.length tiles) (fun t ->
+           let kb, ib, jb = tiles.(t) in
+           fw_tile d n ~k0:(lo kb) ~k1:(hi kb) ~i0:(lo ib) ~i1:(hi ib)
+             ~j0:(lo jb) ~j1:(hi jb)))
+  in
+  for kb = 0 to nb - 1 do
+    (* Phase 1: the diagonal tile, self-dependent, runs alone. *)
+    fw_tile d n ~k0:(lo kb) ~k1:(hi kb) ~i0:(lo kb) ~i1:(hi kb) ~j0:(lo kb)
+      ~j1:(hi kb);
+    (* Phase 2: tiles sharing a block-row or block-column with K. *)
+    let phase2 = ref [] in
+    for b = 0 to nb - 1 do
+      if b <> kb then begin
+        phase2 := (kb, kb, b) :: !phase2;
+        phase2 := (kb, b, kb) :: !phase2
+      end
+    done;
+    run_tiles (Array.of_list (List.rev !phase2));
+    (* Phase 3: everything else. *)
+    let phase3 = ref [] in
+    for ib = nb - 1 downto 0 do
+      if ib <> kb then
+        for jb = nb - 1 downto 0 do
+          if jb <> kb then phase3 := (kb, ib, jb) :: !phase3
+        done
+    done;
+    run_tiles (Array.of_list !phase3)
+  done

@@ -1,8 +1,14 @@
 (** All-pairs shortest paths.
 
-    Two independent implementations: repeated Dijkstra (the production
-    path, used by {!Metric.of_graph}) and Floyd–Warshall (used as a
-    cross-check oracle in property tests). *)
+    Two independent algorithm families: repeated Dijkstra (the
+    production path for sparse graphs, used by {!Metric.of_graph}) and
+    Floyd–Warshall (a cross-check oracle in property tests, and — in
+    its blocked flat-matrix form — the production path for dense
+    graphs). *)
+
+type mat = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Flat row-major n*n distance matrix: entry [(i, j)] lives at index
+    [i * n + j]. *)
 
 val repeated_dijkstra : ?pool:Qp_par.Pool.t -> Graph.t -> float array array
 (** Distance matrix via n Dijkstra runs; [infinity] for unreachable
@@ -11,5 +17,21 @@ val repeated_dijkstra : ?pool:Qp_par.Pool.t -> Graph.t -> float array array
     sequential Dijkstra, so the matrix is bit-identical for any worker
     count. *)
 
+val repeated_dijkstra_into : ?pool:Qp_par.Pool.t -> Graph.t -> mat -> unit
+(** Same floats as {!repeated_dijkstra}, written into a caller-supplied
+    flat matrix of dimension [n * n]. Workers write disjoint rows of
+    the shared buffer, so the result is bit-identical to the boxed
+    path for any worker count. @raise Invalid_argument on a dimension
+    mismatch. *)
+
 val floyd_warshall : Graph.t -> float array array
 (** Distance matrix via Floyd–Warshall dynamic programming. *)
+
+val floyd_warshall_into : ?pool:Qp_par.Pool.t -> Graph.t -> mat -> unit
+(** Blocked Floyd–Warshall on the flat layout, tiles fanned out over
+    [pool] with the classic three-phase (diagonal / row+column /
+    remainder) schedule whose phases only read tiles finalized in
+    earlier phases — bit-identical to the sequential triple loop for
+    any worker count. Preferable to {!repeated_dijkstra_into} on dense
+    graphs, where n Dijkstra heaps cost O(n·m log n) ≈ O(n³ log n).
+    @raise Invalid_argument on a dimension mismatch. *)

@@ -1,8 +1,32 @@
-type t = { n : int; d : float array array }
+(* Distances live in one flat row-major Bigarray (float64): entry
+   (i, j) at index i*n + j. Compared to the previous boxed
+   [float array array], a 10^4-node metric is a single 800 MB block
+   instead of 10^4 heap arrays the GC must trace, [submetric]/[scale]
+   are straight-line loops, and rows can be handed to worker domains
+   as disjoint slices of shared memory. Matrices are immutable by
+   convention — every mutating operation works on a fresh copy — so
+   handles can be shared freely across domains and cache entries. *)
+
+type mat = Apsp.mat
+
+type t = { n : int; d : mat }
 
 let size t = t.n
 
-let dist t i j = t.d.(i).(j)
+let dist t i j = Bigarray.Array1.get t.d ((i * t.n) + j)
+
+let unsafe_dist t i j = Bigarray.Array1.unsafe_get t.d ((i * t.n) + j)
+
+let alloc n : mat =
+  Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (n * n)
+
+let copy_mat (d : mat) : mat =
+  let c =
+    Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout
+      (Bigarray.Array1.dim d)
+  in
+  Bigarray.Array1.blit d c;
+  c
 
 let of_matrix d =
   let n = Array.length d in
@@ -17,7 +41,15 @@ let of_matrix d =
         invalid_arg "Metric.of_matrix: not symmetric"
     done
   done;
-  { n; d }
+  let flat = alloc n in
+  for i = 0 to n - 1 do
+    let off = i * n in
+    let row = d.(i) in
+    for j = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set flat (off + j) (Array.unsafe_get row j)
+    done
+  done;
+  { n; d = flat }
 
 (* ------------------------------------------------------------------ *)
 (* APSP cache                                                          *)
@@ -25,30 +57,42 @@ let of_matrix d =
 
 (* Bench experiments rebuild structurally identical topologies from
    the same generator seed, each paying a full APSP. A small
-   fingerprint-keyed cache shares the distance matrix between them;
-   the matrices are immutable by convention (every Metric operation
-   copies), so sharing is safe. Bounded FIFO so long-lived processes
-   cannot grow it without limit; mutex-guarded so worker domains can
-   build metrics concurrently. *)
+   fingerprint-keyed cache shares the metric between them; entries
+   store the [t] handle itself — one flat block per distinct topology,
+   never a boxed copy — so a hit costs a Hashtbl probe and zero
+   allocation. Bounded FIFO so long-lived processes cannot grow it
+   without limit; mutex-guarded so worker domains can build metrics
+   concurrently. The resident-bytes total is tracked on every
+   insert/evict and mirrored into the [qp_apsp_cache_bytes] gauge. *)
 
 type fingerprint = int * (int * int * float) list
 
 let cache_capacity = 16
-let cache : (fingerprint, float array array) Hashtbl.t = Hashtbl.create cache_capacity
+let cache : (fingerprint, t) Hashtbl.t = Hashtbl.create cache_capacity
 let cache_order : fingerprint Queue.t = Queue.create ()
 let cache_lock = Mutex.create ()
 let cache_hits = ref 0
 let cache_misses = ref 0
 let cache_partial = ref 0
+let cache_bytes = ref 0
+
+let entry_bytes m = 8 * Bigarray.Array1.dim m.d
+
+let publish_cache_bytes () =
+  Qp_obs.Metrics.set
+    (Qp_obs.Metrics.gauge
+       ~help:"Bytes of distance-matrix data resident in the APSP cache"
+       (Qp_obs.Metrics.current ()) "qp_apsp_cache_bytes")
+    (float_of_int !cache_bytes)
 
 let fingerprint g : fingerprint = (Graph.n_vertices g, Graph.edges g)
 
 let cache_find key =
   Mutex.protect cache_lock (fun () ->
       match Hashtbl.find_opt cache key with
-      | Some d ->
+      | Some m ->
           incr cache_hits;
-          Some d
+          Some m
       | None ->
           incr cache_misses;
           None)
@@ -58,21 +102,30 @@ let cache_find key =
 let cache_peek key =
   Mutex.protect cache_lock (fun () ->
       match Hashtbl.find_opt cache key with
-      | Some d ->
+      | Some m ->
           incr cache_hits;
-          Some d
+          Some m
       | None -> None)
 
-let cache_insert key d =
+let cache_insert key m =
   Mutex.protect cache_lock (fun () ->
       if not (Hashtbl.mem cache key) then begin
-        if Hashtbl.length cache >= cache_capacity then
-          Hashtbl.remove cache (Queue.pop cache_order);
-        Hashtbl.add cache key d;
-        Queue.push key cache_order
+        if Hashtbl.length cache >= cache_capacity then begin
+          let victim = Queue.pop cache_order in
+          (match Hashtbl.find_opt cache victim with
+          | Some old -> cache_bytes := !cache_bytes - entry_bytes old
+          | None -> ());
+          Hashtbl.remove cache victim
+        end;
+        Hashtbl.add cache key m;
+        Queue.push key cache_order;
+        cache_bytes := !cache_bytes + entry_bytes m;
+        publish_cache_bytes ()
       end)
 
 let apsp_cache_stats () = (!cache_hits, !cache_misses, !cache_partial)
+
+let apsp_cache_bytes () = Mutex.protect cache_lock (fun () -> !cache_bytes)
 
 let reset_apsp_cache () =
   Mutex.protect cache_lock (fun () ->
@@ -80,23 +133,52 @@ let reset_apsp_cache () =
       Queue.clear cache_order;
       cache_hits := 0;
       cache_misses := 0;
-      cache_partial := 0)
+      cache_partial := 0;
+      cache_bytes := 0;
+      publish_cache_bytes ())
+
+(* ------------------------------------------------------------------ *)
+(* APSP algorithm selection                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Repeated Dijkstra costs O(n·m log n); blocked Floyd–Warshall is a
+   branch-light O(n³) over the flat matrix. On dense graphs
+   (m ≈ n²/2) Dijkstra's log factor and heap traffic lose, so switch
+   to FW there. The n ≥ 256 floor keeps every seed-size instance on
+   the historical Dijkstra path: the two algorithms round
+   intermediate sums differently, and solver outputs at seed sizes
+   must stay byte-identical across PRs. *)
+let fw_min_nodes = 256
+let fw_min_density = 0.5
+
+let density g =
+  let n = Graph.n_vertices g in
+  if n < 2 then 0.
+  else
+    float_of_int (Graph.n_edges g) /. (float_of_int n *. float_of_int (n - 1) /. 2.)
+
+let compute_apsp g =
+  let n = Graph.n_vertices g in
+  let d = alloc n in
+  if n >= fw_min_nodes && density g >= fw_min_density then
+    Apsp.floyd_warshall_into g d
+  else Apsp.repeated_dijkstra_into g d;
+  { n; d }
 
 let of_graph ?(cache = true) g =
   if not (Graph.is_connected g) then invalid_arg "Metric.of_graph: disconnected graph";
-  let n = Graph.n_vertices g in
-  if not cache then { n; d = Apsp.repeated_dijkstra g }
+  if not cache then compute_apsp g
   else begin
     let key = fingerprint g in
     match cache_find key with
-    | Some d -> { n; d }
+    | Some m -> m
     | None ->
         (* Compute outside the lock: APSP dominates, and a racing
            duplicate computation is deterministic so either copy may
            land in the cache. *)
-        let d = Apsp.repeated_dijkstra g in
-        cache_insert key d;
-        { n; d }
+        let m = compute_apsp g in
+        cache_insert key m;
+        m
   end
 
 (* ------------------------------------------------------------------ *)
@@ -112,12 +194,20 @@ let of_graph ?(cache = true) g =
    and decreases first so every intermediate graph is a supergraph of
    the (connected) final graph. *)
 
-let relax_through_edge d n u v w =
+let relax_through_edge (d : mat) n u v w =
   for i = 0 to n - 1 do
-    let diu = d.(i).(u) and div = d.(i).(v) in
+    let irow = i * n in
+    let diu = Bigarray.Array1.unsafe_get d (irow + u)
+    and div = Bigarray.Array1.unsafe_get d (irow + v) in
+    let vrow = v * n and urow = u * n in
     for j = 0 to n - 1 do
-      let via = Float.min (diu +. w +. d.(v).(j)) (div +. w +. d.(u).(j)) in
-      if via < d.(i).(j) then d.(i).(j) <- via
+      let via =
+        Float.min
+          (diu +. w +. Bigarray.Array1.unsafe_get d (vrow + j))
+          (div +. w +. Bigarray.Array1.unsafe_get d (urow + j))
+      in
+      if via < Bigarray.Array1.unsafe_get d (irow + j) then
+        Bigarray.Array1.unsafe_set d (irow + j) via
     done
   done
 
@@ -126,18 +216,21 @@ let relax_through_edge d n u v w =
    d(i,k) = d(i,u) + w_old + d(v,k) (or the symmetric form). The eps
    absorbs float summation noise; false positives only cost an extra
    row recompute, never correctness. *)
-let affected_rows d n u v w_old =
+let affected_rows (d : mat) n u v w_old =
   let eps = 1e-9 in
   let rows = ref [] in
   for i = n - 1 downto 0 do
-    let diu = d.(i).(u) and div = d.(i).(v) in
+    let irow = i * n in
+    let diu = Bigarray.Array1.unsafe_get d (irow + u)
+    and div = Bigarray.Array1.unsafe_get d (irow + v) in
+    let vrow = v * n and urow = u * n in
     let hit = ref false in
     let k = ref 0 in
     while (not !hit) && !k < n do
-      let dk = d.(i).(!k) in
+      let dk = Bigarray.Array1.unsafe_get d (irow + !k) in
       if
-        dk >= diu +. w_old +. d.(v).(!k) -. eps
-        || dk >= div +. w_old +. d.(u).(!k) -. eps
+        dk >= diu +. w_old +. Bigarray.Array1.unsafe_get d (vrow + !k) -. eps
+        || dk >= div +. w_old +. Bigarray.Array1.unsafe_get d (urow + !k) -. eps
       then hit := true;
       incr k
     done;
@@ -194,16 +287,16 @@ let of_graph_delta ?(cache = true) ~base ~base_graph g =
   let full ~count_miss =
     if count_miss then
       Mutex.protect cache_lock (fun () -> incr cache_misses);
-    let d = Apsp.repeated_dijkstra g in
-    if cache then cache_insert (fingerprint g) d;
-    { n; d }
+    let m = compute_apsp g in
+    if cache then cache_insert (fingerprint g) m;
+    m
   in
   if n <> base.n || n <> Graph.n_vertices base_graph then full ~count_miss:true
   else begin
     let key = fingerprint g in
     let cached = if cache then cache_peek key else None in
     match cached with
-    | Some d -> { n; d }
+    | Some m -> m
     | None -> (
         let deltas = classify_deltas (Graph.edges base_graph) (Graph.edges g) in
         match deltas with
@@ -212,7 +305,7 @@ let of_graph_delta ?(cache = true) ~base ~base_graph g =
             full ~count_miss:true
         | _ ->
             Mutex.protect cache_lock (fun () -> incr cache_partial);
-            let d = Array.map Array.copy base.d in
+            let d = copy_mat base.d in
             (* Working graph tracks the edge set matching [d] so the
                per-row Dijkstra after a tightening sees the right
                lengths. *)
@@ -234,42 +327,93 @@ let of_graph_delta ?(cache = true) ~base ~base_graph g =
                       | None -> keep);
                     let g_work = Graph.of_edges n !work in
                     List.iter
-                      (fun i -> d.(i) <- Dijkstra.distances g_work i)
+                      (fun i ->
+                        let row = Dijkstra.distances g_work i in
+                        let off = i * n in
+                        for j = 0 to n - 1 do
+                          Bigarray.Array1.unsafe_set d (off + j)
+                            (Array.unsafe_get row j)
+                        done)
                       rows;
                     (* Restore exact symmetry: column entries of
                        recomputed rows. *)
                     List.iter
                       (fun i ->
                         for j = 0 to n - 1 do
-                          d.(j).(i) <- d.(i).(j)
+                          Bigarray.Array1.unsafe_set d ((j * n) + i)
+                            (Bigarray.Array1.unsafe_get d ((i * n) + j))
                         done)
                       rows)
               deltas;
-            if cache then cache_insert key d;
+            if cache then cache_insert key { n; d };
             { n; d })
   end
 
-let check_triangle ?(tol = Qp_util.Floatx.eps) t =
-  let result = ref None in
-  (try
-     for i = 0 to t.n - 1 do
-       for j = 0 to t.n - 1 do
-         for k = 0 to t.n - 1 do
-           if t.d.(i).(k) > t.d.(i).(j) +. t.d.(j).(k) +. tol then begin
-             result := Some (i, j, k);
-             raise Exit
-           end
+(* ------------------------------------------------------------------ *)
+(* Triangle-inequality validation                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The O(n³) scan is fanned out over the pool one i-row per element.
+   Determinism: each row worker scans (j, k) in sequential order, so a
+   row's local answer is its lexicographically-least violation; the
+   fold below then takes the least violating row. The shared
+   [best_row] atomic only lets workers skip rows strictly above a row
+   already known to violate — such rows can never be the final answer
+   (a smaller violating row exists), so racy pruning cannot change
+   the result, only save work. *)
+let check_triangle ?(tol = Qp_util.Floatx.eps) ?pool t =
+  let pool = match pool with Some p -> p | None -> Qp_par.Pool.default () in
+  let n = t.n in
+  let d = t.d in
+  let best_row = Atomic.make max_int in
+  let scan_row i =
+    if i > Atomic.get best_row then None
+    else begin
+      let irow = i * n in
+      let found = ref None in
+      (try
+         for j = 0 to n - 1 do
+           let dij = Bigarray.Array1.unsafe_get d (irow + j) in
+           let jrow = j * n in
+           for k = 0 to n - 1 do
+             if
+               Bigarray.Array1.unsafe_get d (irow + k)
+               > dij +. Bigarray.Array1.unsafe_get d (jrow + k) +. tol
+             then begin
+               found := Some (i, j, k);
+               raise Exit
+             end
+           done
          done
-       done
-     done
-   with Exit -> ());
-  !result
+       with Exit -> ());
+      (match !found with
+      | Some _ ->
+          (* Atomic min: publish i as an upper bound for later rows. *)
+          let rec lower () =
+            let cur = Atomic.get best_row in
+            if i < cur && not (Atomic.compare_and_set best_row cur i) then
+              lower ()
+          in
+          lower ()
+      | None -> ());
+      !found
+    end
+  in
+  let per_row = Qp_par.Pool.parallel_init pool n scan_row in
+  Array.fold_left
+    (fun acc r -> match acc with Some _ -> acc | None -> r)
+    None per_row
 
 let nodes_by_distance t v0 =
   let order = Array.init t.n (fun i -> i) in
+  let row = v0 * t.n in
   Array.sort
     (fun a b ->
-      let c = compare t.d.(v0).(a) t.d.(v0).(b) in
+      let c =
+        compare
+          (Bigarray.Array1.get t.d (row + a))
+          (Bigarray.Array1.get t.d (row + b))
+      in
       if c <> 0 then c else compare a b)
     order;
   order
@@ -277,8 +421,10 @@ let nodes_by_distance t v0 =
 let diameter t =
   let best = ref 0. in
   for i = 0 to t.n - 1 do
+    let irow = i * t.n in
     for j = i + 1 to t.n - 1 do
-      if t.d.(i).(j) > !best then best := t.d.(i).(j)
+      let dij = Bigarray.Array1.unsafe_get t.d (irow + j) in
+      if dij > !best then best := dij
     done
   done;
   !best
@@ -288,18 +434,31 @@ let average_distance t v0 =
   else begin
     let sum = ref 0. in
     for v = 0 to t.n - 1 do
-      sum := !sum +. t.d.(v).(v0)
+      sum := !sum +. Bigarray.Array1.unsafe_get t.d ((v * t.n) + v0)
     done;
     !sum /. float_of_int t.n
   end
 
 let scale t factor =
   if factor <= 0. then invalid_arg "Metric.scale: non-positive factor";
-  { n = t.n; d = Array.map (Array.map (fun x -> x *. factor)) t.d }
+  let d = alloc t.n in
+  for idx = 0 to Bigarray.Array1.dim t.d - 1 do
+    Bigarray.Array1.unsafe_set d idx
+      (Bigarray.Array1.unsafe_get t.d idx *. factor)
+  done;
+  { n = t.n; d }
 
 let submetric t keep =
   let k = Array.length keep in
   Array.iter (fun v -> if v < 0 || v >= t.n then invalid_arg "Metric.submetric: vertex out of range") keep;
-  { n = k; d = Array.init k (fun i -> Array.init k (fun j -> t.d.(keep.(i)).(keep.(j)))) }
+  let d = alloc k in
+  for i = 0 to k - 1 do
+    let src = keep.(i) * t.n and dst = i * k in
+    for j = 0 to k - 1 do
+      Bigarray.Array1.unsafe_set d (dst + j)
+        (Bigarray.Array1.unsafe_get t.d (src + keep.(j)))
+    done
+  done;
+  { n = k; d }
 
 let pp ppf t = Format.fprintf ppf "metric(n=%d, diam=%.3f)" t.n (diameter t)

@@ -3,27 +3,40 @@
     The placement algorithms never look at graph structure directly;
     they consume a metric — the shortest-path closure of a network, or
     a synthetic metric such as the integrality-gap instances of
-    Appendix A. *)
+    Appendix A.
+
+    Distances are stored in a single flat row-major [Bigarray.Array1]
+    (float64): one contiguous block per metric instead of n boxed
+    rows, so a 10^4-node metric is GC-inert and rows can be shared
+    with worker domains as disjoint slices. The representation is
+    hidden behind the same [size]/[dist] interface as before. *)
 
 type t
 
 val size : t -> int
 val dist : t -> int -> int -> float
 
+val unsafe_dist : t -> int -> int -> float
+(** [dist] without the bounds check, for validated hot loops. *)
+
 val of_matrix : float array array -> t
-(** Wraps a square matrix. @raise Invalid_argument unless the matrix is
+(** Wraps a square matrix (copied into the flat layout).
+    @raise Invalid_argument unless the matrix is
     square, symmetric, non-negative, with a zero diagonal. Triangle
     inequality is NOT enforced here; use {!check_triangle}. *)
 
 val of_graph : ?cache:bool -> Graph.t -> t
-(** Shortest-path metric of a connected graph (runs Dijkstra from
-    every vertex, fanned out over {!Qp_par.Pool.default}). With
-    [cache] (the default), the distance matrix is memoized in a small
-    process-wide table keyed by graph structure, so callers that
-    regenerate the same topology from the same seed — notably bench
-    experiments — share one APSP computation; pass [~cache:false] to
-    force a fresh computation. @raise Invalid_argument if the graph is
-    disconnected. *)
+(** Shortest-path metric of a connected graph. Sparse graphs run
+    Dijkstra from every vertex, fanned out over
+    {!Qp_par.Pool.default}; dense graphs at [n >= 256] use blocked
+    Floyd–Warshall over the flat matrix (both bit-deterministic for
+    any worker count; the size floor keeps seed-size instances on the
+    historical Dijkstra rounding). With [cache] (the default), the
+    metric is memoized in a small process-wide table keyed by graph
+    structure, so callers that regenerate the same topology from the
+    same seed — notably bench experiments — share one APSP
+    computation; pass [~cache:false] to force a fresh computation.
+    @raise Invalid_argument if the graph is disconnected. *)
 
 val of_graph_delta : ?cache:bool -> base:t -> base_graph:Graph.t -> Graph.t -> t
 (** [of_graph_delta ~base ~base_graph g] is the shortest-path metric of
@@ -45,13 +58,22 @@ val apsp_cache_stats : unit -> int * int * int
     recomputations, and {!of_graph_delta} incremental updates (partial
     invalidations that reused unaffected rows). *)
 
+val apsp_cache_bytes : unit -> int
+(** Bytes of distance-matrix data currently resident in the APSP
+    cache. Cache entries share the [t] handles returned to callers, so
+    this is the cache's true marginal footprint, also published as the
+    [qp_apsp_cache_bytes] gauge. *)
+
 val reset_apsp_cache : unit -> unit
 (** Empty the APSP cache and zero its statistics (test hook). *)
 
-val check_triangle : ?tol:float -> t -> (int * int * int) option
+val check_triangle : ?tol:float -> ?pool:Qp_par.Pool.t -> t -> (int * int * int) option
 (** Returns a violating triple [(i, j, k)] with
     [dist i k > dist i j + dist j k], or [None] if the triangle
-    inequality holds everywhere. *)
+    inequality holds everywhere. Rows are scanned in parallel over
+    [pool] (default {!Qp_par.Pool.default}); the reported triple is
+    always the lexicographically least violation, independent of
+    worker count. *)
 
 val nodes_by_distance : t -> int -> int array
 (** [nodes_by_distance m v0] lists all vertices sorted by increasing

@@ -37,6 +37,23 @@ let canonical_key t =
 let topology_names =
   "path|cycle|star|complete|tree|waxman|geometric[:R]|barbell"
 
+(* Topology generators whose output is always a tree (so the
+   shortest-path metric is a tree metric). Drives [auto] solver
+   dispatch; the tree solver re-verifies, so listing a topology here
+   can never produce a wrong answer, only a wasted attempt. *)
+let is_tree_topology t =
+  match t.topology with "path" | "star" | "tree" -> true | _ -> false
+
+let system_kind t =
+  match String.split_on_char ':' t.system with
+  | kind :: _ -> kind
+  | [] -> t.system
+
+let solver_hints t =
+  ( (if is_tree_topology t then Some Qp_place.Solver.Tree_metric
+     else Some Qp_place.Solver.General_metric),
+    Some (system_kind t) )
+
 let build_topology name n rng =
   Qp_error.guard @@ fun () ->
   match name with

@@ -40,6 +40,20 @@ val canonical_key : t -> string
     specs differing only in [jobs] share a key. This is the spec
     component of the qp_serve placement-cache key. *)
 
+val is_tree_topology : t -> bool
+(** True when the spec's topology generator always emits a tree
+    (path, star, tree), making the instance metric a tree metric. *)
+
+val system_kind : t -> string
+(** The quorum-system family name: ["grid:3"] -> ["grid"]. *)
+
+val solver_hints :
+  t -> Qp_place.Solver.topology_hint option * string option
+(** [(topology_hint, system_hint)] for {!Qp_place.Solver.params}: what
+    the [auto] dispatcher should know about instances built from this
+    spec. Hints select specialists worth trying; each specialist
+    validates its own applicability, so they are advisory only. *)
+
 val build_topology :
   string -> int -> Qp_util.Rng.t -> (Qp_graph.Graph.t, Qp_util.Qp_error.t) result
 (** [build_topology name n rng]. ["geometric"] uses connection radius

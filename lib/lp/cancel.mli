@@ -1,0 +1,12 @@
+(** Domain-local wall-clock deadlines for cooperative solver
+    cancellation, shared by every simplex path. Front ends should use
+    the re-exports on {!Simplex} ([set_deadline] / [get_deadline]);
+    this module exists so the dense and revised pivot loops can check
+    the same deadline without depending on each other. *)
+
+val set_deadline : float option -> unit
+val get_deadline : unit -> float option
+
+val check_deadline : unit -> unit
+(** @raise Qp_util.Qp_error.Error [(Internal _)] once the domain's
+    deadline (if any) has passed. *)

@@ -1,0 +1,445 @@
+(* Revised simplex with an explicit dense basis inverse.
+
+   The dense two-phase path materializes the full m x ncols tableau
+   and rewrites every cell on every pivot. For the placement LPs the
+   column count is dominated by slacks and artificials (ncols ≈ n +
+   2m), so the tableau costs ~2m² floats of memory and ~2m² flops per
+   pivot. This path keeps only:
+
+     - the constraint matrix as immutable sparse columns (built once),
+     - B⁻¹, a dense m x m matrix updated by product-form pivots,
+     - the basic solution xb = B⁻¹ b.
+
+   Per pivot: one BTRAN (y = c_B B⁻¹, m² flops, skipping zero basic
+   costs), pricing over sparse columns (O(nnz)), one FTRAN
+   (w = B⁻¹ A_q, m·nnz_q flops), and an m² B⁻¹ update — roughly a
+   third of the dense work and half the memory, with the constraint
+   data itself never copied.
+
+   Pivot rules, tolerances, stall→Bland switch, pivot budget, warm
+   crash and deadline semantics mirror Simplex's dense path so the two
+   are interchangeable (equivalence is property-tested); they differ
+   only in float rounding, which is why auto-selection keeps seed-size
+   LPs on the historical dense path. *)
+
+let eps_rc = 1e-9
+let eps_piv = 1e-9
+let eps_zero = 1e-11
+
+(* Recompute xb = B⁻¹b from scratch this often to shed accumulated
+   product-form rounding drift. *)
+let refresh_every = 128
+
+type result =
+  | R_optimal of {
+      x : float array;
+      objective : float;
+      duals : float array;
+      basis : int array;
+    }
+  | R_infeasible
+  | R_unbounded
+
+type state = {
+  m : int;
+  ncols : int;
+  first_artificial : int;
+  cols : (int * float) array array; (* immutable sparse columns *)
+  b : float array; (* normalized rhs, >= 0, immutable *)
+  binv : float array array; (* m x m basis inverse *)
+  xb : float array; (* current basic values, B⁻¹ b *)
+  basis : int array; (* row -> basic column *)
+  in_basis : bool array; (* column -> basic? *)
+}
+
+let budget_exceeded max_pivots =
+  raise
+    (Qp_util.Qp_error.Error
+       (Internal
+          (Printf.sprintf "Simplex: pivot budget exceeded (%d pivots)"
+             max_pivots)))
+
+(* w := B⁻¹ A_col for a sparse column. *)
+let ftran st col w =
+  Array.fill w 0 st.m 0.;
+  Array.iter
+    (fun (k, a) ->
+      for i = 0 to st.m - 1 do
+        w.(i) <- w.(i) +. (st.binv.(i).(k) *. a)
+      done)
+    st.cols.(col)
+
+(* y := c_B^T B⁻¹, skipping rows whose basic cost is zero (most rows,
+   in both phases). *)
+let btran st cost y =
+  Array.fill y 0 st.m 0.;
+  for k = 0 to st.m - 1 do
+    let cb = cost.(st.basis.(k)) in
+    if cb <> 0. then begin
+      let bk = st.binv.(k) in
+      for i = 0 to st.m - 1 do
+        y.(i) <- y.(i) +. (cb *. bk.(i))
+      done
+    end
+  done
+
+let reduced_cost st cost y j =
+  let r = ref cost.(j) in
+  Array.iter (fun (i, a) -> r := !r -. (y.(i) *. a)) st.cols.(j);
+  !r
+
+(* Product-form pivot: basis row [row] leaves, column [col] enters,
+   with [w] = B⁻¹ A_col already computed. Updates binv, xb, basis. *)
+let apply_pivot st ~row ~col w =
+  let p = w.(row) in
+  let inv = 1. /. p in
+  let brow = st.binv.(row) in
+  for k = 0 to st.m - 1 do
+    brow.(k) <- brow.(k) *. inv
+  done;
+  st.xb.(row) <- st.xb.(row) *. inv;
+  for i = 0 to st.m - 1 do
+    if i <> row then begin
+      let f = w.(i) in
+      if Float.abs f > eps_zero then begin
+        let bi = st.binv.(i) in
+        for k = 0 to st.m - 1 do
+          bi.(k) <- bi.(k) -. (f *. brow.(k))
+        done;
+        st.xb.(i) <- st.xb.(i) -. (f *. st.xb.(row));
+        if st.xb.(i) < 0. && st.xb.(i) > -1e-11 then st.xb.(i) <- 0.
+      end
+    end
+  done;
+  st.in_basis.(st.basis.(row)) <- false;
+  st.in_basis.(col) <- true;
+  st.basis.(row) <- col
+
+let refresh_xb st =
+  for i = 0 to st.m - 1 do
+    let bi = st.binv.(i) in
+    let s = ref 0. in
+    for k = 0 to st.m - 1 do
+      s := !s +. (bi.(k) *. st.b.(k))
+    done;
+    st.xb.(i) <- (if !s < 0. && !s > -1e-11 then 0. else !s)
+  done
+
+type phase_result = Phase_optimal | Phase_unbounded
+
+(* One simplex phase: Dantzig pricing with a permanent switch to
+   Bland's rule after a stall, same thresholds and ratio-test
+   tie-break as the dense path. *)
+let optimize st cost ~allowed ~max_pivots =
+  let y = Array.make st.m 0. in
+  let w = Array.make st.m 0. in
+  let pivots = ref 0 in
+  let stall = ref 0 in
+  let bland = ref false in
+  let stall_limit = 20 * (st.m + st.ncols + 10) in
+  let rec loop () =
+    btran st cost y;
+    let enter = ref (-1) in
+    if !bland then begin
+      (try
+         for j = 0 to st.ncols - 1 do
+           if allowed j && not st.in_basis.(j) then
+             if reduced_cost st cost y j < -.eps_rc then begin
+               enter := j;
+               raise Exit
+             end
+         done
+       with Exit -> ())
+    end
+    else begin
+      let best = ref (-.eps_rc) in
+      for j = 0 to st.ncols - 1 do
+        if allowed j && not st.in_basis.(j) then begin
+          let r = reduced_cost st cost y j in
+          if r < !best then begin
+            best := r;
+            enter := j
+          end
+        end
+      done
+    end;
+    if !enter < 0 then Phase_optimal
+    else begin
+      let col = !enter in
+      ftran st col w;
+      let row = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to st.m - 1 do
+        let wi = w.(i) in
+        if wi > eps_piv then begin
+          let ratio = st.xb.(i) /. wi in
+          if
+            ratio < !best_ratio -. 1e-12
+            || (ratio < !best_ratio +. 1e-12
+               && !row >= 0
+               && st.basis.(i) < st.basis.(!row))
+          then begin
+            best_ratio := ratio;
+            row := i
+          end
+        end
+      done;
+      if !row < 0 then Phase_unbounded
+      else begin
+        apply_pivot st ~row:!row ~col w;
+        incr pivots;
+        if !pivots > max_pivots then budget_exceeded max_pivots;
+        Cancel.check_deadline ();
+        if !pivots mod refresh_every = 0 then refresh_xb st;
+        if !best_ratio <= 1e-12 then begin
+          incr stall;
+          if !stall > stall_limit then bland := true
+        end
+        else stall := 0;
+        loop ()
+      end
+    end
+  in
+  let result = loop () in
+  (result, !pivots)
+
+(* ------------------------------------------------------------------ *)
+(* Problem construction (mirrors the dense build exactly)              *)
+(* ------------------------------------------------------------------ *)
+
+let normalize rows =
+  List.map
+    (fun { Lp.terms; cmp; rhs } ->
+      if rhs < 0. then
+        let terms = List.map (fun (v, c) -> (v, -.c)) terms in
+        let cmp = match cmp with Lp.Le -> Lp.Ge | Lp.Ge -> Lp.Le | Lp.Eq -> Lp.Eq in
+        (terms, cmp, -.rhs)
+      else (terms, cmp, rhs))
+    rows
+
+let build lp =
+  let n = Lp.n_vars lp in
+  let rows = Lp.constraints lp in
+  let m = List.length rows in
+  let normalized = normalize rows in
+  let n_slack =
+    List.length (List.filter (fun (_, c, _) -> c <> Lp.Eq) normalized)
+  in
+  let n_artificial =
+    List.length (List.filter (fun (_, c, _) -> c <> Lp.Le) normalized)
+  in
+  let ncols = n + n_slack + n_artificial in
+  let first_artificial = n + n_slack in
+  let flipped =
+    List.map2
+      (fun { Lp.rhs; _ } (_, _, rhs') -> rhs < 0. && rhs' > 0.)
+      rows normalized
+  in
+  let cols_acc : (int * float) list array = Array.make ncols [] in
+  let b = Array.make m 0. in
+  let init_basis = Array.make m (-1) in
+  let row_dual = Array.make m (0, 0.) in
+  let slack_idx = ref n in
+  let art_idx = ref first_artificial in
+  List.iteri
+    (fun i (terms, cmp, rhs) ->
+      let flip_factor = if List.nth flipped i then -1. else 1. in
+      (* Duplicate variable mentions in a row are summed, as in the
+         dense tableau build. *)
+      let row_coeffs = Hashtbl.create (List.length terms) in
+      List.iter
+        (fun (v, c) ->
+          let prev = Option.value ~default:0. (Hashtbl.find_opt row_coeffs v) in
+          Hashtbl.replace row_coeffs v (prev +. c))
+        terms;
+      let vars =
+        List.sort compare (Hashtbl.fold (fun v _ acc -> v :: acc) row_coeffs [])
+      in
+      List.iter
+        (fun v -> cols_acc.(v) <- (i, Hashtbl.find row_coeffs v) :: cols_acc.(v))
+        vars;
+      b.(i) <- rhs;
+      (match cmp with
+      | Lp.Le ->
+          cols_acc.(!slack_idx) <- [ (i, 1.) ];
+          init_basis.(i) <- !slack_idx;
+          row_dual.(i) <- (!slack_idx, -1. *. flip_factor);
+          incr slack_idx
+      | Lp.Ge ->
+          cols_acc.(!slack_idx) <- [ (i, -1.) ];
+          row_dual.(i) <- (!slack_idx, 1. *. flip_factor);
+          incr slack_idx;
+          cols_acc.(!art_idx) <- [ (i, 1.) ];
+          init_basis.(i) <- !art_idx;
+          incr art_idx
+      | Lp.Eq ->
+          cols_acc.(!art_idx) <- [ (i, 1.) ];
+          init_basis.(i) <- !art_idx;
+          row_dual.(i) <- (!art_idx, -1. *. flip_factor);
+          incr art_idx))
+    normalized;
+  let cols = Array.map (fun l -> Array.of_list (List.rev l)) cols_acc in
+  let binv = Array.init m (fun i -> Array.init m (fun j -> if i = j then 1. else 0.)) in
+  let st =
+    {
+      m;
+      ncols;
+      first_artificial;
+      cols;
+      b;
+      binv;
+      xb = Array.copy b;
+      basis = init_basis;
+      in_basis =
+        (let f = Array.make ncols false in
+         Array.iter (fun c -> f.(c) <- true) init_basis;
+         f);
+    }
+  in
+  (st, row_dual, n_artificial)
+
+(* Crash the columns of a previous optimal basis into the fresh state:
+   each warm column is pivoted in on the unclaimed row where B⁻¹A_c
+   has the largest magnitude. Returns [Some crash_pivots] when the
+   resulting start is primal-feasible (so phase 1 can be skipped). *)
+let try_crash st (warm : int array) =
+  let claimed = Array.make st.m false in
+  let w = Array.make st.m 0. in
+  let crash_pivots = ref 0 in
+  Array.iter
+    (fun c ->
+      if c >= 0 && c < st.first_artificial && c < st.ncols then begin
+        if st.in_basis.(c) then begin
+          for i = 0 to st.m - 1 do
+            if st.basis.(i) = c then claimed.(i) <- true
+          done
+        end
+        else begin
+          ftran st c w;
+          let best = ref (-1) in
+          let best_mag = ref 1e-7 in
+          for i = 0 to st.m - 1 do
+            if not claimed.(i) then begin
+              let mag = Float.abs w.(i) in
+              if mag > !best_mag then begin
+                best := i;
+                best_mag := mag
+              end
+            end
+          done;
+          if !best >= 0 then begin
+            apply_pivot st ~row:!best ~col:c w;
+            claimed.(!best) <- true;
+            incr crash_pivots
+          end
+        end
+      end)
+    warm;
+  let feasible = ref true in
+  for i = 0 to st.m - 1 do
+    if st.xb.(i) < -1e-7 then feasible := false
+    else if st.basis.(i) >= st.first_artificial && st.xb.(i) > 1e-7 then
+      feasible := false
+  done;
+  if !feasible then begin
+    for i = 0 to st.m - 1 do
+      if st.xb.(i) < 0. then st.xb.(i) <- 0.
+    done;
+    Some !crash_pivots
+  end
+  else None
+
+let solve ?warm ~max_pivots lp =
+  let n = Lp.n_vars lp in
+  let total_pivots = ref 0 in
+  let count k = total_pivots := !total_pivots + k in
+  let st0, row_dual, n_artificial = build lp in
+  let st, warm_used =
+    match warm with
+    | Some wb when Array.length wb > 0 -> (
+        match try_crash st0 wb with
+        | Some crash_pivots ->
+            count crash_pivots;
+            (st0, true)
+        | None ->
+            (* Failed crash left binv/xb/basis mutated; rebuild. *)
+            let st1, _, _ = build lp in
+            (st1, false))
+    | _ -> (st0, false)
+  in
+  let finish r = (r, !total_pivots, warm_used) in
+  (* Phase 1: minimize the sum of artificials. Skipped when the crash
+     basis already reached a primal-feasible start. *)
+  (if n_artificial > 0 && not warm_used then begin
+     let cost1 = Array.make st.ncols 0. in
+     for j = st.first_artificial to st.ncols - 1 do
+       cost1.(j) <- 1.
+     done;
+     match optimize st cost1 ~allowed:(fun _ -> true) ~max_pivots with
+     | Phase_unbounded, _ -> assert false (* bounded below by 0 *)
+     | Phase_optimal, k -> count k
+   end);
+  let phase1_value =
+    let v = ref 0. in
+    for i = 0 to st.m - 1 do
+      if st.basis.(i) >= st.first_artificial then v := !v +. st.xb.(i)
+    done;
+    !v
+  in
+  if n_artificial > 0 && (not warm_used) && phase1_value > 1e-7 then
+    finish R_infeasible
+  else begin
+    (* Drive residual zero-level artificials out of the basis where
+       possible. A row r admitting no real pivot column has
+       (B⁻¹A)_r,j = 0 for every j < first_artificial, so every future
+       entering direction has w_r = 0 there: the row is inert (it
+       encodes a redundant constraint) and the artificial stays parked
+       at zero. Unlike the dense path there is no need to compact such
+       rows away — B⁻¹ keeps its dimension. *)
+    let w = Array.make st.m 0. in
+    for r = 0 to st.m - 1 do
+      if st.basis.(r) >= st.first_artificial then begin
+        let brow = st.binv.(r) in
+        let found = ref false in
+        let j = ref 0 in
+        while (not !found) && !j < st.first_artificial do
+          if not st.in_basis.(!j) then begin
+            let dot = ref 0. in
+            Array.iter (fun (i, a) -> dot := !dot +. (brow.(i) *. a)) st.cols.(!j);
+            if Float.abs !dot > 1e-7 then begin
+              ftran st !j w;
+              apply_pivot st ~row:r ~col:!j w;
+              found := true
+            end
+          end;
+          incr j
+        done;
+        if not !found && st.xb.(r) < 0. then st.xb.(r) <- 0.
+      end
+    done;
+    (* Phase 2. *)
+    let cost2 = Array.make st.ncols 0. in
+    Array.blit (Lp.objective lp) 0 cost2 0 n;
+    let allowed j = j < st.first_artificial in
+    match optimize st cost2 ~allowed ~max_pivots with
+    | Phase_unbounded, k ->
+        count k;
+        finish R_unbounded
+    | Phase_optimal, k ->
+        count k;
+        let x = Array.make n 0. in
+        for i = 0 to st.m - 1 do
+          if st.basis.(i) < n then x.(st.basis.(i)) <- st.xb.(i)
+        done;
+        Array.iteri (fun i xi -> if xi < 0. && xi > -1e-9 then x.(i) <- 0.) x;
+        let objective = Lp.objective_value lp x in
+        assert (Lp.is_feasible ~tol:1e-6 lp x);
+        let y = Array.make st.m 0. in
+        btran st cost2 y;
+        let duals =
+          Array.map
+            (fun (col, factor) -> factor *. reduced_cost st cost2 y col)
+            row_dual
+        in
+        finish (R_optimal { x; objective; duals; basis = Array.copy st.basis })
+  end

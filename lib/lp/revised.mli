@@ -1,0 +1,30 @@
+(** Revised simplex with an explicit basis inverse.
+
+    Same two-phase algorithm, pivot rules, tolerances, warm-crash and
+    budget/deadline semantics as {!Simplex}'s dense tableau, but the
+    constraint matrix is kept as immutable sparse columns and only the
+    m x m basis inverse is updated per pivot — roughly a third of the
+    dense flops and half the memory on the placement LPs, whose column
+    count is dominated by slacks and artificials. Callers should not
+    use this directly: {!Simplex.solve} auto-selects it by problem
+    shape (see [Simplex.path]). The two paths agree on classification
+    and objective up to float noise (property-tested); they are not
+    bit-identical, which is why auto-selection keeps seed-size LPs on
+    the historical dense path. *)
+
+type result =
+  | R_optimal of {
+      x : float array;
+      objective : float;
+      duals : float array;
+      basis : int array;
+    }
+  | R_infeasible
+  | R_unbounded
+
+val solve : ?warm:int array -> max_pivots:int -> Lp.t -> result * int * bool
+(** [(result, pivots, warm_used)]. [pivots] counts crash + phase-1 +
+    phase-2 pivots; [warm_used] is true when the warm crash reached a
+    primal-feasible start and phase 1 was skipped. Raises the same
+    [Qp_util.Qp_error.Error (Internal _)] as the dense path on pivot
+    budget exhaustion or deadline cancellation. *)

@@ -5,41 +5,36 @@ type outcome =
   | Infeasible
   | Unbounded
 
-(* Cooperative cancellation for serving front ends: a wall-clock
-   deadline checked once per pivot (and once on entry). Domain-local —
-   not process-wide — so concurrent solves dispatched onto different
-   pool domains each observe only their own deadline. A
-   [Qp_par.Pool] context hook snapshots the submitting domain's
-   deadline at submit time, so candidate LPs parallelized below a
-   guarded solve still inherit it. NaN means "no deadline" — the hot
-   path then costs one DLS load and a NaN test per pivot, no clock
-   read. *)
-let deadline_key : float Domain.DLS.key = Domain.DLS.new_key (fun () -> Float.nan)
+(* Deadline machinery lives in [Cancel] so the dense and revised pivot
+   loops share one domain-local deadline; re-exported here because
+   front ends address the solver as [Simplex]. *)
+let set_deadline = Cancel.set_deadline
+let get_deadline = Cancel.get_deadline
+let check_deadline = Cancel.check_deadline
 
-let set_deadline = function
-  | None -> Domain.DLS.set deadline_key Float.nan
-  | Some t -> Domain.DLS.set deadline_key t
+(* ------------------------------------------------------------------ *)
+(* Path selection                                                      *)
+(* ------------------------------------------------------------------ *)
 
-let get_deadline () =
-  let d = Domain.DLS.get deadline_key in
-  if Float.is_nan d then None else Some d
+type path = Dense | Revised
 
-let () =
-  Qp_par.Pool.register_context_hook (fun () ->
-      let d = Domain.DLS.get deadline_key in
-      fun thunk ->
-        let prev = Domain.DLS.get deadline_key in
-        Domain.DLS.set deadline_key d;
-        Fun.protect
-          ~finally:(fun () -> Domain.DLS.set deadline_key prev)
-          thunk)
+(* The dense tableau allocates and rewrites m x ncols cells per pivot;
+   past this many cells (64 MB of floats) the revised path's sparse
+   columns + m x m basis inverse win on both memory and flops. Every
+   LP the default experiments emit at seed sizes sits well below the
+   threshold, keeping their pivot sequences — and therefore solver
+   output bytes — on the historical dense path. *)
+let revised_min_cells = 8_000_000
 
-let check_deadline () =
-  let d = Domain.DLS.get deadline_key in
-  if (not (Float.is_nan d)) && Obs.Core.now () > d then
-    raise
-      (Qp_util.Qp_error.Error
-         (Internal "Simplex: deadline exceeded (cooperative cancellation)"))
+let forced_path : path option Atomic.t = Atomic.make None
+let set_forced_path p = Atomic.set forced_path p
+let last_path_v : path Atomic.t = Atomic.make Dense
+let last_path () = Atomic.get last_path_v
+
+let choose_path ~m ~ncols =
+  match Atomic.get forced_path with
+  | Some p -> p
+  | None -> if m * ncols > revised_min_cells then Revised else Dense
 
 let eps_rc = 1e-9 (* reduced-cost optimality tolerance *)
 let eps_piv = 1e-9 (* minimum pivot magnitude *)
@@ -315,6 +310,25 @@ let solve_internal ?max_pivots ?warm lp =
     List.length (List.filter (fun (_, c, _) -> c <> Lp.Le) normalized)
   in
   let ncols = n + n_slack + n_artificial in
+  let path = choose_path ~m ~ncols in
+  Atomic.set last_path_v path;
+  Obs.Span.add_attr "path"
+    (Obs.Json.String (match path with Dense -> "dense" | Revised -> "revised"));
+  match path with
+  | Revised -> (
+      let result, pivots, warm_used = Revised.solve ?warm ~max_pivots lp in
+      (match warm with
+      | Some wb when Array.length wb > 0 ->
+          Obs.Metrics.inc warm_attempts_c;
+          if warm_used then Obs.Metrics.inc warm_used_c
+      | _ -> ());
+      count_pivots pivots;
+      match result with
+      | Revised.R_infeasible -> (finish C_infeasible, None)
+      | Revised.R_unbounded -> (finish C_unbounded, None)
+      | Revised.R_optimal { x; objective; duals; basis } ->
+          (finish (Certified { x; objective; duals }), Some basis))
+  | Dense ->
   let first_artificial = n + n_slack in
   let flipped = List.map2 (fun { Lp.rhs; _ } (_, _, rhs') -> rhs < 0. && rhs' > 0.) rows
       normalized in

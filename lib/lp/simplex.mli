@@ -1,10 +1,15 @@
-(** Two-phase primal simplex on a dense tableau.
+(** Two-phase primal simplex.
 
     Exact enough for the paper's placement LPs: Dantzig pricing for
     speed with a switch to Bland's rule after a stall to rule out
-    cycling, and a phase-1 artificial-variable start. Dense storage
-    bounds the practical size to a few thousand rows, which is all the
-    experiments need (DESIGN.md, "LP scale control"). *)
+    cycling, and a phase-1 artificial-variable start. Two storage
+    paths sit behind {!solve}: the historical dense tableau, and a
+    {!Revised} path (sparse columns + explicit basis inverse) that
+    avoids materializing the tableau. {!solve} auto-selects by problem
+    shape — dense below [m * ncols = 8e6] cells, revised above — so
+    seed-size LPs keep their historical pivot sequences bit-for-bit
+    while large instances stop paying O(m·ncols) per pivot
+    (DESIGN.md §15, "Scaling the solve core"). *)
 
 type outcome =
   | Optimal of { x : float array; objective : float }
@@ -18,6 +23,16 @@ val solve : ?max_pivots:int -> Lp.t -> outcome
     boundary; front ends expose it as a [--pivot-budget] knob). On
     [Optimal], the returned point satisfies every row to within [1e-6]
     relative tolerance — asserted internally. *)
+
+type path = Dense | Revised
+
+val set_forced_path : path option -> unit
+(** Override the shape-based path choice (process-wide; test hook).
+    [None] restores auto-selection. *)
+
+val last_path : unit -> path
+(** The path chosen by the most recent solve (any domain) —
+    introspection for tests and bench asserts. *)
 
 type basis
 (** Opaque snapshot of the final simplex basis of an optimal solve:

@@ -18,3 +18,9 @@ val default_clock : unit -> unit
 (** Restore [Unix.gettimeofday]. *)
 
 val clock : (unit -> float) ref
+
+val max_rss_kb : unit -> int option
+(** Peak resident set size (high-water mark) of this process in kB,
+    read from [/proc/self/status] ([VmHWM]). [None] when the proc
+    interface is unavailable (non-Linux) or unparsable — best-effort
+    telemetry, never an error. *)

@@ -1,13 +1,16 @@
 module Qp_error = Qp_util.Qp_error
 module Rng = Qp_util.Rng
 
-type kind = Approximation | Exact | Closed_form | Heuristic
+type kind = Approximation | Exact | Closed_form | Heuristic | Meta
 
 let kind_name = function
   | Approximation -> "approximation"
   | Exact -> "exact"
   | Closed_form -> "closed form"
   | Heuristic -> "heuristic"
+  | Meta -> "dispatcher"
+
+type topology_hint = Tree_metric | General_metric
 
 type params = {
   alpha : float;
@@ -15,10 +18,13 @@ type params = {
   seed : int;
   candidates : int list option;
   pivot_budget : int option;
+  topology_hint : topology_hint option;
+  system_hint : string option;
 }
 
 let default_params =
-  { alpha = 2.; source = 0; seed = 2; candidates = None; pivot_budget = None }
+  { alpha = 2.; source = 0; seed = 2; candidates = None; pivot_budget = None;
+    topology_hint = None; system_hint = None }
 
 type t = {
   name : string;
@@ -307,8 +313,78 @@ let partial =
     solve = guarded partial_solve;
   }
 
+let tree_solve _params p =
+  match Tree_place.solve p with
+  | None -> Error (Qp_error.Infeasible "no capacity-respecting placement exists")
+  | Some (r : Tree_place.result) ->
+      Ok
+        (Outcome.make ~solver:"tree" ~problem:p ~placement:r.placement
+           ~objective:r.objective ~avg_max_delay:r.objective
+           ~lower_bound:r.objective ~load_bound:1.
+           ~detail:
+             [ ("search_nodes", float_of_int r.search_nodes);
+               ("m_pairs", float_of_int r.m_pairs);
+             ]
+           ())
+
+let tree =
+  {
+    name = "tree";
+    kind = Exact;
+    theorem = "diametral-pair reduction (cf. Benoit et al., Related Work)";
+    guarantees = "exact optimum on tree metrics (verified); load <= cap";
+    label = "tree-exact result";
+    load_bound = (fun _ -> Some 1.);
+    headline =
+      (fun o ->
+        [ Printf.sprintf
+            "exact tree-metric optimum (%d search nodes, %d two-center costs)"
+            (int_of_float (detail_or_nan o "search_nodes"))
+            (int_of_float (detail_or_nan o "m_pairs")) ]);
+    solve = guarded tree_solve;
+  }
+
+(* Dispatch spec -> specialist. Hints come from the front ends (the
+   one spec->params mapping in [Qp_serve.Protocol.solver_params]); a
+   wrong or stale hint costs a failed specialist attempt, never a
+   wrong answer, because each specialist validates its own
+   applicability (the tree solver verifies the metric). Any specialist
+   error falls back to the general LP route — useful even on genuine
+   capacity infeasibility, since the LP's (alpha+1) load blow-up
+   admits placements the load <= cap solvers reject. *)
+let auto_specialist params =
+  match params.topology_hint with
+  | Some Tree_metric -> Some "tree"
+  | _ -> (
+      match params.system_hint with
+      | Some "grid" -> Some "grid"
+      | Some "majority" -> Some "majority"
+      | _ -> None)
+
+let auto_solve params p =
+  match auto_specialist params with
+  | None -> (find_exn "lp").solve params p
+  | Some name -> (
+      match (find_exn name).solve params p with
+      | Ok o -> Ok o
+      | Error _ -> (find_exn "lp").solve params p)
+
+let auto =
+  {
+    name = "auto";
+    kind = Meta;
+    theorem = "-";
+    guarantees = "dispatches spec -> specialist (tree/grid/majority), LP fallback; inherits the chosen solver's guarantees";
+    label = "auto-dispatch result";
+    load_bound = (fun _ -> None);
+    headline =
+      (fun o -> [ Printf.sprintf "auto-dispatch selected %S" o.Outcome.solver ]);
+    solve = (fun params p -> auto_solve params p);
+  }
+
 let () =
-  List.iter register [ lp; total; greedy; random; exact; grid; majority; partial ]
+  List.iter register
+    [ lp; total; greedy; random; exact; grid; majority; partial; tree; auto ]
 
 let registry_table_markdown () =
   let buf = Buffer.create 1024 in

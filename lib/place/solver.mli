@@ -16,9 +16,16 @@
 
 module Qp_error = Qp_util.Qp_error
 
-type kind = Approximation | Exact | Closed_form | Heuristic
+type kind = Approximation | Exact | Closed_form | Heuristic | Meta
 
 val kind_name : kind -> string
+
+type topology_hint = Tree_metric | General_metric
+(** What the front end knows about the instance's metric. Hints only
+    steer the [auto] dispatcher toward a specialist worth TRYING; every
+    specialist validates its own applicability (the tree solver
+    verifies the tree-metric property), so a wrong hint costs a failed
+    attempt, never a wrong answer. *)
 
 type params = {
   alpha : float; (* Theorem 3.7 rounding parameter (LP route) *)
@@ -29,11 +36,17 @@ type params = {
       (* simplex pivot cap for the LP route ([None] = the
          {!Qp_lp.Simplex} default); exhaustion comes back as
          [Error (Internal _)]. Solvers without an LP ignore it. *)
+  topology_hint : topology_hint option;
+      (* [auto] dispatch: [Some Tree_metric] routes to the tree-exact
+         solver first. [None] = unknown (e.g. instance files). *)
+  system_hint : string option;
+      (* [auto] dispatch: the quorum-system family name ("grid",
+         "majority", ...) for the closed-form layouts. *)
 }
 
 val default_params : params
 (** [alpha = 2.], [source = 0], [seed = 2], [candidates = None]
-    (= all nodes), [pivot_budget = None]. *)
+    (= all nodes), [pivot_budget = None], no dispatch hints. *)
 
 type t = {
   name : string; (* registry key, e.g. "lp" *)

@@ -1,0 +1,292 @@
+module Metric = Qp_graph.Metric
+module Quorum = Qp_quorum.Quorum
+module Qp_error = Qp_util.Qp_error
+
+(* Exact placement on tree metrics.
+
+   On a tree, the farthest point of a finite set S from ANY vertex is
+   one of the two endpoints of S's diametral pair (the classic
+   double-BFS fact). So for a placed quorum q the per-client cost
+   max_{u in q} d(v, f(u)) collapses to max(d(v, a), d(v, b)) where
+   (a, b) is the diametral pair of {f(u) : u in q}, and the QPP
+   objective becomes
+
+     objective(f) = sum_q p(q) * M(a_q, b_q),
+     M(a, b)      = (1/R) sum_v r_v * max(d(v, a), d(v, b)),
+
+   a sum over one weighted two-center cost per quorum. M is computed
+   lazily per distinct node pair (O(n) each, memoized), and the
+   diametral pair of a quorum updates in O(1) per added element
+   (the new pair is the farthest of the three candidate pairs).
+
+   The search is a depth-first branch-and-bound over element
+   assignments, exact because the bound is admissible: M is monotone
+   in the placed set (a larger set has a no-smaller farthest point),
+   so the current sum_q p(q) * M(pair so far) never overestimates any
+   completion. Nodes are tried in increasing order of the one-center
+   cost A(v) = M(v, v); since M(a, b) >= max(A(a), A(b)), placing an
+   element at v forces every quorum containing it to cost at least
+   max(current M, A(v)) — a quantity monotone in A(v) — so once that
+   optimistic value reaches the incumbent the whole remaining node
+   loop is pruned, not just v.
+
+   Everything here trusts only the tree-metric property, which is
+   verified up front (MST reconstruction + O(n^2) distance check) —
+   dispatch hints choose to TRY this solver, they are never trusted
+   for correctness. *)
+
+(* ------------------------------------------------------------------ *)
+(* Tree-metric verification                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimum spanning tree of the complete distance graph (Prim,
+   O(n^2)). On a genuine tree metric the MST is the underlying tree,
+   and path sums through it reproduce every distance. *)
+let mst_parent metric =
+  let n = Metric.size metric in
+  let parent = Array.make n (-1) in
+  let in_tree = Array.make n false in
+  let best = Array.make n infinity in
+  let best_from = Array.make n (-1) in
+  in_tree.(0) <- true;
+  for v = 1 to n - 1 do
+    best.(v) <- Metric.dist metric 0 v;
+    best_from.(v) <- 0
+  done;
+  for _ = 1 to n - 1 do
+    let u = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not in_tree.(v)) && (!u < 0 || best.(v) < best.(!u)) then u := v
+    done;
+    let u = !u in
+    in_tree.(u) <- true;
+    parent.(u) <- best_from.(u);
+    for v = 0 to n - 1 do
+      if not in_tree.(v) then begin
+        let d = Metric.unsafe_dist metric u v in
+        if d < best.(v) then begin
+          best.(v) <- d;
+          best_from.(v) <- u
+        end
+      end
+    done
+  done;
+  parent
+
+let verify_tol = 1e-6
+
+(* Check that summing MST edges along tree paths reproduces the whole
+   matrix, one source row per pool element (deterministic: each row is
+   an independent boolean). *)
+let is_tree_metric ?pool metric =
+  let n = Metric.size metric in
+  if n <= 2 then true
+  else begin
+    let pool = match pool with Some p -> p | None -> Qp_par.Pool.default () in
+    let parent = mst_parent metric in
+    let adj = Array.make n [] in
+    for v = 1 to n - 1 do
+      let u = parent.(v) in
+      let w = Metric.dist metric u v in
+      adj.(v) <- (u, w) :: adj.(v);
+      adj.(u) <- (v, w) :: adj.(u)
+    done;
+    let row_ok s =
+      let dist = Array.make n infinity in
+      dist.(s) <- 0.;
+      let stack = ref [ s ] in
+      let rec walk () =
+        match !stack with
+        | [] -> ()
+        | v :: rest ->
+            stack := rest;
+            List.iter
+              (fun (u, w) ->
+                if dist.(u) = infinity then begin
+                  dist.(u) <- dist.(v) +. w;
+                  stack := u :: !stack
+                end)
+              adj.(v);
+            walk ()
+      in
+      walk ();
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        let dm = Metric.unsafe_dist metric s v in
+        if Float.abs (dist.(v) -. dm) > verify_tol *. Float.max 1. dm then
+          ok := false
+      done;
+      !ok
+    in
+    Array.for_all Fun.id (Qp_par.Pool.parallel_init pool n row_ok)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exact branch-and-bound                                              *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  placement : int array;
+  objective : float; (* canonical Delay.avg_max_delay of [placement] *)
+  search_nodes : int; (* DFS nodes expanded *)
+  m_pairs : int; (* distinct two-center costs evaluated *)
+}
+
+let solve ?pool (p : Problem.qpp) =
+  let metric = p.Problem.metric in
+  let n = Metric.size metric in
+  let nu = Quorum.universe p.Problem.system in
+  if not (is_tree_metric ?pool metric) then
+    raise
+      (Qp_error.Error
+         (Qp_error.Invalid_instance
+            "tree solver: the instance metric is not a tree metric"));
+  let quorums = Quorum.quorums p.Problem.system in
+  let nq = Array.length quorums in
+  let weights = p.Problem.strategy in
+  let rates, total_rate =
+    match p.Problem.client_rates with
+    | Some r -> (r, Array.fold_left ( +. ) 0. r)
+    | None -> (Array.make n 1., float_of_int n)
+  in
+  (* Lazy weighted two-center costs M(a,b), keyed min*n+max. *)
+  let m_memo : (int, float) Hashtbl.t = Hashtbl.create 256 in
+  let two_center a b =
+    let key = if a <= b then (a * n) + b else (b * n) + a in
+    match Hashtbl.find_opt m_memo key with
+    | Some v -> v
+    | None ->
+        let acc = ref 0. in
+        for v = 0 to n - 1 do
+          if rates.(v) > 0. then
+            acc :=
+              !acc
+              +. rates.(v)
+                 *. Float.max
+                      (Metric.unsafe_dist metric v a)
+                      (Metric.unsafe_dist metric v b)
+        done;
+        let m = !acc /. total_rate in
+        Hashtbl.add m_memo key m;
+        m
+  in
+  let one_center v = two_center v v in
+  (* Nodes in increasing one-center cost: good solutions appear early
+     and the A-monotone loop break applies. Deterministic tie-break on
+     id. *)
+  let node_order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare (one_center a) (one_center b) in
+      if c <> 0 then c else compare a b)
+    node_order;
+  (* Elements by decreasing total quorum probability: the heaviest
+     contributors bind the bound earliest. *)
+  let elem_weight = Array.make nu 0. in
+  Array.iteri
+    (fun qi q -> Array.iter (fun u -> elem_weight.(u) <- elem_weight.(u) +. weights.(qi)) q)
+    quorums;
+  let elem_order = Array.init nu (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare elem_weight.(b) elem_weight.(a) in
+      if c <> 0 then c else compare a b)
+    elem_order;
+  let quorums_of = Array.make nu [] in
+  Array.iteri
+    (fun qi q -> Array.iter (fun u -> quorums_of.(u) <- qi :: quorums_of.(u)) q)
+    quorums;
+  let loads = Problem.element_loads p in
+  let node_load = Array.make n 0. in
+  (* Per-quorum diametral pair of placed elements ((-1,-1) = none) and
+     its two-center cost. *)
+  let pa = Array.make nq (-1) in
+  let pb = Array.make nq (-1) in
+  let pm = Array.make nq 0. in
+  let lb = ref 0. in
+  let f = Array.make nu (-1) in
+  let best_val = ref infinity in
+  let best_f = ref None in
+  let search_nodes = ref 0 in
+  let rec go depth =
+    incr search_nodes;
+    if depth = nu then begin
+      if !lb < !best_val -. 1e-15 then begin
+        best_val := !lb;
+        best_f := Some (Array.copy f)
+      end
+    end
+    else begin
+      let u = elem_order.(depth) in
+      let qs = quorums_of.(u) in
+      (* Optimistic cost of placing u at a node with one-center cost
+         [a]: every quorum containing u rises to at least max(pm, a). *)
+      let optimistic a =
+        List.fold_left
+          (fun acc qi ->
+            let w = weights.(qi) in
+            if w > 0. && a > pm.(qi) then acc +. (w *. (a -. pm.(qi))) else acc)
+          !lb qs
+      in
+      (try
+         Array.iter
+           (fun v ->
+             if elem_weight.(u) > 0. && optimistic (one_center v) >= !best_val
+             then raise Exit (* A-monotone: every later node is no better *)
+             else if node_load.(v) +. loads.(u) <= p.Problem.capacities.(v) +. 1e-9
+             then begin
+               node_load.(v) <- node_load.(v) +. loads.(u);
+               f.(u) <- v;
+               (* Update diametral pairs; keep undo records. *)
+               let undo =
+                 List.filter_map
+                   (fun qi ->
+                     let a = pa.(qi) and b = pb.(qi) and m = pm.(qi) in
+                     let a', b' =
+                       if a < 0 then (v, v)
+                       else begin
+                         let dav = Metric.unsafe_dist metric a v
+                         and dbv = Metric.unsafe_dist metric b v
+                         and dab = Metric.unsafe_dist metric a b in
+                         if dav >= dbv && dav >= dab then (a, v)
+                         else if dbv >= dav && dbv >= dab then (b, v)
+                         else (a, b)
+                       end
+                     in
+                     if a' = a && b' = b then None
+                     else begin
+                       let m' = two_center a' b' in
+                       pa.(qi) <- a';
+                       pb.(qi) <- b';
+                       pm.(qi) <- m';
+                       lb := !lb +. (weights.(qi) *. (m' -. m));
+                       Some (qi, a, b, m)
+                     end)
+                   qs
+               in
+               if !lb < !best_val -. 1e-15 then go (depth + 1);
+               List.iter
+                 (fun (qi, a, b, m) ->
+                   lb := !lb -. (weights.(qi) *. (pm.(qi) -. m));
+                   pa.(qi) <- a;
+                   pb.(qi) <- b;
+                   pm.(qi) <- m)
+                 undo;
+               f.(u) <- -1;
+               node_load.(v) <- node_load.(v) -. loads.(u)
+             end)
+           node_order
+       with Exit -> ())
+    end
+  in
+  go 0;
+  match !best_f with
+  | None -> None
+  | Some placement ->
+      Some
+        {
+          placement;
+          objective = Delay.avg_max_delay p placement;
+          search_nodes = !search_nodes;
+          m_pairs = Hashtbl.length m_memo;
+        }

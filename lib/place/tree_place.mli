@@ -1,0 +1,33 @@
+(** Exact QPP placement on tree metrics.
+
+    On a tree the farthest placed element from any client is an
+    endpoint of the placed set's diametral pair, so the average
+    max-delay objective collapses to one weighted two-center cost per
+    quorum; the solver runs an exact depth-first branch-and-bound over
+    element assignments with an admissible monotone bound and a
+    node-loop cutoff in increasing one-center cost (DESIGN.md §15).
+    Exactness relies only on the tree-metric property, which is
+    verified up front — registry dispatch hints decide to try this
+    solver but are never trusted for correctness. *)
+
+type result = {
+  placement : int array;
+  objective : float;
+      (* canonical {!Delay.avg_max_delay} of [placement], recomputed
+         after the search so it is comparable bit-for-bit with every
+         other solver's outcome *)
+  search_nodes : int; (* branch-and-bound nodes expanded *)
+  m_pairs : int; (* distinct two-center costs evaluated *)
+}
+
+val is_tree_metric : ?pool:Qp_par.Pool.t -> Qp_graph.Metric.t -> bool
+(** Reconstructs the minimum spanning tree of the complete distance
+    graph (on a genuine tree metric this is the underlying tree) and
+    checks that path sums through it reproduce the whole matrix to
+    within a small relative tolerance; rows are verified in parallel
+    over [pool]. *)
+
+val solve : ?pool:Qp_par.Pool.t -> Problem.qpp -> result option
+(** Exact optimum placement, or [None] when no capacity-respecting
+    placement exists. @raise Qp_util.Qp_error.Error
+    [(Invalid_instance _)] when the metric is not a tree metric. *)

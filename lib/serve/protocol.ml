@@ -427,7 +427,10 @@ let response_of_json j =
 (* ------------------------------------------------------------------ *)
 
 let solver_params (spec : Spec.t) (o : options) =
+  let topology_hint, system_hint = Spec.solver_hints spec in
   { Qp_place.Solver.default_params with
     Qp_place.Solver.alpha = o.alpha;
     seed = spec.Spec.seed + 1;
-    pivot_budget = o.pivot_budget }
+    pivot_budget = o.pivot_budget;
+    topology_hint;
+    system_hint }

@@ -1,0 +1,321 @@
+(* Solve-core scaling layer (DESIGN.md section 15): the flat Bigarray
+   metric representation, the revised-simplex path, and the exact tree
+   specialist behind the registry's auto dispatch. Every property here
+   pins a NEW code path to an OLD oracle: flat vs boxed APSP, revised
+   vs dense simplex, branch-and-bound vs exhaustive search. *)
+
+module Rng = Qp_util.Rng
+module Qp_error = Qp_util.Qp_error
+module Graph = Qp_graph.Graph
+module Apsp = Qp_graph.Apsp
+module Metric = Qp_graph.Metric
+module Spec = Qp_instance.Spec
+open Qp_lp
+open Qp_place
+
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Qp_error.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Flat metrics vs the boxed oracles                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Random connected graph: a random spanning tree (connectivity by
+   construction) plus extra random edges with float lengths. *)
+let random_connected_graph seed =
+  let rng = Rng.create seed in
+  let n = 2 + Rng.int rng 30 in
+  let g = Graph.create n in
+  for v = 1 to n - 1 do
+    Graph.add_edge g v (Rng.int rng v) (0.1 +. Rng.float rng 5.)
+  done;
+  let extra = Rng.int rng (2 * n) in
+  for _ = 1 to extra do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then Graph.add_edge g u v (0.1 +. Rng.float rng 5.)
+  done;
+  g
+
+let alloc_mat n =
+  Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout (n * n)
+
+(* Bit-for-bit: the flat representation behind [Metric.of_graph] must
+   reproduce the boxed repeated-Dijkstra floats exactly — same
+   algorithm, same summation order, different storage. *)
+let prop_flat_equals_boxed_dijkstra =
+  QCheck.Test.make ~name:"flat Metric.of_graph = boxed Dijkstra bit-for-bit"
+    ~count:100 QCheck.small_int (fun seed ->
+      let g = random_connected_graph (seed + 100) in
+      let n = Graph.n_vertices g in
+      let boxed = Apsp.repeated_dijkstra g in
+      let m = Metric.of_graph ~cache:false g in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Metric.dist m i j <> boxed.(i).(j) then ok := false
+        done
+      done;
+      !ok)
+
+(* The blocked three-phase Floyd–Warshall must match the sequential
+   triple loop bitwise — tiles only read tiles finalized in earlier
+   phases, so the relaxation order per cell is identical. *)
+let prop_blocked_fw_equals_boxed =
+  QCheck.Test.make ~name:"blocked Floyd-Warshall = boxed triple loop bitwise"
+    ~count:60 QCheck.small_int (fun seed ->
+      let g = random_connected_graph (seed + 500) in
+      let n = Graph.n_vertices g in
+      let boxed = Apsp.floyd_warshall g in
+      let flat = alloc_mat n in
+      Apsp.floyd_warshall_into g flat;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Bigarray.Array1.get flat ((i * n) + j) <> boxed.(i).(j) then
+            ok := false
+        done
+      done;
+      !ok)
+
+(* [repeated_dijkstra_into] writes the same floats as the boxed path
+   into a caller-supplied flat buffer (disjoint rows per worker). *)
+let prop_dijkstra_into_equals_boxed =
+  QCheck.Test.make ~name:"repeated_dijkstra_into = boxed rows bit-for-bit"
+    ~count:60 QCheck.small_int (fun seed ->
+      let g = random_connected_graph (seed + 900) in
+      let n = Graph.n_vertices g in
+      let boxed = Apsp.repeated_dijkstra g in
+      let flat = alloc_mat n in
+      Apsp.repeated_dijkstra_into g flat;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Bigarray.Array1.get flat ((i * n) + j) <> boxed.(i).(j) then
+            ok := false
+        done
+      done;
+      !ok)
+
+(* The cache-footprint gauge: 8 bytes per matrix cell per resident
+   entry, back to zero on reset. *)
+let test_apsp_cache_bytes () =
+  Metric.reset_apsp_cache ();
+  Alcotest.(check int) "empty cache" 0 (Metric.apsp_cache_bytes ());
+  let g1 = random_connected_graph 1 in
+  let n1 = Graph.n_vertices g1 in
+  let (_ : Metric.t) = Metric.of_graph g1 in
+  Alcotest.(check int) "one entry" (8 * n1 * n1) (Metric.apsp_cache_bytes ());
+  let (_ : Metric.t) = Metric.of_graph g1 in
+  Alcotest.(check int) "hit adds nothing" (8 * n1 * n1)
+    (Metric.apsp_cache_bytes ());
+  let g2 = random_connected_graph 2 in
+  let n2 = Graph.n_vertices g2 in
+  let (_ : Metric.t) = Metric.of_graph g2 in
+  Alcotest.(check int) "two entries"
+    ((8 * n1 * n1) + (8 * n2 * n2))
+    (Metric.apsp_cache_bytes ());
+  Metric.reset_apsp_cache ();
+  Alcotest.(check int) "reset zeroes the gauge" 0 (Metric.apsp_cache_bytes ())
+
+(* ------------------------------------------------------------------ *)
+(* Revised simplex vs the dense tableau                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Same construction as test_lp's witness generator: feasible by
+   construction (a witness point exists), bounded below by the
+   non-negative objective on Le/Eq-dominated instances — though random
+   rows may still leave a ray, which both paths must agree on. *)
+let random_witness_lp seed =
+  let rng = Rng.create seed in
+  let n = 2 + Rng.int rng 5 in
+  let m = 2 + Rng.int rng 8 in
+  let witness = Array.init n (fun _ -> Rng.float rng 5.) in
+  let lp = Lp.create n in
+  for v = 0 to n - 1 do
+    Lp.set_objective lp v (Rng.float rng 3.)
+  done;
+  for _ = 1 to m do
+    let terms = List.init n (fun v -> (v, Rng.float rng 4. -. 2.)) in
+    let lhs = Lp.eval_terms terms witness in
+    match Rng.int rng 3 with
+    | 0 -> Lp.add_constraint lp terms Lp.Le (lhs +. Rng.float rng 2.)
+    | 1 -> Lp.add_constraint lp terms Lp.Ge (lhs -. Rng.float rng 2.)
+    | _ -> Lp.add_constraint lp terms Lp.Eq lhs
+  done;
+  lp
+
+(* The same LP made infeasible: two contradictory rows on top. *)
+let random_infeasible_lp seed =
+  let lp = random_witness_lp seed in
+  let terms = [ (0, 1.); (1, 1.) ] in
+  Lp.add_constraint lp terms Lp.Le 1.;
+  Lp.add_constraint lp terms Lp.Ge 3.;
+  lp
+
+let solve_forced path lp =
+  Fun.protect
+    ~finally:(fun () -> Simplex.set_forced_path None)
+    (fun () ->
+      Simplex.set_forced_path (Some path);
+      let outcome = Simplex.solve lp in
+      Alcotest.(check bool) "forced path taken" true
+        (Simplex.last_path () = path);
+      outcome)
+
+let same_classification a b =
+  match (a, b) with
+  | Simplex.Optimal { objective = a; _ }, Simplex.Optimal { objective = b; _ }
+    ->
+      Float.abs (a -. b) <= 1e-6 *. Float.max 1. (Float.abs a)
+  | Simplex.Infeasible, Simplex.Infeasible -> true
+  | Simplex.Unbounded, Simplex.Unbounded -> true
+  | _ -> false
+
+let prop_revised_equals_dense =
+  QCheck.Test.make ~name:"revised simplex = dense tableau on random LPs"
+    ~count:200 QCheck.small_int (fun seed ->
+      let lp () = random_witness_lp (seed + 3000) in
+      same_classification (solve_forced Simplex.Dense (lp ()))
+        (solve_forced Simplex.Revised (lp ())))
+
+let prop_revised_equals_dense_infeasible =
+  QCheck.Test.make ~name:"revised simplex = dense tableau on infeasible LPs"
+    ~count:100 QCheck.small_int (fun seed ->
+      let lp () = random_infeasible_lp (seed + 4000) in
+      let dense = solve_forced Simplex.Dense (lp ()) in
+      let revised = solve_forced Simplex.Revised (lp ()) in
+      dense = Simplex.Infeasible && same_classification dense revised)
+
+(* Auto-selection: seed-size problems must keep taking the dense path
+   (byte-identity with the historical pivots), small LPs never flip to
+   the revised path behind the caller's back. *)
+let test_small_lp_stays_dense () =
+  let lp = random_witness_lp 42 in
+  Simplex.set_forced_path None;
+  let (_ : Simplex.outcome) = Simplex.solve lp in
+  Alcotest.(check bool) "small LP solved on the dense path" true
+    (Simplex.last_path () = Simplex.Dense)
+
+(* ------------------------------------------------------------------ *)
+(* Exact tree specialist and the auto dispatcher                       *)
+(* ------------------------------------------------------------------ *)
+
+let build_spec ?(topology = "tree") ?(nodes = 8) ?(system = "grid:2")
+    ?(cap_slack = 1.4) ?(seed = 1) () =
+  { Spec.default with Spec.topology; nodes; system; cap_slack; seed }
+
+let params_for spec =
+  let topology_hint, system_hint = Spec.solver_hints spec in
+  { Solver.default_params with Solver.topology_hint; system_hint }
+
+let solve_registry name spec p =
+  (Solver.find_exn name).Solver.solve (params_for spec) p
+
+(* Exactness: on every <= 8-node tree instance the branch-and-bound
+   answer equals the exhaustive search, including on infeasible
+   instances (both must say so). *)
+let tree_spec_gen =
+  QCheck.Gen.(
+    let* nodes = int_range 4 8 in
+    let* system = oneofl [ "grid:2"; "majority:3:2"; "triangle" ] in
+    let* cap_slack = float_range 0.9 1.8 in
+    let* seed = int_range 1 10_000 in
+    return (build_spec ~nodes ~system ~cap_slack ~seed ()))
+
+let tree_spec_arbitrary =
+  QCheck.make ~print:(Format.asprintf "%a" Spec.pp) tree_spec_gen
+
+let prop_tree_equals_exhaustive =
+  QCheck.Test.make ~name:"tree solver = exhaustive search on small trees"
+    ~count:80 tree_spec_arbitrary (fun spec ->
+      match Spec.build spec with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok p -> (
+          match
+            (solve_registry "tree" spec p, solve_registry "exact" spec p)
+          with
+          | Ok t, Ok e ->
+              Float.abs (t.Outcome.objective -. e.Outcome.objective) <= 1e-9
+          | Error (Qp_error.Infeasible _), Error (Qp_error.Infeasible _) ->
+              true
+          | _ -> false))
+
+(* The LP pipeline relaxes capacities to (alpha+1)*cap, so its rounded
+   placement may beat the cap-respecting optimum; the exact bound only
+   holds when the LP answer happens to respect the true capacities. *)
+let prop_tree_no_worse_than_lp =
+  QCheck.Test.make
+    ~name:"tree optimum <= cap-respecting LP-rounded objective" ~count:80
+    tree_spec_arbitrary (fun spec ->
+      match Spec.build spec with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok p -> (
+          match
+            (solve_registry "tree" spec p, solve_registry "lp" spec p)
+          with
+          | Ok t, Ok l ->
+              l.Outcome.load_violation > 1. +. 1e-9
+              || t.Outcome.objective <= l.Outcome.objective +. 1e-6
+          | _ -> true))
+
+let test_auto_dispatches_tree () =
+  let spec = build_spec ~nodes:10 () in
+  let p = ok_exn (Spec.build spec) in
+  let auto = ok_exn (solve_registry "auto" spec p) in
+  Alcotest.(check string) "tree specialist selected" "tree"
+    auto.Outcome.solver;
+  let direct = ok_exn (solve_registry "tree" spec p) in
+  Alcotest.(check (float 1e-12)) "same objective as direct call"
+    direct.Outcome.objective auto.Outcome.objective
+
+let test_auto_on_general_metric () =
+  let spec = build_spec ~topology:"waxman" ~nodes:10 () in
+  let p = ok_exn (Spec.build spec) in
+  let auto = ok_exn (solve_registry "auto" spec p) in
+  Alcotest.(check bool) "never the tree solver off trees" true
+    (auto.Outcome.solver <> "tree");
+  Alcotest.(check bool) "stamped a registered solver" true
+    (List.mem auto.Outcome.solver (Solver.names ()))
+
+(* Hints steer, verification decides: a cycle metric is not a tree
+   metric, and the specialist must refuse it no matter what a caller
+   hints. *)
+let test_tree_rejects_cycle_metric () =
+  let g = Graph.create 4 in
+  List.iter
+    (fun (u, v) -> Graph.add_edge g u v 1.)
+    [ (0, 1); (1, 2); (2, 3); (3, 0) ];
+  let m = Metric.of_graph ~cache:false g in
+  Alcotest.(check bool) "C4 is not a tree metric" false
+    (Tree_place.is_tree_metric m);
+  let spec = build_spec ~topology:"tree" ~nodes:8 () in
+  let tree_metric =
+    (ok_exn (Spec.build spec)).Problem.metric
+  in
+  Alcotest.(check bool) "tree topology verifies" true
+    (Tree_place.is_tree_metric tree_metric)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_flat_equals_boxed_dijkstra; prop_blocked_fw_equals_boxed;
+      prop_dijkstra_into_equals_boxed; prop_revised_equals_dense;
+      prop_revised_equals_dense_infeasible; prop_tree_equals_exhaustive;
+      prop_tree_no_worse_than_lp ]
+
+let suites =
+  [
+    ( "scale.core",
+      [
+        Alcotest.test_case "apsp cache bytes" `Quick test_apsp_cache_bytes;
+        Alcotest.test_case "small LP stays dense" `Quick
+          test_small_lp_stays_dense;
+        Alcotest.test_case "auto dispatches tree" `Quick
+          test_auto_dispatches_tree;
+        Alcotest.test_case "auto on general metric" `Quick
+          test_auto_on_general_metric;
+        Alcotest.test_case "tree metric verification" `Quick
+          test_tree_rejects_cycle_metric;
+      ] );
+    ("scale.properties", qcheck_tests);
+  ]

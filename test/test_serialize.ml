@@ -121,19 +121,31 @@ let test_placement_bad_token () =
 
 (* Outcome JSON: every solver's outcome on a small instance must
    round-trip exactly through the qp-solve/1 schema. *)
-let small_problem nodes system =
-  ok_exn
-    (Qp_instance.Spec.build
-       { Qp_instance.Spec.default with Qp_instance.Spec.nodes; system;
-         cap_slack = 1.3 })
+let small_problem ?topology nodes system =
+  let spec =
+    { Qp_instance.Spec.default with Qp_instance.Spec.nodes; system;
+      cap_slack = 1.3 }
+  in
+  let spec =
+    match topology with
+    | Some topology -> { spec with Qp_instance.Spec.topology }
+    | None -> spec
+  in
+  ok_exn (Qp_instance.Spec.build spec)
 
 let test_outcome_round_trip () =
   let generic = small_problem 10 "grid:2" in
-  (* partial deployment needs |quorums| = |nodes| = |elements|. *)
+  (* partial deployment needs |quorums| = |nodes| = |elements|; the
+     tree solver only accepts tree metrics. *)
   let square = small_problem 4 "grid:2" in
+  let on_tree = small_problem ~topology:"tree" 10 "grid:2" in
   List.iter
     (fun (s : Solver.t) ->
-      let p = if s.Solver.name = "partial" then square else generic in
+      let p =
+        if s.Solver.name = "partial" then square
+        else if s.Solver.name = "tree" then on_tree
+        else generic
+      in
       match s.Solver.solve Solver.default_params p with
       | Error e ->
           Alcotest.fail

@@ -18,7 +18,8 @@ let small_problem () = ok_exn (Spec.build (build_spec ()))
 
 let test_registry_contents () =
   let expected =
-    [ "lp"; "total"; "greedy"; "random"; "exact"; "grid"; "majority"; "partial" ]
+    [ "lp"; "total"; "greedy"; "random"; "exact"; "grid"; "majority"; "partial";
+      "tree"; "auto" ]
   in
   Alcotest.(check (list string)) "registered names" expected (Solver.names ())
 
@@ -46,17 +47,32 @@ let test_all_solvers_well_formed () =
   let square =
     ok_exn (Spec.build (build_spec ~topology:"complete" ~nodes:4 ()))
   in
+  (* the tree solver only accepts tree metrics. *)
+  let on_tree = ok_exn (Spec.build (build_spec ~topology:"tree" ())) in
   List.iter
     (fun (s : Solver.t) ->
-      let p = if s.Solver.name = "partial" then square else generic in
+      let p =
+        if s.Solver.name = "partial" then square
+        else if s.Solver.name = "tree" then on_tree
+        else generic
+      in
       match s.Solver.solve Solver.default_params p with
       | Error e ->
           Alcotest.fail
             (Printf.sprintf "%s on feasible instance: %s" s.Solver.name
                (Qp_error.to_string e))
       | Ok o ->
-          Alcotest.(check string) (s.Solver.name ^ " stamps name") s.Solver.name
-            o.Outcome.solver;
+          (* The [auto] dispatcher passes the chosen specialist's
+             outcome through, stamp included — that stamp is how
+             callers (and CI) observe the dispatch decision. *)
+          (if s.Solver.kind = Solver.Meta then
+             Alcotest.(check bool)
+               (s.Solver.name ^ " stamps a registered name")
+               true
+               (List.mem o.Outcome.solver (Solver.names ()))
+           else
+             Alcotest.(check string) (s.Solver.name ^ " stamps name")
+               s.Solver.name o.Outcome.solver);
           Placement.validate p o.Outcome.placement;
           Alcotest.(check bool)
             (s.Solver.name ^ " objective finite")
