@@ -1433,7 +1433,11 @@ let e19 () =
   (* Part 2 - head-to-head at equal n: the dispatched tree solver vs
      the LP pipeline on the same instance. Best-of-3 for the fast side
      (scheduler noise dominates millisecond runs); one LP run suffices,
-     it is the slow side by orders of magnitude. *)
+     it is the slow side by orders of magnitude. The CI gate compares
+     deterministic work counters — simplex pivots across the LP's
+     candidate sweep vs branch-and-bound nodes — because wall-clock
+     ratios flake on shared runners; the wall speedup stays as an
+     informational line. *)
   let spec_h2h = tree_spec ~nodes:24 ~system:"grid:2" ~seed:192 in
   let p_h2h = build spec_h2h in
   let auto_h2h, auto_wall =
@@ -1445,20 +1449,44 @@ let e19 () =
     done;
     (Option.get !last, !best)
   in
-  let lp_h2h, lp_wall = time (fun () -> solve_with "lp" spec_h2h p_h2h) in
+  (* Pivot count under a scoped registry: pool workers merge their
+     series back into it, so the sum covers every candidate-source LP
+     and nothing else. *)
+  let pivots_of f =
+    let reg = Qp_obs.Metrics.create ~enabled:true () in
+    let r = Qp_obs.Metrics.with_current reg f in
+    let p =
+      Option.value ~default:0.
+        (List.assoc_opt "qp_simplex_pivots_total"
+           (Qp_obs.Metrics.scalar_series reg))
+    in
+    (r, int_of_float p)
+  in
+  let (lp_h2h, lp_pivots), lp_wall =
+    time (fun () -> pivots_of (fun () -> solve_with "lp" spec_h2h p_h2h))
+  in
+  let tree_nodes =
+    match Outcome.detail auto_h2h "search_nodes" with
+    | Some v -> int_of_float v
+    | None -> max_int (* not the tree solver: fail the work gate *)
+  in
   let speedup = lp_wall /. Float.max 1e-9 auto_wall in
+  let auto_work_10x = lp_pivots >= 10 * tree_nodes in
   let tbl2 =
     Table.create ~title:"auto vs lp at equal size (tree, n=24, grid:2)"
       [ ("alg", Table.Left); ("dispatched", Table.Left);
-        ("objective", Table.Right); ("wall s", Table.Right) ]
+        ("objective", Table.Right); ("wall s", Table.Right);
+        ("work", Table.Right) ]
   in
-  Table.add_rowf tbl2 "auto|%s|%.6f|%.4f" auto_h2h.Outcome.solver
-    auto_h2h.Outcome.objective auto_wall;
-  Table.add_rowf tbl2 "lp|%s|%.6f|%.4f" lp_h2h.Outcome.solver
-    lp_h2h.Outcome.objective lp_wall;
+  Table.add_rowf tbl2 "auto|%s|%.6f|%.4f|%d nodes" auto_h2h.Outcome.solver
+    auto_h2h.Outcome.objective auto_wall tree_nodes;
+  Table.add_rowf tbl2 "lp|%s|%.6f|%.4f|%d pivots" lp_h2h.Outcome.solver
+    lp_h2h.Outcome.objective lp_wall lp_pivots;
   Table.print tbl2;
-  Printf.printf "\nhead-to-head speedup: %.1fx (auto best-of-3 vs one lp run)\n"
-    speedup;
+  Printf.printf
+    "\nhead-to-head: %d lp pivots vs %d tree search nodes; wall speedup \
+     %.1fx (informational, auto best-of-3 vs one lp run)\n"
+    lp_pivots tree_nodes speedup;
   (* Part 3 - scaling series: double n under a wall budget. The floor
      of 480 (10x the largest default-suite instance, E18's n=48) always
      runs; beyond it a cell is attempted only while its projected cost
@@ -1532,7 +1560,7 @@ let e19 () =
   (* Machine-checkable assertions for the CI scaling-smoke gate. *)
   Printf.printf "e19-assert: auto_picked_tree=%b\n" auto_picked_tree;
   Printf.printf "e19-assert: auto_is_exact=%b\n" auto_is_exact;
-  Printf.printf "e19-assert: auto_10x_faster=%b\n" (speedup >= 10.);
+  Printf.printf "e19-assert: auto_work_10x=%b\n" auto_work_10x;
   Printf.printf "e19-assert: scaling_reached_10x=%b\n" (largest_n >= 480);
   Printf.printf "e19-assert: scaling_cells_clean=%b\n" cells_clean;
   print_endline

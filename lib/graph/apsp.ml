@@ -54,10 +54,27 @@ let floyd_warshall g =
    Within one phase the tiles only read tiles finished in an earlier
    phase plus themselves, so the tiles of a phase can run on the domain
    pool in any order — the result is bit-identical for any worker
-   count and identical to the untiled triple loop (same relaxation
-   arithmetic, same k-major order). *)
+   count.
 
-let block = 64
+   It is NOT promised bit-identical to the untiled k-major triple
+   loop once there is more than one block: a phase-3 relaxation reads
+   d(i,k) already closed over the WHOLE k-block, a different
+   bracketing of the same path sums than the untiled loop's
+   one-k-at-a-time order, so individual cells may round differently.
+   Both orders converge to correct shortest-path distances; the
+   property tests pin single-block runs bitwise and multi-block runs
+   to a tight relative tolerance. *)
+
+let default_block = 64
+let block = ref default_block
+
+(* Test hook: shrinking the block exercises the multi-block phases 2/3
+   at property-test sizes. Production never changes it. *)
+let set_fw_block b =
+  if b < 1 then invalid_arg "Apsp.set_fw_block: block must be >= 1";
+  block := b
+
+let fw_block () = !block
 
 let fw_tile (d : mat) n ~k0 ~k1 ~i0 ~i1 ~j0 ~j1 =
   for k = k0 to k1 - 1 do
@@ -88,6 +105,7 @@ let floyd_warshall_into ?pool g (d : mat) =
         Bigarray.Array1.set d ((u * n) + v) len;
         Bigarray.Array1.set d ((v * n) + u) len
       end);
+  let block = !block in
   let nb = (n + block - 1) / block in
   let lo b = b * block in
   let hi b = min n ((b + 1) * block) in

@@ -31,7 +31,20 @@ val floyd_warshall_into : ?pool:Qp_par.Pool.t -> Graph.t -> mat -> unit
 (** Blocked Floyd–Warshall on the flat layout, tiles fanned out over
     [pool] with the classic three-phase (diagonal / row+column /
     remainder) schedule whose phases only read tiles finalized in
-    earlier phases — bit-identical to the sequential triple loop for
-    any worker count. Preferable to {!repeated_dijkstra_into} on dense
+    earlier phases — bit-identical for any worker count. When the
+    matrix fits in a single block the floats also equal the untiled
+    {!floyd_warshall} bitwise; with multiple blocks the per-cell
+    relaxation order differs (phase 3 reads distances already closed
+    over a whole k-block), so cells agree with the untiled loop only
+    up to float-summation rounding — both are correct shortest-path
+    distances. Preferable to {!repeated_dijkstra_into} on dense
     graphs, where n Dijkstra heaps cost O(n·m log n) ≈ O(n³ log n).
     @raise Invalid_argument on a dimension mismatch. *)
+
+val set_fw_block : int -> unit
+(** Test hook: override the Floyd–Warshall tile width (default 64) so
+    property tests can exercise the multi-block phases at small n.
+    @raise Invalid_argument when the block is < 1. *)
+
+val fw_block : unit -> int
+(** The current tile width. *)

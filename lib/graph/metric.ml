@@ -13,7 +13,15 @@ type t = { n : int; d : mat }
 
 let size t = t.n
 
-let dist t i j = Bigarray.Array1.get t.d ((i * t.n) + j)
+(* Per-axis bounds checks: the flat index i*n + j can land inside the
+   buffer even when j (or i) is out of range, silently reading a cell
+   of the wrong row — so Bigarray's own range check is not enough. *)
+let dist t i j =
+  if i < 0 || i >= t.n || j < 0 || j >= t.n then
+    invalid_arg
+      (Printf.sprintf "Metric.dist: index (%d, %d) out of bounds for n=%d" i j
+         t.n);
+  Bigarray.Array1.unsafe_get t.d ((i * t.n) + j)
 
 let unsafe_dist t i j = Bigarray.Array1.unsafe_get t.d ((i * t.n) + j)
 

@@ -14,7 +14,12 @@
 type t
 
 val size : t -> int
+
 val dist : t -> int -> int -> float
+(** [dist t i j] with per-axis validation: the flat layout would
+    otherwise map an out-of-range [j] to a cell of the wrong row
+    instead of failing. @raise Invalid_argument unless
+    [0 <= i < size t] and [0 <= j < size t]. *)
 
 val unsafe_dist : t -> int -> int -> float
 (** [dist] without the bounds check, for validated hot loops. *)

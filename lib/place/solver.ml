@@ -313,8 +313,8 @@ let partial =
     solve = guarded partial_solve;
   }
 
-let tree_solve _params p =
-  match Tree_place.solve p with
+let tree_solve params p =
+  match Tree_place.solve ?node_budget:params.pivot_budget p with
   | None -> Error (Qp_error.Infeasible "no capacity-respecting placement exists")
   | Some (r : Tree_place.result) ->
       Ok

@@ -33,9 +33,10 @@ type params = {
   seed : int; (* randomized solvers *)
   candidates : int list option; (* candidate sources for the LP route *)
   pivot_budget : int option;
-      (* simplex pivot cap for the LP route ([None] = the
-         {!Qp_lp.Simplex} default); exhaustion comes back as
-         [Error (Internal _)]. Solvers without an LP ignore it. *)
+      (* work cap: simplex pivots on the LP route ([None] = the
+         {!Qp_lp.Simplex} default), branch-and-bound search nodes on
+         the tree route; exhaustion comes back as
+         [Error (Internal _)]. Other solvers ignore it. *)
   topology_hint : topology_hint option;
       (* [auto] dispatch: [Some Tree_metric] routes to the tree-exact
          solver first. [None] = unknown (e.g. instance files). *)

@@ -132,10 +132,17 @@ type result = {
   m_pairs : int; (* distinct two-center costs evaluated *)
 }
 
-let solve ?pool (p : Problem.qpp) =
+(* How often the exponential search polls the cooperative deadline: a
+   power of two so the test is one mask. 1024 nodes is well under a
+   millisecond of work, so a served request overshoots its deadline by
+   a negligible slice instead of arbitrarily. *)
+let deadline_poll_mask = 1024 - 1
+
+let solve ?pool ?node_budget (p : Problem.qpp) =
   let metric = p.Problem.metric in
   let n = Metric.size metric in
   let nu = Quorum.universe p.Problem.system in
+  Qp_lp.Cancel.check_deadline ();
   if not (is_tree_metric ?pool metric) then
     raise
       (Qp_error.Error
@@ -208,8 +215,27 @@ let solve ?pool (p : Problem.qpp) =
   let best_val = ref infinity in
   let best_f = ref None in
   let search_nodes = ref 0 in
+  (* The branch-and-bound is exponential in the worst case, so — like
+     the simplex pivot loops — it must stay cancellable while running
+     on a server pool domain: poll the domain-local deadline
+     periodically and honour the caller's search-node budget. Both
+     raise the same [Internal] error shape as the simplex paths, so
+     the server's deadline mapping in [run_solve] applies unchanged. *)
+  let check_limits () =
+    if !search_nodes land deadline_poll_mask = 0 then
+      Qp_lp.Cancel.check_deadline ();
+    match node_budget with
+    | Some b when !search_nodes > b ->
+        raise
+          (Qp_error.Error
+             (Qp_error.Internal
+                (Printf.sprintf
+                   "Tree solver: search-node budget exceeded (%d nodes)" b)))
+    | _ -> ()
+  in
   let rec go depth =
     incr search_nodes;
+    check_limits ();
     if depth = nu then begin
       if !lb < !best_val -. 1e-15 then begin
         best_val := !lb;

@@ -27,7 +27,15 @@ val is_tree_metric : ?pool:Qp_par.Pool.t -> Qp_graph.Metric.t -> bool
     within a small relative tolerance; rows are verified in parallel
     over [pool]. *)
 
-val solve : ?pool:Qp_par.Pool.t -> Problem.qpp -> result option
+val solve :
+  ?pool:Qp_par.Pool.t -> ?node_budget:int -> Problem.qpp -> result option
 (** Exact optimum placement, or [None] when no capacity-respecting
-    placement exists. @raise Qp_util.Qp_error.Error
-    [(Invalid_instance _)] when the metric is not a tree metric. *)
+    placement exists. The search cooperates with the serving
+    deadline machinery exactly like the simplex pivot loops: it
+    checks {!Qp_lp.Cancel.check_deadline} on entry and every 1024
+    expanded nodes, and aborts once more than [node_budget] nodes
+    have been expanded (the registry wires [params.pivot_budget]
+    here) — both raise [Qp_util.Qp_error.Error (Internal _)], the
+    same shape the simplex budget/deadline paths use.
+    @raise Qp_util.Qp_error.Error [(Invalid_instance _)] when the
+    metric is not a tree metric. *)

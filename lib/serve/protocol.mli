@@ -45,7 +45,9 @@ type options = {
   alpha : float; (* Theorem 3.7 rounding parameter; default 2. *)
   deadline_ms : int option;
       (* per-request deadline override (None = the server default) *)
-  pivot_budget : int option; (* simplex pivot cap for the LP route *)
+  pivot_budget : int option;
+      (* work cap: simplex pivots on the LP route, search nodes on
+         the tree route *)
 }
 
 val default_options : options

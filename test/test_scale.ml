@@ -23,9 +23,7 @@ let ok_exn = function
 
 (* Random connected graph: a random spanning tree (connectivity by
    construction) plus extra random edges with float lengths. *)
-let random_connected_graph seed =
-  let rng = Rng.create seed in
-  let n = 2 + Rng.int rng 30 in
+let random_connected_graph_rng rng n =
   let g = Graph.create n in
   for v = 1 to n - 1 do
     Graph.add_edge g v (Rng.int rng v) (0.1 +. Rng.float rng 5.)
@@ -36,6 +34,14 @@ let random_connected_graph seed =
     if u <> v then Graph.add_edge g u v (0.1 +. Rng.float rng 5.)
   done;
   g
+
+let random_connected_graph seed =
+  let rng = Rng.create seed in
+  let n = 2 + Rng.int rng 30 in
+  random_connected_graph_rng rng n
+
+let random_connected_graph_n n seed =
+  random_connected_graph_rng (Rng.create seed) n
 
 let alloc_mat n =
   Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout (n * n)
@@ -58,12 +64,13 @@ let prop_flat_equals_boxed_dijkstra =
       done;
       !ok)
 
-(* The blocked three-phase Floyd–Warshall must match the sequential
-   triple loop bitwise — tiles only read tiles finalized in earlier
-   phases, so the relaxation order per cell is identical. *)
+(* Single-block (n <= block): the tiled schedule degenerates to the
+   plain k-major triple loop, so the floats must match the boxed
+   oracle bitwise. *)
 let prop_blocked_fw_equals_boxed =
-  QCheck.Test.make ~name:"blocked Floyd-Warshall = boxed triple loop bitwise"
-    ~count:60 QCheck.small_int (fun seed ->
+  QCheck.Test.make
+    ~name:"single-block Floyd-Warshall = boxed triple loop bitwise" ~count:60
+    QCheck.small_int (fun seed ->
       let g = random_connected_graph (seed + 500) in
       let n = Graph.n_vertices g in
       let boxed = Apsp.floyd_warshall g in
@@ -77,6 +84,47 @@ let prop_blocked_fw_equals_boxed =
         done
       done;
       !ok)
+
+(* Multi-block (nb > 1): phase 3 reads distances already closed over a
+   whole k-block — a different bracketing of the same path sums than
+   the untiled loop — so cells agree only up to float-summation
+   rounding. Both must still be the same shortest-path distances. *)
+let fw_close_to_boxed g =
+  let n = Graph.n_vertices g in
+  let boxed = Apsp.floyd_warshall g in
+  let flat = alloc_mat n in
+  Apsp.floyd_warshall_into g flat;
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let a = Bigarray.Array1.get flat ((i * n) + j) and b = boxed.(i).(j) in
+      if Float.abs (a -. b) > 1e-9 *. Float.max 1. (Float.abs b) then
+        ok := false
+    done
+  done;
+  !ok
+
+(* The tiled phases 2/3 exercised at property sizes by shrinking the
+   block through the test hook: n up to 31 over block 4 gives up to 8
+   block-rows per phase. *)
+let prop_blocked_fw_multiblock =
+  QCheck.Test.make
+    ~name:"multi-block Floyd-Warshall = boxed triple loop (tolerance)"
+    ~count:60 QCheck.small_int (fun seed ->
+      let saved = Apsp.fw_block () in
+      Fun.protect
+        ~finally:(fun () -> Apsp.set_fw_block saved)
+        (fun () ->
+          Apsp.set_fw_block 4;
+          fw_close_to_boxed (random_connected_graph (seed + 1300))))
+
+(* And once past the production block size of 64 with no hook: n = 100
+   runs the real two-block-per-axis schedule. *)
+let test_blocked_fw_above_block_size () =
+  Alcotest.(check bool) "default block width is the production one" true
+    (Apsp.fw_block () = 64);
+  Alcotest.(check bool) "n=100 blocked FW matches boxed within tolerance" true
+    (fw_close_to_boxed (random_connected_graph_n 100 7))
 
 (* [repeated_dijkstra_into] writes the same floats as the boxed path
    into a caller-supplied flat buffer (disjoint rows per worker). *)
@@ -296,12 +344,69 @@ let test_tree_rejects_cycle_metric () =
   Alcotest.(check bool) "tree topology verifies" true
     (Tree_place.is_tree_metric tree_metric)
 
+(* Cooperative cancellation parity with the simplex paths: the tree
+   branch-and-bound honours the request's work budget and the
+   domain-local deadline, both surfacing as the [Internal] error shape
+   the server's deadline mapping keys on. *)
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_tree_node_budget () =
+  let spec = build_spec ~nodes:12 () in
+  let p = ok_exn (Spec.build spec) in
+  let params = { (params_for spec) with Solver.pivot_budget = Some 1 } in
+  (match (Solver.find_exn "tree").Solver.solve params p with
+  | Error (Qp_error.Internal msg) ->
+      Alcotest.(check bool) "budget named in the error" true
+        (contains_sub msg "search-node budget")
+  | Ok _ -> Alcotest.fail "solve completed under a 1-node budget"
+  | Error e ->
+      Alcotest.fail ("unexpected error: " ^ Qp_error.to_string e));
+  (* The same instance without a budget solves fine. *)
+  match (Solver.find_exn "tree").Solver.solve (params_for spec) p with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("unbudgeted solve: " ^ Qp_error.to_string e)
+
+let test_tree_deadline_cancels () =
+  let spec = build_spec ~nodes:12 () in
+  let p = ok_exn (Spec.build spec) in
+  Fun.protect
+    ~finally:(fun () -> Simplex.set_deadline None)
+    (fun () ->
+      Simplex.set_deadline (Some 0.) (* already expired *);
+      match (Solver.find_exn "tree").Solver.solve (params_for spec) p with
+      | Error (Qp_error.Internal msg) ->
+          Alcotest.(check bool) "deadline named in the error" true
+            (contains_sub msg "deadline")
+      | Ok _ -> Alcotest.fail "solve completed past an expired deadline"
+      | Error e ->
+          Alcotest.fail ("unexpected error: " ^ Qp_error.to_string e))
+
+(* Flat-layout bounds: an out-of-range j must raise, never silently
+   read a cell of the wrong row (i*n + j can stay inside the buffer). *)
+let test_metric_dist_bounds () =
+  let g = random_connected_graph_n 4 11 in
+  let m = Metric.of_graph ~cache:false g in
+  let raises i j =
+    match Metric.dist m i j with
+    | (_ : float) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "in-range reads fine" true
+    (Float.is_finite (Metric.dist m 3 0));
+  Alcotest.(check bool) "j = n raises" true (raises 1 4);
+  Alcotest.(check bool) "j < 0 raises" true (raises 1 (-1));
+  Alcotest.(check bool) "i = n raises" true (raises 4 1);
+  Alcotest.(check bool) "i < 0 raises" true (raises (-1) 1)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_flat_equals_boxed_dijkstra; prop_blocked_fw_equals_boxed;
-      prop_dijkstra_into_equals_boxed; prop_revised_equals_dense;
-      prop_revised_equals_dense_infeasible; prop_tree_equals_exhaustive;
-      prop_tree_no_worse_than_lp ]
+      prop_blocked_fw_multiblock; prop_dijkstra_into_equals_boxed;
+      prop_revised_equals_dense; prop_revised_equals_dense_infeasible;
+      prop_tree_equals_exhaustive; prop_tree_no_worse_than_lp ]
 
 let suites =
   [
@@ -316,6 +421,12 @@ let suites =
           test_auto_on_general_metric;
         Alcotest.test_case "tree metric verification" `Quick
           test_tree_rejects_cycle_metric;
+        Alcotest.test_case "blocked FW above block size" `Quick
+          test_blocked_fw_above_block_size;
+        Alcotest.test_case "tree node budget" `Quick test_tree_node_budget;
+        Alcotest.test_case "tree deadline cancellation" `Quick
+          test_tree_deadline_cancels;
+        Alcotest.test_case "metric dist bounds" `Quick test_metric_dist_bounds;
       ] );
     ("scale.properties", qcheck_tests);
   ]
