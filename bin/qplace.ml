@@ -8,6 +8,7 @@
      solvers     list the registered placement algorithms
      resilience  closed-loop engine vs static baseline under churn
      churn       greedy repair vs bounded-safe migration under churn
+     scenario    run a qp-scenario-spec/1 geo-workload file end to end
      tail        summarize wide-event JSONL artifacts
    Instances are described by one shared {!Qp_instance.Spec.t} record
    (deterministic from --seed); algorithms are selected by name from
@@ -597,6 +598,84 @@ let loadgen_cmd (c : common) host port connections duration mix deadline_ms
   Ok ()
 
 (* ------------------------------------------------------------------ *)
+(* scenario: run a qp-scenario-spec/1 file end to end                  *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_cmd file jobs format out trace metrics wide =
+  run_result
+  @@
+  let* format =
+    match format with
+    | "text" | "json" -> Ok format
+    | other -> Qp_error.invalid_instancef "unknown format %S (text|json)" other
+  in
+  let* contents =
+    match open_in file with
+    | exception Sys_error msg -> Qp_error.invalid_instancef "scenario: %s" msg
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  in
+  let* sc = Qp_scenario.Scenario.of_string contents in
+  let jobs = resolve_jobs jobs in
+  (* The scenario names a full instance spec, so the shared meta line
+     and telemetry headers describe it exactly like any other
+     subcommand. *)
+  let c =
+    { spec =
+        { Spec.topology = sc.Qp_scenario.Scenario.topology;
+          nodes = sc.Qp_scenario.Scenario.nodes;
+          system = sc.Qp_scenario.Scenario.system;
+          cap_slack = sc.Qp_scenario.Scenario.cap_slack;
+          seed = sc.Qp_scenario.Scenario.seed;
+          jobs };
+      trace; metrics; wide }
+  in
+  with_obs ~quiet:(format = "json") c
+    (meta_of c ~command:"scenario" ~jobs
+       ~alpha:sc.Qp_scenario.Scenario.alpha
+       ~algorithm:sc.Qp_scenario.Scenario.alg)
+  @@ fun () ->
+  let* result = Qp_scenario.Runner.run sc in
+  let open Qp_scenario.Runner in
+  if format = "text" then begin
+    Printf.printf "scenario: %s (read_fraction=%g, %d offered loads)\n"
+      sc.Qp_scenario.Scenario.name sc.Qp_scenario.Scenario.read_fraction
+      (Array.length result.curve);
+    if Array.length result.regions > 0 then
+      Printf.printf "regions: %s\n"
+        (String.concat " " (Array.to_list result.regions));
+    Printf.printf
+      "objective: %.4f  read delay: %.4f  write delay: %.4f  symmetric read \
+       delay: %.4f\n"
+      result.outcome.Outcome.objective result.read_delay result.write_delay
+      result.sym_read_delay;
+    let tbl =
+      Table.create ~title:"latency-throughput curve"
+        [ ("offered", Table.Right); ("throughput", Table.Right);
+          ("accesses", Table.Right); ("mean", Table.Right);
+          ("p50", Table.Right); ("p95", Table.Right); ("max", Table.Right) ]
+    in
+    Array.iter
+      (fun cell ->
+        Table.add_rowf tbl "%g|%.4f|%d|%.3f|%.3f|%.3f|%.3f" cell.offered
+          cell.throughput cell.accesses cell.mean cell.p50 cell.p95 cell.max)
+      result.curve;
+    Table.print tbl
+  end;
+  let doc = Obs.Json.to_string (to_json result) in
+  (match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc doc;
+      output_char oc '\n';
+      close_out oc
+  | None -> ());
+  print_endline doc;
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* tail: summarize wide-event JSONL artifacts                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1006,6 +1085,28 @@ let loadgen_cmd_info =
   Cmd.info "loadgen"
     ~doc:"Drive a qplace server with closed-loop load and report latency percentiles."
 
+let scenario_file_t =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC"
+         ~doc:"qp-scenario-spec/1 JSON file (see examples/scenarios/).")
+
+let scenario_out_t =
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+         ~doc:"Also write the qp-scenario/1 record to FILE.")
+
+let scenario_format_t =
+  Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT"
+         ~doc:"Output format: text (tables + the record line) or json \
+               (one qp-scenario/1 object).")
+
+let scenario_term =
+  Term.(const scenario_cmd $ scenario_file_t $ jobs_t $ scenario_format_t
+        $ scenario_out_t $ trace_t $ metrics_t $ wide_t)
+
+let scenario_cmd_info =
+  Cmd.info "scenario"
+    ~doc:"Run a geo-distributed scenario spec: region topology, read/write \
+          mix, skewed clients, offered-load sweep."
+
 let tail_files_t =
   Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE"
          ~doc:"qp-wide/1 JSONL file(s); pass both the server's and the \
@@ -1047,6 +1148,7 @@ let main_cmd =
       Cmd.v eval_cmd_info eval_term;
       Cmd.v serve_cmd_info serve_term;
       Cmd.v loadgen_cmd_info loadgen_term;
+      Cmd.v scenario_cmd_info scenario_term;
       Cmd.v tail_cmd_info tail_term;
       Cmd.v churn_cmd_info churn_term;
     ]

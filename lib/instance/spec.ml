@@ -35,7 +35,7 @@ let canonical_key t =
     (String.length t.system) t.system t.cap_slack t.seed
 
 let topology_names =
-  "path|cycle|star|complete|tree|waxman|geometric[:R]|barbell"
+  "path|cycle|star|complete|tree|waxman|geometric[:R]|barbell|region:NAME"
 
 (* Topology generators whose output is always a tree (so the
    shortest-path metric is a tree metric). Drives [auto] solver
@@ -73,6 +73,15 @@ let build_topology name n rng =
               Ok (fst (Generators.random_geometric rng n radius))
           | _ ->
               Qp_error.invalid_instancef "bad geometric radius %S" r)
+      | [ "region"; table ] -> (
+          match Region.find table with
+          | Ok t ->
+              if n < Region.n_regions t then
+                Qp_error.invalid_instancef
+                  "region table %S needs at least %d nodes (got %d)" table
+                  (Region.n_regions t) n
+              else Ok (Region.graph t ~nodes:n)
+          | Error e -> Error e)
       | _ ->
           Qp_error.invalid_instancef "unknown topology %S (%s)" other
             topology_names)

@@ -16,7 +16,7 @@
 type t = {
   topology : string;
       (* path | cycle | star | complete | tree | waxman | geometric[:R]
-         | barbell *)
+         | barbell | region:NAME (embedded RTT table, see {!Region}) *)
   nodes : int;
   system : string;
       (* grid:K | majority:N:T | fpp:Q | tree:D | wheel:N | star:N
@@ -57,7 +57,9 @@ val solver_hints :
 val build_topology :
   string -> int -> Qp_util.Rng.t -> (Qp_graph.Graph.t, Qp_util.Qp_error.t) result
 (** [build_topology name n rng]. ["geometric"] uses connection radius
-    0.4; ["geometric:R"] overrides it. *)
+    0.4; ["geometric:R"] overrides it. ["region:NAME"] expands the
+    embedded RTT table NAME ({!Region.names}) into the complete
+    weighted graph on [n] nodes — deterministic, the rng is unused. *)
 
 val build_system : string -> (Qp_quorum.Quorum.system, Qp_util.Qp_error.t) result
 

@@ -1,0 +1,223 @@
+module Qp_error = Qp_util.Qp_error
+
+type t = {
+  shared : Quorum.system option;
+      (* [Some s] when reads and writes are the same family — the
+         symmetric case, where the mixed strategy stays on the original
+         system so downstream problems are byte-identical to the
+         historical single-strategy path. *)
+  reads : Quorum.system;
+  writes : Quorum.system;
+}
+
+let reads t = t.reads
+let writes t = t.writes
+let is_shared t = t.shared <> None
+
+let universe t = Quorum.universe t.reads
+
+let of_system s = { shared = Some s; reads = s; writes = s }
+
+let cross_intersecting ~reads ~writes =
+  Array.for_all
+    (fun r -> Array.for_all (fun w -> Quorum.intersect r w) (Quorum.quorums writes))
+    (Quorum.quorums reads)
+
+let make ~reads ~writes =
+  if Quorum.universe reads <> Quorum.universe writes then
+    Qp_error.invalid_instancef
+      "Rw_qs.make: read and write universes differ (%d vs %d)"
+      (Quorum.universe reads) (Quorum.universe writes)
+  else if not (Quorum.all_intersecting writes) then
+    Qp_error.invalid_instancef
+      "Rw_qs.make: write quorums must be pairwise intersecting"
+  else if not (cross_intersecting ~reads ~writes) then
+    Qp_error.invalid_instancef
+      "Rw_qs.make: some read quorum misses some write quorum"
+  else Ok { shared = None; reads; writes }
+
+let intersection_ok t =
+  Quorum.all_intersecting t.writes && cross_intersecting ~reads:t.reads ~writes:t.writes
+
+(* ------------------------------------------------------------------ *)
+(* Constructions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Read-one-write-all: reads are singletons (no read-read intersection
+   — the point of the asymmetric model), the single write quorum is the
+   full universe. *)
+let rowa n =
+  if n < 1 then invalid_arg "Rw_qs.rowa: n >= 1 required";
+  let reads =
+    Quorum.make_unchecked ~universe:n (Array.init n (fun v -> [| v |]))
+  in
+  let writes =
+    Quorum.make_unchecked ~universe:n [| Array.init n (fun v -> v) |]
+  in
+  { shared = None; reads; writes }
+
+(* Grid read/write protocol on a k x k universe: a read quorum is one
+   row (k elements); write quorum i is row i plus column i (2k - 1
+   elements). Write-write: row_i crosses col_j at (i, j); read-write:
+   row_i crosses col_j at (i, j). Reads are lighter than writes, so a
+   read-heavy mix concentrates mass on k-element quorums — the
+   asymmetry the scenario experiments exercise. *)
+let grid k =
+  if k < 1 then invalid_arg "Rw_qs.grid: k >= 1 required";
+  let universe = k * k in
+  let row i = Array.init k (fun c -> (i * k) + c) in
+  let col j = Array.init k (fun r -> (r * k) + j) in
+  let reads = Quorum.make_unchecked ~universe (Array.init k row) in
+  let writes =
+    Quorum.make_unchecked ~universe
+      (Array.init k (fun i -> Array.append (row i) (col i)))
+  in
+  { shared = None; reads; writes }
+
+(* Majority read/write: reads are all r-subsets, writes all w-subsets;
+   r + w > n makes every read see the latest write, 2w > n serializes
+   writes. Enumerated, so small n only (the Majority_qs bound). *)
+let majority ~n ~r ~w =
+  if n < 1 then Qp_error.invalid_instancef "Rw_qs.majority: n >= 1 required"
+  else if r < 1 || r > n || w < 1 || w > n then
+    Qp_error.invalid_instancef
+      "Rw_qs.majority: need 1 <= r, w <= n (got r=%d w=%d n=%d)" r w n
+  else if r + w <= n then
+    Qp_error.invalid_instancef
+      "Rw_qs.majority: r + w > n required for read/write intersection \
+       (got r=%d w=%d n=%d)"
+      r w n
+  else if 2 * w <= n then
+    Qp_error.invalid_instancef
+      "Rw_qs.majority: 2w > n required for write/write intersection \
+       (got w=%d n=%d)"
+      w n
+  else
+    Qp_error.guard @@ fun () ->
+    let subsets k =
+      let acc = ref [] in
+      Qp_util.Combin.choose_iter n k (fun s -> acc := Array.of_list s :: !acc);
+      Array.of_list (List.rev !acc)
+    in
+    let reads = Quorum.make_unchecked ~universe:n (subsets r) in
+    let writes = Quorum.make_unchecked ~universe:n (subsets w) in
+    Ok { shared = None; reads; writes }
+
+(* ------------------------------------------------------------------ *)
+(* The combined system and read/write-weighted strategies              *)
+(* ------------------------------------------------------------------ *)
+
+(* In the shared case the combined system IS the original system: a
+   mixed strategy stays a length-m distribution over it, so problems
+   built from it are byte-identical to the historical path (the
+   read_fraction = 1.0 and symmetric-0.5 reductions in the tests). In
+   the asymmetric case the combined family lists reads then writes;
+   read-read pairs need not intersect, which is why this goes through
+   [make_unchecked] — the safety property (write-write and read-write
+   intersection) is validated by [make] and re-checkable via
+   {!intersection_ok}. *)
+let combined t =
+  match t.shared with
+  | Some s -> s
+  | None ->
+      Quorum.make_unchecked ~universe:(universe t)
+        (Array.append (Quorum.quorums t.reads) (Quorum.quorums t.writes))
+
+let n_reads t = Quorum.n_quorums t.reads
+let n_writes t = Quorum.n_quorums t.writes
+
+let read_indices t =
+  match t.shared with
+  | Some s -> Array.init (Quorum.n_quorums s) (fun i -> i)
+  | None -> Array.init (n_reads t) (fun i -> i)
+
+let write_indices t =
+  match t.shared with
+  | Some s -> Array.init (Quorum.n_quorums s) (fun i -> i)
+  | None -> Array.init (n_writes t) (fun i -> n_reads t + i)
+
+let check_fraction rho =
+  if not (Float.is_finite rho) || rho < 0. || rho > 1. then
+    invalid_arg "Rw_qs: read_fraction must be in [0, 1]"
+
+let check_strategy name s p =
+  if Array.length p <> Quorum.n_quorums s then
+    invalid_arg ("Rw_qs: " ^ name ^ " strategy length mismatch");
+  Strategy.validate s p
+
+(* rho * read + (1 - rho) * write, over [combined t]. Shared systems
+   take the exact [Strategy.mix] path: with read == write (pointwise)
+   the result is bitwise equal to the inputs for rho = 1.0 (1*x + 0*x)
+   and rho = 0.5 (0.5*x + 0.5*x), the reduction properties qcheck
+   verifies. *)
+let mixed t ~read ~write ~read_fraction =
+  check_fraction read_fraction;
+  check_strategy "read" t.reads read;
+  check_strategy "write" t.writes write;
+  match t.shared with
+  | Some _ -> Strategy.mix read write read_fraction
+  | None ->
+      Array.append
+        (Array.map (fun x -> read_fraction *. x) read)
+        (Array.map (fun x -> (1. -. read_fraction) *. x) write)
+
+(* The read-only (write-only) view over the combined family: the given
+   side's distribution in its slots, zero mass in the other side's.
+   Evaluating [Delay.avg_max_delay] under these gives the pure read
+   (write) latency of a placement — the quantity the E20 experiment
+   compares across placements. *)
+let read_only t ~read =
+  check_strategy "read" t.reads read;
+  match t.shared with
+  | Some _ -> Array.copy read
+  | None -> Array.append read (Array.make (n_writes t) 0.)
+
+let write_only t ~write =
+  check_strategy "write" t.writes write;
+  match t.shared with
+  | Some _ -> Array.copy write
+  | None -> Array.append (Array.make (n_reads t) 0.) write
+
+let uniform_read t = Strategy.uniform t.reads
+let uniform_write t = Strategy.uniform t.writes
+
+(* ------------------------------------------------------------------ *)
+(* Name grammar (scenario spec files and tests)                        *)
+(* ------------------------------------------------------------------ *)
+
+let rw_names = "rw-grid:K|rowa:N|rw-majority:N:R:W"
+
+(* Only the asymmetric families live here; a plain system name is the
+   symmetric embedding, which the scenario layer resolves through
+   [Spec.build_system] + {!of_system} (the instance layer sits above
+   this library). [None] means "not an rw name — try the plain
+   grammar". *)
+let of_string_opt name =
+  let pint s =
+    match int_of_string_opt s with
+    | Some v -> Ok v
+    | None ->
+        Qp_error.invalid_instancef "bad integer %S in rw system %S" s name
+  in
+  let ( let* ) = Qp_error.( let* ) in
+  match String.split_on_char ':' name with
+  | [ "rw-grid"; k ] ->
+      Some
+        (let* k = pint k in
+         Qp_error.of_invalid_arg (fun () -> grid k))
+  | [ "rowa"; n ] ->
+      Some
+        (let* n = pint n in
+         Qp_error.of_invalid_arg (fun () -> rowa n))
+  | [ "rw-majority"; n; r; w ] ->
+      Some
+        (let* n = pint n in
+         let* r = pint r in
+         let* w = pint w in
+         majority ~n ~r ~w)
+  | _ -> None
+
+let pp ppf t =
+  Format.fprintf ppf "rw-system(universe=%d, reads=%d, writes=%d%s)"
+    (universe t) (n_reads t) (n_writes t)
+    (if is_shared t then ", shared" else "")

@@ -1,0 +1,81 @@
+module Rng = Qp_util.Rng
+module Qp_error = Qp_util.Qp_error
+module Region = Qp_instance.Region
+
+type skew =
+  | Uniform
+  | Zipf of float
+  | Region_weights of float array
+
+let pp ppf = function
+  | Uniform -> Format.fprintf ppf "uniform"
+  | Zipf s -> Format.fprintf ppf "zipf:%g" s
+  | Region_weights w ->
+      Format.fprintf ppf "regions[%s]"
+        (String.concat ","
+           (List.map (Printf.sprintf "%g") (Array.to_list w)))
+
+let normalize rates =
+  let total = Array.fold_left ( +. ) 0. rates in
+  Array.map (fun r -> r /. total) rates
+
+(* Zipfian population: node ranks are a seeded permutation of 0..n-1
+   (so the "hot" clients are spread over the topology rather than
+   always being the low ids), and the rate of the rank-k node is
+   1 / (k + 1)^s, normalized to sum 1. Deterministic per (seed, n, s):
+   the permutation is the only randomness, drawn from a fresh
+   splitmix64 stream. *)
+let zipf ~nodes ~seed s =
+  let rng = Rng.create seed in
+  let rank = Rng.permutation rng nodes in
+  normalize
+    (Array.init nodes (fun v ->
+         1. /. Float.pow (float_of_int (rank.(v) + 1)) s))
+
+(* Per-region weight vector: region r's total rate share is w.(r),
+   split evenly over the nodes living in r (round-robin residency, see
+   {!Region.region_of_node}). A zero weight silences a whole region —
+   its nodes become rate-zero clients the simulator skips. *)
+let region_weights table ~nodes w =
+  let r = Region.n_regions table in
+  if Array.length w <> r then
+    Qp_error.invalid_instancef
+      "client weights: expected %d region weights for table %s (got %d)" r
+      (Region.name table) (Array.length w)
+  else if Array.exists (fun x -> not (Float.is_finite x) || x < 0.) w then
+    Qp_error.invalid_instancef
+      "client weights: weights must be finite and non-negative"
+  else if Array.for_all (fun x -> x = 0.) w then
+    Qp_error.invalid_instancef "client weights: at least one must be positive"
+  else begin
+    let per_region_count = Array.make r 0 in
+    for v = 0 to nodes - 1 do
+      let reg = Region.region_of_node table v in
+      per_region_count.(reg) <- per_region_count.(reg) + 1
+    done;
+    Ok
+      (normalize
+         (Array.init nodes (fun v ->
+              let reg = Region.region_of_node table v in
+              if per_region_count.(reg) = 0 then 0.
+              else w.(reg) /. float_of_int per_region_count.(reg))))
+  end
+
+let rates ?table skew ~nodes ~seed =
+  if nodes <= 0 then
+    Qp_error.invalid_instancef "client rates: nodes must be positive (got %d)"
+      nodes
+  else
+    match skew with
+    | Uniform -> Ok (Array.make nodes (1. /. float_of_int nodes))
+    | Zipf s ->
+        if not (Float.is_finite s) || s <= 0. then
+          Qp_error.invalid_instancef
+            "client rates: zipf exponent must be positive (got %g)" s
+        else Ok (zipf ~nodes ~seed s)
+    | Region_weights w -> (
+        match table with
+        | None ->
+            Qp_error.invalid_instancef
+              "client rates: per-region weights need a region:NAME topology"
+        | Some t -> region_weights t ~nodes w)

@@ -1,0 +1,32 @@
+(** Skewed client populations for scenario workloads.
+
+    A population is a rate vector over the topology's nodes — the
+    [client_rates] of the placement problem and the per-client arrival
+    weights of the access simulation. All constructors normalize to
+    sum 1, so the vector is a distribution: a node's entry is its share
+    of the offered load. *)
+
+type skew =
+  | Uniform  (** every node the same share *)
+  | Zipf of float
+      (** [Zipf s]: the rank-[k] node gets share proportional to
+          [1/(k+1)^s]; ranks are a seeded permutation of the nodes, so
+          the hot spot moves with the seed. Requires [s > 0]. *)
+  | Region_weights of float array
+      (** One weight per region of the topology's region table, split
+          evenly over that region's nodes. Zero silences a region
+          (rate-zero clients never issue accesses). *)
+
+val rates :
+  ?table:Qp_instance.Region.t ->
+  skew ->
+  nodes:int ->
+  seed:int ->
+  (float array, Qp_util.Qp_error.t) result
+(** The rate vector of a population. Deterministic: equal
+    [(skew, nodes, seed)] (and table) yield bitwise-equal vectors; the
+    result always sums to 1 up to roundoff. [Region_weights] requires
+    [table] (the scenario's [region:NAME] topology) and a weight per
+    region. *)
+
+val pp : Format.formatter -> skew -> unit

@@ -1,0 +1,67 @@
+(** The scenario runner: spec in, [qp-scenario/1] record out.
+
+    {!run} drives the whole pipeline described by a {!Scenario.t}:
+
+    + build the topology (including [region:NAME] tables) and the
+      read/write quorum system;
+    + derive the skewed client population ({!Clients.rates});
+    + solve the placement under the rho-weighted read/write strategy,
+      and once more under the symmetric (rho = 0.5) mix with the SAME
+      capacities — the baseline the read/write-aware placement is
+      compared against;
+    + evaluate pure read and write latency of both placements
+      (rate-weighted, protocol-matched delay functional);
+    + sweep the offered loads through the queueing access simulation
+      (round-trip, per-node FIFO service) over the {!Qp_par.Pool},
+      producing the latency–throughput curve;
+    + group the first cell's per-client mean delays by region into
+      delay CDFs (every region keyed, empty ones degenerate).
+
+    Determinism: the sweep is order-preserving over the pool, every
+    simulation is seeded from the spec, and no wall-clock enters the
+    record — equal specs yield byte-identical records at any [--jobs]. *)
+
+type cell = {
+  offered : float;  (** arrival-rate multiplier of this sweep point *)
+  throughput : float;  (** completed accesses / simulated makespan *)
+  accesses : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+type region_cdf = {
+  region : string;
+  count : int;  (** active (rate > 0) clients in the region *)
+  cdf : (float * float) list;
+      (** per-client mean delay at deciles; [[]] when [count = 0] *)
+}
+
+type t = {
+  spec : Scenario.t;
+  regions : string array;  (** region names, [[||]] off region tables *)
+  outcome : Qp_place.Outcome.t;  (** the rho-mix solve *)
+  read_delay : float;  (** pure read latency of [outcome.placement] *)
+  write_delay : float;
+  sym_read_delay : float;
+      (** read latency of the symmetric-mix placement — E20 asserts
+          [read_delay <= sym_read_delay] on read-heavy scenarios *)
+  curve : cell array;  (** one cell per offered load, in spec order *)
+  region_cdfs : region_cdf list;
+}
+
+val run :
+  ?pool:Qp_par.Pool.t -> Scenario.t -> (t, Qp_util.Qp_error.t) result
+(** Never raises: invalid specs, topologies, systems and solver
+    failures all come back as [Error]. [pool] defaults to
+    {!Qp_par.Pool.default}. *)
+
+val schema : string
+(** ["qp-scenario/1"]. *)
+
+val to_json : t -> Qp_obs.Json.t
+(** The [qp-scenario/1] record: spec echo, region list, objective,
+    read/write/symmetric delays, latency–throughput [curve] and
+    [region_cdfs]. Contains no wall-clock or resource fields, so the
+    rendering is byte-stable across runs and job counts. *)

@@ -1,0 +1,235 @@
+module Json = Qp_obs.Json
+module Qp_error = Qp_util.Qp_error
+
+let schema = "qp-scenario-spec/1"
+
+type t = {
+  name : string;
+  topology : string;
+  nodes : int;
+  system : string;
+  read_fraction : float;
+  skew : Clients.skew;
+  offered_loads : float array;
+  accesses_per_client : int;
+  service : Qp_sim.Access_sim.service;
+  protocol : Qp_sim.Access_sim.protocol;
+  alg : string;
+  alpha : float;
+  cap_slack : float;
+  seed : int;
+}
+
+let default =
+  {
+    name = "unnamed";
+    topology = "region:aws-3";
+    nodes = 9;
+    system = "grid:3";
+    read_fraction = 0.5;
+    skew = Clients.Uniform;
+    offered_loads = [| 1.0 |];
+    accesses_per_client = 200;
+    service = Qp_sim.Access_sim.Exponential 1.0;
+    protocol = Qp_sim.Access_sim.Parallel;
+    alg = "auto";
+    alpha = 2.0;
+    cap_slack = 1.0;
+    seed = 1;
+  }
+
+let service_of_string s =
+  match String.split_on_char ':' s with
+  | [ "zero" ] -> Ok Qp_sim.Access_sim.Zero
+  | [ "fixed"; x ] | [ "exp"; x ] -> (
+      match float_of_string_opt x with
+      | Some v when Float.is_finite v && v > 0. ->
+          Ok
+            (match String.split_on_char ':' s with
+            | "fixed" :: _ -> Qp_sim.Access_sim.Fixed v
+            | _ -> Qp_sim.Access_sim.Exponential v)
+      | _ -> Qp_error.invalid_instancef "bad service time %S" s)
+  | _ ->
+      Qp_error.invalid_instancef "unknown service %S (zero|fixed:X|exp:X)" s
+
+let service_to_string = function
+  | Qp_sim.Access_sim.Zero -> "zero"
+  | Qp_sim.Access_sim.Fixed v -> Printf.sprintf "fixed:%g" v
+  | Qp_sim.Access_sim.Exponential v -> Printf.sprintf "exp:%g" v
+
+let protocol_to_string = function
+  | Qp_sim.Access_sim.Parallel -> "parallel"
+  | Qp_sim.Access_sim.Sequential -> "sequential"
+
+(* ------------------------------------------------------------------ *)
+(* Spec-file parsing (qp-scenario-spec/1, via the dependency-free      *)
+(* telemetry JSON — no new parser dependency)                          *)
+(* ------------------------------------------------------------------ *)
+
+let known_keys =
+  [ "schema"; "name"; "topology"; "nodes"; "system"; "read_fraction";
+    "clients"; "offered_loads"; "accesses_per_client"; "service";
+    "protocol"; "alg"; "alpha"; "cap_slack"; "seed" ]
+
+let ( let* ) = Qp_error.( let* )
+
+let opt_field json key conv ~default =
+  match Json.member key json with
+  | None -> Ok default
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Qp_error.invalid_instancef "scenario: bad %S field" key)
+
+let req_field json key conv =
+  match Json.member key json with
+  | None -> Qp_error.invalid_instancef "scenario: missing %S field" key
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Qp_error.invalid_instancef "scenario: bad %S field" key)
+
+let to_float_array = function
+  | Json.List xs ->
+      let rec go acc = function
+        | [] -> Some (Array.of_list (List.rev acc))
+        | x :: rest -> (
+            match Json.to_float x with
+            | Some f -> go (f :: acc) rest
+            | None -> None)
+      in
+      go [] xs
+  | _ -> None
+
+let skew_of_json json =
+  match Json.member "clients" json with
+  | None -> Ok Clients.Uniform
+  | Some c -> (
+      let* kind = req_field c "skew" Json.to_str in
+      match kind with
+      | "uniform" -> Ok Clients.Uniform
+      | "zipf" ->
+          let* s = opt_field c "exponent" Json.to_float ~default:1.0 in
+          Ok (Clients.Zipf s)
+      | "regions" ->
+          let* w =
+            req_field c "weights" (fun v -> to_float_array v)
+          in
+          Ok (Clients.Region_weights w)
+      | other ->
+          Qp_error.invalid_instancef
+            "scenario: unknown client skew %S (uniform|zipf|regions)" other)
+
+let validate spec =
+  if spec.nodes <= 0 then
+    Qp_error.invalid_instancef "scenario: nodes must be positive (got %d)"
+      spec.nodes
+  else if
+    not
+      (Float.is_finite spec.read_fraction
+      && spec.read_fraction >= 0. && spec.read_fraction <= 1.)
+  then
+    Qp_error.invalid_instancef
+      "scenario: read_fraction must be in [0, 1] (got %g)" spec.read_fraction
+  else if Array.length spec.offered_loads = 0 then
+    Qp_error.invalid_instancef "scenario: offered_loads must be non-empty"
+  else if
+    Array.exists
+      (fun l -> not (Float.is_finite l) || l <= 0.)
+      spec.offered_loads
+  then
+    Qp_error.invalid_instancef
+      "scenario: offered_loads must be positive and finite"
+  else if spec.accesses_per_client <= 0 then
+    Qp_error.invalid_instancef
+      "scenario: accesses_per_client must be positive (got %d)"
+      spec.accesses_per_client
+  else if not (Float.is_finite spec.cap_slack && spec.cap_slack > 0.) then
+    Qp_error.invalid_instancef
+      "scenario: cap_slack must be positive and finite (got %g)" spec.cap_slack
+  else Ok spec
+
+let of_json json =
+  match json with
+  | Json.Obj fields ->
+      let unknown =
+        List.filter (fun (k, _) -> not (List.mem k known_keys)) fields
+      in
+      if unknown <> [] then
+        Qp_error.invalid_instancef "scenario: unknown field %S"
+          (fst (List.hd unknown))
+      else
+        let* s = req_field json "schema" Json.to_str in
+        if s <> schema then
+          Qp_error.invalid_instancef
+            "scenario: schema %S unsupported (want %s)" s schema
+        else
+          let* name = req_field json "name" Json.to_str in
+          let* topology = req_field json "topology" Json.to_str in
+          let* nodes = req_field json "nodes" Json.to_int in
+          let* system = req_field json "system" Json.to_str in
+          let* read_fraction =
+            opt_field json "read_fraction" Json.to_float
+              ~default:default.read_fraction
+          in
+          let* skew = skew_of_json json in
+          let* offered_loads =
+            opt_field json "offered_loads" to_float_array
+              ~default:default.offered_loads
+          in
+          let* accesses_per_client =
+            opt_field json "accesses_per_client" Json.to_int
+              ~default:default.accesses_per_client
+          in
+          let* service_name =
+            opt_field json "service" Json.to_str
+              ~default:(service_to_string default.service)
+          in
+          let* service = service_of_string service_name in
+          let* protocol_name =
+            opt_field json "protocol" Json.to_str ~default:"parallel"
+          in
+          let* protocol =
+            match protocol_name with
+            | "parallel" -> Ok Qp_sim.Access_sim.Parallel
+            | "sequential" -> Ok Qp_sim.Access_sim.Sequential
+            | other ->
+                Qp_error.invalid_instancef
+                  "scenario: unknown protocol %S (parallel|sequential)" other
+          in
+          let* alg = opt_field json "alg" Json.to_str ~default:default.alg in
+          let* alpha =
+            opt_field json "alpha" Json.to_float ~default:default.alpha
+          in
+          let* cap_slack =
+            opt_field json "cap_slack" Json.to_float ~default:default.cap_slack
+          in
+          let* seed = opt_field json "seed" Json.to_int ~default:default.seed in
+          let spec =
+            { name; topology; nodes; system; read_fraction; skew;
+              offered_loads; accesses_per_client; service; protocol; alg;
+              alpha; cap_slack; seed }
+          in
+          validate spec
+  | _ -> Qp_error.invalid_instancef "scenario: spec must be a JSON object"
+
+let of_string s =
+  match Json.of_string s with
+  | exception Json.Parse_error msg ->
+      Qp_error.invalid_instancef "scenario: malformed JSON: %s" msg
+  | json -> of_json json
+
+let region_table spec =
+  match String.split_on_char ':' spec.topology with
+  | [ "region"; name ] -> (
+      match Qp_instance.Region.find name with Ok t -> Some t | Error _ -> None)
+  | _ -> None
+
+let pp ppf spec =
+  Format.fprintf ppf
+    "scenario(%s: topology=%s nodes=%d system=%s rho=%g skew=%a loads=%d \
+     alg=%s seed=%d)"
+    spec.name spec.topology spec.nodes spec.system spec.read_fraction
+    Clients.pp spec.skew
+    (Array.length spec.offered_loads)
+    spec.alg spec.seed

@@ -46,6 +46,7 @@ type report = {
   empirical_node_load : float array;
   analytic_delay : float;
   relative_error : float;
+  makespan : float;
 }
 
 type state = {
@@ -57,6 +58,7 @@ type state = {
   per_client : Stats.online array;
   delay_hist : Obs.Metrics.histogram;
   mutable completed : int;
+  mutable makespan : float;
 }
 
 let link_latency st v w =
@@ -69,11 +71,16 @@ let service_time st =
   | Fixed s -> s
   | Exponential mean -> Rng.exponential st.rng (1. /. mean)
 
-let record st client delay =
+(* [t0] is the access start time: the completion instant [t0 + delay]
+   may lie beyond the current event (one-way mode computes it
+   analytically), so the makespan is tracked here rather than read off
+   the event clock after [Sim.run]. *)
+let record st ~t0 client delay =
   Queue.add delay st.delays;
   Stats.online_add st.per_client.(client) delay;
   Obs.Metrics.observe st.delay_hist delay;
-  st.completed <- st.completed + 1
+  st.completed <- st.completed + 1;
+  if t0 +. delay > st.makespan then st.makespan <- t0 +. delay
 
 (* Serve a probe arriving now at [node] (FIFO single server); returns
    the service completion time. Must be called from an event handler
@@ -101,7 +108,7 @@ let perform_access st sim client =
               Float.max acc (t0 +. link_latency st client node))
             t0 q
         in
-        record st client (finish -. t0)
+        record st ~t0 client (finish -. t0)
       end
       else begin
         let pending = ref (Array.length q) in
@@ -116,7 +123,7 @@ let perform_access st sim client =
                 let back = finish +. link_latency st node client in
                 if back > !latest then latest := back;
                 decr pending;
-                if !pending = 0 then record st client (!latest -. t0)))
+                if !pending = 0 then record st ~t0 client (!latest -. t0)))
           q
       end
   | Sequential ->
@@ -131,11 +138,11 @@ let perform_access st sim client =
               acc +. link_latency st client node)
             0. q
         in
-        record st client total
+        record st ~t0 client total
       end
       else begin
         let rec visit idx depart =
-          if idx = len then record st client (depart -. t0)
+          if idx = len then record st ~t0 client (depart -. t0)
           else begin
             let node = st.cfg.placement.(q.(idx)) in
             st.node_probes.(node) <- st.node_probes.(node) + 1;
@@ -180,6 +187,7 @@ let run cfg =
         Obs.Metrics.histogram ~help:"Per-access delay (max or total per protocol)"
           (Obs.Metrics.current ()) "qp_sim_access_delay";
       completed = 0;
+      makespan = 0.;
     }
   in
   let sim = Sim.create () in
@@ -242,4 +250,5 @@ let run cfg =
     relative_error =
       (if analytic = 0. then if mean = 0. then 0. else infinity
        else Float.abs (mean -. analytic) /. analytic);
+    makespan = st.makespan;
   }

@@ -54,6 +54,9 @@ type report = {
   empirical_node_load : float array; (* probes / accesses: estimates load_f *)
   analytic_delay : float; (* Avg Delta_f or Avg Gamma_f per protocol *)
   relative_error : float; (* |mean - analytic| / analytic (0 when analytic = 0) *)
+  makespan : float;
+      (* virtual time at which the last access completes; accesses /
+         makespan is the simulated throughput of the run *)
 }
 
 val run : config -> report

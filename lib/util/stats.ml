@@ -79,6 +79,35 @@ let summarize xs =
     max = sorted.(Array.length sorted - 1);
   }
 
+(* Tiny-sample guards: scenario cells can legitimately observe 0 or 1
+   samples (an empty region, a single client). Record emitters need a
+   total function there — [None] for empty, a degenerate-but-finite
+   summary for singletons — rather than the Invalid_argument the strict
+   API (correctly) raises mid-computation. *)
+let summarize_opt xs =
+  if Array.length xs = 0 then None else Some (summarize xs)
+
+let percentile_opt xs q =
+  if Array.length xs = 0 then None else Some (percentile xs q)
+
+(* Empirical CDF sampled on a quantile grid: [(q, percentile q)] for
+   each [q] in [quantiles] (default 0, 10, .., 100). Values are
+   non-decreasing in [q] by construction (order statistics of one
+   sorted copy); [] on empty input — a well-defined degenerate cell,
+   not an exception. A singleton yields a constant (still monotone)
+   curve. *)
+let default_quantiles = Array.init 11 (fun i -> 10. *. float_of_int i)
+
+let cdf ?(quantiles = default_quantiles) xs =
+  if Array.length xs = 0 then []
+  else begin
+    check_finite "cdf" xs;
+    let sorted = Array.copy xs in
+    Array.sort Float.compare sorted;
+    Array.to_list
+      (Array.map (fun q -> (q, percentile_of_sorted sorted q)) quantiles)
+  end
+
 let pp_summary ppf s =
   Format.fprintf ppf "n=%d mean=%.4f sd=%.4f min=%.4f p50=%.4f p95=%.4f max=%.4f"
     s.n s.mean s.stddev s.min s.p50 s.p95 s.max
